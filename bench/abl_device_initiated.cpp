@@ -1,0 +1,89 @@
+/**
+ * Extension ablation (Section 3.2.1, "Generality"): the paper argues
+ * that if future interconnects let a GPU kernel initiate DMA itself,
+ * the same PortChannel API covers them. This bench models that
+ * hardware (no managed-memory polling, no CPU dispatch) and shows how
+ * much of today's PortChannel latency is the CPU proxy round trip.
+ */
+#include "bench_util.hpp"
+#include "channel/channel_mesh.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "gpu/compute.hpp"
+
+#include <cstdio>
+#include <memory>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+namespace bench = mscclpp::bench;
+
+namespace {
+
+/** One put+signal+flush round through a port channel. */
+sim::Time
+portRound(bool deviceInitiated, std::size_t bytes)
+{
+    gpu::Machine machine(fab::makeA100_40G(), 1, gpu::DataMode::Timed);
+    auto boots = createInProcessBootstrap(machine.numGpus());
+    std::vector<std::unique_ptr<Communicator>> comms;
+    std::vector<gpu::DeviceBuffer> bufs;
+    for (int r = 0; r < machine.numGpus(); ++r) {
+        comms.push_back(std::make_unique<Communicator>(boots[r], machine));
+        bufs.push_back(machine.gpu(r).alloc(bytes));
+    }
+    std::vector<Communicator*> cp;
+    for (auto& c : comms) {
+        cp.push_back(c.get());
+    }
+    MeshOptions opt;
+    opt.transport = Transport::Port;
+    opt.deviceInitiatedPort = deviceInitiated;
+    auto mesh = ChannelMesh::build(cp, bufs, bufs, opt);
+
+    sim::Time done = 0;
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == 0) {
+            co_await mesh.port(0, 1).putWithSignalAndFlush(ctx, 0, 0,
+                                                           bytes);
+            done = ctx.scheduler().now();
+        } else if (rank == 1) {
+            co_await mesh.port(1, 0).wait(ctx);
+        }
+    };
+    gpu::runOnAllRanks(machine, gpu::LaunchConfig{}, fn);
+    mesh.shutdown();
+    machine.run();
+    return done;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension ablation: CPU-proxy vs device-initiated "
+                "PortChannel (A100-40G, intra-node DMA put+signal+"
+                "flush)\n\n");
+    bench::Table table({"size", "CPU proxy(us)", "device-initiated(us)",
+                        "proxy overhead removed"});
+    for (std::size_t bytes :
+         {std::size_t(1) << 10, std::size_t(64) << 10,
+          std::size_t(1) << 20, std::size_t(16) << 20}) {
+        sim::Time proxy = portRound(false, bytes);
+        sim::Time dev = portRound(true, bytes);
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.1f%%",
+                      100.0 * (1.0 - double(dev) / double(proxy)));
+        table.addRow({bench::humanBytes(bytes), bench::fmtUs(proxy),
+                      bench::fmtUs(dev), pct});
+    }
+    table.print();
+    std::printf("The kernels are unchanged between columns — only the "
+                "channel's engine model differs, demonstrating the "
+                "PortChannel abstraction's claim to cover future "
+                "GPU-initiated DMA hardware.\n");
+    return 0;
+}

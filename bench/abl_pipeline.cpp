@@ -1,0 +1,53 @@
+/**
+ * Ablation (Section 4.4, 2PH): pipelining the hierarchical AllReduce
+ * over sub-chunks overlaps intra-node NVLink phases with cross-node
+ * RDMA phases. Depth 1 is the unpipelined algorithm.
+ */
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace bench = mscclpp::bench;
+
+int
+main()
+{
+    std::printf("Ablation: 2PH pipeline depth (A100-40G, 2n16g "
+                "AllReduce)\n\n");
+    fab::EnvConfig env = fab::makeA100_40G();
+    bench::printEnvBanner(env, 2);
+
+    bench::Table table({"size", "depth=1(us)", "depth=2(us)",
+                        "depth=4(us)", "depth=8(us)", "best vs depth=1"});
+    for (std::size_t bytes :
+         {std::size_t(16) << 20, std::size_t(128) << 20,
+          std::size_t(512) << 20}) {
+        std::vector<std::string> row{bench::humanBytes(bytes)};
+        sim::Time base = 0;
+        sim::Time best = 0;
+        for (int depth : {1, 2, 4, 8}) {
+            gpu::Machine machine(env, 2, gpu::DataMode::Timed);
+            CollectiveComm::Options opt;
+            opt.maxBytes = bytes;
+            opt.pipelineChunks = depth;
+            CollectiveComm comm(machine, opt);
+            sim::Time t = comm.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum,
+                                         AllReduceAlgo::Hier2PHB);
+            if (depth == 1) {
+                base = t;
+                best = t;
+            }
+            best = std::min(best, t);
+            row.push_back(bench::fmtUs(t));
+        }
+        row.push_back(bench::fmtRatio(double(base) / double(best)));
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * Ablation (Section 4.4): rotating scratch buffers drop the trailing
+ * cross-GPU barrier of all-pairs kernels at the cost of 2x scratch
+ * memory — an optimisation self-synchronous NCCL primitives cannot
+ * express (Section 2.2.2).
+ */
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace bench = mscclpp::bench;
+
+namespace {
+
+sim::Time
+timedLoop(CollectiveComm& comm, std::size_t bytes, AllReduceAlgo algo,
+          int iters)
+{
+    sim::Time total = 0;
+    for (int i = 0; i < iters; ++i) {
+        total += comm.allReduce(bytes, gpu::DataType::F16,
+                                gpu::ReduceOp::Sum, algo);
+    }
+    return total / iters;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: rotating scratch buffers vs full barriers "
+                "(A100-40G, 1n8g, back-to-back AllReduce)\n\n");
+    fab::EnvConfig env = fab::makeA100_40G();
+    bench::printEnvBanner(env, 1);
+
+    gpu::Machine m1(env, 1, gpu::DataMode::Timed);
+    gpu::Machine m2(env, 1, gpu::DataMode::Timed);
+    CollectiveComm::Options rotating;
+    rotating.maxBytes = 8 << 20;
+    rotating.rotatingScratch = true;
+    CollectiveComm commRot(m1, rotating);
+    CollectiveComm::Options barriers = rotating;
+    barriers.rotatingScratch = false;
+    CollectiveComm commBar(m2, barriers);
+
+    bench::Table table({"size", "algo", "barriers(us)", "rotating(us)",
+                        "saved"});
+    struct Case
+    {
+        std::size_t bytes;
+        AllReduceAlgo algo;
+    };
+    for (Case c : {Case{2 << 10, AllReduceAlgo::AllPairs1P},
+                   Case{32 << 10, AllReduceAlgo::AllPairs2PLL},
+                   Case{512 << 10, AllReduceAlgo::AllPairs2PLL},
+                   Case{4 << 20, AllReduceAlgo::AllPairs2PHB}}) {
+        sim::Time tBar = timedLoop(commBar, c.bytes, c.algo, 8);
+        sim::Time tRot = timedLoop(commRot, c.bytes, c.algo, 8);
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.1f%%",
+                      100.0 * (1.0 - double(tRot) / double(tBar)));
+        table.addRow({bench::humanBytes(c.bytes), toString(c.algo),
+                      bench::fmtUs(tBar), bench::fmtUs(tRot), pct});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,129 @@
+#ifndef MSCCLPP_BENCH_BENCH_UTIL_HPP
+#define MSCCLPP_BENCH_BENCH_UTIL_HPP
+
+#include "fabric/env.hpp"
+#include "sim/time.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mscclpp::bench {
+
+/** "1K", "4M", "1G" style size label. */
+inline std::string
+humanBytes(std::size_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ull << 30) && bytes % (1ull << 30) == 0) {
+        std::snprintf(buf, sizeof(buf), "%zuG", bytes >> 30);
+    } else if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+        std::snprintf(buf, sizeof(buf), "%zuM", bytes >> 20);
+    } else if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0) {
+        std::snprintf(buf, sizeof(buf), "%zuK", bytes >> 10);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+    }
+    return buf;
+}
+
+/** Fixed-width text table with a CSV echo for plotting. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    void print(bool csv = true) const
+    {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            widths[c] = headers_[c].size();
+            for (const auto& row : rows_) {
+                if (c < row.size()) {
+                    widths[c] = std::max(widths[c], row[c].size());
+                }
+            }
+        }
+        auto printRow = [&](const std::vector<std::string>& row) {
+            for (std::size_t c = 0; c < headers_.size(); ++c) {
+                std::printf("%-*s  ", static_cast<int>(widths[c]),
+                            c < row.size() ? row[c].c_str() : "");
+            }
+            std::printf("\n");
+        };
+        printRow(headers_);
+        std::size_t total = headers_.size() * 2;
+        for (std::size_t w : widths) {
+            total += w;
+        }
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto& row : rows_) {
+            printRow(row);
+        }
+        if (csv) {
+            std::printf("\n# CSV\n");
+            auto csvRow = [&](const std::vector<std::string>& row) {
+                for (std::size_t c = 0; c < headers_.size(); ++c) {
+                    std::printf("%s%s",
+                                c < row.size() ? row[c].c_str() : "",
+                                c + 1 < headers_.size() ? "," : "\n");
+                }
+            };
+            csvRow(headers_);
+            for (const auto& row : rows_) {
+                csvRow(row);
+            }
+        }
+        std::printf("\n");
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Table 1-style banner for the environment under test. */
+inline void
+printEnvBanner(const fabric::EnvConfig& cfg, int nodes)
+{
+    std::printf("Environment: %-10s  GPU: %-18s  intra: %-22s  net: %s\n",
+                cfg.name.c_str(), cfg.gpuName.c_str(),
+                cfg.intraName.c_str(), cfg.netName.c_str());
+    std::printf("Shape: %d node(s) x %d GPUs\n\n", nodes, cfg.gpusPerNode);
+}
+
+inline std::string
+fmtUs(sim::Time t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", sim::toUs(t));
+    return buf;
+}
+
+inline std::string
+fmtGBps(std::size_t bytes, sim::Time t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", sim::achievedGBps(bytes, t));
+    return buf;
+}
+
+inline std::string
+fmtRatio(double r)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", r);
+    return buf;
+}
+
+} // namespace mscclpp::bench
+
+#endif // MSCCLPP_BENCH_BENCH_UTIL_HPP

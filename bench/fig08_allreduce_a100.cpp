@@ -1,0 +1,72 @@
+/**
+ * Figure 8: AllReduce on A100-40G — 1n8g, 2n16g and 4n32g, message
+ * sizes 1 KiB to 1 GiB, comparing NCCL, MSCCL and MSCCL++. Small
+ * sizes report latency; large sizes also report algorithm bandwidth
+ * (message size / latency), matching the paper's split.
+ */
+#include "baseline/msccl.hpp"
+#include "baseline/nccl.hpp"
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace bench = mscclpp::bench;
+
+namespace {
+
+void
+runConfig(int nodes)
+{
+    fab::EnvConfig env = fab::makeA100_40G();
+    std::printf("=== AllReduce, A100-40G, %dn%dg ===\n", nodes,
+                nodes * env.gpusPerNode);
+    bench::printEnvBanner(env, nodes);
+
+    const std::size_t maxBytes = 1ull << 30;
+    gpu::Machine machine(env, nodes, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = maxBytes;
+    CollectiveComm ours(machine, opt);
+    baseline::NcclComm nccl(machine, maxBytes);
+    baseline::MscclComm msccl(machine, maxBytes);
+
+    bench::Table table({"size", "NCCL(us)", "MSCCL(us)", "MSCCL++(us)",
+                        "algo", "NCCL(GB/s)", "MSCCL++(GB/s)",
+                        "vs NCCL", "vs MSCCL"});
+    for (std::size_t bytes : {std::size_t(1) << 10, std::size_t(8) << 10,
+                              std::size_t(64) << 10,
+                              std::size_t(512) << 10, std::size_t(4) << 20,
+                              std::size_t(32) << 20,
+                              std::size_t(256) << 20, std::size_t(1) << 30}) {
+        sim::Time tNccl = nccl.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+        sim::Time tMsccl = msccl.allReduce(bytes, gpu::DataType::F16,
+                                           gpu::ReduceOp::Sum);
+        sim::Time tOurs = ours.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+        table.addRow({bench::humanBytes(bytes), bench::fmtUs(tNccl),
+                      bench::fmtUs(tMsccl), bench::fmtUs(tOurs),
+                      toString(ours.chooseAllReduce(bytes)),
+                      bench::fmtGBps(bytes, tNccl),
+                      bench::fmtGBps(bytes, tOurs),
+                      bench::fmtRatio(double(tNccl) / double(tOurs)),
+                      bench::fmtRatio(double(tMsccl) / double(tOurs))});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8 reproduction: AllReduce, A100-40G\n\n");
+    runConfig(1);
+    runConfig(2);
+    runConfig(4);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * Figure 9: AllGather on A100-40G — 1n8g, 2n16g and 4n32g, total
+ * gathered sizes 1 KiB to 1 GiB, comparing NCCL, MSCCL and MSCCL++.
+ */
+#include "baseline/msccl.hpp"
+#include "baseline/nccl.hpp"
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace bench = mscclpp::bench;
+
+namespace {
+
+void
+runConfig(int nodes)
+{
+    fab::EnvConfig env = fab::makeA100_40G();
+    const int n = nodes * env.gpusPerNode;
+    std::printf("=== AllGather, A100-40G, %dn%dg ===\n", nodes, n);
+    bench::printEnvBanner(env, nodes);
+
+    const std::size_t maxBytes = 1ull << 30;
+    gpu::Machine machine(env, nodes, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = maxBytes;
+    CollectiveComm ours(machine, opt);
+    baseline::NcclComm nccl(machine, maxBytes);
+    baseline::MscclComm msccl(machine, maxBytes);
+
+    bench::Table table({"size", "NCCL(us)", "MSCCL(us)", "MSCCL++(us)",
+                        "algo", "NCCL(GB/s)", "MSCCL++(GB/s)", "vs NCCL",
+                        "vs MSCCL"});
+    for (std::size_t bytes : {std::size_t(8) << 10, std::size_t(64) << 10,
+                              std::size_t(512) << 10, std::size_t(4) << 20,
+                              std::size_t(32) << 20,
+                              std::size_t(256) << 20,
+                              std::size_t(1) << 30}) {
+        std::size_t shard = bytes / n;
+        if (shard < 512 || shard % 16 != 0) {
+            continue;
+        }
+        sim::Time tNccl = nccl.allGather(shard);
+        sim::Time tMsccl = msccl.allGather(shard);
+        sim::Time tOurs = ours.allGather(shard);
+        table.addRow({bench::humanBytes(bytes), bench::fmtUs(tNccl),
+                      bench::fmtUs(tMsccl), bench::fmtUs(tOurs),
+                      toString(ours.chooseAllGather(shard)),
+                      bench::fmtGBps(bytes, tNccl),
+                      bench::fmtGBps(bytes, tOurs),
+                      bench::fmtRatio(double(tNccl) / double(tOurs)),
+                      bench::fmtRatio(double(tMsccl) / double(tOurs))});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 9 reproduction: AllGather, A100-40G\n\n");
+    runConfig(1);
+    runConfig(2);
+    runConfig(4);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * Figure 10: Llama2-70b decode speedup with tensor parallelism 8 on a
+ * single A100-80G node, MSCCL++ vs NCCL AllReduce inside a vLLM-style
+ * serving loop. Also reports the (much smaller) prefill gains the
+ * paper describes in Section 5.2.
+ */
+#include "bench_util.hpp"
+#include "inference/llm.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp::inference;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+namespace bench = mscclpp::bench;
+
+int
+main()
+{
+    std::printf("Figure 10 reproduction: Llama2-70b decodes, TP=8\n\n");
+    fab::EnvConfig env = fab::makeA100_80G();
+    bench::printEnvBanner(env, 1);
+    gpu::Machine machine(env, 1, gpu::DataMode::Timed);
+    InferenceSim infer(machine, InferenceConfig{});
+
+    bench::Table decode({"bsz", "seqlen", "AR bytes", "NCCL AR(us)",
+                         "MSCCL++ AR(us)", "NCCL step(ms)",
+                         "MSCCL++ step(ms)", "decode speedup"});
+    for (int bsz : {1, 4, 8, 16, 32, 64, 128}) {
+        for (int seqlen : {128, 512, 1024, 2048}) {
+            auto nccl = infer.decodeStep(bsz, seqlen, CommBackend::Nccl);
+            auto ours = infer.decodeStep(bsz, seqlen,
+                                         CommBackend::Mscclpp);
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "%.1f%%",
+                          100.0 * (double(nccl.total()) /
+                                       double(ours.total()) -
+                                   1.0));
+            char ms1[32];
+            char ms2[32];
+            std::snprintf(ms1, sizeof(ms1), "%.2f",
+                          sim::toMs(nccl.total()));
+            std::snprintf(ms2, sizeof(ms2), "%.2f",
+                          sim::toMs(ours.total()));
+            decode.addRow(
+                {std::to_string(bsz), std::to_string(seqlen),
+                 bench::humanBytes(nccl.allReduceBytes),
+                 bench::fmtUs(infer.allReduceTime(nccl.allReduceBytes,
+                                                  CommBackend::Nccl)),
+                 bench::fmtUs(infer.allReduceTime(nccl.allReduceBytes,
+                                                  CommBackend::Mscclpp)),
+                 ms1, ms2, speedup});
+        }
+    }
+    decode.print();
+
+    std::printf("Prefill (compute-dominated; Section 5.2 reports <=6%%)\n");
+    bench::Table prefill({"bsz", "seqlen", "NCCL(ms)", "MSCCL++(ms)",
+                          "prefill speedup"});
+    for (int bsz : {1, 8, 32}) {
+        for (int seqlen : {512, 2048}) {
+            auto nccl = infer.prefill(bsz, seqlen, CommBackend::Nccl);
+            auto ours = infer.prefill(bsz, seqlen, CommBackend::Mscclpp);
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "%.1f%%",
+                          100.0 * (double(nccl.total()) /
+                                       double(ours.total()) -
+                                   1.0));
+            char ms1[32];
+            char ms2[32];
+            std::snprintf(ms1, sizeof(ms1), "%.2f",
+                          sim::toMs(nccl.total()));
+            std::snprintf(ms2, sizeof(ms2), "%.2f",
+                          sim::toMs(ours.total()));
+            prefill.addRow({std::to_string(bsz), std::to_string(seqlen),
+                            ms1, ms2, speedup});
+        }
+    }
+    prefill.print();
+    return 0;
+}

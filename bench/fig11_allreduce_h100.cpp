@@ -1,0 +1,57 @@
+/**
+ * Figure 11: AllReduce on a single H100 node (8 GPUs) — NCCL (with
+ * NVLS for large messages), MSCCL and MSCCL++ (SwitchChannel 2PA).
+ */
+#include "baseline/msccl.hpp"
+#include "baseline/nccl.hpp"
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace bench = mscclpp::bench;
+
+int
+main()
+{
+    std::printf("Figure 11 reproduction: AllReduce, H100, 1n8g\n\n");
+    fab::EnvConfig env = fab::makeH100();
+    bench::printEnvBanner(env, 1);
+
+    const std::size_t maxBytes = 1ull << 30;
+    gpu::Machine machine(env, 1, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = maxBytes;
+    CollectiveComm ours(machine, opt);
+    baseline::NcclComm nccl(machine, maxBytes);
+    baseline::MscclComm msccl(machine, maxBytes);
+
+    bench::Table table({"size", "NCCL(us)", "MSCCL(us)", "MSCCL++(us)",
+                        "algo", "NCCL(GB/s)", "MSCCL++(GB/s)", "vs NCCL",
+                        "vs MSCCL"});
+    for (std::size_t bytes : {std::size_t(1) << 10, std::size_t(8) << 10,
+                              std::size_t(64) << 10,
+                              std::size_t(512) << 10, std::size_t(4) << 20,
+                              std::size_t(32) << 20,
+                              std::size_t(256) << 20,
+                              std::size_t(1) << 30}) {
+        sim::Time tNccl = nccl.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+        sim::Time tMsccl = msccl.allReduce(bytes, gpu::DataType::F16,
+                                           gpu::ReduceOp::Sum);
+        sim::Time tOurs = ours.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+        table.addRow({bench::humanBytes(bytes), bench::fmtUs(tNccl),
+                      bench::fmtUs(tMsccl), bench::fmtUs(tOurs),
+                      toString(ours.chooseAllReduce(bytes)),
+                      bench::fmtGBps(bytes, tNccl),
+                      bench::fmtGBps(bytes, tOurs),
+                      bench::fmtRatio(double(tNccl) / double(tOurs)),
+                      bench::fmtRatio(double(tMsccl) / double(tOurs))});
+    }
+    table.print();
+    return 0;
+}

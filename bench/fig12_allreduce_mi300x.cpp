@@ -1,0 +1,59 @@
+/**
+ * Figure 12: AllReduce on a single AMD MI300x node (8 GPUs, Infinity
+ * Fabric mesh) — RCCL (the NCCL model with ROCm/mesh parameters),
+ * MSCCL and MSCCL++. The MSCCL++ all-pairs algorithms copy to all
+ * peers concurrently to use every mesh link (Section 5.3).
+ */
+#include "baseline/msccl.hpp"
+#include "baseline/nccl.hpp"
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace bench = mscclpp::bench;
+
+int
+main()
+{
+    std::printf("Figure 12 reproduction: AllReduce, MI300x, 1n8g\n\n");
+    fab::EnvConfig env = fab::makeMI300x();
+    bench::printEnvBanner(env, 1);
+
+    const std::size_t maxBytes = 1ull << 30;
+    gpu::Machine machine(env, 1, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = maxBytes;
+    CollectiveComm ours(machine, opt);
+    baseline::NcclComm rccl(machine, maxBytes);
+    baseline::MscclComm msccl(machine, maxBytes);
+
+    bench::Table table({"size", "RCCL(us)", "MSCCL(us)", "MSCCL++(us)",
+                        "algo", "RCCL(GB/s)", "MSCCL++(GB/s)", "vs RCCL",
+                        "vs MSCCL"});
+    for (std::size_t bytes : {std::size_t(1) << 10, std::size_t(8) << 10,
+                              std::size_t(64) << 10,
+                              std::size_t(512) << 10, std::size_t(4) << 20,
+                              std::size_t(32) << 20,
+                              std::size_t(256) << 20,
+                              std::size_t(1) << 30}) {
+        sim::Time tRccl = rccl.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+        sim::Time tMsccl = msccl.allReduce(bytes, gpu::DataType::F16,
+                                           gpu::ReduceOp::Sum);
+        sim::Time tOurs = ours.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+        table.addRow({bench::humanBytes(bytes), bench::fmtUs(tRccl),
+                      bench::fmtUs(tMsccl), bench::fmtUs(tOurs),
+                      toString(ours.chooseAllReduce(bytes)),
+                      bench::fmtGBps(bytes, tRccl),
+                      bench::fmtGBps(bytes, tOurs),
+                      bench::fmtRatio(double(tRccl) / double(tOurs)),
+                      bench::fmtRatio(double(tMsccl) / double(tOurs))});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * Micro-benchmarks of the MSCCL++ primitives (google-benchmark). Each
+ * benchmark runs the primitive in the simulator and reports the
+ * *simulated* cost as the `sim_us` counter — wall-clock time here
+ * measures only the simulator itself.
+ */
+#include "channel/channel_mesh.hpp"
+#include "channel/device_syncer.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "gpu/compute.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+
+namespace {
+
+/** One machine + mesh reused per benchmark run. */
+struct Fixture
+{
+    explicit Fixture(std::size_t bytes, Protocol proto = Protocol::HB,
+                     Transport transport = Transport::Memory)
+        : machine(fab::makeA100_40G(), 1, gpu::DataMode::Timed)
+    {
+        auto boots = createInProcessBootstrap(machine.numGpus());
+        for (int r = 0; r < machine.numGpus(); ++r) {
+            comms.push_back(
+                std::make_unique<Communicator>(boots[r], machine));
+            bufs.push_back(machine.gpu(r).alloc(bytes));
+        }
+        std::vector<Communicator*> cp;
+        for (auto& c : comms) {
+            cp.push_back(c.get());
+        }
+        MeshOptions opt;
+        opt.protocol = proto;
+        opt.transport = transport;
+        mesh.emplace(ChannelMesh::build(cp, bufs, bufs, opt));
+    }
+
+    sim::Time run(const std::function<sim::Task<>(gpu::BlockCtx&)>& fn)
+    {
+        sim::Time t0 = machine.scheduler().now();
+        gpu::LaunchConfig cfg;
+        cfg.graph = true;
+        sim::detach(machine.scheduler(),
+                    gpu::launchKernel(machine.gpu(0), cfg, fn));
+        machine.run();
+        return machine.scheduler().now() - t0;
+    }
+
+    gpu::Machine machine;
+    std::vector<std::unique_ptr<Communicator>> comms;
+    std::vector<gpu::DeviceBuffer> bufs;
+    std::optional<ChannelMesh> mesh;
+};
+
+void
+BM_MemoryChannelPut(benchmark::State& state)
+{
+    const std::size_t bytes = state.range(0);
+    Fixture f(std::max<std::size_t>(bytes, 4096));
+    sim::Time total = 0;
+    std::int64_t iters = 0;
+    for (auto _ : state) {
+        total += f.run([&](gpu::BlockCtx& ctx) -> sim::Task<> {
+            co_await f.mesh->mem(0, 1).put(ctx, 0, 0, bytes);
+        });
+        ++iters;
+    }
+    state.counters["sim_us"] =
+        benchmark::Counter(sim::toUs(total) / iters);
+}
+
+void
+BM_MemoryChannelPutWithSignal(benchmark::State& state)
+{
+    const std::size_t bytes = state.range(0);
+    Fixture f(std::max<std::size_t>(bytes, 4096));
+    sim::Time total = 0;
+    std::int64_t iters = 0;
+    for (auto _ : state) {
+        total += f.run([&](gpu::BlockCtx& ctx) -> sim::Task<> {
+            co_await f.mesh->mem(0, 1).putWithSignal(ctx, 0, 0, bytes);
+        });
+        ++iters;
+    }
+    state.counters["sim_us"] =
+        benchmark::Counter(sim::toUs(total) / iters);
+}
+
+void
+BM_LlPutPackets(benchmark::State& state)
+{
+    const std::size_t bytes = state.range(0);
+    Fixture f(std::max<std::size_t>(bytes, 4096), Protocol::LL);
+    sim::Time total = 0;
+    std::int64_t iters = 0;
+    for (auto _ : state) {
+        total += f.run([&](gpu::BlockCtx& ctx) -> sim::Task<> {
+            co_await f.mesh->mem(0, 1).putPackets(ctx, 0, 0, bytes);
+        });
+        ++iters;
+    }
+    state.counters["sim_us"] =
+        benchmark::Counter(sim::toUs(total) / iters);
+}
+
+void
+BM_PortChannelPutFlush(benchmark::State& state)
+{
+    const std::size_t bytes = state.range(0);
+    Fixture f(std::max<std::size_t>(bytes, 4096), Protocol::HB,
+              Transport::Port);
+    sim::Time total = 0;
+    std::int64_t iters = 0;
+    for (auto _ : state) {
+        total += f.run([&](gpu::BlockCtx& ctx) -> sim::Task<> {
+            co_await f.mesh->port(0, 1).put(ctx, 0, 0, bytes);
+            co_await f.mesh->port(0, 1).flush(ctx);
+        });
+        ++iters;
+    }
+    state.counters["sim_us"] =
+        benchmark::Counter(sim::toUs(total) / iters);
+    f.mesh->shutdown();
+    f.machine.run();
+}
+
+void
+BM_DeviceBarrier(benchmark::State& state)
+{
+    Fixture f(4096);
+    std::vector<int> ranks(8);
+    for (int r = 0; r < 8; ++r) {
+        ranks[r] = r;
+    }
+    DeviceSyncer syncer(f.machine, ranks);
+    sim::Time total = 0;
+    std::int64_t iters = 0;
+    for (auto _ : state) {
+        sim::Time t0 = f.machine.scheduler().now();
+        for (int r = 0; r < 8; ++r) {
+            gpu::LaunchConfig cfg;
+            sim::detach(
+                f.machine.scheduler(),
+                gpu::launchKernel(f.machine.gpu(r), cfg,
+                                  [&syncer, r](gpu::BlockCtx& ctx)
+                                      -> sim::Task<> {
+                                      co_await syncer.barrier(ctx, r);
+                                  }));
+        }
+        f.machine.run();
+        total += f.machine.scheduler().now() - t0;
+        ++iters;
+    }
+    state.counters["sim_us"] =
+        benchmark::Counter(sim::toUs(total) / iters);
+}
+
+} // namespace
+
+BENCHMARK(BM_MemoryChannelPut)->Arg(1 << 10)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK(BM_MemoryChannelPutWithSignal)->Arg(1 << 10)->Arg(1 << 20);
+BENCHMARK(BM_LlPutPackets)->Arg(1 << 10)->Arg(64 << 10);
+BENCHMARK(BM_PortChannelPutFlush)->Arg(1 << 10)->Arg(1 << 20);
+BENCHMARK(BM_DeviceBarrier);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * Portability (Section 4.5): the same collective code runs unchanged
+ * on every Table 1 environment — A100, H100 (where Auto picks the
+ * NVLS SwitchChannel) and MI300x (where the all-pairs kernels exploit
+ * the Infinity Fabric mesh). Only the EnvConfig changes.
+ */
+#include "collective/api.hpp"
+#include "gpu/compute.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+
+int
+main()
+{
+    const std::size_t bytes = 32 << 20;
+    std::printf("Same AllReduce call on every Table 1 environment "
+                "(%zu MiB, fp16):\n\n",
+                bytes >> 20);
+    std::printf("%-10s %-22s %-12s %10s %14s\n", "env", "intra-node",
+                "algo (Auto)", "time(us)", "algBW(GB/s)");
+    for (const char* name : {"A100-40G", "A100-80G", "H100", "MI300x"}) {
+        gpu::Machine machine(fab::makeEnv(name), 1,
+                             gpu::DataMode::Functional);
+        CollectiveComm::Options opt;
+        opt.maxBytes = bytes;
+        CollectiveComm comm(machine, opt);
+        for (int r = 0; r < machine.numGpus(); ++r) {
+            gpu::fillPattern(comm.dataBuffer(r), gpu::DataType::F16, r);
+        }
+        // The portable line: identical on every machine.
+        sim::Time t = comm.allReduce(bytes, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum);
+        // Check one element to show the data really was reduced.
+        float expected = 0.0f;
+        for (int r = 0; r < machine.numGpus(); ++r) {
+            expected += gpu::patternValue(gpu::DataType::F16, r, 17);
+        }
+        bool ok = gpu::readElement(comm.dataBuffer(3), gpu::DataType::F16,
+                                   17) == expected;
+        std::printf("%-10s %-22s %-12s %10.1f %14.1f   %s\n", name,
+                    machine.config().intraName.c_str(),
+                    toString(comm.chooseAllReduce(bytes)), sim::toUs(t),
+                    sim::achievedGBps(bytes, t),
+                    ok ? "(verified)" : "(MISMATCH!)");
+    }
+    std::printf("\nNo algorithm code changed between rows — the channel "
+                "abstractions absorb the hardware differences.\n");
+    return 0;
+}

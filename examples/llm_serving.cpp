@@ -1,0 +1,60 @@
+/**
+ * LLM serving scenario (Section 5.2): Llama2-70b with tensor
+ * parallelism 8 on an A100-80G node. Swapping the AllReduce backend
+ * from NCCL to MSCCL++ — without touching the model — speeds up
+ * decode steps, which dominate production traces.
+ */
+#include "inference/llm.hpp"
+
+#include <cstdio>
+
+using namespace mscclpp::inference;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+
+int
+main()
+{
+    gpu::Machine machine(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim server(machine, InferenceConfig{});
+    const TransformerConfig& model = server.config().model;
+    std::printf("Serving %s (%.1fB params, %d layers) with TP=%d on "
+                "8x%s\n\n",
+                model.name.c_str(), model.totalParams() / 1e9,
+                model.layers, server.config().tensorParallel,
+                machine.config().gpuName.c_str());
+
+    // A request: 512-token prompt, 128 generated tokens, batch of 16.
+    const int batch = 16;
+    const int promptLen = 512;
+    const int genTokens = 128;
+
+    for (CommBackend backend : {CommBackend::Nccl, CommBackend::Mscclpp}) {
+        auto pre = server.prefill(batch, promptLen, backend);
+        sim::Time decodeTotal = 0;
+        for (int t = 0; t < genTokens; ++t) {
+            auto step = server.decodeStep(batch, promptLen + t, backend);
+            decodeTotal += step.total();
+        }
+        double tokensPerSec =
+            batch * genTokens / sim::toSec(decodeTotal);
+        std::printf("%-8s prefill %7.2fms   decode %8.2fms "
+                    "(%6.1f tok/s)   AllReduce/step: %d x %s in %.1fus\n",
+                    toString(backend), sim::toMs(pre.total()),
+                    sim::toMs(decodeTotal), tokensPerSec,
+                    server.decodeStep(batch, promptLen, backend)
+                        .allReduceCalls,
+                    "bsz*hidden*fp16",
+                    sim::toUs(server.allReduceTime(
+                        std::size_t(batch) * model.hidden * 2, backend)));
+    }
+
+    auto nccl = server.decodeStep(batch, promptLen, CommBackend::Nccl);
+    auto ours = server.decodeStep(batch, promptLen, CommBackend::Mscclpp);
+    std::printf("\nDecode speedup from swapping the collective library: "
+                "%.1f%% (comm share with NCCL: %.1f%%)\n",
+                100.0 * (double(nccl.total()) / ours.total() - 1.0),
+                100.0 * double(nccl.comm) / nccl.total());
+    return 0;
+}

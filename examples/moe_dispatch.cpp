@@ -1,0 +1,90 @@
+/**
+ * Mixture-of-Experts dispatch (the Tutel-style workload the paper's
+ * introduction motivates): each GPU routes a different number of
+ * tokens to each expert, so the communication is a *variable*
+ * AllToAll. MSCCL++'s allToAllV runs the skewed exchange directly;
+ * the fixed-size alternative must pad every block to the maximum.
+ */
+#include "collective/api.hpp"
+#include "gpu/compute.hpp"
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+
+int
+main()
+{
+    gpu::Machine machine(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 256 << 20;
+    CollectiveComm comm(machine, opt);
+    const int experts = machine.numGpus(); // one expert per GPU
+
+    // Token routing: 4096 tokens/GPU, hidden 4096, fp16 — a skewed
+    // softmax-style distribution over experts.
+    const std::size_t tokenBytes = 4096 * 2;
+    // Each GPU's tokens overwhelmingly prefer one expert (locality
+    // after routing), with a thin tail to everyone else — the classic
+    // gate distribution that makes padded AllToAll wasteful.
+    std::mt19937 rng(7);
+    std::vector<std::vector<std::size_t>> sendBytes(
+        experts, std::vector<std::size_t>(experts, 0));
+    std::vector<int> tokensToExpert(experts, 0);
+    for (int r = 0; r < experts; ++r) {
+        int favourite = (r + 3) % experts;
+        int remaining = 4096;
+        for (int e = 0; e < experts; ++e) {
+            int share;
+            if (e == favourite) {
+                continue; // assigned last
+            }
+            share = std::min(remaining, int(rng() % 64));
+            sendBytes[r][e] = std::size_t(share) * tokenBytes;
+            tokensToExpert[e] += share;
+            remaining -= share;
+        }
+        sendBytes[r][favourite] = std::size_t(remaining) * tokenBytes;
+        tokensToExpert[favourite] += remaining;
+    }
+
+    std::printf("MoE dispatch on %d GPUs (1 expert each), 4096 tokens "
+                "per GPU, hidden=4096 fp16\n\nTokens per expert:",
+                experts);
+    std::size_t maxBlock = 0;
+    for (int e = 0; e < experts; ++e) {
+        std::printf(" %d", tokensToExpert[e]);
+        for (int r = 0; r < experts; ++r) {
+            maxBlock = std::max(maxBlock, sendBytes[r][e]);
+        }
+    }
+    std::printf("  (balanced totals, skewed pairs)\n\n");
+
+    // Variable dispatch with allToAllV.
+    sim::Time tVar = comm.allToAllV(sendBytes);
+
+    // Fixed-size alternative: pad every block to the maximum.
+    sim::Time tPad = comm.allToAll(maxBlock);
+
+    std::size_t realBytes = 0;
+    for (const auto& row : sendBytes) {
+        for (std::size_t b : row) {
+            realBytes += b;
+        }
+    }
+    std::printf("allToAllV (exact routing):   %8.1f us  (%.1f MB moved)\n",
+                sim::toUs(tVar), realBytes / 1e6);
+    std::printf("allToAll  (padded to max):   %8.1f us  (%.1f MB moved)\n",
+                sim::toUs(tPad),
+                double(maxBlock) * experts * experts / 1e6);
+    std::printf("\nVariable dispatch is %.2fx faster on this routing — "
+                "the flexibility custom MoE stacks rebuild from scratch, "
+                "available here as one library call.\n",
+                double(tPad) / double(tVar));
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * The MSCCL++ Collective API as a drop-in NCCL replacement (Section
+ * 3.1): this file is written against the NCCL API surface —
+ * ncclCommInitRank, ncclAllReduce, ncclAllGather — and runs unchanged
+ * on MSCCL++'s reimplementation. The only simulation-specific line is
+ * mscclppNcclBindMachine() (the real library discovers GPUs via CUDA).
+ */
+#include "collective/nccl_compat.hpp"
+#include "fabric/env.hpp"
+
+#include <cstdio>
+#include <vector>
+
+using namespace mscclpp::compat;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+
+#define NCCL_CHECK(cmd)                                                     \
+    do {                                                                    \
+        ncclResult_t res = (cmd);                                           \
+        if (res != ncclSuccess) {                                           \
+            std::fprintf(stderr, "NCCL error %s at %s:%d\n",                \
+                         ncclGetErrorString(res), __FILE__, __LINE__);      \
+            return 1;                                                       \
+        }                                                                   \
+    } while (0)
+
+int
+main()
+{
+    gpu::Machine machine(fab::makeA100_40G(), 1);
+    mscclppNcclBindMachine(machine, 8 << 20);
+
+    const int nDev = machine.numGpus();
+    std::printf("NCCL-style application on %d GPUs via the MSCCL++ "
+                "Collective API\n\n",
+                nDev);
+
+    // --- verbatim NCCL bootstrap -----------------------------------------
+    ncclUniqueId id;
+    NCCL_CHECK(ncclGetUniqueId(&id));
+    std::vector<ncclComm_t> comms(nDev);
+    for (int r = 0; r < nDev; ++r) {
+        NCCL_CHECK(ncclCommInitRank(&comms[r], nDev, id, r));
+    }
+
+    // --- gradient AllReduce, the training inner loop ----------------------
+    const std::size_t count = 1 << 20; // 4 MB of fp32 gradients
+    std::vector<std::vector<float>> grads(nDev);
+    for (int r = 0; r < nDev; ++r) {
+        grads[r].assign(count, 1.0f / nDev);
+    }
+    for (int r = 0; r < nDev; ++r) {
+        NCCL_CHECK(ncclAllReduce(grads[r].data(), grads[r].data(), count,
+                                 ncclFloat32, ncclSum, comms[r], 0));
+    }
+    for (int r = 0; r < nDev; ++r) {
+        NCCL_CHECK(mscclppNcclStreamSynchronize(comms[r], 0));
+    }
+    std::printf("AllReduce(4 MiB fp32): grads[5][123] = %.3f (expect "
+                "1.000)\n",
+                grads[5][123]);
+
+    // --- activation AllGather ---------------------------------------------
+    const std::size_t shard = 32 << 10;
+    std::vector<std::vector<float>> act(nDev), full(nDev);
+    for (int r = 0; r < nDev; ++r) {
+        act[r].assign(shard, float(r));
+        full[r].assign(shard * nDev, -1.0f);
+    }
+    for (int r = 0; r < nDev; ++r) {
+        NCCL_CHECK(ncclAllGather(act[r].data(), full[r].data(), shard,
+                                 ncclFloat32, comms[r], 0));
+    }
+    std::printf("AllGather(32K elems/rank): full[0] holds shards "
+                "[0..%d]; full[2][%zu] = %.0f (expect 6)\n",
+                nDev - 1, 6 * shard, full[2][6 * shard]);
+
+    std::printf("\nSimulated communication time so far: %s\n",
+                sim::formatTime(mscclppNcclElapsed(comms[0])).c_str());
+
+    for (int r = 0; r < nDev; ++r) {
+        NCCL_CHECK(ncclCommDestroy(comms[r]));
+    }
+    mscclppNcclReset();
+    std::printf("Done — zero NCCL-specific lines changed.\n");
+    return 0;
+}

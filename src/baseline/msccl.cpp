@@ -1,0 +1,555 @@
+#include "baseline/msccl.hpp"
+
+#include "core/errors.hpp"
+#include "gpu/kernel.hpp"
+
+#include <algorithm>
+
+namespace mscclpp::baseline {
+
+const char*
+toString(MscclAlgo a)
+{
+    switch (a) {
+      case MscclAlgo::Auto:
+        return "auto";
+      case MscclAlgo::AllPairs1P:
+        return "1PA";
+      case MscclAlgo::AllPairs2P:
+        return "2PA";
+      case MscclAlgo::Hier2PLL:
+        return "2PH-LL";
+      case MscclAlgo::Hier2PHB:
+        return "2PH-HB";
+      case MscclAlgo::Ring:
+        return "ring";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Stage tags keep concurrent pipeline stages on distinct channels. */
+enum StageTag
+{
+    kTagLocalRs = 0,
+    kTagCross = 1,
+    kTagCrossAg = 2,
+    kTagLocalAg = 3,
+};
+
+} // namespace
+
+MscclComm::MscclComm(gpu::Machine& machine, std::size_t maxBytes)
+    : machine_(&machine), maxBytes_(maxBytes)
+{
+    n_ = machine.numGpus();
+    gpn_ = machine.config().gpusPerNode;
+    nodes_ = machine.numNodes();
+    if (n_ < 2) {
+        throw Error(ErrorCode::InvalidUsage, "need at least two GPUs");
+    }
+    for (int r = 0; r < n_; ++r) {
+        data_.push_back(machine.gpu(r).alloc(maxBytes));
+        scratch_.push_back(machine.gpu(r).alloc(2 * maxBytes + 65536));
+    }
+    mesh_ = std::make_unique<TwoSidedMesh>(machine);
+}
+
+sim::Delay
+MscclComm::instr(gpu::BlockCtx& ctx) const
+{
+    return sim::Delay(ctx.scheduler(),
+                      machine_->config().mscclInstrOverhead);
+}
+
+sim::Task<>
+MscclComm::slowBarrier(gpu::BlockCtx& ctx,
+                       std::shared_ptr<sim::SimBarrier> bar) const
+{
+    const fabric::EnvConfig& cfg = machine_->config();
+    co_await sim::Delay(ctx.scheduler(),
+                        cfg.threadFence + cfg.atomicAddLatency);
+    co_await bar->arriveAndWait();
+    co_await sim::Delay(ctx.scheduler(),
+                        cfg.atomicAddLatency + cfg.semaphorePoll);
+}
+
+NcclProto
+MscclComm::protoFor(std::size_t bytes) const
+{
+    if (bytes <= (64 << 10)) {
+        return NcclProto::LL;
+    }
+    if (bytes <= (4 << 20) && machine_->config().ll128Supported) {
+        return NcclProto::LL128;
+    }
+    return NcclProto::Simple;
+}
+
+MscclAlgo
+MscclComm::chooseAllReduce(std::size_t bytes) const
+{
+    if (nodes_ > 1) {
+        return bytes <= (1 << 20) ? MscclAlgo::Hier2PLL
+                                  : MscclAlgo::Hier2PHB;
+    }
+    return bytes <= (32 << 10) ? MscclAlgo::AllPairs1P
+                               : MscclAlgo::AllPairs2P;
+}
+
+MscclAlgo
+MscclComm::chooseAllGather(std::size_t) const
+{
+    return nodes_ > 1 ? MscclAlgo::Hier2PHB : MscclAlgo::AllPairs2P;
+}
+
+sim::Time
+MscclComm::allReduce(std::size_t bytes, gpu::DataType type,
+                     gpu::ReduceOp op, MscclAlgo algo)
+{
+    if (bytes == 0 || bytes > maxBytes_) {
+        throw Error(ErrorCode::InvalidUsage, "allReduce size out of range");
+    }
+    if (algo == MscclAlgo::Auto) {
+        algo = chooseAllReduce(bytes);
+    }
+    switch (algo) {
+      case MscclAlgo::AllPairs1P:
+        return allPairs1P(bytes, type, op);
+      case MscclAlgo::AllPairs2P:
+        return allPairs2P(bytes, type, op);
+      case MscclAlgo::Hier2PLL:
+        return hier2P(bytes, type, op, /*ll=*/true);
+      case MscclAlgo::Hier2PHB:
+        return hier2P(bytes, type, op, /*ll=*/false);
+      default:
+        throw Error(ErrorCode::InvalidUsage,
+                    "algorithm not applicable to AllReduce");
+    }
+}
+
+sim::Time
+MscclComm::allPairs1P(std::size_t bytes, gpu::DataType type,
+                      gpu::ReduceOp op)
+{
+    if (nodes_ > 1) {
+        throw Error(ErrorCode::InvalidUsage, "1PA is single-node");
+    }
+    NcclProto proto = protoFor(bytes);
+    auto barrier =
+        std::make_shared<sim::SimBarrier>(machine_->scheduler(), n_);
+    auto fn = [&, bytes, proto, barrier](gpu::BlockCtx& ctx,
+                                         int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n_;
+        TwoSidedChannel& out = mesh_->channel(rank, peer, proto);
+        TwoSidedChannel& in = mesh_->channel(peer, rank, proto);
+        const std::size_t w = out.windowBytes();
+        for (std::size_t off = 0; off < bytes; off += w) {
+            std::size_t len = std::min(w, bytes - off);
+            co_await instr(ctx);
+            co_await out.send(ctx, data_[rank].view(off, len), len);
+            co_await instr(ctx);
+            co_await in.recv(ctx, data_[rank].view(off, len), len,
+                             /*reduceInto=*/true, type, op);
+        }
+        co_await ctx.gridBarrier();
+        // Self-synchronous primitives cannot rotate buffers: a full
+        // cross-GPU barrier guards the next invocation (Section 2.2.2).
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = n_ - 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+MscclComm::allPairs2P(std::size_t bytes, gpu::DataType type,
+                      gpu::ReduceOp op)
+{
+    if (nodes_ > 1) {
+        throw Error(ErrorCode::InvalidUsage, "2PA is single-node");
+    }
+    if (bytes % (static_cast<std::size_t>(n_) * 16) != 0) {
+        throw Error(ErrorCode::InvalidUsage, "2PA size must shard evenly");
+    }
+    const std::size_t shard = bytes / n_;
+    NcclProto proto = protoFor(bytes);
+    auto barrier =
+        std::make_shared<sim::SimBarrier>(machine_->scheduler(), n_);
+    auto fn = [&, shard, proto, barrier](gpu::BlockCtx& ctx,
+                                         int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n_;
+        TwoSidedChannel& out = mesh_->channel(rank, peer, proto);
+        TwoSidedChannel& in = mesh_->channel(peer, rank, proto);
+        const std::size_t w = out.windowBytes();
+        // Phase 1: all-pairs ReduceScatter, window-interleaved so the
+        // staged slots recycle (NCCL kernels chunk the same way).
+        for (std::size_t off = 0; off < shard; off += w) {
+            std::size_t len = std::min(w, shard - off);
+            co_await instr(ctx);
+            co_await out.send(
+                ctx, data_[rank].view(peer * shard + off, len), len);
+            co_await instr(ctx);
+            co_await in.recv(ctx,
+                             data_[rank].view(rank * shard + off, len),
+                             len, true, type, op);
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+        // Phase 2: all-pairs AllGather.
+        for (std::size_t off = 0; off < shard; off += w) {
+            std::size_t len = std::min(w, shard - off);
+            co_await instr(ctx);
+            co_await out.send(
+                ctx, data_[rank].view(rank * shard + off, len), len);
+            co_await instr(ctx);
+            co_await in.recv(ctx,
+                             data_[rank].view(peer * shard + off, len),
+                             len, false, type, op);
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = n_ - 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+MscclComm::hier2P(std::size_t bytes, gpu::DataType type, gpu::ReduceOp op,
+                  bool ll)
+{
+    if (nodes_ < 2) {
+        throw Error(ErrorCode::InvalidUsage, "2PH is multi-node");
+    }
+    const int g = gpn_;
+    const int m = nodes_;
+    const std::size_t chunk = ll ? bytes / g : bytes / n_;
+    if (chunk == 0 || bytes % static_cast<std::size_t>(ll ? g : n_) != 0 ||
+        chunk % 16 != 0) {
+        throw Error(ErrorCode::InvalidUsage, "2PH size must chunk evenly");
+    }
+    int kDepth = ll ? 1 : 4;
+    while (kDepth > 1 &&
+           (chunk % static_cast<std::size_t>(kDepth) != 0 ||
+            chunk / static_cast<std::size_t>(kDepth) < 4096)) {
+        kDepth >>= 1;
+    }
+    const std::size_t sub = chunk / kDepth;
+    NcclProto localProto = ll ? NcclProto::LL : protoFor(bytes);
+    NcclProto netProto = ll ? NcclProto::LL : NcclProto::Simple;
+
+    std::vector<std::unique_ptr<sim::SimSemaphore>> aDone;
+    std::vector<std::unique_ptr<sim::SimSemaphore>> bDone;
+    for (int r = 0; r < n_; ++r) {
+        aDone.push_back(
+            std::make_unique<sim::SimSemaphore>(machine_->scheduler()));
+        bDone.push_back(
+            std::make_unique<sim::SimSemaphore>(machine_->scheduler()));
+    }
+    auto barrier =
+        std::make_shared<sim::SimBarrier>(machine_->scheduler(), n_);
+
+    // Chunk offset helpers (LL: chunk per local index; HB: chunk per
+    // rank).
+    auto chunkOff = [=](int nodeIdx, int localIdx) {
+        return ll ? static_cast<std::size_t>(localIdx) * chunk
+                  : (static_cast<std::size_t>(nodeIdx) * g + localIdx) *
+                        chunk;
+    };
+
+    auto fn = [&, chunk, sub, kDepth, localProto, netProto, ll,
+               barrier](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        const int node = rank / g;
+        const int local = rank % g;
+        const int chunksPerCol = ll ? 1 : m;
+        const std::size_t w = machine_->config().ncclSlotBytes;
+
+        if (ctx.blockIdx() == 0) {
+            // Stage A: node-local ReduceScatter, window-interleaved.
+            for (int k = 0; k < kDepth; ++k) {
+                for (std::size_t off = 0; off < sub; off += w) {
+                    std::size_t len = std::min(w, sub - off);
+                    for (int dl = 1; dl < g; ++dl) {
+                        int pl = (local + dl) % g;
+                        int q = node * g + pl;
+                        for (int cc = 0; cc < chunksPerCol; ++cc) {
+                            std::size_t src =
+                                chunkOff(cc, pl) +
+                                static_cast<std::size_t>(k) * sub + off;
+                            co_await instr(ctx);
+                            co_await mesh_
+                                ->channel(rank, q, localProto, kTagLocalRs)
+                                .send(ctx, data_[rank].view(src, len),
+                                      len);
+                        }
+                    }
+                    for (int dl = 1; dl < g; ++dl) {
+                        int q = node * g + (local + dl) % g;
+                        for (int cc = 0; cc < chunksPerCol; ++cc) {
+                            std::size_t dst =
+                                chunkOff(cc, local) +
+                                static_cast<std::size_t>(k) * sub + off;
+                            co_await instr(ctx);
+                            co_await mesh_
+                                ->channel(q, rank, localProto, kTagLocalRs)
+                                .recv(ctx, data_[rank].view(dst, len),
+                                      len, true, type, op);
+                        }
+                    }
+                }
+                aDone[rank]->add(1);
+            }
+        } else if (ctx.blockIdx() == 1) {
+            // Stage B: cross-node ReduceScatter (+ AllGather for HB).
+            for (int k = 0; k < kDepth; ++k) {
+                co_await aDone[rank]->waitUntil(k + 1);
+                for (std::size_t off = 0; off < sub; off += w) {
+                    std::size_t len = std::min(w, sub - off);
+                    for (int dn = 1; dn < m; ++dn) {
+                        int pn = (node + dn) % m;
+                        int q = pn * g + local;
+                        std::size_t src =
+                            (ll ? chunkOff(0, local) : chunkOff(pn, local)) +
+                            static_cast<std::size_t>(k) * sub + off;
+                        co_await instr(ctx);
+                        co_await mesh_->channel(rank, q, netProto, kTagCross)
+                            .send(ctx, data_[rank].view(src, len), len);
+                    }
+                    std::size_t mine =
+                        (ll ? chunkOff(0, local) : chunkOff(node, local)) +
+                        static_cast<std::size_t>(k) * sub + off;
+                    for (int dn = 1; dn < m; ++dn) {
+                        int q = ((node + dn) % m) * g + local;
+                        co_await instr(ctx);
+                        co_await mesh_->channel(q, rank, netProto, kTagCross)
+                            .recv(ctx, data_[rank].view(mine, len), len,
+                                  true, type, op);
+                    }
+                    if (!ll) {
+                        for (int dn = 1; dn < m; ++dn) {
+                            int q = ((node + dn) % m) * g + local;
+                            co_await instr(ctx);
+                            co_await mesh_
+                                ->channel(rank, q, netProto, kTagCrossAg)
+                                .send(ctx, data_[rank].view(mine, len),
+                                      len);
+                        }
+                        for (int dn = 1; dn < m; ++dn) {
+                            int pn = (node + dn) % m;
+                            int q = pn * g + local;
+                            std::size_t dst =
+                                chunkOff(pn, local) +
+                                static_cast<std::size_t>(k) * sub + off;
+                            co_await instr(ctx);
+                            co_await mesh_
+                                ->channel(q, rank, netProto, kTagCrossAg)
+                                .recv(ctx, data_[rank].view(dst, len),
+                                      len, false, type, op);
+                        }
+                    }
+                }
+                bDone[rank]->add(1);
+            }
+        } else if (ctx.blockIdx() == 2) {
+            // Stage C: node-local AllGather of finished chunks.
+            for (int k = 0; k < kDepth; ++k) {
+                co_await bDone[rank]->waitUntil(k + 1);
+                for (std::size_t off = 0; off < sub; off += w) {
+                    std::size_t len = std::min(w, sub - off);
+                    for (int dl = 1; dl < g; ++dl) {
+                        int q = node * g + (local + dl) % g;
+                        for (int cc = 0; cc < chunksPerCol; ++cc) {
+                            std::size_t src =
+                                chunkOff(cc, local) +
+                                static_cast<std::size_t>(k) * sub + off;
+                            co_await instr(ctx);
+                            co_await mesh_
+                                ->channel(rank, q, localProto, kTagLocalAg)
+                                .send(ctx, data_[rank].view(src, len),
+                                      len);
+                        }
+                    }
+                    for (int dl = 1; dl < g; ++dl) {
+                        int pl = (local + dl) % g;
+                        int q = node * g + pl;
+                        for (int cc = 0; cc < chunksPerCol; ++cc) {
+                            std::size_t dst =
+                                chunkOff(cc, pl) +
+                                static_cast<std::size_t>(k) * sub + off;
+                            co_await instr(ctx);
+                            co_await mesh_
+                                ->channel(q, rank, localProto, kTagLocalAg)
+                                .recv(ctx, data_[rank].view(dst, len),
+                                      len, false, type, op);
+                        }
+                    }
+                }
+            }
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 3;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+MscclComm::allGather(std::size_t shard, MscclAlgo algo)
+{
+    const std::size_t total = shard * static_cast<std::size_t>(n_);
+    if (shard == 0 || total > maxBytes_) {
+        throw Error(ErrorCode::InvalidUsage, "allGather size out of range");
+    }
+    if (algo == MscclAlgo::Auto) {
+        algo = chooseAllGather(shard);
+    }
+    if (nodes_ > 1) {
+        return hierAG(shard);
+    }
+    return allPairsAG(shard);
+}
+
+sim::Time
+MscclComm::allPairsAG(std::size_t shard)
+{
+    NcclProto proto = protoFor(shard * n_);
+    auto barrier =
+        std::make_shared<sim::SimBarrier>(machine_->scheduler(), n_);
+    auto fn = [&, shard, proto, barrier](gpu::BlockCtx& ctx,
+                                         int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n_;
+        TwoSidedChannel& out = mesh_->channel(rank, peer, proto);
+        TwoSidedChannel& in = mesh_->channel(peer, rank, proto);
+        const std::size_t w = out.windowBytes();
+        for (std::size_t off = 0; off < shard; off += w) {
+            std::size_t len = std::min(w, shard - off);
+            co_await instr(ctx);
+            co_await out.send(
+                ctx, data_[rank].view(rank * shard + off, len), len);
+            co_await instr(ctx);
+            co_await in.recv(ctx,
+                             data_[rank].view(peer * shard + off, len),
+                             len, false, gpu::DataType::F32,
+                             gpu::ReduceOp::Sum);
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = n_ - 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+MscclComm::hierAG(std::size_t shard)
+{
+    const int g = gpn_;
+    const int m = nodes_;
+    NcclProto localProto = protoFor(shard * g);
+    auto barrier =
+        std::make_shared<sim::SimBarrier>(machine_->scheduler(), n_);
+    auto fn = [&, shard, localProto, barrier](gpu::BlockCtx& ctx,
+                                              int rank) -> sim::Task<> {
+        const int node = rank / g;
+        const int local = rank % g;
+        if (ctx.blockIdx() == 0) {
+            // Phase 1: cross-node exchange of my shard.
+            std::size_t w = machine_->config().ncclSlotBytes;
+            for (std::size_t off = 0; off < shard; off += w) {
+                std::size_t len = std::min(w, shard - off);
+                for (int dn = 1; dn < m; ++dn) {
+                    int q = ((node + dn) % m) * g + local;
+                    co_await instr(ctx);
+                    co_await mesh_
+                        ->channel(rank, q, NcclProto::Simple, kTagCross)
+                        .send(ctx,
+                              data_[rank].view(rank * shard + off, len),
+                              len);
+                }
+                for (int dn = 1; dn < m; ++dn) {
+                    int q = ((node + dn) % m) * g + local;
+                    co_await instr(ctx);
+                    co_await mesh_
+                        ->channel(q, rank, NcclProto::Simple, kTagCross)
+                        .recv(ctx,
+                              data_[rank].view(q * shard + off, len), len,
+                              false, gpu::DataType::F32,
+                              gpu::ReduceOp::Sum);
+                }
+            }
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            // Phase 2: local spread of my column.
+            std::size_t w = machine_->config().ncclSlotBytes;
+            for (std::size_t off = 0; off < shard; off += w) {
+                std::size_t len = std::min(w, shard - off);
+                for (int dl = 1; dl < g; ++dl) {
+                    int q = node * g + (local + dl) % g;
+                    for (int nn = 0; nn < m; ++nn) {
+                        int src = nn * g + local;
+                        co_await instr(ctx);
+                        co_await mesh_
+                            ->channel(rank, q, localProto, kTagLocalAg)
+                            .send(ctx,
+                                  data_[rank].view(src * shard + off,
+                                                   len),
+                                  len);
+                    }
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    int pl = (local + dl) % g;
+                    int q = node * g + pl;
+                    for (int nn = 0; nn < m; ++nn) {
+                        int src = nn * g + pl;
+                        co_await instr(ctx);
+                        co_await mesh_
+                            ->channel(q, rank, localProto, kTagLocalAg)
+                            .recv(ctx,
+                                  data_[rank].view(src * shard + off,
+                                                   len),
+                                  len, false, gpu::DataType::F32,
+                                  gpu::ReduceOp::Sum);
+                    }
+                }
+            }
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            co_await slowBarrier(ctx, barrier);
+        }
+        co_await ctx.gridBarrier();
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 2;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+} // namespace mscclpp::baseline

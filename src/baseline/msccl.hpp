@@ -1,0 +1,84 @@
+#ifndef MSCCLPP_BASELINE_MSCCL_HPP
+#define MSCCLPP_BASELINE_MSCCL_HPP
+
+#include "baseline/two_sided.hpp"
+#include "gpu/types.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace mscclpp::baseline {
+
+/** Custom algorithms MSCCL schedules (fastest per size, per [17]). */
+enum class MscclAlgo
+{
+    Auto,
+    AllPairs1P, ///< one-phase all-pairs (small single-node)
+    AllPairs2P, ///< two-phase all-pairs (single-node)
+    Hier2PLL,   ///< hierarchical, LL, G chunks (multi-node small)
+    Hier2PHB,   ///< hierarchical, pipelined (multi-node large)
+    Ring,       ///< NCCL-equivalent ring (large AllGather)
+};
+
+const char* toString(MscclAlgo a);
+
+/**
+ * Model of MSCCL 2.23: custom collective algorithms (the same
+ * high-level data flows MSCCL++ uses) interpreted over the NCCL
+ * primitive stack. The gap to MSCCL++ is pure stack overhead — the
+ * two-sided rendezvous semantics, receiver-side staging copies, the
+ * per-instruction interpreter cost, and conservative barriers (no
+ * rotating buffers are possible with self-synchronous primitives,
+ * Section 2.2.2).
+ */
+class MscclComm
+{
+  public:
+    MscclComm(gpu::Machine& machine, std::size_t maxBytes);
+
+    gpu::Machine& machine() const { return *machine_; }
+    int size() const { return n_; }
+
+    gpu::DeviceBuffer dataBuffer(int rank) const { return data_.at(rank); }
+
+    sim::Time allReduce(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op, MscclAlgo algo = MscclAlgo::Auto);
+
+    sim::Time allGather(std::size_t shard,
+                        MscclAlgo algo = MscclAlgo::Auto);
+
+    MscclAlgo chooseAllReduce(std::size_t bytes) const;
+    MscclAlgo chooseAllGather(std::size_t shard) const;
+
+  private:
+    /** Interpreter decode cost charged before every channel op. */
+    sim::Delay instr(gpu::BlockCtx& ctx) const;
+
+    /** Conservative cross-GPU barrier over the NCCL stack. */
+    sim::Task<> slowBarrier(gpu::BlockCtx& ctx,
+                            std::shared_ptr<sim::SimBarrier> bar) const;
+
+    NcclProto protoFor(std::size_t bytes) const;
+
+    sim::Time allPairs1P(std::size_t bytes, gpu::DataType type,
+                         gpu::ReduceOp op);
+    sim::Time allPairs2P(std::size_t bytes, gpu::DataType type,
+                         gpu::ReduceOp op);
+    sim::Time hier2P(std::size_t bytes, gpu::DataType type,
+                     gpu::ReduceOp op, bool ll);
+    sim::Time allPairsAG(std::size_t shard);
+    sim::Time hierAG(std::size_t shard);
+
+    gpu::Machine* machine_;
+    int n_;
+    int gpn_;
+    int nodes_;
+    std::size_t maxBytes_;
+    std::vector<gpu::DeviceBuffer> data_;
+    std::vector<gpu::DeviceBuffer> scratch_;
+    std::unique_ptr<TwoSidedMesh> mesh_;
+};
+
+} // namespace mscclpp::baseline
+
+#endif // MSCCLPP_BASELINE_MSCCL_HPP

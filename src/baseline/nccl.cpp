@@ -1,0 +1,546 @@
+#include "baseline/nccl.hpp"
+
+#include "core/errors.hpp"
+#include "gpu/kernel.hpp"
+
+#include <algorithm>
+
+namespace mscclpp::baseline {
+
+const char*
+toString(NcclAlgo a)
+{
+    switch (a) {
+      case NcclAlgo::Auto:
+        return "auto";
+      case NcclAlgo::Ring:
+        return "ring";
+      case NcclAlgo::Tree:
+        return "tree";
+      case NcclAlgo::Nvls:
+        return "nvls";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Strides (coprime with 8) RCCL-style rings use to cover the mesh. */
+constexpr int kMeshStrides[] = {1, 3, 5, 7};
+
+constexpr std::size_t kElemAlign = 16;
+
+} // namespace
+
+NcclComm::NcclComm(gpu::Machine& machine, std::size_t maxBytes)
+    : machine_(&machine), maxBytes_(maxBytes)
+{
+    n_ = machine.numGpus();
+    gpn_ = machine.config().gpusPerNode;
+    nodes_ = machine.numNodes();
+    meshRings_ =
+        machine.config().intra == fabric::IntraTopology::Mesh && nodes_ == 1;
+    if (n_ < 2) {
+        throw Error(ErrorCode::InvalidUsage, "need at least two GPUs");
+    }
+    for (int r = 0; r < n_; ++r) {
+        data_.push_back(machine.gpu(r).alloc(maxBytes));
+    }
+    mesh_ = std::make_unique<TwoSidedMesh>(machine);
+}
+
+int
+NcclComm::ringPos(int rank, int c) const
+{
+    if (meshRings_) {
+        // Strides coprime to 8 are self-inverse mod 8.
+        return (rank * kMeshStrides[c % 4]) % gpn_;
+    }
+    if (nodes_ == 1) {
+        return rank;
+    }
+    // Multi-node rings rotate the intra-node order by the channel id
+    // so each channel crosses nodes on a different GPU's NIC (NCCL
+    // builds its rings the same way to use every NIC).
+    int node = rank / gpn_;
+    int idx = ((rank % gpn_) - (c % gpn_) + gpn_) % gpn_;
+    return node * gpn_ + idx;
+}
+
+int
+NcclComm::ringRank(int pos, int c) const
+{
+    if (meshRings_) {
+        return (pos * kMeshStrides[c % 4]) % gpn_;
+    }
+    if (nodes_ == 1) {
+        return pos;
+    }
+    int node = pos / gpn_;
+    int idx = pos % gpn_;
+    return node * gpn_ + (idx + (c % gpn_)) % gpn_;
+}
+
+int
+NcclComm::ringNext(int rank, int channel) const
+{
+    return ringRank((ringPos(rank, channel) + 1) % n_, channel);
+}
+
+int
+NcclComm::ringPrev(int rank, int channel) const
+{
+    return ringRank((ringPos(rank, channel) + n_ - 1) % n_, channel);
+}
+
+NcclProto
+NcclComm::edgeProto(int src, int dst, NcclProto wanted) const
+{
+    if (wanted == NcclProto::LL128 &&
+        (!machine_->config().ll128Supported ||
+         !machine_->fabric().sameNode(src, dst))) {
+        return NcclProto::Simple;
+    }
+    return wanted;
+}
+
+std::pair<NcclAlgo, NcclProto>
+NcclComm::tuneAllReduce(std::size_t bytes) const
+{
+    const fabric::EnvConfig& cfg = machine_->config();
+    if (nodes_ == 1) {
+        if (cfg.hasMultimem && bytes > (4 << 20)) {
+            return {NcclAlgo::Nvls, NcclProto::Simple};
+        }
+        if (bytes <= (64 << 10)) {
+            return {NcclAlgo::Ring, NcclProto::LL};
+        }
+        if (bytes <= (4 << 20)) {
+            return {NcclAlgo::Ring, cfg.ll128Supported ? NcclProto::LL128
+                                                       : NcclProto::Simple};
+        }
+        return {NcclAlgo::Ring, NcclProto::Simple};
+    }
+    if (bytes <= (64 << 10)) {
+        return {NcclAlgo::Tree, NcclProto::LL};
+    }
+    if (bytes <= (4 << 20)) {
+        return {NcclAlgo::Tree, cfg.ll128Supported ? NcclProto::LL128
+                                                   : NcclProto::Simple};
+    }
+    return {NcclAlgo::Ring, NcclProto::Simple};
+}
+
+NcclProto
+NcclComm::tuneProto(std::size_t bytes) const
+{
+    if (bytes <= (64 << 10)) {
+        return NcclProto::LL;
+    }
+    if (bytes <= (4 << 20) && machine_->config().ll128Supported &&
+        nodes_ == 1) {
+        return NcclProto::LL128;
+    }
+    return NcclProto::Simple;
+}
+
+int
+NcclComm::tuneChannels(std::size_t bytes) const
+{
+    int channels = static_cast<int>(
+        std::clamp<std::size_t>(bytes >> 18, 1, 8));
+    if (meshRings_ && bytes >= (1 << 20)) {
+        channels = std::max(channels, 4);
+    }
+    return channels;
+}
+
+sim::Time
+NcclComm::allReduce(std::size_t bytes, gpu::DataType type, gpu::ReduceOp op,
+                    NcclAlgo algo)
+{
+    if (bytes == 0 || bytes > maxBytes_) {
+        throw Error(ErrorCode::InvalidUsage, "allReduce size out of range");
+    }
+    NcclProto proto = NcclProto::Simple;
+    if (algo == NcclAlgo::Auto) {
+        std::tie(algo, proto) = tuneAllReduce(bytes);
+    } else {
+        proto = tuneProto(bytes);
+    }
+    switch (algo) {
+      case NcclAlgo::Ring:
+        return ringAllReduce(bytes, type, op, proto);
+      case NcclAlgo::Tree:
+        return treeAllReduce(bytes, type, op, proto);
+      case NcclAlgo::Nvls:
+        return nvlsAllReduce(bytes, type, op);
+      case NcclAlgo::Auto:
+        break;
+    }
+    throw Error(ErrorCode::InternalError, "unresolved NCCL algorithm");
+}
+
+sim::Time
+NcclComm::ringAllReduce(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op, NcclProto proto)
+{
+    const int n = n_;
+    if (bytes % (static_cast<std::size_t>(n) * kElemAlign) != 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "ring allreduce size must shard evenly");
+    }
+    int channels = tuneChannels(bytes);
+    while (channels > 1 &&
+           bytes % (static_cast<std::size_t>(channels) * n * kElemAlign) !=
+               0) {
+        channels >>= 1;
+    }
+    const std::size_t stripe = bytes / channels;
+    const std::size_t seg = stripe / n;
+
+    auto fn = [&, stripe, seg, proto](gpu::BlockCtx& ctx,
+                                      int rank) -> sim::Task<> {
+        const int c = ctx.blockIdx();
+        const std::size_t base = c * stripe;
+        const int next = ringNext(rank, c);
+        const int prev = ringPrev(rank, c);
+        // Distinct rings may share edges (intra-node hops are always
+        // rank -> rank+1); tag by channel so their staged slots stay
+        // separate.
+        TwoSidedChannel& out =
+            mesh_->channel(rank, next, edgeProto(rank, next, proto), c);
+        TwoSidedChannel& in =
+            mesh_->channel(prev, rank, edgeProto(prev, rank, proto), c);
+        const std::size_t w = out.windowBytes();
+        const int p = ringPos(rank, c);
+        // Memory segment owned by ring position q is indexed by the
+        // rank sitting there, keeping all channels' orders consistent
+        // with rank-indexed shards.
+        auto segAt = [&](int q) {
+            return static_cast<std::size_t>(ringRank(q, c));
+        };
+
+        // ReduceScatter phase: after n-1 steps this rank owns the
+        // fully-reduced segment at position (p+1) mod n.
+        for (int j = 0; j < n - 1; ++j) {
+            std::size_t sendSeg = segAt((p - j + n) % n);
+            std::size_t recvSeg = segAt((p - j - 1 + n) % n);
+            for (std::size_t off = 0; off < seg; off += w) {
+                std::size_t len = std::min(w, seg - off);
+                co_await out.send(
+                    ctx, data_[rank].view(base + sendSeg * seg + off, len),
+                    len);
+                co_await in.recv(
+                    ctx, data_[rank].view(base + recvSeg * seg + off, len),
+                    len, /*reduceInto=*/true, type, op);
+            }
+        }
+        // AllGather phase.
+        for (int j = 0; j < n - 1; ++j) {
+            std::size_t sendSeg = segAt((p + 1 - j + 2 * n) % n);
+            std::size_t recvSeg = segAt((p - j + 2 * n) % n);
+            for (std::size_t off = 0; off < seg; off += w) {
+                std::size_t len = std::min(w, seg - off);
+                co_await out.send(
+                    ctx, data_[rank].view(base + sendSeg * seg + off, len),
+                    len);
+                co_await in.recv(
+                    ctx, data_[rank].view(base + recvSeg * seg + off, len),
+                    len, /*reduceInto=*/false, type, op);
+            }
+        }
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = channels;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+NcclComm::treeAllReduce(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op, NcclProto proto)
+{
+    auto fn = [&, bytes, proto](gpu::BlockCtx& ctx,
+                                int rank) -> sim::Task<> {
+        // Node-aware tree, like NCCL's: GPUs inside a node form a
+        // chain rooted at local rank 0; node leaders form a binary
+        // tree across nodes.
+        const int g = gpn_;
+        const int node = rank / g;
+        const int local = rank % g;
+        int parent;
+        int left = -1;
+        int right = -1;
+        if (local != 0) {
+            parent = rank - 1; // chain up within the node
+            if (local + 1 < g) {
+                left = rank + 1;
+            }
+        } else {
+            if (g > 1) {
+                left = rank + 1; // chain head feeds the local chain
+            }
+            int lNode = 2 * node + 1;
+            int rNode = 2 * node + 2;
+            parent = node == 0 ? -1 : ((node - 1) / 2) * g;
+            if (lNode < nodes_) {
+                right = lNode * g;
+            }
+            if (rNode < nodes_) {
+                // Chain slot is taken; hang the second child off the
+                // chain's first hop when it exists, else off us.
+                right = right < 0 ? rNode * g : right;
+            }
+        }
+        // Collect the actual child list (up to 3 for leaders).
+        std::vector<int> children;
+        if (left >= 0) {
+            children.push_back(left);
+        }
+        if (right >= 0 && right != left) {
+            children.push_back(right);
+        }
+        if (local == 0) {
+            int rNode = 2 * node + 2;
+            if (2 * node + 1 < nodes_ && rNode < nodes_) {
+                children.push_back(rNode * g);
+            }
+        }
+        std::size_t w = machine_->config().ncclSlotBytes;
+
+        // Reduce up.
+        for (std::size_t off = 0; off < bytes; off += w) {
+            std::size_t len = std::min(w, bytes - off);
+            for (int child : children) {
+                co_await mesh_
+                    ->channel(child, rank, edgeProto(child, rank, proto))
+                    .recv(ctx, data_[rank].view(off, len), len,
+                          /*reduceInto=*/true, type, op);
+            }
+            if (parent >= 0) {
+                co_await mesh_
+                    ->channel(rank, parent, edgeProto(rank, parent, proto))
+                    .send(ctx, data_[rank].view(off, len), len);
+            }
+        }
+        // Broadcast down.
+        for (std::size_t off = 0; off < bytes; off += w) {
+            std::size_t len = std::min(w, bytes - off);
+            if (parent >= 0) {
+                co_await mesh_
+                    ->channel(parent, rank, edgeProto(parent, rank, proto))
+                    .recv(ctx, data_[rank].view(off, len), len,
+                          /*reduceInto=*/false, type, op);
+            }
+            for (int child : children) {
+                co_await mesh_
+                    ->channel(rank, child, edgeProto(rank, child, proto))
+                    .send(ctx, data_[rank].view(off, len), len);
+            }
+        }
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+NcclComm::nvlsAllReduce(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op)
+{
+    const fabric::EnvConfig& env = machine_->config();
+    if (!env.hasMultimem || nodes_ > 1) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "NVLS requires single-node multimem hardware");
+    }
+    if (bytes % (static_cast<std::size_t>(n_) * kElemAlign) != 0) {
+        throw Error(ErrorCode::InvalidUsage, "NVLS size must shard evenly");
+    }
+    const std::size_t shard = bytes / n_;
+    std::vector<int> ranks(n_);
+    for (int r = 0; r < n_; ++r) {
+        ranks[r] = r;
+    }
+    auto barrier =
+        std::make_shared<sim::SimBarrier>(machine_->scheduler(), n_);
+
+    auto fn = [&, shard, type, op, barrier](gpu::BlockCtx& ctx,
+                                            int rank) -> sim::Task<> {
+        // NCCL's NVLS kernel spends several primitive rounds on
+        // internal bookkeeping before touching the switch.
+        co_await ctx.busy(4 * machine_->config().ncclPrimOverhead);
+        co_await ctx.busy(machine_->config().atomicAddLatency);
+        co_await barrier->arriveAndWait();
+        auto [s1, reduceDone] = machine_->fabric().multimemReduce(
+            rank, ranks, shard, env.ncclNvlsEff);
+        // Functional result: reduce my shard into place (staged to
+        // dodge the in-place aliasing).
+        if (data_[rank].data() != nullptr) {
+            gpu::Buffer staging(rank, 0, shard, true);
+            gpu::DeviceBuffer tmp(&staging, 0, shard);
+            gpu::copyBytes(tmp, data_[0].view(rank * shard, shard), shard);
+            for (int p = 1; p < n_; ++p) {
+                gpu::accumulate(tmp, data_[p].view(rank * shard, shard),
+                                shard, type, op);
+            }
+            gpu::copyBytes(data_[rank].view(rank * shard, shard), tmp,
+                           shard);
+        }
+        sim::Scheduler& sched = ctx.scheduler();
+        if (reduceDone > sched.now()) {
+            co_await sim::Delay(sched, reduceDone - sched.now());
+        }
+        auto [s2, bcastDone] = machine_->fabric().multimemBroadcast(
+            rank, ranks, shard, env.ncclNvlsEff);
+        for (int p = 0; p < n_; ++p) {
+            if (p != rank) {
+                gpu::copyBytes(data_[p].view(rank * shard, shard),
+                               data_[rank].view(rank * shard, shard),
+                               shard);
+            }
+        }
+        if (bcastDone > sched.now()) {
+            co_await sim::Delay(sched, bcastDone - sched.now());
+        }
+        co_await barrier->arriveAndWait();
+        (void)s1;
+        (void)s2;
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+NcclComm::allGather(std::size_t shard)
+{
+    const int n = n_;
+    const std::size_t bytes = shard * n;
+    if (bytes == 0 || bytes > maxBytes_) {
+        throw Error(ErrorCode::InvalidUsage, "allGather size out of range");
+    }
+    NcclProto proto = tuneProto(bytes);
+    int channels = tuneChannels(bytes);
+    while (channels > 1 &&
+           shard % (static_cast<std::size_t>(channels) * kElemAlign) != 0) {
+        channels >>= 1;
+    }
+    const std::size_t seg = shard / channels;
+
+    auto fn = [&, shard, seg, proto](gpu::BlockCtx& ctx,
+                                     int rank) -> sim::Task<> {
+        const int c = ctx.blockIdx();
+        const int next = ringNext(rank, c);
+        const int prev = ringPrev(rank, c);
+        TwoSidedChannel& out =
+            mesh_->channel(rank, next, edgeProto(rank, next, proto), c);
+        TwoSidedChannel& in =
+            mesh_->channel(prev, rank, edgeProto(prev, rank, proto), c);
+        const std::size_t w = out.windowBytes();
+        const int p = ringPos(rank, c);
+        auto segAt = [&](int q) { return ringRank(q, c); };
+        for (int j = 0; j < n_ - 1; ++j) {
+            int sendSeg = segAt((p - j + n_) % n_);
+            int recvSeg = segAt((p - j - 1 + n_) % n_);
+            for (std::size_t off = 0; off < seg; off += w) {
+                std::size_t len = std::min(w, seg - off);
+                co_await out.send(ctx,
+                                  data_[rank].view(sendSeg * shard +
+                                                       c * seg + off,
+                                                   len),
+                                  len);
+                co_await in.recv(ctx,
+                                 data_[rank].view(recvSeg * shard +
+                                                      c * seg + off,
+                                                  len),
+                                 len, false, gpu::DataType::F32,
+                                 gpu::ReduceOp::Sum);
+            }
+        }
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = channels;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+NcclComm::reduceScatter(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op)
+{
+    const int n = n_;
+    if (bytes == 0 || bytes > maxBytes_ ||
+        bytes % (static_cast<std::size_t>(n) * kElemAlign) != 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "reduceScatter size must shard evenly");
+    }
+    NcclProto proto = tuneProto(bytes);
+    const std::size_t seg = bytes / n;
+
+    auto fn = [&, seg, proto](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        const int next = ringNext(rank, 0);
+        const int prev = ringPrev(rank, 0);
+        TwoSidedChannel& out =
+            mesh_->channel(rank, next, edgeProto(rank, next, proto));
+        TwoSidedChannel& in =
+            mesh_->channel(prev, rank, edgeProto(prev, rank, proto));
+        const std::size_t w = out.windowBytes();
+        // Shifted segment walk so the rank ends with its own segment.
+        for (int j = 0; j < n_ - 1; ++j) {
+            int sendSeg = (rank - j - 1 + 2 * n_) % n_;
+            int recvSeg = (rank - j - 2 + 2 * n_) % n_;
+            for (std::size_t off = 0; off < seg; off += w) {
+                std::size_t len = std::min(w, seg - off);
+                co_await out.send(
+                    ctx, data_[rank].view(sendSeg * seg + off, len), len);
+                co_await in.recv(
+                    ctx, data_[rank].view(recvSeg * seg + off, len), len,
+                    true, type, op);
+            }
+        }
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+sim::Time
+NcclComm::broadcast(std::size_t bytes, int root)
+{
+    if (bytes == 0 || bytes > maxBytes_ || root < 0 || root >= n_) {
+        throw Error(ErrorCode::InvalidUsage, "broadcast arguments invalid");
+    }
+    NcclProto proto = tuneProto(bytes);
+    auto fn = [&, bytes, root, proto](gpu::BlockCtx& ctx,
+                                      int rank) -> sim::Task<> {
+        // Ring pipeline rooted at `root`.
+        const int pos = (rank - root + n_) % n_;
+        const int next = (rank + 1) % n_;
+        const int prev = (rank + n_ - 1) % n_;
+        const std::size_t w = machine_->config().ncclSlotBytes;
+        for (std::size_t off = 0; off < bytes; off += w) {
+            std::size_t len = std::min(w, bytes - off);
+            if (pos > 0) {
+                co_await mesh_
+                    ->channel(prev, rank, edgeProto(prev, rank, proto))
+                    .recv(ctx, data_[rank].view(off, len), len, false,
+                          gpu::DataType::F32, gpu::ReduceOp::Sum);
+            }
+            if (pos < n_ - 1) {
+                co_await mesh_
+                    ->channel(rank, next, edgeProto(rank, next, proto))
+                    .send(ctx, data_[rank].view(off, len), len);
+            }
+        }
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 1;
+    cfg.threadsPerBlock = 512;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+} // namespace mscclpp::baseline

@@ -1,0 +1,102 @@
+#ifndef MSCCLPP_BASELINE_NCCL_HPP
+#define MSCCLPP_BASELINE_NCCL_HPP
+
+#include "baseline/two_sided.hpp"
+#include "gpu/types.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mscclpp::baseline {
+
+/** NCCL collective algorithms modelled by the baseline. */
+enum class NcclAlgo
+{
+    Auto,
+    Ring,
+    Tree,
+    Nvls,
+};
+
+const char* toString(NcclAlgo a);
+
+/**
+ * Model of NCCL 2.26 (and, with MI300x fabric parameters, RCCL 2.20):
+ * ring and tree collectives over the two-sided staged primitives, a
+ * Simple/LL/LL128 protocol stack, NVLS on multimem hardware, and the
+ * size-based algorithm/protocol tuner. All numbers are fine-tuned per
+ * environment the way the paper tunes the baselines (channel counts,
+ * chunk sizes, algorithm selection).
+ */
+class NcclComm
+{
+  public:
+    NcclComm(gpu::Machine& machine, std::size_t maxBytes);
+
+    gpu::Machine& machine() const { return *machine_; }
+    int size() const { return n_; }
+    std::size_t maxBytes() const { return maxBytes_; }
+
+    /** Rank @p r's registered in/out buffer. */
+    gpu::DeviceBuffer dataBuffer(int rank) const { return data_.at(rank); }
+
+    /** In-place AllReduce over @p bytes. @return elapsed time. */
+    sim::Time allReduce(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op, NcclAlgo algo = NcclAlgo::Auto);
+
+    /** In-place AllGather; rank r's shard at offset r*shard. */
+    sim::Time allGather(std::size_t shard);
+
+    /** ReduceScatter via the ring (result in rank's shard slot). */
+    sim::Time reduceScatter(std::size_t bytes, gpu::DataType type,
+                            gpu::ReduceOp op);
+
+    /** Broadcast @p bytes from @p root (ring pipeline). */
+    sim::Time broadcast(std::size_t bytes, int root);
+
+    /** (algo, proto) the tuner picks for an AllReduce of @p bytes. */
+    std::pair<NcclAlgo, NcclProto> tuneAllReduce(std::size_t bytes) const;
+
+    /** Proto the tuner picks for bandwidth collectives of @p bytes. */
+    NcclProto tuneProto(std::size_t bytes) const;
+
+    /** Channel (thread-block/ring) count for @p bytes. */
+    int tuneChannels(std::size_t bytes) const;
+
+    /** Ring successor of @p rank on ring @p channel. */
+    int ringNext(int rank, int channel) const;
+
+    /** Ring predecessor of @p rank on ring @p channel. */
+    int ringPrev(int rank, int channel) const;
+
+    /** Position of @p rank in channel @p c's ring order. */
+    int ringPos(int rank, int c) const;
+
+    /** Rank sitting at ring position @p pos on channel @p c. */
+    int ringRank(int pos, int c) const;
+
+  private:
+    /** Protocol usable on the (src, dst) edge (LL128 is NVLink-only). */
+    NcclProto edgeProto(int src, int dst, NcclProto wanted) const;
+
+    sim::Time ringAllReduce(std::size_t bytes, gpu::DataType type,
+                            gpu::ReduceOp op, NcclProto proto);
+    sim::Time treeAllReduce(std::size_t bytes, gpu::DataType type,
+                            gpu::ReduceOp op, NcclProto proto);
+    sim::Time nvlsAllReduce(std::size_t bytes, gpu::DataType type,
+                            gpu::ReduceOp op);
+
+    gpu::Machine* machine_;
+    int n_;
+    int gpn_;
+    int nodes_;
+    bool meshRings_; ///< RCCL on Infinity Fabric: stride rings
+    std::size_t maxBytes_;
+    std::vector<gpu::DeviceBuffer> data_;
+    std::unique_ptr<TwoSidedMesh> mesh_;
+};
+
+} // namespace mscclpp::baseline
+
+#endif // MSCCLPP_BASELINE_NCCL_HPP

@@ -1,0 +1,165 @@
+#include "baseline/two_sided.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mscclpp::baseline {
+
+const char*
+toString(NcclProto p)
+{
+    switch (p) {
+      case NcclProto::Simple:
+        return "Simple";
+      case NcclProto::LL:
+        return "LL";
+      case NcclProto::LL128:
+        return "LL128";
+    }
+    return "?";
+}
+
+TwoSidedChannel::TwoSidedChannel(gpu::Machine& machine, int srcRank,
+                                 int dstRank, NcclProto proto)
+    : machine_(&machine),
+      srcRank_(srcRank),
+      dstRank_(dstRank),
+      proto_(proto),
+      slotCredits_(machine.scheduler()),
+      dataReady_(machine.scheduler())
+{
+    const fabric::EnvConfig& cfg = machine.config();
+    fabric::Fabric& fab = machine.fabric();
+    sameNode_ = fab.sameNode(srcRank, dstRank);
+    path_ = fab.p2pPath(srcRank, dstRank);
+
+    double line = path_.bottleneckGBps();
+    switch (proto) {
+      case NcclProto::Simple:
+        protoBw_ = line *
+                   (sameNode_ ? cfg.threadCopyPeakEff * cfg.ncclSimpleEff
+                              : 1.0);
+        break;
+      case NcclProto::LL:
+        protoBw_ = line * cfg.ncclLlBwFactor;
+        break;
+      case NcclProto::LL128:
+        if (!cfg.ll128Supported || !sameNode_) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "LL128 requires intra-node NVLink ordering");
+        }
+        protoBw_ = line * cfg.ncclLl128BwFactor;
+        break;
+    }
+    windowBytes_ = cfg.ncclSlotBytes;
+    numSlots_ = 8; // NCCL_STEPS
+    slotCredits_.add(numSlots_);
+}
+
+sim::Task<>
+TwoSidedChannel::send(gpu::BlockCtx& ctx, gpu::DeviceBuffer src,
+                      std::size_t bytes)
+{
+    (void)ctx;
+    const fabric::EnvConfig& cfg = machine_->config();
+    sim::Scheduler& sched = machine_->scheduler();
+    std::size_t off = 0;
+    while (off < bytes) {
+        std::size_t w = std::min(windowBytes_, bytes - off);
+        // Static thread-group cost of the primitive call.
+        co_await sim::Delay(sched, cfg.ncclPrimOverhead);
+        // Self-synchronous: block until a staging slot is free.
+        co_await slotCredits_.waitUntil(++creditsTaken_,
+                                        cfg.semaphorePoll);
+        if (!sameNode_) {
+            // The network proxy forwards this window.
+            co_await sim::Delay(sched, cfg.ncclProxyStep);
+        }
+        // Wire occupancy for the window (LL doubles traffic: every
+        // 4B of data carries a 4B flag).
+        std::uint64_t wire = proto_ == NcclProto::LL
+                                 ? static_cast<std::uint64_t>(w) * 2
+                                 : w;
+        auto [start, arrival] = path_.reserve(wire, protoBw_);
+        (void)start;
+
+        Window win;
+        win.bytes = w;
+        if (src.data() != nullptr) {
+            win.payload.resize(w);
+            std::memcpy(win.payload.data(), src.data() + off, w);
+        }
+        inflight_.push_back(std::move(win));
+        // Notify the receiver when the window lands.
+        sched.scheduleAt(arrival, [this] { dataReady_.add(1); });
+        off += w;
+    }
+}
+
+sim::Task<>
+TwoSidedChannel::recv(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
+                      std::size_t bytes, bool reduceInto,
+                      gpu::DataType type, gpu::ReduceOp op)
+{
+    const fabric::EnvConfig& cfg = machine_->config();
+    sim::Scheduler& sched = machine_->scheduler();
+    gpu::Gpu& dev = machine_->gpu(dstRank_);
+    std::size_t off = 0;
+    while (off < bytes) {
+        std::size_t w = std::min(windowBytes_, bytes - off);
+        co_await sim::Delay(sched, cfg.ncclPrimOverhead);
+        co_await dataReady_.waitUntil(++windowsSeen_, cfg.semaphorePoll);
+        if (inflight_.empty()) {
+            throw Error(ErrorCode::InternalError,
+                        "two-sided window accounting is out of sync");
+        }
+        Window win = std::move(inflight_.front());
+        inflight_.pop_front();
+        if (win.bytes != w) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "mismatched send/recv window sizes");
+        }
+        // Receiver-side copy/reduce out of staging (the extra data
+        // movement NCCL's staged transport pays and MSCCL++ avoids).
+        if (dst.data() != nullptr && !win.payload.empty()) {
+            gpu::Buffer staging(dstRank_, 0, w, true);
+            std::memcpy(staging.data(), win.payload.data(), w);
+            gpu::DeviceBuffer view(&staging, 0, w);
+            if (reduceInto) {
+                gpu::accumulate(dst.view(off, w), view, w, type, op);
+            } else {
+                gpu::copyBytes(dst.view(off, w), view, w);
+            }
+        }
+        co_await sim::Delay(sched, reduceInto ? dev.reduceTime(w, 1)
+                                              : dev.copyTime(w));
+        // Recycle the slot: the credit is a tiny flag write, bounded
+        // by wire latency rather than the bulk queue.
+        sim::Time back = sched.now() +
+                         machine_->fabric()
+                             .p2pPath(dstRank_, srcRank_)
+                             .latency();
+        sched.scheduleAt(back + cfg.atomicAddLatency,
+                         [this] { slotCredits_.add(1); });
+        off += w;
+    }
+    (void)ctx;
+}
+
+TwoSidedChannel&
+TwoSidedMesh::channel(int src, int dst, NcclProto proto, int tag)
+{
+    auto key = std::make_tuple(src, dst, static_cast<int>(proto), tag);
+    auto it = channels_.find(key);
+    if (it == channels_.end()) {
+        it = channels_
+                 .emplace(key, std::make_unique<TwoSidedChannel>(
+                                   *machine_, src, dst, proto))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace mscclpp::baseline

@@ -1,0 +1,122 @@
+#ifndef MSCCLPP_BASELINE_TWO_SIDED_HPP
+#define MSCCLPP_BASELINE_TWO_SIDED_HPP
+
+#include "fabric/link.hpp"
+#include "gpu/compute.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/machine.hpp"
+#include "sim/sync.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace mscclpp::baseline {
+
+/** NCCL transport protocols (Section 2.2, baselines). */
+enum class NcclProto
+{
+    Simple, ///< staged pipeline, per-slot synchronisation
+    LL,     ///< 4B data + 4B flag packets: low latency, ~1/8 bandwidth
+    LL128,  ///< 120/128-byte lines over NVLink: mid latency/bandwidth
+};
+
+const char* toString(NcclProto p);
+
+/**
+ * A model of the NCCL send/recv primitive pair (Section 2.2.1): a
+ * *two-sided*, self-synchronous, staged channel. The sender copies
+ * windows into the receiver's staging slots (back-pressured by slot
+ * credits); the receiver copies or reduces each window out of staging
+ * into its destination. Every primitive call pays the NCCL static
+ * thread-group cost, and windows cap pipelining at the slot size.
+ *
+ * This is the substrate both the NCCL baseline kernels and the MSCCL
+ * baseline interpreter run on, mirroring how MSCCL reuses the NCCL
+ * stack in the paper.
+ */
+class TwoSidedChannel
+{
+  public:
+    TwoSidedChannel(gpu::Machine& machine, int srcRank, int dstRank,
+                    NcclProto proto);
+
+    int srcRank() const { return srcRank_; }
+    int dstRank() const { return dstRank_; }
+    NcclProto proto() const { return proto_; }
+
+    /**
+     * Blocking send of @p bytes from @p src (the sender's current
+     * data). Windows pipeline through the staging slots; the call
+     * returns when the last window has been handed to the wire.
+     */
+    sim::Task<> send(gpu::BlockCtx& ctx, gpu::DeviceBuffer src,
+                     std::size_t bytes);
+
+    /**
+     * Blocking receive of @p bytes into @p dst. With @p reduceInto the
+     * incoming windows are element-wise combined into dst (the
+     * recvReduce fused primitive); otherwise they overwrite it.
+     */
+    sim::Task<> recv(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
+                     std::size_t bytes, bool reduceInto,
+                     gpu::DataType type, gpu::ReduceOp op);
+
+    /** Effective wire bandwidth of the protocol on this route. */
+    double protoBwGBps() const { return protoBw_; }
+
+    std::size_t windowBytes() const { return windowBytes_; }
+
+  private:
+    struct Window
+    {
+        std::vector<std::byte> payload; ///< empty in Timed data mode
+        std::size_t bytes;
+    };
+
+    gpu::Machine* machine_;
+    int srcRank_;
+    int dstRank_;
+    NcclProto proto_;
+    fabric::Path path_;
+    bool sameNode_;
+    double protoBw_;
+    std::size_t windowBytes_;
+    int numSlots_;
+
+    sim::SimSemaphore slotCredits_;  ///< receiver -> sender slot recycle
+    sim::SimSemaphore dataReady_;    ///< wire arrival notifications
+    std::uint64_t creditsTaken_ = 0;
+    std::uint64_t windowsSeen_ = 0;
+    std::deque<Window> inflight_;
+};
+
+/**
+ * Lazily-constructed mesh of TwoSidedChannels, keyed by ordered rank
+ * pair and protocol. NCCL rings/trees touch only neighbouring pairs;
+ * the MSCCL interpreter touches all pairs.
+ */
+class TwoSidedMesh
+{
+  public:
+    explicit TwoSidedMesh(gpu::Machine& machine) : machine_(&machine) {}
+
+    /**
+     * @param tag separates independent logical streams between the
+     *        same pair (e.g. pipeline stages running concurrently) so
+     *        their window FIFOs never interleave.
+     */
+    TwoSidedChannel& channel(int src, int dst, NcclProto proto,
+                             int tag = 0);
+
+  private:
+    gpu::Machine* machine_;
+    std::map<std::tuple<int, int, int, int>,
+             std::unique_ptr<TwoSidedChannel>>
+        channels_;
+};
+
+} // namespace mscclpp::baseline
+
+#endif // MSCCLPP_BASELINE_TWO_SIDED_HPP

@@ -1,0 +1,182 @@
+#include "channel/channel_mesh.hpp"
+
+#include "core/errors.hpp"
+
+namespace mscclpp {
+
+namespace {
+
+constexpr int kMemTagBase = 10000;
+constexpr int kSemTagBase = 20000;
+
+} // namespace
+
+namespace {
+
+/** Predicate selecting which ordered pairs get a channel. */
+using PairFilter = bool (*)(int, int, int);
+
+bool
+allPairs(int, int, int)
+{
+    return true;
+}
+
+bool
+sameNodePairs(int r, int p, int gpusPerNode)
+{
+    return r / gpusPerNode == p / gpusPerNode;
+}
+
+} // namespace
+
+ChannelMesh
+ChannelMesh::buildFiltered(const std::vector<Communicator*>& comms,
+                           const std::vector<gpu::DeviceBuffer>& srcBufs,
+                           const std::vector<gpu::DeviceBuffer>& dstBufs,
+                           const MeshOptions& options,
+                           bool (*filter)(int, int, int), int filterArg)
+{
+    const int n = static_cast<int>(comms.size());
+    if (n < 2 || srcBufs.size() != static_cast<std::size_t>(n) ||
+        dstBufs.size() != static_cast<std::size_t>(n)) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "mesh needs >=2 ranks and one src/dst buffer per rank");
+    }
+    if (options.transport == Transport::Switch) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "switch groups are built via SwitchChannel directly");
+    }
+
+    ChannelMesh mesh;
+    mesh.size_ = n;
+    mesh.options_ = options;
+    if (options.transport == Transport::Port &&
+        options.sharedProxyService) {
+        for (int r = 0; r < n; ++r) {
+            mesh.services_.push_back(std::make_unique<ProxyService>(
+                comms[r]->machine()));
+        }
+    }
+
+    // Phase 1: every rank registers its buffers and publishes, for
+    // every ordered pair, the handle of its receive side: the dst
+    // buffer and an inbound semaphore for the peer to signal.
+    std::vector<std::vector<DeviceSemaphore*>> inbound(
+        n, std::vector<DeviceSemaphore*>(n, nullptr));
+    for (int r = 0; r < n; ++r) {
+        RegisteredMemory dstMem = comms[r]->registerMemory(dstBufs[r]);
+        for (int p = 0; p < n; ++p) {
+            if (p == r || !filter(r, p, filterArg)) {
+                continue;
+            }
+            comms[r]->sendMemory(dstMem, p, kMemTagBase + r);
+            DeviceSemaphore* sem = comms[r]->createSemaphore();
+            inbound[r][p] = sem; // rank r waits on this for peer p
+            comms[r]->sendSemaphore(sem, p, kSemTagBase + r);
+        }
+    }
+
+    // Phase 2: every rank receives peer handles and builds its
+    // outgoing channels.
+    mesh.memChannels_.resize(static_cast<std::size_t>(n) * n);
+    mesh.portChannels_.resize(static_cast<std::size_t>(n) * n);
+    for (int r = 0; r < n; ++r) {
+        RegisteredMemory srcMem = comms[r]->registerMemory(srcBufs[r]);
+        RegisteredMemory recvMem = comms[r]->registerMemory(dstBufs[r]);
+        for (int p = 0; p < n; ++p) {
+            if (p == r || !filter(r, p, filterArg)) {
+                continue;
+            }
+            RegisteredMemory remoteMem =
+                comms[r]->recvMemory(p, kMemTagBase + p);
+            DeviceSemaphore* outbound =
+                comms[r]->recvSemaphore(p, kSemTagBase + p);
+            auto conn = comms[r]->connect(p, options.transport);
+            int idx = mesh.index(r, p);
+            if (options.transport == Transport::Memory) {
+                mesh.memChannels_[idx] = std::make_unique<MemoryChannel>(
+                    conn, srcMem, remoteMem, outbound, inbound[r][p],
+                    options.protocol, recvMem);
+            } else {
+                ProxyService* service =
+                    mesh.services_.empty() ? nullptr
+                                           : mesh.services_[r].get();
+                mesh.portChannels_[idx] = std::make_unique<PortChannel>(
+                    conn, srcMem, remoteMem, outbound, inbound[r][p],
+                    options.deviceInitiatedPort, service);
+                mesh.portChannels_[idx]->startProxy();
+            }
+        }
+    }
+    return mesh;
+}
+
+ChannelMesh
+ChannelMesh::build(const std::vector<Communicator*>& comms,
+                   const std::vector<gpu::DeviceBuffer>& srcBufs,
+                   const std::vector<gpu::DeviceBuffer>& dstBufs,
+                   const MeshOptions& options)
+{
+    return buildFiltered(comms, srcBufs, dstBufs, options, allPairs, 0);
+}
+
+ChannelMesh
+ChannelMesh::buildIntraNode(const std::vector<Communicator*>& comms,
+                            const std::vector<gpu::DeviceBuffer>& srcBufs,
+                            const std::vector<gpu::DeviceBuffer>& dstBufs,
+                            const MeshOptions& options, int gpusPerNode)
+{
+    return buildFiltered(comms, srcBufs, dstBufs, options, sameNodePairs,
+                         gpusPerNode);
+}
+
+ChannelMesh::~ChannelMesh()
+{
+    shutdown();
+}
+
+int
+ChannelMesh::index(int rank, int peer) const
+{
+    if (rank < 0 || rank >= size_ || peer < 0 || peer >= size_ ||
+        rank == peer) {
+        throw Error(ErrorCode::InvalidUsage, "bad mesh rank/peer");
+    }
+    return rank * size_ + peer;
+}
+
+MemoryChannel&
+ChannelMesh::mem(int rank, int peer)
+{
+    auto& ch = memChannels_.at(index(rank, peer));
+    if (ch == nullptr) {
+        throw Error(ErrorCode::InvalidUsage, "not a memory mesh");
+    }
+    return *ch;
+}
+
+PortChannel&
+ChannelMesh::port(int rank, int peer)
+{
+    auto& ch = portChannels_.at(index(rank, peer));
+    if (ch == nullptr) {
+        throw Error(ErrorCode::InvalidUsage, "not a port mesh");
+    }
+    return *ch;
+}
+
+void
+ChannelMesh::shutdown()
+{
+    for (auto& ch : portChannels_) {
+        if (ch != nullptr) {
+            ch->shutdown();
+        }
+    }
+    for (auto& svc : services_) {
+        svc->shutdown();
+    }
+}
+
+} // namespace mscclpp

@@ -1,0 +1,91 @@
+#ifndef MSCCLPP_CHANNEL_CHANNEL_MESH_HPP
+#define MSCCLPP_CHANNEL_CHANNEL_MESH_HPP
+
+#include "channel/memory_channel.hpp"
+#include "channel/port_channel.hpp"
+#include "channel/proxy_service.hpp"
+#include "core/communicator.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace mscclpp {
+
+/** Options for building an all-pairs channel mesh. */
+struct MeshOptions
+{
+    Transport transport = Transport::Memory;
+    Protocol protocol = Protocol::HB;
+    /// Port meshes only: model GPU-initiated DMA (Section 3.2.1).
+    bool deviceInitiatedPort = false;
+    /// Port meshes only: one shared proxy thread per rank instead of
+    /// a thread per channel (the production deployment model).
+    bool sharedProxyService = false;
+};
+
+/**
+ * All-pairs channel mesh over a group of communicators: one channel
+ * per ordered rank pair (src -> dst), with handle exchange done
+ * through each rank's bootstrap exactly like application code would.
+ *
+ * srcBufs[r] is what rank r's puts read from; dstBufs[p] is where
+ * puts into rank p land (often a scratch buffer). The two may alias.
+ */
+class ChannelMesh
+{
+  public:
+    static ChannelMesh build(const std::vector<Communicator*>& comms,
+                             const std::vector<gpu::DeviceBuffer>& srcBufs,
+                             const std::vector<gpu::DeviceBuffer>& dstBufs,
+                             const MeshOptions& options = {});
+
+    /**
+     * Like build(), but only creates channels between ranks in the
+     * same node (rank / gpusPerNode). Cross-node accesses throw.
+     * Required for Memory transport on multi-node machines.
+     */
+    static ChannelMesh
+    buildIntraNode(const std::vector<Communicator*>& comms,
+                   const std::vector<gpu::DeviceBuffer>& srcBufs,
+                   const std::vector<gpu::DeviceBuffer>& dstBufs,
+                   const MeshOptions& options, int gpusPerNode);
+
+    ~ChannelMesh();
+
+    ChannelMesh(ChannelMesh&&) = default;
+    ChannelMesh& operator=(ChannelMesh&&) = default;
+
+    int size() const { return size_; }
+    Transport transport() const { return options_.transport; }
+
+    /** Channel rank -> peer (Memory transport meshes). */
+    MemoryChannel& mem(int rank, int peer);
+
+    /** Channel rank -> peer (Port transport meshes). */
+    PortChannel& port(int rank, int peer);
+
+    /** Stop all port proxies (no-op for memory meshes). */
+    void shutdown();
+
+  private:
+    ChannelMesh() = default;
+
+    static ChannelMesh
+    buildFiltered(const std::vector<Communicator*>& comms,
+                  const std::vector<gpu::DeviceBuffer>& srcBufs,
+                  const std::vector<gpu::DeviceBuffer>& dstBufs,
+                  const MeshOptions& options, bool (*filter)(int, int, int),
+                  int filterArg);
+
+    int index(int rank, int peer) const;
+
+    int size_ = 0;
+    MeshOptions options_;
+    std::vector<std::unique_ptr<MemoryChannel>> memChannels_;
+    std::vector<std::unique_ptr<PortChannel>> portChannels_;
+    std::vector<std::unique_ptr<ProxyService>> services_; // per rank
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CHANNEL_CHANNEL_MESH_HPP

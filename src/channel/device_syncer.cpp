@@ -1,0 +1,60 @@
+#include "channel/device_syncer.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+
+namespace mscclpp {
+
+DeviceSyncer::DeviceSyncer(gpu::Machine& machine, std::vector<int> ranks)
+    : machine_(&machine), ranks_(std::move(ranks))
+{
+    if (ranks_.size() < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "DeviceSyncer needs at least two ranks");
+    }
+    sems_.reserve(ranks_.size());
+    rounds_.assign(ranks_.size(), 0);
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        sems_.push_back(
+            std::make_unique<sim::SimSemaphore>(machine.scheduler()));
+    }
+}
+
+int
+DeviceSyncer::indexOf(int rank) const
+{
+    auto it = std::find(ranks_.begin(), ranks_.end(), rank);
+    if (it == ranks_.end()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "rank is not part of this syncer group");
+    }
+    return static_cast<int>(it - ranks_.begin());
+}
+
+sim::Task<>
+DeviceSyncer::barrier(gpu::BlockCtx& ctx, int rank)
+{
+    const int me = indexOf(rank);
+    const fabric::EnvConfig& cfg = machine_->config();
+    fabric::Fabric& fab = machine_->fabric();
+
+    co_await sim::Delay(ctx.scheduler(), cfg.threadFence);
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        if (static_cast<int>(i) == me) {
+            continue;
+        }
+        // Barrier flags are tiny control messages: latency-bound, not
+        // queued behind bulk transfers.
+        sim::Time arrival = machine_->scheduler().now() +
+                            fab.p2pPath(rank, ranks_[i]).latency();
+        sim::SimSemaphore* peer = sems_[i].get();
+        machine_->scheduler().scheduleAt(
+            arrival + cfg.atomicAddLatency, [peer] { peer->add(1); });
+    }
+    std::uint64_t round = ++rounds_[me];
+    co_await sems_[me]->waitUntil(round * (ranks_.size() - 1),
+                                  cfg.semaphorePoll);
+}
+
+} // namespace mscclpp

@@ -1,0 +1,43 @@
+#ifndef MSCCLPP_CHANNEL_DEVICE_SYNCER_HPP
+#define MSCCLPP_CHANNEL_DEVICE_SYNCER_HPP
+
+#include "gpu/kernel.hpp"
+#include "gpu/machine.hpp"
+#include "sim/sync.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * Cross-GPU barrier (the multiDeviceBarrier of Figure 5): every rank
+ * atomically increments a flag on each peer, then spins until it has
+ * observed one increment per peer for the current round.
+ *
+ * One DeviceSyncer is shared by the whole group; barrier() is called
+ * once per rank per round from device code.
+ */
+class DeviceSyncer
+{
+  public:
+    DeviceSyncer(gpu::Machine& machine, std::vector<int> ranks);
+
+    const std::vector<int>& ranks() const { return ranks_; }
+
+    /** Arrive from @p rank and wait for all peers (device side). */
+    sim::Task<> barrier(gpu::BlockCtx& ctx, int rank);
+
+  private:
+    int indexOf(int rank) const;
+
+    gpu::Machine* machine_;
+    std::vector<int> ranks_;
+    std::vector<std::unique_ptr<sim::SimSemaphore>> sems_;
+    std::vector<std::uint64_t> rounds_;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CHANNEL_DEVICE_SYNCER_HPP

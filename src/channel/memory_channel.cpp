@@ -1,0 +1,188 @@
+#include "channel/memory_channel.hpp"
+
+#include "core/errors.hpp"
+
+#include <cstring>
+
+#include <deque>
+
+namespace mscclpp {
+
+const char*
+toString(Protocol p)
+{
+    return p == Protocol::LL ? "LL" : "HB";
+}
+
+MemoryChannel::MemoryChannel(std::shared_ptr<Connection> conn,
+                             RegisteredMemory localMem,
+                             RegisteredMemory remoteMem,
+                             DeviceSemaphore* outbound,
+                             DeviceSemaphore* inbound, Protocol protocol,
+                             RegisteredMemory localRecvMem)
+    : conn_(std::move(conn)),
+      localMem_(localMem),
+      remoteMem_(remoteMem),
+      outbound_(outbound),
+      inbound_(inbound),
+      protocol_(protocol),
+      localRecvMem_(localRecvMem.valid() ? localRecvMem : localMem)
+{
+    if (conn_ == nullptr || conn_->transport() != Transport::Memory) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "MemoryChannel requires a Memory-transport connection");
+    }
+}
+
+double
+MemoryChannel::copyCap(const gpu::BlockCtx& ctx) const
+{
+    return ctx.threadCopyGBps();
+}
+
+sim::Task<>
+MemoryChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                   std::uint64_t srcOff, std::uint64_t bytes)
+{
+    // Data becomes visible remotely as chunks arrive; the simulator
+    // moves the bytes eagerly (correct algorithms never read before
+    // wait).
+    gpu::copyBytes(remoteMem_.buffer().view(dstOff, bytes),
+                   localMem_.buffer().view(srcOff, bytes), bytes);
+    // The store loop paces itself: each chunk is reserved when the
+    // previous one has left the GPU, so concurrent flows interleave
+    // on shared ports at chunk granularity like real packetised
+    // links.
+    sim::Scheduler& sched = ctx.scheduler();
+    const std::uint64_t chunk = conn_->config().bulkChunkBytes;
+    std::uint64_t off = 0;
+    do {
+        std::uint64_t len = std::min(chunk, bytes - off);
+        auto [start, arrival] = conn_->reserveWrite(len, copyCap(ctx));
+        // The block is busy until its stores for this chunk are
+        // issued (serialisation end), not until remote visibility.
+        sim::Time senderDone = arrival - conn_->path().latency();
+        if (senderDone > sched.now()) {
+            co_await sim::Delay(sched, senderDone - sched.now());
+        }
+        (void)start;
+        off += len;
+    } while (off < bytes);
+}
+
+sim::Task<>
+MemoryChannel::signal(gpu::BlockCtx& ctx)
+{
+    co_await sim::Delay(ctx.scheduler(), conn_->config().threadFence);
+    sim::Time arrival = conn_->reserveAtomic();
+    outbound_->arriveAt(arrival);
+}
+
+sim::Task<>
+MemoryChannel::putWithSignal(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                             std::uint64_t srcOff, std::uint64_t bytes)
+{
+    co_await put(ctx, dstOff, srcOff, bytes);
+    co_await signal(ctx);
+}
+
+sim::Task<>
+MemoryChannel::wait(gpu::BlockCtx& ctx)
+{
+    (void)ctx;
+    co_await inbound_->wait();
+}
+
+sim::Task<>
+MemoryChannel::flush(gpu::BlockCtx& ctx)
+{
+    // Thread-copy stores are complete once put returns; nothing to
+    // flush (Section 4.2.2).
+    (void)ctx;
+    co_return;
+}
+
+sim::Task<>
+MemoryChannel::putPackets(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                          std::uint64_t srcOff, std::uint64_t bytes)
+{
+    if (protocol_ != Protocol::LL) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "putPackets requires the LL protocol");
+    }
+    // Flags interleave with data: 2x wire traffic, but the write is
+    // self-synchronising (no separate fence + atomic round).
+    gpu::copyBytes(remoteMem_.buffer().view(dstOff, bytes),
+                   localMem_.buffer().view(srcOff, bytes), bytes);
+    sim::Scheduler& sched = ctx.scheduler();
+    const std::uint64_t chunk = conn_->config().bulkChunkBytes;
+    std::uint64_t off = 0;
+    sim::Time lastArrival = 0;
+    do {
+        std::uint64_t len = std::min(chunk, bytes - off);
+        auto [start, arrival] = conn_->reserveWrite(len * 2, copyCap(ctx));
+        lastArrival = arrival;
+        sim::Time senderDone = arrival - conn_->path().latency();
+        if (senderDone > sched.now()) {
+            co_await sim::Delay(sched, senderDone - sched.now());
+        }
+        (void)start;
+        off += len;
+    } while (off < bytes);
+    outbound_->arriveAt(lastArrival);
+}
+
+sim::Task<>
+MemoryChannel::readPackets(gpu::BlockCtx& ctx)
+{
+    if (protocol_ != Protocol::LL) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "readPackets requires the LL protocol");
+    }
+    (void)ctx;
+    co_await inbound_->wait();
+}
+
+sim::Task<>
+MemoryChannel::writeElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
+                                 const void* bytes, std::size_t size)
+{
+    if (protocol_ != Protocol::LL) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "element write requires the LL protocol");
+    }
+    // One vector store carrying data + flag: 2x wire bytes, no fence.
+    gpu::DeviceBuffer dst = remoteMem_.buffer().view(off, size);
+    if (dst.data() != nullptr) {
+        std::memcpy(dst.data(), bytes, size);
+    }
+    auto [start, arrival] = conn_->reserveWrite(size * 2);
+    outbound_->arriveAt(arrival);
+    sim::Time senderDone = arrival - conn_->path().latency();
+    sim::Scheduler& sched = ctx.scheduler();
+    if (senderDone > sched.now()) {
+        co_await sim::Delay(sched, senderDone - sched.now());
+    }
+    (void)start;
+}
+
+sim::Task<>
+MemoryChannel::readElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
+                                void* bytes, std::size_t size)
+{
+    if (protocol_ != Protocol::LL) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "element read requires the LL protocol");
+    }
+    (void)ctx;
+    // Spin on the element's flag, then return the data word. The
+    // element lives in the *local* buffer the peer's channel writes
+    // into, i.e. the mirror channel's destination.
+    co_await inbound_->wait();
+    gpu::DeviceBuffer src = localRecvMem_.buffer().view(off, size);
+    if (src.data() != nullptr) {
+        std::memcpy(bytes, src.data(), size);
+    }
+}
+
+} // namespace mscclpp

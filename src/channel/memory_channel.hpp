@@ -1,0 +1,156 @@
+#ifndef MSCCLPP_CHANNEL_MEMORY_CHANNEL_HPP
+#define MSCCLPP_CHANNEL_MEMORY_CHANNEL_HPP
+
+#include "core/connection.hpp"
+#include "core/registered_memory.hpp"
+#include "core/semaphore.hpp"
+#include "gpu/compute.hpp"
+#include "gpu/kernel.hpp"
+
+#include <memory>
+
+namespace mscclpp {
+
+/**
+ * MemoryChannel data-transfer protocols (Section 4.2.2).
+ *
+ * HB synchronises once per chunk (high bandwidth, higher latency); LL
+ * interleaves a flag with every vector store so the receiver can
+ * consume data at packet granularity (low latency, roughly half the
+ * effective bandwidth because flags double the wire traffic).
+ */
+enum class Protocol
+{
+    LL,
+    HB,
+};
+
+const char* toString(Protocol p);
+
+/**
+ * Peer-to-peer channel using thread-copy over p2p memory access
+ * (NVLink / xGMI / PCIe). All primitives are device-side: they take
+ * the calling thread block's context, whose thread count shapes the
+ * achievable copy bandwidth.
+ *
+ * Semantics follow Figure 4: put is zero-copy, one-sided and
+ * asynchronous (the task completes when the calling block's stores
+ * are issued, not when the peer observes them); signal/wait order the
+ * data; flush is a no-op for this channel.
+ */
+class MemoryChannel
+{
+  public:
+    /**
+     * @param conn Memory-transport connection local -> remote.
+     * @param localMem source buffer (put reads from it).
+     * @param remoteMem destination buffer on the peer.
+     * @param outbound semaphore on the *peer* GPU that our signal()
+     *        increments.
+     * @param inbound semaphore on *our* GPU that our wait() polls.
+     */
+    MemoryChannel(std::shared_ptr<Connection> conn,
+                  RegisteredMemory localMem, RegisteredMemory remoteMem,
+                  DeviceSemaphore* outbound, DeviceSemaphore* inbound,
+                  Protocol protocol,
+                  RegisteredMemory localRecvMem = RegisteredMemory());
+
+    Protocol protocol() const { return protocol_; }
+    Connection& connection() const { return *conn_; }
+    const RegisteredMemory& localMem() const { return localMem_; }
+    const RegisteredMemory& remoteMem() const { return remoteMem_; }
+
+    /**
+     * Copy @p bytes from localMem[srcOff] into remoteMem[dstOff]
+     * using the calling block's threads. HB protocol; for LL use
+     * putPackets.
+     */
+    sim::Task<> put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                    std::uint64_t srcOff, std::uint64_t bytes);
+
+    /** put immediately followed by a fused signal (putWithSignal). */
+    sim::Task<> putWithSignal(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                              std::uint64_t srcOff, std::uint64_t bytes);
+
+    /**
+     * Increment the peer's semaphore, ordered after all previous puts
+     * on this channel (threadfence_system + remote atomic).
+     */
+    sim::Task<> signal(gpu::BlockCtx& ctx);
+
+    /** Wait for the next inbound signal. */
+    sim::Task<> wait(gpu::BlockCtx& ctx);
+
+    /** No-op for memory channels (Section 4.2.2). */
+    sim::Task<> flush(gpu::BlockCtx& ctx);
+
+    /**
+     * LL protocol: write @p bytes as flag-carrying packets. Doubles
+     * wire traffic but makes the transfer self-synchronising — the
+     * receiver's readPackets needs no separate signal.
+     */
+    sim::Task<> putPackets(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                           std::uint64_t srcOff, std::uint64_t bytes);
+
+    /**
+     * LL protocol: wait until the next packet-put's flags are all
+     * observed (data is then readable at the destination offset).
+     */
+    sim::Task<> readPackets(gpu::BlockCtx& ctx);
+
+    /**
+     * LL protocol, Figure 6: write one element (with its flag) into
+     * the peer's buffer at element index @p index. Self-synchronising
+     * with read<T>() on the peer.
+     */
+    template <typename T>
+    sim::Task<> write(gpu::BlockCtx& ctx, std::uint64_t index, T value);
+
+    /**
+     * LL protocol, Figure 6: spin until the flag for element
+     * @p index of the local receive buffer is set, then return the
+     * element. Pairs with the peer's write<T>().
+     */
+    template <typename T>
+    sim::Task<T> read(gpu::BlockCtx& ctx, std::uint64_t index);
+
+  private:
+    double copyCap(const gpu::BlockCtx& ctx) const;
+
+    sim::Task<> writeElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
+                                  const void* bytes, std::size_t size);
+    sim::Task<> readElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
+                                 void* bytes, std::size_t size);
+
+    std::shared_ptr<Connection> conn_;
+    RegisteredMemory localMem_;
+    RegisteredMemory remoteMem_;
+    DeviceSemaphore* outbound_;
+    DeviceSemaphore* inbound_;
+    Protocol protocol_;
+    RegisteredMemory localRecvMem_; ///< where inbound packets land
+};
+
+template <typename T>
+sim::Task<>
+MemoryChannel::write(gpu::BlockCtx& ctx, std::uint64_t index, T value)
+{
+    static_assert(sizeof(T) <= 8,
+                  "LL elements are at most one 8-byte store");
+    co_await writeElementBytes(ctx, index * sizeof(T), &value, sizeof(T));
+}
+
+template <typename T>
+sim::Task<T>
+MemoryChannel::read(gpu::BlockCtx& ctx, std::uint64_t index)
+{
+    static_assert(sizeof(T) <= 8,
+                  "LL elements are at most one 8-byte load");
+    T value{};
+    co_await readElementBytes(ctx, index * sizeof(T), &value, sizeof(T));
+    co_return value;
+}
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CHANNEL_MEMORY_CHANNEL_HPP

@@ -1,0 +1,233 @@
+#include "channel/port_channel.hpp"
+
+#include "channel/proxy_service.hpp"
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+
+#include <deque>
+
+namespace mscclpp {
+
+PortChannel::PortChannel(std::shared_ptr<Connection> conn,
+                         RegisteredMemory localMem,
+                         RegisteredMemory remoteMem,
+                         DeviceSemaphore* outbound,
+                         DeviceSemaphore* inbound, bool deviceInitiated,
+                         ProxyService* service)
+    : conn_(std::move(conn)),
+      localMem_(localMem),
+      remoteMem_(remoteMem),
+      outbound_(outbound),
+      inbound_(inbound),
+      fifo_(conn_->machine().scheduler(), conn_->config(),
+            deviceInitiated),
+      flushDone_(conn_->machine().scheduler()),
+      deviceInitiated_(deviceInitiated),
+      service_(service)
+{
+    if (conn_ == nullptr || conn_->transport() != Transport::Port) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "PortChannel requires a Port-transport connection");
+    }
+    if (service_ != nullptr) {
+        serviceChannelId_ = service_->registerChannel(this);
+        service_->start();
+    }
+}
+
+PortChannel::~PortChannel() = default;
+
+void
+PortChannel::startProxy()
+{
+    if (service_ != nullptr || proxyRunning_) {
+        return; // a shared service drives this channel
+    }
+    proxyRunning_ = true;
+    sim::detach(conn_->machine().scheduler(), proxyLoop());
+}
+
+void
+PortChannel::shutdown()
+{
+    if (service_ != nullptr) {
+        service_->shutdown();
+        return;
+    }
+    if (!proxyRunning_ || stopRequested_) {
+        return;
+    }
+    stopRequested_ = true;
+    ProxyRequest req;
+    req.kind = ProxyRequest::Kind::Stop;
+    fifo_.pushFromHost(req);
+}
+
+sim::Task<>
+PortChannel::submit(ProxyRequest req)
+{
+    if (service_ != nullptr) {
+        req.channelId = serviceChannelId_;
+        co_await service_->fifo().push(req);
+    } else {
+        co_await fifo_.push(req);
+    }
+}
+
+sim::Task<>
+PortChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                 std::uint64_t srcOff, std::uint64_t bytes)
+{
+    (void)ctx;
+    ProxyRequest req;
+    req.kind = ProxyRequest::Kind::Put;
+    req.dstOff = dstOff;
+    req.srcOff = srcOff;
+    req.bytes = bytes;
+    co_await submit(req);
+}
+
+sim::Task<>
+PortChannel::putWithSignal(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                           std::uint64_t srcOff, std::uint64_t bytes)
+{
+    // One FIFO round for both requests: the proxy treats a put with
+    // the signal flag as put-then-signal.
+    co_await put(ctx, dstOff, srcOff, bytes);
+    co_await signal(ctx);
+}
+
+sim::Task<>
+PortChannel::putWithSignalAndFlush(gpu::BlockCtx& ctx,
+                                   std::uint64_t dstOff,
+                                   std::uint64_t srcOff,
+                                   std::uint64_t bytes)
+{
+    co_await putWithSignal(ctx, dstOff, srcOff, bytes);
+    co_await flush(ctx);
+}
+
+sim::Task<>
+PortChannel::signal(gpu::BlockCtx& ctx)
+{
+    (void)ctx;
+    ProxyRequest req;
+    req.kind = ProxyRequest::Kind::Signal;
+    co_await submit(req);
+}
+
+sim::Task<>
+PortChannel::wait(gpu::BlockCtx& ctx)
+{
+    (void)ctx;
+    co_await inbound_->wait();
+}
+
+sim::Task<>
+PortChannel::flush(gpu::BlockCtx& ctx)
+{
+    (void)ctx;
+    ProxyRequest req;
+    req.kind = ProxyRequest::Kind::Flush;
+    req.flushSeq = ++flushTickets_;
+    std::uint64_t ticket = req.flushSeq;
+    co_await submit(req);
+    co_await flushDone_.waitUntil(ticket, conn_->config().semaphorePoll);
+}
+
+sim::Task<>
+PortChannel::handlePut(const ProxyRequest& req)
+{
+    gpu::copyBytes(remoteMem_.buffer().view(req.dstOff, req.bytes),
+                   localMem_.buffer().view(req.srcOff, req.bytes),
+                   req.bytes);
+    // The DMA engine / QP streams the transfer chunk by chunk; the
+    // proxy serialises transfers on this channel (engine FIFO order),
+    // which also keeps a following signal behind the data.
+    sim::Scheduler& sched = conn_->machine().scheduler();
+    const std::uint64_t chunk = conn_->config().bulkChunkBytes;
+    std::uint64_t off = 0;
+    do {
+        std::uint64_t len = std::min(chunk, req.bytes - off);
+        auto [start, arrival] = conn_->reserveWrite(len);
+        lastCompletion_ = std::max(lastCompletion_, arrival);
+        sim::Time engineFree = arrival - conn_->path().latency();
+        if (engineFree > sched.now()) {
+            co_await sim::Delay(sched, engineFree - sched.now());
+        }
+        (void)start;
+        off += len;
+    } while (off < req.bytes);
+    ++putsIssued_;
+    bytesPut_ += req.bytes;
+}
+
+void
+PortChannel::handleSignal()
+{
+    // Same queue-pair / copy-engine ordering as the preceding puts:
+    // the route's FIFO reservation puts the atomic after them.
+    sim::Time arrival = conn_->reserveAtomic();
+    if (!conn_->sameNode()) {
+        arrival += conn_->config().ibAtomicLatency -
+                   conn_->config().atomicAddLatency;
+    }
+    outbound_->arriveAt(arrival);
+}
+
+sim::Task<>
+PortChannel::processRequest(const ProxyRequest& req)
+{
+    sim::Scheduler& sched = conn_->machine().scheduler();
+    const fabric::EnvConfig& cfg = conn_->config();
+    const sim::Time putStart =
+        deviceInitiated_ ? sim::ns(200)
+                         : (conn_->sameNode() ? cfg.dmaInitLatency
+                                              : cfg.ibPostOverhead);
+    const sim::Time signalStart =
+        deviceInitiated_ ? sim::ns(100) : cfg.ibPostOverhead;
+    switch (req.kind) {
+      case ProxyRequest::Kind::Put:
+        co_await sim::Delay(sched, putStart);
+        co_await handlePut(req);
+        break;
+      case ProxyRequest::Kind::Signal:
+        co_await sim::Delay(sched, signalStart);
+        handleSignal();
+        break;
+      case ProxyRequest::Kind::Flush: {
+        // Poll the completion queue until all prior transfers are
+        // done (ibv_poll_cq).
+        sim::Time done = lastCompletion_ + cfg.ibPollOverhead;
+        if (done > sched.now()) {
+            co_await sim::Delay(sched, done - sched.now());
+        }
+        flushDone_.add(1);
+        break;
+      }
+      case ProxyRequest::Kind::Stop:
+        break;
+    }
+}
+
+sim::Task<>
+PortChannel::proxyLoop()
+{
+    sim::Scheduler& sched = conn_->machine().scheduler();
+    const fabric::EnvConfig& cfg = conn_->config();
+    // A device-initiated engine snoops descriptors directly: no
+    // managed-memory poll and a much cheaper dispatch.
+    const sim::Time dispatch =
+        deviceInitiated_ ? sim::ns(50) : cfg.proxyDispatch;
+    for (;;) {
+        ProxyRequest req = co_await fifo_.pop();
+        if (req.kind == ProxyRequest::Kind::Stop) {
+            break;
+        }
+        co_await sim::Delay(sched, dispatch);
+        co_await processRequest(req);
+    }
+    proxyRunning_ = false;
+}
+
+} // namespace mscclpp

@@ -1,0 +1,132 @@
+#ifndef MSCCLPP_CHANNEL_PORT_CHANNEL_HPP
+#define MSCCLPP_CHANNEL_PORT_CHANNEL_HPP
+
+#include "core/connection.hpp"
+#include "core/fifo.hpp"
+#include "core/registered_memory.hpp"
+#include "core/semaphore.hpp"
+#include "gpu/kernel.hpp"
+
+#include <memory>
+
+namespace mscclpp {
+
+class ProxyService;
+
+/**
+ * Channel over port-mapped I/O: the GPU enqueues requests into a
+ * managed-memory FIFO and a dedicated CPU proxy thread initiates the
+ * transfers (DMA copy intra-node, RDMA via ibv_post_send inter-node)
+ * — the full Figure 7 workflow.
+ *
+ * The proxy is a simulated CPU task started by startProxy(); call
+ * shutdown() (host side) before destroying the channel so its
+ * coroutine exits cleanly.
+ */
+class PortChannel
+{
+  public:
+    /**
+     * @param deviceInitiated models the future hardware of Section
+     *        3.2.1: the GPU posts transfer descriptors straight to
+     *        the DMA engine/NIC, skipping the CPU proxy's managed-
+     *        memory polling and dispatch costs. The API — and this
+     *        class's interface — is unchanged, which is exactly the
+     *        paper's portability argument for PortChannel.
+     */
+    PortChannel(std::shared_ptr<Connection> conn, RegisteredMemory localMem,
+                RegisteredMemory remoteMem, DeviceSemaphore* outbound,
+                DeviceSemaphore* inbound, bool deviceInitiated = false,
+                ProxyService* service = nullptr);
+
+    bool deviceInitiated() const { return deviceInitiated_; }
+
+    /** True when a shared ProxyService processes this channel's
+     *  requests instead of a dedicated per-channel CPU thread. */
+    bool serviceManaged() const { return service_ != nullptr; }
+
+    /**
+     * Process one request (the proxy-side work of Figure 7). Called
+     * by this channel's own proxy loop or by a shared ProxyService.
+     */
+    sim::Task<> processRequest(const ProxyRequest& req);
+
+    ~PortChannel();
+
+    Connection& connection() const { return *conn_; }
+    const RegisteredMemory& localMem() const { return localMem_; }
+    const RegisteredMemory& remoteMem() const { return remoteMem_; }
+    Fifo& fifo() { return fifo_; }
+
+    /** Launch the proxy task (idempotent). Host side. */
+    void startProxy();
+
+    /** Ask the proxy to exit; completes after the scheduler drains. */
+    void shutdown();
+
+    // ---- device-side primitives (Figure 6) -------------------------------
+
+    /**
+     * Enqueue an asynchronous transfer of @p bytes from
+     * localMem[srcOff] to remoteMem[dstOff]. Returns once the request
+     * is in the FIFO (back-pressure applies when it is full); the
+     * source buffer may not be reused until flush().
+     */
+    sim::Task<> put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                    std::uint64_t srcOff, std::uint64_t bytes);
+
+    /** put + signal in one FIFO round (fused primitive). */
+    sim::Task<> putWithSignal(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                              std::uint64_t srcOff, std::uint64_t bytes);
+
+    /** put + signal + flush fused: returns when the transfer has
+     *  fully drained and the source is reusable. */
+    sim::Task<> putWithSignalAndFlush(gpu::BlockCtx& ctx,
+                                      std::uint64_t dstOff,
+                                      std::uint64_t srcOff,
+                                      std::uint64_t bytes);
+
+    /** Enqueue a remote semaphore increment, ordered after prior puts. */
+    sim::Task<> signal(gpu::BlockCtx& ctx);
+
+    /** Wait for the next inbound signal (no proxy involvement). */
+    sim::Task<> wait(gpu::BlockCtx& ctx);
+
+    /**
+     * Block until every previously enqueued transfer has completed on
+     * the wire; afterwards the source buffer is reusable.
+     */
+    sim::Task<> flush(gpu::BlockCtx& ctx);
+
+    // ---- stats ------------------------------------------------------------
+
+    std::uint64_t putsIssued() const { return putsIssued_; }
+    std::uint64_t bytesPut() const { return bytesPut_; }
+
+  private:
+    sim::Task<> proxyLoop();
+    sim::Task<> handlePut(const ProxyRequest& req);
+    void handleSignal();
+    sim::Task<> submit(ProxyRequest req);
+
+    std::shared_ptr<Connection> conn_;
+    RegisteredMemory localMem_;
+    RegisteredMemory remoteMem_;
+    DeviceSemaphore* outbound_;
+    DeviceSemaphore* inbound_;
+    Fifo fifo_;
+    sim::SimSemaphore flushDone_;
+    std::uint64_t flushTickets_ = 0;
+    sim::Time lastCompletion_ = 0;
+    bool proxyRunning_ = false;
+    bool stopRequested_ = false;
+    std::uint64_t putsIssued_ = 0;
+    std::uint64_t bytesPut_ = 0;
+    bool deviceInitiated_ = false;
+    ProxyService* service_ = nullptr;
+    int serviceChannelId_ = -1;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CHANNEL_PORT_CHANNEL_HPP

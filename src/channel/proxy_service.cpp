@@ -1,0 +1,65 @@
+#include "channel/proxy_service.hpp"
+
+#include "channel/port_channel.hpp"
+#include "core/errors.hpp"
+
+namespace mscclpp {
+
+ProxyService::ProxyService(gpu::Machine& machine)
+    : machine_(&machine), fifo_(machine.scheduler(), machine.config())
+{
+}
+
+int
+ProxyService::registerChannel(PortChannel* channel)
+{
+    channels_.push_back(channel);
+    return static_cast<int>(channels_.size()) - 1;
+}
+
+void
+ProxyService::start()
+{
+    if (running_) {
+        return;
+    }
+    running_ = true;
+    sim::detach(machine_->scheduler(), loop());
+}
+
+void
+ProxyService::shutdown()
+{
+    if (!running_ || stopRequested_) {
+        return;
+    }
+    stopRequested_ = true;
+    ProxyRequest req;
+    req.kind = ProxyRequest::Kind::Stop;
+    fifo_.pushFromHost(req);
+}
+
+sim::Task<>
+ProxyService::loop()
+{
+    const fabric::EnvConfig& cfg = machine_->config();
+    for (;;) {
+        ProxyRequest req = co_await fifo_.pop();
+        if (req.kind == ProxyRequest::Kind::Stop) {
+            break;
+        }
+        co_await sim::Delay(machine_->scheduler(), cfg.proxyDispatch);
+        if (req.channelId < 0 ||
+            req.channelId >= static_cast<int>(channels_.size())) {
+            throw Error(ErrorCode::InternalError,
+                        "proxy request for unknown channel");
+        }
+        // One CPU thread: requests are processed strictly in order,
+        // including the wire pacing of large puts.
+        co_await channels_[req.channelId]->processRequest(req);
+        ++requestsServed_;
+    }
+    running_ = false;
+}
+
+} // namespace mscclpp

@@ -1,0 +1,53 @@
+#ifndef MSCCLPP_CHANNEL_PROXY_SERVICE_HPP
+#define MSCCLPP_CHANNEL_PROXY_SERVICE_HPP
+
+#include "core/fifo.hpp"
+#include "gpu/machine.hpp"
+
+#include <vector>
+
+namespace mscclpp {
+
+class PortChannel;
+
+/**
+ * A single CPU proxy thread serving many PortChannels through one
+ * request FIFO — the production deployment model (one proxy thread
+ * per process) as opposed to the paper's one-thread-per-channel
+ * description. Requests carry their channel id; the service
+ * dispatches them in FIFO order, so heavy fan-out serialises on the
+ * one CPU thread (measured by bench/abl_proxy_service).
+ */
+class ProxyService
+{
+  public:
+    explicit ProxyService(gpu::Machine& machine);
+
+    gpu::Machine& machine() const { return *machine_; }
+    Fifo& fifo() { return fifo_; }
+
+    /** Register @p channel; returns the id its requests must carry. */
+    int registerChannel(PortChannel* channel);
+
+    /** Launch the service loop (idempotent). */
+    void start();
+
+    /** Ask the loop to exit; completes once the scheduler drains. */
+    void shutdown();
+
+    std::uint64_t requestsServed() const { return requestsServed_; }
+
+  private:
+    sim::Task<> loop();
+
+    gpu::Machine* machine_;
+    Fifo fifo_;
+    std::vector<PortChannel*> channels_;
+    bool running_ = false;
+    bool stopRequested_ = false;
+    std::uint64_t requestsServed_ = 0;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CHANNEL_PROXY_SERVICE_HPP

@@ -1,0 +1,83 @@
+#include "channel/switch_channel.hpp"
+
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+
+#include <algorithm>
+
+namespace mscclpp {
+
+SwitchChannel::SwitchChannel(gpu::Machine& machine, std::vector<int> ranks,
+                             std::vector<RegisteredMemory> buffers,
+                             int myRank)
+    : machine_(&machine),
+      ranks_(std::move(ranks)),
+      buffers_(std::move(buffers)),
+      myRank_(myRank)
+{
+    if (!machine.config().hasMultimem) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SwitchChannel requires multimem-capable hardware");
+    }
+    if (ranks_.size() != buffers_.size() || ranks_.size() < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SwitchChannel needs >= 2 ranks with one buffer each");
+    }
+    if (std::find(ranks_.begin(), ranks_.end(), myRank_) == ranks_.end()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "myRank is not part of the switch group");
+    }
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        if (buffers_[i].rank() != ranks_[i]) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "multimem buffer order must match rank order");
+        }
+    }
+}
+
+sim::Task<>
+SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
+                      std::uint64_t srcOff, std::uint64_t bytes,
+                      gpu::DataType type, gpu::ReduceOp op)
+{
+    auto [start, arrival] =
+        machine_->fabric().multimemReduce(myRank_, ranks_, bytes);
+    // Functional result: element-wise reduce of every rank's replica.
+    // Stage into a temporary first — dst may alias one of the
+    // replicas (in-place AllReduce), and the switch reads all inputs
+    // before any output is written.
+    if (dst.data() != nullptr) {
+        gpu::Buffer staging(myRank_, 0, bytes, /*materialized=*/true);
+        gpu::DeviceBuffer tmp(&staging, 0, bytes);
+        gpu::copyBytes(tmp, buffers_[0].buffer().view(srcOff, bytes),
+                       bytes);
+        for (std::size_t i = 1; i < buffers_.size(); ++i) {
+            gpu::accumulate(tmp, buffers_[i].buffer().view(srcOff, bytes),
+                            bytes, type, op);
+        }
+        gpu::copyBytes(dst, tmp, bytes);
+    }
+    sim::Scheduler& sched = ctx.scheduler();
+    if (arrival > sched.now()) {
+        co_await sim::Delay(sched, arrival - sched.now());
+    }
+    (void)start;
+}
+
+sim::Task<>
+SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                         gpu::DeviceBuffer src, std::uint64_t bytes)
+{
+    auto [start, arrival] =
+        machine_->fabric().multimemBroadcast(myRank_, ranks_, bytes);
+    for (auto& mem : buffers_) {
+        gpu::copyBytes(mem.buffer().view(dstOff, bytes), src, bytes);
+    }
+    sim::Scheduler& sched = ctx.scheduler();
+    if (arrival > sched.now()) {
+        co_await sim::Delay(sched, arrival - sched.now());
+    }
+    (void)start;
+}
+
+} // namespace mscclpp

@@ -1,0 +1,60 @@
+#ifndef MSCCLPP_CHANNEL_SWITCH_CHANNEL_HPP
+#define MSCCLPP_CHANNEL_SWITCH_CHANNEL_HPP
+
+#include "core/registered_memory.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/types.hpp"
+
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * Channel over switch-mapped I/O (Section 4.2.3): a multimem address
+ * spans one buffer per participating GPU; reduce pulls all replicas
+ * through the switch and reduces in-network (multimem.ld_reduce),
+ * broadcast pushes one value to all replicas (multimem.st).
+ *
+ * Requires NVLS-capable hardware (EnvConfig::hasMultimem).
+ */
+class SwitchChannel
+{
+  public:
+    /**
+     * @param ranks the GPU group sharing the multimem address.
+     * @param buffers one registered buffer per rank (same size),
+     *        ordered like @p ranks — together they form the multimem
+     *        address space.
+     * @param myRank the local GPU this handle executes on.
+     */
+    SwitchChannel(gpu::Machine& machine, std::vector<int> ranks,
+                  std::vector<RegisteredMemory> buffers, int myRank);
+
+    int myRank() const { return myRank_; }
+    const std::vector<int>& ranks() const { return ranks_; }
+
+    /**
+     * In-switch reduction: dst[i] = op over all replicas of
+     * multimem[srcOff + i], written to the local buffer @p dst.
+     */
+    sim::Task<> reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
+                       std::uint64_t srcOff, std::uint64_t bytes,
+                       gpu::DataType type, gpu::ReduceOp op);
+
+    /**
+     * In-switch multicast: every replica of multimem[dstOff..] is
+     * overwritten with @p src from the local GPU.
+     */
+    sim::Task<> broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
+                          gpu::DeviceBuffer src, std::uint64_t bytes);
+
+  private:
+    gpu::Machine* machine_;
+    std::vector<int> ranks_;
+    std::vector<RegisteredMemory> buffers_;
+    int myRank_;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CHANNEL_SWITCH_CHANNEL_HPP

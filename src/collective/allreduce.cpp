@@ -1,0 +1,618 @@
+#include "collective/kernels.hpp"
+
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+#include "sim/sync.hpp"
+
+#include <memory>
+
+namespace mscclpp {
+
+namespace {
+
+void
+requireShardable(std::size_t bytes, int parts, const char* what)
+{
+    if (bytes % (static_cast<std::size_t>(parts) * 16) != 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(what) +
+                        ": size must be divisible by 16x the shard count");
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// One-phase all-pairs, LL protocol (small single-node messages).
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::allPairs1P(CollectiveComm& cc, std::size_t bytes, gpu::DataType dt,
+           gpu::ReduceOp op, std::uint64_t parity)
+{
+    const int n = cc.n_;
+    auto fn = [&, bytes, parity, dt, op](gpu::BlockCtx& ctx,
+                                         int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        MemoryChannel& ch = cc.memLL_->mem(rank, peer);
+        // Broadcast my whole input into the peer's scratch slot; the
+        // LL flags make the transfer self-synchronising.
+        co_await ch.putPackets(ctx, (parity * n + rank) * bytes, 0, bytes);
+        co_await ch.readPackets(ctx);
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            gpu::DeviceBuffer dst = cc.data_[rank].view(0, bytes);
+            for (int p = 0; p < n; ++p) {
+                if (p != rank) {
+                    gpu::accumulate(dst,
+                                    cc.scratchSlot(rank, p, bytes, parity),
+                                    bytes, dt, op);
+                }
+            }
+            co_await ctx.busy(
+                cc.machine_->gpu(rank).reduceTime(bytes, n - 1));
+        }
+        co_await ctx.gridBarrier();
+        if (!cc.options_.rotatingScratch) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase all-pairs with explicit synchronisation (HB or Port).
+// ---------------------------------------------------------------------------
+
+template <typename GetScratchChan, typename GetDirectChan>
+sim::Time
+CollKernels::allPairs2PSync(CollectiveComm& cc, std::size_t bytes, gpu::DataType dt,
+               gpu::ReduceOp op, std::uint64_t parity, GetScratchChan getS,
+               GetDirectChan getD)
+{
+    const int n = cc.n_;
+    const std::size_t shard = bytes / n;
+    auto fn = [&, bytes, shard, parity, dt, op](gpu::BlockCtx& ctx,
+                                                int rank) -> sim::Task<> {
+        (void)bytes;
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        // Phase 1 (ReduceScatter): my contribution to the peer's shard
+        // lands in its scratch slot indexed by my rank.
+        auto& chS = getS(rank, peer);
+        co_await chS.putWithSignal(ctx, (parity * n + rank) * shard,
+                                   peer * shard, shard);
+        co_await chS.wait(ctx);
+        // Each block folds its own peer's contribution in as soon as
+        // it lands — MSCCL++ reads data from multiple GPUs at once
+        // instead of reducing one-by-one (Section 4.4). Blocks share
+        // the element range, so HBM time is charged per contribution.
+        gpu::accumulate(cc.data_[rank].view(rank * shard, shard),
+                        cc.scratchSlot(rank, peer, shard, parity), shard,
+                        dt, op);
+        co_await ctx.busy(cc.machine_->gpu(rank).reduceTime(shard, 1) /
+                          (n - 1));
+        co_await ctx.gridBarrier();
+        // Phase 2 (AllGather): broadcast my reduced shard directly
+        // into every peer's data buffer.
+        auto& chD = getD(rank, peer);
+        co_await chD.putWithSignal(ctx, rank * shard, rank * shard, shard);
+        co_await chD.wait(ctx);
+        if (!cc.options_.rotatingScratch) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase all-pairs, LL protocol.
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::allPairs2PLL(CollectiveComm& cc, std::size_t bytes, gpu::DataType dt,
+             gpu::ReduceOp op, std::uint64_t parity)
+{
+    const int n = cc.n_;
+    const std::size_t shard = bytes / n;
+    auto fn = [&, shard, parity, dt, op](gpu::BlockCtx& ctx,
+                                         int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        MemoryChannel& ch = cc.memLL_->mem(rank, peer);
+        gpu::Gpu& g = cc.machine_->gpu(rank);
+        // Phase 1: packets into scratch region (parity, phase 0).
+        co_await ch.putPackets(ctx, ((parity * 2) * n + rank) * shard,
+                               peer * shard, shard);
+        co_await ch.readPackets(ctx);
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            gpu::DeviceBuffer dst =
+                cc.data_[rank].view(rank * shard, shard);
+            for (int p = 0; p < n; ++p) {
+                if (p != rank) {
+                    gpu::accumulate(
+                        dst, cc.scratchSlot(rank, p, shard, parity * 2),
+                        shard, dt, op);
+                }
+            }
+            co_await ctx.busy(g.reduceTime(shard, n - 1));
+        }
+        co_await ctx.gridBarrier();
+        // Phase 2: packets into scratch region (parity, phase 1), then
+        // unpack into the final buffer.
+        co_await ch.putPackets(ctx, ((parity * 2 + 1) * n + rank) * shard,
+                               rank * shard, shard);
+        co_await ch.readPackets(ctx);
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            for (int p = 0; p < n; ++p) {
+                if (p != rank) {
+                    gpu::copyBytes(
+                        cc.data_[rank].view(p * shard, shard),
+                        cc.scratchSlot(rank, p, shard, parity * 2 + 1),
+                        shard);
+                }
+            }
+            co_await ctx.busy(g.copyTime(shard * (n - 1)));
+        }
+        co_await ctx.gridBarrier();
+        if (!cc.options_.rotatingScratch) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase via SwitchChannel multimem (NVLS).
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::switch2P(CollectiveComm& cc, std::size_t bytes, gpu::DataType dt,
+         gpu::ReduceOp op)
+{
+    const int n = cc.n_;
+    const std::size_t shard = bytes / n;
+    auto fn = [&, shard, dt, op](gpu::BlockCtx& ctx,
+                                 int rank) -> sim::Task<> {
+        SwitchChannel& sw = *cc.switch_[rank];
+        gpu::DeviceBuffer mine = cc.data_[rank].view(rank * shard, shard);
+        // multimem.ld_reduce my shard across all replicas, then
+        // multimem.st the result back to every replica.
+        co_await sw.reduce(ctx, mine, rank * shard, shard, dt, op);
+        co_await sw.broadcast(ctx, rank * shard, mine, shard);
+        co_await cc.syncer_->barrier(ctx, rank);
+    };
+    return cc.runOnAllRanks(1, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical two-phase (multi-node), pipelined over sub-chunks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int
+pipelineDepth(const CollectiveComm::Options& opt, std::size_t chunk)
+{
+    int k = opt.pipelineChunks;
+    while (k > 1 && (chunk % static_cast<std::size_t>(k) != 0 ||
+                     chunk / static_cast<std::size_t>(k) < 2048)) {
+        k >>= 1;
+    }
+    return std::max(k, 1);
+}
+
+} // namespace
+
+/**
+ * HB variant: N chunks (one per rank), four pipelined stages —
+ * local RS, cross-node RS, cross-node AG, local AG (Section 4.4 #3,
+ * second version).
+ */
+sim::Time
+CollKernels::hier2PHB(CollectiveComm& cc, std::size_t bytes, gpu::DataType dt,
+         gpu::ReduceOp op)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    const int m = cc.nodes_;
+    const std::size_t chunk = bytes / n;
+    const int kDepth = pipelineDepth(cc.options_, chunk);
+    const std::size_t sub = chunk / kDepth;
+
+    // Per-rank stage-completion counters (intra-GPU handoff).
+    std::vector<std::unique_ptr<sim::SimSemaphore>> aDone;
+    std::vector<std::unique_ptr<sim::SimSemaphore>> bDone;
+    std::vector<std::unique_ptr<sim::SimSemaphore>> cDone;
+    for (int r = 0; r < n; ++r) {
+        aDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+        bDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+        cDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+    }
+
+    // Scratch layout: region A (local partials) at [0, bytes);
+    // region B (cross partials) at [bytes, bytes + m*chunk).
+    auto slotA = [&](int rank, int senderLocal, int nodeIdx, int k) {
+        std::size_t off =
+            ((static_cast<std::size_t>(senderLocal) * m + nodeIdx) *
+                 kDepth +
+             k) *
+            sub;
+        return cc.scratch_[rank].view(off, sub);
+    };
+    auto slotB = [&](int rank, int senderNode, int k) {
+        std::size_t off =
+            bytes +
+            (static_cast<std::size_t>(senderNode) * kDepth + k) * sub;
+        return cc.scratch_[rank].view(off, sub);
+    };
+
+    auto fn = [&, bytes, chunk, sub, kDepth, dt,
+               op](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        (void)bytes;
+        const int node = rank / g;
+        const int local = rank % g;
+        gpu::Gpu& dev = cc.machine_->gpu(rank);
+
+        if (ctx.blockIdx() == 0) {
+            // Stage A: local ReduceScatter. For every local peer,
+            // send the sub-chunks of the M chunks that peer's column
+            // owns; then reduce my own column's contributions.
+            for (int k = 0; k < kDepth; ++k) {
+                for (int dl = 1; dl < g; ++dl) {
+                    int pl = (local + dl) % g;
+                    int q = node * g + pl;
+                    MemoryChannel& ch = cc.memHB_->mem(rank, q);
+                    for (int nn = 0; nn < m; ++nn) {
+                        std::size_t c = static_cast<std::size_t>(nn) * g +
+                                        pl;
+                        std::size_t srcOff = c * chunk +
+                                             static_cast<std::size_t>(k) *
+                                                 sub;
+                        std::size_t dstOff =
+                            ((static_cast<std::size_t>(local) * m + nn) *
+                                 kDepth +
+                             k) *
+                            sub;
+                        if (nn + 1 == m) {
+                            // Batch synchronisation: one signal after
+                            // the peer's full batch of puts.
+                            co_await ch.putWithSignal(ctx, dstOff, srcOff,
+                                                      sub);
+                        } else {
+                            co_await ch.put(ctx, dstOff, srcOff, sub);
+                        }
+                    }
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    co_await cc.memHB_->mem(rank, node * g + (local + dl) % g)
+                        .wait(ctx);
+                }
+                for (int sl = 0; sl < g; ++sl) {
+                    if (sl == local) {
+                        continue;
+                    }
+                    for (int nn = 0; nn < m; ++nn) {
+                        std::size_t c = static_cast<std::size_t>(nn) * g +
+                                        local;
+                        gpu::accumulate(
+                            cc.data_[rank].view(
+                                c * chunk +
+                                    static_cast<std::size_t>(k) * sub,
+                                sub),
+                            slotA(rank, sl, nn, k), sub, dt, op);
+                    }
+                }
+                co_await ctx.busy(dev.reduceTime(sub * m, g - 1));
+                aDone[rank]->add(1);
+            }
+        } else if (ctx.blockIdx() == 1) {
+            // Stage B: cross-node ReduceScatter of my own chunk.
+            const std::size_t myChunk =
+                static_cast<std::size_t>(node) * g + local;
+            for (int k = 0; k < kDepth; ++k) {
+                co_await aDone[rank]->waitUntil(k + 1);
+                for (int dn = 1; dn < m; ++dn) {
+                    int pn = (node + dn) % m;
+                    int q = pn * g + local;
+                    std::size_t c = static_cast<std::size_t>(pn) * g +
+                                    local;
+                    PortChannel& ch = cc.portScratch_->port(rank, q);
+                    co_await ch.putWithSignal(
+                        ctx,
+                        bytes + (static_cast<std::size_t>(node) * kDepth +
+                                 k) *
+                                    sub,
+                        c * chunk + static_cast<std::size_t>(k) * sub,
+                        sub);
+                }
+                for (int dn = 1; dn < m; ++dn) {
+                    co_await cc.portScratch_
+                        ->port(rank, ((node + dn) % m) * g + local)
+                        .wait(ctx);
+                }
+                for (int sn = 0; sn < m; ++sn) {
+                    if (sn == node) {
+                        continue;
+                    }
+                    gpu::accumulate(
+                        cc.data_[rank].view(
+                            myChunk * chunk +
+                                static_cast<std::size_t>(k) * sub,
+                            sub),
+                        slotB(rank, sn, k), sub, dt, op);
+                }
+                co_await ctx.busy(dev.reduceTime(sub, m - 1));
+                bDone[rank]->add(1);
+            }
+        } else if (ctx.blockIdx() == 2) {
+            // Stage C: cross-node AllGather of my finished chunk.
+            const std::size_t myChunk =
+                static_cast<std::size_t>(node) * g + local;
+            for (int k = 0; k < kDepth; ++k) {
+                co_await bDone[rank]->waitUntil(k + 1);
+                std::size_t off =
+                    myChunk * chunk + static_cast<std::size_t>(k) * sub;
+                for (int dn = 1; dn < m; ++dn) {
+                    int q = ((node + dn) % m) * g + local;
+                    co_await cc.port_->port(rank, q).putWithSignal(
+                        ctx, off, off, sub);
+                }
+                for (int dn = 1; dn < m; ++dn) {
+                    co_await cc.port_
+                        ->port(rank, ((node + dn) % m) * g + local)
+                        .wait(ctx);
+                }
+                cDone[rank]->add(1);
+            }
+        } else {
+            // Stage D: local AllGather of my column (M chunks).
+            for (int k = 0; k < kDepth; ++k) {
+                co_await cDone[rank]->waitUntil(k + 1);
+                for (int dl = 1; dl < g; ++dl) {
+                    int q = node * g + (local + dl) % g;
+                    MemoryChannel& ch = cc.memHBDirect_->mem(rank, q);
+                    for (int nn = 0; nn < m; ++nn) {
+                        std::size_t c = static_cast<std::size_t>(nn) * g +
+                                        local;
+                        std::size_t off =
+                            c * chunk + static_cast<std::size_t>(k) * sub;
+                        if (nn + 1 == m) {
+                            co_await ch.putWithSignal(ctx, off, off, sub);
+                        } else {
+                            co_await ch.put(ctx, off, off, sub);
+                        }
+                    }
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    co_await cc.memHBDirect_
+                        ->mem(rank, node * g + (local + dl) % g)
+                        .wait(ctx);
+                }
+            }
+        }
+    };
+    return cc.runOnAllRanks(4, fn);
+}
+
+/**
+ * LL variant for small multi-node messages: G chunks only, redundant
+ * cross-node reduction, three pipelined stages (Section 4.4 #3, first
+ * version).
+ */
+sim::Time
+CollKernels::hier2PLL(CollectiveComm& cc, std::size_t bytes, gpu::DataType dt,
+         gpu::ReduceOp op)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    const int m = cc.nodes_;
+    const std::size_t chunk = bytes / g;
+    const int kDepth = std::min(pipelineDepth(cc.options_, chunk), 2);
+    const std::size_t sub = chunk / kDepth;
+
+    std::vector<std::unique_ptr<sim::SimSemaphore>> aDone;
+    std::vector<std::unique_ptr<sim::SimSemaphore>> bDone;
+    for (int r = 0; r < n; ++r) {
+        aDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+        bDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+    }
+
+    auto slotA = [&](int rank, int senderLocal, int k) {
+        std::size_t off =
+            (static_cast<std::size_t>(senderLocal) * kDepth + k) * sub;
+        return cc.scratch_[rank].view(off, sub);
+    };
+    auto slotB = [&](int rank, int senderNode, int k) {
+        std::size_t off =
+            bytes +
+            (static_cast<std::size_t>(senderNode) * kDepth + k) * sub;
+        return cc.scratch_[rank].view(off, sub);
+    };
+
+    auto fn = [&, chunk, sub, kDepth, dt, op](gpu::BlockCtx& ctx,
+                                              int rank) -> sim::Task<> {
+        const int node = rank / g;
+        const int local = rank % g;
+        gpu::Gpu& dev = cc.machine_->gpu(rank);
+
+        if (ctx.blockIdx() == 0) {
+            // Stage A: local ReduceScatter over G chunks using LL
+            // packets (self-synchronising).
+            for (int k = 0; k < kDepth; ++k) {
+                for (int dl = 1; dl < g; ++dl) {
+                    int pl = (local + dl) % g;
+                    int q = node * g + pl;
+                    co_await cc.memLL_->mem(rank, q).putPackets(
+                        ctx,
+                        (static_cast<std::size_t>(local) * kDepth + k) *
+                            sub,
+                        static_cast<std::size_t>(pl) * chunk +
+                            static_cast<std::size_t>(k) * sub,
+                        sub);
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    co_await cc.memLL_
+                        ->mem(rank, node * g + (local + dl) % g)
+                        .readPackets(ctx);
+                }
+                for (int sl = 0; sl < g; ++sl) {
+                    if (sl != local) {
+                        gpu::accumulate(
+                            cc.data_[rank].view(
+                                static_cast<std::size_t>(local) * chunk +
+                                    static_cast<std::size_t>(k) * sub,
+                                sub),
+                            slotA(rank, sl, k), sub, dt, op);
+                    }
+                }
+                co_await ctx.busy(dev.reduceTime(sub, g - 1));
+                aDone[rank]->add(1);
+            }
+        } else if (ctx.blockIdx() == 1) {
+            // Stage B: redundant cross-node all-pairs reduction of my
+            // node-partial chunk (every node computes the full sum).
+            for (int k = 0; k < kDepth; ++k) {
+                co_await aDone[rank]->waitUntil(k + 1);
+                std::size_t off = static_cast<std::size_t>(local) * chunk +
+                                  static_cast<std::size_t>(k) * sub;
+                for (int dn = 1; dn < m; ++dn) {
+                    int q = ((node + dn) % m) * g + local;
+                    co_await cc.portScratch_->port(rank, q).putWithSignal(
+                        ctx,
+                        bytes + (static_cast<std::size_t>(node) * kDepth +
+                                 k) *
+                                    sub,
+                        off, sub);
+                }
+                for (int dn = 1; dn < m; ++dn) {
+                    co_await cc.portScratch_
+                        ->port(rank, ((node + dn) % m) * g + local)
+                        .wait(ctx);
+                }
+                for (int sn = 0; sn < m; ++sn) {
+                    if (sn != node) {
+                        gpu::accumulate(cc.data_[rank].view(off, sub),
+                                        slotB(rank, sn, k), sub, dt, op);
+                    }
+                }
+                co_await ctx.busy(dev.reduceTime(sub, m - 1));
+                bDone[rank]->add(1);
+            }
+        } else {
+            // Stage D: local AllGather of the G finished chunks.
+            for (int k = 0; k < kDepth; ++k) {
+                co_await bDone[rank]->waitUntil(k + 1);
+                std::size_t off = static_cast<std::size_t>(local) * chunk +
+                                  static_cast<std::size_t>(k) * sub;
+                for (int dl = 1; dl < g; ++dl) {
+                    int q = node * g + (local + dl) % g;
+                    co_await cc.memHBDirect_->mem(rank, q).putWithSignal(
+                        ctx, off, off, sub);
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    co_await cc.memHBDirect_
+                        ->mem(rank, node * g + (local + dl) % g)
+                        .wait(ctx);
+                }
+            }
+        }
+    };
+    return cc.runOnAllRanks(3, fn);
+}
+
+sim::Time
+CollKernels::allReduce(CollectiveComm& cc, std::size_t bytes,
+                       gpu::DataType type, gpu::ReduceOp op,
+                       AllReduceAlgo algo)
+{
+    const int n = cc.n_;
+    std::uint64_t parity =
+        cc.options_.rotatingScratch ? (cc.round_++ & 1) : 0;
+
+    switch (algo) {
+      case AllReduceAlgo::AllPairs1P:
+        if (cc.nodes_ > 1) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "1PA is a single-node algorithm");
+        }
+        if (2 * static_cast<std::size_t>(n) * bytes >
+            cc.scratch_[0].size()) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "message too large for 1PA scratch");
+        }
+        return allPairs1P(cc, bytes, type, op, parity);
+
+      case AllReduceAlgo::AllPairs2PLL:
+        if (cc.nodes_ > 1) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "2PA is a single-node algorithm");
+        }
+        requireShardable(bytes, n, "2PA-LL");
+        return allPairs2PLL(cc, bytes, type, op, parity);
+
+      case AllReduceAlgo::AllPairs2PHB:
+        if (cc.nodes_ > 1) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "2PA is a single-node algorithm");
+        }
+        requireShardable(bytes, n, "2PA-HB");
+        return allPairs2PSync(
+            cc, bytes, type, op, parity,
+            [&cc](int r, int p) -> MemoryChannel& {
+                return cc.memHB_->mem(r, p);
+            },
+            [&cc](int r, int p) -> MemoryChannel& {
+                return cc.memHBDirect_->mem(r, p);
+            });
+
+      case AllReduceAlgo::AllPairs2PPort:
+        if (!cc.port_) {
+            throw Error(ErrorCode::InvalidUsage, "port mesh not built");
+        }
+        requireShardable(bytes, n, "2PA-Port");
+        return allPairs2PSync(
+            cc, bytes, type, op, parity,
+            [&cc](int r, int p) -> PortChannel& {
+                return cc.portScratch_->port(r, p);
+            },
+            [&cc](int r, int p) -> PortChannel& {
+                return cc.port_->port(r, p);
+            });
+
+      case AllReduceAlgo::Switch2P:
+        if (cc.switch_.empty()) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "switch channels unavailable on this machine");
+        }
+        requireShardable(bytes, n, "2PA-Switch");
+        return switch2P(cc, bytes, type, op);
+
+      case AllReduceAlgo::Hier2PLL:
+        if (cc.nodes_ < 2 || !cc.portScratch_) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "2PH requires a multi-node machine with ports");
+        }
+        requireShardable(bytes, cc.gpn_, "2PH-LL");
+        return hier2PLL(cc, bytes, type, op);
+
+      case AllReduceAlgo::Hier2PHB:
+        if (cc.nodes_ < 2 || !cc.portScratch_) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "2PH requires a multi-node machine with ports");
+        }
+        requireShardable(bytes, n, "2PH-HB");
+        return hier2PHB(cc, bytes, type, op);
+
+      case AllReduceAlgo::Auto:
+        break;
+    }
+    throw Error(ErrorCode::InternalError, "unresolved AllReduce algorithm");
+}
+
+} // namespace mscclpp

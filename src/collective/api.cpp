@@ -1,0 +1,348 @@
+#include "collective/api.hpp"
+
+#include "collective/kernels.hpp"
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+
+#include <algorithm>
+
+namespace mscclpp {
+
+const char*
+toString(AllReduceAlgo a)
+{
+    switch (a) {
+      case AllReduceAlgo::Auto:
+        return "auto";
+      case AllReduceAlgo::AllPairs1P:
+        return "1PA-LL";
+      case AllReduceAlgo::AllPairs2PLL:
+        return "2PA-LL";
+      case AllReduceAlgo::AllPairs2PHB:
+        return "2PA-HB";
+      case AllReduceAlgo::AllPairs2PPort:
+        return "2PA-Port";
+      case AllReduceAlgo::Switch2P:
+        return "2PA-Switch";
+      case AllReduceAlgo::Hier2PLL:
+        return "2PH-LL";
+      case AllReduceAlgo::Hier2PHB:
+        return "2PH-HB";
+    }
+    return "?";
+}
+
+const char*
+toString(AllGatherAlgo a)
+{
+    switch (a) {
+      case AllGatherAlgo::Auto:
+        return "auto";
+      case AllGatherAlgo::AllPairsLL:
+        return "AP-LL";
+      case AllGatherAlgo::AllPairsHB:
+        return "AP-HB";
+      case AllGatherAlgo::AllPairsPort:
+        return "AP-Port";
+      case AllGatherAlgo::Hier:
+        return "Hier";
+    }
+    return "?";
+}
+
+CollectiveComm::CollectiveComm(gpu::Machine& machine, Options options)
+    : machine_(&machine), options_(options)
+{
+    n_ = machine.numGpus();
+    gpn_ = machine.config().gpusPerNode;
+    nodes_ = machine.numNodes();
+    if (n_ < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "collectives need at least two GPUs");
+    }
+
+    auto boots = createInProcessBootstrap(n_);
+    std::size_t scratchBytes =
+        std::max<std::size_t>(4 * options_.maxBytes,
+                              2 * static_cast<std::size_t>(n_) * 65536);
+    for (int r = 0; r < n_; ++r) {
+        comms_.push_back(std::make_unique<Communicator>(boots[r], machine));
+        data_.push_back(machine.gpu(r).alloc(options_.maxBytes));
+        scratch_.push_back(machine.gpu(r).alloc(scratchBytes));
+    }
+
+    std::vector<Communicator*> comms;
+    for (auto& c : comms_) {
+        comms.push_back(c.get());
+    }
+
+    bool intraOnly = nodes_ == 1;
+    MeshOptions ll{Transport::Memory, Protocol::LL};
+    MeshOptions hb{Transport::Memory, Protocol::HB};
+    MeshOptions port{Transport::Port, Protocol::HB};
+    if (intraOnly) {
+        memLL_.emplace(ChannelMesh::build(comms, data_, scratch_, ll));
+        memHB_.emplace(ChannelMesh::build(comms, data_, scratch_, hb));
+        memHBDirect_.emplace(ChannelMesh::build(comms, data_, data_, hb));
+    } else {
+        // Memory channels only exist within a node; build per-node
+        // sub-meshes by letting the mesh builder skip cross-node pairs
+        // via the node-local variant below.
+        memLL_.emplace(ChannelMesh::buildIntraNode(comms, data_, scratch_,
+                                                   ll, gpn_));
+        memHB_.emplace(ChannelMesh::buildIntraNode(comms, data_, scratch_,
+                                                   hb, gpn_));
+        memHBDirect_.emplace(
+            ChannelMesh::buildIntraNode(comms, data_, data_, hb, gpn_));
+    }
+    if (options_.buildPort) {
+        port_.emplace(ChannelMesh::build(comms, data_, data_, port));
+        portScratch_.emplace(ChannelMesh::build(comms, data_, scratch_,
+                                                port));
+    }
+    if (options_.buildSwitch && machine.config().hasMultimem &&
+        intraOnly) {
+        std::vector<int> ranks(n_);
+        std::vector<RegisteredMemory> mems;
+        for (int r = 0; r < n_; ++r) {
+            ranks[r] = r;
+            mems.push_back(comms_[r]->registerMemory(data_[r]));
+        }
+        for (int r = 0; r < n_; ++r) {
+            switch_.push_back(std::make_unique<SwitchChannel>(
+                machine, ranks, mems, r));
+        }
+    }
+    std::vector<int> allRanks(n_);
+    for (int r = 0; r < n_; ++r) {
+        allRanks[r] = r;
+    }
+    syncer_ = std::make_unique<DeviceSyncer>(machine, allRanks);
+}
+
+CollectiveComm::~CollectiveComm()
+{
+    shutdown();
+    // Drain the Stop requests so proxy coroutines exit cleanly.
+    machine_->run();
+}
+
+void
+CollectiveComm::shutdown()
+{
+    if (port_) {
+        port_->shutdown();
+    }
+    if (portScratch_) {
+        portScratch_->shutdown();
+    }
+}
+
+gpu::DeviceBuffer
+CollectiveComm::dataBuffer(int rank) const
+{
+    return data_.at(rank);
+}
+
+gpu::DeviceBuffer
+CollectiveComm::scratchSlot(int rank, int sender, std::size_t slot,
+                            std::uint64_t region) const
+{
+    std::size_t off = (region * n_ + sender) * slot;
+    return scratch_.at(rank).view(off, slot);
+}
+
+sim::Time
+CollectiveComm::runOnAllRanks(int blocks, const RankFn& fn)
+{
+    sim::Scheduler& sched = machine_->scheduler();
+    sim::Time t0 = sched.now();
+    gpu::LaunchConfig cfg;
+    cfg.blocks = blocks;
+    cfg.threadsPerBlock = options_.threadsPerBlock;
+    for (int r = 0; r < n_; ++r) {
+        sim::detach(sched, gpu::launchKernel(
+                               machine_->gpu(r), cfg,
+                               [&fn, r](gpu::BlockCtx& ctx) {
+                                   return fn(ctx, r);
+                               }));
+    }
+    machine_->run();
+    return sched.now() - t0 + machine_->config().hostSyncOverhead;
+}
+
+AllReduceAlgo
+CollectiveComm::chooseAllReduce(std::size_t bytes) const
+{
+    const fabric::EnvConfig& cfg = machine_->config();
+    if (nodes_ > 1) {
+        // Hierarchical algorithms for multi-node (Section 4.4 #3).
+        return bytes <= (1 << 20) ? AllReduceAlgo::Hier2PLL
+                                  : AllReduceAlgo::Hier2PHB;
+    }
+    if (bytes <= (16 << 10)) {
+        return AllReduceAlgo::AllPairs1P;
+    }
+    if (bytes < (1 << 20)) {
+        return AllReduceAlgo::AllPairs2PLL;
+    }
+    if (cfg.hasMultimem && !switch_.empty()) {
+        return AllReduceAlgo::Switch2P;
+    }
+    if (bytes >= (512 << 20) && port_) {
+        // PortChannel DMA copy sustains more bandwidth than thread
+        // copy for very large single-node messages (Section 5.1).
+        return AllReduceAlgo::AllPairs2PPort;
+    }
+    return AllReduceAlgo::AllPairs2PHB;
+}
+
+AllGatherAlgo
+CollectiveComm::chooseAllGather(std::size_t bytesPerRank) const
+{
+    if (nodes_ > 1) {
+        return AllGatherAlgo::Hier;
+    }
+    if (bytesPerRank <= (32 << 10)) {
+        return AllGatherAlgo::AllPairsLL;
+    }
+    if (bytesPerRank * static_cast<std::size_t>(n_) >= (512 << 20) &&
+        port_) {
+        return AllGatherAlgo::AllPairsPort;
+    }
+    return AllGatherAlgo::AllPairsHB;
+}
+
+sim::Time
+CollectiveComm::allReduce(std::size_t bytes, gpu::DataType type,
+                          gpu::ReduceOp op, AllReduceAlgo algo)
+{
+    if (bytes == 0 || bytes > options_.maxBytes) {
+        throw Error(ErrorCode::InvalidUsage, "allReduce size out of range");
+    }
+    if (algo == AllReduceAlgo::Auto) {
+        algo = chooseAllReduce(bytes);
+    }
+    return CollKernels::allReduce(*this, bytes, type, op, algo);
+}
+
+sim::Time
+CollectiveComm::allGather(std::size_t bytesPerRank, AllGatherAlgo algo)
+{
+    if (bytesPerRank == 0 ||
+        bytesPerRank * static_cast<std::size_t>(n_) > options_.maxBytes) {
+        throw Error(ErrorCode::InvalidUsage, "allGather size out of range");
+    }
+    if (algo == AllGatherAlgo::Auto) {
+        algo = chooseAllGather(bytesPerRank);
+    }
+    return CollKernels::allGather(*this, bytesPerRank, algo);
+}
+
+sim::Time
+CollectiveComm::reduceScatter(std::size_t bytes, gpu::DataType type,
+                              gpu::ReduceOp op)
+{
+    if (bytes == 0 || bytes > options_.maxBytes ||
+        bytes % static_cast<std::size_t>(n_) != 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "reduceScatter size must be a non-zero multiple of the "
+                    "rank count within maxBytes");
+    }
+    return CollKernels::reduceScatter(*this, bytes, type, op);
+}
+
+sim::Time
+CollectiveComm::broadcast(std::size_t bytes, int root)
+{
+    if (bytes == 0 || bytes > options_.maxBytes || root < 0 || root >= n_) {
+        throw Error(ErrorCode::InvalidUsage, "broadcast arguments invalid");
+    }
+    return CollKernels::broadcast(*this, bytes, root);
+}
+
+sim::Time
+CollectiveComm::allToAllV(
+    const std::vector<std::vector<std::size_t>>& sendBytes)
+{
+    if (sendBytes.size() != static_cast<std::size_t>(n_)) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "allToAllV needs one send row per rank");
+    }
+    for (const auto& row : sendBytes) {
+        if (row.size() != static_cast<std::size_t>(n_)) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "allToAllV rows must have one entry per rank");
+        }
+        std::size_t total = 0;
+        for (std::size_t b : row) {
+            if (b % 16 != 0) {
+                throw Error(ErrorCode::InvalidUsage,
+                            "allToAllV blocks must be 16-byte aligned");
+            }
+            total += b;
+        }
+        if (total > options_.maxBytes) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "allToAllV row exceeds buffer capacity");
+        }
+    }
+    // Receive totals must fit too.
+    for (int p = 0; p < n_; ++p) {
+        std::size_t total = 0;
+        for (int r = 0; r < n_; ++r) {
+            total += sendBytes[r][p];
+        }
+        if (total > options_.maxBytes ||
+            2 * total > scratch_[0].size()) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "allToAllV receive total exceeds capacity");
+        }
+    }
+    return CollKernels::allToAllV(*this, sendBytes);
+}
+
+sim::Time
+CollectiveComm::reduce(std::size_t bytes, gpu::DataType type,
+                       gpu::ReduceOp op, int root)
+{
+    if (bytes == 0 || bytes > options_.maxBytes || root < 0 ||
+        root >= n_) {
+        throw Error(ErrorCode::InvalidUsage, "reduce arguments invalid");
+    }
+    return CollKernels::reduce(*this, bytes, type, op, root);
+}
+
+sim::Time
+CollectiveComm::gather(std::size_t bytesPerRank, int root)
+{
+    if (bytesPerRank == 0 ||
+        bytesPerRank * static_cast<std::size_t>(n_) > options_.maxBytes ||
+        root < 0 || root >= n_) {
+        throw Error(ErrorCode::InvalidUsage, "gather arguments invalid");
+    }
+    return CollKernels::gather(*this, bytesPerRank, root);
+}
+
+sim::Time
+CollectiveComm::scatter(std::size_t bytesPerRank, int root)
+{
+    if (bytesPerRank == 0 ||
+        bytesPerRank * static_cast<std::size_t>(n_) > options_.maxBytes ||
+        root < 0 || root >= n_) {
+        throw Error(ErrorCode::InvalidUsage, "scatter arguments invalid");
+    }
+    return CollKernels::scatter(*this, bytesPerRank, root);
+}
+
+sim::Time
+CollectiveComm::allToAll(std::size_t bytesPerPair)
+{
+    if (bytesPerPair == 0 ||
+        bytesPerPair * static_cast<std::size_t>(n_) > options_.maxBytes) {
+        throw Error(ErrorCode::InvalidUsage, "allToAll size out of range");
+    }
+    return CollKernels::allToAll(*this, bytesPerPair);
+}
+
+} // namespace mscclpp

@@ -1,0 +1,188 @@
+#ifndef MSCCLPP_COLLECTIVE_API_HPP
+#define MSCCLPP_COLLECTIVE_API_HPP
+
+#include "channel/channel_mesh.hpp"
+#include "channel/device_syncer.hpp"
+#include "channel/switch_channel.hpp"
+#include "core/communicator.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/types.hpp"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mscclpp {
+
+/** AllReduce algorithms implemented in the collective library
+ *  (Section 4.4). Auto picks by message size and topology. */
+enum class AllReduceAlgo
+{
+    Auto,
+    AllPairs1P,   ///< one-phase all-pairs, LL (small single-node)
+    AllPairs2PLL, ///< two-phase all-pairs, LL packets
+    AllPairs2PHB, ///< two-phase all-pairs, HB MemoryChannel
+    AllPairs2PPort, ///< two-phase all-pairs over PortChannel (DMA)
+    Switch2P,     ///< two-phase via SwitchChannel multimem (NVLS)
+    Hier2PLL,     ///< hierarchical two-phase, LL local (multi-node small)
+    Hier2PHB,     ///< hierarchical two-phase, HB local (multi-node large)
+};
+
+/** AllGather algorithms. */
+enum class AllGatherAlgo
+{
+    Auto,
+    AllPairsLL,   ///< every rank LL-puts its shard to all peers
+    AllPairsHB,   ///< HB puts directly into peers' buffers
+    AllPairsPort, ///< DMA/RDMA puts via PortChannel
+    Hier,         ///< cross-node exchange then local broadcast
+};
+
+const char* toString(AllReduceAlgo a);
+const char* toString(AllGatherAlgo a);
+
+/**
+ * The MSCCL++ Collective API: an NCCL-style library built entirely on
+ * the Primitive API (channels). One instance drives all ranks of a
+ * simulated machine; collectives operate in place on per-rank data
+ * buffers registered at construction (the ncclMemAlloc model).
+ */
+class CollectiveComm
+{
+  public:
+    struct Options
+    {
+        /// Capacity of each rank's registered data buffer.
+        std::size_t maxBytes = 1 << 20;
+        /// Build PortChannel meshes (DMA/RDMA paths).
+        bool buildPort = true;
+        /// Build SwitchChannel groups when the hardware has multimem.
+        bool buildSwitch = true;
+        /// Sub-chunks for hierarchical pipeline overlap.
+        int pipelineChunks = 8;
+        /// Rotate scratch halves to drop trailing barriers (Section
+        /// 4.4, 2PA optimisation). Disable to measure the ablation.
+        bool rotatingScratch = true;
+        /// Thread blocks per collective kernel (0 = one per peer).
+        int blocks = 0;
+        int threadsPerBlock = 1024;
+    };
+
+    CollectiveComm(gpu::Machine& machine, Options options);
+    ~CollectiveComm();
+
+    CollectiveComm(const CollectiveComm&) = delete;
+    CollectiveComm& operator=(const CollectiveComm&) = delete;
+
+    gpu::Machine& machine() const { return *machine_; }
+    int size() const { return n_; }
+    const Options& options() const { return options_; }
+
+    /** Rank @p r's registered in/out buffer. */
+    gpu::DeviceBuffer dataBuffer(int rank) const;
+
+    // ---- collectives (all in place on dataBuffer) --------------------------
+
+    /** AllReduce over the first @p bytes. @return elapsed time. */
+    sim::Time allReduce(std::size_t bytes, gpu::DataType type,
+                        gpu::ReduceOp op,
+                        AllReduceAlgo algo = AllReduceAlgo::Auto);
+
+    /**
+     * AllGather: rank r's shard lives at offset r*bytesPerRank; after
+     * the call every rank holds all shards.
+     */
+    sim::Time allGather(std::size_t bytesPerRank,
+                        AllGatherAlgo algo = AllGatherAlgo::Auto);
+
+    /**
+     * ReduceScatter over @p bytes: afterwards rank r's shard (at
+     * offset r*shard) holds the reduction of all ranks' data. Uses the
+     * all-pairs algorithm of Figure 5.
+     */
+    sim::Time reduceScatter(std::size_t bytes, gpu::DataType type,
+                            gpu::ReduceOp op);
+
+    /** Broadcast @p bytes from @p root to all ranks. */
+    sim::Time broadcast(std::size_t bytes, int root);
+
+    /**
+     * AllToAll: the block of @p bytesPerPair at offset p*bytesPerPair
+     * of rank r is delivered to offset r*bytesPerPair of rank p.
+     */
+    sim::Time allToAll(std::size_t bytesPerPair);
+
+    /**
+     * Variable AllToAll for MoE-style dispatch: @p sendBytes[r][p] is
+     * how much rank r sends to rank p, read from offset
+     * offsets(sendBytes[r])[p] of r's buffer and delivered
+     * contiguously, grouped by source, into p's buffer. All row sums
+     * must fit in maxBytes.
+     */
+    sim::Time allToAllV(
+        const std::vector<std::vector<std::size_t>>& sendBytes);
+
+    /** Reduce @p bytes from all ranks into @p root's buffer. */
+    sim::Time reduce(std::size_t bytes, gpu::DataType type,
+                     gpu::ReduceOp op, int root);
+
+    /**
+     * Gather: rank r's shard (offset r*bytesPerRank) is collected on
+     * @p root, which ends up holding every shard.
+     */
+    sim::Time gather(std::size_t bytesPerRank, int root);
+
+    /**
+     * Scatter: @p root's shard at offset r*bytesPerRank is delivered
+     * to rank r (at the same offset).
+     */
+    sim::Time scatter(std::size_t bytesPerRank, int root);
+
+    // ---- tuning ------------------------------------------------------------
+
+    /** Algorithm Auto resolves to for an AllReduce of @p bytes. */
+    AllReduceAlgo chooseAllReduce(std::size_t bytes) const;
+
+    /** Algorithm Auto resolves to for an AllGather of @p bytes/rank. */
+    AllGatherAlgo chooseAllGather(std::size_t bytesPerRank) const;
+
+    /** Stop port proxies; implied by destruction. */
+    void shutdown();
+
+  private:
+    friend struct CollKernels;
+
+    using RankFn = std::function<sim::Task<>(gpu::BlockCtx&, int)>;
+
+    /** Launch fn on every rank and run the machine to completion. */
+    sim::Time runOnAllRanks(int blocks, const RankFn& fn);
+
+    /** Scratch slot for (sender, parity) with per-slot size @p slot. */
+    gpu::DeviceBuffer scratchSlot(int rank, int sender, std::size_t slot,
+                                  std::uint64_t parity) const;
+
+    gpu::Machine* machine_;
+    Options options_;
+    int n_;
+    int gpn_;
+    int nodes_;
+    std::vector<std::unique_ptr<Communicator>> comms_;
+    std::vector<gpu::DeviceBuffer> data_;
+    std::vector<gpu::DeviceBuffer> scratch_;
+
+    std::optional<ChannelMesh> memLL_;      // data -> scratch, LL
+    std::optional<ChannelMesh> memHB_;      // data -> scratch, HB
+    std::optional<ChannelMesh> memHBDirect_; // data -> data, HB
+    std::optional<ChannelMesh> port_;       // data -> data, Port
+    std::optional<ChannelMesh> portScratch_; // data -> scratch, Port
+    std::vector<std::unique_ptr<SwitchChannel>> switch_;
+    std::unique_ptr<DeviceSyncer> syncer_;
+
+    std::uint64_t round_ = 0; ///< rotating-scratch parity counter
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_COLLECTIVE_API_HPP

@@ -1,0 +1,80 @@
+#ifndef MSCCLPP_COLLECTIVE_KERNELS_HPP
+#define MSCCLPP_COLLECTIVE_KERNELS_HPP
+
+#include "collective/api.hpp"
+
+namespace mscclpp {
+
+/**
+ * Implementation of the collective kernels (Section 4.4), split out of
+ * the API class. Every kernel is written against the Primitive API
+ * (channels), exactly like the real library's collective kernels.
+ */
+struct CollKernels
+{
+    static sim::Time allReduce(CollectiveComm& cc, std::size_t bytes,
+                               gpu::DataType type, gpu::ReduceOp op,
+                               AllReduceAlgo algo);
+
+    static sim::Time allGather(CollectiveComm& cc, std::size_t bytesPerRank,
+                               AllGatherAlgo algo);
+
+    static sim::Time reduceScatter(CollectiveComm& cc, std::size_t bytes,
+                                   gpu::DataType type, gpu::ReduceOp op);
+
+    static sim::Time broadcast(CollectiveComm& cc, std::size_t bytes,
+                               int root);
+
+    static sim::Time allToAll(CollectiveComm& cc, std::size_t bytesPerPair);
+
+    static sim::Time
+    allToAllV(CollectiveComm& cc,
+              const std::vector<std::vector<std::size_t>>& sendBytes);
+
+    static sim::Time reduce(CollectiveComm& cc, std::size_t bytes,
+                            gpu::DataType type, gpu::ReduceOp op, int root);
+
+    static sim::Time gather(CollectiveComm& cc, std::size_t bytesPerRank,
+                            int root);
+
+    static sim::Time scatter(CollectiveComm& cc, std::size_t bytesPerRank,
+                             int root);
+
+  private:
+    // AllReduce kernels (defined in allreduce.cpp).
+    static sim::Time allPairs1P(CollectiveComm& cc, std::size_t bytes,
+                                gpu::DataType dt, gpu::ReduceOp op,
+                                std::uint64_t parity);
+    template <typename GetScratchChan, typename GetDirectChan>
+    static sim::Time allPairs2PSync(CollectiveComm& cc, std::size_t bytes,
+                                    gpu::DataType dt, gpu::ReduceOp op,
+                                    std::uint64_t parity, GetScratchChan getS,
+                                    GetDirectChan getD);
+    static sim::Time allPairs2PLL(CollectiveComm& cc, std::size_t bytes,
+                                  gpu::DataType dt, gpu::ReduceOp op,
+                                  std::uint64_t parity);
+    static sim::Time switch2P(CollectiveComm& cc, std::size_t bytes,
+                              gpu::DataType dt, gpu::ReduceOp op);
+    static sim::Time hier2PHB(CollectiveComm& cc, std::size_t bytes,
+                              gpu::DataType dt, gpu::ReduceOp op);
+    static sim::Time hier2PLL(CollectiveComm& cc, std::size_t bytes,
+                              gpu::DataType dt, gpu::ReduceOp op);
+
+    // ReduceScatter (defined in others.cpp).
+    static sim::Time hierReduceScatter(CollectiveComm& cc,
+                                       std::size_t bytes,
+                                       gpu::DataType type,
+                                       gpu::ReduceOp op);
+
+    // AllGather kernels (defined in others.cpp).
+    template <typename GetChan>
+    static sim::Time allGatherDirect(CollectiveComm& cc, std::size_t shard,
+                                     GetChan getChan);
+    static sim::Time allGatherLL(CollectiveComm& cc, std::size_t shard,
+                                 std::uint64_t parity);
+    static sim::Time allGatherHier(CollectiveComm& cc, std::size_t shard);
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_COLLECTIVE_KERNELS_HPP

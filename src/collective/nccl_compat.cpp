@@ -1,0 +1,557 @@
+#include "collective/nccl_compat.hpp"
+
+#include "channel/channel_mesh.hpp"
+#include "collective/api.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/compute.hpp"
+
+#include <cstring>
+#include <map>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace mscclpp::compat {
+
+const char*
+ncclGetErrorString(ncclResult_t result)
+{
+    switch (result) {
+      case ncclSuccess:
+        return "no error";
+      case ncclInvalidArgument:
+        return "invalid argument";
+      case ncclInvalidUsage:
+        return "invalid usage";
+      case ncclInternalError:
+        return "internal error";
+    }
+    return "unknown result code";
+}
+
+namespace {
+
+gpu::DataType
+toDataType(ncclDataType_t t)
+{
+    return t == ncclFloat16 ? gpu::DataType::F16 : gpu::DataType::F32;
+}
+
+gpu::ReduceOp
+toReduceOp(ncclRedOp_t op)
+{
+    return op == ncclSum ? gpu::ReduceOp::Sum : gpu::ReduceOp::Max;
+}
+
+enum class OpKind
+{
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    Broadcast,
+};
+
+/** One collective in flight: ranks join in call order. */
+struct PendingOp
+{
+    OpKind kind;
+    std::size_t count = 0;
+    ncclDataType_t dtype = ncclFloat32;
+    ncclRedOp_t op = ncclSum;
+    int root = 0;
+    std::vector<const void*> send;
+    std::vector<void*> recv;
+    std::vector<bool> joined;
+    int numJoined = 0;
+};
+
+/** A posted (unmatched) point-to-point operation. */
+struct PendingP2p
+{
+    std::size_t count = 0;
+    ncclDataType_t dtype = ncclFloat32;
+    const void* send = nullptr;
+    void* recv = nullptr;
+};
+
+/** Shim state shared by all ranks of the bound machine. */
+struct World
+{
+    gpu::Machine* machine = nullptr;
+    std::size_t maxBytes = 0;
+    std::unique_ptr<CollectiveComm> coll;
+    std::deque<PendingOp> queue;
+    sim::Time elapsed = 0;
+    int nranks = 0;
+
+    // Point-to-point infrastructure: dedicated staging buffers and an
+    // all-pairs channel mesh (memory intra-node, port across nodes).
+    std::vector<std::unique_ptr<Communicator>> p2pComms;
+    std::vector<gpu::DeviceBuffer> p2pBufs;
+    std::unique_ptr<ChannelMesh> p2pMem;
+    std::unique_ptr<ChannelMesh> p2pPort;
+    // (src, dst) -> queues of unmatched sends / recvs.
+    std::map<std::pair<int, int>, std::deque<PendingP2p>> sends;
+    std::map<std::pair<int, int>, std::deque<PendingP2p>> recvs;
+};
+
+World&
+world()
+{
+    static World w;
+    return w;
+}
+
+} // namespace
+
+struct NcclCompatComm
+{
+    int rank = -1;
+};
+
+void
+mscclppNcclBindMachine(gpu::Machine& machine, std::size_t maxBytes)
+{
+    mscclppNcclReset();
+    World& w = world();
+    w.machine = &machine;
+    w.maxBytes = maxBytes;
+    w.nranks = machine.numGpus();
+    CollectiveComm::Options opt;
+    opt.maxBytes = maxBytes;
+    w.coll = std::make_unique<CollectiveComm>(machine, opt);
+}
+
+void
+mscclppNcclReset()
+{
+    World& w = world();
+    if (w.p2pMem) {
+        w.p2pMem->shutdown();
+    }
+    if (w.p2pPort) {
+        w.p2pPort->shutdown();
+    }
+    if (w.machine != nullptr) {
+        w.machine->run();
+    }
+    w.p2pMem.reset();
+    w.p2pPort.reset();
+    w.p2pComms.clear();
+    w.p2pBufs.clear();
+    w.sends.clear();
+    w.recvs.clear();
+    w.coll.reset();
+    w.machine = nullptr;
+    w.queue.clear();
+    w.elapsed = 0;
+    w.nranks = 0;
+}
+
+ncclResult_t
+ncclGetUniqueId(ncclUniqueId* uniqueId)
+{
+    if (uniqueId == nullptr) {
+        return ncclInvalidArgument;
+    }
+    std::memset(uniqueId->internal, 0x5c, sizeof(uniqueId->internal));
+    return ncclSuccess;
+}
+
+ncclResult_t
+ncclCommInitRank(ncclComm_t* comm, int nranks, ncclUniqueId, int rank)
+{
+    World& w = world();
+    if (comm == nullptr || rank < 0 || rank >= nranks) {
+        return ncclInvalidArgument;
+    }
+    if (w.machine == nullptr) {
+        return ncclInvalidUsage; // mscclppNcclBindMachine() first
+    }
+    if (nranks != w.nranks) {
+        return ncclInvalidUsage;
+    }
+    auto* c = new NcclCompatComm;
+    c->rank = rank;
+    *comm = c;
+    return ncclSuccess;
+}
+
+ncclResult_t
+ncclCommDestroy(ncclComm_t comm)
+{
+    delete comm;
+    return ncclSuccess;
+}
+
+ncclResult_t
+ncclCommCount(const ncclComm_t comm, int* count)
+{
+    if (comm == nullptr || count == nullptr) {
+        return ncclInvalidArgument;
+    }
+    *count = world().nranks;
+    return ncclSuccess;
+}
+
+ncclResult_t
+ncclCommUserRank(const ncclComm_t comm, int* rank)
+{
+    if (comm == nullptr || rank == nullptr) {
+        return ncclInvalidArgument;
+    }
+    *rank = comm->rank;
+    return ncclSuccess;
+}
+
+namespace {
+
+/** Execute @p op once every rank has joined it. */
+ncclResult_t
+execute(PendingOp& op)
+{
+    World& w = world();
+    CollectiveComm& coll = *w.coll;
+    const std::size_t elem = gpu::sizeOf(toDataType(op.dtype));
+    const std::size_t n = static_cast<std::size_t>(w.nranks);
+    const bool functional =
+        w.machine->dataMode() == gpu::DataMode::Functional;
+
+    auto stageIn = [&](int r, const void* src, std::size_t off,
+                       std::size_t bytes) {
+        gpu::DeviceBuffer buf = coll.dataBuffer(r);
+        if (functional && src != nullptr && buf.data() != nullptr) {
+            std::memcpy(buf.data() + off, src, bytes);
+        }
+    };
+    auto stageOut = [&](int r, void* dst, std::size_t off,
+                        std::size_t bytes) {
+        gpu::DeviceBuffer buf = coll.dataBuffer(r);
+        if (functional && dst != nullptr && buf.data() != nullptr) {
+            std::memcpy(dst, buf.data() + off, bytes);
+        }
+    };
+
+    switch (op.kind) {
+      case OpKind::AllReduce: {
+        std::size_t bytes = op.count * elem;
+        for (int r = 0; r < w.nranks; ++r) {
+            stageIn(r, op.send[r], 0, bytes);
+        }
+        w.elapsed += coll.allReduce(bytes, toDataType(op.dtype),
+                                    toReduceOp(op.op));
+        for (int r = 0; r < w.nranks; ++r) {
+            stageOut(r, op.recv[r], 0, bytes);
+        }
+        break;
+      }
+      case OpKind::AllGather: {
+        std::size_t shard = op.count * elem;
+        for (int r = 0; r < w.nranks; ++r) {
+            stageIn(r, op.send[r], r * shard, shard);
+        }
+        w.elapsed += coll.allGather(shard);
+        for (int r = 0; r < w.nranks; ++r) {
+            stageOut(r, op.recv[r], 0, shard * n);
+        }
+        break;
+      }
+      case OpKind::ReduceScatter: {
+        std::size_t shard = op.count * elem;
+        for (int r = 0; r < w.nranks; ++r) {
+            stageIn(r, op.send[r], 0, shard * n);
+        }
+        w.elapsed += coll.reduceScatter(shard * n, toDataType(op.dtype),
+                                        toReduceOp(op.op));
+        for (int r = 0; r < w.nranks; ++r) {
+            stageOut(r, op.recv[r], r * shard, shard);
+        }
+        break;
+      }
+      case OpKind::Broadcast: {
+        std::size_t bytes = op.count * elem;
+        stageIn(op.root, op.send[op.root], 0, bytes);
+        w.elapsed += coll.broadcast(bytes, op.root);
+        for (int r = 0; r < w.nranks; ++r) {
+            stageOut(r, op.recv[r], 0, bytes);
+        }
+        break;
+      }
+    }
+    return ncclSuccess;
+}
+
+/**
+ * Join this rank into the next un-joined op it has not joined yet;
+ * ops must be enqueued in the same order on every rank (the NCCL
+ * contract). Runs the op when it becomes fully joined.
+ */
+ncclResult_t
+enqueue(ncclComm_t comm, OpKind kind, const void* sendbuff, void* recvbuff,
+        std::size_t count, ncclDataType_t dtype, ncclRedOp_t op, int root)
+{
+    World& w = world();
+    if (comm == nullptr || w.coll == nullptr) {
+        return ncclInvalidUsage;
+    }
+    if (count == 0 || recvbuff == nullptr) {
+        return ncclInvalidArgument;
+    }
+    const int rank = comm->rank;
+
+    // Find this rank's next op slot.
+    PendingOp* slot = nullptr;
+    for (PendingOp& p : w.queue) {
+        if (!p.joined[rank]) {
+            slot = &p;
+            break;
+        }
+    }
+    if (slot == nullptr) {
+        PendingOp p;
+        p.kind = kind;
+        p.count = count;
+        p.dtype = dtype;
+        p.op = op;
+        p.root = root;
+        p.send.assign(w.nranks, nullptr);
+        p.recv.assign(w.nranks, nullptr);
+        p.joined.assign(w.nranks, false);
+        w.queue.push_back(std::move(p));
+        slot = &w.queue.back();
+    } else if (slot->kind != kind || slot->count != count ||
+               slot->dtype != dtype || slot->op != op ||
+               slot->root != root) {
+        return ncclInvalidUsage; // mismatched collective across ranks
+    }
+    slot->send[rank] = sendbuff;
+    slot->recv[rank] = recvbuff;
+    slot->joined[rank] = true;
+    ++slot->numJoined;
+
+    // Execute fully-joined ops in order from the front.
+    while (!w.queue.empty() && w.queue.front().numJoined == w.nranks) {
+        ncclResult_t res = execute(w.queue.front());
+        w.queue.pop_front();
+        if (res != ncclSuccess) {
+            return res;
+        }
+    }
+    return ncclSuccess;
+}
+
+} // namespace
+
+ncclResult_t
+ncclAllReduce(const void* sendbuff, void* recvbuff, std::size_t count,
+              ncclDataType_t datatype, ncclRedOp_t op, ncclComm_t comm,
+              mscclppStream_t)
+{
+    return enqueue(comm, OpKind::AllReduce, sendbuff, recvbuff, count,
+                   datatype, op, 0);
+}
+
+ncclResult_t
+ncclAllGather(const void* sendbuff, void* recvbuff, std::size_t sendcount,
+              ncclDataType_t datatype, ncclComm_t comm, mscclppStream_t)
+{
+    return enqueue(comm, OpKind::AllGather, sendbuff, recvbuff, sendcount,
+                   datatype, ncclSum, 0);
+}
+
+ncclResult_t
+ncclReduceScatter(const void* sendbuff, void* recvbuff,
+                  std::size_t recvcount, ncclDataType_t datatype,
+                  ncclRedOp_t op, ncclComm_t comm, mscclppStream_t)
+{
+    return enqueue(comm, OpKind::ReduceScatter, sendbuff, recvbuff,
+                   recvcount, datatype, op, 0);
+}
+
+ncclResult_t
+ncclBroadcast(const void* sendbuff, void* recvbuff, std::size_t count,
+              ncclDataType_t datatype, int root, ncclComm_t comm,
+              mscclppStream_t)
+{
+    if (root < 0 || root >= world().nranks) {
+        return ncclInvalidArgument;
+    }
+    return enqueue(comm, OpKind::Broadcast, sendbuff, recvbuff, count,
+                   datatype, ncclSum, root);
+}
+
+namespace {
+
+/** Build the p2p mesh lazily on the first send/recv. */
+void
+ensureP2p()
+{
+    World& w = world();
+    if (w.p2pMem || w.machine == nullptr) {
+        return;
+    }
+    auto boots = createInProcessBootstrap(w.nranks);
+    std::vector<Communicator*> cp;
+    for (int r = 0; r < w.nranks; ++r) {
+        w.p2pComms.push_back(
+            std::make_unique<Communicator>(boots[r], *w.machine));
+        w.p2pBufs.push_back(w.machine->gpu(r).alloc(w.maxBytes));
+        cp.push_back(w.p2pComms.back().get());
+    }
+    const int gpn = w.machine->config().gpusPerNode;
+    MeshOptions mem{Transport::Memory, Protocol::HB, false, false};
+    if (w.machine->numNodes() == 1) {
+        w.p2pMem = std::make_unique<ChannelMesh>(
+            ChannelMesh::build(cp, w.p2pBufs, w.p2pBufs, mem));
+    } else {
+        w.p2pMem = std::make_unique<ChannelMesh>(ChannelMesh::buildIntraNode(
+            cp, w.p2pBufs, w.p2pBufs, mem, gpn));
+    }
+    MeshOptions port{Transport::Port, Protocol::HB, false, false};
+    w.p2pPort = std::make_unique<ChannelMesh>(
+        ChannelMesh::build(cp, w.p2pBufs, w.p2pBufs, port));
+}
+
+/** Run one matched send/recv pair through the channels. */
+ncclResult_t
+executeP2p(int src, int dst, const PendingP2p& s, const PendingP2p& r)
+{
+    World& w = world();
+    std::size_t bytes = s.count * gpu::sizeOf(toDataType(s.dtype));
+    const bool functional =
+        w.machine->dataMode() == gpu::DataMode::Functional;
+    if (functional && s.send != nullptr &&
+        w.p2pBufs[src].data() != nullptr) {
+        std::memcpy(w.p2pBufs[src].data(), s.send, bytes);
+    }
+    const bool sameNode = w.machine->fabric().sameNode(src, dst);
+    sim::Scheduler& sched = w.machine->scheduler();
+    sim::Time t0 = sched.now();
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == src) {
+            if (sameNode) {
+                co_await w.p2pMem->mem(src, dst).putWithSignal(ctx, 0, 0,
+                                                               bytes);
+            } else {
+                co_await w.p2pPort->port(src, dst).putWithSignal(
+                    ctx, 0, 0, bytes);
+            }
+        } else if (rank == dst) {
+            if (sameNode) {
+                co_await w.p2pMem->mem(dst, src).wait(ctx);
+            } else {
+                co_await w.p2pPort->port(dst, src).wait(ctx);
+            }
+        }
+    };
+    w.elapsed += gpu::runOnAllRanks(*w.machine, gpu::LaunchConfig{}, fn);
+    (void)t0;
+    if (functional && r.recv != nullptr &&
+        w.p2pBufs[dst].data() != nullptr) {
+        std::memcpy(r.recv, w.p2pBufs[dst].data(), bytes);
+    }
+    return ncclSuccess;
+}
+
+ncclResult_t
+tryMatch(int src, int dst)
+{
+    World& w = world();
+    auto key = std::make_pair(src, dst);
+    while (!w.sends[key].empty() && !w.recvs[key].empty()) {
+        PendingP2p s = w.sends[key].front();
+        PendingP2p r = w.recvs[key].front();
+        if (s.count != r.count || s.dtype != r.dtype) {
+            return ncclInvalidUsage;
+        }
+        w.sends[key].pop_front();
+        w.recvs[key].pop_front();
+        ncclResult_t res = executeP2p(src, dst, s, r);
+        if (res != ncclSuccess) {
+            return res;
+        }
+    }
+    return ncclSuccess;
+}
+
+} // namespace
+
+ncclResult_t
+ncclSend(const void* sendbuff, std::size_t count, ncclDataType_t datatype,
+         int peer, ncclComm_t comm, mscclppStream_t)
+{
+    World& w = world();
+    if (comm == nullptr || w.machine == nullptr) {
+        return ncclInvalidUsage;
+    }
+    if (count == 0 || peer < 0 || peer >= w.nranks ||
+        peer == comm->rank ||
+        count * gpu::sizeOf(toDataType(datatype)) > w.maxBytes) {
+        return ncclInvalidArgument;
+    }
+    ensureP2p();
+    PendingP2p p;
+    p.count = count;
+    p.dtype = datatype;
+    p.send = sendbuff;
+    w.sends[{comm->rank, peer}].push_back(p);
+    return tryMatch(comm->rank, peer);
+}
+
+ncclResult_t
+ncclRecv(void* recvbuff, std::size_t count, ncclDataType_t datatype,
+         int peer, ncclComm_t comm, mscclppStream_t)
+{
+    World& w = world();
+    if (comm == nullptr || w.machine == nullptr) {
+        return ncclInvalidUsage;
+    }
+    if (count == 0 || recvbuff == nullptr || peer < 0 ||
+        peer >= w.nranks || peer == comm->rank ||
+        count * gpu::sizeOf(toDataType(datatype)) > w.maxBytes) {
+        return ncclInvalidArgument;
+    }
+    ensureP2p();
+    PendingP2p p;
+    p.count = count;
+    p.dtype = datatype;
+    p.recv = recvbuff;
+    w.recvs[{peer, comm->rank}].push_back(p);
+    return tryMatch(peer, comm->rank);
+}
+
+ncclResult_t
+ncclGroupStart()
+{
+    return ncclSuccess;
+}
+
+ncclResult_t
+ncclGroupEnd()
+{
+    return ncclSuccess;
+}
+
+ncclResult_t
+mscclppNcclStreamSynchronize(ncclComm_t comm, mscclppStream_t)
+{
+    if (comm == nullptr) {
+        return ncclInvalidArgument;
+    }
+    // Collectives run at the last rank's enqueue; a rank with a
+    // pending (un-run) op has not mismatched anything yet, and NCCL
+    // would also block here until peers join. In the simulation every
+    // rank eventually enqueues from the same thread, so pending ops
+    // simply mean "peers haven't joined yet".
+    return ncclSuccess;
+}
+
+sim::Time
+mscclppNcclElapsed(ncclComm_t)
+{
+    return world().elapsed;
+}
+
+} // namespace mscclpp::compat

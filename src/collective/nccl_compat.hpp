@@ -1,0 +1,129 @@
+#ifndef MSCCLPP_COLLECTIVE_NCCL_COMPAT_HPP
+#define MSCCLPP_COLLECTIVE_NCCL_COMPAT_HPP
+
+#include "gpu/machine.hpp"
+#include "sim/time.hpp"
+
+#include <cstddef>
+
+/**
+ * @file
+ * The MSCCL++ Collective API as a drop-in NCCL replacement (Section
+ * 3.1): the same C-style entry points as nccl.h, implemented over the
+ * MSCCL++ channels — applications written against NCCL adopt it
+ * without changing code.
+ *
+ * Simulation note: the one addition is mscclppNcclBindMachine(),
+ * which tells the shim which simulated machine hosts the GPUs (the
+ * real library discovers devices via CUDA). Collective calls are
+ * asynchronous like NCCL's: each rank enqueues, the operation runs
+ * once all ranks have joined, and mscclppNcclStreamSynchronize()
+ * blocks until the rank's work is complete.
+ */
+
+namespace mscclpp::compat {
+
+using ncclResult_t = int;
+inline constexpr ncclResult_t ncclSuccess = 0;
+inline constexpr ncclResult_t ncclInvalidArgument = 1;
+inline constexpr ncclResult_t ncclInvalidUsage = 2;
+inline constexpr ncclResult_t ncclInternalError = 3;
+
+const char* ncclGetErrorString(ncclResult_t result);
+
+enum ncclDataType_t
+{
+    ncclFloat16 = 0,
+    ncclFloat32 = 1,
+};
+
+enum ncclRedOp_t
+{
+    ncclSum = 0,
+    ncclMax = 1,
+};
+
+struct ncclUniqueId
+{
+    char internal[128];
+};
+
+/** Opaque communicator handle, one per rank (like NCCL's). */
+typedef struct NcclCompatComm* ncclComm_t;
+
+/** Opaque stream handle; 0 is the default stream. */
+using mscclppStream_t = unsigned;
+
+/** Bind the shim to a simulated machine (call once, before init). */
+void mscclppNcclBindMachine(gpu::Machine& machine,
+                            std::size_t maxBytes = 64 << 20);
+
+/** Unbind and destroy all shim state (test teardown). */
+void mscclppNcclReset();
+
+// ---- the NCCL API surface ---------------------------------------------
+
+ncclResult_t ncclGetUniqueId(ncclUniqueId* uniqueId);
+
+ncclResult_t ncclCommInitRank(ncclComm_t* comm, int nranks,
+                              ncclUniqueId commId, int rank);
+
+ncclResult_t ncclCommDestroy(ncclComm_t comm);
+
+ncclResult_t ncclCommCount(const ncclComm_t comm, int* count);
+
+ncclResult_t ncclCommUserRank(const ncclComm_t comm, int* rank);
+
+/**
+ * In-place or out-of-place AllReduce over @p count elements.
+ * @p sendbuff/@p recvbuff are host pointers in the simulation (the
+ * analogue of device pointers); pass the same pointer for in place.
+ */
+ncclResult_t ncclAllReduce(const void* sendbuff, void* recvbuff,
+                           std::size_t count, ncclDataType_t datatype,
+                           ncclRedOp_t op, ncclComm_t comm,
+                           mscclppStream_t stream);
+
+ncclResult_t ncclAllGather(const void* sendbuff, void* recvbuff,
+                           std::size_t sendcount, ncclDataType_t datatype,
+                           ncclComm_t comm, mscclppStream_t stream);
+
+ncclResult_t ncclReduceScatter(const void* sendbuff, void* recvbuff,
+                               std::size_t recvcount,
+                               ncclDataType_t datatype, ncclRedOp_t op,
+                               ncclComm_t comm, mscclppStream_t stream);
+
+ncclResult_t ncclBroadcast(const void* sendbuff, void* recvbuff,
+                           std::size_t count, ncclDataType_t datatype,
+                           int root, ncclComm_t comm,
+                           mscclppStream_t stream);
+
+/**
+ * Point-to-point send: pairs with the peer's ncclRecv of the same
+ * count/type. Like NCCL, sends and receives may be grouped; the
+ * transfer runs once both sides have posted.
+ */
+ncclResult_t ncclSend(const void* sendbuff, std::size_t count,
+                      ncclDataType_t datatype, int peer, ncclComm_t comm,
+                      mscclppStream_t stream);
+
+/** Point-to-point receive pairing with the peer's ncclSend. */
+ncclResult_t ncclRecv(void* recvbuff, std::size_t count,
+                      ncclDataType_t datatype, int peer, ncclComm_t comm,
+                      mscclppStream_t stream);
+
+/** Group markers (accepted for NCCL compatibility; the shim already
+ *  matches sends and receives lazily, so these are no-ops). */
+ncclResult_t ncclGroupStart();
+ncclResult_t ncclGroupEnd();
+
+/** Block until all of this rank's enqueued collectives completed. */
+ncclResult_t mscclppNcclStreamSynchronize(ncclComm_t comm,
+                                          mscclppStream_t stream);
+
+/** Simulated time spent in collectives on this communicator. */
+sim::Time mscclppNcclElapsed(ncclComm_t comm);
+
+} // namespace mscclpp::compat
+
+#endif // MSCCLPP_COLLECTIVE_NCCL_COMPAT_HPP

@@ -1,0 +1,693 @@
+#include "collective/kernels.hpp"
+
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+#include "sim/sync.hpp"
+
+#include <memory>
+
+namespace mscclpp {
+
+// ---------------------------------------------------------------------------
+// AllGather
+// ---------------------------------------------------------------------------
+
+template <typename GetChan>
+sim::Time
+CollKernels::allGatherDirect(CollectiveComm& cc, std::size_t shard, GetChan getChan)
+{
+    const int n = cc.n_;
+    auto fn = [&, shard](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        auto& ch = getChan(rank, peer);
+        co_await ch.putWithSignal(ctx, rank * shard, rank * shard, shard);
+        co_await ch.wait(ctx);
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+sim::Time
+CollKernels::allGatherLL(CollectiveComm& cc, std::size_t shard, std::uint64_t parity)
+{
+    const int n = cc.n_;
+    auto fn = [&, shard, parity](gpu::BlockCtx& ctx,
+                                 int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        MemoryChannel& ch = cc.memLL_->mem(rank, peer);
+        co_await ch.putPackets(ctx, (parity * n + rank) * shard,
+                               rank * shard, shard);
+        co_await ch.readPackets(ctx);
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            for (int p = 0; p < n; ++p) {
+                if (p != rank) {
+                    gpu::copyBytes(cc.data_[rank].view(p * shard, shard),
+                                   cc.scratchSlot(rank, p, shard, parity),
+                                   shard);
+                }
+            }
+            co_await ctx.busy(
+                cc.machine_->gpu(rank).copyTime(shard * (n - 1)));
+        }
+        co_await ctx.gridBarrier();
+        if (!cc.options_.rotatingScratch) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+/** Two pipelined stages: cross-node shard exchange, local spread. */
+sim::Time
+CollKernels::allGatherHier(CollectiveComm& cc, std::size_t shard)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    const int m = cc.nodes_;
+    int kDepth = 4;
+    while (kDepth > 1 && (shard % static_cast<std::size_t>(kDepth) != 0 ||
+                          shard / static_cast<std::size_t>(kDepth) < 2048)) {
+        kDepth >>= 1;
+    }
+    const std::size_t sub = shard / kDepth;
+
+    std::vector<std::unique_ptr<sim::SimSemaphore>> xDone;
+    for (int r = 0; r < n; ++r) {
+        xDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+    }
+
+    auto fn = [&, shard, sub, kDepth](gpu::BlockCtx& ctx,
+                                      int rank) -> sim::Task<> {
+        const int node = rank / g;
+        const int local = rank % g;
+        if (ctx.blockIdx() == 0) {
+            // Stage 1: exchange my shard with same-index peers on the
+            // other nodes (RDMA), sub-chunk by sub-chunk.
+            for (int k = 0; k < kDepth; ++k) {
+                std::size_t off = rank * shard +
+                                  static_cast<std::size_t>(k) * sub;
+                for (int dn = 1; dn < m; ++dn) {
+                    int q = ((node + dn) % m) * g + local;
+                    co_await cc.port_->port(rank, q).putWithSignal(
+                        ctx, off, off, sub);
+                }
+                for (int dn = 1; dn < m; ++dn) {
+                    co_await cc.port_
+                        ->port(rank, ((node + dn) % m) * g + local)
+                        .wait(ctx);
+                }
+                xDone[rank]->add(1);
+            }
+        } else {
+            // Stage 2: spread my column (my shard + the M-1 received
+            // ones) to local peers.
+            for (int k = 0; k < kDepth; ++k) {
+                co_await xDone[rank]->waitUntil(k + 1);
+                for (int dl = 1; dl < g; ++dl) {
+                    int q = node * g + (local + dl) % g;
+                    MemoryChannel& ch = cc.memHBDirect_->mem(rank, q);
+                    for (int nn = 0; nn < m; ++nn) {
+                        std::size_t srcRank =
+                            static_cast<std::size_t>(nn) * g + local;
+                        std::size_t off =
+                            srcRank * shard +
+                            static_cast<std::size_t>(k) * sub;
+                        if (nn + 1 == m) {
+                            co_await ch.putWithSignal(ctx, off, off, sub);
+                        } else {
+                            co_await ch.put(ctx, off, off, sub);
+                        }
+                    }
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    co_await cc.memHBDirect_
+                        ->mem(rank, node * g + (local + dl) % g)
+                        .wait(ctx);
+                }
+            }
+        }
+    };
+    return cc.runOnAllRanks(2, fn);
+}
+
+sim::Time
+CollKernels::allGather(CollectiveComm& cc, std::size_t shard,
+                       AllGatherAlgo algo)
+{
+    std::uint64_t parity =
+        cc.options_.rotatingScratch ? (cc.round_++ & 1) : 0;
+    switch (algo) {
+      case AllGatherAlgo::AllPairsLL:
+        if (cc.nodes_ > 1) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "AP-LL AllGather is single-node");
+        }
+        if (2 * static_cast<std::size_t>(cc.n_) * shard >
+            cc.scratch_[0].size()) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "shard too large for LL scratch");
+        }
+        return allGatherLL(cc, shard, parity);
+      case AllGatherAlgo::AllPairsHB:
+        if (cc.nodes_ > 1) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "AP-HB AllGather is single-node");
+        }
+        return allGatherDirect(cc, shard,
+                               [&cc](int r, int p) -> MemoryChannel& {
+                                   return cc.memHBDirect_->mem(r, p);
+                               });
+      case AllGatherAlgo::AllPairsPort:
+        if (!cc.port_) {
+            throw Error(ErrorCode::InvalidUsage, "port mesh not built");
+        }
+        return allGatherDirect(cc, shard,
+                               [&cc](int r, int p) -> PortChannel& {
+                                   return cc.port_->port(r, p);
+                               });
+      case AllGatherAlgo::Hier:
+        if (cc.nodes_ < 2 || !cc.port_) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "hierarchical AllGather requires multi-node");
+        }
+        return allGatherHier(cc, shard);
+      case AllGatherAlgo::Auto:
+        break;
+    }
+    throw Error(ErrorCode::InternalError, "unresolved AllGather algorithm");
+}
+
+// ---------------------------------------------------------------------------
+// ReduceScatter: the all-pairs kernel of Figure 5.
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::reduceScatter(CollectiveComm& cc, std::size_t bytes,
+                           gpu::DataType type, gpu::ReduceOp op)
+{
+    const int n = cc.n_;
+    const std::size_t shard = bytes / n;
+    std::uint64_t parity =
+        cc.options_.rotatingScratch ? (cc.round_++ & 1) : 0;
+    auto fn = [&, shard, parity, type, op](gpu::BlockCtx& ctx,
+                                           int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        // Send 1/Nth of my data to each GPU's scratch (Figure 5).
+        MemoryChannel& ch = cc.nodes_ == 1
+                                ? cc.memHB_->mem(rank, peer)
+                                : cc.memHB_->mem(rank, peer); // intra only
+        co_await ch.putWithSignal(ctx, (parity * n + rank) * shard,
+                                  peer * shard, shard);
+        co_await ch.wait(ctx);
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            gpu::DeviceBuffer dst = cc.data_[rank].view(rank * shard,
+                                                        shard);
+            for (int p = 0; p < n; ++p) {
+                if (p != rank) {
+                    gpu::accumulate(dst,
+                                    cc.scratchSlot(rank, p, shard, parity),
+                                    shard, type, op);
+                }
+            }
+            co_await ctx.busy(
+                cc.machine_->gpu(rank).reduceTime(shard, n - 1));
+        }
+        co_await ctx.gridBarrier();
+        if (!cc.options_.rotatingScratch) {
+            // Barrier on all GPUs so scratch can be rewritten
+            // (Figure 5 line 18).
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    if (cc.nodes_ > 1) {
+        return hierReduceScatter(cc, bytes, type, op);
+    }
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+/**
+ * Multi-node ReduceScatter: the first two (pipelined) stages of the
+ * hierarchical AllReduce — node-local all-pairs ReduceScatter, then a
+ * cross-node exchange + reduce of each rank's own chunk.
+ */
+sim::Time
+CollKernels::hierReduceScatter(CollectiveComm& cc, std::size_t bytes,
+                               gpu::DataType type, gpu::ReduceOp op)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    const int m = cc.nodes_;
+    const std::size_t chunk = bytes / n;
+    int kDepth = cc.options_.pipelineChunks;
+    while (kDepth > 1 &&
+           (chunk % static_cast<std::size_t>(kDepth) != 0 ||
+            chunk / static_cast<std::size_t>(kDepth) < 2048)) {
+        kDepth >>= 1;
+    }
+    kDepth = std::max(kDepth, 1);
+    const std::size_t sub = chunk / kDepth;
+    if (sub == 0 || chunk % 16 != 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "reduceScatter size must chunk evenly");
+    }
+
+    std::vector<std::unique_ptr<sim::SimSemaphore>> aDone;
+    for (int r = 0; r < n; ++r) {
+        aDone.push_back(
+            std::make_unique<sim::SimSemaphore>(cc.machine_->scheduler()));
+    }
+    auto slotA = [&](int rank, int senderLocal, int nodeIdx, int k) {
+        std::size_t off =
+            ((static_cast<std::size_t>(senderLocal) * m + nodeIdx) *
+                 kDepth +
+             k) *
+            sub;
+        return cc.scratch_[rank].view(off, sub);
+    };
+    auto slotB = [&](int rank, int senderNode, int k) {
+        std::size_t off =
+            bytes +
+            (static_cast<std::size_t>(senderNode) * kDepth + k) * sub;
+        return cc.scratch_[rank].view(off, sub);
+    };
+
+    auto fn = [&, bytes, chunk, sub, kDepth, type,
+               op](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        (void)bytes;
+        const int node = rank / g;
+        const int local = rank % g;
+        gpu::Gpu& dev = cc.machine_->gpu(rank);
+        if (ctx.blockIdx() == 0) {
+            // Stage A: node-local ReduceScatter of every column.
+            for (int k = 0; k < kDepth; ++k) {
+                for (int dl = 1; dl < g; ++dl) {
+                    int pl = (local + dl) % g;
+                    int q = node * g + pl;
+                    MemoryChannel& ch = cc.memHB_->mem(rank, q);
+                    for (int nn = 0; nn < m; ++nn) {
+                        std::size_t c =
+                            static_cast<std::size_t>(nn) * g + pl;
+                        std::size_t srcOff =
+                            c * chunk +
+                            static_cast<std::size_t>(k) * sub;
+                        std::size_t dstOff =
+                            ((static_cast<std::size_t>(local) * m + nn) *
+                                 kDepth +
+                             k) *
+                            sub;
+                        if (nn + 1 == m) {
+                            co_await ch.putWithSignal(ctx, dstOff, srcOff,
+                                                      sub);
+                        } else {
+                            co_await ch.put(ctx, dstOff, srcOff, sub);
+                        }
+                    }
+                }
+                for (int dl = 1; dl < g; ++dl) {
+                    co_await cc.memHB_
+                        ->mem(rank, node * g + (local + dl) % g)
+                        .wait(ctx);
+                }
+                for (int sl = 0; sl < g; ++sl) {
+                    if (sl == local) {
+                        continue;
+                    }
+                    for (int nn = 0; nn < m; ++nn) {
+                        std::size_t c =
+                            static_cast<std::size_t>(nn) * g + local;
+                        gpu::accumulate(
+                            cc.data_[rank].view(
+                                c * chunk +
+                                    static_cast<std::size_t>(k) * sub,
+                                sub),
+                            slotA(rank, sl, nn, k), sub, type, op);
+                    }
+                }
+                co_await ctx.busy(dev.reduceTime(sub * m, g - 1));
+                aDone[rank]->add(1);
+            }
+        } else {
+            // Stage B: cross-node ReduceScatter of my own chunk.
+            const std::size_t myChunk =
+                static_cast<std::size_t>(node) * g + local;
+            for (int k = 0; k < kDepth; ++k) {
+                co_await aDone[rank]->waitUntil(k + 1);
+                for (int dn = 1; dn < m; ++dn) {
+                    int pn = (node + dn) % m;
+                    int q = pn * g + local;
+                    std::size_t c =
+                        static_cast<std::size_t>(pn) * g + local;
+                    co_await cc.portScratch_->port(rank, q).putWithSignal(
+                        ctx,
+                        bytes + (static_cast<std::size_t>(node) * kDepth +
+                                 k) *
+                                    sub,
+                        c * chunk + static_cast<std::size_t>(k) * sub,
+                        sub);
+                }
+                for (int dn = 1; dn < m; ++dn) {
+                    co_await cc.portScratch_
+                        ->port(rank, ((node + dn) % m) * g + local)
+                        .wait(ctx);
+                }
+                for (int sn = 0; sn < m; ++sn) {
+                    if (sn != node) {
+                        gpu::accumulate(
+                            cc.data_[rank].view(
+                                myChunk * chunk +
+                                    static_cast<std::size_t>(k) * sub,
+                                sub),
+                            slotB(rank, sn, k), sub, type, op);
+                    }
+                }
+                co_await ctx.busy(dev.reduceTime(sub, m - 1));
+            }
+        }
+    };
+    return cc.runOnAllRanks(2, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast: flat within a node, two-level across nodes.
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::broadcast(CollectiveComm& cc, std::size_t bytes, int root)
+{
+    const int g = cc.gpn_;
+    const int m = cc.nodes_;
+    const int rootNode = root / g;
+    const int rootLocal = root % g;
+
+    auto fn = [&, bytes, root](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        const int node = rank / g;
+        const int local = rank % g;
+        const bool isLeader = local == rootLocal; // relay on each node
+        if (rank == root) {
+            if (ctx.blockIdx() == 0 && m > 1) {
+                // Feed the other nodes' leaders over RDMA.
+                for (int dn = 1; dn < m; ++dn) {
+                    int q = ((rootNode + dn) % m) * g + rootLocal;
+                    co_await cc.port_->port(rank, q).putWithSignal(
+                        ctx, 0, 0, bytes);
+                }
+            }
+            if (ctx.blockIdx() == 1 || m == 1) {
+                for (int dl = 1; dl < g; ++dl) {
+                    int q = node * g + (local + dl) % g;
+                    co_await cc.memHBDirect_->mem(rank, q).putWithSignal(
+                        ctx, 0, 0, bytes);
+                }
+            }
+        } else if (isLeader && m > 1) {
+            if (ctx.blockIdx() == 0) {
+                co_await cc.port_->port(rank, root).wait(ctx);
+                for (int dl = 1; dl < g; ++dl) {
+                    int q = node * g + (local + dl) % g;
+                    co_await cc.memHBDirect_->mem(rank, q).putWithSignal(
+                        ctx, 0, 0, bytes);
+                }
+            }
+        } else {
+            if (ctx.blockIdx() == 0) {
+                int leader = node * g + rootLocal;
+                co_await cc.memHBDirect_->mem(rank, leader).wait(ctx);
+            }
+        }
+    };
+    return cc.runOnAllRanks(m > 1 ? 2 : 1, fn);
+}
+
+// ---------------------------------------------------------------------------
+// AllToAll: direct all-pairs puts (mixed transports across nodes).
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::allToAll(CollectiveComm& cc, std::size_t slot)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    std::uint64_t parity =
+        cc.options_.rotatingScratch ? (cc.round_++ & 1) : 0;
+    // The exchange is in place, so incoming blocks stage through
+    // scratch: writing directly into data[p*slot] could overwrite a
+    // block the receiver has not sent yet.
+    auto fn = [&, slot, parity](gpu::BlockCtx& ctx,
+                                int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        const bool sameNode = peer / g == rank / g;
+        if (sameNode) {
+            MemoryChannel& ch = cc.memHB_->mem(rank, peer);
+            co_await ch.putWithSignal(ctx, (parity * n + rank) * slot,
+                                      peer * slot, slot);
+            co_await ch.wait(ctx);
+        } else {
+            if (!cc.portScratch_) {
+                throw Error(ErrorCode::InvalidUsage,
+                            "cross-node AllToAll needs the port mesh");
+            }
+            PortChannel& ch = cc.portScratch_->port(rank, peer);
+            co_await ch.putWithSignal(ctx, (parity * n + rank) * slot,
+                                      peer * slot, slot);
+            co_await ch.wait(ctx);
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            for (int p = 0; p < n; ++p) {
+                if (p != rank) {
+                    gpu::copyBytes(cc.data_[rank].view(p * slot, slot),
+                                   cc.scratchSlot(rank, p, slot, parity),
+                                   slot);
+                }
+            }
+            co_await ctx.busy(
+                cc.machine_->gpu(rank).copyTime(slot * (n - 1)));
+        }
+        co_await ctx.gridBarrier();
+        if (!cc.options_.rotatingScratch) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+sim::Time
+CollKernels::allToAllV(
+    CollectiveComm& cc,
+    const std::vector<std::vector<std::size_t>>& sendBytes)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    std::uint64_t parity =
+        cc.options_.rotatingScratch ? (cc.round_++ & 1) : 0;
+
+    // Precompute send offsets (prefix sums of each row) and receive
+    // offsets in the destination scratch, grouped by source rank.
+    std::vector<std::vector<std::size_t>> sendOff(
+        n, std::vector<std::size_t>(n, 0));
+    std::vector<std::vector<std::size_t>> recvOff(
+        n, std::vector<std::size_t>(n, 0));
+    std::vector<std::size_t> recvTotal(n, 0);
+    for (int r = 0; r < n; ++r) {
+        std::size_t off = 0;
+        for (int p = 0; p < n; ++p) {
+            sendOff[r][p] = off;
+            off += sendBytes[r][p];
+        }
+    }
+    for (int p = 0; p < n; ++p) {
+        std::size_t off = 0;
+        for (int r = 0; r < n; ++r) {
+            recvOff[p][r] = off;
+            off += sendBytes[r][p];
+        }
+        recvTotal[p] = off;
+    }
+    std::size_t scratchHalf = cc.scratch_[0].size() / 2;
+
+    auto fn = [&, parity](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        const int peer = (rank + 1 + ctx.blockIdx()) % n;
+        const std::size_t bytes = sendBytes[rank][peer];
+        const std::size_t dstOff =
+            parity * scratchHalf + recvOff[peer][rank];
+        const bool sameNode = peer / g == rank / g;
+        if (bytes > 0) {
+            if (sameNode) {
+                co_await cc.memHB_->mem(rank, peer).putWithSignal(
+                    ctx, dstOff, sendOff[rank][peer], bytes);
+            } else {
+                co_await cc.portScratch_->port(rank, peer).putWithSignal(
+                    ctx, dstOff, sendOff[rank][peer], bytes);
+            }
+        } else {
+            // Zero-byte blocks still signal so waits stay matched.
+            if (sameNode) {
+                co_await cc.memHB_->mem(rank, peer).signal(ctx);
+            } else {
+                co_await cc.portScratch_->port(rank, peer).signal(ctx);
+            }
+        }
+        const bool senderLocal = peer / g == rank / g;
+        if (senderLocal) {
+            co_await cc.memHB_->mem(rank, peer).wait(ctx);
+        } else {
+            co_await cc.portScratch_->port(rank, peer).wait(ctx);
+        }
+        co_await ctx.gridBarrier();
+        if (ctx.blockIdx() == 0) {
+            // Unpack: my own block first, then the received ones, so
+            // the result is contiguous by source rank.
+            std::size_t mine = sendBytes[rank][rank];
+            if (mine > 0) {
+                gpu::copyBytes(
+                    cc.data_[rank].view(recvOff[rank][rank], mine),
+                    cc.data_[rank].view(sendOff[rank][rank], mine),
+                    mine);
+            }
+            for (int src = 0; src < n; ++src) {
+                std::size_t b = sendBytes[src][rank];
+                if (src == rank || b == 0) {
+                    continue;
+                }
+                gpu::copyBytes(
+                    cc.data_[rank].view(recvOff[rank][src], b),
+                    cc.scratch_[rank].view(
+                        parity * scratchHalf + recvOff[rank][src], b),
+                    b);
+            }
+            co_await ctx.busy(
+                cc.machine_->gpu(rank).copyTime(recvTotal[rank]));
+        }
+        co_await ctx.gridBarrier();
+        if (!cc.options_.rotatingScratch) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Reduce / Gather / Scatter: rooted collectives over the same meshes.
+// ---------------------------------------------------------------------------
+
+sim::Time
+CollKernels::reduce(CollectiveComm& cc, std::size_t bytes,
+                    gpu::DataType type, gpu::ReduceOp op, int root)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    std::uint64_t parity =
+        cc.options_.rotatingScratch ? (cc.round_++ & 1) : 0;
+    if (2 * static_cast<std::size_t>(n) * bytes > cc.scratch_[0].size()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "message too large for flat reduce scratch");
+    }
+    // Flat fan-in: every rank sends its whole buffer into the root's
+    // scratch slot; the root reduces. Intra-node senders use memory
+    // channels, cross-node senders RDMA.
+    auto fn = [&, bytes, parity, type, op, root](gpu::BlockCtx& ctx,
+                                                 int rank) -> sim::Task<> {
+        const bool sameNode = rank / g == root / g;
+        if (rank != root && ctx.blockIdx() == 0) {
+            std::size_t dstOff = (parity * n + rank) * bytes;
+            if (sameNode) {
+                co_await cc.memHB_->mem(rank, root).putWithSignal(
+                    ctx, dstOff, 0, bytes);
+            } else {
+                co_await cc.portScratch_->port(rank, root).putWithSignal(
+                    ctx, dstOff, 0, bytes);
+            }
+        } else if (rank == root) {
+            // One block per sender: wait, then fold the slot in.
+            int sender = (root + 1 + ctx.blockIdx()) % n;
+            const bool senderLocal = sender / g == root / g;
+            if (senderLocal) {
+                co_await cc.memHB_->mem(root, sender).wait(ctx);
+            } else {
+                co_await cc.portScratch_->port(root, sender).wait(ctx);
+            }
+            gpu::accumulate(cc.data_[root].view(0, bytes),
+                            cc.scratchSlot(root, sender, bytes, parity),
+                            bytes, type, op);
+            co_await ctx.busy(
+                cc.machine_->gpu(root).reduceTime(bytes, 1) / (n - 1));
+            co_await ctx.gridBarrier();
+        }
+        if (!cc.options_.rotatingScratch && ctx.blockIdx() == 0) {
+            co_await cc.syncer_->barrier(ctx, rank);
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+sim::Time
+CollKernels::gather(CollectiveComm& cc, std::size_t shard, int root)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    // Everyone puts its shard straight into the root's data buffer at
+    // its rank slot (disjoint regions, no scratch needed).
+    auto fn = [&, shard, root](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (ctx.blockIdx() != 0) {
+            co_return;
+        }
+        const bool sameNode = rank / g == root / g;
+        if (rank != root) {
+            std::size_t off = static_cast<std::size_t>(rank) * shard;
+            if (sameNode) {
+                co_await cc.memHBDirect_->mem(rank, root).putWithSignal(
+                    ctx, off, off, shard);
+            } else {
+                co_await cc.port_->port(rank, root).putWithSignal(
+                    ctx, off, off, shard);
+            }
+        } else {
+            for (int p = 0; p < n; ++p) {
+                if (p == root) {
+                    continue;
+                }
+                const bool senderLocal = p / g == root / g;
+                if (senderLocal) {
+                    co_await cc.memHBDirect_->mem(root, p).wait(ctx);
+                } else {
+                    co_await cc.port_->port(root, p).wait(ctx);
+                }
+            }
+        }
+    };
+    return cc.runOnAllRanks(1, fn);
+}
+
+sim::Time
+CollKernels::scatter(CollectiveComm& cc, std::size_t shard, int root)
+{
+    const int n = cc.n_;
+    const int g = cc.gpn_;
+    auto fn = [&, shard, root](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == root) {
+            // One block per receiver: push its shard.
+            int dst = (root + 1 + ctx.blockIdx()) % n;
+            std::size_t off = static_cast<std::size_t>(dst) * shard;
+            const bool sameNode = dst / g == root / g;
+            if (sameNode) {
+                co_await cc.memHBDirect_->mem(root, dst).putWithSignal(
+                    ctx, off, off, shard);
+            } else {
+                co_await cc.port_->port(root, dst).putWithSignal(
+                    ctx, off, off, shard);
+            }
+        } else if (ctx.blockIdx() == 0) {
+            const bool sameNode = rank / g == root / g;
+            if (sameNode) {
+                co_await cc.memHBDirect_->mem(rank, root).wait(ctx);
+            } else {
+                co_await cc.port_->port(rank, root).wait(ctx);
+            }
+        }
+    };
+    return cc.runOnAllRanks(n - 1, fn);
+}
+
+} // namespace mscclpp

@@ -1,0 +1,498 @@
+#include "core/bootstrap.hpp"
+
+#include "core/errors.hpp"
+#include "core/logging.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace mscclpp {
+
+void
+Bootstrap::sendVec(int peer, int tag, const std::vector<std::uint8_t>& v)
+{
+    send(peer, tag, v.data(), v.size());
+}
+
+std::vector<std::uint8_t>
+Bootstrap::recvVec(int peer, int tag, std::size_t bytes)
+{
+    std::vector<std::uint8_t> v(bytes);
+    recv(peer, tag, v.data(), bytes);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// In-process bootstrap
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Mailbox shared by all ranks of an in-process bootstrap group. */
+struct InProcState
+{
+    explicit InProcState(int size) : size(size) {}
+
+    int size;
+    std::mutex mu;
+    std::condition_variable cv;
+    // (src, dst, tag) -> FIFO of messages
+    std::map<std::tuple<int, int, int>, std::deque<std::vector<std::uint8_t>>>
+        mail;
+    // allGather staging
+    std::vector<std::uint8_t> gatherBuf;
+    int gatherArrived = 0;
+    int gatherDeparted = 0;
+    std::size_t gatherBytesPerRank = 0;
+    // barrier
+    int barArrived = 0;
+    std::uint64_t barGeneration = 0;
+};
+
+class InProcessBootstrap : public Bootstrap
+{
+  public:
+    InProcessBootstrap(std::shared_ptr<InProcState> state, int rank)
+        : state_(std::move(state)), rank_(rank)
+    {
+    }
+
+    int rank() const override { return rank_; }
+    int size() const override { return state_->size; }
+
+    void send(int peer, int tag, const void* data,
+              std::size_t bytes) override
+    {
+        checkPeer(peer);
+        std::vector<std::uint8_t> msg(bytes);
+        std::memcpy(msg.data(), data, bytes);
+        {
+            std::lock_guard<std::mutex> lock(state_->mu);
+            state_->mail[{rank_, peer, tag}].push_back(std::move(msg));
+        }
+        state_->cv.notify_all();
+    }
+
+    void recv(int peer, int tag, void* data, std::size_t bytes) override
+    {
+        checkPeer(peer);
+        std::unique_lock<std::mutex> lock(state_->mu);
+        auto key = std::make_tuple(peer, rank_, tag);
+        state_->cv.wait(lock, [&] {
+            auto it = state_->mail.find(key);
+            return it != state_->mail.end() && !it->second.empty();
+        });
+        auto& q = state_->mail[key];
+        std::vector<std::uint8_t> msg = std::move(q.front());
+        q.pop_front();
+        if (msg.size() != bytes) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "bootstrap recv size mismatch");
+        }
+        std::memcpy(data, msg.data(), bytes);
+    }
+
+    void allGather(void* allData, std::size_t bytesPerRank) override
+    {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        // Wait for the previous round to fully drain before joining a
+        // new one.
+        state_->cv.wait(
+            lock, [&] { return state_->gatherArrived < state_->size; });
+        if (state_->gatherArrived == 0) {
+            state_->gatherBuf.assign(
+                bytesPerRank * static_cast<std::size_t>(state_->size), 0);
+            state_->gatherBytesPerRank = bytesPerRank;
+        } else if (state_->gatherBytesPerRank != bytesPerRank) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "allGather bytesPerRank mismatch across ranks");
+        }
+        std::memcpy(state_->gatherBuf.data() + bytesPerRank * rank_,
+                    static_cast<const std::uint8_t*>(allData) +
+                        bytesPerRank * rank_,
+                    bytesPerRank);
+        ++state_->gatherArrived;
+        state_->cv.notify_all();
+        state_->cv.wait(lock,
+                        [&] { return state_->gatherArrived == state_->size; });
+        std::memcpy(allData, state_->gatherBuf.data(),
+                    state_->gatherBuf.size());
+        ++state_->gatherDeparted;
+        if (state_->gatherDeparted == state_->size) {
+            state_->gatherArrived = 0;
+            state_->gatherDeparted = 0;
+        }
+        state_->cv.notify_all();
+    }
+
+    void barrier() override
+    {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        std::uint64_t gen = state_->barGeneration;
+        if (++state_->barArrived == state_->size) {
+            state_->barArrived = 0;
+            ++state_->barGeneration;
+            state_->cv.notify_all();
+            return;
+        }
+        state_->cv.wait(lock,
+                        [&] { return state_->barGeneration != gen; });
+    }
+
+  private:
+    void checkPeer(int peer) const
+    {
+        if (peer < 0 || peer >= state_->size || peer == rank_) {
+            throw Error(ErrorCode::InvalidUsage, "invalid bootstrap peer");
+        }
+    }
+
+    std::shared_ptr<InProcState> state_;
+    int rank_;
+};
+
+} // namespace
+
+std::vector<std::shared_ptr<Bootstrap>>
+createInProcessBootstrap(int size)
+{
+    if (size < 1) {
+        throw Error(ErrorCode::InvalidUsage, "bootstrap size must be >= 1");
+    }
+    auto state = std::make_shared<InProcState>(size);
+    std::vector<std::shared_ptr<Bootstrap>> out;
+    out.reserve(size);
+    for (int r = 0; r < size; ++r) {
+        out.push_back(std::make_shared<InProcessBootstrap>(state, r));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// TCP bootstrap
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** RAII socket. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+    Socket& operator=(Socket&& o) noexcept
+    {
+        if (this != &o) {
+            close();
+            fd_ = std::exchange(o.fd_, -1);
+        }
+        return *this;
+    }
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    void close()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    void writeAll(const void* data, std::size_t bytes)
+    {
+        const char* p = static_cast<const char*>(data);
+        while (bytes > 0) {
+            ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
+            if (n <= 0) {
+                throw Error(ErrorCode::SystemError,
+                            "socket send failed: " +
+                                std::string(std::strerror(errno)));
+            }
+            p += n;
+            bytes -= static_cast<std::size_t>(n);
+        }
+    }
+
+    void readAll(void* data, std::size_t bytes)
+    {
+        char* p = static_cast<char*>(data);
+        while (bytes > 0) {
+            ssize_t n = ::recv(fd_, p, bytes, 0);
+            if (n <= 0) {
+                throw Error(ErrorCode::RemoteError,
+                            "socket recv failed or peer closed");
+            }
+            p += n;
+            bytes -= static_cast<std::size_t>(n);
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+Socket
+makeListener(uint16_t& port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw Error(ErrorCode::SystemError, "socket() failed");
+    }
+    Socket s(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        throw Error(ErrorCode::SystemError,
+                    "bind failed: " + std::string(std::strerror(errno)));
+    }
+    if (::listen(fd, 64) != 0) {
+        throw Error(ErrorCode::SystemError, "listen failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port = ntohs(addr.sin_port);
+    return s;
+}
+
+Socket
+connectTo(uint16_t port)
+{
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            throw Error(ErrorCode::SystemError, "socket() failed");
+        }
+        Socket s(fd);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return s;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    throw Error(ErrorCode::Timeout, "could not connect to bootstrap peer");
+}
+
+struct Frame
+{
+    std::int32_t tag;
+    std::uint64_t size;
+};
+
+constexpr int kGatherTag = -1000;
+
+/**
+ * Full-mesh TCP bootstrap. Rendezvous: every rank connects to rank 0,
+ * announces its own listener port, rank 0 broadcasts the port table,
+ * then rank j connects to every rank i < j.
+ */
+class TcpBootstrap : public Bootstrap
+{
+  public:
+    TcpBootstrap(int rank, int size, int port) : rank_(rank), size_(size)
+    {
+        if (rank < 0 || rank >= size) {
+            throw Error(ErrorCode::InvalidUsage, "bad bootstrap rank");
+        }
+        peers_.resize(size);
+        if (size == 1) {
+            return;
+        }
+        std::vector<std::uint16_t> ports(size, 0);
+
+        if (rank == 0) {
+            // Rank 0 needs no mesh listener: every peer reaches it via
+            // the rendezvous socket.
+            std::uint16_t rootPort = static_cast<std::uint16_t>(port);
+            Socket rootListener = makeListener(rootPort);
+            ports[0] = rootPort;
+            // Accept size-1 connections; each announces (rank, port).
+            for (int i = 1; i < size; ++i) {
+                int fd = ::accept(rootListener.fd(), nullptr, nullptr);
+                if (fd < 0) {
+                    throw Error(ErrorCode::SystemError, "accept failed");
+                }
+                Socket s(fd);
+                std::int32_t peerRank;
+                std::uint16_t peerPort;
+                s.readAll(&peerRank, sizeof(peerRank));
+                s.readAll(&peerPort, sizeof(peerPort));
+                ports[peerRank] = peerPort;
+                peers_[peerRank] = std::move(s);
+            }
+            // Broadcast the port table.
+            for (int i = 1; i < size; ++i) {
+                peers_[i].writeAll(ports.data(),
+                                   ports.size() * sizeof(ports[0]));
+            }
+        } else {
+            std::uint16_t myPort = 0;
+            Socket listener = makeListener(myPort);
+            Socket toRoot = connectTo(static_cast<std::uint16_t>(port));
+            std::int32_t myRank = rank;
+            toRoot.writeAll(&myRank, sizeof(myRank));
+            toRoot.writeAll(&myPort, sizeof(myPort));
+            toRoot.readAll(ports.data(), ports.size() * sizeof(ports[0]));
+            peers_[0] = std::move(toRoot);
+            // Connect to every lower-ranked peer (except root).
+            for (int i = 1; i < rank; ++i) {
+                Socket s = connectTo(ports[i]);
+                std::int32_t r = rank;
+                s.writeAll(&r, sizeof(r));
+                peers_[i] = std::move(s);
+            }
+            // Accept connections from every higher-ranked peer.
+            for (int i = rank + 1; i < size; ++i) {
+                int fd = ::accept(listener.fd(), nullptr, nullptr);
+                if (fd < 0) {
+                    throw Error(ErrorCode::SystemError, "accept failed");
+                }
+                Socket s(fd);
+                std::int32_t peerRank;
+                s.readAll(&peerRank, sizeof(peerRank));
+                peers_[peerRank] = std::move(s);
+            }
+        }
+    }
+
+    int rank() const override { return rank_; }
+    int size() const override { return size_; }
+
+    void send(int peer, int tag, const void* data,
+              std::size_t bytes) override
+    {
+        checkPeer(peer);
+        std::lock_guard<std::mutex> lock(sendMu_[peer % kLockStripes]);
+        Frame f{tag, bytes};
+        peers_[peer].writeAll(&f, sizeof(f));
+        if (bytes > 0) {
+            peers_[peer].writeAll(data, bytes);
+        }
+    }
+
+    void recv(int peer, int tag, void* data, std::size_t bytes) override
+    {
+        checkPeer(peer);
+        // Check messages buffered while scanning for other tags.
+        {
+            auto it = pending_.find({peer, tag});
+            if (it != pending_.end() && !it->second.empty()) {
+                takePending(it->second, data, bytes);
+                return;
+            }
+        }
+        for (;;) {
+            Frame f;
+            peers_[peer].readAll(&f, sizeof(f));
+            std::vector<std::uint8_t> payload(f.size);
+            if (f.size > 0) {
+                peers_[peer].readAll(payload.data(), payload.size());
+            }
+            if (f.tag == tag) {
+                if (payload.size() != bytes) {
+                    throw Error(ErrorCode::InvalidUsage,
+                                "bootstrap recv size mismatch");
+                }
+                std::memcpy(data, payload.data(), bytes);
+                return;
+            }
+            pending_[{peer, f.tag}].push_back(std::move(payload));
+        }
+    }
+
+    void allGather(void* allData, std::size_t bytesPerRank) override
+    {
+        auto* base = static_cast<std::uint8_t*>(allData);
+        if (size_ == 1) {
+            return;
+        }
+        if (rank_ == 0) {
+            for (int i = 1; i < size_; ++i) {
+                recv(i, kGatherTag, base + bytesPerRank * i, bytesPerRank);
+            }
+            for (int i = 1; i < size_; ++i) {
+                send(i, kGatherTag, base, bytesPerRank * size_);
+            }
+        } else {
+            send(0, kGatherTag, base + bytesPerRank * rank_, bytesPerRank);
+            recv(0, kGatherTag, base, bytesPerRank * size_);
+        }
+    }
+
+    void barrier() override
+    {
+        std::uint8_t token = 0;
+        std::vector<std::uint8_t> all(size_);
+        all[rank_] = token;
+        allGather(all.data(), 1);
+    }
+
+  private:
+    static constexpr int kLockStripes = 64;
+
+    void checkPeer(int peer) const
+    {
+        if (peer < 0 || peer >= size_ || peer == rank_) {
+            throw Error(ErrorCode::InvalidUsage, "invalid bootstrap peer");
+        }
+    }
+
+    static void takePending(std::deque<std::vector<std::uint8_t>>& q,
+                            void* data, std::size_t bytes)
+    {
+        std::vector<std::uint8_t> payload = std::move(q.front());
+        q.pop_front();
+        if (payload.size() != bytes) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "bootstrap recv size mismatch");
+        }
+        std::memcpy(data, payload.data(), bytes);
+    }
+
+    int rank_;
+    int size_;
+    std::vector<Socket> peers_;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::uint8_t>>>
+        pending_;
+    std::mutex sendMu_[kLockStripes];
+};
+
+} // namespace
+
+std::shared_ptr<Bootstrap>
+createTcpBootstrap(int rank, int size, int port)
+{
+    if (port <= 0 || port > 65535) {
+        throw Error(ErrorCode::InvalidUsage, "bootstrap port out of range");
+    }
+    return std::make_shared<TcpBootstrap>(rank, size, port);
+}
+
+} // namespace mscclpp

@@ -1,0 +1,71 @@
+#ifndef MSCCLPP_CORE_BOOTSTRAP_HPP
+#define MSCCLPP_CORE_BOOTSTRAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * Host-side metadata exchange used during initialisation (Section
+ * 4.1): point-to-point send/recv, allGather and barrier across all
+ * participating processes.
+ *
+ * This runs for real (threads + sockets), not in simulated time —
+ * bootstrap happens once before any collective and is never part of
+ * the paper's measurements.
+ */
+class Bootstrap
+{
+  public:
+    virtual ~Bootstrap() = default;
+
+    virtual int rank() const = 0;
+    virtual int size() const = 0;
+
+    /** Send @p bytes of @p data to @p peer under @p tag. */
+    virtual void send(int peer, int tag, const void* data,
+                      std::size_t bytes) = 0;
+
+    /** Receive exactly @p bytes from @p peer under @p tag (blocking). */
+    virtual void recv(int peer, int tag, void* data, std::size_t bytes) = 0;
+
+    /**
+     * Gather @p bytesPerRank from every rank into @p allData (laid out
+     * rank-major). Every rank must call with identical bytesPerRank.
+     */
+    virtual void allGather(void* allData, std::size_t bytesPerRank) = 0;
+
+    /** Block until all ranks have entered the barrier. */
+    virtual void barrier() = 0;
+
+    // ---- convenience wrappers -------------------------------------------
+
+    void sendVec(int peer, int tag, const std::vector<std::uint8_t>& v);
+    std::vector<std::uint8_t> recvVec(int peer, int tag, std::size_t bytes);
+};
+
+/**
+ * In-process bootstrap: all ranks are threads (or sequential callers)
+ * in one process sharing a mailbox. create() returns one Bootstrap
+ * per rank.
+ */
+std::vector<std::shared_ptr<Bootstrap>> createInProcessBootstrap(int size);
+
+/**
+ * POSIX-socket bootstrap, the library's default in the paper. Rank 0
+ * listens on @p port (localhost); all ranks build a full connection
+ * mesh during construction. Each rank constructs its own
+ * TcpBootstrap, typically from its own thread or process.
+ *
+ * @param port rendezvous port of rank 0; pass 0 to pick an ephemeral
+ *        port (then only usable when all ranks share the process and
+ *        discover it via tcpBootstrapPort()).
+ */
+std::shared_ptr<Bootstrap> createTcpBootstrap(int rank, int size, int port);
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_BOOTSTRAP_HPP

@@ -1,0 +1,82 @@
+#include "core/communicator.hpp"
+
+#include "core/errors.hpp"
+#include "core/logging.hpp"
+
+namespace mscclpp {
+
+Communicator::Communicator(std::shared_ptr<Bootstrap> bootstrap,
+                           gpu::Machine& machine)
+    : bootstrap_(std::move(bootstrap)), machine_(&machine)
+{
+    if (bootstrap_ == nullptr) {
+        throw Error(ErrorCode::InvalidUsage, "null bootstrap");
+    }
+    if (bootstrap_->size() != machine.numGpus()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "bootstrap size does not match machine GPU count");
+    }
+    MSCCLPP_DEBUG("communicator rank %d/%d on %s", rank(), size(),
+                  machine.config().name.c_str());
+}
+
+RegisteredMemory
+Communicator::registerMemory(const gpu::DeviceBuffer& buffer)
+{
+    if (!buffer.valid()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "cannot register an invalid buffer");
+    }
+    if (buffer.gpuRank() != rank()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "buffer does not belong to this rank's GPU");
+    }
+    return RegisteredMemory(rank(), buffer);
+}
+
+void
+Communicator::sendMemory(const RegisteredMemory& mem, int peer, int tag)
+{
+    bootstrap_->sendVec(peer, tag, mem.serialize());
+}
+
+RegisteredMemory
+Communicator::recvMemory(int peer, int tag)
+{
+    auto wire =
+        bootstrap_->recvVec(peer, tag, RegisteredMemory::serializedSize());
+    return RegisteredMemory::deserialize(wire);
+}
+
+std::shared_ptr<Connection>
+Communicator::connect(int peer, Transport transport)
+{
+    auto conn =
+        std::make_shared<Connection>(*machine_, rank(), peer, transport);
+    connections_.push_back(conn);
+    return conn;
+}
+
+DeviceSemaphore*
+Communicator::createSemaphore()
+{
+    semaphores_.push_back(
+        std::make_unique<DeviceSemaphore>(*machine_, rank()));
+    return semaphores_.back().get();
+}
+
+void
+Communicator::sendSemaphore(const DeviceSemaphore* sem, int peer, int tag)
+{
+    bootstrap_->sendVec(peer, tag, sem->serialize());
+}
+
+DeviceSemaphore*
+Communicator::recvSemaphore(int peer, int tag)
+{
+    auto wire =
+        bootstrap_->recvVec(peer, tag, DeviceSemaphore::serializedSize());
+    return DeviceSemaphore::deserialize(wire);
+}
+
+} // namespace mscclpp

@@ -1,0 +1,67 @@
+#ifndef MSCCLPP_CORE_COMMUNICATOR_HPP
+#define MSCCLPP_CORE_COMMUNICATOR_HPP
+
+#include "core/bootstrap.hpp"
+#include "core/connection.hpp"
+#include "core/registered_memory.hpp"
+#include "core/semaphore.hpp"
+#include "gpu/machine.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * Per-rank entry point of the MSCCL++ host runtime (Section 4.1):
+ * owns the bootstrap, registers communication buffers, creates
+ * connections and semaphores, and exchanges their handles with peers.
+ */
+class Communicator
+{
+  public:
+    /**
+     * @param bootstrap metadata-exchange group this rank belongs to;
+     *        the bootstrap rank selects this rank's GPU in @p machine.
+     */
+    Communicator(std::shared_ptr<Bootstrap> bootstrap,
+                 gpu::Machine& machine);
+
+    int rank() const { return bootstrap_->rank(); }
+    int size() const { return bootstrap_->size(); }
+    gpu::Machine& machine() const { return *machine_; }
+    gpu::Gpu& gpu() const { return machine_->gpu(rank()); }
+    Bootstrap& bootstrap() const { return *bootstrap_; }
+
+    /** Register a local buffer for remote access. */
+    RegisteredMemory registerMemory(const gpu::DeviceBuffer& buffer);
+
+    /** Send a registered-memory handle to @p peer under @p tag. */
+    void sendMemory(const RegisteredMemory& mem, int peer, int tag);
+
+    /** Receive a peer's registered-memory handle. */
+    RegisteredMemory recvMemory(int peer, int tag);
+
+    /** Create a connection to @p peer over @p transport. */
+    std::shared_ptr<Connection> connect(int peer, Transport transport);
+
+    /**
+     * Allocate a semaphore on this rank's GPU. The returned object is
+     * owned by the communicator (kept alive until destruction).
+     */
+    DeviceSemaphore* createSemaphore();
+
+    /** Exchange a semaphore handle with a peer. */
+    void sendSemaphore(const DeviceSemaphore* sem, int peer, int tag);
+    DeviceSemaphore* recvSemaphore(int peer, int tag);
+
+  private:
+    std::shared_ptr<Bootstrap> bootstrap_;
+    gpu::Machine* machine_;
+    std::vector<std::unique_ptr<DeviceSemaphore>> semaphores_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_COMMUNICATOR_HPP

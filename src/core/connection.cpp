@@ -1,0 +1,84 @@
+#include "core/connection.hpp"
+
+#include "core/errors.hpp"
+
+namespace mscclpp {
+
+const char*
+toString(Transport t)
+{
+    switch (t) {
+      case Transport::Memory:
+        return "Memory";
+      case Transport::Port:
+        return "Port";
+      case Transport::Switch:
+        return "Switch";
+    }
+    return "?";
+}
+
+Connection::Connection(gpu::Machine& machine, int localRank, int remoteRank,
+                       Transport transport)
+    : machine_(&machine),
+      localRank_(localRank),
+      remoteRank_(remoteRank),
+      transport_(transport)
+{
+    fabric::Fabric& fab = machine.fabric();
+    if (localRank == remoteRank) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "connection endpoints must differ");
+    }
+    sameNode_ = fab.sameNode(localRank, remoteRank);
+    const fabric::EnvConfig& cfg = machine.config();
+
+    switch (transport) {
+      case Transport::Memory:
+        if (!sameNode_) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MemoryChannel requires peer-to-peer access "
+                        "(same node)");
+        }
+        path_ = fab.intraPath(localRank, remoteRank);
+        effectiveBw_ = path_.bottleneckGBps() * cfg.threadCopyPeakEff;
+        break;
+      case Transport::Port:
+        // DMA-copy inside a node, RDMA across nodes; both go through
+        // a port controlled by dedicated hardware.
+        path_ = sameNode_ ? fab.intraPath(localRank, remoteRank)
+                          : fab.netPath(localRank, remoteRank);
+        effectiveBw_ = path_.bottleneckGBps() *
+                       (sameNode_ ? cfg.dmaCopyEff : 1.0);
+        break;
+      case Transport::Switch:
+        throw Error(ErrorCode::InvalidUsage,
+                    "SwitchChannel connections are created per group, "
+                    "not per peer");
+    }
+}
+
+std::pair<sim::Time, sim::Time>
+Connection::reserveWrite(std::uint64_t bytes, double senderCapGBps)
+{
+    double cap = effectiveBw_;
+    if (senderCapGBps > 0.0 && senderCapGBps < cap) {
+        cap = senderCapGBps;
+    }
+    auto res = path_.reserve(bytes, cap);
+    lastWriteArrival_ = std::max(lastWriteArrival_, res.second);
+    return res;
+}
+
+sim::Time
+Connection::reserveAtomic()
+{
+    // The atomic rides the wire immediately (8 bytes interleave with
+    // bulk traffic) but cannot overtake this connection's own writes.
+    sim::Time wireArrival =
+        machine_->scheduler().now() + path_.latency();
+    return std::max(wireArrival, lastWriteArrival_) +
+           config().atomicAddLatency;
+}
+
+} // namespace mscclpp

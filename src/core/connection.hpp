@@ -1,0 +1,89 @@
+#ifndef MSCCLPP_CORE_CONNECTION_HPP
+#define MSCCLPP_CORE_CONNECTION_HPP
+
+#include "fabric/link.hpp"
+#include "gpu/machine.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+
+namespace mscclpp {
+
+/**
+ * Data-transfer modes a connection can use, one per channel type
+ * (Section 3.2.1). Memory = thread-copy over p2p load/store; Port =
+ * copy-engine / RDMA initiated through a port; Switch = in-network
+ * multimem.
+ */
+enum class Transport
+{
+    Memory,
+    Port,
+    Switch,
+};
+
+const char* toString(Transport t);
+
+/**
+ * A directional connection from the local rank to one remote rank,
+ * resolved against the fabric at construction: route, latencies and
+ * effective bandwidth caps for the chosen transport.
+ */
+class Connection
+{
+  public:
+    Connection(gpu::Machine& machine, int localRank, int remoteRank,
+               Transport transport);
+
+    int localRank() const { return localRank_; }
+    int remoteRank() const { return remoteRank_; }
+    Transport transport() const { return transport_; }
+    bool sameNode() const { return sameNode_; }
+    gpu::Machine& machine() const { return *machine_; }
+    const fabric::EnvConfig& config() const { return machine_->config(); }
+
+    /** Route used by writes on this connection. */
+    fabric::Path& path() { return path_; }
+
+    /**
+     * Effective bandwidth ceiling of this connection's copy mechanism
+     * (line rate times the thread-copy or DMA efficiency factor).
+     */
+    double effectiveBwGBps() const { return effectiveBw_; }
+
+    /**
+     * Reserve the route for a @p bytes write. @p senderCapGBps
+     * additionally caps the rate (e.g. the calling block's thread-copy
+     * rate); 0 means no sender-side cap.
+     * @return (start, arrival at remote memory).
+     */
+    std::pair<sim::Time, sim::Time>
+    reserveWrite(std::uint64_t bytes, double senderCapGBps = 0.0);
+
+    /**
+     * Reserve an 8-byte remote atomic (semaphore signal). Ordered
+     * after previous writes *on this connection* (NVLink/IB same-QP
+     * write ordering) but not behind other channels' bulk traffic —
+     * small control messages interleave at fine granularity on real
+     * ports.
+     * @return arrival time of the atomic at the remote GPU.
+     */
+    sim::Time reserveAtomic();
+
+    /** Arrival time of the last write reserved on this connection. */
+    sim::Time lastWriteArrival() const { return lastWriteArrival_; }
+
+  private:
+    gpu::Machine* machine_;
+    int localRank_;
+    int remoteRank_;
+    Transport transport_;
+    bool sameNode_;
+    fabric::Path path_;
+    double effectiveBw_;
+    sim::Time lastWriteArrival_ = 0;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_CONNECTION_HPP

@@ -1,0 +1,39 @@
+#ifndef MSCCLPP_CORE_ERRORS_HPP
+#define MSCCLPP_CORE_ERRORS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace mscclpp {
+
+/** Error categories mirroring the real library's mscclppResult_t. */
+enum class ErrorCode
+{
+    InvalidUsage,  ///< caller violated an API precondition
+    SystemError,   ///< OS-level failure (sockets, etc.)
+    RemoteError,   ///< a peer misbehaved or disconnected
+    Timeout,       ///< an operation exceeded its deadline
+    InternalError, ///< a bug in this library
+};
+
+const char* toString(ErrorCode code);
+
+/** Exception carrying a library error code. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, const std::string& what)
+        : std::runtime_error(std::string(toString(code)) + ": " + what),
+          code_(code)
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_ERRORS_HPP

@@ -1,0 +1,120 @@
+#ifndef MSCCLPP_CORE_FIFO_HPP
+#define MSCCLPP_CORE_FIFO_HPP
+
+#include "fabric/env.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+#include <cstdint>
+#include <deque>
+
+namespace mscclpp {
+
+/**
+ * A request the GPU pushes to its channel's CPU proxy thread
+ * (Figure 7). Offsets are relative to the channel's registered source
+ * and destination buffers.
+ */
+struct ProxyRequest
+{
+    enum class Kind
+    {
+        Put,    ///< start an asynchronous data transfer
+        Signal, ///< increment the remote semaphore (ordered after puts)
+        Flush,  ///< ack the GPU once all prior requests completed
+        Stop,   ///< shut the proxy down (host-side teardown)
+    };
+
+    Kind kind = Kind::Put;
+    int channelId = 0;   ///< which channel owns this request (shared
+                         ///< proxy services serve many channels)
+    std::uint64_t srcOff = 0;
+    std::uint64_t dstOff = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t flushSeq = 0; ///< Flush: ticket the GPU waits on
+    sim::Time pushedAt = 0;     ///< set by Fifo::push
+};
+
+/**
+ * The GPU->CPU request queue of a PortChannel: a fixed-depth FIFO in
+ * managed memory. The GPU blocks when the queue is full (head/tail
+ * back-pressure, step 1 of Figure 7); the CPU observes a request one
+ * managed-memory polling latency after the push.
+ */
+class Fifo
+{
+  public:
+    /** @param pollFree descriptors are snooped by hardware: skip the
+     *  GPU->CPU managed-memory polling latency (device-initiated
+     *  ports, Section 3.2.1). */
+    Fifo(sim::Scheduler& sched, const fabric::EnvConfig& cfg,
+         bool pollFree = false)
+        : sched_(&sched), cfg_(&cfg), pollFree_(pollFree),
+          notFull_(sched), notEmpty_(sched)
+    {
+    }
+
+    /** GPU side: append a request, waiting while the queue is full. */
+    sim::Task<> push(ProxyRequest req)
+    {
+        while (queue_.size() >= static_cast<std::size_t>(cfg_->fifoDepth)) {
+            co_await notFull_.wait();
+        }
+        co_await sim::Delay(*sched_, cfg_->fifoPushCost);
+        req.pushedAt = sched_->now();
+        ++head_;
+        queue_.push_back(req);
+        notEmpty_.notifyAll();
+    }
+
+    /**
+     * CPU side: take the oldest request, no earlier than its push time
+     * plus the managed-memory polling latency.
+     */
+    sim::Task<ProxyRequest> pop()
+    {
+        while (queue_.empty()) {
+            co_await notEmpty_.wait();
+        }
+        ProxyRequest req = queue_.front();
+        sim::Time visible =
+            req.pushedAt + (pollFree_ ? 0 : cfg_->fifoPollLatency);
+        if (visible > sched_->now()) {
+            co_await sim::Delay(*sched_, visible - sched_->now());
+        }
+        queue_.pop_front();
+        ++tail_;
+        notFull_.notifyAll();
+        co_return req;
+    }
+
+    /**
+     * Host-side enqueue used for teardown (Stop requests): bypasses
+     * depth back-pressure since the host is not a simulated task.
+     */
+    void pushFromHost(ProxyRequest req)
+    {
+        req.pushedAt = sched_->now();
+        ++head_;
+        queue_.push_back(req);
+        notEmpty_.notifyAll();
+    }
+
+    std::uint64_t head() const { return head_; }
+    std::uint64_t tail() const { return tail_; }
+    std::size_t depth() const { return queue_.size(); }
+
+  private:
+    sim::Scheduler* sched_;
+    const fabric::EnvConfig* cfg_;
+    bool pollFree_ = false;
+    std::deque<ProxyRequest> queue_;
+    sim::SimSignal notFull_;
+    sim::SimSignal notEmpty_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_FIFO_HPP

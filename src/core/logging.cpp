@@ -1,0 +1,63 @@
+#include "core/logging.hpp"
+#include "core/errors.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mscclpp {
+
+const char*
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidUsage:
+        return "invalid usage";
+      case ErrorCode::SystemError:
+        return "system error";
+      case ErrorCode::RemoteError:
+        return "remote error";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::InternalError:
+        return "internal error";
+    }
+    return "unknown error";
+}
+
+LogLevel
+logLevel()
+{
+    static LogLevel level = [] {
+        const char* env = std::getenv("MSCCLPP_LOG_LEVEL");
+        if (env == nullptr) {
+            return LogLevel::None;
+        }
+        if (std::strcmp(env, "ERROR") == 0) {
+            return LogLevel::Error;
+        }
+        if (std::strcmp(env, "WARN") == 0) {
+            return LogLevel::Warn;
+        }
+        if (std::strcmp(env, "INFO") == 0) {
+            return LogLevel::Info;
+        }
+        if (std::strcmp(env, "DEBUG") == 0) {
+            return LogLevel::Debug;
+        }
+        return LogLevel::None;
+    }();
+    return level;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    static std::mutex mu;
+    static const char* names[] = {"", "E", "W", "I", "D"};
+    std::lock_guard<std::mutex> lock(mu);
+    std::fprintf(stderr, "[mscclpp %s] %s\n",
+                 names[static_cast<int>(level)], msg.c_str());
+}
+
+} // namespace mscclpp

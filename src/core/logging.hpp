@@ -1,0 +1,54 @@
+#ifndef MSCCLPP_CORE_LOGGING_HPP
+#define MSCCLPP_CORE_LOGGING_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace mscclpp {
+
+/** Log severities; the threshold comes from MSCCLPP_LOG_LEVEL. */
+enum class LogLevel
+{
+    None = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+};
+
+/** Current threshold (parsed once from the environment). */
+LogLevel logLevel();
+
+/** Emit one log line at @p level if it passes the threshold. */
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+formatLog(const char* fmt, Args... args)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    return buf;
+}
+
+} // namespace detail
+
+#define MSCCLPP_LOG(level, ...)                                              \
+    do {                                                                     \
+        if (static_cast<int>(::mscclpp::logLevel()) >=                       \
+            static_cast<int>(level)) {                                       \
+            ::mscclpp::logMessage(                                           \
+                level, ::mscclpp::detail::formatLog(__VA_ARGS__));           \
+        }                                                                    \
+    } while (0)
+
+#define MSCCLPP_INFO(...) MSCCLPP_LOG(::mscclpp::LogLevel::Info, __VA_ARGS__)
+#define MSCCLPP_WARN(...) MSCCLPP_LOG(::mscclpp::LogLevel::Warn, __VA_ARGS__)
+#define MSCCLPP_DEBUG(...)                                                   \
+    MSCCLPP_LOG(::mscclpp::LogLevel::Debug, __VA_ARGS__)
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_LOGGING_HPP

@@ -1,0 +1,51 @@
+#include "core/registered_memory.hpp"
+
+#include "core/errors.hpp"
+
+#include <cstring>
+
+namespace mscclpp {
+
+namespace {
+
+struct Wire
+{
+    std::int32_t rank;
+    std::uint64_t bufferPtr;
+    std::uint64_t offset;
+    std::uint64_t size;
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+RegisteredMemory::serialize() const
+{
+    Wire w{rank_, reinterpret_cast<std::uint64_t>(buffer_.buffer()),
+           buffer_.offset(), buffer_.size()};
+    std::vector<std::uint8_t> out(sizeof(Wire));
+    std::memcpy(out.data(), &w, sizeof(Wire));
+    return out;
+}
+
+RegisteredMemory
+RegisteredMemory::deserialize(const std::vector<std::uint8_t>& d)
+{
+    if (d.size() != sizeof(Wire)) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "bad RegisteredMemory wire size");
+    }
+    Wire w;
+    std::memcpy(&w, d.data(), sizeof(Wire));
+    auto* buf = reinterpret_cast<gpu::Buffer*>(w.bufferPtr);
+    return RegisteredMemory(w.rank,
+                            gpu::DeviceBuffer(buf, w.offset, w.size));
+}
+
+std::size_t
+RegisteredMemory::serializedSize()
+{
+    return sizeof(Wire);
+}
+
+} // namespace mscclpp

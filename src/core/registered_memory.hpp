@@ -1,0 +1,52 @@
+#ifndef MSCCLPP_CORE_REGISTERED_MEMORY_HPP
+#define MSCCLPP_CORE_REGISTERED_MEMORY_HPP
+
+#include "gpu/memory.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * A device allocation registered for remote access, exchangeable
+ * between ranks via the bootstrap (the analogue of NCCL/MSCCL++ memory
+ * registration handles).
+ *
+ * Simulation note: all ranks share one address space, so the
+ * serialised handle carries an in-process buffer reference. The
+ * exchange flow (serialize -> bootstrap -> deserialize) is identical
+ * to the real library's.
+ */
+class RegisteredMemory
+{
+  public:
+    RegisteredMemory() = default;
+
+    RegisteredMemory(int rank, gpu::DeviceBuffer buffer)
+        : rank_(rank), buffer_(buffer)
+    {
+    }
+
+    bool valid() const { return buffer_.valid(); }
+    int rank() const { return rank_; }
+    const gpu::DeviceBuffer& buffer() const { return buffer_; }
+    std::size_t size() const { return buffer_.size(); }
+
+    /** Wire format for bootstrap exchange. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Rebuild a handle received from a peer. */
+    static RegisteredMemory deserialize(const std::vector<std::uint8_t>& d);
+
+    /** Size of the wire format in bytes. */
+    static std::size_t serializedSize();
+
+  private:
+    int rank_ = -1;
+    gpu::DeviceBuffer buffer_;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_REGISTERED_MEMORY_HPP

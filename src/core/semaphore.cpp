@@ -1,0 +1,35 @@
+#include "core/semaphore.hpp"
+
+#include "core/errors.hpp"
+
+#include <cstring>
+
+namespace mscclpp {
+
+std::vector<std::uint8_t>
+DeviceSemaphore::serialize() const
+{
+    std::uint64_t ptr = reinterpret_cast<std::uint64_t>(this);
+    std::vector<std::uint8_t> out(sizeof(ptr));
+    std::memcpy(out.data(), &ptr, sizeof(ptr));
+    return out;
+}
+
+DeviceSemaphore*
+DeviceSemaphore::deserialize(const std::vector<std::uint8_t>& d)
+{
+    if (d.size() != sizeof(std::uint64_t)) {
+        throw Error(ErrorCode::InvalidUsage, "bad semaphore wire size");
+    }
+    std::uint64_t ptr;
+    std::memcpy(&ptr, d.data(), sizeof(ptr));
+    return reinterpret_cast<DeviceSemaphore*>(ptr);
+}
+
+std::size_t
+DeviceSemaphore::serializedSize()
+{
+    return sizeof(std::uint64_t);
+}
+
+} // namespace mscclpp

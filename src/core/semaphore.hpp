@@ -1,0 +1,70 @@
+#ifndef MSCCLPP_CORE_SEMAPHORE_HPP
+#define MSCCLPP_CORE_SEMAPHORE_HPP
+
+#include "gpu/machine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * The integer semaphore a channel allocates on the receiving GPU
+ * (Figure 6): remote peers increment it (signal), the owner busy-waits
+ * for an expected value (wait).
+ *
+ * Each waiting side tracks its own expected value, exactly like the
+ * channel's expectedValue member in the paper.
+ */
+class DeviceSemaphore
+{
+  public:
+    DeviceSemaphore(gpu::Machine& machine, int gpuRank)
+        : machine_(&machine), gpuRank_(gpuRank),
+          sem_(machine.scheduler())
+    {
+    }
+
+    int gpuRank() const { return gpuRank_; }
+    std::uint64_t value() const { return sem_.value(); }
+
+    /** Schedule a remote increment landing at absolute time @p when. */
+    void arriveAt(sim::Time when)
+    {
+        machine_->scheduler().scheduleAt(when, [this] { sem_.add(1); });
+    }
+
+    /** Immediate local increment (host-side or test use). */
+    void arrive() { sem_.add(1); }
+
+    /**
+     * Device-side wait for the next signal: bumps the expected value
+     * and spins (simulated) until the semaphore reaches it.
+     */
+    sim::Task<> wait()
+    {
+        std::uint64_t expected = ++expected_;
+        return sem_.waitUntil(expected,
+                              machine_->config().semaphorePoll);
+    }
+
+    std::uint64_t expected() const { return expected_; }
+
+    /** Wire handle for bootstrap exchange (in-process pointer). */
+    std::vector<std::uint8_t> serialize() const;
+    static DeviceSemaphore* deserialize(const std::vector<std::uint8_t>& d);
+    static std::size_t serializedSize();
+
+  private:
+    gpu::Machine* machine_;
+    int gpuRank_;
+    sim::SimSemaphore sem_;
+    std::uint64_t expected_ = 0;
+};
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_CORE_SEMAPHORE_HPP

@@ -1,0 +1,342 @@
+#include "dsl/algorithms.hpp"
+
+#include "core/errors.hpp"
+
+namespace mscclpp::dsl {
+
+namespace {
+
+BufRef
+in(std::size_t off, std::size_t bytes)
+{
+    return BufRef{BufKind::Input, off, bytes};
+}
+
+BufRef
+scr(std::size_t off, std::size_t bytes)
+{
+    return BufRef{BufKind::Scratch, off, bytes};
+}
+
+void
+requireShard(std::size_t bytes, int parts)
+{
+    if (parts < 2 || bytes % (static_cast<std::size_t>(parts) * 16) != 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "size must shard evenly over the ranks");
+    }
+}
+
+} // namespace
+
+Program
+buildAllPairsReduceScatter(int n, std::size_t bytes)
+{
+    requireShard(bytes, n);
+    const std::size_t shard = bytes / n;
+    Program p("allpairs-reducescatter", n);
+    for (int r = 0; r < n; ++r) {
+        // Send 1/Nth of local data to every other GPU's scratch
+        // (Figure 5, lines 7-10), one thread block per peer.
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            p.onRank(r)
+                .threadBlock(b)
+                .put(peer, in(peer * shard, shard),
+                     scr(r * shard, shard))
+                .signal(peer, BufKind::Scratch)
+                .wait(peer, BufKind::Scratch)
+                .gridBarrier();
+        }
+        // Reduce every pair (lines 13-15).
+        auto rb = p.onRank(r).threadBlock(0);
+        for (int src = 0; src < n; ++src) {
+            if (src != r) {
+                rb.reduce(in(r * shard, shard), scr(src * shard, shard));
+            }
+        }
+        // Barrier on all GPUs so scratch can be reused (line 18).
+        rb.barrier();
+        for (int b = 0; b < n - 1; ++b) {
+            p.onRank(r).threadBlock(b).gridBarrier();
+        }
+    }
+    p.optimize();
+    return p;
+}
+
+Program
+buildAllPairs1PAllReduce(int n, std::size_t bytes)
+{
+    // Executor-level scratch rotation makes a trailing barrier
+    // unnecessary, exactly like the hand-written kernels.
+    Program p("1PA-allreduce", n);
+    for (int r = 0; r < n; ++r) {
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            p.onRank(r)
+                .threadBlock(b)
+                .putPackets(peer, in(0, bytes), scr(r * bytes, bytes))
+                .readPackets(peer)
+                .reduce(in(0, bytes), scr(peer * bytes, bytes))
+                .gridBarrier();
+        }
+    }
+    p.optimize();
+    return p;
+}
+
+namespace {
+
+/** Shared two-phase skeleton; emitPhase1/2 are channel-specific.
+ *  Every block folds its own peer's contribution in (the concurrent
+ *  reduction of Section 4.4) and the grid barrier separates phases. */
+template <typename Phase1, typename Phase2>
+Program
+twoPhase(const char* name, int n, std::size_t bytes, Phase1 phase1,
+         Phase2 phase2)
+{
+    Program p(name, n);
+    const std::size_t shard = bytes / n;
+    for (int r = 0; r < n; ++r) {
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            phase1(p.onRank(r).threadBlock(b), r, peer, shard);
+            p.onRank(r)
+                .threadBlock(b)
+                .reduce(in(r * shard, shard), scr(peer * shard, shard))
+                .gridBarrier();
+        }
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            phase2(p.onRank(r).threadBlock(b), r, peer, shard);
+        }
+    }
+    p.optimize();
+    return p;
+}
+
+} // namespace
+
+Program
+buildAllPairs2PAllReduceHB(int n, std::size_t bytes)
+{
+    requireShard(bytes, n);
+    return twoPhase(
+        "2PA-HB-allreduce", n, bytes,
+        [](RankBuilder rb, int r, int peer, std::size_t shard) {
+            rb.put(peer, in(peer * shard, shard), scr(r * shard, shard))
+                .signal(peer, BufKind::Scratch)
+                .wait(peer, BufKind::Scratch);
+        },
+        [](RankBuilder rb, int r, int peer, std::size_t shard) {
+            rb.put(peer, in(r * shard, shard), in(r * shard, shard))
+                .signal(peer, BufKind::Input)
+                .wait(peer, BufKind::Input);
+        });
+}
+
+Program
+buildAllPairs2PAllReducePort(int n, std::size_t bytes)
+{
+    requireShard(bytes, n);
+    return twoPhase(
+        "2PA-Port-allreduce", n, bytes,
+        [](RankBuilder rb, int r, int peer, std::size_t shard) {
+            rb.portPut(peer, in(peer * shard, shard),
+                       scr(r * shard, shard))
+                .portWait(peer, BufKind::Scratch);
+        },
+        [](RankBuilder rb, int r, int peer, std::size_t shard) {
+            rb.portPut(peer, in(r * shard, shard), in(r * shard, shard))
+                .portWait(peer, BufKind::Input);
+        });
+}
+
+Program
+buildAllPairs2PAllReduceLL(int n, std::size_t bytes)
+{
+    requireShard(bytes, n);
+    const std::size_t shard = bytes / n;
+    const std::size_t region1 = static_cast<std::size_t>(n) * shard;
+    Program p("2PA-LL-allreduce", n);
+    for (int r = 0; r < n; ++r) {
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            p.onRank(r)
+                .threadBlock(b)
+                .putPackets(peer, in(peer * shard, shard),
+                            scr(r * shard, shard))
+                .readPackets(peer)
+                .reduce(in(r * shard, shard), scr(peer * shard, shard))
+                .gridBarrier();
+        }
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            p.onRank(r)
+                .threadBlock(b)
+                .putPackets(peer, in(r * shard, shard),
+                            scr(region1 + r * shard, shard))
+                .readPackets(peer)
+                .copy(in(peer * shard, shard),
+                      scr(region1 + peer * shard, shard));
+        }
+    }
+    p.optimize();
+    return p;
+}
+
+Program
+buildSwitchAllReduce(int n, std::size_t bytes)
+{
+    requireShard(bytes, n);
+    const std::size_t shard = bytes / n;
+    Program p("switch-allreduce", n);
+    // The whole algorithm: ld_reduce my shard through the switch,
+    // multicast the result back, barrier. (The paper's version is 15
+    // lines of Python; this is the same logic.)
+    for (int r = 0; r < n; ++r) {
+        p.onRank(r)
+            .threadBlock(0)
+            .switchReduce(in(r * shard, shard))
+            .switchBroadcast(in(r * shard, shard))
+            .barrier();
+    }
+    return p;
+}
+
+Program
+buildAllPairsAllGather(int n, std::size_t shard)
+{
+    Program p("allpairs-allgather", n);
+    for (int r = 0; r < n; ++r) {
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            p.onRank(r)
+                .threadBlock(b)
+                .put(peer, in(r * shard, shard), in(r * shard, shard))
+                .signal(peer, BufKind::Input)
+                .wait(peer, BufKind::Input);
+        }
+    }
+    p.optimize();
+    return p;
+}
+
+Program
+buildAllPairsAllGatherLL(int n, std::size_t shard)
+{
+    Program p("allpairs-allgather-ll", n);
+    for (int r = 0; r < n; ++r) {
+        for (int b = 0; b < n - 1; ++b) {
+            int peer = (r + 1 + b) % n;
+            p.onRank(r)
+                .threadBlock(b)
+                .putPackets(peer, in(r * shard, shard),
+                            scr(r * shard, shard))
+                .readPackets(peer)
+                .copy(in(peer * shard, shard), scr(peer * shard, shard));
+        }
+    }
+    p.optimize();
+    return p;
+}
+
+Program
+buildRingAllReduce(int n, std::size_t bytes)
+{
+    requireShard(bytes, n);
+    const std::size_t seg = bytes / n;
+    Program p("ring-allreduce", n);
+    for (int r = 0; r < n; ++r) {
+        auto rb = p.onRank(r).threadBlock(0);
+        const int next = (r + 1) % n;
+        const int prev = (r + n - 1) % n;
+        // ReduceScatter phase: two rotating scratch slots.
+        for (int j = 0; j < n - 1; ++j) {
+            std::size_t sendSeg = (r - j + n) % n;
+            std::size_t recvSeg = (r - j - 1 + n) % n;
+            std::size_t slot = static_cast<std::size_t>(j % 2) * seg;
+            rb.put(next, in(sendSeg * seg, seg), scr(slot, seg))
+                .signal(next, BufKind::Scratch)
+                .wait(prev, BufKind::Scratch)
+                .reduce(in(recvSeg * seg, seg), scr(slot, seg));
+        }
+        // AllGather phase: direct puts into the peer's data buffer.
+        for (int j = 0; j < n - 1; ++j) {
+            std::size_t sendSeg = (r + 1 - j + 2 * n) % n;
+            rb.put(next, in(sendSeg * seg, seg), in(sendSeg * seg, seg))
+                .signal(next, BufKind::Input)
+                .wait(prev, BufKind::Input);
+        }
+        rb.barrier();
+    }
+    p.optimize();
+    return p;
+}
+
+Program
+buildHierAllReduce(int n, int g, std::size_t bytes)
+{
+    if (n % g != 0 || n / g < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "hierarchical program needs >= 2 nodes");
+    }
+    requireShard(bytes, g);
+    const int m = n / g;
+    const std::size_t chunk = bytes / g;
+    const std::size_t regionB = bytes; // cross-node partials
+    Program p("hier-allreduce", n);
+    for (int r = 0; r < n; ++r) {
+        const int node = r / g;
+        const int local = r % g;
+        auto rb = p.onRank(r).threadBlock(0);
+        // Phase A: local ReduceScatter over G chunks (LL packets).
+        for (int dl = 1; dl < g; ++dl) {
+            int pl = (local + dl) % g;
+            rb.putPackets(node * g + pl, in(pl * chunk, chunk),
+                          scr(local * chunk, chunk));
+        }
+        for (int dl = 1; dl < g; ++dl) {
+            rb.readPackets(node * g + (local + dl) % g);
+        }
+        for (int sl = 0; sl < g; ++sl) {
+            if (sl != local) {
+                rb.reduce(in(local * chunk, chunk),
+                          scr(sl * chunk, chunk));
+            }
+        }
+        rb.barrier();
+        // Phase B: redundant cross-node all-pairs reduce of chunk
+        // `local` (RDMA through port channels).
+        for (int dn = 1; dn < m; ++dn) {
+            int q = ((node + dn) % m) * g + local;
+            rb.portPut(q, in(local * chunk, chunk),
+                       scr(regionB + node * chunk, chunk));
+        }
+        for (int dn = 1; dn < m; ++dn) {
+            rb.portWait(((node + dn) % m) * g + local, BufKind::Scratch);
+        }
+        for (int sn = 0; sn < m; ++sn) {
+            if (sn != node) {
+                rb.reduce(in(local * chunk, chunk),
+                          scr(regionB + sn * chunk, chunk));
+            }
+        }
+        rb.barrier();
+        // Phase C: local AllGather of the G finished chunks.
+        for (int dl = 1; dl < g; ++dl) {
+            int q = node * g + (local + dl) % g;
+            rb.put(q, in(local * chunk, chunk), in(local * chunk, chunk))
+                .signal(q, BufKind::Input);
+        }
+        for (int dl = 1; dl < g; ++dl) {
+            rb.wait(node * g + (local + dl) % g, BufKind::Input);
+        }
+        rb.barrier();
+    }
+    p.optimize();
+    return p;
+}
+
+} // namespace mscclpp::dsl

@@ -1,0 +1,59 @@
+#ifndef MSCCLPP_DSL_ALGORITHMS_HPP
+#define MSCCLPP_DSL_ALGORITHMS_HPP
+
+#include "dsl/program.hpp"
+
+#include <cstddef>
+
+namespace mscclpp::dsl {
+
+/**
+ * Collective algorithms authored in the DSL (Section 4.3 / 4.4).
+ * Every builder returns a lowered (optimize()d) program over
+ * @p numRanks GPUs operating on the first @p bytes of each rank's
+ * data buffer.
+ */
+
+/** The all-pairs ReduceScatter of Figure 5. */
+Program buildAllPairsReduceScatter(int numRanks, std::size_t bytes);
+
+/** One-phase all-pairs AllReduce, LL protocol (small messages). */
+Program buildAllPairs1PAllReduce(int numRanks, std::size_t bytes);
+
+/** Two-phase all-pairs AllReduce, LL packets. */
+Program buildAllPairs2PAllReduceLL(int numRanks, std::size_t bytes);
+
+/** Two-phase all-pairs AllReduce, HB MemoryChannel. */
+Program buildAllPairs2PAllReduceHB(int numRanks, std::size_t bytes);
+
+/** Two-phase all-pairs AllReduce over PortChannels (DMA copy). */
+Program buildAllPairs2PAllReducePort(int numRanks, std::size_t bytes);
+
+/**
+ * The SwitchChannel AllReduce of Section 5.3 — the algorithm the
+ * paper implements in 15 lines of DSL code: every rank ld_reduces its
+ * shard through the switch and multicasts the result back.
+ */
+Program buildSwitchAllReduce(int numRanks, std::size_t bytes);
+
+/** All-pairs AllGather (HB), shard per rank. */
+Program buildAllPairsAllGather(int numRanks, std::size_t shardBytes);
+
+/** All-pairs AllGather with LL packets + unpack. */
+Program buildAllPairsAllGatherLL(int numRanks, std::size_t shardBytes);
+
+/** Ring AllReduce (for completeness / ablations; HB). */
+Program buildRingAllReduce(int numRanks, std::size_t bytes);
+
+/**
+ * Sequential hierarchical AllReduce for multi-node machines: local
+ * ReduceScatter, cross-node exchange, local AllGather, separated by
+ * global barriers (the pipelined variant lives in the hand-written
+ * collective kernels).
+ */
+Program buildHierAllReduce(int numRanks, int gpusPerNode,
+                           std::size_t bytes);
+
+} // namespace mscclpp::dsl
+
+#endif // MSCCLPP_DSL_ALGORITHMS_HPP

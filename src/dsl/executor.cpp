@@ -1,0 +1,244 @@
+#include "dsl/executor.hpp"
+
+#include "core/bootstrap.hpp"
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+
+namespace mscclpp::dsl {
+
+Executor::Executor(gpu::Machine& machine, std::size_t maxBytes)
+    : machine_(&machine), maxBytes_(maxBytes)
+{
+    n_ = machine.numGpus();
+    if (n_ < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "executor needs at least two GPUs");
+    }
+    auto boots = createInProcessBootstrap(n_);
+    for (int r = 0; r < n_; ++r) {
+        comms_.push_back(std::make_unique<Communicator>(boots[r], machine));
+        data_.push_back(machine.gpu(r).alloc(maxBytes));
+        scratch_.push_back(machine.gpu(r).alloc(4 * maxBytes + 65536));
+    }
+    std::vector<Communicator*> comms;
+    for (auto& c : comms_) {
+        comms.push_back(c.get());
+    }
+    const int gpn = machine.config().gpusPerNode;
+    const bool intraOnly = machine.numNodes() == 1;
+    MeshOptions hb{Transport::Memory, Protocol::HB};
+    MeshOptions ll{Transport::Memory, Protocol::LL};
+    MeshOptions port{Transport::Port, Protocol::HB};
+    if (intraOnly) {
+        memHB_.emplace(ChannelMesh::build(comms, data_, data_, hb));
+        memHBScratch_.emplace(ChannelMesh::build(comms, data_, scratch_,
+                                                 hb));
+        memLL_.emplace(ChannelMesh::build(comms, data_, scratch_, ll));
+    } else {
+        memHB_.emplace(
+            ChannelMesh::buildIntraNode(comms, data_, data_, hb, gpn));
+        memHBScratch_.emplace(ChannelMesh::buildIntraNode(
+            comms, data_, scratch_, hb, gpn));
+        memLL_.emplace(
+            ChannelMesh::buildIntraNode(comms, data_, scratch_, ll, gpn));
+    }
+    port_.emplace(ChannelMesh::build(comms, data_, data_, port));
+    portScratch_.emplace(ChannelMesh::build(comms, data_, scratch_, port));
+    if (machine.config().hasMultimem && intraOnly) {
+        std::vector<int> ranks(n_);
+        std::vector<RegisteredMemory> mems;
+        for (int r = 0; r < n_; ++r) {
+            ranks[r] = r;
+            mems.push_back(comms_[r]->registerMemory(data_[r]));
+        }
+        for (int r = 0; r < n_; ++r) {
+            switch_.push_back(std::make_unique<SwitchChannel>(
+                machine, ranks, mems, r));
+        }
+    }
+    std::vector<int> allRanks(n_);
+    for (int r = 0; r < n_; ++r) {
+        allRanks[r] = r;
+    }
+    syncer_ = std::make_unique<DeviceSyncer>(machine, allRanks);
+}
+
+Executor::~Executor()
+{
+    if (port_) {
+        port_->shutdown();
+    }
+    if (portScratch_) {
+        portScratch_->shutdown();
+    }
+    machine_->run();
+}
+
+std::size_t
+Executor::scratchBytes() const
+{
+    return scratch_.empty() ? 0 : scratch_[0].size();
+}
+
+gpu::DeviceBuffer
+Executor::resolve(int rank, const BufRef& ref) const
+{
+    if (ref.kind == BufKind::Input) {
+        return data_.at(rank).view(ref.offset, ref.bytes);
+    }
+    return scratch_.at(rank).view(scratchShift() + ref.offset, ref.bytes);
+}
+
+sim::Time
+Executor::execute(const Program& program, gpu::DataType type,
+                  gpu::ReduceOp op)
+{
+    if (program.numRanks() != n_) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "program rank count does not match the machine");
+    }
+    if (program.usesSwitch() && switch_.empty()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "program needs multimem hardware");
+    }
+    // The DSL checks programs for mistakes before running them
+    // (Section 5.1): mismatched signal/wait counts, barrier skew or
+    // out-of-bounds chunks abort with a diagnostic instead of
+    // deadlocking the kernel.
+    auto problems = program.validate(maxBytes_, 2 * maxBytes_ + 32768);
+    if (!problems.empty()) {
+        std::string msg = "program '" + program.name() + "' is ill-formed:";
+        for (const std::string& p : problems) {
+            msg += "\n  " + p;
+        }
+        throw Error(ErrorCode::InvalidUsage, msg);
+    }
+    const sim::Time decode = machine_->config().dslInstrOverhead;
+    // Rotate the scratch region like the hand-written kernels do, so
+    // back-to-back executions need no trailing barrier.
+    activeShift_ = (round_++ & 1) * (2 * maxBytes_ + 32768);
+    const std::size_t shift = activeShift_;
+
+    auto runInstr = [this, type, op, decode, shift](
+                        gpu::BlockCtx& ctx, int rank,
+                        const Instr& in) -> sim::Task<> {
+        co_await sim::Delay(ctx.scheduler(), decode);
+        switch (in.op) {
+          case OpCode::Put:
+          case OpCode::PutWithSignal: {
+            ChannelMesh& mesh = in.dst.kind == BufKind::Input
+                                    ? *memHB_
+                                    : *memHBScratch_;
+            MemoryChannel& ch = mesh.mem(rank, in.peer);
+            std::size_t dstOff =
+                in.dst.kind == BufKind::Scratch ? in.dst.offset + shift
+                                                : in.dst.offset;
+            if (in.op == OpCode::Put) {
+                co_await ch.put(ctx, dstOff, in.src.offset,
+                                in.src.bytes);
+            } else {
+                co_await ch.putWithSignal(ctx, dstOff, in.src.offset,
+                                          in.src.bytes);
+            }
+            break;
+          }
+          case OpCode::Signal: {
+            ChannelMesh& mesh = in.dst.kind == BufKind::Input
+                                    ? *memHB_
+                                    : *memHBScratch_;
+            co_await mesh.mem(rank, in.peer).signal(ctx);
+            break;
+          }
+          case OpCode::Wait: {
+            ChannelMesh& mesh = in.dst.kind == BufKind::Input
+                                    ? *memHB_
+                                    : *memHBScratch_;
+            co_await mesh.mem(rank, in.peer).wait(ctx);
+            break;
+          }
+          case OpCode::PutPackets:
+            co_await memLL_->mem(rank, in.peer)
+                .putPackets(ctx, in.dst.offset + shift, in.src.offset,
+                            in.src.bytes);
+            break;
+          case OpCode::ReadPackets:
+            co_await memLL_->mem(rank, in.peer).readPackets(ctx);
+            break;
+          case OpCode::PortPut: {
+            PortChannel& ch = in.dst.kind == BufKind::Input
+                                  ? port_->port(rank, in.peer)
+                                  : portScratch_->port(rank, in.peer);
+            std::size_t dstOff =
+                in.dst.kind == BufKind::Scratch ? in.dst.offset + shift
+                                                : in.dst.offset;
+            if (in.fusedSignal) {
+                co_await ch.putWithSignal(ctx, dstOff, in.src.offset,
+                                          in.src.bytes);
+            } else {
+                co_await ch.put(ctx, dstOff, in.src.offset,
+                                in.src.bytes);
+            }
+            break;
+          }
+          case OpCode::PortWait: {
+            ChannelMesh& mesh = in.dst.kind == BufKind::Input
+                                    ? *port_
+                                    : *portScratch_;
+            co_await mesh.port(rank, in.peer).wait(ctx);
+            break;
+          }
+          case OpCode::PortFlush:
+            co_await port_->port(rank, in.peer).flush(ctx);
+            break;
+          case OpCode::ReduceLocal: {
+            gpu::DeviceBuffer dst = resolve(rank, in.dst);
+            gpu::accumulate(dst, resolve(rank, in.src), in.dst.bytes,
+                            type, op);
+            co_await ctx.busy(
+                machine_->gpu(rank).reduceTime(in.dst.bytes, 1));
+            break;
+          }
+          case OpCode::CopyLocal: {
+            gpu::DeviceBuffer dst = resolve(rank, in.dst);
+            gpu::copyBytes(dst, resolve(rank, in.src), in.dst.bytes);
+            co_await ctx.busy(
+                machine_->gpu(rank).copyTime(in.dst.bytes));
+            break;
+          }
+          case OpCode::Barrier:
+            co_await syncer_->barrier(ctx, rank);
+            break;
+          case OpCode::GridBarrier:
+            co_await ctx.gridBarrier();
+            break;
+          case OpCode::SwitchReduce: {
+            gpu::DeviceBuffer dst = resolve(rank, in.dst);
+            co_await switch_[rank]->reduce(ctx, dst, in.src.offset,
+                                           in.src.bytes, type, op);
+            break;
+          }
+          case OpCode::SwitchBroadcast: {
+            gpu::DeviceBuffer src = resolve(rank, in.src);
+            co_await switch_[rank]->broadcast(ctx, in.dst.offset, src,
+                                              in.src.bytes);
+            break;
+          }
+        }
+    };
+
+    auto fn = [&program, runInstr](gpu::BlockCtx& ctx,
+                                   int rank) -> sim::Task<> {
+        for (const Instr& in : program.instructions(rank)) {
+            if (in.tb != ctx.blockIdx()) {
+                continue;
+            }
+            co_await runInstr(ctx, rank, in);
+        }
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = program.numThreadBlocks();
+    cfg.threadsPerBlock = 1024;
+    return gpu::runOnAllRanks(*machine_, cfg, fn);
+}
+
+} // namespace mscclpp::dsl

@@ -1,0 +1,66 @@
+#ifndef MSCCLPP_DSL_IR_HPP
+#define MSCCLPP_DSL_IR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mscclpp::dsl {
+
+/**
+ * Instruction set of the MSCCL++ DSL executor. Each op maps onto one
+ * Primitive-API call (Section 4.3); the executor interprets them
+ * back-to-back with a small per-instruction decode cost.
+ */
+enum class OpCode
+{
+    Put,           ///< MemoryChannel::put (HB)
+    PutWithSignal, ///< fused put + signal
+    Signal,        ///< MemoryChannel/PortChannel::signal
+    Wait,          ///< wait for one inbound signal from peer
+    PutPackets,    ///< LL packet write (self-synchronising)
+    ReadPackets,   ///< LL packet wait
+    PortPut,       ///< PortChannel::put (+signal when fused)
+    PortWait,      ///< wait for a PortChannel signal
+    PortFlush,     ///< PortChannel::flush
+    ReduceLocal,   ///< dst op= src on the local GPU
+    CopyLocal,     ///< dst = src on the local GPU
+    Barrier,       ///< cross-GPU barrier over all ranks
+    GridBarrier,   ///< barrier across this rank's thread blocks
+    SwitchReduce,  ///< multimem ld_reduce of a shard
+    SwitchBroadcast, ///< multimem st of a shard
+};
+
+const char* toString(OpCode op);
+
+/** Which per-rank buffer a reference addresses. */
+enum class BufKind
+{
+    Input,   ///< the user's registered data buffer
+    Scratch, ///< the executor's scratch allocation
+};
+
+/** A byte range inside one rank's buffer space. */
+struct BufRef
+{
+    BufKind kind = BufKind::Input;
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+};
+
+/** One DSL instruction, already bound to a rank and thread block. */
+struct Instr
+{
+    OpCode op;
+    int peer = -1; ///< remote rank for channel ops (-1 for local ops)
+    BufRef src;
+    BufRef dst;
+    int tb = 0;            ///< thread block executing this instruction
+    bool fusedSignal = false; ///< PortPut: enqueue a signal right after
+
+    std::string describe() const;
+};
+
+} // namespace mscclpp::dsl
+
+#endif // MSCCLPP_DSL_IR_HPP

@@ -1,0 +1,376 @@
+#include "dsl/program.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+
+namespace mscclpp::dsl {
+
+const char*
+toString(OpCode op)
+{
+    switch (op) {
+      case OpCode::Put:
+        return "put";
+      case OpCode::PutWithSignal:
+        return "putWithSignal";
+      case OpCode::Signal:
+        return "signal";
+      case OpCode::Wait:
+        return "wait";
+      case OpCode::PutPackets:
+        return "putPackets";
+      case OpCode::ReadPackets:
+        return "readPackets";
+      case OpCode::PortPut:
+        return "portPut";
+      case OpCode::PortWait:
+        return "portWait";
+      case OpCode::PortFlush:
+        return "portFlush";
+      case OpCode::ReduceLocal:
+        return "reduce";
+      case OpCode::CopyLocal:
+        return "copy";
+      case OpCode::Barrier:
+        return "barrier";
+      case OpCode::GridBarrier:
+        return "gridBarrier";
+      case OpCode::SwitchReduce:
+        return "switchReduce";
+      case OpCode::SwitchBroadcast:
+        return "switchBroadcast";
+    }
+    return "?";
+}
+
+std::string
+Instr::describe() const
+{
+    std::string s = toString(op);
+    if (peer >= 0) {
+        s += " peer=" + std::to_string(peer);
+    }
+    s += " tb=" + std::to_string(tb);
+    if (src.bytes > 0) {
+        s += " src=" +
+             std::string(src.kind == BufKind::Input ? "in" : "scratch") +
+             "+" + std::to_string(src.offset) + ":" +
+             std::to_string(src.bytes);
+    }
+    if (dst.bytes > 0) {
+        s += " dst=" +
+             std::string(dst.kind == BufKind::Input ? "in" : "scratch") +
+             "+" + std::to_string(dst.offset) + ":" +
+             std::to_string(dst.bytes);
+    }
+    return s;
+}
+
+RankBuilder&
+RankBuilder::emit(Instr in)
+{
+    in.tb = tb_;
+    program_->instrs_.at(rank_).push_back(in);
+    return *this;
+}
+
+RankBuilder&
+RankBuilder::put(int peer, BufRef src, BufRef dst)
+{
+    Instr in;
+    in.op = OpCode::Put;
+    in.peer = peer;
+    in.src = src;
+    in.dst = dst;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::signal(int peer, BufKind space)
+{
+    Instr in;
+    in.op = OpCode::Signal;
+    in.peer = peer;
+    in.dst.kind = space;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::wait(int peer, BufKind space)
+{
+    Instr in;
+    in.op = OpCode::Wait;
+    in.peer = peer;
+    in.dst.kind = space;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::putPackets(int peer, BufRef src, BufRef dst)
+{
+    Instr in;
+    in.op = OpCode::PutPackets;
+    in.peer = peer;
+    in.src = src;
+    in.dst = dst;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::readPackets(int peer)
+{
+    Instr in;
+    in.op = OpCode::ReadPackets;
+    in.peer = peer;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::portPut(int peer, BufRef src, BufRef dst, bool withSignal)
+{
+    Instr in;
+    in.op = OpCode::PortPut;
+    in.peer = peer;
+    in.src = src;
+    in.dst = dst;
+    in.fusedSignal = withSignal;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::portWait(int peer, BufKind space)
+{
+    Instr in;
+    in.op = OpCode::PortWait;
+    in.peer = peer;
+    in.dst.kind = space;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::portFlush(int peer)
+{
+    Instr in;
+    in.op = OpCode::PortFlush;
+    in.peer = peer;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::reduce(BufRef dst, BufRef src)
+{
+    Instr in;
+    in.op = OpCode::ReduceLocal;
+    in.src = src;
+    in.dst = dst;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::copy(BufRef dst, BufRef src)
+{
+    Instr in;
+    in.op = OpCode::CopyLocal;
+    in.src = src;
+    in.dst = dst;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::barrier()
+{
+    Instr in;
+    in.op = OpCode::Barrier;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::gridBarrier()
+{
+    Instr in;
+    in.op = OpCode::GridBarrier;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::switchReduce(BufRef range)
+{
+    Instr in;
+    in.op = OpCode::SwitchReduce;
+    in.src = range;
+    in.dst = range;
+    return emit(in);
+}
+
+RankBuilder&
+RankBuilder::switchBroadcast(BufRef range)
+{
+    Instr in;
+    in.op = OpCode::SwitchBroadcast;
+    in.src = range;
+    in.dst = range;
+    return emit(in);
+}
+
+Program::Program(std::string name, int numRanks)
+    : name_(std::move(name)), numRanks_(numRanks)
+{
+    if (numRanks < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "a program needs at least two ranks");
+    }
+    instrs_.resize(numRanks);
+}
+
+RankBuilder
+Program::onRank(int rank)
+{
+    if (rank < 0 || rank >= numRanks_) {
+        throw Error(ErrorCode::InvalidUsage, "rank out of range");
+    }
+    return RankBuilder(*this, rank);
+}
+
+std::size_t
+Program::totalInstructions() const
+{
+    std::size_t total = 0;
+    for (const auto& v : instrs_) {
+        total += v.size();
+    }
+    return total;
+}
+
+int
+Program::numThreadBlocks() const
+{
+    int maxTb = 0;
+    for (const auto& v : instrs_) {
+        for (const Instr& in : v) {
+            maxTb = std::max(maxTb, in.tb);
+        }
+    }
+    return maxTb + 1;
+}
+
+bool
+Program::usesSwitch() const
+{
+    for (const auto& v : instrs_) {
+        for (const Instr& in : v) {
+            if (in.op == OpCode::SwitchReduce ||
+                in.op == OpCode::SwitchBroadcast) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+Program::usesPort() const
+{
+    for (const auto& v : instrs_) {
+        for (const Instr& in : v) {
+            if (in.op == OpCode::PortPut || in.op == OpCode::PortFlush) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::size_t
+Program::fusePutSignal()
+{
+    std::size_t fused = 0;
+    for (auto& v : instrs_) {
+        std::vector<Instr> out;
+        out.reserve(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i + 1 < v.size() && v[i].op == OpCode::Put &&
+                v[i + 1].op == OpCode::Signal &&
+                v[i].peer == v[i + 1].peer && v[i].tb == v[i + 1].tb) {
+                Instr in = v[i];
+                in.op = OpCode::PutWithSignal;
+                out.push_back(in);
+                ++i;
+                ++fused;
+            } else {
+                out.push_back(v[i]);
+            }
+        }
+        v = std::move(out);
+    }
+    return fused;
+}
+
+std::size_t
+Program::batchSignals()
+{
+    // In a run of instructions on one tb addressed to one peer that
+    // contains multiple Signals separated only by Puts, keep the last
+    // Signal: put ordering makes earlier ones redundant.
+    std::size_t removed = 0;
+    for (auto& v : instrs_) {
+        std::vector<Instr> out;
+        out.reserve(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (v[i].op == OpCode::Signal) {
+                // Look ahead: same-peer same-tb signal later with only
+                // puts to that peer in between?
+                bool redundant = false;
+                for (std::size_t j = i + 1; j < v.size(); ++j) {
+                    if (v[j].tb != v[i].tb || v[j].peer != v[i].peer ||
+                        (v[j].op != OpCode::Put &&
+                         v[j].op != OpCode::Signal)) {
+                        break;
+                    }
+                    if (v[j].op == OpCode::Signal) {
+                        redundant = true;
+                        break;
+                    }
+                }
+                if (redundant) {
+                    ++removed;
+                    continue;
+                }
+            }
+            out.push_back(v[i]);
+        }
+        v = std::move(out);
+    }
+    return removed;
+}
+
+std::size_t
+Program::dedupBarriers()
+{
+    std::size_t removed = 0;
+    for (auto& v : instrs_) {
+        std::vector<Instr> out;
+        out.reserve(v.size());
+        for (const Instr& in : v) {
+            if (in.op == OpCode::Barrier && !out.empty() &&
+                out.back().op == OpCode::Barrier &&
+                out.back().tb == in.tb) {
+                ++removed;
+                continue;
+            }
+            out.push_back(in);
+        }
+        v = std::move(out);
+    }
+    return removed;
+}
+
+std::size_t
+Program::optimize()
+{
+    // batchSignals() is opt-in: it changes how many signals the peer
+    // observes, so the author must have written matching waits.
+    return fusePutSignal() + dedupBarriers();
+}
+
+} // namespace mscclpp::dsl

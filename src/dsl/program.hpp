@@ -1,0 +1,178 @@
+#ifndef MSCCLPP_DSL_PROGRAM_HPP
+#define MSCCLPP_DSL_PROGRAM_HPP
+
+#include "dsl/ir.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mscclpp::dsl {
+
+class Program;
+
+/**
+ * Fluent builder for one rank's instruction stream. Obtained from
+ * Program::onRank(); every call appends one instruction bound to the
+ * current thread block (threadBlock() switches it).
+ */
+class RankBuilder
+{
+  public:
+    RankBuilder(Program& program, int rank)
+        : program_(&program), rank_(rank)
+    {
+    }
+
+    /** Select the thread block subsequent ops run on. */
+    RankBuilder& threadBlock(int tb)
+    {
+        tb_ = tb;
+        return *this;
+    }
+
+    /** HB put of @p src into @p peer's buffer at @p dst. */
+    RankBuilder& put(int peer, BufRef src, BufRef dst);
+
+    /**
+     * Signal @p peer, ordered after prior puts to it. @p space names
+     * the buffer space the preceding puts wrote (selects the channel
+     * whose semaphore is incremented).
+     */
+    RankBuilder& signal(int peer, BufKind space = BufKind::Input);
+
+    /**
+     * Wait for one signal from @p peer. @p space must match the
+     * sender's signal.
+     */
+    RankBuilder& wait(int peer, BufKind space = BufKind::Input);
+
+    /** LL packet put (self-synchronising, scratch destinations). */
+    RankBuilder& putPackets(int peer, BufRef src, BufRef dst);
+
+    /** Wait until @p peer's next packet put is fully visible. */
+    RankBuilder& readPackets(int peer);
+
+    /** PortChannel (DMA/RDMA) put; @p withSignal fuses a signal. */
+    RankBuilder& portPut(int peer, BufRef src, BufRef dst,
+                         bool withSignal = true);
+
+    /** Wait for one PortChannel signal from @p peer; @p space names
+     *  where the peer's port puts landed. */
+    RankBuilder& portWait(int peer, BufKind space = BufKind::Input);
+
+    /** Wait until all prior port puts to @p peer completed. */
+    RankBuilder& portFlush(int peer);
+
+    /** dst op= src (local element-wise reduction). */
+    RankBuilder& reduce(BufRef dst, BufRef src);
+
+    /** dst = src (local copy, e.g. LL unpack). */
+    RankBuilder& copy(BufRef dst, BufRef src);
+
+    /** Cross-GPU barrier over all ranks of the program. */
+    RankBuilder& barrier();
+
+    /** Barrier across this rank's thread blocks only. */
+    RankBuilder& gridBarrier();
+
+    /** multimem reduce of @p bytes at @p offset into the same range. */
+    RankBuilder& switchReduce(BufRef range);
+
+    /** multimem broadcast of @p range to all replicas. */
+    RankBuilder& switchBroadcast(BufRef range);
+
+  private:
+    RankBuilder& emit(Instr in);
+
+    Program* program_;
+    int rank_;
+    int tb_ = 0;
+};
+
+/**
+ * A collective communication algorithm described at chunk level: one
+ * instruction stream per rank (the output of the MSCCL++ DSL
+ * front end, Section 4.3). Lowering passes optimise the streams
+ * before the executor runs them.
+ */
+class Program
+{
+  public:
+    Program(std::string name, int numRanks);
+
+    const std::string& name() const { return name_; }
+    int numRanks() const { return numRanks_; }
+
+    RankBuilder onRank(int rank);
+
+    const std::vector<Instr>& instructions(int rank) const
+    {
+        return instrs_.at(rank);
+    }
+
+    /** Total instructions across ranks (before/after lowering). */
+    std::size_t totalInstructions() const;
+
+    /** Highest thread-block index used, plus one. */
+    int numThreadBlocks() const;
+
+    /** Whether any instruction needs multimem hardware. */
+    bool usesSwitch() const;
+
+    /** Whether any instruction needs port channels. */
+    bool usesPort() const;
+
+    // ---- lowering passes -------------------------------------------------
+
+    /**
+     * Fuse Put immediately followed by Signal to the same peer on the
+     * same thread block into PutWithSignal (the putWithSignal fused
+     * primitive).
+     */
+    std::size_t fusePutSignal();
+
+    /**
+     * Drop all but the last Signal in a run of puts+signals to the
+     * same peer (batching synchronisation, Section 3.2.3). Opt-in:
+     * the receiving rank must wait once per batch, not once per put.
+     */
+    std::size_t batchSignals();
+
+    /** Collapse consecutive Barriers into one. */
+    std::size_t dedupBarriers();
+
+    /** Run the semantics-preserving passes (fusePutSignal,
+     *  dedupBarriers); @return instructions removed. */
+    std::size_t optimize();
+
+    // ---- checking and persistence ------------------------------------------
+
+    /**
+     * Static checks the DSL performs for the programmer (Section 5.1:
+     * "the DSL helps ... check for mistakes"): signal/wait counts
+     * must match per (pair, buffer space), barrier counts must agree
+     * across ranks, grid-barrier counts across thread blocks, peers
+     * and buffer ranges must be in bounds.
+     * @return human-readable problems; empty means the program is
+     * well formed.
+     */
+    std::vector<std::string> validate(std::size_t dataBytes,
+                                      std::size_t scratchBytes) const;
+
+    /** Canonical text form (one instruction per line). */
+    std::string serialize() const;
+
+    /** Parse a program produced by serialize(); throws on errors. */
+    static Program deserialize(const std::string& text);
+
+  private:
+    friend class RankBuilder;
+
+    std::string name_;
+    int numRanks_;
+    std::vector<std::vector<Instr>> instrs_;
+};
+
+} // namespace mscclpp::dsl
+
+#endif // MSCCLPP_DSL_PROGRAM_HPP

@@ -1,0 +1,238 @@
+#include "dsl/program.hpp"
+
+#include "core/errors.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace mscclpp::dsl {
+
+namespace {
+
+bool
+isSignalOp(OpCode op)
+{
+    return op == OpCode::Signal || op == OpCode::PutWithSignal ||
+           op == OpCode::PutPackets;
+}
+
+bool
+isWaitOp(OpCode op)
+{
+    return op == OpCode::Wait || op == OpCode::ReadPackets;
+}
+
+const char*
+kindName(BufKind k)
+{
+    return k == BufKind::Input ? "in" : "scratch";
+}
+
+} // namespace
+
+std::vector<std::string>
+Program::validate(std::size_t dataBytes, std::size_t scratchBytes) const
+{
+    std::vector<std::string> problems;
+    auto complain = [&](const std::string& msg) {
+        problems.push_back(msg);
+    };
+
+    // (src, dst, space) -> signal count; (dst, src, space) -> waits.
+    std::map<std::tuple<int, int, int>, long> signals;
+    std::map<std::tuple<int, int, int>, long> waits;
+    std::map<std::tuple<int, int>, long> portSignals;
+    std::map<std::tuple<int, int>, long> portWaits;
+    std::vector<long> barriers(numRanks_, 0);
+
+    auto checkRange = [&](int rank, const BufRef& ref, const Instr& in) {
+        if (ref.bytes == 0) {
+            return;
+        }
+        std::size_t cap =
+            ref.kind == BufKind::Input ? dataBytes : scratchBytes;
+        if (ref.offset + ref.bytes > cap) {
+            std::ostringstream os;
+            os << "rank " << rank << ": " << in.describe()
+               << " exceeds " << kindName(ref.kind) << " capacity "
+               << cap;
+            complain(os.str());
+        }
+    };
+
+    for (int r = 0; r < numRanks_; ++r) {
+        std::map<int, long> gridBarriersPerTb;
+        std::map<int, bool> tbSeen;
+        for (const Instr& in : instrs_[r]) {
+            tbSeen[in.tb] = true;
+            if (in.peer == r) {
+                complain("rank " + std::to_string(r) +
+                         ": instruction addresses itself: " +
+                         in.describe());
+            }
+            bool needsPeer =
+                in.op != OpCode::ReduceLocal &&
+                in.op != OpCode::CopyLocal && in.op != OpCode::Barrier &&
+                in.op != OpCode::GridBarrier &&
+                in.op != OpCode::SwitchReduce &&
+                in.op != OpCode::SwitchBroadcast;
+            if (needsPeer && (in.peer < 0 || in.peer >= numRanks_)) {
+                complain("rank " + std::to_string(r) +
+                         ": peer out of range: " + in.describe());
+                continue;
+            }
+            checkRange(r, in.src, in);
+            if (in.op != OpCode::Wait && in.op != OpCode::PortWait &&
+                in.op != OpCode::Signal) {
+                checkRange(r, in.dst, in);
+            }
+
+            if (isSignalOp(in.op)) {
+                int space = static_cast<int>(
+                    in.op == OpCode::PutPackets ? BufKind::Scratch
+                                                : in.dst.kind);
+                ++signals[{r, in.peer, space}];
+            }
+            if (isWaitOp(in.op)) {
+                int space = static_cast<int>(
+                    in.op == OpCode::ReadPackets ? BufKind::Scratch
+                                                 : in.dst.kind);
+                ++waits[{in.peer, r, space}];
+            }
+            if (in.op == OpCode::PortPut && in.fusedSignal) {
+                ++portSignals[{r, in.peer}];
+            }
+            if (in.op == OpCode::PortWait) {
+                ++portWaits[{in.peer, r}];
+            }
+            if (in.op == OpCode::Barrier) {
+                ++barriers[r];
+            }
+            if (in.op == OpCode::GridBarrier) {
+                ++gridBarriersPerTb[in.tb];
+            }
+        }
+        // Grid barriers must be emitted by every thread block of the
+        // rank the same number of times, or the kernel deadlocks.
+        long expected = -1;
+        for (const auto& [tb, seen] : tbSeen) {
+            long count = gridBarriersPerTb.count(tb)
+                             ? gridBarriersPerTb[tb]
+                             : 0;
+            if (expected < 0) {
+                expected = count;
+            } else if (count != expected) {
+                complain("rank " + std::to_string(r) +
+                         ": thread blocks disagree on gridBarrier "
+                         "count (" +
+                         std::to_string(count) + " vs " +
+                         std::to_string(expected) + ")");
+                break;
+            }
+        }
+    }
+
+    for (int r = 1; r < numRanks_; ++r) {
+        if (barriers[r] != barriers[0]) {
+            complain("barrier count differs: rank 0 has " +
+                     std::to_string(barriers[0]) + ", rank " +
+                     std::to_string(r) + " has " +
+                     std::to_string(barriers[r]));
+        }
+    }
+    for (const auto& [key, count] : signals) {
+        auto [src, dst, space] = key;
+        long w = waits.count(key) ? waits.at(key) : 0;
+        if (w != count) {
+            std::ostringstream os;
+            os << "memory channel " << src << "->" << dst << " ("
+               << kindName(static_cast<BufKind>(space)) << "): " << count
+               << " signal(s) but " << w << " wait(s)";
+            complain(os.str());
+        }
+    }
+    for (const auto& [key, w] : waits) {
+        if (signals.count(key) == 0) {
+            auto [src, dst, space] = key;
+            std::ostringstream os;
+            os << "memory channel " << src << "->" << dst << " ("
+               << kindName(static_cast<BufKind>(space)) << "): " << w
+               << " wait(s) but no signals";
+            complain(os.str());
+        }
+    }
+    for (const auto& [key, count] : portSignals) {
+        long w = portWaits.count(key) ? portWaits.at(key) : 0;
+        if (w != count) {
+            complain("port channel " + std::to_string(std::get<0>(key)) +
+                     "->" + std::to_string(std::get<1>(key)) + ": " +
+                     std::to_string(count) + " signal(s) but " +
+                     std::to_string(w) + " wait(s)");
+        }
+    }
+    return problems;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: the algorithm-file analogue of MSCCL's XML plans.
+// ---------------------------------------------------------------------------
+
+std::string
+Program::serialize() const
+{
+    std::ostringstream os;
+    os << "mscclpp-dsl v1 " << numRanks_ << " " << name_ << "\n";
+    for (int r = 0; r < numRanks_; ++r) {
+        for (const Instr& in : instrs_[r]) {
+            os << r << " " << in.tb << " " << static_cast<int>(in.op)
+               << " " << in.peer << " " << static_cast<int>(in.src.kind)
+               << " " << in.src.offset << " " << in.src.bytes << " "
+               << static_cast<int>(in.dst.kind) << " " << in.dst.offset
+               << " " << in.dst.bytes << " " << (in.fusedSignal ? 1 : 0)
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+Program
+Program::deserialize(const std::string& text)
+{
+    std::istringstream is(text);
+    std::string magic;
+    std::string version;
+    int ranks = 0;
+    std::string name;
+    is >> magic >> version >> ranks;
+    std::getline(is, name);
+    if (magic != "mscclpp-dsl" || version != "v1" || ranks < 2) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "not a mscclpp-dsl v1 program");
+    }
+    if (!name.empty() && name.front() == ' ') {
+        name.erase(name.begin());
+    }
+    Program p(name, ranks);
+    int rank = 0;
+    Instr in;
+    int op = 0;
+    int srcKind = 0;
+    int dstKind = 0;
+    int fused = 0;
+    while (is >> rank >> in.tb >> op >> in.peer >> srcKind >>
+           in.src.offset >> in.src.bytes >> dstKind >> in.dst.offset >>
+           in.dst.bytes >> fused) {
+        if (rank < 0 || rank >= ranks) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "instruction rank out of range");
+        }
+        in.op = static_cast<OpCode>(op);
+        in.src.kind = static_cast<BufKind>(srcKind);
+        in.dst.kind = static_cast<BufKind>(dstKind);
+        in.fusedSignal = fused != 0;
+        p.instrs_[rank].push_back(in);
+    }
+    return p;
+}
+
+} // namespace mscclpp::dsl

@@ -1,0 +1,174 @@
+#include "fabric/env.hpp"
+
+#include <stdexcept>
+
+namespace mscclpp::fabric {
+
+using sim::ns;
+using sim::us;
+
+namespace {
+
+/** Constants shared by all NVIDIA + IB environments. */
+void
+fillCommonNvidia(EnvConfig& c)
+{
+    c.gpusPerNode = 8;
+    c.intra = IntraTopology::Switch;
+    c.kernelLaunch = us(3.0);
+    c.graphLaunch = us(1.4);
+    c.hostSyncOverhead = us(2.0);
+    c.blockDispatch = ns(20);
+    c.semaphorePoll = ns(250);
+    c.atomicAddLatency = ns(550);
+    c.threadFence = ns(120);
+    c.blockBarrier = ns(30);
+    c.fifoPushCost = ns(100);
+    c.fifoPollLatency = ns(900);
+    c.proxyDispatch = ns(150);
+    c.fifoDepth = 128;
+    c.ibPostOverhead = ns(350);
+    c.ibPollOverhead = ns(200);
+    c.ncclPrimOverhead = ns(180);
+    c.ncclProxyStep = us(2.2);
+    c.ncclSimpleEff = 0.92;
+    c.ncclLl128Eff = 0.94;
+    c.ncclSlotBytes = 512ull << 10;
+    c.mscclInstrOverhead = ns(1400);
+    c.dslInstrOverhead = ns(70);
+    c.ll128Supported = true;
+}
+
+} // namespace
+
+EnvConfig
+makeA100_40G()
+{
+    EnvConfig c;
+    c.name = "A100-40G";
+    c.gpuName = "NVIDIA A100 (40G)";
+    c.intraName = "NVLink 3.0";
+    c.netName = "Mellanox HDR InfiniBand (200 Gb/s)";
+    fillCommonNvidia(c);
+
+    c.intraBwGBps = 300.0;          // NVLink 3.0 per-direction port rate
+    c.intraLatency = ns(300);       // per hop; p2p store = 2 hops
+    c.intraPerMessage = ns(50);
+    c.hasMultimem = false;
+
+    c.nicBwGBps = 25.0;             // HDR 200 Gb/s
+    c.nicLatency = us(1.0);
+    c.nicPerMessage = ns(120);
+    c.ibAtomicLatency = us(1.7);
+
+    c.hbmBwGBps = 1555.0;
+    c.fp16Tflops = 312.0;
+    c.perThreadCopyGBps = 0.45;
+    c.threadCopyPeakEff = 227.0 / 300.0;  // Section 2.2.2 anchor
+    c.dmaCopyEff = 263.0 / 300.0;         // Section 2.2.2 anchor
+    c.dmaInitLatency = us(1.3);
+    return c;
+}
+
+EnvConfig
+makeA100_80G()
+{
+    EnvConfig c = makeA100_40G();
+    c.name = "A100-80G";
+    c.gpuName = "NVIDIA A100 (80G)";
+    c.hbmBwGBps = 2039.0;
+    return c;
+}
+
+EnvConfig
+makeH100()
+{
+    EnvConfig c;
+    c.name = "H100";
+    c.gpuName = "NVIDIA H100";
+    c.intraName = "NVLink 4.0";
+    c.netName = "Quantum-2 CX7 InfiniBand (400 Gb/s)";
+    fillCommonNvidia(c);
+
+    c.intraBwGBps = 450.0;          // NVLink 4.0 per-direction port rate
+    c.intraLatency = ns(250);       // per hop; p2p store = 2 hops
+    c.intraPerMessage = ns(40);
+    c.hasMultimem = true;           // NVLS via NVSwitch
+    c.multimemBwGBps = 500.0;       // effective in-switch reduce rate
+    c.multimemLatency = ns(250);
+
+    c.nicBwGBps = 50.0;             // NDR 400 Gb/s
+    c.nicLatency = ns(900);
+    c.nicPerMessage = ns(100);
+    c.ibAtomicLatency = us(1.5);
+
+    c.hbmBwGBps = 3350.0;
+    c.fp16Tflops = 990.0;
+    c.perThreadCopyGBps = 0.6;
+    c.threadCopyPeakEff = 0.65;     // thread copy scales worse on NVLink4
+    c.dmaCopyEff = 0.88;
+    c.dmaInitLatency = us(1.2);
+    c.kernelLaunch = us(2.6);
+    c.graphLaunch = us(1.3);
+    return c;
+}
+
+EnvConfig
+makeMI300x()
+{
+    EnvConfig c;
+    c.name = "MI300x";
+    c.gpuName = "AMD MI300x";
+    c.intraName = "Infinity Fabric Gen 4";
+    c.netName = "Quantum-2 CX7 InfiniBand (400 Gb/s)";
+    fillCommonNvidia(c);
+
+    c.intra = IntraTopology::Mesh;  // full mesh, one xGMI link per pair
+    c.intraBwGBps = 54.0;           // per peer link per direction
+    c.intraLatency = ns(800);
+    c.intraPerMessage = ns(60);
+    c.hasMultimem = false;
+
+    c.nicBwGBps = 50.0;
+    c.nicLatency = ns(950);
+    c.nicPerMessage = ns(110);
+    c.ibAtomicLatency = us(1.6);
+
+    c.hbmBwGBps = 5300.0;
+    c.fp16Tflops = 1307.0;
+    c.perThreadCopyGBps = 0.35;
+    c.threadCopyPeakEff = 0.88;     // single xGMI link is easy to saturate
+    c.dmaCopyEff = 0.92;
+    c.dmaInitLatency = us(1.5);
+    c.kernelLaunch = us(3.4);       // HIP launch overhead is higher
+    c.graphLaunch = us(1.7);
+    c.semaphorePoll = ns(250);
+    c.atomicAddLatency = ns(700);
+    // RCCL is a hard fork of NCCL; its stack constants are NCCL's with
+    // slightly higher per-step costs observed on ROCm.
+    c.ncclPrimOverhead = ns(230);
+    c.ncclProxyStep = us(2.6);
+    c.ncclSimpleEff = 0.90;
+    c.ll128Supported = false;       // LL128 needs NVLink write ordering
+    return c;
+}
+
+EnvConfig
+makeEnv(const std::string& name)
+{
+    if (name == "A100-40G") {
+        return makeA100_40G();
+    }
+    if (name == "A100-80G") {
+        return makeA100_80G();
+    }
+    if (name == "H100") {
+        return makeH100();
+    }
+    if (name == "MI300x") {
+        return makeMI300x();
+    }
+    throw std::invalid_argument("unknown environment: " + name);
+}
+
+} // namespace mscclpp::fabric

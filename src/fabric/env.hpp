@@ -1,0 +1,136 @@
+#ifndef MSCCLPP_FABRIC_ENV_HPP
+#define MSCCLPP_FABRIC_ENV_HPP
+
+#include "sim/time.hpp"
+
+#include <string>
+
+namespace mscclpp::fabric {
+
+/** How GPUs inside a node are wired together. */
+enum class IntraTopology
+{
+    Switch, ///< all GPUs attach to a central switch (NVSwitch)
+    Mesh,   ///< every GPU pair has a dedicated link (Infinity Fabric)
+};
+
+/**
+ * Full description of one evaluation environment (one row of the
+ * paper's Table 1) plus the calibration constants of the timing model.
+ *
+ * Bandwidths are GB/s per direction. All calibration anchors are
+ * listed in DESIGN.md Section 3; EXPERIMENTS.md records how close the
+ * reproduced numbers land.
+ */
+struct EnvConfig
+{
+    std::string name;
+    std::string gpuName;
+    std::string intraName;
+    std::string netName;
+
+    // ---- machine shape -------------------------------------------------
+    int gpusPerNode = 8;
+    IntraTopology intra = IntraTopology::Switch;
+
+    // ---- intra-node fabric ----------------------------------------------
+    /// Per-GPU port rate for Switch topologies; per-peer-link rate for
+    /// Mesh topologies.
+    double intraBwGBps = 0.0;
+    sim::Time intraLatency = 0;     ///< p2p store visibility latency
+    sim::Time intraPerMessage = 0;  ///< per-transfer wire overhead
+    bool hasMultimem = false;       ///< NVSwitch in-network compute (NVLS)
+    double multimemBwGBps = 0.0;    ///< effective switch-reduce rate
+    sim::Time multimemLatency = 0;  ///< extra switch-compute latency
+
+    // ---- inter-node network ----------------------------------------------
+    double nicBwGBps = 0.0;         ///< per-GPU NIC rate
+    sim::Time nicLatency = 0;       ///< NIC-to-NIC one-way latency
+    sim::Time nicPerMessage = 0;    ///< per-RDMA-message wire overhead
+    sim::Time ibPostOverhead = 0;   ///< CPU cost of ibv_post_send
+    sim::Time ibAtomicLatency = 0;  ///< remote semaphore add (ibv atomic)
+    sim::Time ibPollOverhead = 0;   ///< CPU cost of ibv_poll_cq round
+
+    // ---- GPU device ------------------------------------------------------
+    double hbmBwGBps = 0.0;         ///< device memory bandwidth
+    double fp16Tflops = 0.0;        ///< dense fp16 peak
+    sim::Time kernelLaunch = 0;     ///< stream kernel launch latency
+    sim::Time graphLaunch = 0;      ///< CUDA-graph replay launch latency
+    sim::Time blockDispatch = 0;    ///< per-thread-block scheduling cost
+    double perThreadCopyGBps = 0.0; ///< thread-copy rate per GPU thread
+    double threadCopyPeakEff = 0.0; ///< thread-copy ceiling / line rate
+    double dmaCopyEff = 0.0;        ///< copy-engine ceiling / line rate
+    sim::Time dmaInitLatency = 0;   ///< DMA engine start-up per transfer
+
+    /// Host-side completion detection after a collective kernel (event
+    /// query / stream sync), part of every measured latency.
+    sim::Time hostSyncOverhead = 0;
+
+    /// Granularity at which bulk transfers occupy links. Ports
+    /// multiplex concurrent flows at packet granularity; reserving in
+    /// chunks of this size keeps the FIFO occupancy model fair when
+    /// flows from different sources interleave.
+    std::uint64_t bulkChunkBytes = 256 << 10;
+
+    // ---- synchronisation primitives ---------------------------------------
+    sim::Time semaphorePoll = 0;    ///< busy-wait detection granularity
+    sim::Time atomicAddLatency = 0; ///< p2p atomic increment latency
+    sim::Time threadFence = 0;      ///< __threadfence_system cost
+    sim::Time blockBarrier = 0;     ///< __syncthreads-equivalent cost
+
+    // ---- proxy (PortChannel, Figure 7) -------------------------------------
+    sim::Time fifoPushCost = 0;     ///< GPU write of a FIFO request
+    sim::Time fifoPollLatency = 0;  ///< GPU push -> CPU pickup delay
+    sim::Time proxyDispatch = 0;    ///< CPU request decode + dispatch
+    int fifoDepth = 128;            ///< request slots per channel FIFO
+
+    // ---- NCCL-baseline stack model -----------------------------------------
+    /// Extra per-primitive-call cost of the NCCL send/recv abstraction
+    /// (static thread-group sync, register pressure, buffer slot
+    /// accounting). This is the stack overhead MSCCL++ removes.
+    sim::Time ncclPrimOverhead = 0;
+    sim::Time ncclProxyStep = 0;    ///< per-network-step proxy cost
+    double ncclSimpleEff = 0.0;     ///< Simple-protocol bandwidth efficiency
+    double ncclLl128Eff = 0.0;      ///< LL128 efficiency (NVLink only)
+    double ncclLlBwFactor = 0.25;   ///< LL protocol share of line rate
+    double ncclLl128BwFactor = 0.55;///< LL128 share of line rate
+    double ncclNvlsEff = 0.80;      ///< NCCL NVLS share of multimem rate
+    std::uint64_t ncclSlotBytes = 0;///< staged pipeline slot size
+    /// MSCCL interpreter: per-instruction decode cost on the NCCL stack.
+    sim::Time mscclInstrOverhead = 0;
+
+    // ---- MSCCL++ executor -----------------------------------------------
+    /// DSL executor per-instruction decode cost (the ~3% gap between
+    /// DSL and Primitive kernels in Section 5.1).
+    sim::Time dslInstrOverhead = 0;
+
+    bool ll128Supported = false;    ///< LL128 needs NVLink write ordering
+};
+
+/** A100-40G row of Table 1: NVLink 3.0 + HDR InfiniBand. */
+EnvConfig makeA100_40G();
+
+/** A100-80G row of Table 1 (faster HBM; used for LLM inference). */
+EnvConfig makeA100_80G();
+
+/** H100 row of Table 1: NVLink 4.0 with NVLS multimem + NDR IB. */
+EnvConfig makeH100();
+
+/** MI300x row of Table 1: Infinity Fabric mesh + NDR IB. */
+EnvConfig makeMI300x();
+
+/** Look up an environment by Table 1 name; throws on unknown name. */
+EnvConfig makeEnv(const std::string& name);
+
+/**
+ * Apply MSCCLPP_* environment-variable overrides to @p cfg — the
+ * analogue of tuning NCCL via NCCL_* variables (Section 5,
+ * "fine-tuned for each environment ... by adjusting their environment
+ * variables"). Unset variables leave fields untouched; see
+ * env_overrides.cpp for the variable list.
+ */
+void applyEnvOverrides(EnvConfig& cfg);
+
+} // namespace mscclpp::fabric
+
+#endif // MSCCLPP_FABRIC_ENV_HPP

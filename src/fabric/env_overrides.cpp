@@ -1,0 +1,72 @@
+#include "fabric/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace mscclpp::fabric {
+
+namespace {
+
+bool
+readDouble(const char* name, double& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return false;
+    }
+    out = std::atof(v);
+    return true;
+}
+
+bool
+readTimeNs(const char* name, sim::Time& out)
+{
+    double ns = 0;
+    if (!readDouble(name, ns)) {
+        return false;
+    }
+    out = sim::ns(ns);
+    return true;
+}
+
+} // namespace
+
+void
+applyEnvOverrides(EnvConfig& cfg)
+{
+    // Fabric rates and latencies.
+    readDouble("MSCCLPP_INTRA_BW_GBPS", cfg.intraBwGBps);
+    readDouble("MSCCLPP_NIC_BW_GBPS", cfg.nicBwGBps);
+    readDouble("MSCCLPP_MULTIMEM_BW_GBPS", cfg.multimemBwGBps);
+    readTimeNs("MSCCLPP_INTRA_LATENCY_NS", cfg.intraLatency);
+    readTimeNs("MSCCLPP_NIC_LATENCY_NS", cfg.nicLatency);
+
+    // Copy engines and protocols.
+    readDouble("MSCCLPP_THREAD_COPY_EFF", cfg.threadCopyPeakEff);
+    readDouble("MSCCLPP_DMA_COPY_EFF", cfg.dmaCopyEff);
+    double chunkKb = 0;
+    if (readDouble("MSCCLPP_BULK_CHUNK_KB", chunkKb) && chunkKb > 0) {
+        cfg.bulkChunkBytes =
+            static_cast<std::uint64_t>(chunkKb * 1024.0);
+    }
+
+    // Launch / sync costs.
+    readTimeNs("MSCCLPP_GRAPH_LAUNCH_NS", cfg.graphLaunch);
+    readTimeNs("MSCCLPP_HOST_SYNC_NS", cfg.hostSyncOverhead);
+    readTimeNs("MSCCLPP_SEM_POLL_NS", cfg.semaphorePoll);
+
+    // Baseline tuning, mirroring how the paper tunes NCCL/RCCL/MSCCL
+    // per environment with NCCL_* variables.
+    readTimeNs("MSCCLPP_NCCL_PRIM_OVERHEAD_NS", cfg.ncclPrimOverhead);
+    readDouble("MSCCLPP_NCCL_SIMPLE_EFF", cfg.ncclSimpleEff);
+    readDouble("MSCCLPP_NCCL_LL_BW_FACTOR", cfg.ncclLlBwFactor);
+    readDouble("MSCCLPP_NCCL_LL128_BW_FACTOR", cfg.ncclLl128BwFactor);
+    double slotKb = 0;
+    if (readDouble("MSCCLPP_NCCL_SLOT_KB", slotKb) && slotKb > 0) {
+        cfg.ncclSlotBytes = static_cast<std::uint64_t>(slotKb * 1024.0);
+    }
+    readTimeNs("MSCCLPP_MSCCL_INSTR_NS", cfg.mscclInstrOverhead);
+    readTimeNs("MSCCLPP_DSL_INSTR_NS", cfg.dslInstrOverhead);
+}
+
+} // namespace mscclpp::fabric

@@ -1,0 +1,121 @@
+#include "fabric/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mscclpp::fabric {
+
+const char*
+toString(LinkType t)
+{
+    switch (t) {
+      case LinkType::NvLink:
+        return "NVLink";
+      case LinkType::XGmi:
+        return "xGMI";
+      case LinkType::Pcie:
+        return "PCIe";
+      case LinkType::InfiniBand:
+        return "InfiniBand";
+    }
+    return "?";
+}
+
+Link::Link(sim::Scheduler& sched, LinkType type, LinkParams params,
+           std::string name)
+    : sched_(&sched), type_(type), params_(params), name_(std::move(name))
+{
+}
+
+std::pair<sim::Time, sim::Time>
+Link::reserve(std::uint64_t bytes, double bwCapGBps, sim::Time earliest)
+{
+    double bw = params_.bandwidthGBps;
+    if (bwCapGBps > 0.0) {
+        bw = std::min(bw, bwCapGBps);
+    }
+    sim::Time start = std::max({sched_->now(), nextFree_, earliest});
+    sim::Time occupancy = params_.perMessage + sim::transferTime(bytes, bw);
+    nextFree_ = start + occupancy;
+    bytesCarried_ += bytes;
+    busyTime_ += occupancy;
+    return {start, start + occupancy + params_.latency};
+}
+
+sim::Task<>
+Link::transfer(std::uint64_t bytes, double bwCapGBps)
+{
+    auto [start, arrival] = reserve(bytes, bwCapGBps);
+    co_await sim::Delay(*sched_, arrival - sched_->now());
+}
+
+sim::Time
+Path::latency() const
+{
+    sim::Time total = 0;
+    for (const Link* l : links_) {
+        total += l->params().latency;
+    }
+    return total;
+}
+
+double
+Path::bottleneckGBps() const
+{
+    double bw = 0.0;
+    for (const Link* l : links_) {
+        double b = l->params().bandwidthGBps;
+        if (bw == 0.0 || (b > 0.0 && b < bw)) {
+            bw = b;
+        }
+    }
+    return bw;
+}
+
+std::pair<sim::Time, sim::Time>
+Path::reserve(std::uint64_t bytes, double bwCapGBps) const
+{
+    assert(!links_.empty());
+    // Cut-through: every hop carries the serialisation window of the
+    // bottleneck rate; the window starts when all hops are free.
+    double bw = bottleneckGBps();
+    if (bwCapGBps > 0.0) {
+        bw = std::min(bw, bwCapGBps);
+    }
+    // Cascading cut-through: each hop starts no earlier than the
+    // previous hop and no earlier than its own queue, but an upstream
+    // hop is never blocked by downstream congestion (no head-of-line
+    // holes on shared ports).
+    sim::Time perMessage = 0;
+    for (const Link* l : links_) {
+        perMessage = std::max(perMessage, l->params().perMessage);
+    }
+    sim::Time window = perMessage + sim::transferTime(bytes, bw);
+    sim::Time start = scheduler().now();
+    sim::Time firstStart = 0;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        start = std::max(start, links_[i]->nextFree());
+        if (i == 0) {
+            firstStart = start;
+        }
+        links_[i]->occupy(start + window, bytes, window);
+    }
+    return {firstStart, start + window + latency()};
+}
+
+sim::Task<>
+Path::transfer(std::uint64_t bytes, double bwCapGBps) const
+{
+    auto [start, arrival] = reserve(bytes, bwCapGBps);
+    sim::Scheduler& sched = scheduler();
+    co_await sim::Delay(sched, arrival - sched.now());
+}
+
+sim::Scheduler&
+Path::scheduler() const
+{
+    assert(!links_.empty());
+    return links_.front()->scheduler();
+}
+
+} // namespace mscclpp::fabric

@@ -1,0 +1,150 @@
+#ifndef MSCCLPP_FABRIC_LINK_HPP
+#define MSCCLPP_FABRIC_LINK_HPP
+
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mscclpp::fabric {
+
+/** Physical interconnect technology carried by a Link. */
+enum class LinkType
+{
+    NvLink,     ///< NVLink lane to an NVSwitch port (per direction)
+    XGmi,       ///< Infinity Fabric peer-to-peer lane
+    Pcie,       ///< PCIe host bridge lane
+    InfiniBand, ///< NIC port to the IB switch
+};
+
+const char* toString(LinkType t);
+
+/** Static parameters of one direction of a physical link. */
+struct LinkParams
+{
+    double bandwidthGBps = 0.0;  ///< serialisation rate, GB/s (1e9 B/s)
+    sim::Time latency = 0;       ///< propagation + hop latency
+    sim::Time perMessage = 0;    ///< fixed wire cost per transfer
+};
+
+/**
+ * One direction of a physical link, modelled as a serially-occupied
+ * resource.
+ *
+ * A transfer reserves the link starting no earlier than the previous
+ * transfer's last byte (cut-through, FIFO); the receiver sees the last
+ * byte one latency after serialisation completes. Bandwidth can be
+ * capped below the line rate per transfer to model sender-side limits
+ * such as a thread-copy loop that cannot saturate the link.
+ */
+class Link
+{
+  public:
+    Link(sim::Scheduler& sched, LinkType type, LinkParams params,
+         std::string name);
+
+    Link(const Link&) = delete;
+    Link& operator=(const Link&) = delete;
+    Link(Link&&) = default;
+
+    LinkType type() const { return type_; }
+    const LinkParams& params() const { return params_; }
+    const std::string& name() const { return name_; }
+
+    /**
+     * Compute the occupancy window for @p bytes and advance the
+     * reservation cursor. @return the pair (start, arrival) where
+     * arrival is when the last byte is visible at the far end.
+     *
+     * @param bwCapGBps optional sender-side bandwidth cap; 0 means
+     *        line rate.
+     * @param earliest the transfer cannot start before this time
+     *        (used for multi-hop paths).
+     */
+    std::pair<sim::Time, sim::Time>
+    reserve(std::uint64_t bytes, double bwCapGBps = 0.0,
+            sim::Time earliest = 0);
+
+    /** Suspend the calling task until a reserved transfer completes. */
+    sim::Task<> transfer(std::uint64_t bytes, double bwCapGBps = 0.0);
+
+    /** Time at which the link next becomes free. */
+    sim::Time nextFree() const { return nextFree_; }
+
+    /**
+     * Occupy the link for an externally-computed window (multi-hop
+     * paths reserve all hops for one shared window). Advances the
+     * cursor to @p end and charges stats.
+     */
+    void occupy(sim::Time end, std::uint64_t bytes, sim::Time busy)
+    {
+        nextFree_ = std::max(nextFree_, end);
+        bytesCarried_ += bytes;
+        busyTime_ += busy;
+    }
+
+    /** Total bytes carried (stats). */
+    std::uint64_t bytesCarried() const { return bytesCarried_; }
+
+    /** Total occupancy accumulated (stats). */
+    sim::Time busyTime() const { return busyTime_; }
+
+    sim::Scheduler& scheduler() const { return *sched_; }
+
+  private:
+    sim::Scheduler* sched_;
+    LinkType type_;
+    LinkParams params_;
+    std::string name_;
+    sim::Time nextFree_ = 0;
+    std::uint64_t bytesCarried_ = 0;
+    sim::Time busyTime_ = 0;
+};
+
+/**
+ * An ordered sequence of links forming a route between two devices
+ * (e.g. GPU port -> NVSwitch -> GPU port, or NIC -> IB switch -> NIC).
+ *
+ * A path transfer reserves every hop for the serialisation window and
+ * completes after the bottleneck occupancy plus the sum of hop
+ * latencies (cut-through switching).
+ */
+class Path
+{
+  public:
+    Path() = default;
+    explicit Path(std::vector<Link*> links) : links_(std::move(links)) {}
+
+    bool empty() const { return links_.empty(); }
+    const std::vector<Link*>& links() const { return links_; }
+
+    /** Sum of hop latencies. */
+    sim::Time latency() const;
+
+    /** Minimum line rate over all hops. */
+    double bottleneckGBps() const;
+
+    /**
+     * Reserve all hops for @p bytes. @return (start, arrival) with
+     * arrival the time the last byte reaches the destination.
+     */
+    std::pair<sim::Time, sim::Time>
+    reserve(std::uint64_t bytes, double bwCapGBps = 0.0) const;
+
+    /** Suspend until @p bytes have fully arrived at the destination. */
+    sim::Task<> transfer(std::uint64_t bytes, double bwCapGBps = 0.0) const;
+
+    sim::Scheduler& scheduler() const;
+
+  private:
+    std::vector<Link*> links_;
+};
+
+} // namespace mscclpp::fabric
+
+#endif // MSCCLPP_FABRIC_LINK_HPP

@@ -1,0 +1,256 @@
+#include "fabric/topology.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace mscclpp::fabric {
+
+Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes)
+    : sched_(&sched), cfg_(cfg), numNodes_(numNodes)
+{
+    if (numNodes < 1) {
+        throw std::invalid_argument("Fabric requires at least one node");
+    }
+    const int n = numGpus();
+    const int g = cfg_.gpusPerNode;
+
+    LinkParams intra{cfg_.intraBwGBps, cfg_.intraLatency,
+                     cfg_.intraPerMessage};
+    LinkType intraType = cfg_.intra == IntraTopology::Mesh
+                             ? LinkType::XGmi
+                             : LinkType::NvLink;
+
+    if (cfg_.intra == IntraTopology::Switch) {
+        gpuTx_.reserve(n);
+        gpuRx_.reserve(n);
+        for (int r = 0; r < n; ++r) {
+            gpuTx_.push_back(std::make_unique<Link>(
+                sched, intraType, intra,
+                "gpu" + std::to_string(r) + ".tx"));
+            gpuRx_.push_back(std::make_unique<Link>(
+                sched, intraType, intra,
+                "gpu" + std::to_string(r) + ".rx"));
+        }
+    } else {
+        mesh_.resize(static_cast<std::size_t>(numNodes_) * g * g);
+        for (int node = 0; node < numNodes_; ++node) {
+            for (int a = 0; a < g; ++a) {
+                for (int b = 0; b < g; ++b) {
+                    if (a == b) {
+                        continue;
+                    }
+                    int src = node * g + a;
+                    int dst = node * g + b;
+                    mesh_[meshIndex(src, dst)] = std::make_unique<Link>(
+                        sched, intraType, intra,
+                        "xgmi" + std::to_string(src) + "-" +
+                            std::to_string(dst));
+                }
+            }
+        }
+    }
+
+    LinkParams net{cfg_.nicBwGBps, cfg_.nicLatency, cfg_.nicPerMessage};
+    nicTx_.reserve(n);
+    nicRx_.reserve(n);
+    for (int r = 0; r < n; ++r) {
+        nicTx_.push_back(std::make_unique<Link>(
+            sched, LinkType::InfiniBand, net,
+            "nic" + std::to_string(r) + ".tx"));
+        nicRx_.push_back(std::make_unique<Link>(
+            sched, LinkType::InfiniBand, net,
+            "nic" + std::to_string(r) + ".rx"));
+    }
+}
+
+int
+Fabric::meshIndex(int src, int dst) const
+{
+    const int g = cfg_.gpusPerNode;
+    int node = nodeOf(src);
+    return (node * g + localRankOf(src)) * g + localRankOf(dst);
+}
+
+Link&
+Fabric::gpuTx(int rank)
+{
+    assert(cfg_.intra == IntraTopology::Switch);
+    return *gpuTx_.at(rank);
+}
+
+Link&
+Fabric::gpuRx(int rank)
+{
+    assert(cfg_.intra == IntraTopology::Switch);
+    return *gpuRx_.at(rank);
+}
+
+Link&
+Fabric::meshLink(int src, int dst)
+{
+    assert(cfg_.intra == IntraTopology::Mesh);
+    assert(sameNode(src, dst) && src != dst);
+    return *mesh_.at(meshIndex(src, dst));
+}
+
+Path
+Fabric::intraPath(int src, int dst)
+{
+    if (!sameNode(src, dst)) {
+        throw std::invalid_argument("intraPath requires same-node ranks");
+    }
+    if (src == dst) {
+        throw std::invalid_argument("intraPath requires distinct ranks");
+    }
+    if (cfg_.intra == IntraTopology::Switch) {
+        return Path({&gpuTx(src), &gpuRx(dst)});
+    }
+    return Path({&meshLink(src, dst)});
+}
+
+Path
+Fabric::netPath(int src, int dst)
+{
+    if (src == dst) {
+        throw std::invalid_argument("netPath requires distinct ranks");
+    }
+    return Path({nicTx_.at(src).get(), nicRx_.at(dst).get()});
+}
+
+Path
+Fabric::p2pPath(int src, int dst)
+{
+    if (sameNode(src, dst)) {
+        return intraPath(src, dst);
+    }
+    return netPath(src, dst);
+}
+
+std::pair<sim::Time, sim::Time>
+Fabric::multimemReduce(int reader, const std::vector<int>& participants,
+                       std::uint64_t bytes, double bwFactor)
+{
+    if (!cfg_.hasMultimem) {
+        throw std::logic_error("multimem not supported on " + cfg_.name);
+    }
+    // The switch pulls `bytes` from every participant's memory and
+    // pushes the reduced result to the reader: every participant's tx
+    // port and the reader's rx port carry `bytes`.
+    sim::Time start = sched_->now();
+    for (int r : participants) {
+        start = std::max(start, gpuTx(r).nextFree());
+    }
+    start = std::max(start, gpuRx(reader).nextFree());
+    sim::Time window =
+        cfg_.intraPerMessage +
+        sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
+    for (int r : participants) {
+        gpuTx(r).occupy(start + window, bytes, window);
+    }
+    gpuRx(reader).occupy(start + window, bytes, window);
+    sim::Time arrival =
+        start + window + cfg_.intraLatency + cfg_.multimemLatency;
+    return {start, arrival};
+}
+
+std::pair<sim::Time, sim::Time>
+Fabric::multimemBroadcast(int writer, const std::vector<int>& participants,
+                          std::uint64_t bytes, double bwFactor)
+{
+    if (!cfg_.hasMultimem) {
+        throw std::logic_error("multimem not supported on " + cfg_.name);
+    }
+    sim::Time start = std::max(sched_->now(), gpuTx(writer).nextFree());
+    for (int r : participants) {
+        start = std::max(start, gpuRx(r).nextFree());
+    }
+    sim::Time window =
+        cfg_.intraPerMessage +
+        sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
+    gpuTx(writer).occupy(start + window, bytes, window);
+    for (int r : participants) {
+        gpuRx(r).occupy(start + window, bytes, window);
+    }
+    sim::Time arrival =
+        start + window + cfg_.intraLatency + cfg_.multimemLatency;
+    return {start, arrival};
+}
+
+std::uint64_t
+Fabric::intraBytesCarried() const
+{
+    std::uint64_t total = 0;
+    for (const auto& l : gpuTx_) {
+        total += l->bytesCarried();
+    }
+    for (const auto& l : mesh_) {
+        if (l) {
+            total += l->bytesCarried();
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+Fabric::netBytesCarried() const
+{
+    std::uint64_t total = 0;
+    for (const auto& l : nicTx_) {
+        total += l->bytesCarried();
+    }
+    return total;
+}
+
+Fabric::PortStats
+Fabric::portStats(int rank) const
+{
+    PortStats st;
+    if (cfg_.intra == IntraTopology::Switch) {
+        st.txBytes = gpuTx_.at(rank)->bytesCarried();
+        st.rxBytes = gpuRx_.at(rank)->bytesCarried();
+        st.txBusy = gpuTx_.at(rank)->busyTime();
+        st.rxBusy = gpuRx_.at(rank)->busyTime();
+    } else {
+        const int g = cfg_.gpusPerNode;
+        const int node = nodeOf(rank);
+        for (int b = 0; b < g; ++b) {
+            int other = node * g + b;
+            if (other == rank) {
+                continue;
+            }
+            const auto& tx = mesh_.at(meshIndex(rank, other));
+            const auto& rx = mesh_.at(meshIndex(other, rank));
+            st.txBytes += tx->bytesCarried();
+            st.rxBytes += rx->bytesCarried();
+            st.txBusy = std::max(st.txBusy, tx->busyTime());
+            st.rxBusy = std::max(st.rxBusy, rx->busyTime());
+        }
+    }
+    st.nicTxBytes = nicTx_.at(rank)->bytesCarried();
+    st.nicRxBytes = nicRx_.at(rank)->bytesCarried();
+    return st;
+}
+
+std::string
+Fabric::utilizationReport() const
+{
+    std::string out =
+        "rank  intra tx(MB)  intra rx(MB)  tx busy  rx busy  "
+        "nic tx(MB)  nic rx(MB)\n";
+    char line[160];
+    for (int r = 0; r < numGpus(); ++r) {
+        PortStats st = portStats(r);
+        std::snprintf(line, sizeof(line),
+                      "%-4d  %12.1f  %12.1f  %7s  %7s  %10.1f  %10.1f\n",
+                      r, st.txBytes / 1e6, st.rxBytes / 1e6,
+                      sim::formatTime(st.txBusy).c_str(),
+                      sim::formatTime(st.rxBusy).c_str(),
+                      st.nicTxBytes / 1e6, st.nicRxBytes / 1e6);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace mscclpp::fabric

@@ -1,0 +1,124 @@
+#ifndef MSCCLPP_FABRIC_TOPOLOGY_HPP
+#define MSCCLPP_FABRIC_TOPOLOGY_HPP
+
+#include "fabric/env.hpp"
+#include "fabric/link.hpp"
+#include "sim/scheduler.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace mscclpp::fabric {
+
+/**
+ * The interconnect of a cluster: per-node intra-GPU fabric (NVSwitch
+ * ports or an xGMI mesh) plus one RDMA NIC per GPU attached to a
+ * non-blocking IB switch.
+ *
+ * GPUs are identified by global rank; rank = node * gpusPerNode +
+ * localRank, matching the paper's MnNg notation.
+ */
+class Fabric
+{
+  public:
+    Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes);
+
+    Fabric(const Fabric&) = delete;
+    Fabric& operator=(const Fabric&) = delete;
+
+    const EnvConfig& config() const { return cfg_; }
+    int numNodes() const { return numNodes_; }
+    int numGpus() const { return numNodes_ * cfg_.gpusPerNode; }
+    int nodeOf(int rank) const { return rank / cfg_.gpusPerNode; }
+    int localRankOf(int rank) const { return rank % cfg_.gpusPerNode; }
+    bool sameNode(int a, int b) const { return nodeOf(a) == nodeOf(b); }
+
+    /**
+     * Route for peer-to-peer traffic from @p src to @p dst. Intra-node
+     * pairs route over the GPU fabric; inter-node pairs route through
+     * the source GPU's NIC and the IB switch to the destination's NIC.
+     */
+    Path p2pPath(int src, int dst);
+
+    /** Intra-node route only; src and dst must share a node. */
+    Path intraPath(int src, int dst);
+
+    /** Inter-node RDMA route (always via NICs, even on one node). */
+    Path netPath(int src, int dst);
+
+    /** Egress port of @p rank on the intra-node switch fabric. */
+    Link& gpuTx(int rank);
+
+    /** Ingress port of @p rank on the intra-node switch fabric. */
+    Link& gpuRx(int rank);
+
+    /** Dedicated mesh link from @p src to @p dst (Mesh topology only). */
+    Link& meshLink(int src, int dst);
+
+    /**
+     * Reserve the fabric for an in-switch multimem reduction: @p bytes
+     * are pulled from every participant, reduced on the switch, and
+     * delivered to @p reader. @return (start, arrival).
+     */
+    std::pair<sim::Time, sim::Time>
+    multimemReduce(int reader, const std::vector<int>& participants,
+                   std::uint64_t bytes, double bwFactor = 1.0);
+
+    /**
+     * Reserve the fabric for an in-switch multicast: @p bytes flow
+     * from @p writer through the switch to every participant.
+     */
+    std::pair<sim::Time, sim::Time>
+    multimemBroadcast(int writer, const std::vector<int>& participants,
+                      std::uint64_t bytes, double bwFactor = 1.0);
+
+    sim::Scheduler& scheduler() const { return *sched_; }
+
+    /** Aggregate bytes carried by all intra-node links (stats). */
+    std::uint64_t intraBytesCarried() const;
+
+    /** Aggregate bytes carried by all NIC links (stats). */
+    std::uint64_t netBytesCarried() const;
+
+    /** Per-link utilisation snapshot for one GPU's ports. */
+    struct PortStats
+    {
+        std::uint64_t txBytes = 0;
+        std::uint64_t rxBytes = 0;
+        sim::Time txBusy = 0;
+        sim::Time rxBusy = 0;
+        std::uint64_t nicTxBytes = 0;
+        std::uint64_t nicRxBytes = 0;
+    };
+
+    /** Stats for @p rank's fabric ports (tx/rx aggregated over mesh
+     *  links on Mesh topologies). */
+    PortStats portStats(int rank) const;
+
+    /**
+     * Human-readable utilisation report over all GPUs — the
+     * observability hook collective developers use to see whether an
+     * algorithm drives every link (NCCL_DEBUG-style).
+     */
+    std::string utilizationReport() const;
+
+  private:
+    int meshIndex(int src, int dst) const;
+
+    sim::Scheduler* sched_;
+    EnvConfig cfg_;
+    int numNodes_;
+
+    // Switch topology: one tx/rx port pair per GPU.
+    std::vector<std::unique_ptr<Link>> gpuTx_;
+    std::vector<std::unique_ptr<Link>> gpuRx_;
+    // Mesh topology: one directed link per ordered GPU pair per node.
+    std::vector<std::unique_ptr<Link>> mesh_;
+    // One NIC per GPU, tx and rx sides.
+    std::vector<std::unique_ptr<Link>> nicTx_;
+    std::vector<std::unique_ptr<Link>> nicRx_;
+};
+
+} // namespace mscclpp::fabric
+
+#endif // MSCCLPP_FABRIC_TOPOLOGY_HPP

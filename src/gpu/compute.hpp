@@ -1,0 +1,49 @@
+#ifndef MSCCLPP_GPU_COMPUTE_HPP
+#define MSCCLPP_GPU_COMPUTE_HPP
+
+#include "gpu/memory.hpp"
+#include "gpu/types.hpp"
+
+#include <cstddef>
+
+namespace mscclpp::gpu {
+
+/**
+ * Functional data operations backing the timing model.
+ *
+ * Each function is a no-op when either buffer is timing-only (Timed
+ * data mode); the caller charges device time separately via
+ * Gpu::copyTime / Gpu::reduceTime.
+ */
+
+/** Copy @p bytes from @p src to @p dst (ranges may overlap). */
+void copyBytes(const DeviceBuffer& dst, const DeviceBuffer& src,
+               std::size_t bytes);
+
+/** dst[i] = dst[i] op src[i] over @p bytes of @p type elements. */
+void accumulate(const DeviceBuffer& dst, const DeviceBuffer& src,
+                std::size_t bytes, DataType type, ReduceOp op);
+
+/** Fill a buffer with a deterministic per-rank test pattern. */
+void fillPattern(const DeviceBuffer& buf, DataType type, int rank,
+                 std::size_t seed = 0);
+
+/**
+ * Value the test pattern produces at element @p index for @p rank:
+ * used by tests to compute expected collective results without
+ * building reference buffers.
+ */
+float patternValue(DataType type, int rank, std::size_t index,
+                   std::size_t seed = 0);
+
+/** Read element @p index of @p buf as float. */
+float readElement(const DeviceBuffer& buf, DataType type,
+                  std::size_t index);
+
+/** Write @p value to element @p index of @p buf. */
+void writeElement(const DeviceBuffer& buf, DataType type, std::size_t index,
+                  float value);
+
+} // namespace mscclpp::gpu
+
+#endif // MSCCLPP_GPU_COMPUTE_HPP

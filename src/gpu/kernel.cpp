@@ -1,0 +1,66 @@
+#include "gpu/kernel.hpp"
+
+#include <stdexcept>
+
+namespace mscclpp::gpu {
+
+namespace {
+
+sim::Task<>
+blockWrapper(std::shared_ptr<detail::KernelState> state, BlockCtx* ctx,
+             std::shared_ptr<BlockFn> fn, sim::Time startDelay)
+{
+    if (startDelay > 0) {
+        co_await sim::Delay(ctx->scheduler(), startDelay);
+    }
+    co_await (*fn)(*ctx);
+    state->wg.done();
+}
+
+} // namespace
+
+sim::Task<>
+launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn)
+{
+    if (cfg.blocks < 1 || cfg.threadsPerBlock < 1) {
+        throw std::invalid_argument("invalid kernel launch configuration");
+    }
+    sim::Scheduler& sched = gpu.scheduler();
+    const fabric::EnvConfig& env = gpu.config();
+
+    co_await sim::Delay(sched,
+                        cfg.graph ? env.graphLaunch : env.kernelLaunch);
+
+    auto state = std::make_shared<detail::KernelState>(sched, cfg.blocks);
+    auto fnHolder = std::make_shared<BlockFn>(std::move(fn));
+    state->blocks.reserve(cfg.blocks);
+    state->wg.add(cfg.blocks);
+    for (int b = 0; b < cfg.blocks; ++b) {
+        state->blocks.push_back(
+            std::make_unique<BlockCtx>(gpu, b, cfg, *state));
+        sim::Time stagger = env.blockDispatch * static_cast<sim::Time>(b);
+        sim::detach(sched,
+                    blockWrapper(state, state->blocks.back().get(),
+                                 fnHolder, stagger));
+    }
+    co_await state->wg.wait();
+}
+
+sim::Time
+runOnAllRanks(Machine& machine, LaunchConfig cfg,
+              const std::function<sim::Task<>(BlockCtx&, int)>& fn)
+{
+    sim::Scheduler& sched = machine.scheduler();
+    sim::Time t0 = sched.now();
+    for (int r = 0; r < machine.numGpus(); ++r) {
+        sim::detach(sched,
+                    launchKernel(machine.gpu(r), cfg,
+                                 [&fn, r](BlockCtx& ctx) {
+                                     return fn(ctx, r);
+                                 }));
+    }
+    machine.run();
+    return sched.now() - t0 + machine.config().hostSyncOverhead;
+}
+
+} // namespace mscclpp::gpu

@@ -1,0 +1,120 @@
+#ifndef MSCCLPP_GPU_KERNEL_HPP
+#define MSCCLPP_GPU_KERNEL_HPP
+
+#include "gpu/machine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace mscclpp::gpu {
+
+/**
+ * Kernel launch geometry. The simulator models execution at
+ * thread-block granularity: one cooperative task per block, with the
+ * thread count shaping copy bandwidth and primitive costs.
+ */
+struct LaunchConfig
+{
+    int blocks = 1;
+    int threadsPerBlock = 1024;
+    /// CUDA/HIP-graph replay launches skip most of the driver cost;
+    /// the paper's benchmarks enable graphs, so this defaults to true.
+    bool graph = true;
+};
+
+class BlockCtx;
+
+/** Device code for one thread block. */
+using BlockFn = std::function<sim::Task<>(BlockCtx&)>;
+
+namespace detail {
+
+/** Shared per-launch state: grid barrier and completion tracking. */
+struct KernelState
+{
+    KernelState(sim::Scheduler& sched, int blocks)
+        : gridBarrier(sched, blocks), wg(sched)
+    {
+    }
+
+    sim::SimBarrier gridBarrier;
+    sim::WaitGroup wg;
+    std::vector<std::unique_ptr<BlockCtx>> blocks;
+};
+
+} // namespace detail
+
+/**
+ * Execution context handed to a thread block's device code: identity,
+ * geometry, and intra-kernel synchronisation.
+ */
+class BlockCtx
+{
+  public:
+    BlockCtx(Gpu& gpu, int blockIdx, const LaunchConfig& cfg,
+             detail::KernelState& state)
+        : gpu_(&gpu), blockIdx_(blockIdx), cfg_(cfg), state_(&state)
+    {
+    }
+
+    Gpu& gpu() const { return *gpu_; }
+    int blockIdx() const { return blockIdx_; }
+    int numBlocks() const { return cfg_.blocks; }
+    int numThreads() const { return cfg_.threadsPerBlock; }
+    sim::Scheduler& scheduler() const { return gpu_->scheduler(); }
+    const fabric::EnvConfig& config() const { return gpu_->config(); }
+
+    /** Barrier across all blocks of this kernel (cooperative-groups
+     *  grid sync). */
+    sim::Task<> gridBarrier() { return state_->gridBarrier.arriveAndWait(); }
+
+    /** Intra-block __syncthreads-equivalent cost. */
+    sim::Delay blockBarrier() const
+    {
+        return sim::Delay(scheduler(), config().blockBarrier);
+    }
+
+    /** Charge @p t of device time to this block. */
+    sim::Delay busy(sim::Time t) const
+    {
+        return sim::Delay(scheduler(), t);
+    }
+
+    /**
+     * Peak thread-copy rate this block can sustain: threads times the
+     * per-thread load/store rate. Channels additionally cap this at
+     * the link's thread-copy ceiling.
+     */
+    double threadCopyGBps() const
+    {
+        return numThreads() * config().perThreadCopyGBps;
+    }
+
+  private:
+    Gpu* gpu_;
+    int blockIdx_;
+    LaunchConfig cfg_;
+    detail::KernelState* state_;
+};
+
+/**
+ * Launch device code on @p gpu and return a task that completes when
+ * every thread block has finished. Charges launch latency (stream or
+ * graph replay) and per-block dispatch cost.
+ */
+sim::Task<> launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn);
+
+/**
+ * Launch @p fn(ctx, rank) as one kernel per GPU, run the machine to
+ * completion, and return the elapsed virtual time including the
+ * host-side completion sync. The workhorse of collective drivers.
+ */
+sim::Time runOnAllRanks(Machine& machine, LaunchConfig cfg,
+                        const std::function<sim::Task<>(BlockCtx&, int)>& fn);
+
+} // namespace mscclpp::gpu
+
+#endif // MSCCLPP_GPU_KERNEL_HPP

@@ -1,0 +1,79 @@
+#include "gpu/machine.hpp"
+
+namespace mscclpp::gpu {
+
+Gpu::Gpu(Machine& machine, int rank) : machine_(&machine), rank_(rank) {}
+
+int
+Gpu::node() const
+{
+    return machine_->fabric().nodeOf(rank_);
+}
+
+int
+Gpu::localRank() const
+{
+    return machine_->fabric().localRankOf(rank_);
+}
+
+const fabric::EnvConfig&
+Gpu::config() const
+{
+    return machine_->config();
+}
+
+sim::Scheduler&
+Gpu::scheduler() const
+{
+    return machine_->scheduler();
+}
+
+DeviceBuffer
+Gpu::alloc(std::size_t bytes)
+{
+    bool materialize = machine_->dataMode() == DataMode::Functional;
+    buffers_.push_back(std::make_unique<Buffer>(rank_, nextBufferId_++,
+                                                bytes, materialize));
+    bytesAllocated_ += bytes;
+    return DeviceBuffer(buffers_.back().get(), 0, bytes);
+}
+
+sim::Time
+Gpu::memTime(std::uint64_t bytesTouched) const
+{
+    return sim::transferTime(bytesTouched, config().hbmBwGBps);
+}
+
+sim::Time
+Gpu::reduceTime(std::uint64_t bytes, int nInputs) const
+{
+    // Read nInputs buffers, write one; HBM traffic dominates the ALU
+    // work for element-wise ops on every GPU in Table 1.
+    return memTime(bytes * static_cast<std::uint64_t>(nInputs + 1));
+}
+
+sim::Time
+Gpu::copyTime(std::uint64_t bytes) const
+{
+    return memTime(bytes * 2);
+}
+
+Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
+    : cfg_(std::move(cfg)), numNodes_(numNodes), mode_(mode)
+{
+    fabric_ = std::make_unique<fabric::Fabric>(sched_, cfg_, numNodes_);
+    const int n = fabric_->numGpus();
+    gpus_.reserve(n);
+    for (int r = 0; r < n; ++r) {
+        gpus_.push_back(std::make_unique<Gpu>(*this, r));
+    }
+}
+
+sim::Time
+Machine::run()
+{
+    sched_.run();
+    return sched_.now();
+}
+
+} // namespace mscclpp::gpu

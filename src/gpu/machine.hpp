@@ -1,0 +1,103 @@
+#ifndef MSCCLPP_GPU_MACHINE_HPP
+#define MSCCLPP_GPU_MACHINE_HPP
+
+#include "fabric/env.hpp"
+#include "fabric/topology.hpp"
+#include "gpu/memory.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace mscclpp::gpu {
+
+class Machine;
+
+/**
+ * One simulated GPU: a memory allocator plus the device-side cost
+ * model (HBM-bound copies and reductions, launch overheads).
+ */
+class Gpu
+{
+  public:
+    Gpu(Machine& machine, int rank);
+
+    int rank() const { return rank_; }
+    int node() const;
+    int localRank() const;
+    Machine& machine() const { return *machine_; }
+    const fabric::EnvConfig& config() const;
+    sim::Scheduler& scheduler() const;
+
+    /** Allocate @p bytes of device memory (materialisation follows the
+     *  machine's data mode). */
+    DeviceBuffer alloc(std::size_t bytes);
+
+    /** Time for a kernel to stream @p bytesTouched through HBM. */
+    sim::Time memTime(std::uint64_t bytesTouched) const;
+
+    /**
+     * Time for an element-wise reduction that reads @p nInputs buffers
+     * of @p bytes each and writes one output buffer (HBM-bound on
+     * every GPU we model).
+     */
+    sim::Time reduceTime(std::uint64_t bytes, int nInputs) const;
+
+    /** Time for a local device-to-device copy of @p bytes. */
+    sim::Time copyTime(std::uint64_t bytes) const;
+
+    std::uint64_t bytesAllocated() const { return bytesAllocated_; }
+
+  private:
+    Machine* machine_;
+    int rank_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::uint64_t nextBufferId_ = 0;
+    std::uint64_t bytesAllocated_ = 0;
+};
+
+/** Whether device buffers hold real data or are timing-only. */
+enum class DataMode
+{
+    Functional, ///< bytes really move; collectives are verifiable
+    Timed,      ///< timing only; used for very large benchmark sizes
+};
+
+/**
+ * A simulated cluster: scheduler + fabric + GPUs. This is the
+ * top-level object every test, example and benchmark builds first.
+ */
+class Machine
+{
+  public:
+    Machine(fabric::EnvConfig cfg, int numNodes,
+            DataMode mode = DataMode::Functional);
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    sim::Scheduler& scheduler() { return sched_; }
+    fabric::Fabric& fabric() { return *fabric_; }
+    const fabric::EnvConfig& config() const { return cfg_; }
+    DataMode dataMode() const { return mode_; }
+
+    int numNodes() const { return numNodes_; }
+    int numGpus() const { return static_cast<int>(gpus_.size()); }
+    Gpu& gpu(int rank) { return *gpus_.at(rank); }
+
+    /** Drain all pending events. @return the virtual time reached. */
+    sim::Time run();
+
+  private:
+    fabric::EnvConfig cfg_;
+    int numNodes_;
+    DataMode mode_;
+    sim::Scheduler sched_;
+    std::unique_ptr<fabric::Fabric> fabric_;
+    std::vector<std::unique_ptr<Gpu>> gpus_;
+};
+
+} // namespace mscclpp::gpu
+
+#endif // MSCCLPP_GPU_MACHINE_HPP

@@ -1,0 +1,103 @@
+#ifndef MSCCLPP_GPU_MEMORY_HPP
+#define MSCCLPP_GPU_MEMORY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mscclpp::gpu {
+
+/**
+ * Backing storage for one simulated device allocation.
+ *
+ * In Functional data mode the store is materialised in host memory and
+ * collectives really move and reduce bytes; in Timed mode the store is
+ * empty and only timing is simulated (large-message benchmarks).
+ */
+class Buffer
+{
+  public:
+    Buffer(int gpuRank, std::uint64_t id, std::size_t size,
+           bool materialized)
+        : gpuRank_(gpuRank), id_(id), size_(size)
+    {
+        if (materialized) {
+            store_.resize(size);
+        }
+    }
+
+    int gpuRank() const { return gpuRank_; }
+    std::uint64_t id() const { return id_; }
+    std::size_t size() const { return size_; }
+    bool materialized() const { return !store_.empty() || size_ == 0; }
+
+    std::byte* data() { return store_.empty() ? nullptr : store_.data(); }
+    const std::byte* data() const
+    {
+        return store_.empty() ? nullptr : store_.data();
+    }
+
+  private:
+    int gpuRank_;
+    std::uint64_t id_;
+    std::size_t size_;
+    std::vector<std::byte> store_;
+};
+
+/**
+ * A view into a device allocation: the handle passed to channels,
+ * kernels and collectives. Cheap to copy; does not own storage.
+ */
+class DeviceBuffer
+{
+  public:
+    DeviceBuffer() = default;
+
+    DeviceBuffer(Buffer* buffer, std::size_t offset, std::size_t size)
+        : buffer_(buffer), offset_(offset), size_(size)
+    {
+        if (buffer != nullptr && offset + size > buffer->size()) {
+            throw std::out_of_range("DeviceBuffer view exceeds allocation");
+        }
+    }
+
+    bool valid() const { return buffer_ != nullptr; }
+    Buffer* buffer() const { return buffer_; }
+    std::size_t offset() const { return offset_; }
+    std::size_t size() const { return size_; }
+    int gpuRank() const { return buffer_ ? buffer_->gpuRank() : -1; }
+
+    /** Sub-view; bounds-checked against this view. */
+    DeviceBuffer view(std::size_t off, std::size_t len) const
+    {
+        if (off + len > size_) {
+            throw std::out_of_range("DeviceBuffer sub-view out of range");
+        }
+        return DeviceBuffer(buffer_, offset_ + off, len);
+    }
+
+    /** Raw bytes, or nullptr when the allocation is timing-only. */
+    std::byte* data() const
+    {
+        if (buffer_ == nullptr || buffer_->data() == nullptr) {
+            return nullptr;
+        }
+        return buffer_->data() + offset_;
+    }
+
+    template <typename T>
+    T* as() const
+    {
+        return reinterpret_cast<T*>(data());
+    }
+
+  private:
+    Buffer* buffer_ = nullptr;
+    std::size_t offset_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mscclpp::gpu
+
+#endif // MSCCLPP_GPU_MEMORY_HPP

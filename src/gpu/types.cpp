@@ -1,0 +1,105 @@
+#include "gpu/types.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace mscclpp::gpu {
+
+const char*
+toString(DataType t)
+{
+    switch (t) {
+      case DataType::F16:
+        return "f16";
+      case DataType::F32:
+        return "f32";
+    }
+    return "?";
+}
+
+const char*
+toString(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::Sum:
+        return "sum";
+      case ReduceOp::Max:
+        return "max";
+    }
+    return "?";
+}
+
+std::uint16_t
+Half::fromFloat(float f)
+{
+    std::uint32_t x;
+    std::memcpy(&x, &f, sizeof(x));
+    std::uint32_t sign = (x >> 16) & 0x8000u;
+    std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xffu) - 127;
+    std::uint32_t mant = x & 0x7fffffu;
+
+    if (exp == 128) { // inf / nan
+        return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                          (mant != 0 ? 0x200u : 0u));
+    }
+    if (exp > 15) { // overflow -> inf
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (exp >= -14) { // normal
+        // Round to nearest even on the 13 dropped mantissa bits.
+        std::uint32_t m = mant + 0xfffu + ((mant >> 13) & 1u);
+        if (m & 0x800000u) {
+            m = 0;
+            ++exp;
+            if (exp > 15) {
+                return static_cast<std::uint16_t>(sign | 0x7c00u);
+            }
+        }
+        return static_cast<std::uint16_t>(
+            sign | (static_cast<std::uint32_t>(exp + 15) << 10) | (m >> 13));
+    }
+    if (exp >= -24) { // subnormal
+        mant |= 0x800000u;
+        int shift = -exp - 14 + 13;
+        std::uint32_t m = mant >> shift;
+        std::uint32_t rem = mant & ((1u << shift) - 1);
+        std::uint32_t half = 1u << (shift - 1);
+        if (rem > half || (rem == half && (m & 1u))) {
+            ++m;
+        }
+        return static_cast<std::uint16_t>(sign | m);
+    }
+    return static_cast<std::uint16_t>(sign); // underflow -> zero
+}
+
+float
+Half::toFloat(std::uint16_t h)
+{
+    std::uint32_t sign = (h & 0x8000u) << 16;
+    std::uint32_t exp = (h >> 10) & 0x1fu;
+    std::uint32_t mant = h & 0x3ffu;
+    std::uint32_t x;
+
+    if (exp == 0) {
+        if (mant == 0) {
+            x = sign;
+        } else { // subnormal
+            int e = -1;
+            do {
+                ++e;
+                mant <<= 1;
+            } while ((mant & 0x400u) == 0);
+            x = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+                ((mant & 0x3ffu) << 13);
+        }
+    } else if (exp == 31) {
+        x = sign | 0x7f800000u | (mant << 13);
+    } else {
+        x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+    float f;
+    std::memcpy(&f, &x, sizeof(f));
+    return f;
+}
+
+} // namespace mscclpp::gpu

@@ -1,0 +1,53 @@
+#ifndef MSCCLPP_GPU_TYPES_HPP
+#define MSCCLPP_GPU_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mscclpp::gpu {
+
+/** Element types supported by collectives (paper evaluates FP16). */
+enum class DataType
+{
+    F16,
+    F32,
+};
+
+/** Element-wise reduction operators. */
+enum class ReduceOp
+{
+    Sum,
+    Max,
+};
+
+constexpr std::size_t
+sizeOf(DataType t)
+{
+    return t == DataType::F16 ? 2 : 4;
+}
+
+const char* toString(DataType t);
+const char* toString(ReduceOp op);
+
+/**
+ * IEEE 754 binary16 stored as raw bits, with float conversions.
+ *
+ * The simulated GPUs compute reductions in fp32 and store fp16,
+ * mirroring what real collective kernels do for half precision.
+ */
+struct Half
+{
+    std::uint16_t bits = 0;
+
+    Half() = default;
+    explicit Half(float f) : bits(fromFloat(f)) {}
+
+    float toFloat() const { return toFloat(bits); }
+
+    static std::uint16_t fromFloat(float f);
+    static float toFloat(std::uint16_t h);
+};
+
+} // namespace mscclpp::gpu
+
+#endif // MSCCLPP_GPU_TYPES_HPP

@@ -1,0 +1,184 @@
+#include "inference/llm.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+
+namespace mscclpp::inference {
+
+std::uint64_t
+TransformerConfig::layerParams() const
+{
+    const std::uint64_t h = hidden;
+    const std::uint64_t hKv = h * kvHeads / heads;
+    // q and o are h*h; k and v are h*hKv (GQA); gated MLP is 3 mats.
+    std::uint64_t attn = 2 * h * h + 2 * h * hKv;
+    std::uint64_t mlp = 3 * h * static_cast<std::uint64_t>(ffn);
+    return attn + mlp;
+}
+
+std::uint64_t
+TransformerConfig::totalParams() const
+{
+    return static_cast<std::uint64_t>(layers) * layerParams() +
+           2ull * vocab * hidden; // embedding + lm head
+}
+
+TransformerConfig
+makeLlama2_70b()
+{
+    return TransformerConfig{};
+}
+
+const char*
+toString(CommBackend b)
+{
+    switch (b) {
+      case CommBackend::Mscclpp:
+        return "MSCCL++";
+      case CommBackend::Nccl:
+        return "NCCL";
+      case CommBackend::Msccl:
+        return "MSCCL";
+      case CommBackend::None:
+        return "none";
+    }
+    return "?";
+}
+
+InferenceSim::InferenceSim(gpu::Machine& machine, InferenceConfig config)
+    : machine_(&machine), config_(std::move(config))
+{
+    if (config_.tensorParallel != machine.numGpus()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "tensor parallelism must equal the GPU count");
+    }
+    CollectiveComm::Options opt;
+    opt.maxBytes = config_.maxCollectiveBytes;
+    ours_ = std::make_unique<CollectiveComm>(machine, opt);
+    nccl_ = std::make_unique<baseline::NcclComm>(
+        machine, config_.maxCollectiveBytes);
+    msccl_ = std::make_unique<baseline::MscclComm>(
+        machine, config_.maxCollectiveBytes);
+}
+
+sim::Time
+InferenceSim::allReduceTime(std::size_t bytes, CommBackend backend)
+{
+    if (backend == CommBackend::None || bytes == 0) {
+        return 0;
+    }
+    // Collectives are deterministic per (backend, size): measure once.
+    auto key = std::make_pair(static_cast<int>(backend), bytes);
+    auto it = arCache_.find(key);
+    if (it != arCache_.end()) {
+        return it->second;
+    }
+    sim::Time t = 0;
+    switch (backend) {
+      case CommBackend::Mscclpp:
+        t = ours_->allReduce(bytes, gpu::DataType::F16,
+                             gpu::ReduceOp::Sum);
+        break;
+      case CommBackend::Nccl:
+        t = nccl_->allReduce(bytes, gpu::DataType::F16,
+                             gpu::ReduceOp::Sum);
+        break;
+      case CommBackend::Msccl:
+        t = msccl_->allReduce(bytes, gpu::DataType::F16,
+                              gpu::ReduceOp::Sum);
+        break;
+      case CommBackend::None:
+        break;
+    }
+    arCache_[key] = t;
+    return t;
+}
+
+sim::Time
+InferenceSim::layerComputeTime(std::uint64_t tokens,
+                               std::uint64_t kvTokensRead) const
+{
+    const TransformerConfig& m = config_.model;
+    const fabric::EnvConfig& env = machine_->config();
+    const int tp = config_.tensorParallel;
+    const std::uint64_t h = m.hidden;
+    const std::uint64_t hKv = h * m.kvHeads / m.heads;
+
+    // Memory traffic per GPU: the layer's weight shard once, plus the
+    // KV cache slices attention reads, plus activations.
+    double weightBytes =
+        double(m.layerParams()) * m.bytesPerParam / tp;
+    double kvBytes = 2.0 * double(kvTokensRead) * hKv *
+                     m.bytesPerParam / tp;
+    double actBytes = 8.0 * double(tokens) * h * m.bytesPerParam / tp;
+    double memBytes = weightBytes + kvBytes + actBytes;
+
+    // FLOPs per GPU: GEMMs over the weight shard plus attention
+    // (each token/context-entry pair costs ~4h flops: QK^T and AV).
+    double gemmFlops = 2.0 * double(m.layerParams()) * tokens / tp;
+    double attnFlops = 4.0 * double(kvTokensRead) * h / tp;
+    double flops = gemmFlops + attnFlops;
+
+    double memSec =
+        memBytes / (env.hbmBwGBps * 1e9 * config_.computeEfficiency);
+    double flopSec = flops / (env.fp16Tflops * 1e12 *
+                              config_.computeEfficiency);
+    double sec = std::max(memSec, flopSec);
+    return static_cast<sim::Time>(sec * 1e12) + config_.perLayerOverhead;
+}
+
+InferenceSim::Breakdown
+InferenceSim::decodeStep(int batch, int seqlen, CommBackend backend)
+{
+    if (batch < 1 || seqlen < 0) {
+        throw Error(ErrorCode::InvalidUsage, "bad batch configuration");
+    }
+    const TransformerConfig& m = config_.model;
+    Breakdown b;
+    // One new token per sequence; attention reads the whole context.
+    std::uint64_t tokens = batch;
+    std::uint64_t kvRead = std::uint64_t(batch) * seqlen;
+    sim::Time perLayer = layerComputeTime(tokens, kvRead);
+
+    std::size_t arBytes = std::size_t(batch) * m.hidden * 2; // fp16
+    arBytes = std::max<std::size_t>(arBytes & ~std::size_t(127), 128);
+    sim::Time ar = allReduceTime(arBytes, backend);
+
+    b.compute = perLayer * m.layers;
+    b.allReduceCalls = 2 * m.layers; // attention out + MLP out
+    b.allReduceBytes = arBytes;
+    b.comm = ar * b.allReduceCalls;
+    return b;
+}
+
+InferenceSim::Breakdown
+InferenceSim::prefill(int batch, int seqlen, CommBackend backend)
+{
+    if (batch < 1 || seqlen < 1) {
+        throw Error(ErrorCode::InvalidUsage, "bad batch configuration");
+    }
+    const TransformerConfig& m = config_.model;
+    Breakdown b;
+    std::uint64_t tokens = std::uint64_t(batch) * seqlen;
+    // Causal attention reads on average half the context per token.
+    std::uint64_t kvRead = tokens * seqlen / 2;
+    sim::Time perLayer = layerComputeTime(tokens, kvRead);
+
+    std::size_t arBytes = tokens * m.hidden * 2;
+    // vLLM chunks very large collectives.
+    int chunks = 1;
+    while (arBytes / chunks > config_.maxCollectiveBytes) {
+        ++chunks;
+    }
+    std::size_t chunkBytes = ((arBytes / chunks) + 127) & ~std::size_t(127);
+    sim::Time ar = allReduceTime(chunkBytes, backend) * chunks;
+
+    b.compute = perLayer * m.layers;
+    b.allReduceCalls = 2 * m.layers * chunks;
+    b.allReduceBytes = chunkBytes;
+    b.comm = ar * 2 * m.layers;
+    return b;
+}
+
+} // namespace mscclpp::inference

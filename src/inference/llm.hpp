@@ -1,0 +1,112 @@
+#ifndef MSCCLPP_INFERENCE_LLM_HPP
+#define MSCCLPP_INFERENCE_LLM_HPP
+
+#include "baseline/msccl.hpp"
+#include "baseline/nccl.hpp"
+#include "collective/api.hpp"
+#include "gpu/machine.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace mscclpp::inference {
+
+/** Decoder-only transformer shape (defaults are Llama2-70b). */
+struct TransformerConfig
+{
+    std::string name = "Llama2-70b";
+    int layers = 80;
+    int hidden = 8192;
+    int heads = 64;
+    int kvHeads = 8; ///< grouped-query attention
+    int ffn = 28672;
+    int vocab = 32000;
+    std::size_t bytesPerParam = 2; ///< fp16 weights
+
+    /** Parameters per layer (attention + gated MLP). */
+    std::uint64_t layerParams() const;
+
+    /** Total parameters incl. embeddings (~70e9 for the default). */
+    std::uint64_t totalParams() const;
+};
+
+TransformerConfig makeLlama2_70b();
+
+/** Which stack serves the tensor-parallel AllReduce. */
+enum class CommBackend
+{
+    Mscclpp,
+    Nccl,
+    Msccl,
+    None, ///< communication-free (isolates compute in tests)
+};
+
+const char* toString(CommBackend b);
+
+/** Tunables of the serving-system model (vLLM-like). */
+struct InferenceConfig
+{
+    TransformerConfig model = makeLlama2_70b();
+    int tensorParallel = 8;
+    /// Fraction of roofline the serving stack actually achieves
+    /// (vLLM v0.3.3-era kernels, the paper's baseline).
+    double computeEfficiency = 0.5;
+    /// Non-GEMM per-layer time (kernel launches, norms, rotary, ...).
+    sim::Time perLayerOverhead = sim::us(25);
+    /// Largest AllReduce issued at once (prefills are chunked).
+    std::size_t maxCollectiveBytes = 64 << 20;
+};
+
+/**
+ * End-to-end distributed inference model (Section 5.2): compute from
+ * a per-layer roofline (weight/KV traffic vs FLOPs), communication
+ * from the *actual simulated collectives* — two tensor-parallel
+ * AllReduces per layer, served by the selected backend.
+ */
+class InferenceSim
+{
+  public:
+    InferenceSim(gpu::Machine& machine, InferenceConfig config);
+
+    const InferenceConfig& config() const { return config_; }
+
+    /** Per-step timing split, for reporting. */
+    struct Breakdown
+    {
+        sim::Time compute = 0;
+        sim::Time comm = 0;
+        std::size_t allReduceBytes = 0;
+        int allReduceCalls = 0;
+
+        sim::Time total() const { return compute + comm; }
+    };
+
+    /**
+     * One decode step: every sequence in the batch produces one
+     * token against a context of @p seqlen tokens.
+     */
+    Breakdown decodeStep(int batch, int seqlen, CommBackend backend);
+
+    /** Prefill of @p batch sequences of @p seqlen prompt tokens. */
+    Breakdown prefill(int batch, int seqlen, CommBackend backend);
+
+    /** Simulated AllReduce latency of @p bytes on @p backend. */
+    sim::Time allReduceTime(std::size_t bytes, CommBackend backend);
+
+  private:
+    sim::Time layerComputeTime(std::uint64_t tokens,
+                               std::uint64_t kvTokensRead) const;
+
+    gpu::Machine* machine_;
+    InferenceConfig config_;
+    std::unique_ptr<CollectiveComm> ours_;
+    std::unique_ptr<baseline::NcclComm> nccl_;
+    std::unique_ptr<baseline::MscclComm> msccl_;
+    std::map<std::pair<int, std::size_t>, sim::Time> arCache_;
+};
+
+} // namespace mscclpp::inference
+
+#endif // MSCCLPP_INFERENCE_LLM_HPP

@@ -1,0 +1,107 @@
+#include "sim/scheduler.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace mscclpp::sim {
+
+void
+Scheduler::schedule(Time delay, std::function<void()> fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Scheduler::scheduleAt(Time when, std::function<void()> fn)
+{
+    if (when < now_) {
+        when = now_;
+    }
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+Scheduler::step()
+{
+    if (queue_.empty()) {
+        return false;
+    }
+    // priority_queue::top() is const; the closure must be moved out
+    // before pop() to avoid a copy of a potentially heavy capture.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++eventsProcessed_;
+    ev.fn();
+    return true;
+}
+
+void
+Scheduler::run()
+{
+    while (step()) {
+        if (firstError_) {
+            break;
+        }
+    }
+    if (firstError_) {
+        std::exception_ptr e = std::exchange(firstError_, nullptr);
+        std::rethrow_exception(e);
+    }
+}
+
+bool
+Scheduler::runUntil(Time deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        step();
+        if (firstError_) {
+            std::exception_ptr e = std::exchange(firstError_, nullptr);
+            std::rethrow_exception(e);
+        }
+    }
+    return queue_.empty();
+}
+
+void
+Scheduler::reportError(std::exception_ptr e)
+{
+    if (!firstError_) {
+        firstError_ = std::move(e);
+    }
+}
+
+void
+Scheduler::resumeNow(std::coroutine_handle<> h)
+{
+    schedule(0, [h] { h.resume(); });
+}
+
+void
+Scheduler::resumeAfter(Time delay, std::coroutine_handle<> h)
+{
+    schedule(delay, [h] { h.resume(); });
+}
+
+} // namespace mscclpp::sim
+
+namespace mscclpp::sim {
+
+std::string
+formatTime(Time t)
+{
+    char buf[64];
+    if (t < ns(1)) {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "ps", t);
+    } else if (t < us(1)) {
+        std::snprintf(buf, sizeof(buf), "%.2fns", toNs(t));
+    } else if (t < msec(1)) {
+        std::snprintf(buf, sizeof(buf), "%.2fus", toUs(t));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3fms", toMs(t));
+    }
+    return buf;
+}
+
+} // namespace mscclpp::sim

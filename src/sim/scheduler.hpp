@@ -1,0 +1,101 @@
+#ifndef MSCCLPP_SIM_SCHEDULER_HPP
+#define MSCCLPP_SIM_SCHEDULER_HPP
+
+#include "sim/time.hpp"
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mscclpp::sim {
+
+/**
+ * Discrete-event scheduler driving all simulated activity.
+ *
+ * Events are closures ordered by (timestamp, insertion sequence); ties
+ * execute in FIFO order so simulations are deterministic. Coroutine
+ * tasks (see task.hpp) suspend on awaitables that re-arm themselves via
+ * schedule().
+ *
+ * The scheduler is single-threaded by design: all "parallelism" in the
+ * simulated machine is expressed as interleaved events in virtual time.
+ */
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /** Current virtual time. */
+    Time now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    void schedule(Time delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute time @p when (clamped to now()). */
+    void scheduleAt(Time when, std::function<void()> fn);
+
+    /**
+     * Run until the event queue drains.
+     *
+     * Rethrows the first exception reported by a detached task (see
+     * Task::detach()) after the queue is drained or the failing event
+     * unwound.
+     */
+    void run();
+
+    /**
+     * Run until the event queue drains or virtual time would pass
+     * @p deadline.
+     * @return true if the queue drained, false if stopped on time.
+     */
+    bool runUntil(Time deadline);
+
+    /** Execute a single event. @return false if the queue is empty. */
+    bool step();
+
+    /** Number of events executed so far (for tests / stats). */
+    std::uint64_t eventsProcessed() const { return eventsProcessed_; }
+
+    /** True if no event is pending. */
+    bool idle() const { return queue_.empty(); }
+
+    /**
+     * Record an exception raised inside a detached coroutine. The first
+     * report wins; run() rethrows it.
+     */
+    void reportError(std::exception_ptr e);
+
+    /** Resume @p h at the current virtual time (helper for awaitables). */
+    void resumeNow(std::coroutine_handle<> h);
+
+    /** Resume @p h after @p delay. */
+    void resumeAfter(Time delay, std::coroutine_handle<> h);
+
+  private:
+    struct Event
+    {
+        Time when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool operator>(const Event& o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t eventsProcessed_ = 0;
+    std::exception_ptr firstError_;
+};
+
+} // namespace mscclpp::sim
+
+#endif // MSCCLPP_SIM_SCHEDULER_HPP

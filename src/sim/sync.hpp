@@ -1,0 +1,190 @@
+#ifndef MSCCLPP_SIM_SYNC_HPP
+#define MSCCLPP_SIM_SYNC_HPP
+
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+namespace mscclpp::sim {
+
+/**
+ * Broadcast wakeup primitive.
+ *
+ * Tasks suspend on wait() and are all resumed (at the current virtual
+ * time) by the next notifyAll(). There is no predicate — callers
+ * re-check their condition after waking, exactly like a condition
+ * variable with spurious wakeups.
+ */
+class SimSignal
+{
+  public:
+    explicit SimSignal(Scheduler& sched) : sched_(&sched) {}
+
+    SimSignal(const SimSignal&) = delete;
+    SimSignal& operator=(const SimSignal&) = delete;
+
+    class Awaiter
+    {
+      public:
+        explicit Awaiter(SimSignal& sig) : sig_(&sig) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            sig_->waiters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+
+      private:
+        SimSignal* sig_;
+    };
+
+    /** Suspend until the next notifyAll(). */
+    Awaiter wait() { return Awaiter{*this}; }
+
+    /** Wake every currently-suspended waiter. */
+    void notifyAll()
+    {
+        if (waiters_.empty()) {
+            return;
+        }
+        std::vector<std::coroutine_handle<>> ready;
+        ready.swap(waiters_);
+        for (auto h : ready) {
+            sched_->resumeNow(h);
+        }
+    }
+
+    std::size_t numWaiters() const { return waiters_.size(); }
+
+    Scheduler& scheduler() const { return *sched_; }
+
+  private:
+    Scheduler* sched_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Monotonic counting semaphore, the simulated analogue of the uint
+ * semaphore a MSCCL++ channel allocates on the receiving GPU.
+ *
+ * signal() increments the value; waitUntil() blocks a task until the
+ * value reaches an expected count. @p pollLatency models the detection
+ * delay of the busy-wait loop a real GPU thread would spin in (memory
+ * round-trip granularity), charged once per wakeup.
+ */
+class SimSemaphore
+{
+  public:
+    explicit SimSemaphore(Scheduler& sched) : sig_(sched) {}
+
+    /** Atomically add @p n to the semaphore and wake waiters. */
+    void add(std::uint64_t n = 1)
+    {
+        value_ += n;
+        sig_.notifyAll();
+    }
+
+    std::uint64_t value() const { return value_; }
+
+    /** Suspend until value() >= @p expected. @p pollLatency models
+     *  the busy-wait detection delay, charged only when the task
+     *  actually had to spin (an already-set flag is read in the first
+     *  iteration). */
+    Task<> waitUntil(std::uint64_t expected, Time pollLatency = 0)
+    {
+        bool waited = false;
+        while (value_ < expected) {
+            waited = true;
+            co_await sig_.wait();
+        }
+        if (waited && pollLatency > 0) {
+            co_await Delay(sig_.scheduler(), pollLatency);
+        }
+    }
+
+  private:
+    SimSignal sig_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Reusable barrier across a fixed set of @p parties simulated tasks
+ * (the multiDeviceBarrier of Figure 5, or a kernel-wide thread-block
+ * barrier).
+ */
+class SimBarrier
+{
+  public:
+    SimBarrier(Scheduler& sched, int parties)
+        : sig_(sched), parties_(parties)
+    {
+    }
+
+    /** Suspend until all parties have arrived at this generation. */
+    Task<> arriveAndWait()
+    {
+        std::uint64_t gen = generation_;
+        if (++arrived_ == parties_) {
+            arrived_ = 0;
+            ++generation_;
+            sig_.notifyAll();
+            co_return;
+        }
+        while (generation_ == gen) {
+            co_await sig_.wait();
+        }
+    }
+
+    int parties() const { return parties_; }
+
+  private:
+    SimSignal sig_;
+    int parties_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * Completion tracker for a dynamic group of tasks (kernel thread
+ * blocks, outstanding transfers). add() before spawning, done() on
+ * completion, wait() suspends until the count returns to zero.
+ */
+class WaitGroup
+{
+  public:
+    explicit WaitGroup(Scheduler& sched) : sig_(sched) {}
+
+    void add(int n = 1) { pending_ += n; }
+
+    void done()
+    {
+        if (--pending_ == 0) {
+            sig_.notifyAll();
+        }
+    }
+
+    int pending() const { return pending_; }
+
+    /** Suspend until all added work has called done(). */
+    Task<> wait()
+    {
+        while (pending_ > 0) {
+            co_await sig_.wait();
+        }
+    }
+
+  private:
+    SimSignal sig_;
+    int pending_ = 0;
+};
+
+} // namespace mscclpp::sim
+
+#endif // MSCCLPP_SIM_SYNC_HPP

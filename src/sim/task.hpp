@@ -1,0 +1,307 @@
+#ifndef MSCCLPP_SIM_TASK_HPP
+#define MSCCLPP_SIM_TASK_HPP
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mscclpp::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/**
+ * State shared by all Task promises: the continuation to resume when
+ * the coroutine finishes, and any escaped exception.
+ */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename P>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<P> h) const noexcept
+        {
+            // Symmetric transfer to whoever awaited this coroutine.
+            auto& p = h.promise();
+            if (p.continuation) {
+                return p.continuation;
+            }
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine task.
+ *
+ * Tasks model simulated activities (GPU thread blocks, CPU proxy
+ * threads, NIC engines). They start when first awaited, complete by
+ * resuming their awaiter via symmetric transfer, and propagate
+ * exceptions to the awaiter. A root task is driven with
+ * detach(scheduler), which hands error reporting to the scheduler.
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Task get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_value(T v) { value.emplace(std::move(v)); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+
+    Task& operator=(Task&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+
+    /** Awaiting a Task starts it and yields its return value. */
+    auto operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> handle;
+
+            bool await_ready() const noexcept
+            {
+                return !handle || handle.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                handle.promise().continuation = cont;
+                return handle;
+            }
+
+            T await_resume()
+            {
+                auto& p = handle.promise();
+                if (p.exception) {
+                    std::rethrow_exception(p.exception);
+                }
+                return std::move(*p.value);
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Task<void> specialisation. */
+template <>
+class [[nodiscard]] Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_void() const noexcept {}
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+
+    Task& operator=(Task&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+
+    auto operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> handle;
+
+            bool await_ready() const noexcept
+            {
+                return !handle || handle.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                handle.promise().continuation = cont;
+                return handle;
+            }
+
+            void await_resume()
+            {
+                auto& p = handle.promise();
+                if (p.exception) {
+                    std::rethrow_exception(p.exception);
+                }
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/**
+ * Eagerly-started, self-destroying coroutine used to run a Task as a
+ * simulation root. Exceptions are reported to the Scheduler, which
+ * rethrows them from run().
+ */
+struct Detached
+{
+    struct promise_type
+    {
+        Detached get_return_object() const noexcept { return {}; }
+        std::suspend_never initial_suspend() const noexcept { return {}; }
+        std::suspend_never final_suspend() const noexcept { return {}; }
+        void return_void() const noexcept {}
+        void unhandled_exception() const { std::terminate(); }
+    };
+};
+
+/** Counter that tracks completion of a group of detached tasks. */
+class JoinCounter
+{
+  public:
+    void add(int n = 1) { pending_ += n; }
+    void done() { --pending_; }
+    bool complete() const { return pending_ == 0; }
+    int pending() const { return pending_; }
+
+  private:
+    int pending_ = 0;
+};
+
+namespace detail {
+
+inline Detached
+detachImpl(Scheduler& sched, Task<> task, JoinCounter* join)
+{
+    try {
+        co_await std::move(task);
+    } catch (...) {
+        sched.reportError(std::current_exception());
+    }
+    if (join != nullptr) {
+        join->done();
+    }
+}
+
+} // namespace detail
+
+/**
+ * Launch @p task as a simulation root. The task begins running
+ * immediately (until its first suspension); completion is tracked by
+ * the optional @p join counter.
+ */
+inline void
+detach(Scheduler& sched, Task<> task, JoinCounter* join = nullptr)
+{
+    if (join != nullptr) {
+        join->add();
+    }
+    detail::detachImpl(sched, std::move(task), join);
+}
+
+/** Awaitable that suspends the current task for a fixed delay. */
+class Delay
+{
+  public:
+    Delay(Scheduler& sched, Time delay) : sched_(&sched), delay_(delay) {}
+
+    bool await_ready() const noexcept { return delay_ == 0; }
+
+    void await_suspend(std::coroutine_handle<> h) const
+    {
+        sched_->resumeAfter(delay_, h);
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    Scheduler* sched_;
+    Time delay_;
+};
+
+} // namespace mscclpp::sim
+
+#endif // MSCCLPP_SIM_TASK_HPP

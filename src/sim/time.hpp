@@ -1,0 +1,77 @@
+#ifndef MSCCLPP_SIM_TIME_HPP
+#define MSCCLPP_SIM_TIME_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace mscclpp::sim {
+
+/**
+ * Simulated time in picoseconds.
+ *
+ * Picosecond resolution keeps bandwidth arithmetic exact enough for
+ * multi-GB/s links while a 64-bit counter still covers ~200 days of
+ * simulated time, far beyond any collective benchmark.
+ */
+using Time = std::uint64_t;
+
+/** Largest representable time, used as an "infinite" deadline. */
+inline constexpr Time kTimeMax = ~Time{0};
+
+/** @return @p x picoseconds. */
+constexpr Time ps(double x) { return static_cast<Time>(x); }
+
+/** @return @p x nanoseconds in picoseconds. */
+constexpr Time ns(double x) { return static_cast<Time>(x * 1e3); }
+
+/** @return @p x microseconds in picoseconds. */
+constexpr Time us(double x) { return static_cast<Time>(x * 1e6); }
+
+/** @return @p x milliseconds in picoseconds. */
+constexpr Time msec(double x) { return static_cast<Time>(x * 1e9); }
+
+/** @return @p t expressed in fractional microseconds. */
+constexpr double toUs(Time t) { return static_cast<double>(t) / 1e6; }
+
+/** @return @p t expressed in fractional nanoseconds. */
+constexpr double toNs(Time t) { return static_cast<double>(t) / 1e3; }
+
+/** @return @p t expressed in fractional milliseconds. */
+constexpr double toMs(Time t) { return static_cast<double>(t) / 1e9; }
+
+/** @return @p t expressed in fractional seconds. */
+constexpr double toSec(Time t) { return static_cast<double>(t) / 1e12; }
+
+/**
+ * Serialisation time of @p bytes over a @p gbps GB/s resource.
+ *
+ * GB is 1e9 bytes, matching the convention of NCCL bus-bandwidth
+ * reporting. Zero bandwidth means an infinitely fast resource (used by
+ * unit tests to isolate latency terms).
+ */
+constexpr Time transferTime(std::uint64_t bytes, double gbps)
+{
+    if (gbps <= 0.0) {
+        return 0;
+    }
+    return static_cast<Time>(static_cast<double>(bytes) * 1e3 / gbps);
+}
+
+/**
+ * Achieved bandwidth in GB/s for moving @p bytes in @p elapsed time.
+ * @return 0 when @p elapsed is zero.
+ */
+constexpr double achievedGBps(std::uint64_t bytes, Time elapsed)
+{
+    if (elapsed == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(bytes) * 1e3 / static_cast<double>(elapsed);
+}
+
+/** Human-readable rendering, e.g. "12.3us" or "4.56ms". */
+std::string formatTime(Time t);
+
+} // namespace mscclpp::sim
+
+#endif // MSCCLPP_SIM_TIME_HPP

@@ -1,0 +1,341 @@
+#include "baseline/msccl.hpp"
+#include "baseline/nccl.hpp"
+#include "collective/api.hpp"
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+using namespace mscclpp::baseline;
+
+namespace {
+
+void
+fill(gpu::Machine& m, const std::function<gpu::DeviceBuffer(int)>& buf,
+     std::size_t seed = 0)
+{
+    for (int r = 0; r < m.numGpus(); ++r) {
+        gpu::fillPattern(buf(r), gpu::DataType::F32, r, seed);
+    }
+}
+
+void
+checkSum(gpu::Machine& m, const std::function<gpu::DeviceBuffer(int)>& buf,
+         std::size_t count, std::size_t seed = 0)
+{
+    const int n = m.numGpus();
+    for (std::size_t i = 0; i < count;
+         i += std::max<std::size_t>(1, count / 89)) {
+        float expected = 0.0f;
+        for (int r = 0; r < n; ++r) {
+            expected += gpu::patternValue(gpu::DataType::F32, r, i, seed);
+        }
+        for (int r = 0; r < n; ++r) {
+            ASSERT_FLOAT_EQ(gpu::readElement(buf(r), gpu::DataType::F32, i),
+                            expected)
+                << "rank " << r << " elem " << i;
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// NCCL baseline correctness.
+// ---------------------------------------------------------------------------
+
+struct NcclCase
+{
+    const char* env;
+    int nodes;
+    NcclAlgo algo;
+    std::size_t bytes;
+};
+
+class NcclAllReduceP : public ::testing::TestWithParam<NcclCase>
+{
+};
+
+TEST_P(NcclAllReduceP, RingTreeNvlsAreExact)
+{
+    const NcclCase& c = GetParam();
+    gpu::Machine m(fab::makeEnv(c.env), c.nodes);
+    NcclComm comm(m, std::max<std::size_t>(c.bytes, 1 << 20));
+    fill(m, [&](int r) { return comm.dataBuffer(r); });
+    sim::Time t = comm.allReduce(c.bytes, gpu::DataType::F32,
+                                 gpu::ReduceOp::Sum, c.algo);
+    EXPECT_GT(t, 0u);
+    checkSum(m, [&](int r) { return comm.dataBuffer(r); }, c.bytes / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NcclAllReduceP,
+    ::testing::Values(
+        NcclCase{"A100-40G", 1, NcclAlgo::Ring, 1 << 10},
+        NcclCase{"A100-40G", 1, NcclAlgo::Ring, 1 << 20},
+        NcclCase{"A100-40G", 1, NcclAlgo::Ring, 8 << 20},
+        NcclCase{"A100-40G", 2, NcclAlgo::Ring, 2 << 20},
+        NcclCase{"A100-40G", 2, NcclAlgo::Tree, 64 << 10},
+        NcclCase{"A100-40G", 4, NcclAlgo::Tree, 16 << 10},
+        NcclCase{"H100", 1, NcclAlgo::Nvls, 8 << 20},
+        NcclCase{"MI300x", 1, NcclAlgo::Ring, 4 << 20}),
+    [](const auto& info) {
+        std::string s = std::string(info.param.env) + "_" +
+                        std::to_string(info.param.nodes) + "n_" +
+                        toString(info.param.algo) + "_" +
+                        std::to_string(info.param.bytes);
+        for (char& ch : s) {
+            if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                ch = '_';
+            }
+        }
+        return s;
+    });
+
+TEST(NcclBaseline, AllGatherRing)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    const std::size_t shard = 64 << 10;
+    NcclComm comm(m, shard * 8);
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(comm.dataBuffer(r).view(r * shard, shard),
+                         gpu::DataType::F32, r);
+    }
+    comm.allGather(shard);
+    for (int r = 0; r < 8; ++r) {
+        for (int src = 0; src < 8; ++src) {
+            for (std::size_t i = 0; i < shard / 4; i += 73) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(comm.dataBuffer(r),
+                                     gpu::DataType::F32,
+                                     src * (shard / 4) + i),
+                    gpu::patternValue(gpu::DataType::F32, src, i));
+            }
+        }
+    }
+}
+
+TEST(NcclBaseline, AllGatherStrideRingsOnMesh)
+{
+    gpu::Machine m(fab::makeMI300x(), 1);
+    const std::size_t shard = 512 << 10; // forces multiple channels
+    NcclComm comm(m, shard * 8);
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(comm.dataBuffer(r).view(r * shard, shard),
+                         gpu::DataType::F32, r);
+    }
+    comm.allGather(shard);
+    for (int r = 0; r < 8; ++r) {
+        for (int src = 0; src < 8; ++src) {
+            for (std::size_t i = 0; i < shard / 4; i += 997) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(comm.dataBuffer(r),
+                                     gpu::DataType::F32,
+                                     src * (shard / 4) + i),
+                    gpu::patternValue(gpu::DataType::F32, src, i))
+                    << r << "/" << src;
+            }
+        }
+    }
+}
+
+TEST(NcclBaseline, ReduceScatterLeavesOwnShard)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    NcclComm comm(m, 1 << 20);
+    fill(m, [&](int r) { return comm.dataBuffer(r); });
+    const std::size_t bytes = 256 << 10;
+    comm.reduceScatter(bytes, gpu::DataType::F32, gpu::ReduceOp::Sum);
+    const std::size_t segElems = bytes / 4 / 8;
+    for (int r = 0; r < 8; ++r) {
+        for (std::size_t i = 0; i < segElems; i += 83) {
+            std::size_t elem = r * segElems + i;
+            float expected = 0.0f;
+            for (int src = 0; src < 8; ++src) {
+                expected +=
+                    gpu::patternValue(gpu::DataType::F32, src, elem);
+            }
+            ASSERT_FLOAT_EQ(gpu::readElement(comm.dataBuffer(r),
+                                             gpu::DataType::F32, elem),
+                            expected)
+                << "rank " << r;
+        }
+    }
+}
+
+TEST(NcclBaseline, BroadcastRing)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    NcclComm comm(m, 1 << 20);
+    gpu::fillPattern(comm.dataBuffer(5), gpu::DataType::F32, 5);
+    comm.broadcast(256 << 10, 5);
+    for (int r = 0; r < 16; ++r) {
+        for (std::size_t i = 0; i < (256 << 10) / 4; i += 331) {
+            ASSERT_FLOAT_EQ(gpu::readElement(comm.dataBuffer(r),
+                                             gpu::DataType::F32, i),
+                            gpu::patternValue(gpu::DataType::F32, 5, i));
+        }
+    }
+}
+
+TEST(NcclBaseline, TunerFollowsNcclHeuristics)
+{
+    gpu::Machine m1(fab::makeA100_40G(), 1);
+    NcclComm c1(m1, 1 << 20);
+    EXPECT_EQ(c1.tuneAllReduce(4 << 10).first, NcclAlgo::Ring);
+    EXPECT_EQ(c1.tuneAllReduce(4 << 10).second, NcclProto::LL);
+    EXPECT_EQ(c1.tuneAllReduce(1 << 20).second, NcclProto::LL128);
+    EXPECT_EQ(c1.tuneAllReduce(64 << 20).second, NcclProto::Simple);
+
+    gpu::Machine m2(fab::makeH100(), 1);
+    NcclComm c2(m2, 1 << 20);
+    EXPECT_EQ(c2.tuneAllReduce(64 << 20).first, NcclAlgo::Nvls);
+
+    gpu::Machine m3(fab::makeA100_40G(), 2);
+    NcclComm c3(m3, 1 << 20);
+    EXPECT_EQ(c3.tuneAllReduce(16 << 10).first, NcclAlgo::Tree);
+    EXPECT_EQ(c3.tuneAllReduce(64 << 20).first, NcclAlgo::Ring);
+
+    gpu::Machine m4(fab::makeMI300x(), 1);
+    NcclComm c4(m4, 1 << 20);
+    // RCCL has no LL128 (no NVLink ordering guarantee).
+    EXPECT_NE(c4.tuneAllReduce(1 << 20).second, NcclProto::LL128);
+}
+
+// ---------------------------------------------------------------------------
+// MSCCL baseline correctness.
+// ---------------------------------------------------------------------------
+
+struct MscclCase
+{
+    int nodes;
+    MscclAlgo algo;
+    std::size_t bytes;
+};
+
+class MscclAllReduceP : public ::testing::TestWithParam<MscclCase>
+{
+};
+
+TEST_P(MscclAllReduceP, CustomAlgosAreExact)
+{
+    const MscclCase& c = GetParam();
+    gpu::Machine m(fab::makeA100_40G(), c.nodes);
+    MscclComm comm(m, std::max<std::size_t>(c.bytes, 1 << 20));
+    fill(m, [&](int r) { return comm.dataBuffer(r); });
+    sim::Time t = comm.allReduce(c.bytes, gpu::DataType::F32,
+                                 gpu::ReduceOp::Sum, c.algo);
+    EXPECT_GT(t, 0u);
+    checkSum(m, [&](int r) { return comm.dataBuffer(r); }, c.bytes / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MscclAllReduceP,
+    ::testing::Values(MscclCase{1, MscclAlgo::AllPairs1P, 4 << 10},
+                      MscclCase{1, MscclAlgo::AllPairs2P, 1 << 20},
+                      MscclCase{1, MscclAlgo::AllPairs2P, 8 << 20},
+                      MscclCase{2, MscclAlgo::Hier2PLL, 64 << 10},
+                      MscclCase{2, MscclAlgo::Hier2PHB, 4 << 20},
+                      MscclCase{4, MscclAlgo::Hier2PHB, 8 << 20}),
+    [](const auto& info) {
+        std::string s = std::to_string(info.param.nodes) + "n_" +
+                        toString(info.param.algo) + "_" +
+                        std::to_string(info.param.bytes);
+        for (char& ch : s) {
+            if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                ch = '_';
+            }
+        }
+        return s;
+    });
+
+TEST(MscclBaseline, AllGatherIsExact)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    const std::size_t shard = 64 << 10;
+    MscclComm comm(m, shard * 16);
+    for (int r = 0; r < 16; ++r) {
+        gpu::fillPattern(comm.dataBuffer(r).view(r * shard, shard),
+                         gpu::DataType::F32, r);
+    }
+    comm.allGather(shard);
+    for (int r = 0; r < 16; ++r) {
+        for (int src = 0; src < 16; ++src) {
+            for (std::size_t i = 0; i < shard / 4; i += 173) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(comm.dataBuffer(r),
+                                     gpu::DataType::F32,
+                                     src * (shard / 4) + i),
+                    gpu::patternValue(gpu::DataType::F32, src, i))
+                    << r << " " << src;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-stack timing shapes (the paper's headline ordering).
+// ---------------------------------------------------------------------------
+
+TEST(StackComparison, SmallMessageOrderingMatchesPaper)
+{
+    // 1 KiB AllReduce on A100: MSCCL++ < MSCCL < NCCL, with NCCL
+    // several times slower (Figure 8 left).
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    mscclpp::CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    mscclpp::CollectiveComm ours(m, opt);
+    NcclComm nccl(m, 1 << 20);
+    MscclComm msccl(m, 1 << 20);
+
+    sim::Time tOurs = ours.allReduce(1 << 10, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum);
+    sim::Time tNccl =
+        nccl.allReduce(1 << 10, gpu::DataType::F16, gpu::ReduceOp::Sum);
+    sim::Time tMsccl =
+        msccl.allReduce(1 << 10, gpu::DataType::F16, gpu::ReduceOp::Sum);
+
+    EXPECT_LT(tOurs, tMsccl);
+    EXPECT_LT(tMsccl, tNccl);
+    EXPECT_GT(double(tNccl) / double(tOurs), 2.0);
+}
+
+TEST(StackComparison, LargeMessageOrderingMatchesPaper)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1, gpu::DataMode::Timed);
+    mscclpp::CollectiveComm::Options opt;
+    opt.maxBytes = 64 << 20;
+    mscclpp::CollectiveComm ours(m, opt);
+    NcclComm nccl(m, 64 << 20);
+    MscclComm msccl(m, 64 << 20);
+
+    sim::Time tOurs = ours.allReduce(64 << 20, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum);
+    sim::Time tNccl =
+        nccl.allReduce(64 << 20, gpu::DataType::F16, gpu::ReduceOp::Sum);
+    sim::Time tMsccl =
+        msccl.allReduce(64 << 20, gpu::DataType::F16, gpu::ReduceOp::Sum);
+
+    EXPECT_LT(tOurs, tMsccl);
+    // At the largest sizes both baselines are wire-bound and converge;
+    // allow a small interpreter-overhead margin.
+    EXPECT_LE(tMsccl, tNccl + tNccl / 20);
+}
+
+TEST(StackComparison, MultiNodeHierBeatsRingLargeMessages)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2, gpu::DataMode::Timed);
+    mscclpp::CollectiveComm::Options opt;
+    opt.maxBytes = 64 << 20;
+    mscclpp::CollectiveComm ours(m, opt);
+    NcclComm nccl(m, 64 << 20);
+
+    sim::Time tOurs = ours.allReduce(64 << 20, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum);
+    sim::Time tNccl =
+        nccl.allReduce(64 << 20, gpu::DataType::F16, gpu::ReduceOp::Sum);
+    EXPECT_LT(tOurs, tNccl);
+}

@@ -1,0 +1,479 @@
+#include "collective/api.hpp"
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+using mscclpp::AllGatherAlgo;
+using mscclpp::AllReduceAlgo;
+using mscclpp::CollectiveComm;
+
+namespace {
+
+struct CollSetup
+{
+    CollSetup(const std::string& env, int nodes, std::size_t maxBytes,
+          CollectiveComm::Options opt = {})
+        : machine(fab::makeEnv(env), nodes)
+    {
+        opt.maxBytes = maxBytes;
+        comm = std::make_unique<CollectiveComm>(machine, opt);
+    }
+
+    void fillAll(gpu::DataType dt, std::size_t seed = 0)
+    {
+        for (int r = 0; r < machine.numGpus(); ++r) {
+            gpu::fillPattern(comm->dataBuffer(r), dt, r, seed);
+        }
+    }
+
+    /** Verify an AllReduce(sum) result over `count` elements. */
+    void checkAllReduceSum(gpu::DataType dt, std::size_t count,
+                           std::size_t seed = 0)
+    {
+        const int n = machine.numGpus();
+        for (std::size_t i = 0; i < count; i += std::max<std::size_t>(
+                                              1, count / 97)) {
+            float expected = 0.0f;
+            for (int r = 0; r < n; ++r) {
+                expected += gpu::patternValue(dt, r, i, seed);
+            }
+            for (int r = 0; r < n; ++r) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(comm->dataBuffer(r), dt, i), expected)
+                    << "rank " << r << " elem " << i;
+            }
+        }
+    }
+
+    gpu::Machine machine;
+    std::unique_ptr<CollectiveComm> comm;
+};
+
+} // namespace
+
+
+namespace {
+
+/** gtest param names must be [A-Za-z0-9_]. */
+std::string
+sanitize(std::string s)
+{
+    for (char& c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+            c = '_';
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// AllReduce correctness, parameterized over algorithm x environment.
+// ---------------------------------------------------------------------------
+
+struct ArCase
+{
+    const char* env;
+    int nodes;
+    AllReduceAlgo algo;
+    std::size_t bytes;
+};
+
+class AllReduceP : public ::testing::TestWithParam<ArCase>
+{
+};
+
+TEST_P(AllReduceP, SumIsExactEverywhere)
+{
+    const ArCase& c = GetParam();
+    CollSetup s(c.env, c.nodes, std::max<std::size_t>(c.bytes, 1 << 20));
+    s.fillAll(gpu::DataType::F32);
+    sim::Time t = s.comm->allReduce(c.bytes, gpu::DataType::F32,
+                                    gpu::ReduceOp::Sum, c.algo);
+    EXPECT_GT(t, 0u);
+    s.checkAllReduceSum(gpu::DataType::F32, c.bytes / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SingleNode, AllReduceP,
+    ::testing::Values(
+        ArCase{"A100-40G", 1, AllReduceAlgo::AllPairs1P, 1 << 10},
+        ArCase{"A100-40G", 1, AllReduceAlgo::AllPairs1P, 16 << 10},
+        ArCase{"A100-40G", 1, AllReduceAlgo::AllPairs2PLL, 64 << 10},
+        ArCase{"A100-40G", 1, AllReduceAlgo::AllPairs2PHB, 1 << 20},
+        ArCase{"A100-40G", 1, AllReduceAlgo::AllPairs2PPort, 1 << 20},
+        ArCase{"A100-80G", 1, AllReduceAlgo::AllPairs2PHB, 4 << 20},
+        ArCase{"H100", 1, AllReduceAlgo::Switch2P, 1 << 20},
+        ArCase{"H100", 1, AllReduceAlgo::AllPairs2PHB, 1 << 20},
+        ArCase{"MI300x", 1, AllReduceAlgo::AllPairs1P, 4 << 10},
+        ArCase{"MI300x", 1, AllReduceAlgo::AllPairs2PHB, 1 << 20}),
+    [](const auto& info) {
+        return sanitize(std::string(info.param.env) + "_" +
+                        mscclpp::toString(info.param.algo) + "_" +
+                        std::to_string(info.param.bytes));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiNode, AllReduceP,
+    ::testing::Values(
+        ArCase{"A100-40G", 2, AllReduceAlgo::Hier2PLL, 64 << 10},
+        ArCase{"A100-40G", 2, AllReduceAlgo::Hier2PHB, 4 << 20},
+        ArCase{"A100-40G", 4, AllReduceAlgo::Hier2PLL, 128 << 10},
+        ArCase{"A100-40G", 4, AllReduceAlgo::Hier2PHB, 8 << 20},
+        ArCase{"H100", 2, AllReduceAlgo::Hier2PHB, 2 << 20}),
+    [](const auto& info) {
+        return sanitize(std::string(info.param.env) + "_" +
+                        std::to_string(info.param.nodes) + "n_" +
+                        mscclpp::toString(info.param.algo) + "_" +
+                        std::to_string(info.param.bytes));
+    });
+
+// ---------------------------------------------------------------------------
+// AllReduce property sweep: every size class through Auto.
+// ---------------------------------------------------------------------------
+
+class AllReduceAutoSweep
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(AllReduceAutoSweep, AutoAlgoProducesExactSum)
+{
+    std::size_t bytes = GetParam();
+    CollSetup s("A100-40G", 1, 8 << 20);
+    s.fillAll(gpu::DataType::F16, /*seed=*/3);
+    s.comm->allReduce(bytes, gpu::DataType::F16, gpu::ReduceOp::Sum);
+    const int n = s.machine.numGpus();
+    for (std::size_t i = 0; i < bytes / 2; i += 131) {
+        float expected = 0.0f;
+        for (int r = 0; r < n; ++r) {
+            expected += gpu::patternValue(gpu::DataType::F16, r, i, 3);
+        }
+        ASSERT_FLOAT_EQ(gpu::readElement(s.comm->dataBuffer(0),
+                                         gpu::DataType::F16, i),
+                        expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllReduceAutoSweep,
+                         ::testing::Values(1 << 10, 4 << 10, 32 << 10,
+                                           256 << 10, 1 << 20, 4 << 20));
+
+// ---------------------------------------------------------------------------
+// Repeated calls (rotating scratch) stay correct.
+// ---------------------------------------------------------------------------
+
+TEST(AllReduce, BackToBackCallsWithRotatingScratch)
+{
+    CollSetup s("A100-40G", 1, 1 << 20);
+    for (int round = 0; round < 4; ++round) {
+        s.fillAll(gpu::DataType::F32, round);
+        s.comm->allReduce(64 << 10, gpu::DataType::F32, gpu::ReduceOp::Sum,
+                          AllReduceAlgo::AllPairs2PLL);
+        s.checkAllReduceSum(gpu::DataType::F32, (64 << 10) / 4, round);
+    }
+}
+
+TEST(AllReduce, MaxReductionWorks)
+{
+    CollSetup s("A100-40G", 1, 1 << 20);
+    s.fillAll(gpu::DataType::F32);
+    s.comm->allReduce(32 << 10, gpu::DataType::F32, gpu::ReduceOp::Max,
+                      AllReduceAlgo::AllPairs2PHB);
+    const int n = s.machine.numGpus();
+    for (std::size_t i = 0; i < (32 << 10) / 4; i += 53) {
+        float expected = 0.0f;
+        for (int r = 0; r < n; ++r) {
+            expected = std::max(expected,
+                                gpu::patternValue(gpu::DataType::F32, r, i));
+        }
+        ASSERT_FLOAT_EQ(
+            gpu::readElement(s.comm->dataBuffer(2), gpu::DataType::F32, i),
+            expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing shape checks against the paper's qualitative claims.
+// ---------------------------------------------------------------------------
+
+TEST(AllReduce, OnePhaseBeatsTwoPhaseForTinyMessages)
+{
+    CollSetup s("A100-40G", 1, 1 << 20);
+    sim::Time t1 = s.comm->allReduce(2048, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs1P);
+    sim::Time t2 = s.comm->allReduce(2048, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs2PHB);
+    EXPECT_LT(t1, t2);
+}
+
+TEST(AllReduce, TwoPhaseBeatsOnePhaseForLargeMessages)
+{
+    // 1PA's scratch needs 2N copies of the message; use a size within
+    // that bound but large enough for bandwidth terms to dominate.
+    CollSetup s("A100-40G", 1, 8 << 20);
+    sim::Time t1 = s.comm->allReduce(1 << 20, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs1P);
+    sim::Time t2 = s.comm->allReduce(1 << 20, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs2PHB);
+    EXPECT_LT(t2, t1);
+}
+
+TEST(AllReduce, SwitchChannelBeatsMemoryChannelOnH100)
+{
+    // Section 5.3: up to 56% higher bandwidth via SwitchChannel.
+    CollSetup s("H100", 1, 64 << 20);
+    sim::Time tSwitch = s.comm->allReduce(32 << 20, gpu::DataType::F16,
+                                          gpu::ReduceOp::Sum,
+                                          AllReduceAlgo::Switch2P);
+    sim::Time tMem = s.comm->allReduce(32 << 20, gpu::DataType::F16,
+                                       gpu::ReduceOp::Sum,
+                                       AllReduceAlgo::AllPairs2PHB);
+    EXPECT_LT(tSwitch, tMem);
+}
+
+TEST(AllReduce, PortChannelBeatsMemoryChannelForHugeSingleNode)
+{
+    // Section 5.1: PortChannel ~6% faster at 1 GB single-node. Use
+    // timed mode to keep memory use sane.
+    gpu::Machine m(fab::makeA100_40G(), 1, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1ull << 30;
+    CollectiveComm comm(m, opt);
+    sim::Time tPort =
+        comm.allReduce(1ull << 30, gpu::DataType::F16, gpu::ReduceOp::Sum,
+                       AllReduceAlgo::AllPairs2PPort);
+    sim::Time tMem =
+        comm.allReduce(1ull << 30, gpu::DataType::F16, gpu::ReduceOp::Sum,
+                       AllReduceAlgo::AllPairs2PHB);
+    EXPECT_LT(tPort, tMem);
+    double gain = double(tMem) / double(tPort) - 1.0;
+    EXPECT_GT(gain, 0.01);
+    EXPECT_LT(gain, 0.30);
+}
+
+TEST(AllReduce, SelectorFollowsSizeAndTopology)
+{
+    CollSetup s1("A100-40G", 1, 1 << 20);
+    EXPECT_EQ(s1.comm->chooseAllReduce(1 << 10),
+              AllReduceAlgo::AllPairs1P);
+    EXPECT_EQ(s1.comm->chooseAllReduce(256 << 10),
+              AllReduceAlgo::AllPairs2PLL);
+    EXPECT_EQ(s1.comm->chooseAllReduce(1 << 20),
+              AllReduceAlgo::AllPairs2PHB);
+
+    CollSetup s2("H100", 1, 64 << 20);
+    EXPECT_EQ(s2.comm->chooseAllReduce(32 << 20), AllReduceAlgo::Switch2P);
+
+    CollSetup s3("A100-40G", 2, 8 << 20);
+    EXPECT_EQ(s3.comm->chooseAllReduce(64 << 10), AllReduceAlgo::Hier2PLL);
+    EXPECT_EQ(s3.comm->chooseAllReduce(8 << 20), AllReduceAlgo::Hier2PHB);
+}
+
+TEST(AllReduce, RejectsBadArguments)
+{
+    CollSetup s("A100-40G", 1, 1 << 20);
+    EXPECT_THROW(s.comm->allReduce(0, gpu::DataType::F32,
+                                   gpu::ReduceOp::Sum),
+                 mscclpp::Error);
+    EXPECT_THROW(s.comm->allReduce(2 << 20, gpu::DataType::F32,
+                                   gpu::ReduceOp::Sum),
+                 mscclpp::Error);
+    EXPECT_THROW(s.comm->allReduce(1 << 20, gpu::DataType::F32,
+                                   gpu::ReduceOp::Sum,
+                                   AllReduceAlgo::Hier2PHB),
+                 mscclpp::Error);
+    CollSetup s2("A100-40G", 1, 1 << 20);
+    EXPECT_THROW(s2.comm->allReduce(1 << 20, gpu::DataType::F32,
+                                    gpu::ReduceOp::Sum,
+                                    AllReduceAlgo::Switch2P),
+                 mscclpp::Error);
+}
+
+// ---------------------------------------------------------------------------
+// AllGather
+// ---------------------------------------------------------------------------
+
+struct AgCase
+{
+    const char* env;
+    int nodes;
+    AllGatherAlgo algo;
+    std::size_t shard;
+};
+
+class AllGatherP : public ::testing::TestWithParam<AgCase>
+{
+};
+
+TEST_P(AllGatherP, EveryRankHoldsAllShards)
+{
+    const AgCase& c = GetParam();
+    const std::size_t total =
+        c.shard * static_cast<std::size_t>(c.nodes) * 8;
+    CollSetup s(c.env, c.nodes, std::max<std::size_t>(total, 1 << 20));
+    const int n = s.machine.numGpus();
+    // Each rank owns only its shard initially.
+    for (int r = 0; r < n; ++r) {
+        gpu::fillPattern(
+            s.comm->dataBuffer(r).view(r * c.shard, c.shard),
+            gpu::DataType::F32, r);
+    }
+    sim::Time t = s.comm->allGather(c.shard, c.algo);
+    EXPECT_GT(t, 0u);
+    for (int r = 0; r < n; ++r) {
+        for (int src = 0; src < n; ++src) {
+            for (std::size_t i = 0; i < c.shard / 4; i += 61) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(s.comm->dataBuffer(r),
+                                     gpu::DataType::F32,
+                                     src * (c.shard / 4) + i),
+                    gpu::patternValue(gpu::DataType::F32, src, i))
+                    << "rank " << r << " shard " << src;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllGatherP,
+    ::testing::Values(
+        AgCase{"A100-40G", 1, AllGatherAlgo::AllPairsLL, 4 << 10},
+        AgCase{"A100-40G", 1, AllGatherAlgo::AllPairsHB, 128 << 10},
+        AgCase{"A100-40G", 1, AllGatherAlgo::AllPairsPort, 128 << 10},
+        AgCase{"MI300x", 1, AllGatherAlgo::AllPairsHB, 64 << 10},
+        AgCase{"A100-40G", 2, AllGatherAlgo::Hier, 64 << 10},
+        AgCase{"A100-40G", 4, AllGatherAlgo::Hier, 32 << 10}),
+    [](const auto& info) {
+        return sanitize(std::string(info.param.env) + "_" +
+                        std::to_string(info.param.nodes) + "n_" +
+                        mscclpp::toString(info.param.algo) + "_" +
+                        std::to_string(info.param.shard));
+    });
+
+// ---------------------------------------------------------------------------
+// ReduceScatter (Figure 5), Broadcast, AllToAll
+// ---------------------------------------------------------------------------
+
+TEST(ReduceScatter, AllPairsMatchesReference)
+{
+    CollSetup s("A100-40G", 1, 1 << 20);
+    s.fillAll(gpu::DataType::F32);
+    const std::size_t bytes = 256 << 10;
+    s.comm->reduceScatter(bytes, gpu::DataType::F32, gpu::ReduceOp::Sum);
+    const int n = s.machine.numGpus();
+    const std::size_t shardElems = bytes / 4 / n;
+    for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < shardElems; i += 97) {
+            std::size_t elem = r * shardElems + i;
+            float expected = 0.0f;
+            for (int src = 0; src < n; ++src) {
+                expected += gpu::patternValue(gpu::DataType::F32, src, elem);
+            }
+            ASSERT_FLOAT_EQ(gpu::readElement(s.comm->dataBuffer(r),
+                                             gpu::DataType::F32, elem),
+                            expected);
+        }
+    }
+}
+
+TEST(Broadcast, SingleNodeFlat)
+{
+    CollSetup s("A100-40G", 1, 1 << 20);
+    gpu::fillPattern(s.comm->dataBuffer(3), gpu::DataType::F32, 3);
+    s.comm->broadcast(64 << 10, 3);
+    for (int r = 0; r < 8; ++r) {
+        for (std::size_t i = 0; i < (64 << 10) / 4; i += 101) {
+            ASSERT_FLOAT_EQ(gpu::readElement(s.comm->dataBuffer(r),
+                                             gpu::DataType::F32, i),
+                            gpu::patternValue(gpu::DataType::F32, 3, i));
+        }
+    }
+}
+
+TEST(Broadcast, TwoLevelAcrossNodes)
+{
+    CollSetup s("A100-40G", 2, 1 << 20);
+    gpu::fillPattern(s.comm->dataBuffer(5), gpu::DataType::F32, 5);
+    sim::Time t = s.comm->broadcast(128 << 10, 5);
+    EXPECT_GT(t, 0u);
+    for (int r = 0; r < 16; ++r) {
+        for (std::size_t i = 0; i < (128 << 10) / 4; i += 211) {
+            ASSERT_FLOAT_EQ(gpu::readElement(s.comm->dataBuffer(r),
+                                             gpu::DataType::F32, i),
+                            gpu::patternValue(gpu::DataType::F32, 5, i))
+                << "rank " << r;
+        }
+    }
+}
+
+TEST(AllToAll, TransposesBlocks)
+{
+    CollSetup s("A100-40G", 2, 1 << 20);
+    const std::size_t slot = 16 << 10;
+    const int n = 16;
+    for (int r = 0; r < n; ++r) {
+        for (int p = 0; p < n; ++p) {
+            // Block destined to p gets pattern seeded by (r, p).
+            gpu::fillPattern(
+                s.comm->dataBuffer(r).view(p * slot, slot),
+                gpu::DataType::F32, r, static_cast<std::size_t>(p));
+        }
+    }
+    s.comm->allToAll(slot);
+    for (int r = 0; r < n; ++r) {
+        for (int p = 0; p < n; ++p) {
+            if (p == r) {
+                continue;
+            }
+            // Rank r's slot p now holds what p sent to r.
+            for (std::size_t i = 0; i < slot / 4; i += 257) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(s.comm->dataBuffer(r),
+                                     gpu::DataType::F32,
+                                     p * (slot / 4) + i),
+                    gpu::patternValue(gpu::DataType::F32, p,
+                                      i, static_cast<std::size_t>(r)))
+                    << "rank " << r << " from " << p;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: rotating scratch buffers cut synchronisation cost.
+// ---------------------------------------------------------------------------
+
+TEST(Ablation, RotatingScratchIsFasterThanBarriers)
+{
+    CollectiveComm::Options rotating;
+    rotating.rotatingScratch = true;
+    CollectiveComm::Options barriers;
+    barriers.rotatingScratch = false;
+
+    CollSetup sRot("A100-40G", 1, 1 << 20, rotating);
+    CollSetup sBar("A100-40G", 1, 1 << 20, barriers);
+    sim::Time tRot = 0;
+    sim::Time tBar = 0;
+    for (int i = 0; i < 4; ++i) {
+        tRot += sRot.comm->allReduce(32 << 10, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs2PLL);
+        tBar += sBar.comm->allReduce(32 << 10, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs2PLL);
+    }
+    EXPECT_LT(tRot, tBar);
+}

@@ -1,0 +1,264 @@
+#include "collective/nccl_compat.hpp"
+#include "gpu/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+using namespace mscclpp::compat;
+
+namespace {
+
+/** Fixture binding the shim to a fresh machine per test. */
+class NcclCompat : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        machine_ = std::make_unique<gpu::Machine>(fab::makeA100_40G(), 1);
+        mscclppNcclBindMachine(*machine_, 8 << 20);
+        ncclUniqueId id;
+        ASSERT_EQ(ncclGetUniqueId(&id), ncclSuccess);
+        comms_.resize(machine_->numGpus());
+        for (int r = 0; r < machine_->numGpus(); ++r) {
+            ASSERT_EQ(ncclCommInitRank(&comms_[r], machine_->numGpus(),
+                                       id, r),
+                      ncclSuccess);
+        }
+    }
+
+    void TearDown() override
+    {
+        for (auto c : comms_) {
+            ncclCommDestroy(c);
+        }
+        mscclppNcclReset();
+    }
+
+    std::unique_ptr<gpu::Machine> machine_;
+    std::vector<ncclComm_t> comms_;
+};
+
+} // namespace
+
+TEST_F(NcclCompat, CommQueries)
+{
+    int count = 0;
+    int rank = -1;
+    EXPECT_EQ(ncclCommCount(comms_[3], &count), ncclSuccess);
+    EXPECT_EQ(count, 8);
+    EXPECT_EQ(ncclCommUserRank(comms_[3], &rank), ncclSuccess);
+    EXPECT_EQ(rank, 3);
+}
+
+TEST_F(NcclCompat, AllReduceOutOfPlace)
+{
+    const std::size_t count = 4096;
+    std::vector<std::vector<float>> send(8), recv(8);
+    for (int r = 0; r < 8; ++r) {
+        send[r].resize(count);
+        recv[r].assign(count, -1.0f);
+        for (std::size_t i = 0; i < count; ++i) {
+            send[r][i] = gpu::patternValue(gpu::DataType::F32, r, i);
+        }
+    }
+    // NCCL-style per-rank calls; the op runs when the last rank joins.
+    for (int r = 0; r < 8; ++r) {
+        ASSERT_EQ(ncclAllReduce(send[r].data(), recv[r].data(), count,
+                                ncclFloat32, ncclSum, comms_[r], 0),
+                  ncclSuccess);
+    }
+    for (int r = 0; r < 8; ++r) {
+        ASSERT_EQ(mscclppNcclStreamSynchronize(comms_[r], 0),
+                  ncclSuccess);
+    }
+    for (std::size_t i = 0; i < count; i += 129) {
+        float expected = 0.0f;
+        for (int r = 0; r < 8; ++r) {
+            expected += send[r][i];
+        }
+        for (int r = 0; r < 8; ++r) {
+            ASSERT_FLOAT_EQ(recv[r][i], expected) << "rank " << r;
+        }
+    }
+    EXPECT_GT(mscclppNcclElapsed(comms_[0]), 0u);
+}
+
+TEST_F(NcclCompat, AllGatherAndReduceScatter)
+{
+    const std::size_t shard = 1024;
+    std::vector<std::vector<float>> mine(8), all(8);
+    for (int r = 0; r < 8; ++r) {
+        mine[r].resize(shard);
+        all[r].assign(shard * 8, 0.0f);
+        for (std::size_t i = 0; i < shard; ++i) {
+            mine[r][i] = r * 1000.0f + i;
+        }
+    }
+    for (int r = 0; r < 8; ++r) {
+        ASSERT_EQ(ncclAllGather(mine[r].data(), all[r].data(), shard,
+                                ncclFloat32, comms_[r], 0),
+                  ncclSuccess);
+    }
+    for (int r = 0; r < 8; ++r) {
+        for (int src = 0; src < 8; ++src) {
+            EXPECT_FLOAT_EQ(all[r][src * shard + 7], src * 1000.0f + 7);
+        }
+    }
+
+    // ReduceScatter of the gathered buffers: every rank contributes
+    // the same `all` content, so shard values are 8x the input.
+    std::vector<std::vector<float>> shardOut(8);
+    for (int r = 0; r < 8; ++r) {
+        shardOut[r].assign(shard, 0.0f);
+    }
+    for (int r = 0; r < 8; ++r) {
+        ASSERT_EQ(ncclReduceScatter(all[r].data(), shardOut[r].data(),
+                                    shard, ncclFloat32, ncclSum,
+                                    comms_[r], 0),
+                  ncclSuccess);
+    }
+    for (int r = 0; r < 8; ++r) {
+        EXPECT_FLOAT_EQ(shardOut[r][5], 8 * (r * 1000.0f + 5));
+    }
+}
+
+TEST_F(NcclCompat, BroadcastFromRoot)
+{
+    const std::size_t count = 2048;
+    std::vector<float> rootData(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        rootData[i] = 0.5f * i;
+    }
+    std::vector<std::vector<float>> recv(8);
+    for (int r = 0; r < 8; ++r) {
+        recv[r].assign(count, -1.0f);
+    }
+    for (int r = 0; r < 8; ++r) {
+        const void* send = r == 5 ? rootData.data() : nullptr;
+        ASSERT_EQ(ncclBroadcast(send, recv[r].data(), count, ncclFloat32,
+                                5, comms_[r], 0),
+                  ncclSuccess);
+    }
+    for (int r = 0; r < 8; ++r) {
+        EXPECT_FLOAT_EQ(recv[r][100], 50.0f) << "rank " << r;
+    }
+}
+
+TEST_F(NcclCompat, BackToBackOpsRunInOrder)
+{
+    const std::size_t count = 1024;
+    std::vector<std::vector<float>> buf(8);
+    for (int r = 0; r < 8; ++r) {
+        buf[r].assign(count, 1.0f);
+    }
+    for (int round = 0; round < 3; ++round) {
+        for (int r = 0; r < 8; ++r) {
+            ASSERT_EQ(ncclAllReduce(buf[r].data(), buf[r].data(), count,
+                                    ncclFloat32, ncclSum, comms_[r], 0),
+                      ncclSuccess);
+        }
+    }
+    // 1 -> 8 -> 64 -> 512 after three in-place sum rounds.
+    for (int r = 0; r < 8; ++r) {
+        EXPECT_FLOAT_EQ(buf[r][77], 512.0f);
+    }
+}
+
+TEST_F(NcclCompat, MismatchedCollectiveIsRejected)
+{
+    std::vector<float> a(256, 0.0f);
+    ASSERT_EQ(ncclAllReduce(a.data(), a.data(), 256, ncclFloat32, ncclSum,
+                            comms_[0], 0),
+              ncclSuccess);
+    // Rank 1 enqueues a different size for the same op slot.
+    EXPECT_EQ(ncclAllReduce(a.data(), a.data(), 128, ncclFloat32, ncclSum,
+                            comms_[1], 0),
+              ncclInvalidUsage);
+}
+
+TEST_F(NcclCompat, ArgumentValidation)
+{
+    EXPECT_EQ(ncclGetUniqueId(nullptr), ncclInvalidArgument);
+    ncclComm_t c = nullptr;
+    ncclUniqueId id;
+    ncclGetUniqueId(&id);
+    EXPECT_EQ(ncclCommInitRank(&c, 4, id, 0), ncclInvalidUsage);
+    EXPECT_EQ(ncclCommInitRank(&c, 8, id, 9), ncclInvalidArgument);
+    std::vector<float> a(16);
+    EXPECT_EQ(ncclAllReduce(a.data(), nullptr, 16, ncclFloat32, ncclSum,
+                            comms_[0], 0),
+              ncclInvalidArgument);
+    EXPECT_EQ(ncclBroadcast(a.data(), a.data(), 16, ncclFloat32, 42,
+                            comms_[0], 0),
+              ncclInvalidArgument);
+    EXPECT_STREQ(ncclGetErrorString(ncclSuccess), "no error");
+}
+
+TEST_F(NcclCompat, SendRecvPointToPoint)
+{
+    const std::size_t count = 2048;
+    std::vector<float> src(count), dst(count, -1.0f);
+    for (std::size_t i = 0; i < count; ++i) {
+        src[i] = 3.0f * i;
+    }
+    ASSERT_EQ(ncclGroupStart(), ncclSuccess);
+    ASSERT_EQ(ncclSend(src.data(), count, ncclFloat32, 5, comms_[2], 0),
+              ncclSuccess);
+    ASSERT_EQ(ncclRecv(dst.data(), count, ncclFloat32, 2, comms_[5], 0),
+              ncclSuccess);
+    ASSERT_EQ(ncclGroupEnd(), ncclSuccess);
+    EXPECT_FLOAT_EQ(dst[100], 300.0f);
+    EXPECT_GT(mscclppNcclElapsed(comms_[0]), 0u);
+}
+
+TEST_F(NcclCompat, RecvBeforeSendAlsoMatches)
+{
+    std::vector<float> src(64, 7.0f), dst(64, 0.0f);
+    // Receiver posts first (NCCL allows either order inside a group).
+    ASSERT_EQ(ncclRecv(dst.data(), 64, ncclFloat32, 1, comms_[0], 0),
+              ncclSuccess);
+    EXPECT_FLOAT_EQ(dst[0], 0.0f); // not matched yet
+    ASSERT_EQ(ncclSend(src.data(), 64, ncclFloat32, 0, comms_[1], 0),
+              ncclSuccess);
+    EXPECT_FLOAT_EQ(dst[0], 7.0f);
+}
+
+TEST_F(NcclCompat, PipelineParallelRing)
+{
+    // Each stage forwards its activation to the next stage, like
+    // pipeline-parallel training does with ncclSend/ncclRecv.
+    const std::size_t count = 1024;
+    std::vector<std::vector<float>> act(8);
+    for (int r = 0; r < 8; ++r) {
+        act[r].assign(count, float(r));
+    }
+    std::vector<std::vector<float>> in(8);
+    for (int r = 0; r < 8; ++r) {
+        in[r].assign(count, -1.0f);
+    }
+    for (int r = 0; r < 8; ++r) {
+        ASSERT_EQ(ncclSend(act[r].data(), count, ncclFloat32,
+                           (r + 1) % 8, comms_[r], 0),
+                  ncclSuccess);
+        ASSERT_EQ(ncclRecv(in[r].data(), count, ncclFloat32,
+                           (r + 7) % 8, comms_[r], 0),
+                  ncclSuccess);
+    }
+    for (int r = 0; r < 8; ++r) {
+        EXPECT_FLOAT_EQ(in[r][5], float((r + 7) % 8)) << r;
+    }
+}
+
+TEST_F(NcclCompat, SendRecvValidation)
+{
+    std::vector<float> a(16);
+    EXPECT_EQ(ncclSend(a.data(), 16, ncclFloat32, 0, comms_[0], 0),
+              ncclInvalidArgument); // self
+    EXPECT_EQ(ncclSend(a.data(), 0, ncclFloat32, 1, comms_[0], 0),
+              ncclInvalidArgument);
+    EXPECT_EQ(ncclRecv(nullptr, 16, ncclFloat32, 1, comms_[0], 0),
+              ncclInvalidArgument);
+}

@@ -1,0 +1,389 @@
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "core/connection.hpp"
+#include "core/errors.hpp"
+#include "core/fifo.hpp"
+#include "core/registered_memory.hpp"
+#include "core/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+using mscclpp::Bootstrap;
+using mscclpp::Communicator;
+using mscclpp::Connection;
+using mscclpp::DeviceSemaphore;
+using mscclpp::Error;
+using mscclpp::Fifo;
+using mscclpp::ProxyRequest;
+using mscclpp::RegisteredMemory;
+using mscclpp::Transport;
+
+namespace {
+
+/** Run fn(rank) on one thread per rank and join. */
+void
+onRankThreads(int n, const std::function<void(int)>& fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (int r = 0; r < n; ++r) {
+        threads.emplace_back(fn, r);
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+}
+
+std::atomic<int> portCounter{0};
+
+int
+uniquePort()
+{
+    return 21000 + (getpid() * 7 + portCounter++ * 131) % 30000;
+}
+
+} // namespace
+
+TEST(InProcessBootstrap, SendRecvAcrossThreads)
+{
+    auto boots = mscclpp::createInProcessBootstrap(4);
+    onRankThreads(4, [&](int r) {
+        int next = (r + 1) % 4;
+        int prev = (r + 3) % 4;
+        int payload = 100 + r;
+        boots[r]->send(next, 7, &payload, sizeof(payload));
+        int got = 0;
+        boots[r]->recv(prev, 7, &got, sizeof(got));
+        EXPECT_EQ(got, 100 + prev);
+    });
+}
+
+TEST(InProcessBootstrap, SendRecvSingleThreadTwoPhase)
+{
+    // Setup code runs sequentially: sends must be buffered.
+    auto boots = mscclpp::createInProcessBootstrap(3);
+    for (int r = 0; r < 3; ++r) {
+        for (int p = 0; p < 3; ++p) {
+            if (p != r) {
+                boots[r]->send(p, r, &r, sizeof(r));
+            }
+        }
+    }
+    for (int r = 0; r < 3; ++r) {
+        for (int p = 0; p < 3; ++p) {
+            if (p != r) {
+                int got = -1;
+                boots[r]->recv(p, p, &got, sizeof(got));
+                EXPECT_EQ(got, p);
+            }
+        }
+    }
+}
+
+TEST(InProcessBootstrap, TagsAreIndependentChannels)
+{
+    auto boots = mscclpp::createInProcessBootstrap(2);
+    int a = 1;
+    int b = 2;
+    boots[0]->send(1, 10, &a, sizeof(a));
+    boots[0]->send(1, 20, &b, sizeof(b));
+    int got = 0;
+    boots[1]->recv(0, 20, &got, sizeof(got));
+    EXPECT_EQ(got, 2);
+    boots[1]->recv(0, 10, &got, sizeof(got));
+    EXPECT_EQ(got, 1);
+}
+
+TEST(InProcessBootstrap, AllGatherCollectsAllRanks)
+{
+    auto boots = mscclpp::createInProcessBootstrap(4);
+    onRankThreads(4, [&](int r) {
+        std::array<int, 4> data{};
+        data[r] = r * r + 1;
+        boots[r]->allGather(data.data(), sizeof(int));
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(data[i], i * i + 1);
+        }
+    });
+}
+
+TEST(InProcessBootstrap, AllGatherBackToBackRounds)
+{
+    auto boots = mscclpp::createInProcessBootstrap(3);
+    onRankThreads(3, [&](int r) {
+        for (int round = 0; round < 5; ++round) {
+            std::array<int, 3> data{};
+            data[r] = round * 10 + r;
+            boots[r]->allGather(data.data(), sizeof(int));
+            for (int i = 0; i < 3; ++i) {
+                EXPECT_EQ(data[i], round * 10 + i);
+            }
+        }
+    });
+}
+
+TEST(InProcessBootstrap, BarrierSynchronizes)
+{
+    auto boots = mscclpp::createInProcessBootstrap(4);
+    std::atomic<int> arrived{0};
+    onRankThreads(4, [&](int r) {
+        arrived.fetch_add(1);
+        boots[r]->barrier();
+        EXPECT_EQ(arrived.load(), 4);
+    });
+}
+
+TEST(InProcessBootstrap, RejectsBadPeer)
+{
+    auto boots = mscclpp::createInProcessBootstrap(2);
+    int x = 0;
+    EXPECT_THROW(boots[0]->send(0, 0, &x, sizeof(x)), Error);
+    EXPECT_THROW(boots[0]->send(5, 0, &x, sizeof(x)), Error);
+    EXPECT_THROW(mscclpp::createInProcessBootstrap(0), Error);
+}
+
+TEST(TcpBootstrap, MeshSendRecvAndGather)
+{
+    const int n = 4;
+    const int port = uniquePort();
+    onRankThreads(n, [&](int r) {
+        auto b = mscclpp::createTcpBootstrap(r, n, port);
+        // Ring exchange.
+        int payload = 1000 + r;
+        b->send((r + 1) % n, 3, &payload, sizeof(payload));
+        int got = 0;
+        b->recv((r + n - 1) % n, 3, &got, sizeof(got));
+        EXPECT_EQ(got, 1000 + (r + n - 1) % n);
+        // AllGather.
+        std::array<double, n> data{};
+        data[r] = r * 2.5;
+        b->allGather(data.data(), sizeof(double));
+        for (int i = 0; i < n; ++i) {
+            EXPECT_DOUBLE_EQ(data[i], i * 2.5);
+        }
+        b->barrier();
+    });
+}
+
+TEST(TcpBootstrap, OutOfOrderTagsAreBuffered)
+{
+    const int port = uniquePort();
+    onRankThreads(2, [&](int r) {
+        auto b = mscclpp::createTcpBootstrap(r, 2, port);
+        if (r == 0) {
+            int a = 11;
+            int c = 33;
+            b->send(1, 1, &a, sizeof(a));
+            b->send(1, 3, &c, sizeof(c));
+        } else {
+            int got = 0;
+            b->recv(0, 3, &got, sizeof(got)); // later tag first
+            EXPECT_EQ(got, 33);
+            b->recv(0, 1, &got, sizeof(got));
+            EXPECT_EQ(got, 11);
+        }
+        b->barrier();
+    });
+}
+
+TEST(TcpBootstrap, SingleRankIsTrivial)
+{
+    auto b = mscclpp::createTcpBootstrap(0, 1, uniquePort());
+    int x = 5;
+    b->allGather(&x, sizeof(x));
+    EXPECT_EQ(x, 5);
+    b->barrier();
+}
+
+TEST(RegisteredMemory, SerializeRoundTrip)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::DeviceBuffer buf = m.gpu(2).alloc(256);
+    RegisteredMemory mem(2, buf.view(16, 64));
+    auto wire = mem.serialize();
+    RegisteredMemory back = RegisteredMemory::deserialize(wire);
+    EXPECT_EQ(back.rank(), 2);
+    EXPECT_EQ(back.size(), 64u);
+    EXPECT_EQ(back.buffer().data(), buf.data() + 16);
+    EXPECT_THROW(
+        RegisteredMemory::deserialize(std::vector<std::uint8_t>(3)), Error);
+}
+
+TEST(Connection, MemoryTransportIntraNodeOnly)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    Connection intra(m, 0, 1, Transport::Memory);
+    EXPECT_TRUE(intra.sameNode());
+    EXPECT_NEAR(intra.effectiveBwGBps(), 227.0, 1.0);
+    EXPECT_THROW(Connection(m, 0, 8, Transport::Memory), Error);
+    EXPECT_THROW(Connection(m, 0, 0, Transport::Port), Error);
+}
+
+TEST(Connection, PortTransportSelectsRoute)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    Connection dma(m, 0, 1, Transport::Port);
+    EXPECT_NEAR(dma.effectiveBwGBps(), 263.0, 1.0); // DMA over NVLink
+    Connection rdma(m, 0, 8, Transport::Port);
+    EXPECT_DOUBLE_EQ(rdma.effectiveBwGBps(), 25.0); // HDR NIC line rate
+}
+
+TEST(Connection, AtomicOrderedAfterWrites)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    Connection c(m, 0, 1, Transport::Memory);
+    auto [s1, writeArrival] = c.reserveWrite(1 << 20);
+    sim::Time atomicArrival = c.reserveAtomic();
+    EXPECT_GT(atomicArrival, writeArrival);
+    (void)s1;
+}
+
+TEST(Semaphore, SignalWaitAcrossSim)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    DeviceSemaphore sem(m, 1);
+    sim::Time released = 0;
+
+    auto waiter = [&]() -> sim::Task<> {
+        co_await sem.wait();
+        released = m.scheduler().now();
+    };
+    sim::detach(m.scheduler(), waiter());
+    sem.arriveAt(sim::us(5));
+    m.run();
+    EXPECT_EQ(released, sim::us(5) + m.config().semaphorePoll);
+    EXPECT_EQ(sem.value(), 1u);
+    EXPECT_EQ(sem.expected(), 1u);
+}
+
+TEST(Semaphore, SequentialWaitsNeedSequentialSignals)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    DeviceSemaphore sem(m, 0);
+    int waits = 0;
+
+    auto waiter = [&]() -> sim::Task<> {
+        co_await sem.wait();
+        ++waits;
+        co_await sem.wait();
+        ++waits;
+    };
+    sim::detach(m.scheduler(), waiter());
+    sem.arriveAt(sim::us(1));
+    m.run();
+    EXPECT_EQ(waits, 1);
+    sem.arriveAt(sim::us(2));
+    m.run();
+    EXPECT_EQ(waits, 2);
+}
+
+TEST(Fifo, PushPopRoundTripWithPollLatency)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    Fifo fifo(m.scheduler(), m.config());
+    sim::Time popped = 0;
+    ProxyRequest got;
+
+    auto gpuSide = [&]() -> sim::Task<> {
+        ProxyRequest req;
+        req.kind = ProxyRequest::Kind::Put;
+        req.bytes = 4096;
+        co_await fifo.push(req);
+    };
+    auto cpuSide = [&]() -> sim::Task<> {
+        got = co_await fifo.pop();
+        popped = m.scheduler().now();
+    };
+    sim::detach(m.scheduler(), cpuSide());
+    sim::detach(m.scheduler(), gpuSide());
+    m.run();
+    EXPECT_EQ(got.bytes, 4096u);
+    EXPECT_EQ(popped, m.config().fifoPushCost + m.config().fifoPollLatency);
+    EXPECT_EQ(fifo.head(), 1u);
+    EXPECT_EQ(fifo.tail(), 1u);
+}
+
+TEST(Fifo, BackPressureBlocksWhenFull)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    fab::EnvConfig cfg = m.config();
+    Fifo fifo(m.scheduler(), cfg);
+    const int depth = cfg.fifoDepth;
+    int pushed = 0;
+
+    auto gpuSide = [&]() -> sim::Task<> {
+        for (int i = 0; i < depth + 5; ++i) {
+            ProxyRequest req;
+            req.kind = ProxyRequest::Kind::Put;
+            co_await fifo.push(req);
+            ++pushed;
+        }
+    };
+    sim::detach(m.scheduler(), gpuSide());
+    m.run();
+    EXPECT_EQ(pushed, depth); // stuck until someone pops
+
+    auto cpuSide = [&]() -> sim::Task<> {
+        for (int i = 0; i < depth + 5; ++i) {
+            co_await fifo.pop();
+        }
+    };
+    sim::detach(m.scheduler(), cpuSide());
+    m.run();
+    EXPECT_EQ(pushed, depth + 5);
+    EXPECT_EQ(fifo.depth(), 0u);
+}
+
+TEST(Communicator, BasicPropertiesAndRegistration)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    auto boots = mscclpp::createInProcessBootstrap(8);
+    Communicator comm(boots[3], m);
+    EXPECT_EQ(comm.rank(), 3);
+    EXPECT_EQ(comm.size(), 8);
+
+    gpu::DeviceBuffer mine = m.gpu(3).alloc(128);
+    RegisteredMemory mem = comm.registerMemory(mine);
+    EXPECT_EQ(mem.rank(), 3);
+
+    gpu::DeviceBuffer other = m.gpu(4).alloc(128);
+    EXPECT_THROW(comm.registerMemory(other), Error);
+}
+
+TEST(Communicator, SizeMustMatchMachine)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    auto boots = mscclpp::createInProcessBootstrap(4);
+    EXPECT_THROW(Communicator(boots[0], m), Error);
+}
+
+TEST(Communicator, MemoryAndSemaphoreExchange)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    auto boots = mscclpp::createInProcessBootstrap(8);
+    std::vector<std::unique_ptr<Communicator>> comms;
+    for (int r = 0; r < 8; ++r) {
+        comms.push_back(std::make_unique<Communicator>(boots[r], m));
+    }
+    // Two-phase exchange between ranks 0 and 1 (sequential setup).
+    gpu::DeviceBuffer b0 = m.gpu(0).alloc(64);
+    gpu::DeviceBuffer b1 = m.gpu(1).alloc(64);
+    comms[0]->sendMemory(comms[0]->registerMemory(b0), 1, 1);
+    comms[1]->sendMemory(comms[1]->registerMemory(b1), 0, 1);
+    DeviceSemaphore* s0 = comms[0]->createSemaphore();
+    comms[0]->sendSemaphore(s0, 1, 2);
+
+    RegisteredMemory got0 = comms[1]->recvMemory(0, 1);
+    RegisteredMemory got1 = comms[0]->recvMemory(1, 1);
+    EXPECT_EQ(got0.buffer().data(), b0.data());
+    EXPECT_EQ(got1.buffer().data(), b1.data());
+    DeviceSemaphore* gotSem = comms[1]->recvSemaphore(0, 2);
+    EXPECT_EQ(gotSem, s0);
+}

@@ -1,0 +1,581 @@
+#include "channel/channel_mesh.hpp"
+#include "collective/api.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "core/errors.hpp"
+#include "dsl/algorithms.hpp"
+#include "dsl/executor.hpp"
+#include "gpu/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace dsl = mscclpp::dsl;
+using namespace mscclpp;
+
+namespace {
+
+struct MeshHarness
+{
+    MeshHarness(Protocol proto, Transport transport = Transport::Memory)
+        : machine(fab::makeA100_40G(), 1)
+    {
+        auto boots = createInProcessBootstrap(machine.numGpus());
+        for (int r = 0; r < machine.numGpus(); ++r) {
+            comms.push_back(
+                std::make_unique<Communicator>(boots[r], machine));
+            data.push_back(machine.gpu(r).alloc(64 << 10));
+            scratch.push_back(machine.gpu(r).alloc(64 << 10));
+            gpu::fillPattern(data.back(), gpu::DataType::F32, r);
+        }
+        std::vector<Communicator*> cp;
+        for (auto& c : comms) {
+            cp.push_back(c.get());
+        }
+        MeshOptions opt;
+        opt.protocol = proto;
+        opt.transport = transport;
+        mesh.emplace(ChannelMesh::build(cp, data, scratch, opt));
+    }
+
+    gpu::Machine machine;
+    std::vector<std::unique_ptr<Communicator>> comms;
+    std::vector<gpu::DeviceBuffer> data;
+    std::vector<gpu::DeviceBuffer> scratch;
+    std::optional<ChannelMesh> mesh;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Figure 6 element read/write (LL protocol).
+// ---------------------------------------------------------------------------
+
+TEST(ElementReadWrite, SingleElementRoundTrip)
+{
+    MeshHarness h(Protocol::LL);
+    double got = 0;
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == 0) {
+            co_await h.mesh->mem(0, 1).write<double>(ctx, 3, 2.718);
+        } else if (rank == 1) {
+            got = co_await h.mesh->mem(1, 0).read<double>(ctx, 3);
+        }
+    };
+    gpu::runOnAllRanks(h.machine, gpu::LaunchConfig{}, fn);
+    EXPECT_DOUBLE_EQ(got, 2.718);
+    // The element landed in rank 1's receive (scratch) buffer.
+    EXPECT_DOUBLE_EQ(h.scratch[1].as<double>()[3], 2.718);
+}
+
+TEST(ElementReadWrite, SequenceOfElements)
+{
+    MeshHarness h(Protocol::LL);
+    std::vector<float> got;
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == 2) {
+            for (int i = 0; i < 5; ++i) {
+                co_await h.mesh->mem(2, 3).write<float>(ctx, i,
+                                                        1.5f * i);
+            }
+        } else if (rank == 3) {
+            for (int i = 0; i < 5; ++i) {
+                got.push_back(
+                    co_await h.mesh->mem(3, 2).read<float>(ctx, i));
+            }
+        }
+    };
+    gpu::runOnAllRanks(h.machine, gpu::LaunchConfig{}, fn);
+    ASSERT_EQ(got.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FLOAT_EQ(got[i], 1.5f * i);
+    }
+}
+
+TEST(ElementReadWrite, RequiresLlProtocol)
+{
+    MeshHarness h(Protocol::HB);
+    bool threw = false;
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == 0) {
+            try {
+                co_await h.mesh->mem(0, 1).write<int>(ctx, 0, 1);
+            } catch (const Error&) {
+                threw = true;
+            }
+        }
+    };
+    gpu::runOnAllRanks(h.machine, gpu::LaunchConfig{}, fn);
+    EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------------
+// PortChannel putWithSignalAndFlush.
+// ---------------------------------------------------------------------------
+
+TEST(PortChannelFused, PutWithSignalAndFlushDrainsWire)
+{
+    MeshHarness h(Protocol::HB, Transport::Port);
+    sim::Time doneAt = 0;
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        if (rank == 0) {
+            co_await h.mesh->port(0, 1).putWithSignalAndFlush(ctx, 0, 0,
+                                                              32 << 10);
+            doneAt = ctx.scheduler().now();
+        } else if (rank == 1) {
+            co_await h.mesh->port(1, 0).wait(ctx);
+        }
+    };
+    gpu::runOnAllRanks(h.machine, gpu::LaunchConfig{}, fn);
+    h.mesh->shutdown();
+    h.machine.run();
+    // Flush implies the wire drained: at least the transfer time.
+    EXPECT_GT(doneAt, sim::us(4));
+    EXPECT_EQ(gpu::readElement(h.scratch[1], gpu::DataType::F32, 3),
+              gpu::patternValue(gpu::DataType::F32, 0, 3));
+}
+
+TEST(PortChannelFused, DeviceInitiatedSkipsProxyCosts)
+{
+    // Section 3.2.1 extension: identical kernel, cheaper engine.
+    auto round = [](bool deviceInitiated) {
+        MeshHarness h(Protocol::HB, Transport::Memory);
+        MeshOptions opt;
+        opt.transport = Transport::Port;
+        opt.deviceInitiatedPort = deviceInitiated;
+        std::vector<Communicator*> cp;
+        for (auto& c : h.comms) {
+            cp.push_back(c.get());
+        }
+        auto mesh = ChannelMesh::build(cp, h.data, h.scratch, opt);
+        sim::Time done = 0;
+        auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+            if (rank == 0) {
+                co_await mesh.port(0, 1).putWithSignalAndFlush(ctx, 0, 0,
+                                                               4096);
+                done = ctx.scheduler().now();
+            } else if (rank == 1) {
+                co_await mesh.port(1, 0).wait(ctx);
+            }
+        };
+        gpu::runOnAllRanks(h.machine, gpu::LaunchConfig{}, fn);
+        mesh.shutdown();
+        h.machine.run();
+        return done;
+    };
+    sim::Time proxy = round(false);
+    sim::Time device = round(true);
+    EXPECT_LT(device, proxy);
+    // The managed-memory poll alone is 900ns; expect a solid cut.
+    EXPECT_LT(device + sim::ns(900), proxy);
+}
+
+// ---------------------------------------------------------------------------
+// Environment-variable tuning overrides.
+// ---------------------------------------------------------------------------
+
+TEST(EnvOverrides, VariablesOverrideFields)
+{
+    setenv("MSCCLPP_INTRA_BW_GBPS", "123.5", 1);
+    setenv("MSCCLPP_SEM_POLL_NS", "999", 1);
+    setenv("MSCCLPP_NCCL_SLOT_KB", "256", 1);
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::applyEnvOverrides(cfg);
+    EXPECT_DOUBLE_EQ(cfg.intraBwGBps, 123.5);
+    EXPECT_EQ(cfg.semaphorePoll, sim::ns(999));
+    EXPECT_EQ(cfg.ncclSlotBytes, 256u << 10);
+    unsetenv("MSCCLPP_INTRA_BW_GBPS");
+    unsetenv("MSCCLPP_SEM_POLL_NS");
+    unsetenv("MSCCLPP_NCCL_SLOT_KB");
+    // Unset variables leave defaults untouched.
+    fab::EnvConfig fresh = fab::makeA100_40G();
+    fab::applyEnvOverrides(fresh);
+    EXPECT_DOUBLE_EQ(fresh.intraBwGBps, 300.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric utilisation report.
+// ---------------------------------------------------------------------------
+
+TEST(FabricStats, PortStatsTrackCollectiveTraffic)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    coll.allReduce(1 << 20, gpu::DataType::F32, gpu::ReduceOp::Sum,
+                   AllReduceAlgo::AllPairs2PHB);
+    for (int r = 0; r < 8; ++r) {
+        auto st = m.fabric().portStats(r);
+        // 2PA: each tx carries 2 * 7/8 of the message.
+        EXPECT_GE(st.txBytes, std::uint64_t(2 * 7) * (1 << 20) / 8);
+        EXPECT_GE(st.rxBytes, std::uint64_t(2 * 7) * (1 << 20) / 8);
+        EXPECT_EQ(st.nicTxBytes, 0u);
+    }
+    std::string report = m.fabric().utilizationReport();
+    EXPECT_NE(report.find("rank"), std::string::npos);
+    EXPECT_NE(report.find("\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DSL validation and serialization.
+// ---------------------------------------------------------------------------
+
+TEST(DslValidate, WellFormedProgramsPass)
+{
+    dsl::Program p = dsl::buildAllPairs2PAllReduceHB(8, 256 << 10);
+    EXPECT_TRUE(p.validate(1 << 20, 4 << 20).empty());
+    dsl::Program rs = dsl::buildAllPairsReduceScatter(8, 256 << 10);
+    EXPECT_TRUE(rs.validate(1 << 20, 4 << 20).empty());
+}
+
+TEST(DslValidate, CatchesMissingWait)
+{
+    dsl::Program p("broken", 2);
+    p.onRank(0)
+        .put(1, {dsl::BufKind::Input, 0, 64}, {dsl::BufKind::Input, 0, 64})
+        .signal(1);
+    // rank 1 never waits.
+    auto problems = p.validate(1 << 10, 1 << 10);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("signal"), std::string::npos);
+}
+
+TEST(DslValidate, CatchesBufferOverrunAndSelfPeer)
+{
+    dsl::Program p("broken", 2);
+    p.onRank(0).put(1, {dsl::BufKind::Input, 512, 1024},
+                    {dsl::BufKind::Scratch, 0, 1024});
+    p.onRank(1).put(1, {dsl::BufKind::Input, 0, 64},
+                    {dsl::BufKind::Scratch, 0, 64});
+    auto problems = p.validate(1 << 10, 1 << 20);
+    // Overrun (512+1024 > 1024) and self-addressed peer.
+    EXPECT_GE(problems.size(), 2u);
+}
+
+TEST(DslValidate, CatchesBarrierMismatch)
+{
+    dsl::Program p("broken", 2);
+    p.onRank(0).barrier();
+    auto problems = p.validate(1 << 10, 1 << 10);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("barrier"), std::string::npos);
+}
+
+TEST(DslValidate, CatchesGridBarrierImbalance)
+{
+    dsl::Program p("broken", 2);
+    p.onRank(0).threadBlock(0).gridBarrier();
+    p.onRank(0)
+        .threadBlock(1)
+        .put(1, {dsl::BufKind::Input, 0, 64},
+             {dsl::BufKind::Input, 0, 64})
+        .signal(1);
+    p.onRank(1).wait(0);
+    auto problems = p.validate(1 << 10, 1 << 10);
+    bool found = false;
+    for (const auto& msg : problems) {
+        found = found || msg.find("gridBarrier") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(DslSerialize, RoundTripPreservesProgram)
+{
+    dsl::Program p = dsl::buildAllPairs2PAllReduceLL(8, 128 << 10);
+    std::string text = p.serialize();
+    dsl::Program q = dsl::Program::deserialize(text);
+    EXPECT_EQ(q.name(), p.name());
+    EXPECT_EQ(q.numRanks(), p.numRanks());
+    EXPECT_EQ(q.totalInstructions(), p.totalInstructions());
+    EXPECT_EQ(q.numThreadBlocks(), p.numThreadBlocks());
+    for (int r = 0; r < 8; ++r) {
+        ASSERT_EQ(q.instructions(r).size(), p.instructions(r).size());
+        for (std::size_t i = 0; i < p.instructions(r).size(); ++i) {
+            EXPECT_EQ(q.instructions(r)[i].describe(),
+                      p.instructions(r)[i].describe());
+        }
+    }
+    EXPECT_THROW(dsl::Program::deserialize("garbage"), Error);
+}
+
+TEST(DslSerialize, DeserializedProgramExecutes)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    dsl::Executor ex(m, 1 << 20);
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(ex.dataBuffer(r), gpu::DataType::F32, r);
+    }
+    dsl::Program p = dsl::Program::deserialize(
+        dsl::buildAllPairs2PAllReduceHB(8, 64 << 10).serialize());
+    ex.execute(p, gpu::DataType::F32, gpu::ReduceOp::Sum);
+    float expected = 0.0f;
+    for (int r = 0; r < 8; ++r) {
+        expected += gpu::patternValue(gpu::DataType::F32, r, 9);
+    }
+    EXPECT_FLOAT_EQ(
+        gpu::readElement(ex.dataBuffer(4), gpu::DataType::F32, 9),
+        expected);
+}
+
+// ---------------------------------------------------------------------------
+// Rooted collectives: Reduce, Gather, Scatter.
+// ---------------------------------------------------------------------------
+
+TEST(RootedCollectives, ReduceToRoot)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(coll.dataBuffer(r), gpu::DataType::F32, r);
+    }
+    coll.reduce(64 << 10, gpu::DataType::F32, gpu::ReduceOp::Sum, 3);
+    for (std::size_t i = 0; i < (64 << 10) / 4; i += 101) {
+        float expected = 0.0f;
+        for (int r = 0; r < 8; ++r) {
+            expected += gpu::patternValue(gpu::DataType::F32, r, i);
+        }
+        ASSERT_FLOAT_EQ(gpu::readElement(coll.dataBuffer(3),
+                                         gpu::DataType::F32, i),
+                        expected);
+    }
+    // Non-roots keep their own data.
+    EXPECT_FLOAT_EQ(
+        gpu::readElement(coll.dataBuffer(1), gpu::DataType::F32, 10),
+        gpu::patternValue(gpu::DataType::F32, 1, 10));
+}
+
+TEST(RootedCollectives, GatherAndScatterAcrossNodes)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    const std::size_t shard = 16 << 10;
+    for (int r = 0; r < 16; ++r) {
+        gpu::fillPattern(coll.dataBuffer(r).view(r * shard, shard),
+                         gpu::DataType::F32, r);
+    }
+    coll.gather(shard, 0);
+    for (int src = 0; src < 16; ++src) {
+        ASSERT_FLOAT_EQ(gpu::readElement(coll.dataBuffer(0),
+                                         gpu::DataType::F32,
+                                         src * (shard / 4) + 2),
+                        gpu::patternValue(gpu::DataType::F32, src, 2))
+            << src;
+    }
+    // Root rewrites every shard, scatter distributes them back.
+    for (int r = 0; r < 16; ++r) {
+        gpu::fillPattern(coll.dataBuffer(0).view(r * shard, shard),
+                         gpu::DataType::F32, r, /*seed=*/42);
+    }
+    coll.scatter(shard, 0);
+    for (int r = 1; r < 16; ++r) {
+        ASSERT_FLOAT_EQ(gpu::readElement(coll.dataBuffer(r),
+                                         gpu::DataType::F32,
+                                         r * (shard / 4) + 5),
+                        gpu::patternValue(gpu::DataType::F32, r, 5, 42))
+            << r;
+    }
+}
+
+TEST(RootedCollectives, ValidateArguments)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    EXPECT_THROW(coll.reduce(64 << 10, gpu::DataType::F32,
+                             gpu::ReduceOp::Sum, 99),
+                 Error);
+    EXPECT_THROW(coll.gather(1 << 20, 0), Error);
+    EXPECT_THROW(coll.scatter(0, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// AllToAllV (MoE-style variable dispatch).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::vector<std::size_t>>
+moePattern(int n, unsigned seed)
+{
+    // Deterministic skewed pattern: 16-byte-aligned block sizes.
+    std::vector<std::vector<std::size_t>> bytes(
+        n, std::vector<std::size_t>(n, 0));
+    for (int r = 0; r < n; ++r) {
+        for (int p = 0; p < n; ++p) {
+            std::size_t units = ((r * 31 + p * 17 + seed) % 9);
+            bytes[r][p] = units * 256; // 0 .. 2 KiB, some zero
+        }
+    }
+    return bytes;
+}
+
+} // namespace
+
+TEST(AllToAllV, VariableBlocksLandGroupedBySource)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    const int n = 8;
+    auto bytes = moePattern(n, 3);
+
+    // Fill each send block with a (src,dst)-seeded pattern.
+    std::vector<std::vector<std::size_t>> sendOff(
+        n, std::vector<std::size_t>(n, 0));
+    for (int r = 0; r < n; ++r) {
+        std::size_t off = 0;
+        for (int p = 0; p < n; ++p) {
+            sendOff[r][p] = off;
+            if (bytes[r][p] > 0) {
+                gpu::fillPattern(
+                    coll.dataBuffer(r).view(off, bytes[r][p]),
+                    gpu::DataType::F32, r, 1000u * p);
+            }
+            off += bytes[r][p];
+        }
+    }
+    coll.allToAllV(bytes);
+    for (int p = 0; p < n; ++p) {
+        std::size_t off = 0;
+        for (int src = 0; src < n; ++src) {
+            std::size_t b = bytes[src][p];
+            for (std::size_t i = 0; i < b / 4; i += 7) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(coll.dataBuffer(p),
+                                     gpu::DataType::F32, off / 4 + i),
+                    gpu::patternValue(gpu::DataType::F32, src, i,
+                                      1000u * p))
+                    << "dst " << p << " src " << src;
+            }
+            off += b;
+        }
+    }
+}
+
+TEST(AllToAllV, CrossNodeAndRepeatedCalls)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    const int n = 16;
+    for (unsigned round = 0; round < 3; ++round) {
+        auto bytes = moePattern(n, round);
+        std::size_t off0 = 0;
+        std::vector<std::vector<std::size_t>> sendOff(
+            n, std::vector<std::size_t>(n, 0));
+        for (int r = 0; r < n; ++r) {
+            std::size_t off = 0;
+            for (int p = 0; p < n; ++p) {
+                sendOff[r][p] = off;
+                if (bytes[r][p] > 0) {
+                    gpu::fillPattern(
+                        coll.dataBuffer(r).view(off, bytes[r][p]),
+                        gpu::DataType::F32, r, round * 100 + p);
+                }
+                off += bytes[r][p];
+            }
+        }
+        (void)off0;
+        sim::Time t = coll.allToAllV(bytes);
+        EXPECT_GT(t, 0u);
+        // Spot-check one cross-node block: src 2 -> dst 11.
+        std::size_t off = 0;
+        for (int src = 0; src < 2; ++src) {
+            off += bytes[src][11];
+        }
+        if (bytes[2][11] > 0) {
+            ASSERT_FLOAT_EQ(
+                gpu::readElement(coll.dataBuffer(11), gpu::DataType::F32,
+                                 off / 4),
+                gpu::patternValue(gpu::DataType::F32, 2, 0,
+                                  round * 100 + 11));
+        }
+    }
+}
+
+TEST(AllToAllV, ValidatesShapes)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 64 << 10;
+    CollectiveComm coll(m, opt);
+    std::vector<std::vector<std::size_t>> tooFewRows(4);
+    EXPECT_THROW(coll.allToAllV(tooFewRows), Error);
+    std::vector<std::vector<std::size_t>> misaligned(
+        8, std::vector<std::size_t>(8, 24)); // not 16-aligned
+    EXPECT_THROW(coll.allToAllV(misaligned), Error);
+    std::vector<std::vector<std::size_t>> tooBig(
+        8, std::vector<std::size_t>(8, 32 << 10));
+    EXPECT_THROW(coll.allToAllV(tooBig), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Shared proxy service.
+// ---------------------------------------------------------------------------
+
+TEST(ProxyServiceShared, ServesManyChannelsCorrectly)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    auto boots = createInProcessBootstrap(m.numGpus());
+    std::vector<std::unique_ptr<Communicator>> comms;
+    std::vector<gpu::DeviceBuffer> bufs;
+    for (int r = 0; r < m.numGpus(); ++r) {
+        comms.push_back(std::make_unique<Communicator>(boots[r], m));
+        bufs.push_back(m.gpu(r).alloc(8 << 10));
+        gpu::fillPattern(bufs.back(), gpu::DataType::F32, r);
+    }
+    std::vector<gpu::DeviceBuffer> recv;
+    for (int r = 0; r < m.numGpus(); ++r) {
+        recv.push_back(m.gpu(r).alloc(8 << 10));
+    }
+    std::vector<Communicator*> cp;
+    for (auto& c : comms) {
+        cp.push_back(c.get());
+    }
+    MeshOptions opt;
+    opt.transport = Transport::Port;
+    opt.sharedProxyService = true;
+    auto mesh = ChannelMesh::build(cp, bufs, recv, opt);
+    EXPECT_TRUE(mesh.port(0, 1).serviceManaged());
+
+    // All-pairs exchange of 1 KiB blocks through the shared services.
+    auto fn = [&](gpu::BlockCtx& ctx, int rank) -> sim::Task<> {
+        int peer = (rank + 1 + ctx.blockIdx()) % 8;
+        co_await mesh.port(rank, peer).putWithSignal(
+            ctx, std::size_t(rank) << 10, std::size_t(peer) << 10, 1024);
+        co_await mesh.port(rank, peer).wait(ctx);
+    };
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 7;
+    gpu::runOnAllRanks(m, cfg, fn);
+    mesh.shutdown();
+    m.run();
+
+    for (int r = 0; r < 8; ++r) {
+        for (int src = 0; src < 8; ++src) {
+            if (src == r) {
+                continue;
+            }
+            // src sent its block at offset r<<10 of its buffer into
+            // our receive slot src<<10.
+            ASSERT_FLOAT_EQ(
+                gpu::readElement(recv[r], gpu::DataType::F32,
+                                 (std::size_t(src) << 10) / 4),
+                gpu::patternValue(gpu::DataType::F32, src,
+                                  (std::size_t(r) << 10) / 4))
+                << r << " from " << src;
+        }
+    }
+}

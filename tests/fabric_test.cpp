@@ -1,0 +1,243 @@
+#include "fabric/env.hpp"
+#include "fabric/link.hpp"
+#include "fabric/topology.hpp"
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+
+namespace {
+
+fab::LinkParams
+simpleParams(double gbps, sim::Time lat, sim::Time perMsg = 0)
+{
+    return fab::LinkParams{gbps, lat, perMsg};
+}
+
+} // namespace
+
+TEST(Link, SingleTransferTiming)
+{
+    sim::Scheduler s;
+    fab::Link link(s, fab::LinkType::NvLink, simpleParams(100.0, sim::ns(500)),
+                   "l");
+    auto [start, arrival] = link.reserve(1'000'000); // 1 MB at 100 GB/s
+    EXPECT_EQ(start, 0u);
+    EXPECT_EQ(arrival, sim::us(10) + sim::ns(500));
+    EXPECT_EQ(link.bytesCarried(), 1'000'000u);
+}
+
+TEST(Link, BackToBackTransfersSerialize)
+{
+    sim::Scheduler s;
+    fab::Link link(s, fab::LinkType::NvLink, simpleParams(100.0, sim::ns(500)),
+                   "l");
+    auto [s1, a1] = link.reserve(1'000'000);
+    auto [s2, a2] = link.reserve(1'000'000);
+    EXPECT_EQ(s1, 0u);
+    EXPECT_EQ(s2, sim::us(10)); // waits for the first serialisation window
+    EXPECT_EQ(a2, sim::us(20) + sim::ns(500));
+    (void)a1;
+}
+
+TEST(Link, BandwidthCapSlowsTransfer)
+{
+    sim::Scheduler s;
+    fab::Link link(s, fab::LinkType::NvLink, simpleParams(100.0, 0), "l");
+    auto [st, arrival] = link.reserve(1'000'000, 50.0);
+    EXPECT_EQ(arrival, sim::us(20));
+    // Cap above line rate has no effect.
+    auto [st2, arrival2] = link.reserve(1'000'000, 500.0);
+    EXPECT_EQ(arrival2 - st2, sim::us(10));
+    (void)st;
+}
+
+TEST(Link, PerMessageOverheadCharged)
+{
+    sim::Scheduler s;
+    fab::Link link(s, fab::LinkType::InfiniBand,
+                   simpleParams(100.0, sim::ns(500), sim::ns(100)), "l");
+    auto [st, arrival] = link.reserve(0);
+    EXPECT_EQ(arrival, sim::ns(600));
+    (void)st;
+}
+
+TEST(Path, CutThroughAddsLatenciesOnce)
+{
+    sim::Scheduler s;
+    fab::Link a(s, fab::LinkType::NvLink, simpleParams(100.0, sim::ns(300)),
+                "a");
+    fab::Link b(s, fab::LinkType::NvLink, simpleParams(200.0, sim::ns(200)),
+                "b");
+    fab::Path p({&a, &b});
+    EXPECT_EQ(p.latency(), sim::ns(500));
+    EXPECT_DOUBLE_EQ(p.bottleneckGBps(), 100.0);
+    auto [st, arrival] = p.reserve(1'000'000);
+    // Bottleneck 100 GB/s -> 10us window, plus both hop latencies.
+    EXPECT_EQ(arrival, sim::us(10) + sim::ns(500));
+    // Both hops are busy for the window.
+    EXPECT_EQ(a.nextFree(), sim::us(10));
+    EXPECT_EQ(b.nextFree(), sim::us(10));
+    (void)st;
+}
+
+TEST(Path, SharedHopCreatesContention)
+{
+    sim::Scheduler s;
+    fab::Link tx(s, fab::LinkType::NvLink, simpleParams(100.0, 0), "tx");
+    fab::Link rx1(s, fab::LinkType::NvLink, simpleParams(100.0, 0), "rx1");
+    fab::Link rx2(s, fab::LinkType::NvLink, simpleParams(100.0, 0), "rx2");
+    fab::Path p1({&tx, &rx1});
+    fab::Path p2({&tx, &rx2});
+    auto [s1, a1] = p1.reserve(1'000'000);
+    auto [s2, a2] = p2.reserve(1'000'000);
+    EXPECT_EQ(s1, 0u);
+    EXPECT_EQ(s2, sim::us(10)); // second transfer waits on the shared tx
+    EXPECT_EQ(a2, sim::us(20));
+    (void)a1;
+}
+
+namespace {
+
+sim::Task<>
+doTransfer(fab::Link& link, std::uint64_t bytes, sim::Time* when)
+{
+    co_await link.transfer(bytes);
+    *when = link.scheduler().now();
+}
+
+} // namespace
+
+TEST(Link, TransferAwaitableCompletesAtArrival)
+{
+    sim::Scheduler s;
+    fab::Link link(s, fab::LinkType::NvLink, simpleParams(100.0, sim::ns(500)),
+                   "l");
+    sim::Time when = 0;
+    sim::detach(s, doTransfer(link, 1'000'000, &when));
+    s.run();
+    EXPECT_EQ(when, sim::us(10) + sim::ns(500));
+}
+
+TEST(Env, TableOneEnvironmentsExist)
+{
+    for (const char* name : {"A100-40G", "A100-80G", "H100", "MI300x"}) {
+        fab::EnvConfig c = fab::makeEnv(name);
+        EXPECT_EQ(c.name, name);
+        EXPECT_EQ(c.gpusPerNode, 8);
+        EXPECT_GT(c.intraBwGBps, 0.0);
+        EXPECT_GT(c.nicBwGBps, 0.0);
+        EXPECT_GT(c.hbmBwGBps, 0.0);
+    }
+    EXPECT_THROW(fab::makeEnv("TPUv4"), std::invalid_argument);
+}
+
+TEST(Env, AnchorsMatchPaper)
+{
+    fab::EnvConfig a100 = fab::makeA100_80G();
+    // Section 2.2.2: thread-copy 227 GB/s vs DMA-copy 263 GB/s.
+    EXPECT_NEAR(a100.intraBwGBps * a100.threadCopyPeakEff, 227.0, 1.0);
+    EXPECT_NEAR(a100.intraBwGBps * a100.dmaCopyEff, 263.0, 1.0);
+
+    fab::EnvConfig h100 = fab::makeH100();
+    EXPECT_TRUE(h100.hasMultimem);
+    fab::EnvConfig mi = fab::makeMI300x();
+    EXPECT_EQ(mi.intra, fab::IntraTopology::Mesh);
+    EXPECT_FALSE(mi.ll128Supported);
+}
+
+TEST(Topology, RankMath)
+{
+    sim::Scheduler s;
+    fab::Fabric f(s, fab::makeA100_40G(), 4);
+    EXPECT_EQ(f.numGpus(), 32);
+    EXPECT_EQ(f.nodeOf(0), 0);
+    EXPECT_EQ(f.nodeOf(8), 1);
+    EXPECT_EQ(f.localRankOf(13), 5);
+    EXPECT_TRUE(f.sameNode(8, 15));
+    EXPECT_FALSE(f.sameNode(7, 8));
+}
+
+TEST(Topology, SwitchPathsUsePorts)
+{
+    sim::Scheduler s;
+    fab::Fabric f(s, fab::makeA100_40G(), 1);
+    fab::Path p = f.p2pPath(0, 3);
+    ASSERT_EQ(p.links().size(), 2u);
+    EXPECT_EQ(p.links()[0], &f.gpuTx(0));
+    EXPECT_EQ(p.links()[1], &f.gpuRx(3));
+}
+
+TEST(Topology, MeshPathsUseDedicatedLinks)
+{
+    sim::Scheduler s;
+    fab::Fabric f(s, fab::makeMI300x(), 1);
+    fab::Path p01 = f.p2pPath(0, 1);
+    fab::Path p02 = f.p2pPath(0, 2);
+    ASSERT_EQ(p01.links().size(), 1u);
+    ASSERT_EQ(p02.links().size(), 1u);
+    // Distinct peer pairs use independent links (no shared port).
+    EXPECT_NE(p01.links()[0], p02.links()[0]);
+    // Directionality: 0->1 and 1->0 are different links.
+    EXPECT_NE(p01.links()[0], f.p2pPath(1, 0).links()[0]);
+}
+
+TEST(Topology, InterNodePathsUseNics)
+{
+    sim::Scheduler s;
+    fab::Fabric f(s, fab::makeA100_40G(), 2);
+    fab::Path p = f.p2pPath(0, 8);
+    ASSERT_EQ(p.links().size(), 2u);
+    EXPECT_EQ(p.links()[0]->type(), fab::LinkType::InfiniBand);
+    EXPECT_DOUBLE_EQ(p.bottleneckGBps(), 25.0); // HDR 200 Gb/s
+}
+
+TEST(Topology, IntraPathRejectsCrossNode)
+{
+    sim::Scheduler s;
+    fab::Fabric f(s, fab::makeA100_40G(), 2);
+    EXPECT_THROW(f.intraPath(0, 8), std::invalid_argument);
+    EXPECT_THROW(f.intraPath(3, 3), std::invalid_argument);
+}
+
+TEST(Topology, MultimemReduceOccupiesAllTxPorts)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeH100();
+    fab::Fabric f(s, cfg, 1);
+    std::vector<int> parts{0, 1, 2, 3, 4, 5, 6, 7};
+    std::uint64_t bytes = 50'000'000;
+    sim::Time window = sim::transferTime(bytes, cfg.multimemBwGBps);
+    auto [st, arrival] = f.multimemReduce(0, parts, bytes);
+    EXPECT_EQ(st, 0u);
+    EXPECT_GE(arrival, window);
+    for (int r : parts) {
+        EXPECT_GE(f.gpuTx(r).nextFree(), window);
+    }
+    EXPECT_GE(f.gpuRx(0).nextFree(), window);
+    EXPECT_EQ(f.gpuRx(1).nextFree(), 0u);
+}
+
+TEST(Topology, MultimemRequiresHardwareSupport)
+{
+    sim::Scheduler s;
+    fab::Fabric f(s, fab::makeA100_40G(), 1);
+    EXPECT_THROW(f.multimemReduce(0, {0, 1}, 1024), std::logic_error);
+}
+
+TEST(Topology, ConcurrentMultimemReducesShareTxBandwidth)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeH100();
+    fab::Fabric f(s, cfg, 1);
+    std::vector<int> parts{0, 1, 2, 3, 4, 5, 6, 7};
+    std::uint64_t bytes = 50'000'000;
+    auto [s0, a0] = f.multimemReduce(0, parts, bytes);
+    auto [s1, a1] = f.multimemReduce(1, parts, bytes);
+    // The second reduce waits for the shared tx ports.
+    EXPECT_GE(s1, a0 - cfg.intraLatency - cfg.multimemLatency);
+    (void)s0;
+    (void)a1;
+}

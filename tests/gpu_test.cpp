@@ -1,0 +1,242 @@
+#include "gpu/compute.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/machine.hpp"
+#include "gpu/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+
+TEST(Half, RoundTripExactValues)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.25f, 1024.0f, -0.125f}) {
+        EXPECT_EQ(gpu::Half(v).toFloat(), v) << v;
+    }
+}
+
+TEST(Half, RoundsToNearest)
+{
+    // 1 + 2^-11 is exactly between 1 and the next half value.
+    float v = 1.0f + std::ldexp(1.0f, -11);
+    float r = gpu::Half(v).toFloat();
+    EXPECT_TRUE(r == 1.0f || r == 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Half, HandlesOverflowAndSubnormals)
+{
+    EXPECT_TRUE(std::isinf(gpu::Half(1e30f).toFloat()));
+    EXPECT_TRUE(std::isinf(gpu::Half(-1e30f).toFloat()));
+    float sub = std::ldexp(1.0f, -20);
+    EXPECT_NEAR(gpu::Half(sub).toFloat(), sub, sub * 0.01f);
+    EXPECT_EQ(gpu::Half(1e-30f).toFloat(), 0.0f);
+    EXPECT_TRUE(std::isnan(gpu::Half(std::nanf("")).toFloat()));
+}
+
+TEST(Machine, BuildsGpusAndFabric)
+{
+    gpu::Machine m(fab::makeA100_40G(), 2);
+    EXPECT_EQ(m.numGpus(), 16);
+    EXPECT_EQ(m.gpu(9).node(), 1);
+    EXPECT_EQ(m.gpu(9).localRank(), 1);
+    EXPECT_EQ(m.config().name, "A100-40G");
+}
+
+TEST(Machine, FunctionalModeMaterializesBuffers)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1, gpu::DataMode::Functional);
+    gpu::DeviceBuffer b = m.gpu(0).alloc(1024);
+    EXPECT_NE(b.data(), nullptr);
+    EXPECT_EQ(b.size(), 1024u);
+    EXPECT_EQ(b.gpuRank(), 0);
+}
+
+TEST(Machine, TimedModeSkipsMaterialization)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1, gpu::DataMode::Timed);
+    gpu::DeviceBuffer b = m.gpu(0).alloc(1024);
+    EXPECT_EQ(b.data(), nullptr);
+    EXPECT_EQ(b.size(), 1024u);
+    // Data ops are harmless no-ops in timed mode.
+    gpu::DeviceBuffer c = m.gpu(0).alloc(1024);
+    gpu::copyBytes(b, c, 1024);
+    gpu::accumulate(b, c, 1024, gpu::DataType::F32, gpu::ReduceOp::Sum);
+}
+
+TEST(Buffer, ViewsAreBoundsChecked)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::DeviceBuffer b = m.gpu(0).alloc(100);
+    gpu::DeviceBuffer v = b.view(10, 20);
+    EXPECT_EQ(v.size(), 20u);
+    EXPECT_EQ(v.data(), b.data() + 10);
+    EXPECT_THROW(b.view(90, 20), std::out_of_range);
+    EXPECT_THROW(v.view(10, 11), std::out_of_range);
+}
+
+TEST(Compute, CopyAndAccumulateF32)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::DeviceBuffer a = m.gpu(0).alloc(16);
+    gpu::DeviceBuffer b = m.gpu(0).alloc(16);
+    for (int i = 0; i < 4; ++i) {
+        gpu::writeElement(a, gpu::DataType::F32, i, float(i));
+        gpu::writeElement(b, gpu::DataType::F32, i, 10.0f * i);
+    }
+    gpu::accumulate(a, b, 16, gpu::DataType::F32, gpu::ReduceOp::Sum);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(gpu::readElement(a, gpu::DataType::F32, i), 11.0f * i);
+    }
+    gpu::copyBytes(b, a, 16);
+    EXPECT_EQ(gpu::readElement(b, gpu::DataType::F32, 3), 33.0f);
+}
+
+TEST(Compute, AccumulateF16MaxAndSum)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::DeviceBuffer a = m.gpu(0).alloc(8);
+    gpu::DeviceBuffer b = m.gpu(0).alloc(8);
+    float av[4] = {1.0f, -2.0f, 0.5f, 4.0f};
+    float bv[4] = {0.5f, 3.0f, 0.25f, -1.0f};
+    for (int i = 0; i < 4; ++i) {
+        gpu::writeElement(a, gpu::DataType::F16, i, av[i]);
+        gpu::writeElement(b, gpu::DataType::F16, i, bv[i]);
+    }
+    gpu::accumulate(a, b, 8, gpu::DataType::F16, gpu::ReduceOp::Max);
+    EXPECT_EQ(gpu::readElement(a, gpu::DataType::F16, 0), 1.0f);
+    EXPECT_EQ(gpu::readElement(a, gpu::DataType::F16, 1), 3.0f);
+    gpu::accumulate(a, b, 8, gpu::DataType::F16, gpu::ReduceOp::Sum);
+    EXPECT_EQ(gpu::readElement(a, gpu::DataType::F16, 0), 1.5f);
+}
+
+TEST(Compute, PatternIsDeterministicAndRankDependent)
+{
+    EXPECT_EQ(gpu::patternValue(gpu::DataType::F32, 3, 17),
+              gpu::patternValue(gpu::DataType::F32, 3, 17));
+    bool differs = false;
+    for (int i = 0; i < 64 && !differs; ++i) {
+        differs = gpu::patternValue(gpu::DataType::F32, 0, i) !=
+                  gpu::patternValue(gpu::DataType::F32, 1, i);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Compute, ErrorsOnBadRanges)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::DeviceBuffer a = m.gpu(0).alloc(16);
+    gpu::DeviceBuffer b = m.gpu(0).alloc(8);
+    EXPECT_THROW(gpu::copyBytes(b, a, 16), std::out_of_range);
+    EXPECT_THROW(
+        gpu::accumulate(a, b, 7, gpu::DataType::F32, gpu::ReduceOp::Sum),
+        std::invalid_argument);
+    EXPECT_THROW(gpu::readElement(b, gpu::DataType::F32, 2),
+                 std::out_of_range);
+}
+
+TEST(Gpu, CostModelScalesWithBytes)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::Gpu& g = m.gpu(0);
+    EXPECT_EQ(g.memTime(0), 0u);
+    EXPECT_GT(g.memTime(1 << 20), 0u);
+    EXPECT_EQ(g.copyTime(1 << 20), g.memTime(2 << 20));
+    EXPECT_EQ(g.reduceTime(1 << 20, 3), g.memTime(4 << 20));
+}
+
+namespace {
+
+sim::Task<>
+emptyBlock(gpu::BlockCtx&)
+{
+    co_return;
+}
+
+} // namespace
+
+TEST(Kernel, LaunchChargesGraphLatency)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 1;
+    cfg.graph = true;
+    sim::detach(m.scheduler(),
+                gpu::launchKernel(m.gpu(0), cfg, emptyBlock));
+    sim::Time t = m.run();
+    EXPECT_EQ(t, m.config().graphLaunch);
+}
+
+TEST(Kernel, StreamLaunchCostsMore)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::LaunchConfig cfg;
+    cfg.graph = false;
+    sim::detach(m.scheduler(),
+                gpu::launchKernel(m.gpu(0), cfg, emptyBlock));
+    EXPECT_EQ(m.run(), m.config().kernelLaunch);
+}
+
+TEST(Kernel, AllBlocksRunAndJoin)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 8;
+    int ran = 0;
+    sim::detach(m.scheduler(),
+                gpu::launchKernel(m.gpu(0), cfg, [&](gpu::BlockCtx& ctx) {
+                    return [](gpu::BlockCtx& c, int* r) -> sim::Task<> {
+                        co_await c.busy(sim::us(1));
+                        ++*r;
+                    }(ctx, &ran);
+                }));
+    m.run();
+    EXPECT_EQ(ran, 8);
+}
+
+TEST(Kernel, GridBarrierSynchronizesBlocks)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 4;
+    std::vector<sim::Time> after(4);
+    auto blockFn = [&](gpu::BlockCtx& ctx) -> sim::Task<> {
+        co_await ctx.busy(sim::us(1) * (ctx.blockIdx() + 1));
+        co_await ctx.gridBarrier();
+        after[ctx.blockIdx()] = ctx.scheduler().now();
+    };
+    sim::detach(m.scheduler(), gpu::launchKernel(m.gpu(0), cfg, blockFn));
+    m.run();
+    for (int b = 1; b < 4; ++b) {
+        EXPECT_EQ(after[b], after[0]);
+    }
+    EXPECT_GE(after[0], m.config().graphLaunch + sim::us(4));
+}
+
+TEST(Kernel, ThreadCopyRateScalesWithThreads)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::LaunchConfig cfg;
+    cfg.threadsPerBlock = 256;
+    double rate = 0;
+    auto blockFn = [&](gpu::BlockCtx& ctx) -> sim::Task<> {
+        rate = ctx.threadCopyGBps();
+        co_return;
+    };
+    sim::detach(m.scheduler(), gpu::launchKernel(m.gpu(0), cfg, blockFn));
+    m.run();
+    EXPECT_DOUBLE_EQ(rate, 256 * m.config().perThreadCopyGBps);
+}
+
+TEST(Kernel, RejectsInvalidLaunch)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    gpu::LaunchConfig cfg;
+    cfg.blocks = 0;
+    // The throw happens when the coroutine body first runs (detach
+    // starts it eagerly), surfacing through Scheduler::run().
+    sim::detach(m.scheduler(), gpu::launchKernel(m.gpu(0), cfg, emptyBlock));
+    EXPECT_THROW(m.run(), std::invalid_argument);
+}

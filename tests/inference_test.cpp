@@ -1,0 +1,120 @@
+#include "core/errors.hpp"
+#include "inference/llm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+using namespace mscclpp::inference;
+
+namespace {
+
+InferenceSim
+makeSim(gpu::Machine& m)
+{
+    return InferenceSim(m, InferenceConfig{});
+}
+
+} // namespace
+
+TEST(Llama70b, ParameterCountIsRight)
+{
+    TransformerConfig m = makeLlama2_70b();
+    // ~69B parameters (the "70b" label).
+    EXPECT_GT(m.totalParams(), 66'000'000'000ull);
+    EXPECT_LT(m.totalParams(), 72'000'000'000ull);
+}
+
+TEST(InferenceSim, RequiresMatchingTensorParallelism)
+{
+    gpu::Machine m(fab::makeA100_80G(), 2, gpu::DataMode::Timed);
+    InferenceConfig cfg;
+    cfg.tensorParallel = 8; // machine has 16 GPUs
+    EXPECT_THROW(InferenceSim(m, cfg), mscclpp::Error);
+}
+
+TEST(InferenceSim, DecodeIsMemoryBandwidthBound)
+{
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    auto b = sim.decodeStep(1, 128, CommBackend::None);
+    // Weights/TP at HBM speed set the floor: 70e9*2/8 bytes at
+    // ~2 TB/s is ~8.6 ms; with efficiency and overheads it is more.
+    EXPECT_GT(b.compute, sim::msec(8));
+    EXPECT_LT(b.compute, sim::msec(25));
+    EXPECT_EQ(b.comm, 0u);
+
+    // Larger batches share the weight read: compute grows slowly.
+    auto b32 = sim.decodeStep(32, 128, CommBackend::None);
+    EXPECT_LT(b32.compute, b.compute * 2);
+}
+
+TEST(InferenceSim, PrefillIsComputeBound)
+{
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    auto d = sim.decodeStep(8, 512, CommBackend::None);
+    auto p = sim.prefill(8, 512, CommBackend::None);
+    // 512x more tokens -> much more compute than a decode step.
+    EXPECT_GT(p.compute, d.compute * 20);
+}
+
+TEST(InferenceSim, CommScalesWithAllReduceCount)
+{
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    auto b = sim.decodeStep(4, 256, CommBackend::Nccl);
+    EXPECT_EQ(b.allReduceCalls, 160); // 2 per layer x 80 layers
+    EXPECT_EQ(b.allReduceBytes, std::size_t(4) * 8192 * 2);
+    EXPECT_EQ(b.comm,
+              sim.allReduceTime(b.allReduceBytes, CommBackend::Nccl) *
+                  160);
+}
+
+TEST(InferenceSim, MscclppSpeedsUpDecodesLikeThePaper)
+{
+    // Figure 10: 4%-15% decode speedup over NCCL across batch
+    // configurations on A100-80G, TP=8.
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    double minGain = 1e9;
+    double maxGain = 0;
+    for (int bsz : {1, 8, 32, 128}) {
+        for (int seqlen : {128, 1024}) {
+            auto nccl = sim.decodeStep(bsz, seqlen, CommBackend::Nccl);
+            auto ours = sim.decodeStep(bsz, seqlen, CommBackend::Mscclpp);
+            EXPECT_EQ(nccl.compute, ours.compute);
+            double speedup =
+                double(nccl.total()) / double(ours.total()) - 1.0;
+            minGain = std::min(minGain, speedup);
+            maxGain = std::max(maxGain, speedup);
+        }
+    }
+    EXPECT_GT(minGain, 0.01);
+    EXPECT_GT(maxGain, 0.06);
+    EXPECT_LT(maxGain, 0.30);
+}
+
+TEST(InferenceSim, PrefillGainIsMuchSmaller)
+{
+    // Section 5.2: prefill is compute-dominated; speedup <= ~6%.
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    auto nccl = sim.prefill(8, 1024, CommBackend::Nccl);
+    auto ours = sim.prefill(8, 1024, CommBackend::Mscclpp);
+    double speedup = double(nccl.total()) / double(ours.total()) - 1.0;
+    EXPECT_GE(speedup, 0.0);
+    EXPECT_LT(speedup, 0.08);
+}
+
+TEST(InferenceSim, MscclBackendSitsBetween)
+{
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    sim::Time nccl = sim.allReduceTime(64 << 10, CommBackend::Nccl);
+    sim::Time msccl = sim.allReduceTime(64 << 10, CommBackend::Msccl);
+    sim::Time ours = sim.allReduceTime(64 << 10, CommBackend::Mscclpp);
+    EXPECT_LT(ours, msccl);
+    EXPECT_LT(msccl, nccl);
+}

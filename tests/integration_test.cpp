@@ -1,0 +1,204 @@
+/**
+ * Cross-module integration tests: a fuzzed sequence of mixed
+ * collectives over one communicator (scratch rotation, semaphore
+ * counters and proxies must all stay consistent), and the full host
+ * runtime over real TCP sockets.
+ */
+#include "collective/api.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "gpu/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+using namespace mscclpp;
+
+namespace {
+
+float
+sumAt(int n, std::size_t i, std::size_t seed)
+{
+    float v = 0.0f;
+    for (int r = 0; r < n; ++r) {
+        v += gpu::patternValue(gpu::DataType::F32, r, i, seed);
+    }
+    return v;
+}
+
+} // namespace
+
+class MixedCollectiveFuzz
+    : public ::testing::TestWithParam<std::tuple<const char*, int, unsigned>>
+{
+};
+
+TEST_P(MixedCollectiveFuzz, LongRandomSequenceStaysCorrect)
+{
+    const auto& [env, nodes, seed] = GetParam();
+    gpu::Machine m(fab::makeEnv(env), nodes);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    const int n = m.numGpus();
+
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> opDist(0, 3);
+    std::uniform_int_distribution<int> sizeDist(0, 3);
+    const std::size_t sizes[] = {8 << 10, 64 << 10, 256 << 10, 1 << 20};
+
+    for (int round = 0; round < 12; ++round) {
+        std::size_t bytes = sizes[sizeDist(rng)];
+        std::size_t elems = bytes / 4;
+        int op = opDist(rng);
+        std::size_t s = seed + round;
+        switch (op) {
+          case 0: { // AllReduce
+            for (int r = 0; r < n; ++r) {
+                gpu::fillPattern(coll.dataBuffer(r).view(0, bytes),
+                                 gpu::DataType::F32, r, s);
+            }
+            coll.allReduce(bytes, gpu::DataType::F32, gpu::ReduceOp::Sum);
+            for (std::size_t i = 0; i < elems; i += elems / 7 + 1) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(coll.dataBuffer(round % n),
+                                     gpu::DataType::F32, i),
+                    sumAt(n, i, s))
+                    << "round " << round << " AllReduce";
+            }
+            break;
+          }
+          case 1: { // AllGather
+            std::size_t shard = bytes / n;
+            if (shard < 64) {
+                continue;
+            }
+            for (int r = 0; r < n; ++r) {
+                gpu::fillPattern(
+                    coll.dataBuffer(r).view(r * shard, shard),
+                    gpu::DataType::F32, r, s);
+            }
+            coll.allGather(shard);
+            std::size_t se = shard / 4;
+            for (int src = 0; src < n; src += 3) {
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(coll.dataBuffer((round + 1) % n),
+                                     gpu::DataType::F32, src * se + 1),
+                    gpu::patternValue(gpu::DataType::F32, src, 1, s))
+                    << "round " << round << " AllGather";
+            }
+            break;
+          }
+          case 2: { // ReduceScatter (single-node kernel only)
+            if (nodes > 1) {
+                continue;
+            }
+            for (int r = 0; r < n; ++r) {
+                gpu::fillPattern(coll.dataBuffer(r).view(0, bytes),
+                                 gpu::DataType::F32, r, s);
+            }
+            coll.reduceScatter(bytes, gpu::DataType::F32,
+                               gpu::ReduceOp::Sum);
+            std::size_t se = elems / n;
+            int who = round % n;
+            ASSERT_FLOAT_EQ(
+                gpu::readElement(coll.dataBuffer(who),
+                                 gpu::DataType::F32, who * se + 2),
+                sumAt(n, who * se + 2, s))
+                << "round " << round << " ReduceScatter";
+            break;
+          }
+          default: { // Broadcast
+            int root = round % n;
+            gpu::fillPattern(coll.dataBuffer(root).view(0, bytes),
+                             gpu::DataType::F32, root, s);
+            coll.broadcast(bytes, root);
+            ASSERT_FLOAT_EQ(
+                gpu::readElement(coll.dataBuffer((root + 3) % n),
+                                 gpu::DataType::F32, 4),
+                gpu::patternValue(gpu::DataType::F32, root, 4, s))
+                << "round " << round << " Broadcast";
+            break;
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MixedCollectiveFuzz,
+    ::testing::Values(std::make_tuple("A100-40G", 1, 11u),
+                      std::make_tuple("A100-40G", 1, 23u),
+                      std::make_tuple("A100-40G", 2, 37u),
+                      std::make_tuple("H100", 1, 41u),
+                      std::make_tuple("MI300x", 1, 53u)),
+    [](const auto& info) {
+        std::string s = std::string(std::get<0>(info.param)) + "_" +
+                        std::to_string(std::get<1>(info.param)) + "n_s" +
+                        std::to_string(std::get<2>(info.param));
+        for (char& c : s) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) {
+                c = '_';
+            }
+        }
+        return s;
+    });
+
+// ---------------------------------------------------------------------------
+// Full host runtime over real TCP sockets: every rank on its own
+// thread exchanges registered-memory and semaphore handles exactly
+// like a multi-process deployment would.
+// ---------------------------------------------------------------------------
+
+TEST(TcpRuntime, MemoryAndSemaphoreExchangeOverSockets)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    const int n = m.numGpus();
+    const int port = 23000 + (getpid() * 13 + 7) % 20000;
+
+    std::vector<gpu::DeviceBuffer> bufs(n);
+    for (int r = 0; r < n; ++r) {
+        bufs[r] = m.gpu(r).alloc(4096);
+    }
+
+    std::vector<std::thread> threads;
+    std::vector<std::string> errors(n);
+    for (int r = 0; r < n; ++r) {
+        threads.emplace_back([&, r] {
+            try {
+                auto boot = createTcpBootstrap(r, n, port);
+                Communicator comm(boot, m);
+                // Ring-exchange registered memory handles.
+                RegisteredMemory mine = comm.registerMemory(bufs[r]);
+                comm.sendMemory(mine, (r + 1) % n, 1);
+                RegisteredMemory prev =
+                    comm.recvMemory((r + n - 1) % n, 1);
+                if (prev.rank() != (r + n - 1) % n ||
+                    prev.buffer().data() != bufs[prev.rank()].data()) {
+                    errors[r] = "bad memory handle";
+                }
+                // And a semaphore handle the other way round.
+                DeviceSemaphore* sem = comm.createSemaphore();
+                comm.sendSemaphore(sem, (r + n - 1) % n, 2);
+                DeviceSemaphore* peer =
+                    comm.recvSemaphore((r + 1) % n, 2);
+                if (peer->gpuRank() != (r + 1) % n) {
+                    errors[r] = "bad semaphore handle";
+                }
+                comm.bootstrap().barrier();
+            } catch (const std::exception& e) {
+                errors[r] = e.what();
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(errors[r], "") << "rank " << r;
+    }
+}

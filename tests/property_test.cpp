@@ -1,0 +1,316 @@
+/**
+ * Property-style sweeps: every algorithm variant, protocol and
+ * machine shape must produce bit-exact collectives; serialization
+ * must round-trip every DSL builder; selectors must be total.
+ */
+#include "baseline/nccl.hpp"
+#include "collective/api.hpp"
+#include "core/errors.hpp"
+#include "dsl/algorithms.hpp"
+#include "dsl/executor.hpp"
+#include "gpu/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace dsl = mscclpp::dsl;
+using namespace mscclpp;
+
+namespace {
+
+std::string
+sanitize(std::string s)
+{
+    for (char& c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+            c = '_';
+        }
+    }
+    return s;
+}
+
+float
+expectedSum(int n, std::size_t i, std::size_t seed, gpu::DataType dt)
+{
+    float v = 0.0f;
+    for (int r = 0; r < n; ++r) {
+        v += gpu::patternValue(dt, r, i, seed);
+    }
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Unusual machine shapes: 4 GPUs per node (the models must not bake
+// in 8 anywhere).
+// ---------------------------------------------------------------------------
+
+class SmallNodeShapes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SmallNodeShapes, CollectivesWorkWithFourGpuNodes)
+{
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    cfg.gpusPerNode = 4;
+    const int nodes = GetParam();
+    gpu::Machine m(cfg, nodes);
+    const int n = m.numGpus();
+    CollectiveComm::Options opt;
+    opt.maxBytes = 256 << 10;
+    CollectiveComm coll(m, opt);
+
+    for (int r = 0; r < n; ++r) {
+        gpu::fillPattern(coll.dataBuffer(r), gpu::DataType::F32, r);
+    }
+    coll.allReduce(64 << 10, gpu::DataType::F32, gpu::ReduceOp::Sum);
+    for (std::size_t i = 0; i < (64 << 10) / 4; i += 149) {
+        ASSERT_FLOAT_EQ(
+            gpu::readElement(coll.dataBuffer(n - 1), gpu::DataType::F32,
+                             i),
+            expectedSum(n, i, 0, gpu::DataType::F32));
+    }
+
+    // AllGather too.
+    const std::size_t shard = 8 << 10;
+    for (int r = 0; r < n; ++r) {
+        gpu::fillPattern(coll.dataBuffer(r).view(r * shard, shard),
+                         gpu::DataType::F32, r, 5);
+    }
+    coll.allGather(shard);
+    for (int src = 0; src < n; ++src) {
+        ASSERT_FLOAT_EQ(gpu::readElement(coll.dataBuffer(0),
+                                         gpu::DataType::F32,
+                                         src * (shard / 4) + 3),
+                        gpu::patternValue(gpu::DataType::F32, src, 3, 5));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, SmallNodeShapes, ::testing::Values(1, 2, 4));
+
+// ---------------------------------------------------------------------------
+// NCCL baseline: every protocol must be correct when forced.
+// ---------------------------------------------------------------------------
+
+struct ProtoCase
+{
+    const char* env;
+    baseline::NcclAlgo algo;
+    std::size_t bytes;
+};
+
+class NcclProtocolSweep : public ::testing::TestWithParam<ProtoCase>
+{
+};
+
+TEST_P(NcclProtocolSweep, ForcedAlgosStayExact)
+{
+    const ProtoCase& c = GetParam();
+    // Forced algorithms get their protocol from the tuner by size,
+    // exercising LL (small), LL128 (mid) and Simple (large).
+    gpu::Machine m(fab::makeEnv(c.env), 1);
+    baseline::NcclComm comm(m, std::max<std::size_t>(c.bytes, 1 << 20));
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(comm.dataBuffer(r), gpu::DataType::F32, r, 9);
+    }
+    comm.allReduce(c.bytes, gpu::DataType::F32, gpu::ReduceOp::Sum,
+                   c.algo);
+    for (std::size_t i = 0; i < c.bytes / 4;
+         i += std::max<std::size_t>(1, c.bytes / 4 / 61)) {
+        ASSERT_FLOAT_EQ(
+            gpu::readElement(comm.dataBuffer(6), gpu::DataType::F32, i),
+            expectedSum(8, i, 9, gpu::DataType::F32));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NcclProtocolSweep,
+    ::testing::Values(
+        ProtoCase{"A100-40G", baseline::NcclAlgo::Ring, 4 << 10},   // LL
+        ProtoCase{"A100-40G", baseline::NcclAlgo::Ring, 1 << 20},   // LL128
+        ProtoCase{"A100-40G", baseline::NcclAlgo::Ring, 16 << 20},  // Simple
+        ProtoCase{"MI300x", baseline::NcclAlgo::Ring, 1 << 20},  // no LL128
+        ProtoCase{"H100", baseline::NcclAlgo::Nvls, 16 << 20},
+        ProtoCase{"A100-40G", baseline::NcclAlgo::Tree, 96 << 10}),
+    [](const auto& info) {
+        return sanitize(std::string(info.param.env) + "_" +
+                        toString(info.param.algo) + "_" +
+                        std::to_string(info.param.bytes));
+    });
+
+// ---------------------------------------------------------------------------
+// FP16 end-to-end across all MSCCL++ algorithms (values chosen so
+// half sums stay exact).
+// ---------------------------------------------------------------------------
+
+class F16AlgoSweep : public ::testing::TestWithParam<AllReduceAlgo>
+{
+};
+
+TEST_P(F16AlgoSweep, HalfPrecisionSumsExactly)
+{
+    AllReduceAlgo algo = GetParam();
+    const char* env =
+        algo == AllReduceAlgo::Switch2P ? "H100" : "A100-40G";
+    gpu::Machine m(fab::makeEnv(env), 1);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    CollectiveComm coll(m, opt);
+    const std::size_t bytes = 128 << 10;
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(coll.dataBuffer(r), gpu::DataType::F16, r, 2);
+    }
+    coll.allReduce(bytes, gpu::DataType::F16, gpu::ReduceOp::Sum, algo);
+    for (std::size_t i = 0; i < bytes / 2; i += 463) {
+        ASSERT_FLOAT_EQ(
+            gpu::readElement(coll.dataBuffer(2), gpu::DataType::F16, i),
+            expectedSum(8, i, 2, gpu::DataType::F16));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, F16AlgoSweep,
+    ::testing::Values(AllReduceAlgo::AllPairs2PLL,
+                      AllReduceAlgo::AllPairs2PHB,
+                      AllReduceAlgo::AllPairs2PPort,
+                      AllReduceAlgo::Switch2P),
+    [](const auto& info) {
+        return sanitize(mscclpp::toString(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// DSL: every builder serializes, deserializes, validates and executes.
+// ---------------------------------------------------------------------------
+
+struct DslBuilderCase
+{
+    const char* name;
+    dsl::Program (*build)(int, std::size_t);
+    std::size_t bytes;
+    const char* env;
+};
+
+class DslBuilderSweep : public ::testing::TestWithParam<DslBuilderCase>
+{
+};
+
+TEST_P(DslBuilderSweep, RoundTripValidateExecute)
+{
+    const DslBuilderCase& c = GetParam();
+    dsl::Program p = c.build(8, c.bytes);
+    // Validation passes.
+    EXPECT_TRUE(p.validate(1 << 20, 4 << 20).empty()) << c.name;
+    // Serialization round-trips.
+    dsl::Program q = dsl::Program::deserialize(p.serialize());
+    EXPECT_EQ(q.totalInstructions(), p.totalInstructions());
+    // And the deserialized program still computes the right thing.
+    gpu::Machine m(fab::makeEnv(c.env), 1);
+    dsl::Executor ex(m, 1 << 20);
+    for (int r = 0; r < 8; ++r) {
+        gpu::fillPattern(ex.dataBuffer(r), gpu::DataType::F32, r, 4);
+    }
+    ex.execute(q, gpu::DataType::F32, gpu::ReduceOp::Sum);
+    for (std::size_t i = 0; i < c.bytes / 4; i += 977) {
+        ASSERT_FLOAT_EQ(
+            gpu::readElement(ex.dataBuffer(5), gpu::DataType::F32, i),
+            expectedSum(8, i, 4, gpu::DataType::F32))
+            << c.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Builders, DslBuilderSweep,
+    ::testing::Values(
+        DslBuilderCase{"1PA", dsl::buildAllPairs1PAllReduce, 16 << 10,
+                       "A100-40G"},
+        DslBuilderCase{"2PA-LL", dsl::buildAllPairs2PAllReduceLL,
+                       128 << 10, "A100-40G"},
+        DslBuilderCase{"2PA-HB", dsl::buildAllPairs2PAllReduceHB,
+                       256 << 10, "A100-40G"},
+        DslBuilderCase{"2PA-Port", dsl::buildAllPairs2PAllReducePort,
+                       256 << 10, "A100-40G"},
+        DslBuilderCase{"ring", dsl::buildRingAllReduce, 256 << 10,
+                       "A100-40G"},
+        DslBuilderCase{"switch", dsl::buildSwitchAllReduce, 256 << 10,
+                       "H100"}),
+    [](const auto& info) { return sanitize(info.param.name); });
+
+// ---------------------------------------------------------------------------
+// Selector totality: Auto must resolve every size without throwing.
+// ---------------------------------------------------------------------------
+
+TEST(SelectorProperty, AutoIsTotalOverSizesAndShapes)
+{
+    for (const char* env : {"A100-40G", "H100", "MI300x"}) {
+        for (int nodes : {1, 2}) {
+            gpu::Machine m(fab::makeEnv(env), nodes,
+                           gpu::DataMode::Timed);
+            CollectiveComm::Options opt;
+            opt.maxBytes = 64 << 20;
+            CollectiveComm coll(m, opt);
+            for (std::size_t bytes = 1 << 10; bytes <= (64 << 20);
+                 bytes <<= 2) {
+                sim::Time t = coll.allReduce(bytes, gpu::DataType::F16,
+                                             gpu::ReduceOp::Sum);
+                ASSERT_GT(t, 0u) << env << " " << nodes << " " << bytes;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity: more bytes never get faster (per algorithm).
+// ---------------------------------------------------------------------------
+
+TEST(TimingProperty, LatencyIsMonotonicInSize)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 64 << 20;
+    CollectiveComm coll(m, opt);
+    sim::Time prev = 0;
+    for (std::size_t bytes = 2 << 10; bytes <= (64 << 20); bytes <<= 1) {
+        sim::Time t = coll.allReduce(bytes, gpu::DataType::F16,
+                                     gpu::ReduceOp::Sum,
+                                     AllReduceAlgo::AllPairs2PHB);
+        EXPECT_GE(t + sim::us(1), prev) << bytes; // small jitter slack
+        prev = t;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-node ReduceScatter (hierarchical).
+// ---------------------------------------------------------------------------
+
+TEST(HierReduceScatter, TwoAndFourNodesExact)
+{
+    for (int nodes : {2, 4}) {
+        gpu::Machine m(fab::makeA100_40G(), nodes);
+        const int n = m.numGpus();
+        CollectiveComm::Options opt;
+        opt.maxBytes = 1 << 20;
+        CollectiveComm coll(m, opt);
+        const std::size_t bytes = 512 << 10;
+        for (int r = 0; r < n; ++r) {
+            gpu::fillPattern(coll.dataBuffer(r), gpu::DataType::F32, r,
+                             7);
+        }
+        coll.reduceScatter(bytes, gpu::DataType::F32, gpu::ReduceOp::Sum);
+        const std::size_t shardElems = bytes / 4 / n;
+        for (int r = 0; r < n; r += 3) {
+            for (std::size_t i = 0; i < shardElems; i += 311) {
+                std::size_t elem = r * shardElems + i;
+                ASSERT_FLOAT_EQ(
+                    gpu::readElement(coll.dataBuffer(r),
+                                     gpu::DataType::F32, elem),
+                    expectedSum(n, elem, 7, gpu::DataType::F32))
+                    << nodes << "n rank " << r;
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sim = mscclpp::sim;
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(sim::ns(1), 1000u);
+    EXPECT_EQ(sim::us(1), 1000000u);
+    EXPECT_EQ(sim::msec(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(sim::toUs(sim::us(2.5)), 2.5);
+    EXPECT_DOUBLE_EQ(sim::toNs(sim::ns(7)), 7.0);
+}
+
+TEST(Time, TransferTime)
+{
+    // 1 GB at 1 GB/s is exactly one second.
+    EXPECT_EQ(sim::transferTime(1'000'000'000ull, 1.0), sim::Time(1e12));
+    // 300 GB/s moves 3 MB in 10 us.
+    EXPECT_EQ(sim::transferTime(3'000'000ull, 300.0), sim::us(10));
+    // Zero bandwidth means infinitely fast (latency-only models).
+    EXPECT_EQ(sim::transferTime(12345, 0.0), 0u);
+}
+
+TEST(Time, AchievedBandwidth)
+{
+    EXPECT_DOUBLE_EQ(sim::achievedGBps(1'000'000'000ull, sim::Time(1e12)),
+                     1.0);
+    EXPECT_DOUBLE_EQ(sim::achievedGBps(123, 0), 0.0);
+}
+
+TEST(Time, Format)
+{
+    EXPECT_EQ(sim::formatTime(sim::us(12.5)), "12.50us");
+    EXPECT_EQ(sim::formatTime(sim::ns(3)), "3.00ns");
+    EXPECT_EQ(sim::formatTime(500), "500ps");
+    EXPECT_EQ(sim::formatTime(sim::msec(4.5)), "4.500ms");
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder)
+{
+    sim::Scheduler s;
+    std::vector<int> order;
+    s.schedule(sim::ns(30), [&] { order.push_back(3); });
+    s.schedule(sim::ns(10), [&] { order.push_back(1); });
+    s.schedule(sim::ns(20), [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), sim::ns(30));
+    EXPECT_EQ(s.eventsProcessed(), 3u);
+}
+
+TEST(Scheduler, TiesRunInFifoOrder)
+{
+    sim::Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        s.schedule(sim::ns(10), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, NestedSchedulingAdvancesTime)
+{
+    sim::Scheduler s;
+    sim::Time inner = 0;
+    s.schedule(sim::ns(5), [&] {
+        s.schedule(sim::ns(7), [&] { inner = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(inner, sim::ns(12));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline)
+{
+    sim::Scheduler s;
+    int fired = 0;
+    s.schedule(sim::ns(10), [&] { ++fired; });
+    s.schedule(sim::ns(100), [&] { ++fired; });
+    EXPECT_FALSE(s.runUntil(sim::ns(50)));
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(s.runUntil(sim::ns(1000)));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PastEventsClampToNow)
+{
+    sim::Scheduler s;
+    s.schedule(sim::ns(10), [] {});
+    s.run();
+    sim::Time fired = 0;
+    s.scheduleAt(sim::ns(1), [&] { fired = s.now(); });
+    s.run();
+    EXPECT_EQ(fired, sim::ns(10));
+}
+
+namespace {
+
+sim::Task<>
+delayTask(sim::Scheduler& s, sim::Time d, int* out)
+{
+    co_await sim::Delay(s, d);
+    *out = 1;
+}
+
+sim::Task<int>
+valueTask(sim::Scheduler& s)
+{
+    co_await sim::Delay(s, sim::ns(5));
+    co_return 42;
+}
+
+sim::Task<>
+parentTask(sim::Scheduler& s, int* out)
+{
+    int v = co_await valueTask(s);
+    co_await sim::Delay(s, sim::ns(5));
+    *out = v;
+}
+
+sim::Task<>
+throwingTask(sim::Scheduler& s)
+{
+    co_await sim::Delay(s, sim::ns(1));
+    throw std::runtime_error("boom");
+}
+
+} // namespace
+
+TEST(Task, DetachedTaskRunsToCompletion)
+{
+    sim::Scheduler s;
+    int done = 0;
+    sim::detach(s, delayTask(s, sim::ns(100), &done));
+    EXPECT_EQ(done, 0); // suspended at the delay
+    s.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(s.now(), sim::ns(100));
+}
+
+TEST(Task, NestedAwaitPropagatesValue)
+{
+    sim::Scheduler s;
+    int out = 0;
+    sim::detach(s, parentTask(s, &out));
+    s.run();
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(s.now(), sim::ns(10));
+}
+
+TEST(Task, ExceptionPropagatesThroughRun)
+{
+    sim::Scheduler s;
+    sim::detach(s, throwingTask(s));
+    EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(Task, JoinCounterTracksCompletion)
+{
+    sim::Scheduler s;
+    sim::JoinCounter join;
+    int a = 0;
+    int b = 0;
+    sim::detach(s, delayTask(s, sim::ns(10), &a), &join);
+    sim::detach(s, delayTask(s, sim::ns(20), &b), &join);
+    EXPECT_EQ(join.pending(), 2);
+    s.run();
+    EXPECT_TRUE(join.complete());
+    EXPECT_EQ(a + b, 2);
+}
+
+namespace {
+
+sim::Task<>
+waiterTask(sim::SimSignal& sig, int* wakeups)
+{
+    co_await sig.wait();
+    ++*wakeups;
+}
+
+sim::Task<>
+semWaiter(sim::SimSemaphore& sem, std::uint64_t expected, sim::Time poll,
+          sim::Scheduler& s, sim::Time* when)
+{
+    co_await sem.waitUntil(expected, poll);
+    *when = s.now();
+}
+
+sim::Task<>
+barrierParty(sim::SimBarrier& bar, sim::Scheduler& s, sim::Time arrive,
+             sim::Time* released)
+{
+    co_await sim::Delay(s, arrive);
+    co_await bar.arriveAndWait();
+    *released = s.now();
+}
+
+} // namespace
+
+TEST(Sync, SignalWakesAllWaiters)
+{
+    sim::Scheduler s;
+    sim::SimSignal sig(s);
+    int wakeups = 0;
+    sim::detach(s, waiterTask(sig, &wakeups));
+    sim::detach(s, waiterTask(sig, &wakeups));
+    EXPECT_EQ(sig.numWaiters(), 2u);
+    s.schedule(sim::ns(50), [&] { sig.notifyAll(); });
+    s.run();
+    EXPECT_EQ(wakeups, 2);
+}
+
+TEST(Sync, SemaphoreWaitUntilValue)
+{
+    sim::Scheduler s;
+    sim::SimSemaphore sem(s);
+    sim::Time when = 0;
+    sim::detach(s, semWaiter(sem, 2, sim::ns(100), s, &when));
+    s.schedule(sim::ns(10), [&] { sem.add(); });
+    s.schedule(sim::ns(30), [&] { sem.add(); });
+    s.run();
+    // Released at the second add plus the poll-detection latency.
+    EXPECT_EQ(when, sim::ns(130));
+    EXPECT_EQ(sem.value(), 2u);
+}
+
+TEST(Sync, SemaphoreAlreadySatisfiedSkipsPollCharge)
+{
+    // An already-set flag is observed on the first spin iteration:
+    // no detection latency is charged.
+    sim::Scheduler s;
+    sim::SimSemaphore sem(s);
+    sem.add(5);
+    sim::Time when = 1;
+    sim::detach(s, semWaiter(sem, 3, sim::ns(7), s, &when));
+    s.run();
+    EXPECT_EQ(when, 0u);
+}
+
+TEST(Sync, BarrierReleasesAtLastArrival)
+{
+    sim::Scheduler s;
+    sim::SimBarrier bar(s, 3);
+    sim::Time rel[3] = {0, 0, 0};
+    sim::detach(s, barrierParty(bar, s, sim::ns(10), &rel[0]));
+    sim::detach(s, barrierParty(bar, s, sim::ns(50), &rel[1]));
+    sim::detach(s, barrierParty(bar, s, sim::ns(90), &rel[2]));
+    s.run();
+    EXPECT_EQ(rel[0], sim::ns(90));
+    EXPECT_EQ(rel[1], sim::ns(90));
+    EXPECT_EQ(rel[2], sim::ns(90));
+}
+
+TEST(Sync, BarrierIsReusableAcrossGenerations)
+{
+    sim::Scheduler s;
+    sim::SimBarrier bar(s, 2);
+    std::vector<sim::Time> released;
+
+    auto party = [&](sim::Time first, sim::Time second) -> sim::Task<> {
+        co_await sim::Delay(s, first);
+        co_await bar.arriveAndWait();
+        released.push_back(s.now());
+        co_await sim::Delay(s, second);
+        co_await bar.arriveAndWait();
+        released.push_back(s.now());
+    };
+    sim::detach(s, party(sim::ns(10), sim::ns(100)));
+    sim::detach(s, party(sim::ns(20), sim::ns(10)));
+    s.run();
+    ASSERT_EQ(released.size(), 4u);
+    EXPECT_EQ(released[0], sim::ns(20));
+    EXPECT_EQ(released[1], sim::ns(20));
+    EXPECT_EQ(released[2], sim::ns(120));
+    EXPECT_EQ(released[3], sim::ns(120));
+}
+
+TEST(Sync, WaitGroupReleasesWhenAllDone)
+{
+    sim::Scheduler s;
+    sim::WaitGroup wg(s);
+    sim::Time when = 0;
+
+    auto worker = [&](sim::Time d) -> sim::Task<> {
+        co_await sim::Delay(s, d);
+        wg.done();
+    };
+    auto waiter = [&]() -> sim::Task<> {
+        co_await wg.wait();
+        when = s.now();
+    };
+    wg.add(3);
+    sim::detach(s, worker(sim::ns(10)));
+    sim::detach(s, worker(sim::ns(70)));
+    sim::detach(s, worker(sim::ns(40)));
+    sim::detach(s, waiter());
+    s.run();
+    EXPECT_EQ(when, sim::ns(70));
+}
