@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_device_initiated.dir/abl_device_initiated.cpp.o"
+  "CMakeFiles/abl_device_initiated.dir/abl_device_initiated.cpp.o.d"
+  "abl_device_initiated"
+  "abl_device_initiated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_device_initiated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_device_initiated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_proxy_service.dir/abl_proxy_service.cpp.o"
+  "CMakeFiles/abl_proxy_service.dir/abl_proxy_service.cpp.o.d"
+  "abl_proxy_service"
+  "abl_proxy_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_proxy_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rotating_buffers.dir/abl_rotating_buffers.cpp.o"
+  "CMakeFiles/abl_rotating_buffers.dir/abl_rotating_buffers.cpp.o.d"
+  "abl_rotating_buffers"
+  "abl_rotating_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rotating_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

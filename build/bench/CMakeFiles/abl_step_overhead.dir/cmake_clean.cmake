@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_step_overhead.dir/abl_step_overhead.cpp.o"
+  "CMakeFiles/abl_step_overhead.dir/abl_step_overhead.cpp.o.d"
+  "abl_step_overhead"
+  "abl_step_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_step_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

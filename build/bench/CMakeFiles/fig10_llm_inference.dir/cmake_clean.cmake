@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_llm_inference.dir/fig10_llm_inference.cpp.o"
+  "CMakeFiles/fig10_llm_inference.dir/fig10_llm_inference.cpp.o.d"
+  "fig10_llm_inference"
+  "fig10_llm_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_llm_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

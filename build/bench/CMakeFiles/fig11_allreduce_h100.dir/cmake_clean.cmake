@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_allreduce_h100.dir/fig11_allreduce_h100.cpp.o"
+  "CMakeFiles/fig11_allreduce_h100.dir/fig11_allreduce_h100.cpp.o.d"
+  "fig11_allreduce_h100"
+  "fig11_allreduce_h100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_allreduce_h100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

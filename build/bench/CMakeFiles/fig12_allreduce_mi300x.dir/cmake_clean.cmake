@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_allreduce_mi300x.dir/fig12_allreduce_mi300x.cpp.o"
+  "CMakeFiles/fig12_allreduce_mi300x.dir/fig12_allreduce_mi300x.cpp.o.d"
+  "fig12_allreduce_mi300x"
+  "fig12_allreduce_mi300x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_allreduce_mi300x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

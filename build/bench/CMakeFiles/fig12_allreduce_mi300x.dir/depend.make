@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_allreduce_mi300x.
+# This may be replaced when dependencies are built.

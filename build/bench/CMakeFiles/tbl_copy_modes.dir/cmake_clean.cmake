@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_copy_modes.dir/tbl_copy_modes.cpp.o"
+  "CMakeFiles/tbl_copy_modes.dir/tbl_copy_modes.cpp.o.d"
+  "tbl_copy_modes"
+  "tbl_copy_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_copy_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_copy_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_dsl_vs_primitive.dir/tbl_dsl_vs_primitive.cpp.o"
+  "CMakeFiles/tbl_dsl_vs_primitive.dir/tbl_dsl_vs_primitive.cpp.o.d"
+  "tbl_dsl_vs_primitive"
+  "tbl_dsl_vs_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_dsl_vs_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

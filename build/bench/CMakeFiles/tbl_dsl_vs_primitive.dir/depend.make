@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_dsl_vs_primitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_environments.dir/tbl_environments.cpp.o"
+  "CMakeFiles/tbl_environments.dir/tbl_environments.cpp.o.d"
+  "tbl_environments"
+  "tbl_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

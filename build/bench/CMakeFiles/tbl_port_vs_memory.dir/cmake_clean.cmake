@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_port_vs_memory.dir/tbl_port_vs_memory.cpp.o"
+  "CMakeFiles/tbl_port_vs_memory.dir/tbl_port_vs_memory.cpp.o.d"
+  "tbl_port_vs_memory"
+  "tbl_port_vs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_port_vs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_stack_overhead.dir/tbl_stack_overhead.cpp.o"
+  "CMakeFiles/tbl_stack_overhead.dir/tbl_stack_overhead.cpp.o.d"
+  "tbl_stack_overhead"
+  "tbl_stack_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_stack_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

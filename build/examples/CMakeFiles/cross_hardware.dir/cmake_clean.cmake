@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_hardware.dir/cross_hardware.cpp.o"
+  "CMakeFiles/cross_hardware.dir/cross_hardware.cpp.o.d"
+  "cross_hardware"
+  "cross_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_dispatch.dir/moe_dispatch.cpp.o"
+  "CMakeFiles/moe_dispatch.dir/moe_dispatch.cpp.o.d"
+  "moe_dispatch"
+  "moe_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

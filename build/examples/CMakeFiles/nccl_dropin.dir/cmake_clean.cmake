@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nccl_dropin.dir/nccl_dropin.cpp.o"
+  "CMakeFiles/nccl_dropin.dir/nccl_dropin.cpp.o.d"
+  "nccl_dropin"
+  "nccl_dropin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nccl_dropin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("fabric")
+subdirs("gpu")
+subdirs("core")
+subdirs("channel")
+subdirs("dsl")
+subdirs("collective")
+subdirs("baseline")
+subdirs("inference")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/msccl.cpp" "src/baseline/CMakeFiles/mscclpp_baseline.dir/msccl.cpp.o" "gcc" "src/baseline/CMakeFiles/mscclpp_baseline.dir/msccl.cpp.o.d"
+  "/root/repo/src/baseline/nccl.cpp" "src/baseline/CMakeFiles/mscclpp_baseline.dir/nccl.cpp.o" "gcc" "src/baseline/CMakeFiles/mscclpp_baseline.dir/nccl.cpp.o.d"
+  "/root/repo/src/baseline/two_sided.cpp" "src/baseline/CMakeFiles/mscclpp_baseline.dir/two_sided.cpp.o" "gcc" "src/baseline/CMakeFiles/mscclpp_baseline.dir/two_sided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/mscclpp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mscclpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_baseline.dir/msccl.cpp.o"
+  "CMakeFiles/mscclpp_baseline.dir/msccl.cpp.o.d"
+  "CMakeFiles/mscclpp_baseline.dir/nccl.cpp.o"
+  "CMakeFiles/mscclpp_baseline.dir/nccl.cpp.o.d"
+  "CMakeFiles/mscclpp_baseline.dir/two_sided.cpp.o"
+  "CMakeFiles/mscclpp_baseline.dir/two_sided.cpp.o.d"
+  "libmscclpp_baseline.a"
+  "libmscclpp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/channel_mesh.cpp" "src/channel/CMakeFiles/mscclpp_channel.dir/channel_mesh.cpp.o" "gcc" "src/channel/CMakeFiles/mscclpp_channel.dir/channel_mesh.cpp.o.d"
+  "/root/repo/src/channel/device_syncer.cpp" "src/channel/CMakeFiles/mscclpp_channel.dir/device_syncer.cpp.o" "gcc" "src/channel/CMakeFiles/mscclpp_channel.dir/device_syncer.cpp.o.d"
+  "/root/repo/src/channel/memory_channel.cpp" "src/channel/CMakeFiles/mscclpp_channel.dir/memory_channel.cpp.o" "gcc" "src/channel/CMakeFiles/mscclpp_channel.dir/memory_channel.cpp.o.d"
+  "/root/repo/src/channel/port_channel.cpp" "src/channel/CMakeFiles/mscclpp_channel.dir/port_channel.cpp.o" "gcc" "src/channel/CMakeFiles/mscclpp_channel.dir/port_channel.cpp.o.d"
+  "/root/repo/src/channel/proxy_service.cpp" "src/channel/CMakeFiles/mscclpp_channel.dir/proxy_service.cpp.o" "gcc" "src/channel/CMakeFiles/mscclpp_channel.dir/proxy_service.cpp.o.d"
+  "/root/repo/src/channel/switch_channel.cpp" "src/channel/CMakeFiles/mscclpp_channel.dir/switch_channel.cpp.o" "gcc" "src/channel/CMakeFiles/mscclpp_channel.dir/switch_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mscclpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mscclpp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_channel.dir/channel_mesh.cpp.o"
+  "CMakeFiles/mscclpp_channel.dir/channel_mesh.cpp.o.d"
+  "CMakeFiles/mscclpp_channel.dir/device_syncer.cpp.o"
+  "CMakeFiles/mscclpp_channel.dir/device_syncer.cpp.o.d"
+  "CMakeFiles/mscclpp_channel.dir/memory_channel.cpp.o"
+  "CMakeFiles/mscclpp_channel.dir/memory_channel.cpp.o.d"
+  "CMakeFiles/mscclpp_channel.dir/port_channel.cpp.o"
+  "CMakeFiles/mscclpp_channel.dir/port_channel.cpp.o.d"
+  "CMakeFiles/mscclpp_channel.dir/proxy_service.cpp.o"
+  "CMakeFiles/mscclpp_channel.dir/proxy_service.cpp.o.d"
+  "CMakeFiles/mscclpp_channel.dir/switch_channel.cpp.o"
+  "CMakeFiles/mscclpp_channel.dir/switch_channel.cpp.o.d"
+  "libmscclpp_channel.a"
+  "libmscclpp_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

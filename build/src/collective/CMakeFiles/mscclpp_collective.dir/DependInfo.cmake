@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/allreduce.cpp" "src/collective/CMakeFiles/mscclpp_collective.dir/allreduce.cpp.o" "gcc" "src/collective/CMakeFiles/mscclpp_collective.dir/allreduce.cpp.o.d"
+  "/root/repo/src/collective/api.cpp" "src/collective/CMakeFiles/mscclpp_collective.dir/api.cpp.o" "gcc" "src/collective/CMakeFiles/mscclpp_collective.dir/api.cpp.o.d"
+  "/root/repo/src/collective/nccl_compat.cpp" "src/collective/CMakeFiles/mscclpp_collective.dir/nccl_compat.cpp.o" "gcc" "src/collective/CMakeFiles/mscclpp_collective.dir/nccl_compat.cpp.o.d"
+  "/root/repo/src/collective/others.cpp" "src/collective/CMakeFiles/mscclpp_collective.dir/others.cpp.o" "gcc" "src/collective/CMakeFiles/mscclpp_collective.dir/others.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/mscclpp_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mscclpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mscclpp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

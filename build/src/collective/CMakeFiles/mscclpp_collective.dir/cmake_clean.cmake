@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_collective.dir/allreduce.cpp.o"
+  "CMakeFiles/mscclpp_collective.dir/allreduce.cpp.o.d"
+  "CMakeFiles/mscclpp_collective.dir/api.cpp.o"
+  "CMakeFiles/mscclpp_collective.dir/api.cpp.o.d"
+  "CMakeFiles/mscclpp_collective.dir/nccl_compat.cpp.o"
+  "CMakeFiles/mscclpp_collective.dir/nccl_compat.cpp.o.d"
+  "CMakeFiles/mscclpp_collective.dir/others.cpp.o"
+  "CMakeFiles/mscclpp_collective.dir/others.cpp.o.d"
+  "libmscclpp_collective.a"
+  "libmscclpp_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/mscclpp_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/mscclpp_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/communicator.cpp" "src/core/CMakeFiles/mscclpp_core.dir/communicator.cpp.o" "gcc" "src/core/CMakeFiles/mscclpp_core.dir/communicator.cpp.o.d"
+  "/root/repo/src/core/connection.cpp" "src/core/CMakeFiles/mscclpp_core.dir/connection.cpp.o" "gcc" "src/core/CMakeFiles/mscclpp_core.dir/connection.cpp.o.d"
+  "/root/repo/src/core/logging.cpp" "src/core/CMakeFiles/mscclpp_core.dir/logging.cpp.o" "gcc" "src/core/CMakeFiles/mscclpp_core.dir/logging.cpp.o.d"
+  "/root/repo/src/core/registered_memory.cpp" "src/core/CMakeFiles/mscclpp_core.dir/registered_memory.cpp.o" "gcc" "src/core/CMakeFiles/mscclpp_core.dir/registered_memory.cpp.o.d"
+  "/root/repo/src/core/semaphore.cpp" "src/core/CMakeFiles/mscclpp_core.dir/semaphore.cpp.o" "gcc" "src/core/CMakeFiles/mscclpp_core.dir/semaphore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/mscclpp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/mscclpp_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/mscclpp_core.dir/communicator.cpp.o"
+  "CMakeFiles/mscclpp_core.dir/communicator.cpp.o.d"
+  "CMakeFiles/mscclpp_core.dir/connection.cpp.o"
+  "CMakeFiles/mscclpp_core.dir/connection.cpp.o.d"
+  "CMakeFiles/mscclpp_core.dir/logging.cpp.o"
+  "CMakeFiles/mscclpp_core.dir/logging.cpp.o.d"
+  "CMakeFiles/mscclpp_core.dir/registered_memory.cpp.o"
+  "CMakeFiles/mscclpp_core.dir/registered_memory.cpp.o.d"
+  "CMakeFiles/mscclpp_core.dir/semaphore.cpp.o"
+  "CMakeFiles/mscclpp_core.dir/semaphore.cpp.o.d"
+  "libmscclpp_core.a"
+  "libmscclpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

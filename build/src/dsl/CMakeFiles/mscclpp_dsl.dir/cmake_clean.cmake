@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_dsl.dir/algorithms.cpp.o"
+  "CMakeFiles/mscclpp_dsl.dir/algorithms.cpp.o.d"
+  "CMakeFiles/mscclpp_dsl.dir/executor.cpp.o"
+  "CMakeFiles/mscclpp_dsl.dir/executor.cpp.o.d"
+  "CMakeFiles/mscclpp_dsl.dir/program.cpp.o"
+  "CMakeFiles/mscclpp_dsl.dir/program.cpp.o.d"
+  "CMakeFiles/mscclpp_dsl.dir/program_checks.cpp.o"
+  "CMakeFiles/mscclpp_dsl.dir/program_checks.cpp.o.d"
+  "libmscclpp_dsl.a"
+  "libmscclpp_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

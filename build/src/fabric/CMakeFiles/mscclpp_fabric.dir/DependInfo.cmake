@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/env.cpp" "src/fabric/CMakeFiles/mscclpp_fabric.dir/env.cpp.o" "gcc" "src/fabric/CMakeFiles/mscclpp_fabric.dir/env.cpp.o.d"
+  "/root/repo/src/fabric/env_overrides.cpp" "src/fabric/CMakeFiles/mscclpp_fabric.dir/env_overrides.cpp.o" "gcc" "src/fabric/CMakeFiles/mscclpp_fabric.dir/env_overrides.cpp.o.d"
+  "/root/repo/src/fabric/link.cpp" "src/fabric/CMakeFiles/mscclpp_fabric.dir/link.cpp.o" "gcc" "src/fabric/CMakeFiles/mscclpp_fabric.dir/link.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/fabric/CMakeFiles/mscclpp_fabric.dir/topology.cpp.o" "gcc" "src/fabric/CMakeFiles/mscclpp_fabric.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_fabric.dir/env.cpp.o"
+  "CMakeFiles/mscclpp_fabric.dir/env.cpp.o.d"
+  "CMakeFiles/mscclpp_fabric.dir/env_overrides.cpp.o"
+  "CMakeFiles/mscclpp_fabric.dir/env_overrides.cpp.o.d"
+  "CMakeFiles/mscclpp_fabric.dir/link.cpp.o"
+  "CMakeFiles/mscclpp_fabric.dir/link.cpp.o.d"
+  "CMakeFiles/mscclpp_fabric.dir/topology.cpp.o"
+  "CMakeFiles/mscclpp_fabric.dir/topology.cpp.o.d"
+  "libmscclpp_fabric.a"
+  "libmscclpp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

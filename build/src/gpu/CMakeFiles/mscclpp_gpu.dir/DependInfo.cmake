@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/compute.cpp" "src/gpu/CMakeFiles/mscclpp_gpu.dir/compute.cpp.o" "gcc" "src/gpu/CMakeFiles/mscclpp_gpu.dir/compute.cpp.o.d"
+  "/root/repo/src/gpu/kernel.cpp" "src/gpu/CMakeFiles/mscclpp_gpu.dir/kernel.cpp.o" "gcc" "src/gpu/CMakeFiles/mscclpp_gpu.dir/kernel.cpp.o.d"
+  "/root/repo/src/gpu/machine.cpp" "src/gpu/CMakeFiles/mscclpp_gpu.dir/machine.cpp.o" "gcc" "src/gpu/CMakeFiles/mscclpp_gpu.dir/machine.cpp.o.d"
+  "/root/repo/src/gpu/types.cpp" "src/gpu/CMakeFiles/mscclpp_gpu.dir/types.cpp.o" "gcc" "src/gpu/CMakeFiles/mscclpp_gpu.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_gpu.dir/compute.cpp.o"
+  "CMakeFiles/mscclpp_gpu.dir/compute.cpp.o.d"
+  "CMakeFiles/mscclpp_gpu.dir/kernel.cpp.o"
+  "CMakeFiles/mscclpp_gpu.dir/kernel.cpp.o.d"
+  "CMakeFiles/mscclpp_gpu.dir/machine.cpp.o"
+  "CMakeFiles/mscclpp_gpu.dir/machine.cpp.o.d"
+  "CMakeFiles/mscclpp_gpu.dir/types.cpp.o"
+  "CMakeFiles/mscclpp_gpu.dir/types.cpp.o.d"
+  "libmscclpp_gpu.a"
+  "libmscclpp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

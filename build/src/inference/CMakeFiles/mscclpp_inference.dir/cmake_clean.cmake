@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_inference.dir/llm.cpp.o"
+  "CMakeFiles/mscclpp_inference.dir/llm.cpp.o.d"
+  "libmscclpp_inference.a"
+  "libmscclpp_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mscclpp_sim.dir/scheduler.cpp.o.d"
+  "libmscclpp_sim.a"
+  "libmscclpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
