@@ -2,6 +2,7 @@
 #define MSCCLPP_BENCH_BENCH_UTIL_HPP
 
 #include "fabric/env.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 #include <cstdio>
@@ -9,6 +10,54 @@
 #include <vector>
 
 namespace mscclpp::bench {
+
+/**
+ * Process-wide metrics registry. Benchmarks create a fresh Machine
+ * per fixture; each fixture folds its machine's registry in here on
+ * teardown so `--metrics out.json` captures the whole run.
+ */
+inline obs::MetricsRegistry&
+processMetrics()
+{
+    static obs::MetricsRegistry registry;
+    return registry;
+}
+
+/**
+ * Strip `--metrics <path>` / `--metrics=<path>` from argv and return
+ * the path ("" if absent). Call before benchmark::Initialize so the
+ * library does not reject the flag as unrecognized.
+ */
+inline std::string
+extractMetricsFlag(int* argc, char** argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--metrics" && i + 1 < *argc) {
+            path = argv[++i];
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            path = arg.substr(10);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+    return path;
+}
+
+/** Write the process registry to @p path; no-op when path is empty. */
+inline void
+writeProcessMetrics(const std::string& path)
+{
+    if (path.empty()) {
+        return;
+    }
+    processMetrics().writeJson(path);
+    std::printf("metrics written to %s\n", path.c_str());
+}
 
 /** "1K", "4M", "1G" style size label. */
 inline std::string

@@ -4,6 +4,7 @@
  * *simulated* cost as the `sim_us` counter — wall-clock time here
  * measures only the simulator itself.
  */
+#include "bench_util.hpp"
 #include "channel/channel_mesh.hpp"
 #include "channel/device_syncer.hpp"
 #include "core/bootstrap.hpp"
@@ -13,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 using namespace mscclpp;
 namespace fab = mscclpp::fabric;
@@ -42,6 +44,13 @@ struct Fixture
         opt.protocol = proto;
         opt.transport = transport;
         mesh.emplace(ChannelMesh::build(cp, bufs, bufs, opt));
+    }
+
+    ~Fixture()
+    {
+        // Fold this machine's metrics into the process-wide registry
+        // so `--metrics out.json` aggregates across fixtures.
+        bench::processMetrics().mergeFrom(machine.obs().metrics());
     }
 
     sim::Time run(const std::function<sim::Task<>(gpu::BlockCtx&)>& fn)
@@ -172,4 +181,18 @@ BENCHMARK(BM_LlPutPackets)->Arg(1 << 10)->Arg(64 << 10);
 BENCHMARK(BM_PortChannelPutFlush)->Arg(1 << 10)->Arg(1 << 20);
 BENCHMARK(BM_DeviceBarrier);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a `--metrics out.json` flag, stripped from
+// argv before google-benchmark sees (and rejects) it.
+int
+main(int argc, char** argv)
+{
+    std::string metricsPath = bench::extractMetricsFlag(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::writeProcessMetrics(metricsPath);
+    return 0;
+}

@@ -14,8 +14,9 @@ namespace gpu = mscclpp::gpu;
 namespace bench = mscclpp::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string metricsPath = bench::extractMetricsFlag(&argc, argv);
     std::printf("PortChannel vs MemoryChannel (Section 5.1): AllReduce, "
                 "A100-40G, 1n8g\n\n");
     fab::EnvConfig env = fab::makeA100_40G();
@@ -48,5 +49,7 @@ main()
     std::printf("Paper anchor: PortChannel +6.2%% bandwidth at 1 GiB "
                 "(our copy-engine model yields a larger gap because the "
                 "reduce no longer dilutes it; see EXPERIMENTS.md).\n");
+    bench::processMetrics().mergeFrom(machine.obs().metrics());
+    bench::writeProcessMetrics(metricsPath);
     return 0;
 }

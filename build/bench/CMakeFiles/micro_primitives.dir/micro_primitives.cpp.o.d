@@ -1,10 +1,7 @@
 bench/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o: \
  /root/repo/bench/micro_primitives.cpp /usr/include/stdc-predef.h \
- /root/repo/src/channel/channel_mesh.hpp \
- /root/repo/src/channel/memory_channel.hpp \
- /root/repo/src/core/connection.hpp /root/repo/src/fabric/link.hpp \
- /root/repo/src/sim/scheduler.hpp /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/cstdint \
+ /root/repo/bench/bench_util.hpp /root/repo/src/fabric/env.hpp \
+ /root/repo/src/sim/time.hpp /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -121,25 +118,30 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/coroutine \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/channel/channel_mesh.hpp \
+ /root/repo/src/channel/memory_channel.hpp \
+ /root/repo/src/core/connection.hpp /root/repo/src/fabric/link.hpp \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -154,8 +156,7 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/gpu/machine.hpp \
- /root/repo/src/fabric/env.hpp /root/repo/src/fabric/topology.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/fabric/topology.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -224,6 +225,7 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/gpu/memory.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/obs/obs.hpp /root/repo/src/obs/trace.hpp \
  /root/repo/src/core/registered_memory.hpp \
  /root/repo/src/core/semaphore.hpp /root/repo/src/sim/sync.hpp \
  /root/repo/src/gpu/compute.hpp /root/repo/src/gpu/types.hpp \
@@ -232,9 +234,7 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o: \
  /root/repo/src/core/communicator.hpp /root/repo/src/core/bootstrap.hpp \
  /root/repo/src/channel/device_syncer.hpp \
  /usr/include/benchmark/benchmark.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/limits /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/assert.h /usr/include/c++/12/limits /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/benchmark/export.h \
  /usr/include/c++/12/atomic

@@ -225,6 +225,10 @@ examples/CMakeFiles/cross_hardware.dir/cross_hardware.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/gpu/memory.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/obs/obs.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.hpp \
  /root/repo/src/core/registered_memory.hpp \
  /root/repo/src/core/semaphore.hpp /root/repo/src/sim/sync.hpp \
  /root/repo/src/gpu/compute.hpp /root/repo/src/gpu/types.hpp \

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/mscclpp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/gpu/CMakeFiles/mscclpp_gpu.dir/DependInfo.cmake"
   "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mscclpp_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
   )
 

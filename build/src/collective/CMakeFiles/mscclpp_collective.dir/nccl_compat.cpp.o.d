@@ -222,6 +222,10 @@ src/collective/CMakeFiles/mscclpp_collective.dir/nccl_compat.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/gpu/memory.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/obs/obs.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.hpp \
  /root/repo/src/channel/channel_mesh.hpp \
  /root/repo/src/channel/memory_channel.hpp \
  /root/repo/src/core/connection.hpp \
@@ -234,6 +238,4 @@ src/collective/CMakeFiles/mscclpp_collective.dir/nccl_compat.cpp.o: \
  /root/repo/src/collective/api.hpp \
  /root/repo/src/channel/device_syncer.hpp \
  /root/repo/src/channel/switch_channel.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/string.h /usr/include/strings.h

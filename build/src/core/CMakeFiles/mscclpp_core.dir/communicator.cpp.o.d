@@ -222,6 +222,10 @@ src/core/CMakeFiles/mscclpp_core.dir/communicator.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/gpu/machine.hpp /root/repo/src/fabric/env.hpp \
  /root/repo/src/fabric/topology.hpp /root/repo/src/gpu/memory.hpp \
+ /root/repo/src/obs/obs.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.hpp \
  /root/repo/src/core/registered_memory.hpp \
  /root/repo/src/core/semaphore.hpp /root/repo/src/sim/sync.hpp \
  /root/repo/src/core/errors.hpp /root/repo/src/core/logging.hpp

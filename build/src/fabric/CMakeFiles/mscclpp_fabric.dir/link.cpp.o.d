@@ -150,5 +150,8 @@ src/fabric/CMakeFiles/mscclpp_fabric.dir/link.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/obs/obs.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclpp_obs.dir/metrics.cpp.o"
+  "CMakeFiles/mscclpp_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/mscclpp_obs.dir/obs.cpp.o"
+  "CMakeFiles/mscclpp_obs.dir/obs.cpp.o.d"
+  "CMakeFiles/mscclpp_obs.dir/trace.cpp.o"
+  "CMakeFiles/mscclpp_obs.dir/trace.cpp.o.d"
+  "libmscclpp_obs.a"
+  "libmscclpp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclpp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

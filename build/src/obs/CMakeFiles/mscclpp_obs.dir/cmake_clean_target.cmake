@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmscclpp_obs.a"
+)

@@ -222,10 +222,11 @@ tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/sim/sync.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/baseline/nccl.hpp \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/obs/obs.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/baseline/nccl.hpp \
  /root/repo/src/collective/api.hpp \
  /root/repo/src/channel/channel_mesh.hpp \
  /root/repo/src/channel/memory_channel.hpp \

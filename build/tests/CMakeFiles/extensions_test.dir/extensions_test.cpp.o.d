@@ -224,6 +224,10 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/gpu/memory.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/obs/obs.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace.hpp \
  /root/repo/src/core/registered_memory.hpp \
  /root/repo/src/core/semaphore.hpp /root/repo/src/sim/sync.hpp \
  /root/repo/src/gpu/compute.hpp /root/repo/src/gpu/types.hpp \
@@ -292,10 +296,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_json_check.dir/obs_json_check.cpp.o"
+  "CMakeFiles/obs_json_check.dir/obs_json_check.cpp.o.d"
+  "obs_json_check"
+  "obs_json_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_json_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mscclpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mscclpp_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/mscclpp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mscclpp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mscclpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mscclpp_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/mscclpp_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mscclpp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mscclpp_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/mscclpp_inference.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -17,3 +17,8 @@ include("/root/repo/build/tests/compat_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
+add_test(obs_bench_trace_smoke "/root/repo/build/bench/micro_primitives" "--benchmark_filter=BM_MemoryChannelPut/1024\$" "--benchmark_min_time=0.01" "--metrics" "/root/repo/build/tests/bench_metrics.json")
+set_tests_properties(obs_bench_trace_smoke PROPERTIES  ENVIRONMENT "MSCCLPP_TRACE=1;MSCCLPP_TRACE_FILE=/root/repo/build/tests/bench_trace.json;MSCCLPP_METRICS_FILE=/root/repo/build/tests/bench_machine_metrics.json" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(obs_bench_json_parses "/root/repo/build/tests/obs_json_check" "/root/repo/build/tests/bench_trace.json" "/root/repo/build/tests/bench_metrics.json" "/root/repo/build/tests/bench_machine_metrics.json")
+set_tests_properties(obs_bench_json_parses PROPERTIES  DEPENDS "obs_bench_trace_smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")

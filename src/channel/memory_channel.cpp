@@ -32,6 +32,9 @@ MemoryChannel::MemoryChannel(std::shared_ptr<Connection> conn,
         throw Error(ErrorCode::InvalidUsage,
                     "MemoryChannel requires a Memory-transport connection");
     }
+    obs_ = &conn_->machine().obs();
+    putBytes_ = &obs_->metrics().counter("channel.put_bytes");
+    signalCount_ = &obs_->metrics().counter("channel.signal_count");
 }
 
 double
@@ -40,10 +43,23 @@ MemoryChannel::copyCap(const gpu::BlockCtx& ctx) const
     return ctx.threadCopyGBps();
 }
 
+void
+MemoryChannel::traceDeviceOp(gpu::BlockCtx& ctx, const char* name,
+                             sim::Time t0, std::uint64_t bytes)
+{
+    if (!obs_->tracer().enabled()) {
+        return;
+    }
+    obs_->tracer().span(obs::Category::Channel, name, conn_->localRank(),
+                        "tb" + std::to_string(ctx.blockIdx()), t0,
+                        ctx.scheduler().now(), bytes);
+}
+
 sim::Task<>
 MemoryChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
                    std::uint64_t srcOff, std::uint64_t bytes)
 {
+    sim::Time t0 = ctx.scheduler().now();
     // Data becomes visible remotely as chunks arrive; the simulator
     // moves the bytes eagerly (correct algorithms never read before
     // wait).
@@ -68,14 +84,23 @@ MemoryChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
         (void)start;
         off += len;
     } while (off < bytes);
+    if (obs_->metrics().enabled()) {
+        putBytes_->add(bytes);
+    }
+    traceDeviceOp(ctx, "mem.put", t0, bytes);
 }
 
 sim::Task<>
 MemoryChannel::signal(gpu::BlockCtx& ctx)
 {
+    sim::Time t0 = ctx.scheduler().now();
     co_await sim::Delay(ctx.scheduler(), conn_->config().threadFence);
     sim::Time arrival = conn_->reserveAtomic();
     outbound_->arriveAt(arrival);
+    if (obs_->metrics().enabled()) {
+        signalCount_->add(1);
+    }
+    traceDeviceOp(ctx, "mem.signal", t0);
 }
 
 sim::Task<>
@@ -89,8 +114,9 @@ MemoryChannel::putWithSignal(gpu::BlockCtx& ctx, std::uint64_t dstOff,
 sim::Task<>
 MemoryChannel::wait(gpu::BlockCtx& ctx)
 {
-    (void)ctx;
+    sim::Time t0 = ctx.scheduler().now();
     co_await inbound_->wait();
+    traceDeviceOp(ctx, "mem.wait", t0);
 }
 
 sim::Task<>
@@ -110,6 +136,7 @@ MemoryChannel::putPackets(gpu::BlockCtx& ctx, std::uint64_t dstOff,
         throw Error(ErrorCode::InvalidUsage,
                     "putPackets requires the LL protocol");
     }
+    sim::Time t0 = ctx.scheduler().now();
     // Flags interleave with data: 2x wire traffic, but the write is
     // self-synchronising (no separate fence + atomic round).
     gpu::copyBytes(remoteMem_.buffer().view(dstOff, bytes),
@@ -130,6 +157,10 @@ MemoryChannel::putPackets(gpu::BlockCtx& ctx, std::uint64_t dstOff,
         off += len;
     } while (off < bytes);
     outbound_->arriveAt(lastArrival);
+    if (obs_->metrics().enabled()) {
+        putBytes_->add(bytes);
+    }
+    traceDeviceOp(ctx, "mem.putPackets", t0, bytes);
 }
 
 sim::Task<>
@@ -139,8 +170,9 @@ MemoryChannel::readPackets(gpu::BlockCtx& ctx)
         throw Error(ErrorCode::InvalidUsage,
                     "readPackets requires the LL protocol");
     }
-    (void)ctx;
+    sim::Time t0 = ctx.scheduler().now();
     co_await inbound_->wait();
+    traceDeviceOp(ctx, "mem.readPackets", t0);
 }
 
 sim::Task<>

@@ -6,6 +6,7 @@
 #include "core/semaphore.hpp"
 #include "gpu/compute.hpp"
 #include "gpu/kernel.hpp"
+#include "obs/obs.hpp"
 
 #include <memory>
 
@@ -122,6 +123,10 @@ class MemoryChannel
     sim::Task<> readElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
                                  void* bytes, std::size_t size);
 
+    /** Channel span on the calling block's track. */
+    void traceDeviceOp(gpu::BlockCtx& ctx, const char* name, sim::Time t0,
+                       std::uint64_t bytes = 0);
+
     std::shared_ptr<Connection> conn_;
     RegisteredMemory localMem_;
     RegisteredMemory remoteMem_;
@@ -129,6 +134,9 @@ class MemoryChannel
     DeviceSemaphore* inbound_;
     Protocol protocol_;
     RegisteredMemory localRecvMem_; ///< where inbound packets land
+    obs::ObsContext* obs_ = nullptr;
+    obs::Counter* putBytes_ = nullptr;
+    obs::Counter* signalCount_ = nullptr;
 };
 
 template <typename T>

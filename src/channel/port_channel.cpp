@@ -19,8 +19,10 @@ PortChannel::PortChannel(std::shared_ptr<Connection> conn,
       remoteMem_(remoteMem),
       outbound_(outbound),
       inbound_(inbound),
+      obs_(&conn_->machine().obs()),
       fifo_(conn_->machine().scheduler(), conn_->config(),
-            deviceInitiated),
+            deviceInitiated, obs_, conn_->localRank(),
+            "fifo->r" + std::to_string(conn_->remoteRank())),
       flushDone_(conn_->machine().scheduler()),
       deviceInitiated_(deviceInitiated),
       service_(service)
@@ -29,6 +31,10 @@ PortChannel::PortChannel(std::shared_ptr<Connection> conn,
         throw Error(ErrorCode::InvalidUsage,
                     "PortChannel requires a Port-transport connection");
     }
+    putBytes_ = &obs_->metrics().counter("channel.put_bytes");
+    signalCount_ = &obs_->metrics().counter("channel.signal_count");
+    proxyRequests_ = &obs_->metrics().counter("proxy.requests");
+    pollToPostNs_ = &obs_->metrics().summary("proxy.poll_to_post_ns");
     if (service_ != nullptr) {
         serviceChannelId_ = service_->registerChannel(this);
         service_->start();
@@ -36,6 +42,19 @@ PortChannel::PortChannel(std::shared_ptr<Connection> conn,
 }
 
 PortChannel::~PortChannel() = default;
+
+void
+PortChannel::traceDeviceOp(gpu::BlockCtx& ctx, const char* name,
+                           sim::Time t0, std::uint64_t bytes)
+{
+    if (!obs_->tracer().enabled()) {
+        return;
+    }
+    obs_->tracer().span(obs::Category::Channel, name, conn_->localRank(),
+                        "tb" + std::to_string(ctx.blockIdx()), t0,
+                        conn_->machine().scheduler().now(), bytes,
+                        serviceChannelId_);
+}
 
 void
 PortChannel::startProxy()
@@ -78,13 +97,17 @@ sim::Task<>
 PortChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
                  std::uint64_t srcOff, std::uint64_t bytes)
 {
-    (void)ctx;
+    sim::Time t0 = conn_->machine().scheduler().now();
     ProxyRequest req;
     req.kind = ProxyRequest::Kind::Put;
     req.dstOff = dstOff;
     req.srcOff = srcOff;
     req.bytes = bytes;
     co_await submit(req);
+    if (obs_->metrics().enabled()) {
+        putBytes_->add(bytes);
+    }
+    traceDeviceOp(ctx, "port.put", t0, bytes);
 }
 
 sim::Task<>
@@ -110,29 +133,35 @@ PortChannel::putWithSignalAndFlush(gpu::BlockCtx& ctx,
 sim::Task<>
 PortChannel::signal(gpu::BlockCtx& ctx)
 {
-    (void)ctx;
+    sim::Time t0 = conn_->machine().scheduler().now();
     ProxyRequest req;
     req.kind = ProxyRequest::Kind::Signal;
     co_await submit(req);
+    if (obs_->metrics().enabled()) {
+        signalCount_->add(1);
+    }
+    traceDeviceOp(ctx, "port.signal", t0);
 }
 
 sim::Task<>
 PortChannel::wait(gpu::BlockCtx& ctx)
 {
-    (void)ctx;
+    sim::Time t0 = conn_->machine().scheduler().now();
     co_await inbound_->wait();
+    traceDeviceOp(ctx, "port.wait", t0);
 }
 
 sim::Task<>
 PortChannel::flush(gpu::BlockCtx& ctx)
 {
-    (void)ctx;
+    sim::Time t0 = conn_->machine().scheduler().now();
     ProxyRequest req;
     req.kind = ProxyRequest::Kind::Flush;
     req.flushSeq = ++flushTickets_;
     std::uint64_t ticket = req.flushSeq;
     co_await submit(req);
     co_await flushDone_.waitUntil(ticket, conn_->config().semaphorePoll);
+    traceDeviceOp(ctx, "port.flush", t0);
 }
 
 sim::Task<>
@@ -186,14 +215,23 @@ PortChannel::processRequest(const ProxyRequest& req)
                                               : cfg.ibPostOverhead);
     const sim::Time signalStart =
         deviceInitiated_ ? sim::ns(100) : cfg.ibPostOverhead;
+    sim::Time t0 = sched.now();
+    if (req.kind != ProxyRequest::Kind::Stop &&
+        obs_->metrics().enabled()) {
+        proxyRequests_->add(1);
+        pollToPostNs_->add(sim::toNs(t0 - req.pushedAt));
+    }
+    const char* opName = nullptr;
     switch (req.kind) {
       case ProxyRequest::Kind::Put:
         co_await sim::Delay(sched, putStart);
         co_await handlePut(req);
+        opName = "proxy.put";
         break;
       case ProxyRequest::Kind::Signal:
         co_await sim::Delay(sched, signalStart);
         handleSignal();
+        opName = "proxy.signal";
         break;
       case ProxyRequest::Kind::Flush: {
         // Poll the completion queue until all prior transfers are
@@ -203,10 +241,16 @@ PortChannel::processRequest(const ProxyRequest& req)
             co_await sim::Delay(sched, done - sched.now());
         }
         flushDone_.add(1);
+        opName = "proxy.flush";
         break;
       }
       case ProxyRequest::Kind::Stop:
         break;
+    }
+    if (opName != nullptr && obs_->tracer().enabled()) {
+        obs_->tracer().span(obs::Category::Proxy, opName,
+                            conn_->localRank(), "proxy", t0, sched.now(),
+                            req.bytes, serviceChannelId_);
     }
 }
 

@@ -109,11 +109,20 @@ class PortChannel
     void handleSignal();
     sim::Task<> submit(ProxyRequest req);
 
+    /** Device-side Channel span on the calling block's track. */
+    void traceDeviceOp(gpu::BlockCtx& ctx, const char* name, sim::Time t0,
+                       std::uint64_t bytes = 0);
+
     std::shared_ptr<Connection> conn_;
     RegisteredMemory localMem_;
     RegisteredMemory remoteMem_;
     DeviceSemaphore* outbound_;
     DeviceSemaphore* inbound_;
+    obs::ObsContext* obs_ = nullptr;
+    obs::Counter* putBytes_ = nullptr;
+    obs::Counter* signalCount_ = nullptr;
+    obs::Counter* proxyRequests_ = nullptr;
+    obs::Summary* pollToPostNs_ = nullptr;
     Fifo fifo_;
     sim::SimSemaphore flushDone_;
     std::uint64_t flushTickets_ = 0;

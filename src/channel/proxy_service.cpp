@@ -6,7 +6,9 @@
 namespace mscclpp {
 
 ProxyService::ProxyService(gpu::Machine& machine)
-    : machine_(&machine), fifo_(machine.scheduler(), machine.config())
+    : machine_(&machine),
+      fifo_(machine.scheduler(), machine.config(), false, &machine.obs(),
+            obs::kHostPid, "proxy.fifo")
 {
 }
 

@@ -58,10 +58,17 @@ SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
         gpu::copyBytes(dst, tmp, bytes);
     }
     sim::Scheduler& sched = ctx.scheduler();
+    sim::Time t0 = sched.now();
     if (arrival > sched.now()) {
         co_await sim::Delay(sched, arrival - sched.now());
     }
     (void)start;
+    obs::ObsContext& obs = machine_->obs();
+    if (obs.tracer().enabled()) {
+        obs.tracer().span(obs::Category::Channel, "switch.reduce", myRank_,
+                          "tb" + std::to_string(ctx.blockIdx()), t0,
+                          sched.now(), bytes);
+    }
 }
 
 sim::Task<>
@@ -74,10 +81,20 @@ SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
         gpu::copyBytes(mem.buffer().view(dstOff, bytes), src, bytes);
     }
     sim::Scheduler& sched = ctx.scheduler();
+    sim::Time t0 = sched.now();
     if (arrival > sched.now()) {
         co_await sim::Delay(sched, arrival - sched.now());
     }
     (void)start;
+    obs::ObsContext& obs = machine_->obs();
+    if (obs.tracer().enabled()) {
+        obs.tracer().span(obs::Category::Channel, "switch.broadcast",
+                          myRank_, "tb" + std::to_string(ctx.blockIdx()),
+                          t0, sched.now(), bytes);
+    }
+    if (obs.metrics().enabled()) {
+        obs.metrics().counter("channel.put_bytes").add(bytes);
+    }
 }
 
 } // namespace mscclpp

@@ -8,6 +8,38 @@
 
 namespace mscclpp {
 
+namespace {
+
+/**
+ * Run one collective and record it: a host-side Collective span plus
+ * the collective.count/bytes counters and a latency summary. The span
+ * covers the virtual time the scheduler actually advanced.
+ */
+template <typename Fn>
+sim::Time
+recordCollective(gpu::Machine& machine, const std::string& name,
+                 std::size_t bytes, Fn&& body)
+{
+    obs::ObsContext& obs = machine.obs();
+    sim::Time t0 = machine.scheduler().now();
+    sim::Time elapsed = body();
+    if (obs.metrics().enabled()) {
+        obs.metrics().counter("collective.count").add(1);
+        obs.metrics().counter("collective.bytes").add(bytes);
+        obs.metrics()
+            .summary("collective.latency_ns")
+            .add(sim::toNs(elapsed));
+    }
+    if (obs.tracer().enabled()) {
+        obs.tracer().span(obs::Category::Collective, name, obs::kHostPid,
+                          "collectives", t0, machine.scheduler().now(),
+                          bytes);
+    }
+    return elapsed;
+}
+
+} // namespace
+
 const char*
 toString(AllReduceAlgo a)
 {
@@ -223,7 +255,9 @@ CollectiveComm::allReduce(std::size_t bytes, gpu::DataType type,
     if (algo == AllReduceAlgo::Auto) {
         algo = chooseAllReduce(bytes);
     }
-    return CollKernels::allReduce(*this, bytes, type, op, algo);
+    return recordCollective(
+        *machine_, std::string("allreduce ") + toString(algo), bytes,
+        [&] { return CollKernels::allReduce(*this, bytes, type, op, algo); });
 }
 
 sim::Time
@@ -236,7 +270,10 @@ CollectiveComm::allGather(std::size_t bytesPerRank, AllGatherAlgo algo)
     if (algo == AllGatherAlgo::Auto) {
         algo = chooseAllGather(bytesPerRank);
     }
-    return CollKernels::allGather(*this, bytesPerRank, algo);
+    return recordCollective(
+        *machine_, std::string("allgather ") + toString(algo),
+        bytesPerRank * static_cast<std::size_t>(n_),
+        [&] { return CollKernels::allGather(*this, bytesPerRank, algo); });
 }
 
 sim::Time
@@ -249,7 +286,9 @@ CollectiveComm::reduceScatter(std::size_t bytes, gpu::DataType type,
                     "reduceScatter size must be a non-zero multiple of the "
                     "rank count within maxBytes");
     }
-    return CollKernels::reduceScatter(*this, bytes, type, op);
+    return recordCollective(*machine_, "reducescatter", bytes, [&] {
+        return CollKernels::reduceScatter(*this, bytes, type, op);
+    });
 }
 
 sim::Time
@@ -258,7 +297,9 @@ CollectiveComm::broadcast(std::size_t bytes, int root)
     if (bytes == 0 || bytes > options_.maxBytes || root < 0 || root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "broadcast arguments invalid");
     }
-    return CollKernels::broadcast(*this, bytes, root);
+    return recordCollective(*machine_, "broadcast", bytes, [&] {
+        return CollKernels::broadcast(*this, bytes, root);
+    });
 }
 
 sim::Time
@@ -299,7 +340,15 @@ CollectiveComm::allToAllV(
                         "allToAllV receive total exceeds capacity");
         }
     }
-    return CollKernels::allToAllV(*this, sendBytes);
+    std::size_t total = 0;
+    for (const auto& row : sendBytes) {
+        for (std::size_t b : row) {
+            total += b;
+        }
+    }
+    return recordCollective(*machine_, "alltoallv", total, [&] {
+        return CollKernels::allToAllV(*this, sendBytes);
+    });
 }
 
 sim::Time
@@ -310,7 +359,9 @@ CollectiveComm::reduce(std::size_t bytes, gpu::DataType type,
         root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "reduce arguments invalid");
     }
-    return CollKernels::reduce(*this, bytes, type, op, root);
+    return recordCollective(*machine_, "reduce", bytes, [&] {
+        return CollKernels::reduce(*this, bytes, type, op, root);
+    });
 }
 
 sim::Time
@@ -321,7 +372,9 @@ CollectiveComm::gather(std::size_t bytesPerRank, int root)
         root < 0 || root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "gather arguments invalid");
     }
-    return CollKernels::gather(*this, bytesPerRank, root);
+    return recordCollective(
+        *machine_, "gather", bytesPerRank * static_cast<std::size_t>(n_),
+        [&] { return CollKernels::gather(*this, bytesPerRank, root); });
 }
 
 sim::Time
@@ -332,7 +385,9 @@ CollectiveComm::scatter(std::size_t bytesPerRank, int root)
         root < 0 || root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "scatter arguments invalid");
     }
-    return CollKernels::scatter(*this, bytesPerRank, root);
+    return recordCollective(
+        *machine_, "scatter", bytesPerRank * static_cast<std::size_t>(n_),
+        [&] { return CollKernels::scatter(*this, bytesPerRank, root); });
 }
 
 sim::Time
@@ -342,7 +397,11 @@ CollectiveComm::allToAll(std::size_t bytesPerPair)
         bytesPerPair * static_cast<std::size_t>(n_) > options_.maxBytes) {
         throw Error(ErrorCode::InvalidUsage, "allToAll size out of range");
     }
-    return CollKernels::allToAll(*this, bytesPerPair);
+    return recordCollective(
+        *machine_, "alltoall",
+        bytesPerPair * static_cast<std::size_t>(n_) *
+            static_cast<std::size_t>(n_),
+        [&] { return CollKernels::allToAll(*this, bytesPerPair); });
 }
 
 } // namespace mscclpp

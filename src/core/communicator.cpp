@@ -16,8 +16,18 @@ Communicator::Communicator(std::shared_ptr<Bootstrap> bootstrap,
         throw Error(ErrorCode::InvalidUsage,
                     "bootstrap size does not match machine GPU count");
     }
+    // Stamp log lines with this machine's virtual clock so messages
+    // from interleaved coroutines can be ordered at a glance.
+    setLogClock(&machine.scheduler());
     MSCCLPP_DEBUG("communicator rank %d/%d on %s", rank(), size(),
                   machine.config().name.c_str());
+}
+
+Communicator::~Communicator()
+{
+    // The scheduler can be destroyed right after us; stop stamping
+    // log lines with a clock that may no longer exist.
+    setLogClock(nullptr);
 }
 
 RegisteredMemory

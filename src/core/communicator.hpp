@@ -27,6 +27,9 @@ class Communicator
     Communicator(std::shared_ptr<Bootstrap> bootstrap,
                  gpu::Machine& machine);
 
+    /** Detaches the log clock so it cannot outlive the scheduler. */
+    ~Communicator();
+
     int rank() const { return bootstrap_->rank(); }
     int size() const { return bootstrap_->size(); }
     gpu::Machine& machine() const { return *machine_; }

@@ -16,7 +16,25 @@ enum class ErrorCode
     InternalError, ///< a bug in this library
 };
 
-const char* toString(ErrorCode code);
+/** Inline so Error is usable from every layer, including the ones
+ *  below mscclpp_core in the link order (fabric, obs). */
+inline const char*
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidUsage:
+        return "invalid usage";
+      case ErrorCode::SystemError:
+        return "system error";
+      case ErrorCode::RemoteError:
+        return "remote error";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::InternalError:
+        return "internal error";
+    }
+    return "unknown error";
+}
 
 /** Exception carrying a library error code. */
 class Error : public std::runtime_error

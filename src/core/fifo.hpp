@@ -2,11 +2,14 @@
 #define MSCCLPP_CORE_FIFO_HPP
 
 #include "fabric/env.hpp"
+#include "obs/obs.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <utility>
 
 namespace mscclpp {
 
@@ -46,17 +49,28 @@ class Fifo
   public:
     /** @param pollFree descriptors are snooped by hardware: skip the
      *  GPU->CPU managed-memory polling latency (device-initiated
-     *  ports, Section 3.2.1). */
+     *  ports, Section 3.2.1).
+     *  @param obs optional observability context; push/pop record
+     *  Fifo-category spans on (@p pid, @p track) plus the
+     *  `fifo.push_wait_ns` / `fifo.depth` metrics. */
     Fifo(sim::Scheduler& sched, const fabric::EnvConfig& cfg,
-         bool pollFree = false)
+         bool pollFree = false, obs::ObsContext* obs = nullptr,
+         int pid = obs::kHostPid, std::string track = "fifo")
         : sched_(&sched), cfg_(&cfg), pollFree_(pollFree),
-          notFull_(sched), notEmpty_(sched)
+          notFull_(sched), notEmpty_(sched), obs_(obs), pid_(pid),
+          track_(std::move(track))
     {
+        if (obs_ != nullptr) {
+            // Resolve metric handles once; push/pop only dereference.
+            pushWaitNs_ = &obs_->metrics().summary("fifo.push_wait_ns");
+            depthOnPush_ = &obs_->metrics().summary("fifo.depth");
+        }
     }
 
     /** GPU side: append a request, waiting while the queue is full. */
     sim::Task<> push(ProxyRequest req)
     {
+        sim::Time t0 = sched_->now();
         while (queue_.size() >= static_cast<std::size_t>(cfg_->fifoDepth)) {
             co_await notFull_.wait();
         }
@@ -65,6 +79,17 @@ class Fifo
         ++head_;
         queue_.push_back(req);
         notEmpty_.notifyAll();
+        if (obs_ != nullptr) {
+            if (obs_->metrics().enabled()) {
+                pushWaitNs_->add(sim::toNs(sched_->now() - t0));
+                depthOnPush_->add(static_cast<double>(queue_.size()));
+            }
+            if (obs_->tracer().enabled()) {
+                obs_->tracer().span(obs::Category::Fifo, "fifo.push", pid_,
+                                    track_, t0, sched_->now(), req.bytes,
+                                    req.channelId);
+            }
+        }
     }
 
     /**
@@ -73,6 +98,7 @@ class Fifo
      */
     sim::Task<ProxyRequest> pop()
     {
+        sim::Time t0 = sched_->now();
         while (queue_.empty()) {
             co_await notEmpty_.wait();
         }
@@ -85,6 +111,11 @@ class Fifo
         queue_.pop_front();
         ++tail_;
         notFull_.notifyAll();
+        if (obs_ != nullptr && obs_->tracer().enabled()) {
+            obs_->tracer().span(obs::Category::Fifo, "fifo.pop", pid_,
+                                track_, t0, sched_->now(), req.bytes,
+                                req.channelId);
+        }
         co_return req;
     }
 
@@ -113,6 +144,11 @@ class Fifo
     sim::SimSignal notEmpty_;
     std::uint64_t head_ = 0;
     std::uint64_t tail_ = 0;
+    obs::ObsContext* obs_ = nullptr;
+    int pid_ = obs::kHostPid;
+    std::string track_ = "fifo";
+    obs::Summary* pushWaitNs_ = nullptr;
+    obs::Summary* depthOnPush_ = nullptr;
 };
 
 } // namespace mscclpp

@@ -1,29 +1,12 @@
 #include "core/logging.hpp"
 #include "core/errors.hpp"
+#include "sim/scheduler.hpp"
 
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 
 namespace mscclpp {
-
-const char*
-toString(ErrorCode code)
-{
-    switch (code) {
-      case ErrorCode::InvalidUsage:
-        return "invalid usage";
-      case ErrorCode::SystemError:
-        return "system error";
-      case ErrorCode::RemoteError:
-        return "remote error";
-      case ErrorCode::Timeout:
-        return "timeout";
-      case ErrorCode::InternalError:
-        return "internal error";
-    }
-    return "unknown error";
-}
 
 LogLevel
 logLevel()
@@ -50,14 +33,43 @@ logLevel()
     return level;
 }
 
+namespace {
+
+const sim::Scheduler* logClock = nullptr;
+int logRank = -1;
+
+} // namespace
+
+void
+setLogClock(const sim::Scheduler* sched)
+{
+    logClock = sched;
+}
+
+void
+setLogRank(int rank)
+{
+    logRank = rank;
+}
+
 void
 logMessage(LogLevel level, const std::string& msg)
 {
     static std::mutex mu;
     static const char* names[] = {"", "E", "W", "I", "D"};
     std::lock_guard<std::mutex> lock(mu);
-    std::fprintf(stderr, "[mscclpp %s] %s\n",
-                 names[static_cast<int>(level)], msg.c_str());
+    std::string prefix;
+    if (logClock != nullptr) {
+        char t[48];
+        std::snprintf(t, sizeof(t), " %.3fus", sim::toUs(logClock->now()));
+        prefix += t;
+    }
+    if (logRank >= 0) {
+        prefix += " r" + std::to_string(logRank);
+    }
+    std::fprintf(stderr, "[mscclpp %s%s] %s\n",
+                 names[static_cast<int>(level)], prefix.c_str(),
+                 msg.c_str());
 }
 
 } // namespace mscclpp

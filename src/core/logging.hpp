@@ -6,6 +6,10 @@
 
 namespace mscclpp {
 
+namespace sim {
+class Scheduler;
+} // namespace sim
+
 /** Log severities; the threshold comes from MSCCLPP_LOG_LEVEL. */
 enum class LogLevel
 {
@@ -22,6 +26,16 @@ LogLevel logLevel();
 /** Emit one log line at @p level if it passes the threshold. */
 void logMessage(LogLevel level, const std::string& msg);
 
+/**
+ * Attach the simulation clock to log output: every subsequent line is
+ * prefixed with the current virtual time. Pass nullptr to detach.
+ * The Machine registers its scheduler automatically.
+ */
+void setLogClock(const sim::Scheduler* sched);
+
+/** Prefix subsequent log lines with `r<rank>`; -1 clears the prefix. */
+void setLogRank(int rank);
+
 namespace detail {
 
 template <typename... Args>
@@ -29,8 +43,18 @@ std::string
 formatLog(const char* fmt, Args... args)
 {
     char buf[512];
-    std::snprintf(buf, sizeof(buf), fmt, args...);
-    return buf;
+    int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+    if (n < 0) {
+        return fmt; // encoding error: fall back to the raw format
+    }
+    if (static_cast<std::size_t>(n) < sizeof(buf)) {
+        return std::string(buf, static_cast<std::size_t>(n));
+    }
+    // Message longer than the stack buffer: re-format into a heap
+    // buffer of the exact length snprintf reported.
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::snprintf(out.data(), out.size() + 1, fmt, args...);
+    return out;
 }
 
 } // namespace detail

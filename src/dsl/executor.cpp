@@ -4,6 +4,8 @@
 #include "core/errors.hpp"
 #include "gpu/compute.hpp"
 
+#include <algorithm>
+
 namespace mscclpp::dsl {
 
 Executor::Executor(gpu::Machine& machine, std::size_t maxBytes)
@@ -122,6 +124,7 @@ Executor::execute(const Program& program, gpu::DataType type,
     auto runInstr = [this, type, op, decode, shift](
                         gpu::BlockCtx& ctx, int rank,
                         const Instr& in) -> sim::Task<> {
+        sim::Time t0 = ctx.scheduler().now();
         co_await sim::Delay(ctx.scheduler(), decode);
         switch (in.op) {
           case OpCode::Put:
@@ -223,6 +226,20 @@ Executor::execute(const Program& program, gpu::DataType type,
                                               in.src.bytes);
             break;
           }
+        }
+        obs::ObsContext& obs = machine_->obs();
+        sim::Time t1 = ctx.scheduler().now();
+        if (obs.metrics().enabled()) {
+            obs.metrics().counter("executor.steps").add(1);
+            obs.metrics()
+                .summary("executor.step_ns")
+                .add(sim::toNs(t1 - t0));
+        }
+        if (obs.tracer().enabled()) {
+            obs.tracer().span(obs::Category::Executor, toString(in.op),
+                              rank, "tb" + std::to_string(ctx.blockIdx()),
+                              t0, t1,
+                              std::max(in.src.bytes, in.dst.bytes));
         }
     };
 

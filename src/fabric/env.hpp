@@ -105,6 +105,16 @@ struct EnvConfig
     sim::Time dslInstrOverhead = 0;
 
     bool ll128Supported = false;    ///< LL128 needs NVLink write ordering
+
+    // ---- observability (src/obs) ------------------------------------------
+    /// Record event spans into the Machine's Tracer and dump a Chrome
+    /// trace on teardown (MSCCLPP_TRACE=1). Off by default: the
+    /// disabled path is a single branch per instrumentation site.
+    bool traceEnabled = false;
+    /// Record counters/summaries (MSCCLPP_METRICS=0 to disable).
+    bool metricsEnabled = true;
+    std::string traceFile = "trace.json";     ///< MSCCLPP_TRACE_FILE
+    std::string metricsFile = "metrics.json"; ///< MSCCLPP_METRICS_FILE
 };
 
 /** A100-40G row of Table 1: NVLink 3.0 + HDR InfiniBand. */
@@ -130,6 +140,17 @@ EnvConfig makeEnv(const std::string& name);
  * env_overrides.cpp for the variable list.
  */
 void applyEnvOverrides(EnvConfig& cfg);
+
+/**
+ * Apply only the observability variables — MSCCLPP_TRACE,
+ * MSCCLPP_METRICS, MSCCLPP_TRACE_FILE, MSCCLPP_METRICS_FILE — to
+ * @p cfg. Called by every Machine at construction (the runtime gate
+ * of the tracer), and by applyEnvOverrides. Defaults: tracing off,
+ * metrics on, files "trace.json" / "metrics.json". Throws
+ * Error(InvalidUsage) on malformed values (non-boolean flags, empty
+ * paths).
+ */
+void applyObsEnvOverrides(EnvConfig& cfg);
 
 } // namespace mscclpp::fabric
 

@@ -1,5 +1,7 @@
 #include "fabric/env.hpp"
 
+#include "core/errors.hpp"
+
 #include <cstdlib>
 #include <string>
 
@@ -29,11 +31,61 @@ readTimeNs(const char* name, sim::Time& out)
     return true;
 }
 
+/** Strict boolean: "0"/"1"/"true"/"false" only — a typo in a gate
+ *  variable should fail loudly, not silently disable tracing. */
+bool
+readBool(const char* name, bool& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return false;
+    }
+    std::string s(v);
+    if (s == "1" || s == "true" || s == "TRUE") {
+        out = true;
+    } else if (s == "0" || s == "false" || s == "FALSE") {
+        out = false;
+    } else {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(name) + "='" + s +
+                        "' is not a boolean (use 0/1/true/false)");
+    }
+    return true;
+}
+
+/** Non-empty path override; an explicitly empty value is an error
+ *  (use the gate variable to disable output instead). */
+bool
+readPath(const char* name, std::string& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr) {
+        return false;
+    }
+    if (*v == '\0') {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(name) +
+                        " must name a file (unset it for the default)");
+    }
+    out = v;
+    return true;
+}
+
 } // namespace
+
+void
+applyObsEnvOverrides(EnvConfig& cfg)
+{
+    readBool("MSCCLPP_TRACE", cfg.traceEnabled);
+    readBool("MSCCLPP_METRICS", cfg.metricsEnabled);
+    readPath("MSCCLPP_TRACE_FILE", cfg.traceFile);
+    readPath("MSCCLPP_METRICS_FILE", cfg.metricsFile);
+}
 
 void
 applyEnvOverrides(EnvConfig& cfg)
 {
+    applyObsEnvOverrides(cfg);
     // Fabric rates and latencies.
     readDouble("MSCCLPP_INTRA_BW_GBPS", cfg.intraBwGBps);
     readDouble("MSCCLPP_NIC_BW_GBPS", cfg.nicBwGBps);

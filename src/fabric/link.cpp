@@ -1,5 +1,7 @@
 #include "fabric/link.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -22,9 +24,33 @@ toString(LinkType t)
 }
 
 Link::Link(sim::Scheduler& sched, LinkType type, LinkParams params,
-           std::string name)
-    : sched_(&sched), type_(type), params_(params), name_(std::move(name))
+           std::string name, obs::ObsContext* obs)
+    : sched_(&sched), type_(type), params_(params), name_(std::move(name)),
+      obs_(obs)
 {
+    if (obs_ != nullptr) {
+        // Resolve metric handles once; the hot path only dereferences.
+        bytesTxCounter_ = &obs_->metrics().counter("link.bytes_tx");
+        serializationNs_ =
+            &obs_->metrics().summary("link.serialization_ns");
+    }
+}
+
+void
+Link::record(sim::Time start, sim::Time end, std::uint64_t bytes,
+             sim::Time busy)
+{
+    if (obs_ == nullptr) {
+        return;
+    }
+    if (obs_->metrics().enabled()) {
+        bytesTxCounter_->add(bytes);
+        serializationNs_->add(sim::toNs(busy));
+    }
+    if (obs_->tracer().enabled()) {
+        obs_->tracer().span(obs::Category::Link, "xfer", obs::kFabricPid,
+                            name_, start, end, bytes);
+    }
 }
 
 std::pair<sim::Time, sim::Time>
@@ -39,7 +65,17 @@ Link::reserve(std::uint64_t bytes, double bwCapGBps, sim::Time earliest)
     nextFree_ = start + occupancy;
     bytesCarried_ += bytes;
     busyTime_ += occupancy;
+    record(start, start + occupancy, bytes, occupancy);
     return {start, start + occupancy + params_.latency};
+}
+
+void
+Link::occupy(sim::Time end, std::uint64_t bytes, sim::Time busy)
+{
+    nextFree_ = std::max(nextFree_, end);
+    bytesCarried_ += bytes;
+    busyTime_ += busy;
+    record(end - busy, end, bytes, busy);
 }
 
 sim::Task<>

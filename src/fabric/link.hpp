@@ -11,6 +11,12 @@
 #include <utility>
 #include <vector>
 
+namespace mscclpp::obs {
+class ObsContext;
+class Counter;
+class Summary;
+} // namespace mscclpp::obs
+
 namespace mscclpp::fabric {
 
 /** Physical interconnect technology carried by a Link. */
@@ -45,8 +51,11 @@ struct LinkParams
 class Link
 {
   public:
+    /** @param obs optional per-machine observability context; when
+     *  given, every reservation records a serialisation span on this
+     *  link's fabric track plus byte/occupancy metrics. */
     Link(sim::Scheduler& sched, LinkType type, LinkParams params,
-         std::string name);
+         std::string name, obs::ObsContext* obs = nullptr);
 
     Link(const Link&) = delete;
     Link& operator=(const Link&) = delete;
@@ -81,12 +90,7 @@ class Link
      * paths reserve all hops for one shared window). Advances the
      * cursor to @p end and charges stats.
      */
-    void occupy(sim::Time end, std::uint64_t bytes, sim::Time busy)
-    {
-        nextFree_ = std::max(nextFree_, end);
-        bytesCarried_ += bytes;
-        busyTime_ += busy;
-    }
+    void occupy(sim::Time end, std::uint64_t bytes, sim::Time busy);
 
     /** Total bytes carried (stats). */
     std::uint64_t bytesCarried() const { return bytesCarried_; }
@@ -97,10 +101,16 @@ class Link
     sim::Scheduler& scheduler() const { return *sched_; }
 
   private:
+    void record(sim::Time start, sim::Time end, std::uint64_t bytes,
+                sim::Time busy);
+
     sim::Scheduler* sched_;
     LinkType type_;
     LinkParams params_;
     std::string name_;
+    obs::ObsContext* obs_ = nullptr;
+    obs::Counter* bytesTxCounter_ = nullptr;
+    obs::Summary* serializationNs_ = nullptr;
     sim::Time nextFree_ = 0;
     std::uint64_t bytesCarried_ = 0;
     sim::Time busyTime_ = 0;

@@ -1,5 +1,7 @@
 #include "fabric/topology.hpp"
 
+#include "obs/obs.hpp"
+
 #include <cassert>
 #include <cstdio>
 #include <stdexcept>
@@ -7,8 +9,9 @@
 
 namespace mscclpp::fabric {
 
-Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes)
-    : sched_(&sched), cfg_(cfg), numNodes_(numNodes)
+Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
+               obs::ObsContext* obs)
+    : sched_(&sched), cfg_(cfg), numNodes_(numNodes), obs_(obs)
 {
     if (numNodes < 1) {
         throw std::invalid_argument("Fabric requires at least one node");
@@ -28,10 +31,10 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes)
         for (int r = 0; r < n; ++r) {
             gpuTx_.push_back(std::make_unique<Link>(
                 sched, intraType, intra,
-                "gpu" + std::to_string(r) + ".tx"));
+                "gpu" + std::to_string(r) + ".tx", obs));
             gpuRx_.push_back(std::make_unique<Link>(
                 sched, intraType, intra,
-                "gpu" + std::to_string(r) + ".rx"));
+                "gpu" + std::to_string(r) + ".rx", obs));
         }
     } else {
         mesh_.resize(static_cast<std::size_t>(numNodes_) * g * g);
@@ -46,7 +49,7 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes)
                     mesh_[meshIndex(src, dst)] = std::make_unique<Link>(
                         sched, intraType, intra,
                         "xgmi" + std::to_string(src) + "-" +
-                            std::to_string(dst));
+                            std::to_string(dst), obs);
                 }
             }
         }
@@ -58,10 +61,10 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes)
     for (int r = 0; r < n; ++r) {
         nicTx_.push_back(std::make_unique<Link>(
             sched, LinkType::InfiniBand, net,
-            "nic" + std::to_string(r) + ".tx"));
+            "nic" + std::to_string(r) + ".tx", obs));
         nicRx_.push_back(std::make_unique<Link>(
             sched, LinkType::InfiniBand, net,
-            "nic" + std::to_string(r) + ".rx"));
+            "nic" + std::to_string(r) + ".rx", obs));
     }
 }
 
@@ -152,6 +155,11 @@ Fabric::multimemReduce(int reader, const std::vector<int>& participants,
     gpuRx(reader).occupy(start + window, bytes, window);
     sim::Time arrival =
         start + window + cfg_.intraLatency + cfg_.multimemLatency;
+    if (obs_ != nullptr && obs_->tracer().enabled()) {
+        obs_->tracer().span(obs::Category::Link, "multimem.reduce",
+                            obs::kFabricPid, "nvswitch", start, arrival,
+                            bytes);
+    }
     return {start, arrival};
 }
 
@@ -175,6 +183,11 @@ Fabric::multimemBroadcast(int writer, const std::vector<int>& participants,
     }
     sim::Time arrival =
         start + window + cfg_.intraLatency + cfg_.multimemLatency;
+    if (obs_ != nullptr && obs_->tracer().enabled()) {
+        obs_->tracer().span(obs::Category::Link, "multimem.broadcast",
+                            obs::kFabricPid, "nvswitch", start, arrival,
+                            bytes);
+    }
     return {start, arrival};
 }
 

@@ -21,7 +21,11 @@ namespace mscclpp::fabric {
 class Fabric
 {
   public:
-    Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes);
+    /** @param obs optional observability context (the owning
+     *  Machine's); links record serialisation spans and byte counters
+     *  into it. */
+    Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
+           obs::ObsContext* obs = nullptr);
 
     Fabric(const Fabric&) = delete;
     Fabric& operator=(const Fabric&) = delete;
@@ -108,6 +112,7 @@ class Fabric
     sim::Scheduler* sched_;
     EnvConfig cfg_;
     int numNodes_;
+    obs::ObsContext* obs_ = nullptr;
 
     // Switch topology: one tx/rx port pair per GPU.
     std::vector<std::unique_ptr<Link>> gpuTx_;

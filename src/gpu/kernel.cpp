@@ -13,8 +13,16 @@ blockWrapper(std::shared_ptr<detail::KernelState> state, BlockCtx* ctx,
     if (startDelay > 0) {
         co_await sim::Delay(ctx->scheduler(), startDelay);
     }
+    sim::Time t0 = ctx->scheduler().now();
     co_await (*fn)(*ctx);
     state->wg.done();
+    obs::ObsContext& obs = ctx->gpu().machine().obs();
+    if (obs.tracer().enabled()) {
+        obs.tracer().span(obs::Category::Kernel, "block",
+                          ctx->gpu().rank(),
+                          "tb" + std::to_string(ctx->blockIdx()), t0,
+                          ctx->scheduler().now());
+    }
 }
 
 } // namespace
@@ -28,8 +36,21 @@ launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn)
     sim::Scheduler& sched = gpu.scheduler();
     const fabric::EnvConfig& env = gpu.config();
 
+    sim::Time launchStart = sched.now();
     co_await sim::Delay(sched,
                         cfg.graph ? env.graphLaunch : env.kernelLaunch);
+    obs::ObsContext& obs = gpu.machine().obs();
+    if (obs.metrics().enabled()) {
+        obs.metrics().counter("kernel.launches").add(1);
+        obs.metrics()
+            .summary("kernel.launch_overhead_ns")
+            .add(sim::toNs(sched.now() - launchStart));
+    }
+    if (obs.tracer().enabled()) {
+        obs.tracer().span(obs::Category::Kernel,
+                          cfg.graph ? "graph.launch" : "kernel.launch",
+                          gpu.rank(), "launch", launchStart, sched.now());
+    }
 
     auto state = std::make_shared<detail::KernelState>(sched, cfg.blocks);
     auto fnHolder = std::make_shared<BlockFn>(std::move(fn));

@@ -1,5 +1,7 @@
 #include "gpu/machine.hpp"
 
+#include <cstdio>
+
 namespace mscclpp::gpu {
 
 Gpu::Gpu(Machine& machine, int rank) : machine_(&machine), rank_(rank) {}
@@ -61,11 +63,34 @@ Gpu::copyTime(std::uint64_t bytes) const
 Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     : cfg_(std::move(cfg)), numNodes_(numNodes), mode_(mode)
 {
-    fabric_ = std::make_unique<fabric::Fabric>(sched_, cfg_, numNodes_);
+    // Runtime observability gate: MSCCLPP_TRACE=1 turns the tracer on
+    // for every machine in the process, no code changes needed.
+    fabric::applyObsEnvOverrides(cfg_);
+    obs_.tracer().setEnabled(cfg_.traceEnabled);
+    obs_.metrics().setEnabled(cfg_.metricsEnabled);
+    obs_.setTraceFile(cfg_.traceFile);
+    obs_.setMetricsFile(cfg_.metricsFile);
+    obs_.setDumpOnDestroy(cfg_.traceEnabled);
+
+    fabric_ =
+        std::make_unique<fabric::Fabric>(sched_, cfg_, numNodes_, &obs_);
     const int n = fabric_->numGpus();
     gpus_.reserve(n);
     for (int r = 0; r < n; ++r) {
         gpus_.push_back(std::make_unique<Gpu>(*this, r));
+    }
+}
+
+Machine::~Machine()
+{
+    if (!obs_.dumpOnDestroy()) {
+        return;
+    }
+    try {
+        std::string what = obs_.dump();
+        std::fprintf(stderr, "[mscclpp obs] wrote %s\n", what.c_str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "[mscclpp obs] dump failed: %s\n", e.what());
     }
 }
 

@@ -4,6 +4,7 @@
 #include "fabric/env.hpp"
 #include "fabric/topology.hpp"
 #include "gpu/memory.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -74,6 +75,9 @@ class Machine
     Machine(fabric::EnvConfig cfg, int numNodes,
             DataMode mode = DataMode::Functional);
 
+    /** Dumps the trace/metrics files when MSCCLPP_TRACE enabled them. */
+    ~Machine();
+
     Machine(const Machine&) = delete;
     Machine& operator=(const Machine&) = delete;
 
@@ -81,6 +85,10 @@ class Machine
     fabric::Fabric& fabric() { return *fabric_; }
     const fabric::EnvConfig& config() const { return cfg_; }
     DataMode dataMode() const { return mode_; }
+
+    /** Event tracer + metrics registry for this machine. */
+    obs::ObsContext& obs() { return obs_; }
+    const obs::ObsContext& obs() const { return obs_; }
 
     int numNodes() const { return numNodes_; }
     int numGpus() const { return static_cast<int>(gpus_.size()); }
@@ -94,6 +102,7 @@ class Machine
     int numNodes_;
     DataMode mode_;
     sim::Scheduler sched_;
+    obs::ObsContext obs_; ///< before fabric_: links record into it
     std::unique_ptr<fabric::Fabric> fabric_;
     std::vector<std::unique_ptr<Gpu>> gpus_;
 };

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include "core/errors.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace mscclpp::obs {
+
+Summary::Summary(std::size_t reservoirSize)
+    : reservoirSize_(std::max<std::size_t>(reservoirSize, 1))
+{
+}
+
+void
+Summary::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    if (reservoir_.size() < reservoirSize_) {
+        reservoir_.push_back(v);
+    } else {
+        // Knuth's multiplicative hash of the sample index: spreads
+        // replacements across the reservoir without an RNG, keeping
+        // the simulation deterministic.
+        std::size_t slot = static_cast<std::size_t>(
+            (count_ * 2654435761ull) % reservoirSize_);
+        reservoir_[slot] = v;
+    }
+}
+
+double
+Summary::percentile(double p) const
+{
+    if (reservoir_.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    double clamped = std::clamp(p, 0.0, 100.0);
+    double idx = clamped / 100.0 *
+                 static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void
+Summary::merge(const Summary& other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < other.reservoir_.size(); ++i) {
+        if (reservoir_.size() < reservoirSize_) {
+            reservoir_.push_back(other.reservoir_[i]);
+        } else {
+            std::size_t slot = static_cast<std::size_t>(
+                ((count_ + i) * 2654435761ull) % reservoirSize_);
+            reservoir_[slot] = other.reservoir_[i];
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry& other)
+{
+    for (const auto& [name, c] : other.counters()) {
+        counter(name).add(c.value());
+    }
+    for (const auto& [name, s] : other.summaries()) {
+        summary(name).merge(s);
+    }
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+Summary&
+MetricsRegistry::summary(const std::string& name)
+{
+    return summaries_[name];
+}
+
+namespace {
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": " + std::to_string(c.value());
+    }
+    out += "\n  },\n  \"summaries\": {";
+    first = true;
+    for (const auto& [name, s] : summaries_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"count\": " +
+               std::to_string(s.count()) +
+               ", \"sum\": " + jsonNumber(s.sum()) +
+               ", \"min\": " + jsonNumber(s.min()) +
+               ", \"max\": " + jsonNumber(s.max()) +
+               ", \"mean\": " + jsonNumber(s.mean()) +
+               ", \"p50\": " + jsonNumber(s.percentile(50)) +
+               ", \"p99\": " + jsonNumber(s.percentile(99)) + "}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open metrics file '" + path +
+                        "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing metrics file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

@@ -1,0 +1,114 @@
+#ifndef MSCCLPP_OBS_METRICS_HPP
+#define MSCCLPP_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/** Named monotonic counter (bytes moved, requests served, ...). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Distribution summary: exact count/sum/min/max plus a fixed-size
+ * reservoir for percentile estimates. The reservoir replaces slots
+ * with a deterministic multiplicative hash of the sample index, so
+ * simulations stay reproducible (no RNG) while late samples still
+ * displace early ones roughly uniformly.
+ */
+class Summary
+{
+  public:
+    explicit Summary(std::size_t reservoirSize = kDefaultReservoir);
+
+    void add(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+    double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /** Percentile estimate from the reservoir; @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    /**
+     * Fold @p other into this summary: exact stats combine exactly,
+     * reservoir samples displace deterministically. Used to aggregate
+     * per-Machine registries into one process-wide dump.
+     */
+    void merge(const Summary& other);
+
+  private:
+    static constexpr std::size_t kDefaultReservoir = 1024;
+
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<double> reservoir_;
+    std::size_t reservoirSize_;
+};
+
+/**
+ * Flat namespace of counters and summaries, dumpable as one JSON
+ * blob (metrics.json / `--metrics`). Handles returned by counter()
+ * and summary() stay valid for the registry's lifetime, so hot paths
+ * resolve names once at construction.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Cheap gate mirroring Tracer::enabled(); default on. */
+    bool enabled() const { return Tracer_kCompiledIn && enabled_; }
+    void setEnabled(bool on) { enabled_ = Tracer_kCompiledIn && on; }
+
+    Counter& counter(const std::string& name);
+    Summary& summary(const std::string& name);
+
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Summary>& summaries() const
+    {
+        return summaries_;
+    }
+
+    /** Fold every counter and summary of @p other into this registry. */
+    void mergeFrom(const MetricsRegistry& other);
+
+    /** Single JSON object: {"counters":{...},"summaries":{...}}. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+  private:
+#ifdef MSCCLPP_NO_OBS
+    static constexpr bool Tracer_kCompiledIn = false;
+#else
+    static constexpr bool Tracer_kCompiledIn = true;
+#endif
+
+    bool enabled_ = true;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Summary> summaries_;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_METRICS_HPP

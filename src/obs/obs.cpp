@@ -1,0 +1,28 @@
+#include "obs/obs.hpp"
+
+namespace mscclpp::obs {
+
+std::string
+ObsContext::dump() const
+{
+    std::string what;
+    if (!traceFile_.empty()) {
+        tracer_.writeChromeTrace(traceFile_);
+        what += std::to_string(tracer_.size()) + " events -> " +
+                traceFile_;
+        if (tracer_.dropped() > 0) {
+            what += " (" + std::to_string(tracer_.dropped()) +
+                    " dropped)";
+        }
+    }
+    if (!metricsFile_.empty()) {
+        metrics_.writeJson(metricsFile_);
+        if (!what.empty()) {
+            what += ", ";
+        }
+        what += "metrics -> " + metricsFile_;
+    }
+    return what;
+}
+
+} // namespace mscclpp::obs

@@ -1,0 +1,58 @@
+#ifndef MSCCLPP_OBS_OBS_HPP
+#define MSCCLPP_OBS_OBS_HPP
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <string>
+
+namespace mscclpp::obs {
+
+/**
+ * The observability context of one simulated Machine: the event
+ * tracer and the metrics registry, plus the output paths the Machine
+ * dumps to on destruction when tracing was enabled via MSCCLPP_TRACE
+ * (see fabric::applyObsEnvOverrides for the env gate).
+ *
+ * Every layer reaches this through its Machine (or an explicit
+ * pointer for objects below the gpu layer, like Links and Fifos), so
+ * two machines in one process never share a timeline.
+ */
+class ObsContext
+{
+  public:
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
+    MetricsRegistry& metrics() { return metrics_; }
+    const MetricsRegistry& metrics() const { return metrics_; }
+
+    const std::string& traceFile() const { return traceFile_; }
+    const std::string& metricsFile() const { return metricsFile_; }
+    void setTraceFile(std::string path) { traceFile_ = std::move(path); }
+    void setMetricsFile(std::string path)
+    {
+        metricsFile_ = std::move(path);
+    }
+
+    /** Dump trace + metrics files when enabled (Machine teardown). */
+    bool dumpOnDestroy() const { return dumpOnDestroy_; }
+    void setDumpOnDestroy(bool on) { dumpOnDestroy_ = on; }
+
+    /**
+     * Write the Chrome trace and metrics JSON to the configured
+     * paths. @return a short human-readable description of what was
+     * written (for the one-line teardown log).
+     */
+    std::string dump() const;
+
+  private:
+    Tracer tracer_;
+    MetricsRegistry metrics_;
+    std::string traceFile_ = "trace.json";
+    std::string metricsFile_ = "metrics.json";
+    bool dumpOnDestroy_ = false;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_OBS_HPP

@@ -1,0 +1,212 @@
+#include "obs/trace.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace mscclpp::obs {
+
+const char*
+toString(Category c)
+{
+    switch (c) {
+      case Category::Collective:
+        return "collective";
+      case Category::Executor:
+        return "executor";
+      case Category::Channel:
+        return "channel";
+      case Category::Proxy:
+        return "proxy";
+      case Category::Fifo:
+        return "fifo";
+      case Category::Link:
+        return "link";
+      case Category::Kernel:
+        return "kernel";
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+void
+Tracer::span(Category cat, std::string name, int pid, std::string track,
+             sim::Time begin, sim::Time end, std::uint64_t bytes,
+             int channelId)
+{
+    if (!enabled()) {
+        return;
+    }
+    TraceEvent ev{cat,  std::move(name), pid,   std::move(track),
+                  begin, end,            bytes, channelId};
+    if (events_.size() < capacity_) {
+        events_.push_back(std::move(ev));
+    } else {
+        events_[head_] = std::move(ev);
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        out.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (names and tracks are library-made,
+ *  but env-provided paths etc. must not break the file). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+processLabel(int pid)
+{
+    if (pid == kHostPid) {
+        return "host";
+    }
+    if (pid == kFabricPid) {
+        return "fabric";
+    }
+    return "device" + std::to_string(pid);
+}
+
+std::string
+fmtUs(sim::Time t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f", sim::toUs(t));
+    return buf;
+}
+
+} // namespace
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    // Stable (pid, track) -> tid assignment in first-seen order.
+    std::map<std::pair<int, std::string>, int> tids;
+    std::map<int, int> nextTid;
+    std::vector<TraceEvent> events = snapshot();
+    for (const TraceEvent& ev : events) {
+        auto key = std::make_pair(ev.pid, ev.track);
+        if (tids.find(key) == tids.end()) {
+            tids[key] = nextTid[ev.pid]++;
+        }
+    }
+
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&out, &first](const std::string& obj) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += '\n';
+        out += obj;
+    };
+
+    std::map<int, bool> namedPids;
+    for (const auto& [key, tid] : tids) {
+        if (!namedPids[key.first]) {
+            namedPids[key.first] = true;
+            emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                 std::to_string(key.first) +
+                 ",\"args\":{\"name\":\"" +
+                 jsonEscape(processLabel(key.first)) + "\"}}");
+        }
+        emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(key.first) + ",\"tid\":" +
+             std::to_string(tid) + ",\"args\":{\"name\":\"" +
+             jsonEscape(key.second) + "\"}}");
+    }
+
+    for (const TraceEvent& ev : events) {
+        int tid = tids[std::make_pair(ev.pid, ev.track)];
+        std::string obj = "{\"name\":\"" + jsonEscape(ev.name) +
+                          "\",\"cat\":\"" + toString(ev.cat) +
+                          "\",\"ph\":\"X\",\"pid\":" +
+                          std::to_string(ev.pid) +
+                          ",\"tid\":" + std::to_string(tid) +
+                          ",\"ts\":" + fmtUs(ev.begin) +
+                          ",\"dur\":" + fmtUs(ev.end - ev.begin) +
+                          ",\"args\":{";
+        obj += "\"bytes\":" + std::to_string(ev.bytes);
+        if (ev.channelId >= 0) {
+            obj += ",\"channel\":" + std::to_string(ev.channelId);
+        }
+        obj += "}}";
+        emit(obj);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+Tracer::writeChromeTrace(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open trace file '" + path + "' for writing");
+    }
+    f << chromeTraceJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing trace file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

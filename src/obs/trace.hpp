@@ -1,0 +1,130 @@
+#ifndef MSCCLPP_OBS_TRACE_HPP
+#define MSCCLPP_OBS_TRACE_HPP
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * Event taxonomy, one category per instrumented layer of the stack
+ * (DESIGN.md "Observability"). Categories map onto Chrome-trace `cat`
+ * fields so Perfetto can filter per layer.
+ */
+enum class Category
+{
+    Collective, ///< whole-collective root spans (collective/api)
+    Executor,   ///< per-IR-step spans of the DSL executor
+    Channel,    ///< device-side put/signal/wait/flush primitives
+    Proxy,      ///< CPU proxy request lifecycle (Figure 7 steps 2-4)
+    Fifo,       ///< GPU->CPU request queue push/pop
+    Link,       ///< per-hop wire serialisation windows
+    Kernel,     ///< kernel launches and thread-block lifetimes
+};
+
+const char* toString(Category c);
+
+/// Pseudo-process ids for tracks that belong to no simulated device.
+/// Device ranks are small; these stay clear of any realistic cluster.
+inline constexpr int kHostPid = 10000;   ///< host-side API calls
+inline constexpr int kFabricPid = 10001; ///< links and switches
+
+/**
+ * One completed span recorded against the deterministic virtual
+ * clock. `pid` selects the Chrome-trace process (device rank, or a
+ * pseudo-process above); `track` names the thread within it (a thread
+ * block, the proxy thread, a link direction).
+ */
+struct TraceEvent
+{
+    Category cat = Category::Channel;
+    std::string name;
+    int pid = 0;
+    std::string track;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    std::uint64_t bytes = 0; ///< payload carried, 0 when n/a
+    int channelId = -1;      ///< owning channel, -1 when n/a
+};
+
+/**
+ * NPKit-style per-Machine event recorder: a fixed-capacity ring
+ * buffer of typed spans. Recording is gated twice — compile out every
+ * call site with -DMSCCLPP_NO_OBS, and at runtime nothing is stored
+ * unless setEnabled(true) (the MSCCLPP_TRACE env gate) was called.
+ * The disabled fast path is a single branch on a bool.
+ *
+ * The tracer never advances virtual time: instrumentation observes
+ * the schedule, it does not perturb it.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+#ifdef MSCCLPP_NO_OBS
+    static constexpr bool kCompiledIn = false;
+#else
+    static constexpr bool kCompiledIn = true;
+#endif
+
+    /** True when spans are being recorded (cheap; test on hot paths). */
+    bool enabled() const { return kCompiledIn && enabled_; }
+
+    void setEnabled(bool on) { enabled_ = kCompiledIn && on; }
+
+    /** Record a completed span. No-op when disabled. */
+    void span(Category cat, std::string name, int pid, std::string track,
+              sim::Time begin, sim::Time end, std::uint64_t bytes = 0,
+              int channelId = -1);
+
+    /** Record a zero-duration marker. */
+    void instant(Category cat, std::string name, int pid,
+                 std::string track, sim::Time at, std::uint64_t bytes = 0,
+                 int channelId = -1)
+    {
+        span(cat, std::move(name), pid, std::move(track), at, at, bytes,
+             channelId);
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return events_.size(); }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Copy of the buffered events in record order. */
+    std::vector<TraceEvent> snapshot() const;
+
+    void clear();
+
+    /**
+     * Serialise to Chrome trace_events JSON (chrome://tracing and
+     * Perfetto): one process per pid with a metadata name, one thread
+     * per distinct track within it, spans as "X" complete events with
+     * microsecond timestamps.
+     */
+    std::string chromeTraceJson() const;
+
+    /** Write chromeTraceJson() to @p path; throws Error on I/O
+     *  failure. */
+    void writeChromeTrace(const std::string& path) const;
+
+  private:
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    bool enabled_ = false;
+    std::size_t capacity_;
+    std::vector<TraceEvent> events_;
+    std::size_t head_ = 0; ///< oldest element once the ring wrapped
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_TRACE_HPP

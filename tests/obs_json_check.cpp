@@ -1,0 +1,213 @@
+/**
+ * Standalone JSON well-formedness checker used by the bench-tracing
+ * smoke test (obs_bench_json_parses). Exits 0 iff every file named on
+ * the command line parses as a single JSON value with no trailing
+ * garbage. Deliberately gtest-free so it stays a tiny ctest COMMAND.
+ */
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    bool parse()
+    {
+        skipWs();
+        if (!value()) {
+            return false;
+        }
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    std::size_t errorPos() const { return pos_; }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= text_.size()) {
+            return false;
+        }
+        switch (text_[pos_]) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string()) {
+                return false;
+            }
+            skipWs();
+            if (peek() != ':') {
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            if (!value()) {
+                return false;
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value()) {
+                return false;
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"') {
+            return false;
+        }
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '\\') {
+                pos_ += 2;
+                continue;
+            }
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const char* word)
+    {
+        std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0) {
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+        return 2;
+    }
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream f(argv[i]);
+        if (!f) {
+            std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+            rc = 1;
+            continue;
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        std::string text = ss.str();
+        if (text.empty()) {
+            std::fprintf(stderr, "%s: empty file\n", argv[i]);
+            rc = 1;
+            continue;
+        }
+        Parser p(text);
+        if (!p.parse()) {
+            std::fprintf(stderr, "%s: parse error near byte %zu\n",
+                         argv[i], p.errorPos());
+            rc = 1;
+            continue;
+        }
+        std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
+    }
+    return rc;
+}

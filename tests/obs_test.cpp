@@ -1,0 +1,816 @@
+/**
+ * Observability subsystem tests: tracer ring buffer, Chrome trace
+ * export, metrics registry percentile math, log formatting, the env
+ * gate, and end-to-end category/byte reconciliation on traced
+ * collectives.
+ */
+#include "collective/api.hpp"
+#include "core/errors.hpp"
+#include "core/logging.hpp"
+#include "dsl/algorithms.hpp"
+#include "dsl/executor.hpp"
+#include "fabric/env.hpp"
+#include "gpu/machine.hpp"
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace obs = mscclpp::obs;
+namespace sim = mscclpp::sim;
+namespace dsl = mscclpp::dsl;
+using mscclpp::CollectiveComm;
+using mscclpp::Error;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser, just enough to validate the exporters'
+// output structurally (no external dependency available).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue& at(const std::string& key) const
+    {
+        auto it = object.find(key);
+        if (it == object.end()) {
+            static JsonValue missing;
+            return missing;
+        }
+        return it->second;
+    }
+
+    bool has(const std::string& key) const
+    {
+        return object.find(key) != object.end();
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    /** Parse the whole input; sets ok() false on any syntax error. */
+    JsonValue parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size()) {
+            ok_ = false;
+        }
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            ok_ = false;
+            return {};
+        }
+        char c = text_[pos_];
+        if (c == '{') {
+            return parseObject();
+        }
+        if (c == '[') {
+            return parseArray();
+        }
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.str = parseString();
+            return v;
+        }
+        if (c == 't' || c == 'f') {
+            return parseKeyword(c == 't' ? "true" : "false", c == 't');
+        }
+        if (c == 'n') {
+            return parseKeyword("null", false);
+        }
+        return parseNumber();
+    }
+
+    JsonValue parseKeyword(const std::string& word, bool value)
+    {
+        JsonValue v;
+        if (text_.compare(pos_, word.size(), word) != 0) {
+            ok_ = false;
+            return v;
+        }
+        pos_ += word.size();
+        v.kind = word == "null" ? JsonValue::Kind::Null
+                                : JsonValue::Kind::Bool;
+        v.boolean = value;
+        return v;
+    }
+
+    std::string parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            ok_ = false;
+            return out;
+        }
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u':
+                    pos_ += 4; // good enough for validation
+                    break;
+                  default:
+                    out += esc;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (!consume('"')) {
+            ok_ = false;
+        }
+        return out;
+    }
+
+    JsonValue parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            ok_ = false;
+            return v;
+        }
+        v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        consume('[');
+        skipWs();
+        if (consume(']')) {
+            return v;
+        }
+        do {
+            v.array.push_back(parseValue());
+        } while (consume(','));
+        if (!consume(']')) {
+            ok_ = false;
+        }
+        return v;
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        consume('{');
+        skipWs();
+        if (consume('}')) {
+            return v;
+        }
+        do {
+            skipWs();
+            std::string key = parseString();
+            if (!consume(':')) {
+                ok_ = false;
+                return v;
+            }
+            v.object[key] = parseValue();
+        } while (consume(','));
+        if (!consume('}')) {
+            ok_ = false;
+        }
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+JsonValue
+parseJsonOrDie(const std::string& text)
+{
+    JsonParser p(text);
+    JsonValue v = p.parse();
+    EXPECT_TRUE(p.ok()) << "malformed JSON:\n" << text.substr(0, 400);
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Tracer ring buffer.
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledByDefaultRecordsNothing)
+{
+    obs::Tracer t;
+    EXPECT_FALSE(t.enabled());
+    t.span(obs::Category::Link, "xfer", 0, "l0", 0, 100, 64);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RecordsSpansInOrder)
+{
+    obs::Tracer t;
+    t.setEnabled(true);
+    t.span(obs::Category::Channel, "put", 0, "tb0", 10, 20, 256, 3);
+    t.span(obs::Category::Proxy, "proxy.put", 0, "proxy", 20, 40, 256);
+    ASSERT_EQ(t.size(), 2u);
+    auto evs = t.snapshot();
+    EXPECT_EQ(evs[0].name, "put");
+    EXPECT_EQ(evs[0].begin, 10u);
+    EXPECT_EQ(evs[0].end, 20u);
+    EXPECT_EQ(evs[0].bytes, 256u);
+    EXPECT_EQ(evs[0].channelId, 3);
+    EXPECT_EQ(evs[1].name, "proxy.put");
+    EXPECT_EQ(evs[1].track, "proxy");
+}
+
+TEST(Tracer, RingBufferOverwritesOldestAndCountsDrops)
+{
+    obs::Tracer t(4);
+    t.setEnabled(true);
+    for (int i = 0; i < 6; ++i) {
+        t.span(obs::Category::Fifo, "e" + std::to_string(i), 0, "f",
+               static_cast<sim::Time>(i), static_cast<sim::Time>(i + 1));
+    }
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.dropped(), 2u);
+    auto evs = t.snapshot();
+    ASSERT_EQ(evs.size(), 4u);
+    // The two oldest events were overwritten; order is preserved.
+    EXPECT_EQ(evs.front().name, "e2");
+    EXPECT_EQ(evs.back().name, "e5");
+}
+
+TEST(Tracer, ClearResetsBufferButKeepsEnabledState)
+{
+    obs::Tracer t(2);
+    t.setEnabled(true);
+    t.span(obs::Category::Kernel, "a", 0, "t", 0, 1);
+    t.span(obs::Category::Kernel, "b", 0, "t", 1, 2);
+    t.span(obs::Category::Kernel, "c", 0, "t", 2, 3);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_TRUE(t.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export.
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, WellFormedWithProcessAndThreadMetadata)
+{
+    obs::Tracer t;
+    t.setEnabled(true);
+    t.span(obs::Category::Channel, "mem.put", 0, "tb0", sim::us(1),
+           sim::us(3), 1024);
+    t.span(obs::Category::Link, "xfer", obs::kFabricPid, "gpu0.tx",
+           sim::us(2), sim::us(4), 1024);
+    t.span(obs::Category::Channel, "mem.wait", 1, "tb0", sim::us(1),
+           sim::us(5));
+
+    JsonValue doc = parseJsonOrDie(t.chromeTraceJson());
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    const JsonValue& evs = doc.at("traceEvents");
+    ASSERT_EQ(evs.kind, JsonValue::Kind::Array);
+
+    std::set<double> processNames;
+    std::set<double> xPids;
+    int xEvents = 0;
+    int threadNames = 0;
+    for (const JsonValue& e : evs.array) {
+        ASSERT_EQ(e.kind, JsonValue::Kind::Object);
+        const std::string& ph = e.at("ph").str;
+        if (ph == "M") {
+            if (e.at("name").str == "process_name") {
+                processNames.insert(e.at("pid").number);
+            } else if (e.at("name").str == "thread_name") {
+                ++threadNames;
+            }
+        } else if (ph == "X") {
+            ++xEvents;
+            xPids.insert(e.at("pid").number);
+            EXPECT_TRUE(e.has("ts"));
+            EXPECT_TRUE(e.has("dur"));
+            EXPECT_TRUE(e.has("cat"));
+            EXPECT_GE(e.at("dur").number, 0.0);
+        }
+    }
+    EXPECT_EQ(xEvents, 3);
+    // One process per pid used (0, 1, fabric), each with metadata.
+    EXPECT_EQ(processNames.size(), 3u);
+    EXPECT_EQ(processNames, xPids);
+    EXPECT_EQ(threadNames, 3); // tb0@0, gpu0.tx@fabric, tb0@1
+}
+
+TEST(ChromeTrace, TimestampsAreMicrosecondsAndMonotonePerTrack)
+{
+    obs::Tracer t;
+    t.setEnabled(true);
+    t.span(obs::Category::Executor, "s0", 0, "tb0", sim::us(10),
+           sim::us(12));
+    t.span(obs::Category::Executor, "s1", 0, "tb0", sim::us(12),
+           sim::us(20));
+
+    JsonValue doc = parseJsonOrDie(t.chromeTraceJson());
+    std::vector<double> ts;
+    for (const JsonValue& e : doc.at("traceEvents").array) {
+        if (e.at("ph").str == "X") {
+            ts.push_back(e.at("ts").number);
+            EXPECT_EQ(e.at("cat").str, "executor");
+        }
+    }
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_DOUBLE_EQ(ts[0], 10.0);
+    EXPECT_DOUBLE_EQ(ts[1], 12.0);
+    EXPECT_LE(ts[0], ts[1]);
+}
+
+TEST(ChromeTrace, EscapesQuotesInNames)
+{
+    obs::Tracer t;
+    t.setEnabled(true);
+    t.span(obs::Category::Kernel, "say \"hi\"\n", 0, "tb0", 0, 1);
+    JsonValue doc = parseJsonOrDie(t.chromeTraceJson());
+    bool found = false;
+    for (const JsonValue& e : doc.at("traceEvents").array) {
+        if (e.at("ph").str == "X") {
+            EXPECT_EQ(e.at("name").str, "say \"hi\"\n");
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates)
+{
+    obs::MetricsRegistry reg;
+    EXPECT_TRUE(reg.enabled());
+    reg.counter("bytes").add(100);
+    reg.counter("bytes").add(28);
+    reg.counter("calls").add();
+    EXPECT_EQ(reg.counter("bytes").value(), 128u);
+    EXPECT_EQ(reg.counter("calls").value(), 1u);
+}
+
+TEST(Metrics, HandlesAreStableAcrossInsertions)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* first = &reg.counter("a");
+    for (int i = 0; i < 100; ++i) {
+        reg.counter("k" + std::to_string(i));
+    }
+    first->add(7);
+    EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(Metrics, SummaryExactStatsOnKnownDistribution)
+{
+    obs::Summary s;
+    for (int i = 1; i <= 100; ++i) {
+        s.add(static_cast<double>(i));
+    }
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.sum(), 5050.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    // Reservoir (1024) holds all 100 samples: percentiles are the
+    // linear interpolation over the sorted values.
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.5);
+    EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Metrics, SummaryEmptyAndSingleton)
+{
+    obs::Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+}
+
+TEST(Metrics, SmallReservoirStaysDeterministic)
+{
+    obs::Summary a(16);
+    obs::Summary b(16);
+    for (int i = 0; i < 1000; ++i) {
+        double v = static_cast<double>((i * 37) % 500);
+        a.add(v);
+        b.add(v);
+    }
+    EXPECT_EQ(a.count(), 1000u);
+    EXPECT_DOUBLE_EQ(a.percentile(50), b.percentile(50));
+    EXPECT_DOUBLE_EQ(a.percentile(99), b.percentile(99));
+    // The sampled median is still within the value range.
+    EXPECT_GE(a.percentile(50), a.min());
+    EXPECT_LE(a.percentile(50), a.max());
+}
+
+TEST(Metrics, SummaryMergeCombinesExactStats)
+{
+    obs::Summary a;
+    obs::Summary b;
+    for (int i = 1; i <= 50; ++i) {
+        a.add(i);
+    }
+    for (int i = 51; i <= 100; ++i) {
+        b.add(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.sum(), 5050.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 50.5);
+    // Both halves fit in the default reservoir, so the percentile
+    // over the merged samples is exact.
+    EXPECT_DOUBLE_EQ(a.percentile(50), 50.5);
+}
+
+TEST(Metrics, SummaryMergeWithEmptySides)
+{
+    obs::Summary a;
+    obs::Summary empty;
+    a.add(7.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 7.0);
+
+    obs::Summary fresh;
+    fresh.merge(a);
+    EXPECT_EQ(fresh.count(), 1u);
+    EXPECT_DOUBLE_EQ(fresh.sum(), 7.0);
+    EXPECT_DOUBLE_EQ(fresh.min(), 7.0);
+    EXPECT_DOUBLE_EQ(fresh.max(), 7.0);
+}
+
+TEST(Metrics, RegistryMergeFromAggregatesByName)
+{
+    obs::MetricsRegistry a;
+    obs::MetricsRegistry b;
+    a.counter("collective.count").add(2);
+    b.counter("collective.count").add(3);
+    b.counter("only.in.b").add(1);
+    a.summary("latency").add(10.0);
+    b.summary("latency").add(30.0);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counters().at("collective.count").value(), 5u);
+    EXPECT_EQ(a.counters().at("only.in.b").value(), 1u);
+    EXPECT_EQ(a.summaries().at("latency").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.summaries().at("latency").sum(), 40.0);
+    EXPECT_DOUBLE_EQ(a.summaries().at("latency").max(), 30.0);
+    // The source registry is untouched.
+    EXPECT_EQ(b.counters().at("collective.count").value(), 3u);
+}
+
+TEST(Metrics, JsonDumpIsWellFormed)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("link.bytes_tx").add(4096);
+    reg.summary("fifo.depth").add(1);
+    reg.summary("fifo.depth").add(3);
+    JsonValue doc = parseJsonOrDie(reg.toJson());
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    EXPECT_DOUBLE_EQ(doc.at("counters").at("link.bytes_tx").number,
+                     4096.0);
+    const JsonValue& depth = doc.at("summaries").at("fifo.depth");
+    EXPECT_DOUBLE_EQ(depth.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(depth.at("sum").number, 4.0);
+    EXPECT_DOUBLE_EQ(depth.at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(depth.at("max").number, 3.0);
+    EXPECT_TRUE(depth.has("p50"));
+    EXPECT_TRUE(depth.has("p99"));
+}
+
+// ---------------------------------------------------------------------------
+// Log formatting (the formatLog overflow fix).
+// ---------------------------------------------------------------------------
+
+TEST(Logging, FormatLogShortMessages)
+{
+    EXPECT_EQ(mscclpp::detail::formatLog("rank %d of %d", 3, 8),
+              "rank 3 of 8");
+    EXPECT_EQ(mscclpp::detail::formatLog("plain"), "plain");
+}
+
+TEST(Logging, FormatLogGrowsPastTheStackBuffer)
+{
+    // Messages over 512 bytes used to be silently truncated.
+    std::string big(2000, 'x');
+    std::string out =
+        mscclpp::detail::formatLog("head %s tail", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 10);
+    EXPECT_EQ(out.substr(0, 5), "head ");
+    EXPECT_EQ(out.substr(out.size() - 5), " tail");
+    EXPECT_EQ(out.find('\0'), std::string::npos);
+}
+
+TEST(Logging, FormatLogExactBoundary)
+{
+    // 511 formatted chars fit the stack buffer; 512 and 513 must grow.
+    for (std::size_t len : {511u, 512u, 513u}) {
+        std::string s(len, 'y');
+        EXPECT_EQ(mscclpp::detail::formatLog("%s", s.c_str()), s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Environment gate parsing.
+// ---------------------------------------------------------------------------
+
+class ObsEnv : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        unsetenv("MSCCLPP_TRACE");
+        unsetenv("MSCCLPP_METRICS");
+        unsetenv("MSCCLPP_TRACE_FILE");
+        unsetenv("MSCCLPP_METRICS_FILE");
+    }
+};
+
+TEST_F(ObsEnv, DefaultsWhenUnset)
+{
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::applyObsEnvOverrides(cfg);
+    EXPECT_FALSE(cfg.traceEnabled);
+    EXPECT_TRUE(cfg.metricsEnabled);
+    EXPECT_EQ(cfg.traceFile, "trace.json");
+    EXPECT_EQ(cfg.metricsFile, "metrics.json");
+}
+
+TEST_F(ObsEnv, ParsesBooleansAndPaths)
+{
+    setenv("MSCCLPP_TRACE", "1", 1);
+    setenv("MSCCLPP_METRICS", "false", 1);
+    setenv("MSCCLPP_TRACE_FILE", "/tmp/my_trace.json", 1);
+    setenv("MSCCLPP_METRICS_FILE", "/tmp/my_metrics.json", 1);
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::applyObsEnvOverrides(cfg);
+    EXPECT_TRUE(cfg.traceEnabled);
+    EXPECT_FALSE(cfg.metricsEnabled);
+    EXPECT_EQ(cfg.traceFile, "/tmp/my_trace.json");
+    EXPECT_EQ(cfg.metricsFile, "/tmp/my_metrics.json");
+}
+
+TEST_F(ObsEnv, RejectsMalformedBoolean)
+{
+    setenv("MSCCLPP_TRACE", "maybe", 1);
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    EXPECT_THROW(fab::applyObsEnvOverrides(cfg), Error);
+}
+
+TEST_F(ObsEnv, RejectsEmptyPath)
+{
+    setenv("MSCCLPP_TRACE_FILE", "", 1);
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    EXPECT_THROW(fab::applyObsEnvOverrides(cfg), Error);
+}
+
+TEST_F(ObsEnv, MachineHonoursTheGate)
+{
+    setenv("MSCCLPP_TRACE", "1", 1);
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    EXPECT_TRUE(m.obs().tracer().enabled());
+    // Keep teardown quiet: this test only checks the gate.
+    m.obs().setDumpOnDestroy(false);
+}
+
+TEST(ObsFiles, WritersRejectUnwritablePaths)
+{
+    obs::Tracer t;
+    EXPECT_THROW(t.writeChromeTrace("/nonexistent-dir/trace.json"),
+                 Error);
+    obs::MetricsRegistry reg;
+    EXPECT_THROW(reg.writeJson("/nonexistent-dir/metrics.json"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: traced collectives on the A100 environment.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::set<obs::Category>
+categoriesOf(const std::vector<obs::TraceEvent>& evs)
+{
+    std::set<obs::Category> cats;
+    for (const auto& e : evs) {
+        cats.insert(e.cat);
+    }
+    return cats;
+}
+
+} // namespace
+
+TEST(TracedCollective, AllReducePortCoversEveryLayer)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    m.obs().tracer().setEnabled(true);
+    {
+        CollectiveComm comm(m, {});
+        comm.allReduce(1 << 20, gpu::DataType::F32, gpu::ReduceOp::Sum,
+                       mscclpp::AllReduceAlgo::AllPairs2PPort);
+        comm.shutdown();
+    }
+    m.run();
+    auto evs = m.obs().tracer().snapshot();
+    auto cats = categoriesOf(evs);
+    // collective -> kernel/channel ops -> fifo -> proxy -> link.
+    EXPECT_TRUE(cats.count(obs::Category::Collective));
+    EXPECT_TRUE(cats.count(obs::Category::Kernel));
+    EXPECT_TRUE(cats.count(obs::Category::Channel));
+    EXPECT_TRUE(cats.count(obs::Category::Fifo));
+    EXPECT_TRUE(cats.count(obs::Category::Proxy));
+    EXPECT_TRUE(cats.count(obs::Category::Link));
+
+    // Every span ends no earlier than it starts, and the collective
+    // root span encloses the whole timeline.
+    sim::Time rootBegin = 0;
+    sim::Time rootEnd = 0;
+    for (const auto& e : evs) {
+        EXPECT_LE(e.begin, e.end) << e.name;
+        if (e.cat == obs::Category::Collective) {
+            rootBegin = e.begin;
+            rootEnd = e.end;
+        }
+    }
+    // Device-side channel ops nest inside the collective. (Fifo pops
+    // do not: the proxy's last pop blocks until the teardown Stop
+    // request, past the collective's end.)
+    for (const auto& e : evs) {
+        if (e.cat == obs::Category::Channel) {
+            EXPECT_GE(e.begin, rootBegin) << e.name;
+            EXPECT_LE(e.end, rootEnd) << e.name;
+        }
+    }
+}
+
+TEST(TracedCollective, BroadcastBytesReconcile)
+{
+    const std::size_t bytes = 256 << 10;
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    m.obs().tracer().setEnabled(true);
+    {
+        CollectiveComm::Options opt;
+        opt.buildPort = false; // pure MemoryChannel broadcast
+        CollectiveComm comm(m, opt);
+        comm.broadcast(bytes, /*root=*/0);
+    }
+    const int g = m.config().gpusPerNode;
+    // Single-node broadcast: the root puts `bytes` once to each of
+    // the g-1 peers, and nothing else moves payload.
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(g - 1) * bytes;
+    EXPECT_EQ(m.obs().metrics().counter("channel.put_bytes").value(),
+              expected);
+    EXPECT_EQ(m.obs().metrics().counter("channel.signal_count").value(),
+              static_cast<std::uint64_t>(g - 1));
+
+    // The Channel put spans carry the same bytes the counter saw.
+    std::uint64_t spanBytes = 0;
+    for (const auto& e : m.obs().tracer().snapshot()) {
+        if (e.cat == obs::Category::Channel && e.name == "mem.put") {
+            spanBytes += e.bytes;
+        }
+    }
+    EXPECT_EQ(spanBytes, expected);
+    // The collective root span reports the payload size.
+    bool foundRoot = false;
+    for (const auto& e : m.obs().tracer().snapshot()) {
+        if (e.cat == obs::Category::Collective) {
+            EXPECT_EQ(e.name, "broadcast");
+            EXPECT_EQ(e.bytes, bytes);
+            foundRoot = true;
+        }
+    }
+    EXPECT_TRUE(foundRoot);
+}
+
+TEST(TracedCollective, ExecutorEmitsPerStepSpans)
+{
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    m.obs().tracer().setEnabled(true);
+    dsl::Executor ex(m, 1 << 20);
+    dsl::Program p = dsl::buildAllPairs2PAllReduceHB(8, 64 << 10);
+    ex.execute(p, gpu::DataType::F32, gpu::ReduceOp::Sum);
+
+    auto evs = m.obs().tracer().snapshot();
+    std::set<std::string> stepNames;
+    for (const auto& e : evs) {
+        if (e.cat == obs::Category::Executor) {
+            stepNames.insert(e.name);
+        }
+    }
+    EXPECT_FALSE(stepNames.empty());
+    // The executor decodes IR steps; step count matches the metric.
+    std::uint64_t steps =
+        m.obs().metrics().counter("executor.steps").value();
+    EXPECT_GT(steps, 0u);
+    std::uint64_t executorSpans = 0;
+    for (const auto& e : evs) {
+        executorSpans += e.cat == obs::Category::Executor ? 1 : 0;
+    }
+    EXPECT_EQ(executorSpans, steps);
+    EXPECT_EQ(m.obs().metrics().summary("executor.step_ns").count(),
+              steps);
+}
+
+TEST(TracedCollective, DisabledTracerLeavesTimingUntouched)
+{
+    // Instrumentation must never advance virtual time: the same
+    // collective takes exactly as long with and without tracing.
+    auto run = [](bool traced) {
+        gpu::Machine m(fab::makeA100_40G(), 1);
+        m.obs().tracer().setEnabled(traced);
+        CollectiveComm comm(m, {});
+        return comm.allReduce(1 << 20, gpu::DataType::F32,
+                              gpu::ReduceOp::Sum,
+                              mscclpp::AllReduceAlgo::AllPairs2PHB);
+    };
+    EXPECT_EQ(run(false), run(true));
+}
