@@ -1,0 +1,192 @@
+/**
+ * Tuner ablation: static size thresholds vs profile-guided selection
+ * (src/tuner) on the Table 1 environments. For every size on the
+ * profiler's grid the bench prints the algorithm each policy picks
+ * and, where they disagree, the measured latency of both choices.
+ * A second communicator then reloads the persisted profile cache in
+ * "file" mode to demonstrate that tuning survives across runs without
+ * re-profiling, and a short Auto loop exercises the launch-plan
+ * cache. Counter assertions (tuner.profile_runs, tuner.cache_loads,
+ * tuner.plan_cache.hit) make this usable as a smoke test:
+ *
+ *   abl_tuner [--smoke] [--cache <path>] [--metrics <path>]
+ */
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+#include "collective/profile.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace bench = mscclpp::bench;
+
+namespace {
+
+/** Compare both selectors on one environment; count disagreements
+ *  and how many of them the profiled choice actually wins. */
+void
+compareSelectors(CollectiveComm& comm, std::uint64_t maxBytes,
+                 std::uint64_t step, int* divergent, int* wins)
+{
+    bench::Table ar({"AR bytes", "static", "profiled", "static(us)",
+                     "profiled(us)", "gain"});
+    for (std::uint64_t bytes = 1 << 10; bytes <= maxBytes;
+         bytes *= step) {
+        AllReduceAlgo s = comm.chooseAllReduceStatic(bytes);
+        AllReduceAlgo p = comm.chooseAllReduce(bytes);
+        if (s == p) {
+            ar.addRow({bench::humanBytes(bytes), toString(s),
+                       toString(p), "", "", "="});
+            continue;
+        }
+        ++*divergent;
+        sim::Time ts = comm.allReduce(bytes, gpu::DataType::F16,
+                                      gpu::ReduceOp::Sum, s);
+        sim::Time tp = comm.allReduce(bytes, gpu::DataType::F16,
+                                      gpu::ReduceOp::Sum, p);
+        if (tp < ts) {
+            ++*wins;
+        }
+        char gain[32];
+        std::snprintf(gain, sizeof(gain), "%+.1f%%",
+                      100.0 * (double(ts) / double(tp) - 1.0));
+        ar.addRow({bench::humanBytes(bytes), toString(s), toString(p),
+                   bench::fmtUs(ts), bench::fmtUs(tp), gain});
+    }
+    ar.print(false);
+
+    const std::uint64_t n = comm.size();
+    bench::Table ag({"AG bytes/rank", "static", "profiled",
+                     "static(us)", "profiled(us)", "gain"});
+    for (std::uint64_t bytes = 1 << 10; bytes <= maxBytes / n;
+         bytes *= step) {
+        AllGatherAlgo s = comm.chooseAllGatherStatic(bytes);
+        AllGatherAlgo p = comm.chooseAllGather(bytes);
+        if (s == p) {
+            ag.addRow({bench::humanBytes(bytes), toString(s),
+                       toString(p), "", "", "="});
+            continue;
+        }
+        ++*divergent;
+        sim::Time ts = comm.allGather(bytes, s);
+        sim::Time tp = comm.allGather(bytes, p);
+        if (tp < ts) {
+            ++*wins;
+        }
+        char gain[32];
+        std::snprintf(gain, sizeof(gain), "%+.1f%%",
+                      100.0 * (double(ts) / double(tp) - 1.0));
+        ag.addRow({bench::humanBytes(bytes), toString(s), toString(p),
+                   bench::fmtUs(ts), bench::fmtUs(tp), gain});
+    }
+    ag.print(false);
+}
+
+std::uint64_t
+counterValue(gpu::Machine& m, const char* name)
+{
+    return m.obs().metrics().counter(name).value();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string metricsPath = bench::extractMetricsFlag(&argc, argv);
+    bool smoke = false;
+    std::string cachePath = "abl_tuner_cache.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--cache") == 0 &&
+                   i + 1 < argc) {
+            cachePath = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    std::remove(cachePath.c_str());
+
+    std::printf("Tuner ablation: static thresholds vs profiled "
+                "crossover tables\n\n");
+    std::vector<std::string> envs =
+        smoke ? std::vector<std::string>{"H100"}
+              : std::vector<std::string>{"A100-40G", "A100-80G", "H100",
+                                         "MI300x"};
+    const std::uint64_t maxBytes = 64 << 20;
+    const std::uint64_t step = smoke ? 4 : 2;
+    int divergent = 0;
+    int wins = 0;
+    for (const std::string& name : envs) {
+        fab::EnvConfig env = fab::makeEnv(name);
+        gpu::Machine machine(env, 1, gpu::DataMode::Timed);
+        bench::printEnvBanner(env, 1);
+        CollectiveComm::Options opt;
+        opt.maxBytes = maxBytes;
+        opt.tunerMode = "profile";
+        opt.tunerCacheFile = cachePath;
+        CollectiveComm comm(machine, opt);
+        compareSelectors(comm, maxBytes, step, &divergent, &wins);
+        std::printf("profile_runs=%llu profile_points=%llu "
+                    "cache_saves=%llu\n\n",
+                    (unsigned long long)counterValue(
+                        machine, "tuner.profile_runs"),
+                    (unsigned long long)counterValue(
+                        machine, "tuner.profile_points"),
+                    (unsigned long long)counterValue(
+                        machine, "tuner.cache_saves"));
+        bench::processMetrics().mergeFrom(machine.obs().metrics());
+    }
+
+    // Second run: same environment, MSCCLPP_TUNER=file. The table
+    // must come straight from the cache file written above — zero
+    // profiling — and a repeated Auto shape must hit the plan cache.
+    std::printf("Cache reuse (%s, mode=file):\n", envs[0].c_str());
+    gpu::Machine machine(fab::makeEnv(envs[0]), 1, gpu::DataMode::Timed);
+    CollectiveComm::Options opt;
+    opt.maxBytes = maxBytes;
+    opt.tunerMode = "file";
+    opt.tunerCacheFile = cachePath;
+    CollectiveComm comm(machine, opt);
+    for (int i = 0; i < 8; ++i) {
+        comm.allReduce(1 << 20, gpu::DataType::F16, gpu::ReduceOp::Sum);
+        comm.allGather(64 << 10);
+    }
+    std::uint64_t loads = counterValue(machine, "tuner.cache_loads");
+    std::uint64_t runs = counterValue(machine, "tuner.profile_runs");
+    std::printf("  cache_loads=%llu profile_runs=%llu "
+                "plan_cache: %llu hits / %llu misses\n",
+                (unsigned long long)loads, (unsigned long long)runs,
+                (unsigned long long)comm.planCache().hits(),
+                (unsigned long long)comm.planCache().misses());
+    bench::processMetrics().mergeFrom(machine.obs().metrics());
+    bench::writeProcessMetrics(metricsPath);
+
+    std::printf("\n%d size(s) where the policies disagree; profiled "
+                "faster at %d\n",
+                divergent, wins);
+    int rc = 0;
+    if (!comm.algoTuner().active() || loads == 0 || runs != 0) {
+        std::fprintf(stderr, "FAIL: second run did not reuse the "
+                             "profile cache\n");
+        rc = 1;
+    }
+    if (comm.planCache().hits() == 0) {
+        std::fprintf(stderr,
+                     "FAIL: repeated Auto shapes never hit the "
+                     "launch-plan cache\n");
+        rc = 1;
+    }
+    if (wins == 0) {
+        std::fprintf(stderr, "FAIL: profiled selection never beat the "
+                             "static heuristic\n");
+        rc = 1;
+    }
+    return rc;
+}

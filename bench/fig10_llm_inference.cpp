@@ -78,5 +78,19 @@ main()
         }
     }
     prefill.print();
+
+    // The decode loop re-issues the same AllReduce shapes every step,
+    // so almost every launch should come out of the communicator's
+    // plan cache (tuner.plan_cache.* in obs metrics).
+    const mscclpp::tuner::PlanCache& plans = infer.comm().planCache();
+    std::printf("plan cache: %llu hits, %llu misses, %zu entries\n",
+                (unsigned long long)plans.hits(),
+                (unsigned long long)plans.misses(), plans.size());
+    if (plans.hits() == 0) {
+        std::fprintf(stderr,
+                     "FAIL: repeated decode shapes never hit the "
+                     "launch-plan cache\n");
+        return 1;
+    }
     return 0;
 }

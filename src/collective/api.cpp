@@ -1,6 +1,7 @@
 #include "collective/api.hpp"
 
 #include "collective/kernels.hpp"
+#include "collective/profile.hpp"
 #include "core/errors.hpp"
 #include "gpu/compute.hpp"
 
@@ -150,6 +151,33 @@ CollectiveComm::CollectiveComm(gpu::Machine& machine, Options options)
         allRanks[r] = r;
     }
     syncer_ = std::make_unique<DeviceSyncer>(machine, allRanks);
+
+    // Tuner + plan cache (src/tuner). Communicator options beat the
+    // machine's MSCCLPP_TUNER / MSCCLPP_TUNER_CACHE settings; the
+    // default static mode constructs an inert tuner (no file I/O, no
+    // profiling) so today's behaviour is untouched.
+    const std::string modeStr =
+        options_.tunerMode.value_or(machine.config().tunerMode);
+    std::optional<tuner::TunerMode> mode = tuner::parseTunerMode(modeStr);
+    if (!mode) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "unknown tuner mode '" + modeStr +
+                        "' (use static/profile/file)");
+    }
+    tuner::Tuner::Hooks hooks;
+    hooks.profile = [this] {
+        // Profiling runs on a private machine in virtual time; only
+        // the metrics counters land in this machine's registry.
+        return profileEnvironment(machine_->config(), nodes_, {},
+                                  &machine_->obs().metrics(),
+                                  options_.buildPort, !switch_.empty());
+    };
+    tuner_ = std::make_unique<tuner::Tuner>(
+        *mode, machine.config(), n_, nodes_,
+        options_.tunerCacheFile.value_or(machine.config().tunerCacheFile),
+        &machine.obs().metrics(), std::move(hooks));
+    planCache_ = std::make_unique<tuner::PlanCache>(
+        options_.planCacheCapacity, &machine.obs().metrics());
 }
 
 CollectiveComm::~CollectiveComm()
@@ -206,6 +234,27 @@ CollectiveComm::runOnAllRanks(int blocks, const RankFn& fn)
 AllReduceAlgo
 CollectiveComm::chooseAllReduce(std::size_t bytes) const
 {
+    if (tuner_->active()) {
+        std::optional<std::string> name =
+            tuner_->choose(tuner::Collective::AllReduce, bytes);
+        if (name) {
+            std::optional<AllReduceAlgo> algo =
+                allReduceAlgoFromString(*name);
+            // Guard against tables profiled with channels this
+            // communicator did not build (e.g. a shared cache file).
+            if (algo &&
+                !(*algo == AllReduceAlgo::AllPairs2PPort && !port_) &&
+                !(*algo == AllReduceAlgo::Switch2P && switch_.empty())) {
+                return *algo;
+            }
+        }
+    }
+    return chooseAllReduceStatic(bytes);
+}
+
+AllReduceAlgo
+CollectiveComm::chooseAllReduceStatic(std::size_t bytes) const
+{
     const fabric::EnvConfig& cfg = machine_->config();
     if (nodes_ > 1) {
         // Hierarchical algorithms for multi-node (Section 4.4 #3).
@@ -232,6 +281,24 @@ CollectiveComm::chooseAllReduce(std::size_t bytes) const
 AllGatherAlgo
 CollectiveComm::chooseAllGather(std::size_t bytesPerRank) const
 {
+    if (tuner_->active()) {
+        std::optional<std::string> name =
+            tuner_->choose(tuner::Collective::AllGather, bytesPerRank);
+        if (name) {
+            std::optional<AllGatherAlgo> algo =
+                allGatherAlgoFromString(*name);
+            if (algo &&
+                !(*algo == AllGatherAlgo::AllPairsPort && !port_)) {
+                return *algo;
+            }
+        }
+    }
+    return chooseAllGatherStatic(bytesPerRank);
+}
+
+AllGatherAlgo
+CollectiveComm::chooseAllGatherStatic(std::size_t bytesPerRank) const
+{
     if (nodes_ > 1) {
         return AllGatherAlgo::Hier;
     }
@@ -245,6 +312,47 @@ CollectiveComm::chooseAllGather(std::size_t bytesPerRank) const
     return AllGatherAlgo::AllPairsHB;
 }
 
+AllReduceAlgo
+CollectiveComm::resolveAllReduce(std::size_t bytes, gpu::DataType type,
+                                gpu::ReduceOp op)
+{
+    tuner::PlanKey key;
+    key.collective = static_cast<int>(tuner::Collective::AllReduce);
+    key.bytes = bytes;
+    key.dtype = static_cast<int>(type);
+    key.op = static_cast<int>(op);
+    if (const tuner::Plan* plan = planCache_->find(key)) {
+        return static_cast<AllReduceAlgo>(plan->algoId);
+    }
+    AllReduceAlgo algo = chooseAllReduce(bytes);
+    tuner::Plan plan;
+    plan.algoId = static_cast<int>(algo);
+    plan.algoName = toString(algo);
+    plan.blocks = options_.blocks > 0 ? options_.blocks : n_ - 1;
+    plan.chunkBytes = bytes / static_cast<std::size_t>(n_);
+    planCache_->insert(key, std::move(plan));
+    return algo;
+}
+
+AllGatherAlgo
+CollectiveComm::resolveAllGather(std::size_t bytesPerRank)
+{
+    tuner::PlanKey key;
+    key.collective = static_cast<int>(tuner::Collective::AllGather);
+    key.bytes = bytesPerRank;
+    if (const tuner::Plan* plan = planCache_->find(key)) {
+        return static_cast<AllGatherAlgo>(plan->algoId);
+    }
+    AllGatherAlgo algo = chooseAllGather(bytesPerRank);
+    tuner::Plan plan;
+    plan.algoId = static_cast<int>(algo);
+    plan.algoName = toString(algo);
+    plan.blocks = options_.blocks > 0 ? options_.blocks : n_ - 1;
+    plan.chunkBytes = bytesPerRank;
+    planCache_->insert(key, std::move(plan));
+    return algo;
+}
+
 sim::Time
 CollectiveComm::allReduce(std::size_t bytes, gpu::DataType type,
                           gpu::ReduceOp op, AllReduceAlgo algo)
@@ -253,7 +361,9 @@ CollectiveComm::allReduce(std::size_t bytes, gpu::DataType type,
         throw Error(ErrorCode::InvalidUsage, "allReduce size out of range");
     }
     if (algo == AllReduceAlgo::Auto) {
-        algo = chooseAllReduce(bytes);
+        // The memoized plan skips selector + tuner lookup on the
+        // decode-loop hot path (same shape thousands of times).
+        algo = resolveAllReduce(bytes, type, op);
     }
     return recordCollective(
         *machine_, std::string("allreduce ") + toString(algo), bytes,
@@ -268,7 +378,7 @@ CollectiveComm::allGather(std::size_t bytesPerRank, AllGatherAlgo algo)
         throw Error(ErrorCode::InvalidUsage, "allGather size out of range");
     }
     if (algo == AllGatherAlgo::Auto) {
-        algo = chooseAllGather(bytesPerRank);
+        algo = resolveAllGather(bytesPerRank);
     }
     return recordCollective(
         *machine_, std::string("allgather ") + toString(algo),

@@ -7,6 +7,8 @@
 #include "core/communicator.hpp"
 #include "gpu/kernel.hpp"
 #include "gpu/types.hpp"
+#include "tuner/plan_cache.hpp"
+#include "tuner/tuner.hpp"
 
 #include <functional>
 #include <memory>
@@ -68,6 +70,14 @@ class CollectiveComm
         /// Thread blocks per collective kernel (0 = one per peer).
         int blocks = 0;
         int threadsPerBlock = 1024;
+        /// Tuner mode override ("static"/"profile"/"file"); unset
+        /// falls back to the machine's MSCCLPP_TUNER setting.
+        std::optional<std::string> tunerMode;
+        /// Profile-cache path override; unset falls back to the
+        /// machine's MSCCLPP_TUNER_CACHE setting.
+        std::optional<std::string> tunerCacheFile;
+        /// Capacity of the per-communicator launch-plan cache.
+        std::size_t planCacheCapacity = 256;
     };
 
     CollectiveComm(gpu::Machine& machine, Options options);
@@ -142,11 +152,27 @@ class CollectiveComm
 
     // ---- tuning ------------------------------------------------------------
 
-    /** Algorithm Auto resolves to for an AllReduce of @p bytes. */
+    /**
+     * Algorithm Auto resolves to for an AllReduce of @p bytes: the
+     * tuner's profiled choice when a tuning table is active
+     * (MSCCLPP_TUNER=profile|file), otherwise the static heuristic.
+     */
     AllReduceAlgo chooseAllReduce(std::size_t bytes) const;
 
     /** Algorithm Auto resolves to for an AllGather of @p bytes/rank. */
     AllGatherAlgo chooseAllGather(std::size_t bytesPerRank) const;
+
+    /** The built-in static size thresholds (MSCCLPP_TUNER=static). */
+    AllReduceAlgo chooseAllReduceStatic(std::size_t bytes) const;
+
+    /** Static AllGather heuristic, @p bytesPerRank per rank. */
+    AllGatherAlgo chooseAllGatherStatic(std::size_t bytesPerRank) const;
+
+    /** This communicator's tuner (never null after construction). */
+    const tuner::Tuner& algoTuner() const { return *tuner_; }
+
+    /** The launch-plan cache exercised by Auto collectives. */
+    const tuner::PlanCache& planCache() const { return *planCache_; }
 
     /** Stop port proxies; implied by destruction. */
     void shutdown();
@@ -158,6 +184,11 @@ class CollectiveComm
 
     /** Launch fn on every rank and run the machine to completion. */
     sim::Time runOnAllRanks(int blocks, const RankFn& fn);
+
+    /** Resolve Auto through the per-communicator plan cache. */
+    AllReduceAlgo resolveAllReduce(std::size_t bytes, gpu::DataType type,
+                                   gpu::ReduceOp op);
+    AllGatherAlgo resolveAllGather(std::size_t bytesPerRank);
 
     /** Scratch slot for (sender, parity) with per-slot size @p slot. */
     gpu::DeviceBuffer scratchSlot(int rank, int sender, std::size_t slot,
@@ -179,6 +210,8 @@ class CollectiveComm
     std::optional<ChannelMesh> portScratch_; // data -> scratch, Port
     std::vector<std::unique_ptr<SwitchChannel>> switch_;
     std::unique_ptr<DeviceSyncer> syncer_;
+    std::unique_ptr<tuner::Tuner> tuner_;
+    std::unique_ptr<tuner::PlanCache> planCache_;
 
     std::uint64_t round_ = 0; ///< rotating-scratch parity counter
 };

@@ -1,0 +1,134 @@
+#include "collective/profile.hpp"
+
+#include <exception>
+
+namespace mscclpp {
+
+std::optional<AllReduceAlgo>
+allReduceAlgoFromString(const std::string& name)
+{
+    for (AllReduceAlgo a :
+         {AllReduceAlgo::AllPairs1P, AllReduceAlgo::AllPairs2PLL,
+          AllReduceAlgo::AllPairs2PHB, AllReduceAlgo::AllPairs2PPort,
+          AllReduceAlgo::Switch2P, AllReduceAlgo::Hier2PLL,
+          AllReduceAlgo::Hier2PHB}) {
+        if (name == toString(a)) {
+            return a;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<AllGatherAlgo>
+allGatherAlgoFromString(const std::string& name)
+{
+    for (AllGatherAlgo a :
+         {AllGatherAlgo::AllPairsLL, AllGatherAlgo::AllPairsHB,
+          AllGatherAlgo::AllPairsPort, AllGatherAlgo::Hier}) {
+        if (name == toString(a)) {
+            return a;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<tuner::Candidate>
+tunerCandidates(const fabric::EnvConfig& cfg, int nNodes, bool withPort,
+                bool withSwitch)
+{
+    using tuner::Collective;
+    std::vector<tuner::Candidate> out;
+    auto add = [&out](Collective c, const char* algo) {
+        out.push_back(tuner::Candidate{c, algo});
+    };
+    if (nNodes <= 1) {
+        add(Collective::AllReduce, toString(AllReduceAlgo::AllPairs1P));
+        add(Collective::AllReduce, toString(AllReduceAlgo::AllPairs2PLL));
+        add(Collective::AllReduce, toString(AllReduceAlgo::AllPairs2PHB));
+        if (withPort) {
+            add(Collective::AllReduce,
+                toString(AllReduceAlgo::AllPairs2PPort));
+        }
+        if (withSwitch && cfg.hasMultimem) {
+            add(Collective::AllReduce, toString(AllReduceAlgo::Switch2P));
+        }
+        add(Collective::AllGather, toString(AllGatherAlgo::AllPairsLL));
+        add(Collective::AllGather, toString(AllGatherAlgo::AllPairsHB));
+        if (withPort) {
+            add(Collective::AllGather,
+                toString(AllGatherAlgo::AllPairsPort));
+        }
+    } else {
+        add(Collective::AllReduce, toString(AllReduceAlgo::Hier2PLL));
+        add(Collective::AllReduce, toString(AllReduceAlgo::Hier2PHB));
+        if (withPort) {
+            add(Collective::AllReduce,
+                toString(AllReduceAlgo::AllPairs2PPort));
+        }
+        add(Collective::AllGather, toString(AllGatherAlgo::Hier));
+        if (withPort) {
+            add(Collective::AllGather,
+                toString(AllGatherAlgo::AllPairsPort));
+        }
+    }
+    return out;
+}
+
+tuner::TuningTable
+profileEnvironment(const fabric::EnvConfig& cfg, int nNodes,
+                   const tuner::ProfileOptions& opt,
+                   obs::MetricsRegistry* metrics, bool withPort,
+                   bool withSwitch)
+{
+    // A private machine: Timed mode keeps huge sizes cheap, and the
+    // silenced tracer/metrics keep the caller's artifacts clean.
+    fabric::EnvConfig quiet = cfg;
+    quiet.traceEnabled = false;
+    quiet.metricsEnabled = false;
+    gpu::Machine machine(quiet, nNodes < 1 ? 1 : nNodes,
+                         gpu::DataMode::Timed);
+    machine.obs().tracer().setEnabled(false);
+    machine.obs().metrics().setEnabled(false);
+    machine.obs().setDumpOnDestroy(false);
+
+    CollectiveComm::Options copt;
+    copt.maxBytes = opt.maxBytes;
+    copt.buildPort = withPort;
+    copt.buildSwitch = withSwitch;
+    copt.tunerMode = "static"; // the probe itself must never recurse
+    copt.tunerCacheFile = "";
+    CollectiveComm comm(machine, copt);
+    const std::size_t n = static_cast<std::size_t>(comm.size());
+
+    auto run = [&comm, n](const tuner::Candidate& c,
+                          std::uint64_t bytes) -> std::optional<double> {
+        try {
+            if (c.collective == tuner::Collective::AllReduce) {
+                std::optional<AllReduceAlgo> algo =
+                    allReduceAlgoFromString(c.algo);
+                if (!algo || bytes > comm.options().maxBytes) {
+                    return std::nullopt;
+                }
+                return sim::toNs(comm.allReduce(bytes, gpu::DataType::F16,
+                                                gpu::ReduceOp::Sum,
+                                                *algo));
+            }
+            std::optional<AllGatherAlgo> algo =
+                allGatherAlgoFromString(c.algo);
+            if (!algo || bytes * n > comm.options().maxBytes) {
+                return std::nullopt;
+            }
+            return sim::toNs(comm.allGather(bytes, *algo));
+        } catch (const std::exception&) {
+            // Size not runnable for this algorithm (alignment, scratch
+            // capacity, missing hardware): simply no sample.
+            return std::nullopt;
+        }
+    };
+
+    return tuner::profile(tunerCandidates(cfg, nNodes, withPort,
+                                          withSwitch),
+                          run, opt, metrics);
+}
+
+} // namespace mscclpp

@@ -1,0 +1,56 @@
+#ifndef MSCCLPP_COLLECTIVE_PROFILE_HPP
+#define MSCCLPP_COLLECTIVE_PROFILE_HPP
+
+#include "collective/api.hpp"
+#include "tuner/profiler.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mscclpp {
+
+/**
+ * The collective side of the tuner (Section 4.4 meets the NCCL tuner
+ * model): the tuner library sits below this one and cannot run
+ * collectives, so this driver builds a throwaway simulated machine
+ * for the environment, sweeps every candidate algorithm over the
+ * profiler's size grid in virtual time, and hands back the measured
+ * crossover table. CollectiveComm injects it as the Tuner's profile
+ * hook; benches and tests call it directly.
+ */
+
+/** Inverse of toString(AllReduceAlgo); nullopt for unknown names. */
+std::optional<AllReduceAlgo> allReduceAlgoFromString(
+    const std::string& name);
+
+/** Inverse of toString(AllGatherAlgo); nullopt for unknown names. */
+std::optional<AllGatherAlgo> allGatherAlgoFromString(
+    const std::string& name);
+
+/**
+ * Candidate algorithms worth profiling on @p cfg with @p nNodes
+ * nodes. @p withPort/@p withSwitch mirror the consuming
+ * communicator's channel inventory so the table never recommends an
+ * algorithm the communicator cannot launch.
+ */
+std::vector<tuner::Candidate> tunerCandidates(
+    const fabric::EnvConfig& cfg, int nNodes, bool withPort = true,
+    bool withSwitch = true);
+
+/**
+ * Profile @p cfg with @p nNodes nodes: every candidate algorithm at
+ * every grid size, measured on a fresh Timed-mode machine whose
+ * observability is silenced (the main machine's trace stays clean).
+ * AllGather grid sizes are per rank and capped at maxBytes / nRanks.
+ * @p metrics (nullable) receives the tuner.profile_points counter.
+ */
+tuner::TuningTable profileEnvironment(
+    const fabric::EnvConfig& cfg, int nNodes,
+    const tuner::ProfileOptions& opt = {},
+    obs::MetricsRegistry* metrics = nullptr, bool withPort = true,
+    bool withSwitch = true);
+
+} // namespace mscclpp
+
+#endif // MSCCLPP_COLLECTIVE_PROFILE_HPP

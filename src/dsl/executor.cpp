@@ -63,6 +63,8 @@ Executor::Executor(gpu::Machine& machine, std::size_t maxBytes)
         allRanks[r] = r;
     }
     syncer_ = std::make_unique<DeviceSyncer>(machine, allRanks);
+    planCache_ = std::make_unique<tuner::PlanCache>(
+        64, &machine.obs().metrics(), "dsl.plan_cache");
 }
 
 Executor::~Executor()
@@ -91,9 +93,29 @@ Executor::resolve(int rank, const BufRef& ref) const
     return scratch_.at(rank).view(scratchShift() + ref.offset, ref.bytes);
 }
 
-sim::Time
-Executor::execute(const Program& program, gpu::DataType type,
-                  gpu::ReduceOp op)
+namespace {
+
+/** FNV-1a over the canonical text form: the plan-cache identity of a
+ *  program's full content (name, streams, thread blocks). */
+std::uint64_t
+fingerprintProgram(const Program& program)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string& s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+    };
+    mix(program.name());
+    mix(program.serialize());
+    return h;
+}
+
+} // namespace
+
+std::shared_ptr<const ExecutionPlan>
+Executor::prepare(const Program& program)
 {
     if (program.numRanks() != n_) {
         throw Error(ErrorCode::InvalidUsage,
@@ -103,10 +125,17 @@ Executor::execute(const Program& program, gpu::DataType type,
         throw Error(ErrorCode::InvalidUsage,
                     "program needs multimem hardware");
     }
+    tuner::PlanKey key;
+    key.variant = fingerprintProgram(program);
+    if (const tuner::Plan* hit = planCache_->find(key)) {
+        return std::static_pointer_cast<const ExecutionPlan>(
+            hit->program);
+    }
     // The DSL checks programs for mistakes before running them
     // (Section 5.1): mismatched signal/wait counts, barrier skew or
     // out-of-bounds chunks abort with a diagnostic instead of
-    // deadlocking the kernel.
+    // deadlocking the kernel. Done once per program content; repeat
+    // launches of the same shape hit the plan cache above.
     auto problems = program.validate(maxBytes_, 2 * maxBytes_ + 32768);
     if (!problems.empty()) {
         std::string msg = "program '" + program.name() + "' is ill-formed:";
@@ -115,6 +144,28 @@ Executor::execute(const Program& program, gpu::DataType type,
         }
         throw Error(ErrorCode::InvalidUsage, msg);
     }
+    auto plan = std::make_shared<ExecutionPlan>(
+        ExecutionPlan{program, key.variant});
+    tuner::Plan entry;
+    entry.algoName = program.name();
+    entry.blocks = program.numThreadBlocks();
+    entry.program = plan;
+    planCache_->insert(key, std::move(entry));
+    return plan;
+}
+
+sim::Time
+Executor::execute(const Program& program, gpu::DataType type,
+                  gpu::ReduceOp op)
+{
+    return run(*prepare(program), type, op);
+}
+
+sim::Time
+Executor::run(const ExecutionPlan& plan, gpu::DataType type,
+              gpu::ReduceOp op)
+{
+    const Program& program = plan.program;
     const sim::Time decode = machine_->config().dslInstrOverhead;
     // Rotate the scratch region like the hand-written kernels do, so
     // back-to-back executions need no trailing barrier.

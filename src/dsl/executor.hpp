@@ -8,12 +8,26 @@
 #include "dsl/program.hpp"
 #include "gpu/kernel.hpp"
 #include "gpu/types.hpp"
+#include "tuner/plan_cache.hpp"
 
 #include <memory>
 #include <optional>
 #include <vector>
 
 namespace mscclpp::dsl {
+
+/**
+ * A program the executor has already checked and is ready to launch:
+ * the lowered instruction streams plus their content fingerprint.
+ * Produced by Executor::prepare(), memoized in the executor's
+ * execution-plan cache so the serving hot loop (same program shape
+ * every decode step) skips re-validation entirely.
+ */
+struct ExecutionPlan
+{
+    Program program;
+    std::uint64_t fingerprint = 0;
+};
 
 /**
  * The MSCCL++ DSL Executor (Section 4.3): a GPU kernel that reads a
@@ -44,10 +58,26 @@ class Executor
     /**
      * Interpret @p program on all ranks. @return elapsed time,
      * including launch and host sync, exactly like the collective
-     * API's timings.
+     * API's timings. Equivalent to run(*prepare(program), ...): the
+     * validation work is memoized per program content.
      */
     sim::Time execute(const Program& program, gpu::DataType type,
                       gpu::ReduceOp op);
+
+    /**
+     * Validate @p program and cache the resulting plan keyed by its
+     * content fingerprint; repeated calls with an identical program
+     * return the cached plan without re-validating. Throws
+     * Error(InvalidUsage) when the program is ill-formed.
+     */
+    std::shared_ptr<const ExecutionPlan> prepare(const Program& program);
+
+    /** Launch an already-prepared plan (no validation on this path). */
+    sim::Time run(const ExecutionPlan& plan, gpu::DataType type,
+                  gpu::ReduceOp op);
+
+    /** The executor's execution-plan cache (obs: dsl.plan_cache.*). */
+    const tuner::PlanCache& planCache() const { return *planCache_; }
 
   private:
     gpu::DeviceBuffer resolve(int rank, const BufRef& ref) const;
@@ -68,6 +98,7 @@ class Executor
     std::optional<ChannelMesh> portScratch_; // data -> scratch
     std::vector<std::unique_ptr<SwitchChannel>> switch_;
     std::unique_ptr<DeviceSyncer> syncer_;
+    std::unique_ptr<tuner::PlanCache> planCache_;
     std::uint64_t round_ = 0;      ///< rotating-scratch generation
     std::size_t activeShift_ = 0;  ///< scratch offset of this round
 };

@@ -115,6 +115,16 @@ struct EnvConfig
     bool metricsEnabled = true;
     std::string traceFile = "trace.json";     ///< MSCCLPP_TRACE_FILE
     std::string metricsFile = "metrics.json"; ///< MSCCLPP_METRICS_FILE
+
+    // ---- algorithm tuner (src/tuner) ---------------------------------------
+    /// Algorithm selection policy (MSCCLPP_TUNER): "static" keeps the
+    /// built-in size thresholds, "profile" measures per-environment
+    /// crossover tables in virtual time, "file" only loads a table
+    /// from tunerCacheFile and otherwise stays static.
+    std::string tunerMode = "static";
+    /// Versioned JSON profile cache (MSCCLPP_TUNER_CACHE); empty
+    /// disables persistence.
+    std::string tunerCacheFile;
 };
 
 /** A100-40G row of Table 1: NVLink 3.0 + HDR InfiniBand. */
@@ -151,6 +161,14 @@ void applyEnvOverrides(EnvConfig& cfg);
  * paths).
  */
 void applyObsEnvOverrides(EnvConfig& cfg);
+
+/**
+ * Apply only the tuner variables — MSCCLPP_TUNER and
+ * MSCCLPP_TUNER_CACHE — to @p cfg. Called by every Machine at
+ * construction (like the obs gate) and by applyEnvOverrides. Throws
+ * Error(InvalidUsage) when MSCCLPP_TUNER names an unknown mode.
+ */
+void applyTunerEnvOverrides(EnvConfig& cfg);
 
 } // namespace mscclpp::fabric
 

@@ -83,9 +83,26 @@ applyObsEnvOverrides(EnvConfig& cfg)
 }
 
 void
+applyTunerEnvOverrides(EnvConfig& cfg)
+{
+    const char* mode = std::getenv("MSCCLPP_TUNER");
+    if (mode != nullptr && *mode != '\0') {
+        std::string s(mode);
+        if (s != "static" && s != "profile" && s != "file") {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_TUNER='" + s +
+                            "' is not a mode (use static/profile/file)");
+        }
+        cfg.tunerMode = s;
+    }
+    readPath("MSCCLPP_TUNER_CACHE", cfg.tunerCacheFile);
+}
+
+void
 applyEnvOverrides(EnvConfig& cfg)
 {
     applyObsEnvOverrides(cfg);
+    applyTunerEnvOverrides(cfg);
     // Fabric rates and latencies.
     readDouble("MSCCLPP_INTRA_BW_GBPS", cfg.intraBwGBps);
     readDouble("MSCCLPP_NIC_BW_GBPS", cfg.nicBwGBps);

@@ -64,8 +64,11 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     : cfg_(std::move(cfg)), numNodes_(numNodes), mode_(mode)
 {
     // Runtime observability gate: MSCCLPP_TRACE=1 turns the tracer on
-    // for every machine in the process, no code changes needed.
+    // for every machine in the process, no code changes needed. The
+    // tuner gate (MSCCLPP_TUNER) rides the same mechanism so any
+    // communicator built on this machine sees the selected mode.
     fabric::applyObsEnvOverrides(cfg_);
+    fabric::applyTunerEnvOverrides(cfg_);
     obs_.tracer().setEnabled(cfg_.traceEnabled);
     obs_.metrics().setEnabled(cfg_.metricsEnabled);
     obs_.setTraceFile(cfg_.traceFile);

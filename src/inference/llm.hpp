@@ -95,6 +95,9 @@ class InferenceSim
     /** Simulated AllReduce latency of @p bytes on @p backend. */
     sim::Time allReduceTime(std::size_t bytes, CommBackend backend);
 
+    /** The MSCCL++ communicator (e.g. to inspect its plan cache). */
+    const CollectiveComm& comm() const { return *ours_; }
+
   private:
     sim::Time layerComputeTime(std::uint64_t tokens,
                                std::uint64_t kvTokensRead) const;

@@ -1,0 +1,312 @@
+#include "tuner/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mscclpp::tuner::json {
+
+const Value*
+Value::get(const std::string& key) const
+{
+    if (kind != Kind::Object) {
+        return nullptr;
+    }
+    for (const auto& [k, v] : object) {
+        if (k == key) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    std::optional<Value> run()
+    {
+        skipWs();
+        Value v;
+        if (!value(v)) {
+            return std::nullopt;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            return std::nullopt; // trailing garbage
+        }
+        return v;
+    }
+
+  private:
+    bool value(Value& out)
+    {
+        if (pos_ >= text_.size()) {
+            return false;
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out.kind = Value::Kind::String;
+            return string(out.string);
+          case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null");
+          default:
+            return number(out);
+        }
+    }
+
+    bool object(Value& out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!string(key)) {
+                return false;
+            }
+            skipWs();
+            if (peek() != ':') {
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            Value v;
+            if (!value(v)) {
+                return false;
+            }
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array(Value& out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value v;
+            if (!value(v)) {
+                return false;
+            }
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string(std::string& out)
+    {
+        if (peek() != '"') {
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size()) {
+                    return false;
+                }
+                char esc = text_[pos_ + 1];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    // \uXXXX: keep the cache ASCII; reject surrogates.
+                    if (pos_ + 5 >= text_.size()) {
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 2; i < 6; ++i) {
+                        char h = text_[pos_ + i];
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(h))) {
+                            return false;
+                        }
+                        code = code * 16 +
+                               (std::isdigit(
+                                    static_cast<unsigned char>(h))
+                                    ? h - '0'
+                                    : std::tolower(h) - 'a' + 10);
+                    }
+                    if (code > 0x7f) {
+                        return false;
+                    }
+                    out += static_cast<char>(code);
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                pos_ += 2;
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool number(Value& out)
+    {
+        std::size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            return false;
+        }
+        char* end = nullptr;
+        std::string tok = text_.substr(start, pos_ - start);
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(tok.c_str(), &end);
+        return end != nullptr && *end == '\0';
+    }
+
+    bool literal(const char* word)
+    {
+        for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string& text)
+{
+    return Parser(text).run();
+}
+
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mscclpp::tuner::json

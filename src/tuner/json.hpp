@@ -1,0 +1,55 @@
+#ifndef MSCCLPP_TUNER_JSON_HPP
+#define MSCCLPP_TUNER_JSON_HPP
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mscclpp::tuner::json {
+
+/**
+ * Minimal JSON value used by the tuner cache file (table.cpp). The
+ * obs module only ever *writes* JSON; loading a profile cache back in
+ * needs a parser too, so the tuner carries this self-contained one —
+ * strict enough to reject a corrupt cache (the selector then falls
+ * back to the static heuristic) without pulling in a dependency.
+ */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup on objects; nullptr when absent or not an object. */
+    const Value* get(const std::string& key) const;
+};
+
+/** Parse one JSON document; nullopt on any syntax error or trailing
+ *  garbage (the caller treats that as a corrupt cache file). */
+std::optional<Value> parse(const std::string& text);
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string escape(const std::string& s);
+
+} // namespace mscclpp::tuner::json
+
+#endif // MSCCLPP_TUNER_JSON_HPP

@@ -1,0 +1,62 @@
+#include "tuner/plan_cache.hpp"
+
+namespace mscclpp::tuner {
+
+PlanCache::PlanCache(std::size_t capacity, obs::MetricsRegistry* metrics,
+                     std::string metricPrefix)
+    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics),
+      prefix_(std::move(metricPrefix))
+{
+}
+
+void
+PlanCache::count(const char* suffix)
+{
+    if (metrics_ != nullptr && metrics_->enabled()) {
+        metrics_->counter(prefix_ + "." + suffix).add(1);
+    }
+}
+
+const Plan*
+PlanCache::find(const PlanKey& key)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        count("miss");
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    count("hit");
+    return &it->second->plan;
+}
+
+const Plan&
+PlanCache::insert(const PlanKey& key, Plan plan)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second->plan = std::move(plan);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->plan;
+    }
+    if (entries_.size() >= capacity_) {
+        ++evictions_;
+        count("evict");
+        entries_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+    lru_.push_front(Entry{key, std::move(plan)});
+    entries_[key] = lru_.begin();
+    return lru_.front().plan;
+}
+
+void
+PlanCache::clear()
+{
+    lru_.clear();
+    entries_.clear();
+}
+
+} // namespace mscclpp::tuner

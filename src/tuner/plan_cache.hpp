@@ -1,0 +1,111 @@
+#ifndef MSCCLPP_TUNER_PLAN_CACHE_HPP
+#define MSCCLPP_TUNER_PLAN_CACHE_HPP
+
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace mscclpp::tuner {
+
+/**
+ * Identity of one prepared launch: which collective, which resolved
+ * algorithm (0 = resolved from Auto), the shape, and the element
+ * semantics. Keys are per cache instance and caches are per
+ * communicator/executor, so two communicators never share plans.
+ */
+struct PlanKey
+{
+    int collective = 0;        ///< Collective enum value, or a user tag
+    std::uint64_t bytes = 0;   ///< message size (AllGather: per rank)
+    std::uint64_t variant = 0; ///< extra discriminator (e.g. program hash)
+    int dtype = 0;
+    int op = 0;
+
+    bool operator<(const PlanKey& o) const
+    {
+        if (collective != o.collective) {
+            return collective < o.collective;
+        }
+        if (bytes != o.bytes) {
+            return bytes < o.bytes;
+        }
+        if (variant != o.variant) {
+            return variant < o.variant;
+        }
+        if (dtype != o.dtype) {
+            return dtype < o.dtype;
+        }
+        return op < o.op;
+    }
+};
+
+/**
+ * One memoized launch plan: everything the hot path would otherwise
+ * re-derive per call — the algorithm the selector resolved, the launch
+ * geometry and chunk schedule, and (for DSL-driven launches) the
+ * lowered, validated program held type-erased so the tuner library
+ * stays below dsl in the link order.
+ */
+struct Plan
+{
+    int algoId = 0;              ///< resolved collective-layer enum value
+    std::string algoName;        ///< its toString() form (for reporting)
+    int blocks = 0;              ///< kernel launch width
+    std::uint64_t chunkBytes = 0; ///< per-peer chunk of the schedule
+    std::shared_ptr<const void> program; ///< lowered DSL program, if any
+};
+
+/**
+ * LRU cache of prepared launch plans, sized for steady-state serving
+ * (an LLM decode loop re-issues a handful of shapes thousands of
+ * times). Hits, misses and evictions are reported through the obs
+ * metrics registry under "<prefix>.hit/miss/evict".
+ */
+class PlanCache
+{
+  public:
+    explicit PlanCache(std::size_t capacity = 128,
+                       obs::MetricsRegistry* metrics = nullptr,
+                       std::string metricPrefix = "tuner.plan_cache");
+
+    /** Cached plan for @p key, refreshing its LRU slot; nullptr on
+     *  miss. The pointer stays valid until the entry is evicted. */
+    const Plan* find(const PlanKey& key);
+
+    /** Insert (or replace) @p key, evicting the LRU entry if full. */
+    const Plan& insert(const PlanKey& key, Plan plan);
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    void clear();
+
+  private:
+    void count(const char* suffix);
+
+    struct Entry
+    {
+        PlanKey key;
+        Plan plan;
+    };
+
+    std::size_t capacity_;
+    obs::MetricsRegistry* metrics_;
+    std::string prefix_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::map<PlanKey, std::list<Entry>::iterator> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace mscclpp::tuner
+
+#endif // MSCCLPP_TUNER_PLAN_CACHE_HPP

@@ -1,0 +1,44 @@
+#include "tuner/profiler.hpp"
+
+namespace mscclpp::tuner {
+
+std::vector<std::uint64_t>
+profileGrid(const ProfileOptions& opt)
+{
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t growth = opt.growth < 2 ? 2 : opt.growth;
+    for (std::uint64_t b = opt.minBytes; b <= opt.maxBytes; b *= growth) {
+        sizes.push_back(b);
+    }
+    // Always anchor the top of the range so interpolation covers the
+    // full [minBytes, maxBytes] span even when growth overshoots.
+    if (!sizes.empty() && sizes.back() != opt.maxBytes) {
+        sizes.push_back(opt.maxBytes);
+    }
+    return sizes;
+}
+
+TuningTable
+profile(const std::vector<Candidate>& candidates, const RunFn& run,
+        const ProfileOptions& opt, obs::MetricsRegistry* metrics)
+{
+    const std::vector<std::uint64_t> grid = profileGrid(opt);
+    TuningTable table;
+    for (const Candidate& c : candidates) {
+        LatencyCurve curve;
+        for (std::uint64_t bytes : grid) {
+            std::optional<double> ns = run(c, bytes);
+            if (!ns || *ns <= 0.0) {
+                continue; // size not runnable for this algorithm
+            }
+            curve.add(bytes, *ns);
+            if (metrics != nullptr && metrics->enabled()) {
+                metrics->counter("tuner.profile_points").add(1);
+            }
+        }
+        table.add(c.collective, c.algo, std::move(curve));
+    }
+    return table;
+}
+
+} // namespace mscclpp::tuner

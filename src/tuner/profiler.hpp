@@ -1,0 +1,61 @@
+#ifndef MSCCLPP_TUNER_PROFILER_HPP
+#define MSCCLPP_TUNER_PROFILER_HPP
+
+#include "obs/metrics.hpp"
+#include "tuner/table.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mscclpp::tuner {
+
+/**
+ * One algorithm the profiler should sweep. The tuner sits below the
+ * collective library in the dependency order, so candidates are
+ * described by name and the actual collective runs happen through the
+ * RunFn callback the collective layer injects (see
+ * collective/profile.hpp for the concrete driver).
+ */
+struct Candidate
+{
+    Collective collective = Collective::AllReduce;
+    std::string algo; ///< collective-layer toString() name
+};
+
+/**
+ * Run @p candidate at @p bytes (AllGather sizes are per rank) and
+ * return the measured latency in nanoseconds, or nullopt when the
+ * algorithm cannot run that size in this environment (scratch limits,
+ * alignment, missing hardware). Because the machine is simulated, a
+ * "measurement" is exact virtual time — cheap and noise-free.
+ */
+using RunFn = std::function<std::optional<double>(const Candidate& c,
+                                                  std::uint64_t bytes)>;
+
+/** Geometric message-size grid swept per candidate. */
+struct ProfileOptions
+{
+    std::uint64_t minBytes = 1 << 10;
+    std::uint64_t maxBytes = 64 << 20;
+    /// Grid multiplier; 4x gives 9 sizes across 1 KiB..64 MiB, which
+    /// log-log interpolation fills in well (DESIGN.md tuner section).
+    std::uint64_t growth = 4;
+};
+
+/** The profiled grid sizes for @p opt (shared with benches/tests). */
+std::vector<std::uint64_t> profileGrid(const ProfileOptions& opt);
+
+/**
+ * Sweep every candidate over the size grid in virtual time and build
+ * the per-environment crossover table. Emits `tuner.profile_points`
+ * into @p metrics (nullable) as it goes.
+ */
+TuningTable profile(const std::vector<Candidate>& candidates,
+                    const RunFn& run, const ProfileOptions& opt,
+                    obs::MetricsRegistry* metrics = nullptr);
+
+} // namespace mscclpp::tuner
+
+#endif // MSCCLPP_TUNER_PROFILER_HPP

@@ -1,0 +1,268 @@
+#include "tuner/table.hpp"
+
+#include "tuner/json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mscclpp::tuner {
+
+const char*
+toString(Collective c)
+{
+    switch (c) {
+      case Collective::AllReduce:
+        return "allreduce";
+      case Collective::AllGather:
+        return "allgather";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// LatencyCurve
+// ---------------------------------------------------------------------------
+
+void
+LatencyCurve::add(std::uint64_t bytes, double ns)
+{
+    ProfilePoint p{bytes, ns};
+    auto it = std::lower_bound(points_.begin(), points_.end(), bytes,
+                               [](const ProfilePoint& a,
+                                  std::uint64_t b) { return a.bytes < b; });
+    if (it != points_.end() && it->bytes == bytes) {
+        it->ns = ns; // re-profiled: latest measurement wins
+        return;
+    }
+    points_.insert(it, p);
+}
+
+bool
+LatencyCurve::covers(std::uint64_t bytes) const
+{
+    return !points_.empty() && bytes >= points_.front().bytes &&
+           bytes <= points_.back().bytes;
+}
+
+std::optional<double>
+LatencyCurve::lookupNs(std::uint64_t bytes) const
+{
+    if (!covers(bytes)) {
+        return std::nullopt;
+    }
+    auto hi = std::lower_bound(points_.begin(), points_.end(), bytes,
+                               [](const ProfilePoint& a,
+                                  std::uint64_t b) { return a.bytes < b; });
+    if (hi->bytes == bytes) {
+        return hi->ns;
+    }
+    auto lo = hi - 1;
+    // Log-log interpolation: latency curves are near power laws, so
+    // interpolating the exponents tracks the measured curve far better
+    // than linear interpolation over a 4x geometric grid.
+    double t = (std::log2(double(bytes)) - std::log2(double(lo->bytes))) /
+               (std::log2(double(hi->bytes)) - std::log2(double(lo->bytes)));
+    double logNs =
+        std::log2(lo->ns) + t * (std::log2(hi->ns) - std::log2(lo->ns));
+    return std::exp2(logNs);
+}
+
+// ---------------------------------------------------------------------------
+// TuningTable
+// ---------------------------------------------------------------------------
+
+void
+TuningTable::add(Collective c, const std::string& algo, LatencyCurve curve)
+{
+    if (curve.empty()) {
+        return; // algorithm never ran (e.g. no multimem): no curve
+    }
+    auto& m = c == Collective::AllReduce ? allReduce_ : allGather_;
+    m[algo] = std::move(curve);
+}
+
+bool
+TuningTable::empty() const
+{
+    return allReduce_.empty() && allGather_.empty();
+}
+
+const std::map<std::string, LatencyCurve>&
+TuningTable::curves(Collective c) const
+{
+    return c == Collective::AllReduce ? allReduce_ : allGather_;
+}
+
+std::optional<std::string>
+TuningTable::best(Collective c, std::uint64_t bytes) const
+{
+    const auto& m = curves(c);
+    std::optional<std::string> bestAlgo;
+    double bestNs = 0.0;
+    for (const auto& [algo, curve] : m) {
+        std::optional<double> ns = curve.lookupNs(bytes);
+        if (ns && (!bestAlgo || *ns < bestNs)) {
+            bestAlgo = algo;
+            bestNs = *ns;
+        }
+    }
+    return bestAlgo;
+}
+
+// ---------------------------------------------------------------------------
+// TunerCache
+// ---------------------------------------------------------------------------
+
+std::string
+TunerCache::envKey(const std::string& envName, int nRanks, int nNodes)
+{
+    return envName + "/" + std::to_string(nRanks) + "r" +
+           std::to_string(nNodes) + "n";
+}
+
+const TuningTable*
+TunerCache::find(const std::string& key) const
+{
+    auto it = tables_.find(key);
+    return it == tables_.end() ? nullptr : &it->second;
+}
+
+void
+TunerCache::put(const std::string& key, TuningTable table)
+{
+    tables_[key] = std::move(table);
+}
+
+namespace {
+
+void
+appendCurves(std::ostringstream& out,
+             const std::map<std::string, LatencyCurve>& curves)
+{
+    bool firstAlgo = true;
+    for (const auto& [algo, curve] : curves) {
+        if (!firstAlgo) {
+            out << ",";
+        }
+        firstAlgo = false;
+        out << "\"" << json::escape(algo) << "\":[";
+        bool firstPt = true;
+        for (const ProfilePoint& p : curve.points()) {
+            if (!firstPt) {
+                out << ",";
+            }
+            firstPt = false;
+            char ns[32];
+            std::snprintf(ns, sizeof(ns), "%.3f", p.ns);
+            out << "[" << p.bytes << "," << ns << "]";
+        }
+        out << "]";
+    }
+}
+
+bool
+parseCurves(const json::Value& obj, Collective c, TuningTable& table)
+{
+    if (!obj.isObject()) {
+        return false;
+    }
+    for (const auto& [algo, pts] : obj.object) {
+        if (!pts.isArray()) {
+            return false;
+        }
+        LatencyCurve curve;
+        for (const json::Value& pt : pts.array) {
+            if (!pt.isArray() || pt.array.size() != 2 ||
+                !pt.array[0].isNumber() || !pt.array[1].isNumber() ||
+                pt.array[0].number < 1.0 || pt.array[1].number <= 0.0) {
+                return false;
+            }
+            curve.add(static_cast<std::uint64_t>(pt.array[0].number),
+                      pt.array[1].number);
+        }
+        table.add(c, algo, std::move(curve));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+TunerCache::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"version\":" << kVersion << ",\"tables\":{";
+    bool firstEnv = true;
+    for (const auto& [key, table] : tables_) {
+        if (!firstEnv) {
+            out << ",";
+        }
+        firstEnv = false;
+        out << "\"" << json::escape(key) << "\":{\"allreduce\":{";
+        appendCurves(out, table.curves(Collective::AllReduce));
+        out << "},\"allgather\":{";
+        appendCurves(out, table.curves(Collective::AllGather));
+        out << "}}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+std::optional<TunerCache>
+TunerCache::fromJson(const std::string& text)
+{
+    std::optional<json::Value> root = json::parse(text);
+    if (!root || !root->isObject()) {
+        return std::nullopt;
+    }
+    const json::Value* version = root->get("version");
+    if (version == nullptr || !version->isNumber() ||
+        static_cast<int>(version->number) != kVersion) {
+        return std::nullopt; // future or foreign format: refuse
+    }
+    const json::Value* tables = root->get("tables");
+    if (tables == nullptr || !tables->isObject()) {
+        return std::nullopt;
+    }
+    TunerCache cache;
+    for (const auto& [key, envTables] : tables->object) {
+        TuningTable table;
+        const json::Value* ar = envTables.get("allreduce");
+        const json::Value* ag = envTables.get("allgather");
+        if (ar == nullptr || ag == nullptr ||
+            !parseCurves(*ar, Collective::AllReduce, table) ||
+            !parseCurves(*ag, Collective::AllGather, table)) {
+            return std::nullopt;
+        }
+        cache.put(key, std::move(table));
+    }
+    return cache;
+}
+
+std::optional<TunerCache>
+TunerCache::loadFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return fromJson(text.str());
+}
+
+bool
+TunerCache::saveFile(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        return false;
+    }
+    out << toJson() << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace mscclpp::tuner

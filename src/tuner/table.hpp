@@ -1,0 +1,115 @@
+#ifndef MSCCLPP_TUNER_TABLE_HPP
+#define MSCCLPP_TUNER_TABLE_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mscclpp::tuner {
+
+/** Collectives the tuner currently covers. */
+enum class Collective
+{
+    AllReduce,
+    AllGather,
+};
+
+const char* toString(Collective c);
+
+/** One profiled sample: latency of an algorithm at a message size. */
+struct ProfilePoint
+{
+    std::uint64_t bytes = 0;
+    double ns = 0.0;
+};
+
+/**
+ * Measured latency-vs-size curve of one algorithm on one environment.
+ * Lookups between profiled sizes interpolate linearly in log-log
+ * space (collective latency curves are close to piecewise power laws);
+ * sizes outside the profiled range return nullopt so the selector can
+ * fall back to the static heuristic instead of extrapolating.
+ */
+class LatencyCurve
+{
+  public:
+    void add(std::uint64_t bytes, double ns);
+
+    bool empty() const { return points_.empty(); }
+    const std::vector<ProfilePoint>& points() const { return points_; }
+
+    /** Whether @p bytes lies inside the profiled size range. */
+    bool covers(std::uint64_t bytes) const;
+
+    /** Interpolated latency; nullopt outside the profiled range. */
+    std::optional<double> lookupNs(std::uint64_t bytes) const;
+
+  private:
+    std::vector<ProfilePoint> points_; ///< sorted by bytes
+};
+
+/**
+ * All measured curves of one environment: per collective, a map from
+ * algorithm *name* (the collective layer's toString form — the tuner
+ * sits below the collective library and never sees its enums) to its
+ * latency curve. best() is the profile-guided selector core: argmin
+ * of the interpolated curves at the requested size.
+ */
+class TuningTable
+{
+  public:
+    void add(Collective c, const std::string& algo, LatencyCurve curve);
+
+    bool empty() const;
+    const std::map<std::string, LatencyCurve>& curves(Collective c) const;
+
+    /**
+     * Name of the fastest profiled algorithm at @p bytes; nullopt when
+     * no curve covers the size (unprofiled shape -> static fallback).
+     */
+    std::optional<std::string> best(Collective c,
+                                    std::uint64_t bytes) const;
+
+  private:
+    std::map<std::string, LatencyCurve> allReduce_;
+    std::map<std::string, LatencyCurve> allGather_;
+};
+
+/**
+ * The on-disk profile cache (MSCCLPP_TUNER_CACHE): tables keyed by
+ * environment — "<env name>/<nRanks>r<nNodes>n" — in a versioned JSON
+ * file, so one cache file can hold every machine shape a job ever
+ * profiled. Loading rejects corrupt or version-mismatched files by
+ * returning nullopt; callers fall back to the static heuristic.
+ */
+class TunerCache
+{
+  public:
+    static constexpr int kVersion = 1;
+
+    /** Cache key of one (environment, machine shape). */
+    static std::string envKey(const std::string& envName, int nRanks,
+                              int nNodes);
+
+    const TuningTable* find(const std::string& key) const;
+    void put(const std::string& key, TuningTable table);
+    std::size_t size() const { return tables_.size(); }
+
+    std::string toJson() const;
+    static std::optional<TunerCache> fromJson(const std::string& text);
+
+    /** nullopt when the file is missing, unreadable or invalid. */
+    static std::optional<TunerCache> loadFile(const std::string& path);
+
+    /** @return false on I/O failure (the tuner logs and carries on). */
+    bool saveFile(const std::string& path) const;
+
+  private:
+    std::map<std::string, TuningTable> tables_;
+};
+
+} // namespace mscclpp::tuner
+
+#endif // MSCCLPP_TUNER_TABLE_HPP

@@ -1,0 +1,130 @@
+#include "tuner/tuner.hpp"
+
+#include "core/logging.hpp"
+
+namespace mscclpp::tuner {
+
+const char*
+toString(TunerMode m)
+{
+    switch (m) {
+      case TunerMode::Static:
+        return "static";
+      case TunerMode::Profile:
+        return "profile";
+      case TunerMode::File:
+        return "file";
+    }
+    return "?";
+}
+
+std::optional<TunerMode>
+parseTunerMode(const std::string& s)
+{
+    if (s == "static") {
+        return TunerMode::Static;
+    }
+    if (s == "profile") {
+        return TunerMode::Profile;
+    }
+    if (s == "file") {
+        return TunerMode::File;
+    }
+    return std::nullopt;
+}
+
+Tuner::Tuner(TunerMode mode, const fabric::EnvConfig& cfg, int nRanks,
+             int nNodes, std::string cacheFile,
+             obs::MetricsRegistry* metrics, Hooks hooks)
+    : mode_(mode),
+      envKey_(TunerCache::envKey(cfg.name, nRanks, nNodes)),
+      cacheFile_(std::move(cacheFile)), metrics_(metrics)
+{
+    if (mode_ != TunerMode::Static) {
+        acquireTable(hooks);
+    }
+}
+
+void
+Tuner::count(const char* name) const
+{
+    if (metrics_ != nullptr && metrics_->enabled()) {
+        metrics_->counter(std::string("tuner.") + name).add(1);
+    }
+}
+
+void
+Tuner::acquireTable(const Hooks& hooks)
+{
+    // 1) Try the cache file (both Profile and File modes).
+    std::optional<TunerCache> cache;
+    if (!cacheFile_.empty()) {
+        cache = TunerCache::loadFile(cacheFile_);
+        if (!cache) {
+            count("cache_errors");
+            MSCCLPP_WARN("tuner: cache '%s' missing or invalid%s",
+                         cacheFile_.c_str(),
+                         mode_ == TunerMode::File
+                             ? "; falling back to static selection"
+                             : "; re-profiling");
+        } else if (const TuningTable* t = cache->find(envKey_)) {
+            table_ = std::make_unique<TuningTable>(*t);
+            count("cache_loads");
+            MSCCLPP_INFO("tuner: loaded table for %s from %s",
+                         envKey_.c_str(), cacheFile_.c_str());
+            return;
+        } else if (mode_ == TunerMode::File) {
+            count("cache_errors");
+            MSCCLPP_WARN("tuner: cache '%s' has no table for %s; "
+                         "falling back to static selection",
+                         cacheFile_.c_str(), envKey_.c_str());
+        }
+    }
+    if (mode_ == TunerMode::File) {
+        return; // never profile in File mode
+    }
+
+    // 2) Profile mode: measure this environment now, in virtual time.
+    if (!hooks.profile) {
+        MSCCLPP_WARN("tuner: no profile hook; staying on the static "
+                     "heuristic");
+        return;
+    }
+    TuningTable measured = hooks.profile();
+    count("profile_runs");
+    if (measured.empty()) {
+        MSCCLPP_WARN("tuner: profiling %s produced no curves; staying "
+                     "on the static heuristic",
+                     envKey_.c_str());
+        return;
+    }
+    table_ = std::make_unique<TuningTable>(measured);
+
+    // 3) Persist so the next run loads instead of re-profiling.
+    if (!cacheFile_.empty()) {
+        TunerCache out = cache ? std::move(*cache) : TunerCache{};
+        out.put(envKey_, std::move(measured));
+        if (out.saveFile(cacheFile_)) {
+            count("cache_saves");
+            MSCCLPP_INFO("tuner: saved table for %s to %s",
+                         envKey_.c_str(), cacheFile_.c_str());
+        } else {
+            count("cache_errors");
+            MSCCLPP_WARN("tuner: cannot write cache '%s'",
+                         cacheFile_.c_str());
+        }
+    }
+}
+
+std::optional<std::string>
+Tuner::choose(Collective c, std::uint64_t bytes) const
+{
+    if (table_ == nullptr) {
+        return std::nullopt;
+    }
+    std::optional<std::string> best = table_->best(c, bytes);
+    count(best ? "decision_profiled" : "decision_fallback");
+    return best;
+}
+
+} // namespace mscclpp::tuner

@@ -1,0 +1,98 @@
+#ifndef MSCCLPP_TUNER_TUNER_HPP
+#define MSCCLPP_TUNER_TUNER_HPP
+
+#include "fabric/env.hpp"
+#include "obs/metrics.hpp"
+#include "tuner/profiler.hpp"
+#include "tuner/table.hpp"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace mscclpp::tuner {
+
+/**
+ * Selection policy (MSCCLPP_TUNER):
+ *  - Static:  the collective library's built-in size thresholds —
+ *             the default, bit-for-bit and timing-identical to the
+ *             pre-tuner behaviour.
+ *  - Profile: measure this (environment, machine shape) once in
+ *             virtual time and select from the measured crossover
+ *             table; MSCCLPP_TUNER_CACHE persists tables across runs.
+ *  - File:    load the table from MSCCLPP_TUNER_CACHE only; never
+ *             profile. Missing/corrupt/mismatched caches fall back to
+ *             the static heuristic (logged, never fatal).
+ */
+enum class TunerMode
+{
+    Static,
+    Profile,
+    File,
+};
+
+const char* toString(TunerMode m);
+
+/** Parse "static"/"profile"/"file"; nullopt otherwise. */
+std::optional<TunerMode> parseTunerMode(const std::string& s);
+
+/**
+ * The profile-guided algorithm selector of one communicator. The
+ * constructor resolves the mode and — for Profile/File — acquires the
+ * environment's tuning table (loading the cache file, or running the
+ * injected profile hook). Static mode does no work at all: no file
+ * I/O, no profiling machines, no metrics.
+ *
+ * The profile hook is injected by the collective layer
+ * (collective/profile.hpp) because the tuner library sits below it in
+ * the dependency order and cannot run collectives itself.
+ */
+class Tuner
+{
+  public:
+    struct Hooks
+    {
+        /// Profile this (environment, shape) from scratch; only
+        /// invoked in Profile mode on a cache miss.
+        std::function<TuningTable()> profile;
+    };
+
+    /**
+     * @param mode resolved by the caller (communicator options beat
+     *        the EnvConfig's MSCCLPP_TUNER value).
+     * @param cacheFile empty = no persistence.
+     */
+    Tuner(TunerMode mode, const fabric::EnvConfig& cfg, int nRanks,
+          int nNodes, std::string cacheFile,
+          obs::MetricsRegistry* metrics, Hooks hooks);
+
+    TunerMode mode() const { return mode_; }
+    const std::string& envKey() const { return envKey_; }
+
+    /** Whether a tuning table is loaded (always false in Static). */
+    bool active() const { return table_ != nullptr; }
+    const TuningTable* table() const { return table_.get(); }
+
+    /**
+     * Profile-guided choice at @p bytes (AllGather: bytes per rank);
+     * nullopt in Static mode or for sizes outside the profiled range
+     * (the caller then applies its static heuristic).
+     */
+    std::optional<std::string> choose(Collective c,
+                                      std::uint64_t bytes) const;
+
+  private:
+    void acquireTable(const Hooks& hooks);
+    void count(const char* name) const;
+
+    TunerMode mode_;
+    std::string envKey_;
+    std::string cacheFile_;
+    obs::MetricsRegistry* metrics_;
+    std::unique_ptr<TuningTable> table_;
+};
+
+} // namespace mscclpp::tuner
+
+#endif // MSCCLPP_TUNER_TUNER_HPP

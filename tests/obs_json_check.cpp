@@ -1,14 +1,18 @@
 /**
  * Standalone JSON well-formedness checker used by the bench-tracing
- * smoke test (obs_bench_json_parses). Exits 0 iff every file named on
- * the command line parses as a single JSON value with no trailing
- * garbage. Deliberately gtest-free so it stays a tiny ctest COMMAND.
+ * smoke tests (obs_bench_json_parses, tuner_metrics_json). Exits 0
+ * iff every file named on the command line parses as a single JSON
+ * value with no trailing garbage, and every `--require=<substring>`
+ * appears somewhere in the checked files (used to assert that
+ * specific obs counters were emitted). Deliberately gtest-free so it
+ * stays a tiny ctest COMMAND.
  */
 #include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -180,15 +184,28 @@ class Parser
 int
 main(int argc, char** argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+    std::vector<std::string> required;
+    std::vector<const char*> files;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--require=", 0) == 0) {
+            required.push_back(arg.substr(10));
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--require=<substring>]... <file.json>...\n",
+                     argv[0]);
         return 2;
     }
     int rc = 0;
-    for (int i = 1; i < argc; ++i) {
-        std::ifstream f(argv[i]);
+    std::string all;
+    for (const char* file : files) {
+        std::ifstream f(file);
         if (!f) {
-            std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+            std::fprintf(stderr, "%s: cannot open\n", file);
             rc = 1;
             continue;
         }
@@ -196,18 +213,28 @@ main(int argc, char** argv)
         ss << f.rdbuf();
         std::string text = ss.str();
         if (text.empty()) {
-            std::fprintf(stderr, "%s: empty file\n", argv[i]);
+            std::fprintf(stderr, "%s: empty file\n", file);
             rc = 1;
             continue;
         }
         Parser p(text);
         if (!p.parse()) {
             std::fprintf(stderr, "%s: parse error near byte %zu\n",
-                         argv[i], p.errorPos());
+                         file, p.errorPos());
             rc = 1;
             continue;
         }
-        std::printf("%s: ok (%zu bytes)\n", argv[i], text.size());
+        std::printf("%s: ok (%zu bytes)\n", file, text.size());
+        all += text;
+    }
+    for (const std::string& want : required) {
+        if (all.find(want) == std::string::npos) {
+            std::fprintf(stderr, "required '%s' not found in any file\n",
+                         want.c_str());
+            rc = 1;
+        } else {
+            std::printf("required '%s': present\n", want.c_str());
+        }
     }
     return rc;
 }

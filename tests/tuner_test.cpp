@@ -1,0 +1,390 @@
+/**
+ * Tests for the profile-guided tuner (src/tuner) and its collective
+ * integration: the static selector contract on every Table 1
+ * environment, profile -> serialize -> reload round trips, graceful
+ * fallback on broken cache files, and the launch-plan cache.
+ */
+#include "collective/api.hpp"
+#include "collective/profile.hpp"
+#include "core/errors.hpp"
+#include "gpu/compute.hpp"
+#include "tuner/json.hpp"
+#include "tuner/plan_cache.hpp"
+#include "tuner/profiler.hpp"
+#include "tuner/table.hpp"
+#include "tuner/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace sim = mscclpp::sim;
+namespace tuner = mscclpp::tuner;
+using mscclpp::AllGatherAlgo;
+using mscclpp::AllReduceAlgo;
+using mscclpp::CollectiveComm;
+
+namespace {
+
+struct TunerSetup
+{
+    TunerSetup(const std::string& env, int nodes,
+               CollectiveComm::Options opt = {},
+               gpu::DataMode mode = gpu::DataMode::Functional)
+        : machine(fab::makeEnv(env), nodes, mode)
+    {
+        comm = std::make_unique<CollectiveComm>(machine, opt);
+    }
+
+    gpu::Machine machine;
+    std::unique_ptr<CollectiveComm> comm;
+};
+
+void
+writeFile(const std::string& path, const std::string& text)
+{
+    std::ofstream f(path);
+    f << text;
+}
+
+std::string
+tmpPath(const std::string& name)
+{
+    return ::testing::TempDir() + name;
+}
+
+class StaticSelector : public ::testing::TestWithParam<const char*>
+{
+};
+
+} // namespace
+
+// The documented static thresholds, pinned on every Table 1
+// environment at the 16 KiB / 1 MiB / 512 MiB edges. MSCCLPP_TUNER=
+// static (the default) must keep these bit-for-bit.
+TEST_P(StaticSelector, AllReduceEdges)
+{
+    TunerSetup s(GetParam(), 1);
+    const bool multimem = s.machine.config().hasMultimem;
+
+    EXPECT_EQ(s.comm->chooseAllReduceStatic(16 << 10),
+              AllReduceAlgo::AllPairs1P);
+    EXPECT_EQ(s.comm->chooseAllReduceStatic((16 << 10) + 128),
+              AllReduceAlgo::AllPairs2PLL);
+    EXPECT_EQ(s.comm->chooseAllReduceStatic((1 << 20) - 128),
+              AllReduceAlgo::AllPairs2PLL);
+    EXPECT_EQ(s.comm->chooseAllReduceStatic(1 << 20),
+              multimem ? AllReduceAlgo::Switch2P
+                       : AllReduceAlgo::AllPairs2PHB);
+    EXPECT_EQ(s.comm->chooseAllReduceStatic(std::size_t(512) << 20),
+              multimem ? AllReduceAlgo::Switch2P
+                       : AllReduceAlgo::AllPairs2PPort);
+    // The default mode is static and Auto must agree with it.
+    EXPECT_EQ(s.comm->algoTuner().mode(), tuner::TunerMode::Static);
+    EXPECT_FALSE(s.comm->algoTuner().active());
+    EXPECT_EQ(s.comm->chooseAllReduce(1 << 20),
+              s.comm->chooseAllReduceStatic(1 << 20));
+}
+
+TEST_P(StaticSelector, AllGatherEdges)
+{
+    TunerSetup s(GetParam(), 1);
+    EXPECT_EQ(s.comm->chooseAllGatherStatic(32 << 10),
+              AllGatherAlgo::AllPairsLL);
+    EXPECT_EQ(s.comm->chooseAllGatherStatic(1 << 20),
+              AllGatherAlgo::AllPairsHB);
+    // 64 MiB/rank x 8 ranks = 512 MiB total: the DMA threshold.
+    EXPECT_EQ(s.comm->chooseAllGatherStatic(std::size_t(64) << 20),
+              AllGatherAlgo::AllPairsPort);
+    EXPECT_EQ(s.comm->chooseAllGather(1 << 20),
+              s.comm->chooseAllGatherStatic(1 << 20));
+}
+
+TEST_P(StaticSelector, MultiNodeEdges)
+{
+    TunerSetup s(GetParam(), 2);
+    EXPECT_EQ(s.comm->chooseAllReduceStatic(1 << 20),
+              AllReduceAlgo::Hier2PLL);
+    EXPECT_EQ(s.comm->chooseAllReduceStatic((1 << 20) + 128),
+              AllReduceAlgo::Hier2PHB);
+    EXPECT_EQ(s.comm->chooseAllGatherStatic(16 << 10),
+              AllGatherAlgo::Hier);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Envs, StaticSelector,
+                         ::testing::Values("A100-40G", "A100-80G",
+                                           "H100", "MI300x"),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c))) {
+                                     c = '_';
+                                 }
+                             }
+                             return n;
+                         });
+
+TEST(LatencyCurve, InterpolatesInLogSpaceAndRefusesOutside)
+{
+    tuner::LatencyCurve c;
+    c.add(1 << 10, 1000.0);
+    c.add(1 << 14, 3000.0);
+    EXPECT_TRUE(c.covers(1 << 12));
+    EXPECT_FALSE(c.covers(1 << 9));
+    EXPECT_FALSE(c.covers(1 << 15));
+    ASSERT_TRUE(c.lookupNs(1 << 10).has_value());
+    EXPECT_DOUBLE_EQ(*c.lookupNs(1 << 10), 1000.0);
+    EXPECT_DOUBLE_EQ(*c.lookupNs(1 << 14), 3000.0);
+    // 4K is the log-space midpoint of 1K..16K, so log-log
+    // interpolation lands on the geometric mean of the latencies.
+    ASSERT_TRUE(c.lookupNs(1 << 12).has_value());
+    EXPECT_NEAR(*c.lookupNs(1 << 12), std::sqrt(1000.0 * 3000.0), 1e-6);
+    EXPECT_FALSE(c.lookupNs(1 << 15).has_value());
+}
+
+TEST(TuningTable, BestPicksTheCheapestCoveringCurve)
+{
+    tuner::LatencyCurve fastSmall;
+    fastSmall.add(1 << 10, 100.0);
+    fastSmall.add(1 << 20, 9000.0);
+    tuner::LatencyCurve fastLarge;
+    fastLarge.add(1 << 10, 500.0);
+    fastLarge.add(1 << 20, 2000.0);
+    tuner::TuningTable t;
+    t.add(tuner::Collective::AllReduce, "small", fastSmall);
+    t.add(tuner::Collective::AllReduce, "large", fastLarge);
+    EXPECT_EQ(t.best(tuner::Collective::AllReduce, 1 << 10), "small");
+    EXPECT_EQ(t.best(tuner::Collective::AllReduce, 1 << 20), "large");
+    EXPECT_FALSE(t.best(tuner::Collective::AllReduce, 1 << 22));
+    EXPECT_FALSE(t.best(tuner::Collective::AllGather, 1 << 12));
+}
+
+// Profile a real (simulated) environment over a small grid, push the
+// table through the JSON cache format and back, and require identical
+// decisions from the reloaded table at every probe size.
+TEST(TunerRoundTrip, SerializedTableMakesIdenticalDecisions)
+{
+    tuner::ProfileOptions opt;
+    opt.minBytes = 1 << 10;
+    opt.maxBytes = 1 << 20;
+    tuner::TuningTable table =
+        mscclpp::profileEnvironment(fab::makeEnv("A100-40G"), 1, opt);
+    ASSERT_FALSE(table.empty());
+
+    tuner::TunerCache cache;
+    const std::string key = tuner::TunerCache::envKey("A100-40G", 8, 1);
+    cache.put(key, table);
+    std::optional<tuner::TunerCache> reloaded =
+        tuner::TunerCache::fromJson(cache.toJson());
+    ASSERT_TRUE(reloaded.has_value());
+    const tuner::TuningTable* back = reloaded->find(key);
+    ASSERT_NE(back, nullptr);
+    for (std::uint64_t bytes = 1 << 10; bytes <= (1 << 20);
+         bytes = bytes * 3 / 2) {
+        EXPECT_EQ(table.best(tuner::Collective::AllReduce, bytes),
+                  back->best(tuner::Collective::AllReduce, bytes))
+            << "allreduce @" << bytes;
+        EXPECT_EQ(table.best(tuner::Collective::AllGather, bytes / 8),
+                  back->best(tuner::Collective::AllGather, bytes / 8))
+            << "allgather @" << bytes / 8;
+    }
+}
+
+TEST(TunerCacheFile, RejectsCorruptAndMismatchedVersions)
+{
+    const std::string path = tmpPath("tuner_corrupt.json");
+    writeFile(path, "this is not json {{{");
+    EXPECT_FALSE(tuner::TunerCache::loadFile(path).has_value());
+    writeFile(path, "{\"version\":99,\"tables\":{}}");
+    EXPECT_FALSE(tuner::TunerCache::loadFile(path).has_value());
+    writeFile(path, "{\"tables\":{}}");
+    EXPECT_FALSE(tuner::TunerCache::loadFile(path).has_value());
+    EXPECT_FALSE(
+        tuner::TunerCache::loadFile(tmpPath("tuner_missing.json"))
+            .has_value());
+    std::remove(path.c_str());
+}
+
+// A communicator in file mode pointed at garbage must come up on the
+// static heuristic without crashing — never fatal (Section 4.4's
+// "graceful fallback" requirement).
+TEST(TunerFallback, FileModeWithBrokenCacheFallsBackToStatic)
+{
+    const std::string path = tmpPath("tuner_broken_cache.json");
+    writeFile(path, "{\"version\":99,\"tables\":{}}");
+    CollectiveComm::Options opt;
+    opt.tunerMode = "file";
+    opt.tunerCacheFile = path;
+    TunerSetup s("A100-40G", 1, opt);
+    EXPECT_EQ(s.comm->algoTuner().mode(), tuner::TunerMode::File);
+    EXPECT_FALSE(s.comm->algoTuner().active());
+    EXPECT_EQ(s.comm->chooseAllReduce(256 << 10),
+              s.comm->chooseAllReduceStatic(256 << 10));
+    EXPECT_GE(s.machine.obs()
+                  .metrics()
+                  .counter("tuner.cache_errors")
+                  .value(),
+              1u);
+    std::remove(path.c_str());
+}
+
+TEST(TunerFallback, UnknownModeThrows)
+{
+    CollectiveComm::Options opt;
+    opt.tunerMode = "banana";
+    EXPECT_THROW(TunerSetup("A100-40G", 1, opt), mscclpp::Error);
+    EXPECT_FALSE(tuner::parseTunerMode("banana").has_value());
+    EXPECT_EQ(tuner::parseTunerMode("profile"),
+              tuner::TunerMode::Profile);
+}
+
+// End to end: profile once (persisting the cache), then a second
+// communicator must load the file instead of re-profiling and make
+// the same decisions.
+TEST(TunerProfileMode, ProfilesOnceThenLoadsFromCache)
+{
+    const std::string path = tmpPath("tuner_e2e_cache.json");
+    std::remove(path.c_str());
+
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    opt.tunerMode = "profile";
+    opt.tunerCacheFile = path;
+    TunerSetup first("A100-40G", 1, opt, gpu::DataMode::Timed);
+    ASSERT_TRUE(first.comm->algoTuner().active());
+    auto& m1 = first.machine.obs().metrics();
+    EXPECT_EQ(m1.counter("tuner.profile_runs").value(), 1u);
+    EXPECT_EQ(m1.counter("tuner.cache_saves").value(), 1u);
+    EXPECT_GE(m1.counter("tuner.profile_points").value(), 1u);
+
+    TunerSetup second("A100-40G", 1, opt, gpu::DataMode::Timed);
+    ASSERT_TRUE(second.comm->algoTuner().active());
+    auto& m2 = second.machine.obs().metrics();
+    EXPECT_EQ(m2.counter("tuner.profile_runs").value(), 0u);
+    EXPECT_EQ(m2.counter("tuner.cache_loads").value(), 1u);
+    for (std::uint64_t bytes : {1u << 12, 1u << 16, 1u << 20}) {
+        EXPECT_EQ(first.comm->chooseAllReduce(bytes),
+                  second.comm->chooseAllReduce(bytes))
+            << "bytes=" << bytes;
+    }
+    // Decisions route through the profiled table, visibly in metrics.
+    EXPECT_GE(m2.counter("tuner.decision_profiled").value(), 1u);
+    std::remove(path.c_str());
+}
+
+// The profiling hook must not recurse (a profiling communicator runs
+// in forced-static mode) and the tuned Auto path must still produce
+// numerically correct results.
+TEST(TunerProfileMode, TunedAllReduceStaysCorrect)
+{
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    opt.tunerMode = "profile";
+    TunerSetup s("A100-40G", 1, opt);
+    ASSERT_TRUE(s.comm->algoTuner().active());
+    const std::size_t count = 4096;
+    for (int r = 0; r < s.machine.numGpus(); ++r) {
+        gpu::fillPattern(s.comm->dataBuffer(r), gpu::DataType::F32, r,
+                         7);
+    }
+    s.comm->allReduce(count * 4, gpu::DataType::F32,
+                      gpu::ReduceOp::Sum);
+    const int n = s.machine.numGpus();
+    for (std::size_t i = 0; i < count; i += 97) {
+        float expected = 0.0f;
+        for (int r = 0; r < n; ++r) {
+            expected += gpu::patternValue(gpu::DataType::F32, r, i, 7);
+        }
+        for (int r = 0; r < n; ++r) {
+            ASSERT_FLOAT_EQ(
+                gpu::readElement(s.comm->dataBuffer(r),
+                                 gpu::DataType::F32, i),
+                expected)
+                << "rank " << r << " elem " << i;
+        }
+    }
+}
+
+TEST(PlanCache, LruEvictionAndCounters)
+{
+    mscclpp::obs::MetricsRegistry reg;
+    tuner::PlanCache cache(2, &reg, "t.pc");
+    tuner::PlanKey a{0, 100};
+    tuner::PlanKey b{0, 200};
+    tuner::PlanKey c{0, 300};
+    auto plan = [](int id, const char* name) {
+        tuner::Plan p;
+        p.algoId = id;
+        p.algoName = name;
+        return p;
+    };
+    EXPECT_EQ(cache.find(a), nullptr);
+    cache.insert(a, plan(1, "A"));
+    cache.insert(b, plan(2, "B"));
+    ASSERT_NE(cache.find(a), nullptr); // refreshes a; b becomes LRU
+    cache.insert(c, plan(3, "C"));
+    EXPECT_EQ(cache.find(b), nullptr); // evicted
+    ASSERT_NE(cache.find(a), nullptr);
+    ASSERT_NE(cache.find(c), nullptr);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(reg.counter("t.pc.hit").value(), 3u);
+    EXPECT_EQ(reg.counter("t.pc.miss").value(), 2u);
+    EXPECT_EQ(reg.counter("t.pc.evict").value(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, AutoCollectivesMemoizeTheirPlans)
+{
+    CollectiveComm::Options opt;
+    opt.maxBytes = 1 << 20;
+    TunerSetup s("A100-40G", 1, opt, gpu::DataMode::Timed);
+    sim::Time t1 = 0;
+    sim::Time t2 = 0;
+    for (int i = 0; i < 4; ++i) {
+        sim::Time t =
+            s.comm->allReduce(256 << 10, gpu::DataType::F16,
+                              gpu::ReduceOp::Sum);
+        if (i == 0) {
+            t1 = t;
+        } else {
+            t2 = t;
+            // Plan-cache hits must not change the simulated timing.
+            EXPECT_EQ(t1, t2);
+        }
+    }
+    EXPECT_EQ(s.comm->planCache().misses(), 1u);
+    EXPECT_EQ(s.comm->planCache().hits(), 3u);
+    auto& m = s.machine.obs().metrics();
+    EXPECT_EQ(m.counter("tuner.plan_cache.hit").value(), 3u);
+    EXPECT_EQ(m.counter("tuner.plan_cache.miss").value(), 1u);
+}
+
+TEST(TunerJson, ParsesAndRejects)
+{
+    auto v = tuner::json::parse(
+        "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": \"x\\\"y\"}, "
+        "\"t\": true, \"n\": null}");
+    ASSERT_TRUE(v.has_value());
+    const tuner::json::Value* a = v->get("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+    const tuner::json::Value* b = v->get("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(b->get("c"), nullptr);
+    EXPECT_EQ(b->get("c")->string, "x\"y");
+    EXPECT_FALSE(tuner::json::parse("{\"a\":}").has_value());
+    EXPECT_FALSE(tuner::json::parse("{} trailing").has_value());
+    EXPECT_FALSE(tuner::json::parse("").has_value());
+}
