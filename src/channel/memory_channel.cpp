@@ -5,8 +5,55 @@
 #include <cstring>
 
 #include <deque>
+#include <utility>
+#include <vector>
 
 namespace mscclpp {
+
+namespace {
+
+/**
+ * Accumulates per-chunk blame from Path::lastCulprit() weighted by the
+ * wall time each chunk cost the sending block, so the put span's
+ * detail names the link that actually paced the transfer — which,
+ * under head-of-line blocking, may be a degraded hop on someone
+ * else's path rather than this channel's own bottleneck.
+ */
+class CulpritTally
+{
+  public:
+    void charge(const std::string& culprit, sim::Time cost)
+    {
+        if (culprit.empty() || cost == 0) {
+            return;
+        }
+        for (auto& [name, total] : tally_) {
+            if (name == culprit) {
+                total += cost;
+                return;
+            }
+        }
+        tally_.emplace_back(culprit, cost);
+    }
+
+    /** The culprit with the largest accumulated cost, or @p fallback
+     *  when nothing was charged (e.g. an instant put). */
+    std::string dominant(const std::string& fallback) const
+    {
+        const std::pair<std::string, sim::Time>* best = nullptr;
+        for (const auto& entry : tally_) {
+            if (best == nullptr || entry.second > best->second) {
+                best = &entry;
+            }
+        }
+        return best != nullptr ? best->first : fallback;
+    }
+
+  private:
+    std::vector<std::pair<std::string, sim::Time>> tally_;
+};
+
+} // namespace
 
 const char*
 toString(Protocol p)
@@ -35,6 +82,14 @@ MemoryChannel::MemoryChannel(std::shared_ptr<Connection> conn,
     obs_ = &conn_->machine().obs();
     putBytes_ = &obs_->metrics().counter("channel.put_bytes");
     signalCount_ = &obs_->metrics().counter("channel.signal_count");
+    double minBw = 0.0;
+    for (const fabric::Link* link : conn_->path().links()) {
+        double bw = link->params().bandwidthGBps;
+        if (bottleneckLink_.empty() || bw < minBw) {
+            bottleneckLink_ = link->name();
+            minBw = bw;
+        }
+    }
 }
 
 double
@@ -43,16 +98,23 @@ MemoryChannel::copyCap(const gpu::BlockCtx& ctx) const
     return ctx.threadCopyGBps();
 }
 
+std::string
+MemoryChannel::blockTrack(const gpu::BlockCtx& ctx) const
+{
+    return "tb" + std::to_string(ctx.blockIdx());
+}
+
 void
 MemoryChannel::traceDeviceOp(gpu::BlockCtx& ctx, const char* name,
-                             sim::Time t0, std::uint64_t bytes)
+                             sim::Time t0, std::uint64_t bytes,
+                             std::string detail)
 {
     if (!obs_->tracer().enabled()) {
         return;
     }
     obs_->tracer().span(obs::Category::Channel, name, conn_->localRank(),
-                        "tb" + std::to_string(ctx.blockIdx()), t0,
-                        ctx.scheduler().now(), bytes);
+                        blockTrack(ctx), t0, ctx.scheduler().now(), bytes,
+                        -1, std::move(detail));
 }
 
 sim::Task<>
@@ -72,12 +134,16 @@ MemoryChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     sim::Scheduler& sched = ctx.scheduler();
     const std::uint64_t chunk = conn_->config().bulkChunkBytes;
     std::uint64_t off = 0;
+    CulpritTally tally;
     do {
         std::uint64_t len = std::min(chunk, bytes - off);
+        sim::Time issued = sched.now();
         auto [start, arrival] = conn_->reserveWrite(len, copyCap(ctx));
         // The block is busy until its stores for this chunk are
         // issued (serialisation end), not until remote visibility.
         sim::Time senderDone = arrival - conn_->path().latency();
+        tally.charge(conn_->path().lastCulprit(),
+                     senderDone > issued ? senderDone - issued : 0);
         if (senderDone > sched.now()) {
             co_await sim::Delay(sched, senderDone - sched.now());
         }
@@ -87,7 +153,7 @@ MemoryChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     if (obs_->metrics().enabled()) {
         putBytes_->add(bytes);
     }
-    traceDeviceOp(ctx, "mem.put", t0, bytes);
+    traceDeviceOp(ctx, "mem.put", t0, bytes, tally.dominant(bottleneckLink_));
 }
 
 sim::Task<>
@@ -96,7 +162,7 @@ MemoryChannel::signal(gpu::BlockCtx& ctx)
     sim::Time t0 = ctx.scheduler().now();
     co_await sim::Delay(ctx.scheduler(), conn_->config().threadFence);
     sim::Time arrival = conn_->reserveAtomic();
-    outbound_->arriveAt(arrival);
+    outbound_->arriveAt(arrival, conn_->localRank(), blockTrack(ctx));
     if (obs_->metrics().enabled()) {
         signalCount_->add(1);
     }
@@ -115,7 +181,7 @@ sim::Task<>
 MemoryChannel::wait(gpu::BlockCtx& ctx)
 {
     sim::Time t0 = ctx.scheduler().now();
-    co_await inbound_->wait();
+    co_await inbound_->wait(conn_->localRank(), blockTrack(ctx));
     traceDeviceOp(ctx, "mem.wait", t0);
 }
 
@@ -145,22 +211,28 @@ MemoryChannel::putPackets(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     const std::uint64_t chunk = conn_->config().bulkChunkBytes;
     std::uint64_t off = 0;
     sim::Time lastArrival = 0;
+    CulpritTally tally;
     do {
         std::uint64_t len = std::min(chunk, bytes - off);
+        sim::Time issued = sched.now();
         auto [start, arrival] = conn_->reserveWrite(len * 2, copyCap(ctx));
         lastArrival = arrival;
         sim::Time senderDone = arrival - conn_->path().latency();
+        tally.charge(conn_->path().lastCulprit(),
+                     senderDone > issued ? senderDone - issued : 0);
         if (senderDone > sched.now()) {
             co_await sim::Delay(sched, senderDone - sched.now());
         }
         (void)start;
         off += len;
     } while (off < bytes);
-    outbound_->arriveAt(lastArrival);
+    outbound_->arriveAt(lastArrival, conn_->localRank(),
+                        blockTrack(ctx));
     if (obs_->metrics().enabled()) {
         putBytes_->add(bytes);
     }
-    traceDeviceOp(ctx, "mem.putPackets", t0, bytes);
+    traceDeviceOp(ctx, "mem.putPackets", t0, bytes,
+                  tally.dominant(bottleneckLink_));
 }
 
 sim::Task<>
@@ -171,7 +243,7 @@ MemoryChannel::readPackets(gpu::BlockCtx& ctx)
                     "readPackets requires the LL protocol");
     }
     sim::Time t0 = ctx.scheduler().now();
-    co_await inbound_->wait();
+    co_await inbound_->wait(conn_->localRank(), blockTrack(ctx));
     traceDeviceOp(ctx, "mem.readPackets", t0);
 }
 
@@ -189,7 +261,7 @@ MemoryChannel::writeElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
         std::memcpy(dst.data(), bytes, size);
     }
     auto [start, arrival] = conn_->reserveWrite(size * 2);
-    outbound_->arriveAt(arrival);
+    outbound_->arriveAt(arrival, conn_->localRank(), blockTrack(ctx));
     sim::Time senderDone = arrival - conn_->path().latency();
     sim::Scheduler& sched = ctx.scheduler();
     if (senderDone > sched.now()) {
@@ -206,11 +278,10 @@ MemoryChannel::readElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
         throw Error(ErrorCode::InvalidUsage,
                     "element read requires the LL protocol");
     }
-    (void)ctx;
     // Spin on the element's flag, then return the data word. The
     // element lives in the *local* buffer the peer's channel writes
     // into, i.e. the mirror channel's destination.
-    co_await inbound_->wait();
+    co_await inbound_->wait(conn_->localRank(), blockTrack(ctx));
     gpu::DeviceBuffer src = localRecvMem_.buffer().view(off, size);
     if (src.data() != nullptr) {
         std::memcpy(bytes, src.data(), size);

@@ -123,9 +123,13 @@ class MemoryChannel
     sim::Task<> readElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
                                  void* bytes, std::size_t size);
 
-    /** Channel span on the calling block's track. */
+    /** Channel span on the calling block's track; @p detail names the
+     *  path's bottleneck link for put-style ops. */
     void traceDeviceOp(gpu::BlockCtx& ctx, const char* name, sim::Time t0,
-                       std::uint64_t bytes = 0);
+                       std::uint64_t bytes = 0, std::string detail = {});
+
+    /** The calling block's trace track ("tb<N>"). */
+    std::string blockTrack(const gpu::BlockCtx& ctx) const;
 
     std::shared_ptr<Connection> conn_;
     RegisteredMemory localMem_;
@@ -137,6 +141,7 @@ class MemoryChannel
     obs::ObsContext* obs_ = nullptr;
     obs::Counter* putBytes_ = nullptr;
     obs::Counter* signalCount_ = nullptr;
+    std::string bottleneckLink_; ///< slowest hop of the path (tracing)
 };
 
 template <typename T>

@@ -38,6 +38,22 @@ PortChannel::PortChannel(std::shared_ptr<Connection> conn,
     if (service_ != nullptr) {
         serviceChannelId_ = service_->registerChannel(this);
         service_->start();
+        traceChannelId_ = serviceChannelId_;
+    } else {
+        // Dedicated channels route by FIFO, not id, so the id only
+        // exists for trace matching; draw from a range no service
+        // registration index will reach.
+        static int nextDedicatedTraceId = 1 << 20;
+        traceChannelId_ = nextDedicatedTraceId++;
+    }
+    proxyTrack_ = "proxy->r" + std::to_string(conn_->remoteRank());
+    double minBw = 0.0;
+    for (const fabric::Link* link : conn_->path().links()) {
+        double bw = link->params().bandwidthGBps;
+        if (bottleneckLink_.empty() || bw < minBw) {
+            bottleneckLink_ = link->name();
+            minBw = bw;
+        }
     }
 }
 
@@ -51,9 +67,15 @@ PortChannel::traceDeviceOp(gpu::BlockCtx& ctx, const char* name,
         return;
     }
     obs_->tracer().span(obs::Category::Channel, name, conn_->localRank(),
-                        "tb" + std::to_string(ctx.blockIdx()), t0,
+                        blockTrack(ctx), t0,
                         conn_->machine().scheduler().now(), bytes,
-                        serviceChannelId_);
+                        traceChannelId_);
+}
+
+std::string
+PortChannel::blockTrack(const gpu::BlockCtx& ctx) const
+{
+    return "tb" + std::to_string(ctx.blockIdx());
 }
 
 void
@@ -83,12 +105,17 @@ PortChannel::shutdown()
 }
 
 sim::Task<>
-PortChannel::submit(ProxyRequest req)
+PortChannel::submit(ProxyRequest req, gpu::BlockCtx& ctx)
 {
+    if (obs_->tracer().enabled()) {
+        req.srcPid = conn_->localRank();
+        req.srcTrack = blockTrack(ctx);
+    }
     if (service_ != nullptr) {
         req.channelId = serviceChannelId_;
         co_await service_->fifo().push(req);
     } else {
+        req.channelId = traceChannelId_;
         co_await fifo_.push(req);
     }
 }
@@ -103,7 +130,7 @@ PortChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     req.dstOff = dstOff;
     req.srcOff = srcOff;
     req.bytes = bytes;
-    co_await submit(req);
+    co_await submit(req, ctx);
     if (obs_->metrics().enabled()) {
         putBytes_->add(bytes);
     }
@@ -136,7 +163,7 @@ PortChannel::signal(gpu::BlockCtx& ctx)
     sim::Time t0 = conn_->machine().scheduler().now();
     ProxyRequest req;
     req.kind = ProxyRequest::Kind::Signal;
-    co_await submit(req);
+    co_await submit(req, ctx);
     if (obs_->metrics().enabled()) {
         signalCount_->add(1);
     }
@@ -147,7 +174,7 @@ sim::Task<>
 PortChannel::wait(gpu::BlockCtx& ctx)
 {
     sim::Time t0 = conn_->machine().scheduler().now();
-    co_await inbound_->wait();
+    co_await inbound_->wait(conn_->localRank(), blockTrack(ctx));
     traceDeviceOp(ctx, "port.wait", t0);
 }
 
@@ -159,7 +186,7 @@ PortChannel::flush(gpu::BlockCtx& ctx)
     req.kind = ProxyRequest::Kind::Flush;
     req.flushSeq = ++flushTickets_;
     std::uint64_t ticket = req.flushSeq;
-    co_await submit(req);
+    co_await submit(req, ctx);
     co_await flushDone_.waitUntil(ticket, conn_->config().semaphorePoll);
     traceDeviceOp(ctx, "port.flush", t0);
 }
@@ -201,7 +228,9 @@ PortChannel::handleSignal()
         arrival += conn_->config().ibAtomicLatency -
                    conn_->config().atomicAddLatency;
     }
-    outbound_->arriveAt(arrival);
+    // The signalling timeline is this channel's proxy: the matching
+    // wait() draws its causal edge back to the proxy-side post.
+    outbound_->arriveAt(arrival, conn_->localRank(), proxyTrack_);
 }
 
 sim::Task<>
@@ -248,9 +277,19 @@ PortChannel::processRequest(const ProxyRequest& req)
         break;
     }
     if (opName != nullptr && obs_->tracer().enabled()) {
-        obs_->tracer().span(obs::Category::Proxy, opName,
-                            conn_->localRank(), "proxy", t0, sched.now(),
-                            req.bytes, serviceChannelId_);
+        // For puts, blame the hop the last DMA chunk actually queued
+        // behind (head-of-line attribution); fall back to this
+        // channel's own static bottleneck for an uncontended path.
+        std::string detail;
+        if (req.kind == ProxyRequest::Kind::Put) {
+            detail = conn_->path().lastCulprit().empty()
+                         ? bottleneckLink_
+                         : conn_->path().lastCulprit();
+        }
+        obs_->tracer().span(
+            obs::Category::Proxy, opName, conn_->localRank(),
+            proxyTrack_, t0, sched.now(), req.bytes, traceChannelId_,
+            std::move(detail));
     }
 }
 

@@ -107,11 +107,14 @@ class PortChannel
     sim::Task<> proxyLoop();
     sim::Task<> handlePut(const ProxyRequest& req);
     void handleSignal();
-    sim::Task<> submit(ProxyRequest req);
+    sim::Task<> submit(ProxyRequest req, gpu::BlockCtx& ctx);
 
     /** Device-side Channel span on the calling block's track. */
     void traceDeviceOp(gpu::BlockCtx& ctx, const char* name, sim::Time t0,
                        std::uint64_t bytes = 0);
+
+    /** The calling block's trace track ("tb<N>"). */
+    std::string blockTrack(const gpu::BlockCtx& ctx) const;
 
     std::shared_ptr<Connection> conn_;
     RegisteredMemory localMem_;
@@ -134,6 +137,13 @@ class PortChannel
     bool deviceInitiated_ = false;
     ProxyService* service_ = nullptr;
     int serviceChannelId_ = -1;
+    /// Channel id stamped on traced requests/spans so the analyzer can
+    /// pair a proxy-side span with the device push that caused it.
+    /// Equals serviceChannelId_ when a shared service routes by it;
+    /// dedicated channels draw from a disjoint id space.
+    int traceChannelId_ = -1;
+    std::string proxyTrack_;     ///< per-remote proxy timeline name
+    std::string bottleneckLink_; ///< slowest hop of the path (tracing)
 };
 
 } // namespace mscclpp

@@ -67,7 +67,7 @@ SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Channel, "switch.reduce", myRank_,
                           "tb" + std::to_string(ctx.blockIdx()), t0,
-                          sched.now(), bytes);
+                          sched.now(), bytes, -1, "nvswitch");
     }
 }
 
@@ -90,7 +90,7 @@ SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Channel, "switch.broadcast",
                           myRank_, "tb" + std::to_string(ctx.blockIdx()),
-                          t0, sched.now(), bytes);
+                          t0, sched.now(), bytes, -1, "nvswitch");
     }
     if (obs.metrics().enabled()) {
         obs.metrics().counter("channel.put_bytes").add(bytes);

@@ -4,25 +4,27 @@
 #include "collective/profile.hpp"
 #include "core/errors.hpp"
 #include "gpu/compute.hpp"
+#include "obs/critpath.hpp"
 
 #include <algorithm>
 
 namespace mscclpp {
 
-namespace {
-
 /**
  * Run one collective and record it: a host-side Collective span plus
  * the collective.count/bytes counters and a latency summary. The span
- * covers the virtual time the scheduler actually advanced.
+ * covers the virtual time the scheduler actually advanced; with
+ * MSCCLPP_CRITPATH=1 the happens-before analyzer then attributes that
+ * window (plus the host-sync tail that completes @p elapsed) across
+ * path categories.
  */
 template <typename Fn>
 sim::Time
-recordCollective(gpu::Machine& machine, const std::string& name,
-                 std::size_t bytes, Fn&& body)
+CollectiveComm::record(const std::string& name, std::size_t bytes,
+                       Fn&& body)
 {
-    obs::ObsContext& obs = machine.obs();
-    sim::Time t0 = machine.scheduler().now();
+    obs::ObsContext& obs = machine_->obs();
+    sim::Time t0 = machine_->scheduler().now();
     sim::Time elapsed = body();
     if (obs.metrics().enabled()) {
         obs.metrics().counter("collective.count").add(1);
@@ -33,13 +35,44 @@ recordCollective(gpu::Machine& machine, const std::string& name,
     }
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Collective, name, obs::kHostPid,
-                          "collectives", t0, machine.scheduler().now(),
+                          "collectives", t0, machine_->scheduler().now(),
                           bytes);
+    }
+    if (machine_->config().critpathEnabled) {
+        sim::Time window = machine_->scheduler().now() - t0;
+        analyzeLastCollective(elapsed > window ? elapsed - window : 0);
     }
     return elapsed;
 }
 
-} // namespace
+void
+CollectiveComm::analyzeLastCollective(sim::Time hostTail)
+{
+    obs::ObsContext& obs = machine_->obs();
+    obs::CritPathAnalyzer analyzer(obs.tracer().snapshot(),
+                                   obs.tracer().edgesSnapshot());
+    std::optional<obs::CriticalPathReport> rep =
+        analyzer.analyzeLast(hostTail);
+    if (!rep) {
+        return;
+    }
+    lastCritPath_ =
+        std::make_unique<obs::CriticalPathReport>(std::move(*rep));
+    if (obs.metrics().enabled()) {
+        for (const auto& [cat, t] : lastCritPath_->byCategory) {
+            obs.metrics()
+                .summary(std::string("critpath.") + obs::toString(cat) +
+                         "_ns")
+                .add(sim::toNs(t));
+        }
+    }
+}
+
+const obs::CriticalPathReport*
+CollectiveComm::lastCriticalPath() const
+{
+    return lastCritPath_.get();
+}
 
 const char*
 toString(AllReduceAlgo a)
@@ -365,8 +398,8 @@ CollectiveComm::allReduce(std::size_t bytes, gpu::DataType type,
         // decode-loop hot path (same shape thousands of times).
         algo = resolveAllReduce(bytes, type, op);
     }
-    return recordCollective(
-        *machine_, std::string("allreduce ") + toString(algo), bytes,
+    return record(
+        std::string("allreduce ") + toString(algo), bytes,
         [&] { return CollKernels::allReduce(*this, bytes, type, op, algo); });
 }
 
@@ -380,8 +413,8 @@ CollectiveComm::allGather(std::size_t bytesPerRank, AllGatherAlgo algo)
     if (algo == AllGatherAlgo::Auto) {
         algo = resolveAllGather(bytesPerRank);
     }
-    return recordCollective(
-        *machine_, std::string("allgather ") + toString(algo),
+    return record(
+        std::string("allgather ") + toString(algo),
         bytesPerRank * static_cast<std::size_t>(n_),
         [&] { return CollKernels::allGather(*this, bytesPerRank, algo); });
 }
@@ -396,7 +429,7 @@ CollectiveComm::reduceScatter(std::size_t bytes, gpu::DataType type,
                     "reduceScatter size must be a non-zero multiple of the "
                     "rank count within maxBytes");
     }
-    return recordCollective(*machine_, "reducescatter", bytes, [&] {
+    return record("reducescatter", bytes, [&] {
         return CollKernels::reduceScatter(*this, bytes, type, op);
     });
 }
@@ -407,7 +440,7 @@ CollectiveComm::broadcast(std::size_t bytes, int root)
     if (bytes == 0 || bytes > options_.maxBytes || root < 0 || root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "broadcast arguments invalid");
     }
-    return recordCollective(*machine_, "broadcast", bytes, [&] {
+    return record("broadcast", bytes, [&] {
         return CollKernels::broadcast(*this, bytes, root);
     });
 }
@@ -456,7 +489,7 @@ CollectiveComm::allToAllV(
             total += b;
         }
     }
-    return recordCollective(*machine_, "alltoallv", total, [&] {
+    return record("alltoallv", total, [&] {
         return CollKernels::allToAllV(*this, sendBytes);
     });
 }
@@ -469,7 +502,7 @@ CollectiveComm::reduce(std::size_t bytes, gpu::DataType type,
         root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "reduce arguments invalid");
     }
-    return recordCollective(*machine_, "reduce", bytes, [&] {
+    return record("reduce", bytes, [&] {
         return CollKernels::reduce(*this, bytes, type, op, root);
     });
 }
@@ -482,8 +515,8 @@ CollectiveComm::gather(std::size_t bytesPerRank, int root)
         root < 0 || root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "gather arguments invalid");
     }
-    return recordCollective(
-        *machine_, "gather", bytesPerRank * static_cast<std::size_t>(n_),
+    return record(
+        "gather", bytesPerRank * static_cast<std::size_t>(n_),
         [&] { return CollKernels::gather(*this, bytesPerRank, root); });
 }
 
@@ -495,8 +528,8 @@ CollectiveComm::scatter(std::size_t bytesPerRank, int root)
         root < 0 || root >= n_) {
         throw Error(ErrorCode::InvalidUsage, "scatter arguments invalid");
     }
-    return recordCollective(
-        *machine_, "scatter", bytesPerRank * static_cast<std::size_t>(n_),
+    return record(
+        "scatter", bytesPerRank * static_cast<std::size_t>(n_),
         [&] { return CollKernels::scatter(*this, bytesPerRank, root); });
 }
 
@@ -507,8 +540,8 @@ CollectiveComm::allToAll(std::size_t bytesPerPair)
         bytesPerPair * static_cast<std::size_t>(n_) > options_.maxBytes) {
         throw Error(ErrorCode::InvalidUsage, "allToAll size out of range");
     }
-    return recordCollective(
-        *machine_, "alltoall",
+    return record(
+        "alltoall",
         bytesPerPair * static_cast<std::size_t>(n_) *
             static_cast<std::size_t>(n_),
         [&] { return CollKernels::allToAll(*this, bytesPerPair); });

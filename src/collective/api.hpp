@@ -18,6 +18,10 @@
 
 namespace mscclpp {
 
+namespace obs {
+struct CriticalPathReport;
+}
+
 /** AllReduce algorithms implemented in the collective library
  *  (Section 4.4). Auto picks by message size and topology. */
 enum class AllReduceAlgo
@@ -174,6 +178,14 @@ class CollectiveComm
     /** The launch-plan cache exercised by Auto collectives. */
     const tuner::PlanCache& planCache() const { return *planCache_; }
 
+    /**
+     * Critical-path report for the most recent collective, or nullptr
+     * when MSCCLPP_CRITPATH is off (or no collective has run yet). The
+     * report's categories sum exactly to the collective's measured
+     * latency; see DESIGN.md Section 9 for the attribution model.
+     */
+    const obs::CriticalPathReport* lastCriticalPath() const;
+
     /** Stop port proxies; implied by destruction. */
     void shutdown();
 
@@ -184,6 +196,17 @@ class CollectiveComm
 
     /** Launch fn on every rank and run the machine to completion. */
     sim::Time runOnAllRanks(int blocks, const RankFn& fn);
+
+    /**
+     * Run one collective body and record its metrics, host-side span
+     * and — with MSCCLPP_CRITPATH=1 — its critical-path attribution.
+     */
+    template <typename Fn>
+    sim::Time record(const std::string& name, std::size_t bytes,
+                     Fn&& body);
+
+    /** Rebuild lastCritPath_ from the tracer's span + edge rings. */
+    void analyzeLastCollective(sim::Time hostTail);
 
     /** Resolve Auto through the per-communicator plan cache. */
     AllReduceAlgo resolveAllReduce(std::size_t bytes, gpu::DataType type,
@@ -212,6 +235,7 @@ class CollectiveComm
     std::unique_ptr<DeviceSyncer> syncer_;
     std::unique_ptr<tuner::Tuner> tuner_;
     std::unique_ptr<tuner::PlanCache> planCache_;
+    std::unique_ptr<obs::CriticalPathReport> lastCritPath_;
 
     std::uint64_t round_ = 0; ///< rotating-scratch parity counter
 };

@@ -36,6 +36,11 @@ struct ProxyRequest
     std::uint64_t bytes = 0;
     std::uint64_t flushSeq = 0; ///< Flush: ticket the GPU waits on
     sim::Time pushedAt = 0;     ///< set by Fifo::push
+
+    /// Traced pusher timeline (set by channel device ops when the
+    /// tracer is on); Fifo::pop emits the FifoHop causal edge from it.
+    int srcPid = -1;
+    std::string srcTrack;
 };
 
 /**
@@ -64,6 +69,8 @@ class Fifo
             // Resolve metric handles once; push/pop only dereference.
             pushWaitNs_ = &obs_->metrics().summary("fifo.push_wait_ns");
             depthOnPush_ = &obs_->metrics().summary("fifo.depth");
+            depthGauge_ =
+                &obs_->metrics().gauge("fifo.depth." + track_);
         }
     }
 
@@ -83,6 +90,7 @@ class Fifo
             if (obs_->metrics().enabled()) {
                 pushWaitNs_->add(sim::toNs(sched_->now() - t0));
                 depthOnPush_->add(static_cast<double>(queue_.size()));
+                depthGauge_->set(static_cast<double>(queue_.size()));
             }
             if (obs_->tracer().enabled()) {
                 obs_->tracer().span(obs::Category::Fifo, "fifo.push", pid_,
@@ -111,10 +119,25 @@ class Fifo
         queue_.pop_front();
         ++tail_;
         notFull_.notifyAll();
-        if (obs_ != nullptr && obs_->tracer().enabled()) {
-            obs_->tracer().span(obs::Category::Fifo, "fifo.pop", pid_,
-                                track_, t0, sched_->now(), req.bytes,
-                                req.channelId);
+        if (obs_ != nullptr) {
+            if (obs_->metrics().enabled()) {
+                depthGauge_->set(static_cast<double>(queue_.size()));
+            }
+            if (obs_->tracer().enabled()) {
+                obs_->tracer().span(obs::Category::Fifo, "fifo.pop",
+                                    pid_, track_, t0, sched_->now(),
+                                    req.bytes, req.channelId);
+                if (req.srcPid != -1) {
+                    // Causal hand-off: the device push at pushedAt is
+                    // what made this pop (and the request it carries)
+                    // possible.
+                    obs_->tracer().edge(obs::EdgeKind::FifoHop,
+                                        req.srcPid, req.srcTrack,
+                                        req.pushedAt, pid_, track_,
+                                        sched_->now(), req.bytes,
+                                        req.channelId);
+                }
+            }
         }
         co_return req;
     }
@@ -149,6 +172,7 @@ class Fifo
     std::string track_ = "fifo";
     obs::Summary* pushWaitNs_ = nullptr;
     obs::Summary* depthOnPush_ = nullptr;
+    obs::Gauge* depthGauge_ = nullptr;
 };
 
 } // namespace mscclpp

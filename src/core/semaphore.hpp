@@ -5,8 +5,10 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace mscclpp {
@@ -31,9 +33,21 @@ class DeviceSemaphore
     int gpuRank() const { return gpuRank_; }
     std::uint64_t value() const { return sem_.value(); }
 
-    /** Schedule a remote increment landing at absolute time @p when. */
-    void arriveAt(sim::Time when)
+    /**
+     * Schedule a remote increment landing at absolute time @p when.
+     * When tracing, @p srcPid / @p srcTrack name the signalling
+     * timeline so the matching wait() can emit a happens-before edge
+     * (obs::EdgeKind::Signal) from issue to resume.
+     */
+    void arriveAt(sim::Time when, int srcPid = -1,
+                  std::string srcTrack = {})
     {
+        if (srcPid != -1 && machine_->obs().tracer().enabled() &&
+            arrivals_.size() < kMaxArrivals) {
+            arrivals_.push_back(Arrival{when,
+                                        machine_->scheduler().now(),
+                                        srcPid, std::move(srcTrack)});
+        }
         machine_->scheduler().scheduleAt(when, [this] { sem_.add(1); });
     }
 
@@ -42,13 +56,38 @@ class DeviceSemaphore
 
     /**
      * Device-side wait for the next signal: bumps the expected value
-     * and spins (simulated) until the semaphore reaches it.
+     * and spins (simulated) until the semaphore reaches it. When
+     * tracing, @p dstPid / @p dstTrack name the waiting timeline and
+     * the wait binds itself to the latest recorded arrival that had
+     * landed by resume time, emitting the Signal causal edge the
+     * critical-path analyzer follows.
      */
-    sim::Task<> wait()
+    sim::Task<> wait(int dstPid = -1, std::string dstTrack = {})
     {
         std::uint64_t expected = ++expected_;
-        return sem_.waitUntil(expected,
-                              machine_->config().semaphorePoll);
+        co_await sem_.waitUntil(expected,
+                                machine_->config().semaphorePoll);
+        obs::Tracer& tracer = machine_->obs().tracer();
+        if (dstPid != -1 && tracer.enabled()) {
+            sim::Time now = machine_->scheduler().now();
+            std::size_t best = arrivals_.size();
+            for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+                if (arrivals_[i].when > now) {
+                    continue;
+                }
+                if (best == arrivals_.size() ||
+                    arrivals_[i].when > arrivals_[best].when) {
+                    best = i;
+                }
+            }
+            if (best != arrivals_.size()) {
+                const Arrival& a = arrivals_[best];
+                tracer.edge(obs::EdgeKind::Signal, a.srcPid, a.srcTrack,
+                            a.issueTime, dstPid, dstTrack, now);
+                arrivals_.erase(arrivals_.begin() +
+                                static_cast<std::ptrdiff_t>(best));
+            }
+        }
     }
 
     std::uint64_t expected() const { return expected_; }
@@ -59,10 +98,25 @@ class DeviceSemaphore
     static std::size_t serializedSize();
 
   private:
+    /// One traced remote increment in flight: when it lands, when it
+    /// was issued, and whose timeline issued it.
+    struct Arrival
+    {
+        sim::Time when;
+        sim::Time issueTime;
+        int srcPid;
+        std::string srcTrack;
+    };
+
+    /// Bookkeeping cap so an untraced-wait workload (e.g. a syncer
+    /// that signals without waiting) cannot grow the vector unbounded.
+    static constexpr std::size_t kMaxArrivals = 65536;
+
     gpu::Machine* machine_;
     int gpuRank_;
     sim::SimSemaphore sem_;
     std::uint64_t expected_ = 0;
+    std::vector<Arrival> arrivals_;
 };
 
 } // namespace mscclpp

@@ -115,6 +115,18 @@ struct EnvConfig
     bool metricsEnabled = true;
     std::string traceFile = "trace.json";     ///< MSCCLPP_TRACE_FILE
     std::string metricsFile = "metrics.json"; ///< MSCCLPP_METRICS_FILE
+    /// Run the happens-before critical-path analyzer after every
+    /// collective and record per-category attribution summaries
+    /// (MSCCLPP_CRITPATH=1). Implies tracing: the analyzer consumes
+    /// the tracer's span + edge rings.
+    bool critpathEnabled = false;
+
+    // ---- fault injection ---------------------------------------------------
+    /// Comma-separated "linkName:factor" pairs scaling the named
+    /// links' bandwidth at Fabric construction (factor < 1 slows the
+    /// link), e.g. "gpu3.tx:0.25". Drives straggler experiments and
+    /// the critical-path acceptance test (MSCCLPP_DEGRADED_LINKS).
+    std::string degradedLinks;
 
     // ---- algorithm tuner (src/tuner) ---------------------------------------
     /// Algorithm selection policy (MSCCLPP_TUNER): "static" keeps the

@@ -80,6 +80,14 @@ applyObsEnvOverrides(EnvConfig& cfg)
     readBool("MSCCLPP_METRICS", cfg.metricsEnabled);
     readPath("MSCCLPP_TRACE_FILE", cfg.traceFile);
     readPath("MSCCLPP_METRICS_FILE", cfg.metricsFile);
+    readBool("MSCCLPP_CRITPATH", cfg.critpathEnabled);
+    // Fault injection rides the obs overrides so every Machine picks
+    // it up: the spec is validated by the Fabric constructor
+    // (std::invalid_argument on malformed entries).
+    const char* degraded = std::getenv("MSCCLPP_DEGRADED_LINKS");
+    if (degraded != nullptr && *degraded != '\0') {
+        cfg.degradedLinks = degraded;
+    }
 }
 
 void

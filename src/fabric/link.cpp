@@ -33,6 +33,9 @@ Link::Link(sim::Scheduler& sched, LinkType type, LinkParams params,
         bytesTxCounter_ = &obs_->metrics().counter("link.bytes_tx");
         serializationNs_ =
             &obs_->metrics().summary("link.serialization_ns");
+        occupancyHist_ =
+            &obs_->metrics().histogram("link.occupancy." + name_);
+        queueWaitNs_ = &obs_->metrics().summary("link.queue_wait_ns");
     }
 }
 
@@ -46,10 +49,16 @@ Link::record(sim::Time start, sim::Time end, std::uint64_t bytes,
     if (obs_->metrics().enabled()) {
         bytesTxCounter_->add(bytes);
         serializationNs_->add(sim::toNs(busy));
+        occupancyHist_->addRange(end - busy, end);
     }
     if (obs_->tracer().enabled()) {
         obs_->tracer().span(obs::Category::Link, "xfer", obs::kFabricPid,
                             name_, start, end, bytes);
+        // Delivery edge: the last byte leaves the wire at end and is
+        // visible at the far side one hop latency later.
+        obs_->tracer().edge(obs::EdgeKind::LinkDelivery, obs::kFabricPid,
+                            name_, end - busy, obs::kFabricPid, name_,
+                            end + params_.latency, bytes);
     }
 }
 
@@ -61,20 +70,29 @@ Link::reserve(std::uint64_t bytes, double bwCapGBps, sim::Time earliest)
         bw = std::min(bw, bwCapGBps);
     }
     sim::Time start = std::max({sched_->now(), nextFree_, earliest});
+    if (obs_ != nullptr && obs_->metrics().enabled()) {
+        // Head-of-line delay: how long this transfer sat behind the
+        // link's queue before its first byte could serialise.
+        queueWaitNs_->add(sim::toNs(
+            start - std::max(sched_->now(), earliest)));
+    }
     sim::Time occupancy = params_.perMessage + sim::transferTime(bytes, bw);
     nextFree_ = start + occupancy;
     bytesCarried_ += bytes;
     busyTime_ += occupancy;
+    pacer_ = name_;
     record(start, start + occupancy, bytes, occupancy);
     return {start, start + occupancy + params_.latency};
 }
 
 void
-Link::occupy(sim::Time end, std::uint64_t bytes, sim::Time busy)
+Link::occupy(sim::Time end, std::uint64_t bytes, sim::Time busy,
+             const std::string& pacer)
 {
     nextFree_ = std::max(nextFree_, end);
     bytesCarried_ += bytes;
     busyTime_ += busy;
+    pacer_ = pacer.empty() ? name_ : pacer;
     record(end - busy, end, bytes, busy);
 }
 
@@ -126,15 +144,38 @@ Path::reserve(std::uint64_t bytes, double bwCapGBps) const
     for (const Link* l : links_) {
         perMessage = std::max(perMessage, l->params().perMessage);
     }
+    // The hop with the lowest line rate paces this flow; every hop it
+    // occupies remembers that name so queued victims can blame it.
+    const Link* pacerLink = links_.front();
+    for (const Link* l : links_) {
+        if (l->params().bandwidthGBps > 0.0 &&
+            l->params().bandwidthGBps < pacerLink->params().bandwidthGBps) {
+            pacerLink = l;
+        }
+    }
+    // Whichever hop is backlogged the furthest is the one this
+    // reservation queues behind; its current occupant's pacer is the
+    // true cause of the wait (head-of-line blocking attribution).
+    sim::Time now = scheduler().now();
+    const Link* blockedOn = nullptr;
+    for (const Link* l : links_) {
+        if (l->nextFree() > now &&
+            (blockedOn == nullptr || l->nextFree() > blockedOn->nextFree())) {
+            blockedOn = l;
+        }
+    }
+    lastCulprit_ = blockedOn != nullptr && !blockedOn->pacer().empty()
+                       ? blockedOn->pacer()
+                       : pacerLink->name();
     sim::Time window = perMessage + sim::transferTime(bytes, bw);
-    sim::Time start = scheduler().now();
+    sim::Time start = now;
     sim::Time firstStart = 0;
     for (std::size_t i = 0; i < links_.size(); ++i) {
         start = std::max(start, links_[i]->nextFree());
         if (i == 0) {
             firstStart = start;
         }
-        links_[i]->occupy(start + window, bytes, window);
+        links_[i]->occupy(start + window, bytes, window, pacerLink->name());
     }
     return {firstStart, start + window + latency()};
 }

@@ -15,6 +15,7 @@ namespace mscclpp::obs {
 class ObsContext;
 class Counter;
 class Summary;
+class Histogram;
 } // namespace mscclpp::obs
 
 namespace mscclpp::fabric {
@@ -88,9 +89,20 @@ class Link
     /**
      * Occupy the link for an externally-computed window (multi-hop
      * paths reserve all hops for one shared window). Advances the
-     * cursor to @p end and charges stats.
+     * cursor to @p end and charges stats. @p pacer names the hop that
+     * set the occupying flow's rate (empty: this link paced itself);
+     * it is what a transfer queued behind this window should blame.
      */
-    void occupy(sim::Time end, std::uint64_t bytes, sim::Time busy);
+    void occupy(sim::Time end, std::uint64_t bytes, sim::Time busy,
+                const std::string& pacer = {});
+
+    /**
+     * Name of the link that paced the flow currently holding the
+     * reservation cursor. A degraded hop elsewhere on that flow's
+     * path shows up here, so head-of-line victims on this port can
+     * attribute their queue delay to the real culprit.
+     */
+    const std::string& pacer() const { return pacer_; }
 
     /** Total bytes carried (stats). */
     std::uint64_t bytesCarried() const { return bytesCarried_; }
@@ -111,9 +123,12 @@ class Link
     obs::ObsContext* obs_ = nullptr;
     obs::Counter* bytesTxCounter_ = nullptr;
     obs::Summary* serializationNs_ = nullptr;
+    obs::Histogram* occupancyHist_ = nullptr;
+    obs::Summary* queueWaitNs_ = nullptr;
     sim::Time nextFree_ = 0;
     std::uint64_t bytesCarried_ = 0;
     sim::Time busyTime_ = 0;
+    std::string pacer_;
 };
 
 /**
@@ -149,10 +164,21 @@ class Path
     /** Suspend until @p bytes have fully arrived at the destination. */
     sim::Task<> transfer(std::uint64_t bytes, double bwCapGBps = 0.0) const;
 
+    /**
+     * The link the most recent reserve() actually waited on: the
+     * pacer of the flow occupying the most-backlogged hop when the
+     * reservation queued, or this path's own bottleneck hop when it
+     * started immediately. Lets channel tracing blame a degraded
+     * link even when the delay surfaces as queueing on a shared
+     * victim port (head-of-line blocking).
+     */
+    const std::string& lastCulprit() const { return lastCulprit_; }
+
     sim::Scheduler& scheduler() const;
 
   private:
     std::vector<Link*> links_;
+    mutable std::string lastCulprit_;
 };
 
 } // namespace mscclpp::fabric

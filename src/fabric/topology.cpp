@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -15,6 +16,35 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
 {
     if (numNodes < 1) {
         throw std::invalid_argument("Fabric requires at least one node");
+    }
+    // Parse fault-injection spec once; every link construction below
+    // consults it via paramsFor().
+    std::string spec = cfg_.degradedLinks;
+    while (!spec.empty()) {
+        std::size_t comma = spec.find(',');
+        std::string entry = spec.substr(0, comma);
+        spec = comma == std::string::npos ? std::string()
+                                          : spec.substr(comma + 1);
+        if (entry.empty()) {
+            continue;
+        }
+        std::size_t colon = entry.find(':');
+        double factor =
+            colon == std::string::npos
+                ? 0.0
+                : std::atof(entry.c_str() + colon + 1);
+        if (colon == std::string::npos || colon == 0 || factor <= 0.0) {
+            throw std::invalid_argument(
+                "degraded link entry '" + entry +
+                "' is not name:factor with factor > 0");
+        }
+        degraded_.emplace_back(entry.substr(0, colon), factor);
+    }
+    if (obs_ != nullptr && cfg_.hasMultimem) {
+        switchOccupancy_ =
+            &obs_->metrics().histogram("switch.occupancy.nvswitch");
+        switchWaitNs_ =
+            &obs_->metrics().summary("switch.contention_wait_ns");
     }
     const int n = numGpus();
     const int g = cfg_.gpusPerNode;
@@ -29,12 +59,12 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
         gpuTx_.reserve(n);
         gpuRx_.reserve(n);
         for (int r = 0; r < n; ++r) {
+            std::string tx = "gpu" + std::to_string(r) + ".tx";
+            std::string rx = "gpu" + std::to_string(r) + ".rx";
             gpuTx_.push_back(std::make_unique<Link>(
-                sched, intraType, intra,
-                "gpu" + std::to_string(r) + ".tx", obs));
+                sched, intraType, paramsFor(tx, intra), tx, obs));
             gpuRx_.push_back(std::make_unique<Link>(
-                sched, intraType, intra,
-                "gpu" + std::to_string(r) + ".rx", obs));
+                sched, intraType, paramsFor(rx, intra), rx, obs));
         }
     } else {
         mesh_.resize(static_cast<std::size_t>(numNodes_) * g * g);
@@ -46,10 +76,11 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
                     }
                     int src = node * g + a;
                     int dst = node * g + b;
+                    std::string name = "xgmi" + std::to_string(src) +
+                                       "-" + std::to_string(dst);
                     mesh_[meshIndex(src, dst)] = std::make_unique<Link>(
-                        sched, intraType, intra,
-                        "xgmi" + std::to_string(src) + "-" +
-                            std::to_string(dst), obs);
+                        sched, intraType, paramsFor(name, intra), name,
+                        obs);
                 }
             }
         }
@@ -59,13 +90,26 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
     nicTx_.reserve(n);
     nicRx_.reserve(n);
     for (int r = 0; r < n; ++r) {
+        std::string tx = "nic" + std::to_string(r) + ".tx";
+        std::string rx = "nic" + std::to_string(r) + ".rx";
         nicTx_.push_back(std::make_unique<Link>(
-            sched, LinkType::InfiniBand, net,
-            "nic" + std::to_string(r) + ".tx", obs));
+            sched, LinkType::InfiniBand, paramsFor(tx, net), tx, obs));
         nicRx_.push_back(std::make_unique<Link>(
-            sched, LinkType::InfiniBand, net,
-            "nic" + std::to_string(r) + ".rx", obs));
+            sched, LinkType::InfiniBand, paramsFor(rx, net), rx, obs));
     }
+}
+
+LinkParams
+Fabric::paramsFor(const std::string& name, const LinkParams& base) const
+{
+    for (const auto& [linkName, factor] : degraded_) {
+        if (linkName == name) {
+            LinkParams scaled = base;
+            scaled.bandwidthGBps = base.bandwidthGBps * factor;
+            return scaled;
+        }
+    }
+    return base;
 }
 
 int
@@ -149,6 +193,10 @@ Fabric::multimemReduce(int reader, const std::vector<int>& participants,
     sim::Time window =
         cfg_.intraPerMessage +
         sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
+    if (obs_ != nullptr && obs_->metrics().enabled()) {
+        switchWaitNs_->add(sim::toNs(start - sched_->now()));
+        switchOccupancy_->addRange(start, start + window);
+    }
     for (int r : participants) {
         gpuTx(r).occupy(start + window, bytes, window);
     }
@@ -177,6 +225,10 @@ Fabric::multimemBroadcast(int writer, const std::vector<int>& participants,
     sim::Time window =
         cfg_.intraPerMessage +
         sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
+    if (obs_ != nullptr && obs_->metrics().enabled()) {
+        switchWaitNs_->add(sim::toNs(start - sched_->now()));
+        switchOccupancy_->addRange(start, start + window);
+    }
     gpuTx(writer).occupy(start + window, bytes, window);
     for (int r : participants) {
         gpuRx(r).occupy(start + window, bytes, window);

@@ -6,6 +6,8 @@
 #include "sim/scheduler.hpp"
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace mscclpp::fabric {
@@ -109,6 +111,11 @@ class Fabric
   private:
     int meshIndex(int src, int dst) const;
 
+    /** Link parameters after applying cfg_.degradedLinks ("name:factor"
+     *  pairs); unmatched names return @p base unchanged. */
+    LinkParams paramsFor(const std::string& name,
+                         const LinkParams& base) const;
+
     sim::Scheduler* sched_;
     EnvConfig cfg_;
     int numNodes_;
@@ -122,6 +129,11 @@ class Fabric
     // One NIC per GPU, tx and rx sides.
     std::vector<std::unique_ptr<Link>> nicTx_;
     std::vector<std::unique_ptr<Link>> nicRx_;
+
+    // Parsed cfg_.degradedLinks: link name -> bandwidth factor.
+    std::vector<std::pair<std::string, double>> degraded_;
+    obs::Histogram* switchOccupancy_ = nullptr;
+    obs::Summary* switchWaitNs_ = nullptr;
 };
 
 } // namespace mscclpp::fabric

@@ -60,6 +60,14 @@ launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn)
         state->blocks.push_back(
             std::make_unique<BlockCtx>(gpu, b, cfg, *state));
         sim::Time stagger = env.blockDispatch * static_cast<sim::Time>(b);
+        if (obs.tracer().enabled()) {
+            // Launch edge: block b starts executing one dispatch
+            // stagger after the host-side launch completed.
+            obs.tracer().edge(obs::EdgeKind::Launch, gpu.rank(),
+                              "launch", sched.now(), gpu.rank(),
+                              "tb" + std::to_string(b),
+                              sched.now() + stagger);
+        }
         sim::detach(sched,
                     blockWrapper(state, state->blocks.back().get(),
                                  fnHolder, stagger));

@@ -69,6 +69,11 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     // communicator built on this machine sees the selected mode.
     fabric::applyObsEnvOverrides(cfg_);
     fabric::applyTunerEnvOverrides(cfg_);
+    if (cfg_.critpathEnabled) {
+        // The analyzer consumes the tracer's span + edge rings, so
+        // MSCCLPP_CRITPATH=1 implies tracing even without MSCCLPP_TRACE.
+        cfg_.traceEnabled = true;
+    }
     obs_.tracer().setEnabled(cfg_.traceEnabled);
     obs_.metrics().setEnabled(cfg_.metricsEnabled);
     obs_.setTraceFile(cfg_.traceFile);

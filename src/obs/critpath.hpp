@@ -1,0 +1,140 @@
+#ifndef MSCCLPP_OBS_CRITPATH_HPP
+#define MSCCLPP_OBS_CRITPATH_HPP
+
+#include "obs/trace.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * Where one slice of a collective's critical path was spent
+ * (DESIGN.md Section 9). Every picosecond of the collective window is
+ * attributed to exactly one category, so the per-category totals sum
+ * to the measured latency.
+ */
+enum class PathCategory
+{
+    LinkSerialization, ///< bytes on a wire (put/putPackets/DMA/multimem)
+    SyncWait,          ///< semaphore propagation + poll until resume
+    ProxyHop,          ///< FIFO push/poll hop, proxy dispatch, flush
+    KernelCompute,     ///< untraced device work between channel ops
+    LaunchOverhead,    ///< kernel launch, block dispatch, host sync
+};
+
+const char* toString(PathCategory c);
+
+/** One contiguous slice of the critical path, newest first as
+ *  extracted (the report re-sorts oldest first). */
+struct PathSegment
+{
+    PathCategory category = PathCategory::KernelCompute;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    int pid = 0;          ///< where the time was spent
+    std::string track;
+    std::string what;     ///< span name, link name, or gap label
+
+    sim::Time duration() const { return end - begin; }
+};
+
+/**
+ * Critical path of one collective: the chain of spans, causal-edge
+ * jumps and gaps that bounds its completion time, with every slice of
+ * the collective window attributed to a category.
+ */
+struct CriticalPathReport
+{
+    std::string collective;   ///< root span name ("allreduce 2PA-HB")
+    sim::Time begin = 0;      ///< collective span window
+    sim::Time end = 0;
+    std::vector<PathSegment> segments; ///< oldest first, contiguous
+
+    std::map<PathCategory, sim::Time> byCategory;
+    /// Serialisation time by bottleneck link name (from put-span
+    /// details); only LinkSerialization segments contribute.
+    std::map<std::string, sim::Time> byLink;
+    /// Straggler skew: per device rank, how much earlier than the
+    /// last block this rank's last block finished.
+    std::map<int, sim::Time> rankSkew;
+
+    /** Sum of all segment durations (== end - begin + host tail). */
+    sim::Time total() const;
+
+    /** Category with the largest attributed time. */
+    PathCategory dominant() const;
+
+    /** One-line human summary ("62.1us: link 71% sync 18% ..."). */
+    std::string summaryLine() const;
+
+    /** JSON object (schema used inside BENCH_*.json attribution). */
+    std::string toJson() const;
+};
+
+/**
+ * Happens-before analysis over one trace snapshot: span nesting plus
+ * the causal edges emitted at signal->wait pairs, FIFO push->pop
+ * hand-offs, link deliveries and kernel launches.
+ *
+ * Extraction walks backwards from the straggler thread block's end:
+ * at every point it asks "what completed last before progress resumed
+ * here" — the same-track predecessor span or the causal edge source,
+ * whichever is later — and attributes the interval in between. The
+ * walk is exact because the simulator is deterministic: a resume and
+ * its cause carry identical timestamps, no fuzzy matching windows.
+ */
+class CritPathAnalyzer
+{
+  public:
+    CritPathAnalyzer(std::vector<TraceEvent> events,
+                     std::vector<TraceEdge> edges);
+
+    /** Collective root spans found in the snapshot, oldest first. */
+    const std::vector<TraceEvent>& collectives() const
+    {
+        return collectives_;
+    }
+
+    /**
+     * Extract the critical path of @p coll (a Collective-category
+     * span). @p hostTail appends a final synthetic LaunchOverhead
+     * segment (host-side completion detection is part of every
+     * measured latency but outside the traced window). Returns
+     * nullopt when the snapshot holds no events inside the window.
+     */
+    std::optional<CriticalPathReport>
+    analyze(const TraceEvent& coll, sim::Time hostTail = 0) const;
+
+    /** Analyze the most recent collective span in the snapshot. */
+    std::optional<CriticalPathReport>
+    analyzeLast(sim::Time hostTail = 0) const;
+
+    /**
+     * Analyze every collective in the snapshot and sum the
+     * per-category attributions (used by bench_report for workloads
+     * that issue many collectives per measured step).
+     */
+    std::map<PathCategory, sim::Time> attributeAll() const;
+
+  private:
+    struct TrackKey
+    {
+        int pid;
+        std::string track;
+        bool operator<(const TrackKey& o) const
+        {
+            return pid != o.pid ? pid < o.pid : track < o.track;
+        }
+    };
+
+    std::vector<TraceEvent> events_;
+    std::vector<TraceEdge> edges_;
+    std::vector<TraceEvent> collectives_;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_CRITPATH_HPP

@@ -9,6 +9,85 @@
 
 namespace mscclpp::obs {
 
+// ---- Histogram -----------------------------------------------------------
+
+Histogram::Histogram(sim::Time bucketWidth)
+    : width_(std::max<sim::Time>(bucketWidth, 1))
+{
+}
+
+void
+Histogram::addRange(sim::Time begin, sim::Time end, double weight)
+{
+    if (end <= begin) {
+        return;
+    }
+    std::uint64_t first = begin / width_;
+    std::uint64_t last = (end - 1) / width_;
+    for (std::uint64_t i = first; i <= last; ++i) {
+        sim::Time lo = std::max<sim::Time>(begin, i * width_);
+        sim::Time hi = std::min<sim::Time>(end, (i + 1) * width_);
+        buckets_[i] += static_cast<double>(hi - lo) * weight;
+    }
+    total_ += static_cast<double>(end - begin) * weight;
+    while (buckets_.size() > kMaxBuckets) {
+        coarsen();
+    }
+}
+
+void
+Histogram::coarsen()
+{
+    width_ *= 2;
+    std::map<std::uint64_t, double> coarse;
+    for (const auto& [idx, busy] : buckets_) {
+        coarse[idx / 2] += busy;
+    }
+    buckets_ = std::move(coarse);
+}
+
+double
+Histogram::occupancy(std::uint64_t idx) const
+{
+    auto it = buckets_.find(idx);
+    if (it == buckets_.end()) {
+        return 0.0;
+    }
+    return it->second / static_cast<double>(width_);
+}
+
+double
+Histogram::peakOccupancy() const
+{
+    double peak = 0.0;
+    for (const auto& [idx, busy] : buckets_) {
+        (void)idx;
+        peak = std::max(peak, busy / static_cast<double>(width_));
+    }
+    return peak;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    // Bring this histogram to at least the other's granularity; since
+    // widths only ever double from a common default, the coarser width
+    // tiles the finer one and the rebucketing below is exact.
+    while (width_ < other.width_) {
+        coarsen();
+    }
+    for (const auto& [idx, busy] : other.buckets_) {
+        std::uint64_t start = idx * other.width_;
+        buckets_[start / width_] += busy;
+    }
+    total_ += other.total_;
+    while (buckets_.size() > kMaxBuckets) {
+        coarsen();
+    }
+}
+
+// ---- Summary -------------------------------------------------------------
+
 Summary::Summary(std::size_t reservoirSize)
     : reservoirSize_(std::max<std::size_t>(reservoirSize, 1))
 {
@@ -80,14 +159,22 @@ Summary::merge(const Summary& other)
     sum_ += other.sum_;
 }
 
+// ---- MetricsRegistry -----------------------------------------------------
+
 void
 MetricsRegistry::mergeFrom(const MetricsRegistry& other)
 {
     for (const auto& [name, c] : other.counters()) {
         counter(name).add(c.value());
     }
+    for (const auto& [name, g] : other.gauges()) {
+        gauge(name).merge(g);
+    }
     for (const auto& [name, s] : other.summaries()) {
         summary(name).merge(s);
+    }
+    for (const auto& [name, h] : other.histograms()) {
+        histogram(name).merge(h);
     }
 }
 
@@ -97,10 +184,26 @@ MetricsRegistry::counter(const std::string& name)
     return counters_[name];
 }
 
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    return gauges_[name];
+}
+
 Summary&
 MetricsRegistry::summary(const std::string& name)
 {
     return summaries_[name];
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram()).first;
+    }
+    return it->second;
 }
 
 namespace {
@@ -125,6 +228,15 @@ MetricsRegistry::toJson() const
         first = false;
         out += "    \"" + name + "\": " + std::to_string(c.value());
     }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"value\": " +
+               jsonNumber(g.value()) +
+               ", \"max\": " + jsonNumber(g.max()) + "}";
+    }
     out += "\n  },\n  \"summaries\": {";
     first = true;
     for (const auto& [name, s] : summaries_) {
@@ -138,6 +250,25 @@ MetricsRegistry::toJson() const
                ", \"mean\": " + jsonNumber(s.mean()) +
                ", \"p50\": " + jsonNumber(s.percentile(50)) +
                ", \"p99\": " + jsonNumber(s.percentile(99)) + "}";
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"bucket_ns\": " +
+               jsonNumber(sim::toNs(h.bucketWidth())) +
+               ", \"total_busy_ns\": " + jsonNumber(h.total() / 1e3) +
+               ", \"peak_occupancy\": " + jsonNumber(h.peakOccupancy()) +
+               ", \"buckets\": {";
+        bool bFirst = true;
+        for (const auto& [idx, busy] : h.buckets()) {
+            out += bFirst ? "" : ", ";
+            bFirst = false;
+            out += "\"" + std::to_string(idx) + "\": " +
+                   jsonNumber(busy / static_cast<double>(h.bucketWidth()));
+        }
+        out += "}}";
     }
     out += "\n  }\n}\n";
     return out;

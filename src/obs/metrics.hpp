@@ -1,6 +1,9 @@
 #ifndef MSCCLPP_OBS_METRICS_HPP
 #define MSCCLPP_OBS_METRICS_HPP
 
+#include "sim/time.hpp"
+
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -17,6 +20,105 @@ class Counter
 
   private:
     std::uint64_t value_ = 0;
+};
+
+/**
+ * Point-in-time level (queue depth, outstanding requests, ...): the
+ * last set value plus the high-water mark. Unlike a Counter it can go
+ * down; unlike a Summary it has no distribution — it answers "how
+ * deep is it now / how deep did it ever get".
+ */
+class Gauge
+{
+  public:
+    void set(double v)
+    {
+        value_ = v;
+        if (!seen_ || v > max_) {
+            max_ = v;
+        }
+        seen_ = true;
+    }
+
+    void add(double d) { set(value_ + d); }
+    void sub(double d) { set(value_ - d); }
+
+    double value() const { return value_; }
+    double max() const { return seen_ ? max_ : 0.0; }
+    bool empty() const { return !seen_; }
+
+    /**
+     * Fold @p other into this gauge for cross-registry aggregation:
+     * current levels add (two machines' queues are both outstanding),
+     * high-water marks take the max.
+     */
+    void merge(const Gauge& other)
+    {
+        if (other.seen_) {
+            value_ += other.value_;
+            max_ = seen_ ? std::max(max_, other.max_) : other.max_;
+            seen_ = true;
+        }
+    }
+
+  private:
+    double value_ = 0.0;
+    double max_ = 0.0;
+    bool seen_ = false;
+};
+
+/**
+ * Time-bucketed occupancy histogram: virtual time is divided into
+ * fixed-width buckets and addRange() spreads a busy window across the
+ * buckets it overlaps. bucket value / bucket width is the busy
+ * fraction of that slice — per-link utilisation over time, FIFO
+ * residency, switch contention.
+ *
+ * The bucket width adapts: when the bucket count would exceed a cap
+ * the width doubles and adjacent buckets coalesce, so the JSON dump
+ * stays bounded no matter how long the simulation ran. Widths only
+ * ever double, which keeps merges of differently-sized histograms
+ * exact (the coarser width always tiles the finer one).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(sim::Time bucketWidth = kDefaultWidth);
+
+    /** Charge the busy window [@p begin, @p end) weighted by
+     *  @p weight (1.0 = one fully-occupied resource). */
+    void addRange(sim::Time begin, sim::Time end, double weight = 1.0);
+
+    sim::Time bucketWidth() const { return width_; }
+
+    /** bucket index -> busy picoseconds charged to that bucket. */
+    const std::map<std::uint64_t, double>& buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Total busy time charged (picoseconds, weighted). */
+    double total() const { return total_; }
+
+    /** Busy fraction of bucket @p idx in [0, weight]. */
+    double occupancy(std::uint64_t idx) const;
+
+    /** Largest busy fraction over all buckets. */
+    double peakOccupancy() const;
+
+    /** Fold @p other in, rebucketing the finer histogram into the
+     *  coarser width (widths are power-of-two multiples). */
+    void merge(const Histogram& other);
+
+  private:
+    static constexpr sim::Time kDefaultWidth = 100'000'000; ///< 100 us
+    static constexpr std::size_t kMaxBuckets = 512;
+
+    void coarsen();
+
+    sim::Time width_;
+    std::map<std::uint64_t, double> buckets_;
+    double total_ = 0.0;
 };
 
 /**
@@ -64,10 +166,11 @@ class Summary
 };
 
 /**
- * Flat namespace of counters and summaries, dumpable as one JSON
- * blob (metrics.json / `--metrics`). Handles returned by counter()
- * and summary() stay valid for the registry's lifetime, so hot paths
- * resolve names once at construction.
+ * Flat namespace of counters, gauges, summaries and occupancy
+ * histograms, dumpable as one JSON blob (metrics.json / `--metrics`).
+ * Handles returned by counter()/gauge()/summary()/histogram() stay
+ * valid for the registry's lifetime, so hot paths resolve names once
+ * at construction.
  */
 class MetricsRegistry
 {
@@ -77,21 +180,29 @@ class MetricsRegistry
     void setEnabled(bool on) { enabled_ = Tracer_kCompiledIn && on; }
 
     Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
     Summary& summary(const std::string& name);
+    Histogram& histogram(const std::string& name);
 
     const std::map<std::string, Counter>& counters() const
     {
         return counters_;
     }
+    const std::map<std::string, Gauge>& gauges() const { return gauges_; }
     const std::map<std::string, Summary>& summaries() const
     {
         return summaries_;
     }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
 
-    /** Fold every counter and summary of @p other into this registry. */
+    /** Fold every metric of @p other into this registry. */
     void mergeFrom(const MetricsRegistry& other);
 
-    /** Single JSON object: {"counters":{...},"summaries":{...}}. */
+    /** Single JSON object with "counters", "gauges", "summaries" and
+     *  "histograms" sections. */
     std::string toJson() const;
 
     /** Write toJson() to @p path; throws Error on I/O failure. */
@@ -106,7 +217,9 @@ class MetricsRegistry
 
     bool enabled_ = true;
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
     std::map<std::string, Summary> summaries_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace mscclpp::obs

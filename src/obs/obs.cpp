@@ -3,8 +3,17 @@
 namespace mscclpp::obs {
 
 std::string
-ObsContext::dump() const
+ObsContext::dump()
 {
+    // Truncation must be visible in the metrics dump too, not only in
+    // the trace's otherData: a wrapped ring silently invalidates any
+    // critical-path analysis done on the snapshot.
+    if (metrics_.enabled() &&
+        (tracer_.dropped() > 0 || tracer_.edgesDropped() > 0)) {
+        metrics_.counter("trace.dropped").add(tracer_.dropped());
+        metrics_.counter("trace.edges_dropped")
+            .add(tracer_.edgesDropped());
+    }
     std::string what;
     if (!traceFile_.empty()) {
         tracer_.writeChromeTrace(traceFile_);

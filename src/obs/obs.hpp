@@ -43,7 +43,7 @@ class ObsContext
      * paths. @return a short human-readable description of what was
      * written (for the one-line teardown log).
      */
-    std::string dump() const;
+    std::string dump();
 
   private:
     Tracer tracer_;

@@ -32,6 +32,22 @@ toString(Category c)
     return "?";
 }
 
+const char*
+toString(EdgeKind k)
+{
+    switch (k) {
+      case EdgeKind::Signal:
+        return "signal";
+      case EdgeKind::FifoHop:
+        return "fifo_hop";
+      case EdgeKind::LinkDelivery:
+        return "link_delivery";
+      case EdgeKind::Launch:
+        return "launch";
+    }
+    return "?";
+}
+
 Tracer::Tracer(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1))
 {
@@ -40,19 +56,39 @@ Tracer::Tracer(std::size_t capacity)
 void
 Tracer::span(Category cat, std::string name, int pid, std::string track,
              sim::Time begin, sim::Time end, std::uint64_t bytes,
-             int channelId)
+             int channelId, std::string detail)
 {
     if (!enabled()) {
         return;
     }
-    TraceEvent ev{cat,  std::move(name), pid,   std::move(track),
-                  begin, end,            bytes, channelId};
+    TraceEvent ev{cat,   std::move(name), pid,       std::move(track),
+                  begin, end,             bytes,     channelId,
+                  std::move(detail)};
     if (events_.size() < capacity_) {
         events_.push_back(std::move(ev));
     } else {
         events_[head_] = std::move(ev);
         head_ = (head_ + 1) % capacity_;
         ++dropped_;
+    }
+}
+
+void
+Tracer::edge(EdgeKind kind, int srcPid, std::string srcTrack,
+             sim::Time srcTime, int dstPid, std::string dstTrack,
+             sim::Time dstTime, std::uint64_t bytes, int channelId)
+{
+    if (!enabled()) {
+        return;
+    }
+    TraceEdge e{kind,   srcPid,  std::move(srcTrack), srcTime, dstPid,
+                std::move(dstTrack), dstTime, bytes,  channelId};
+    if (edges_.size() < capacity_) {
+        edges_.push_back(std::move(e));
+    } else {
+        edges_[edgeHead_] = std::move(e);
+        edgeHead_ = (edgeHead_ + 1) % capacity_;
+        ++edgesDropped_;
     }
 }
 
@@ -67,12 +103,26 @@ Tracer::snapshot() const
     return out;
 }
 
+std::vector<TraceEdge>
+Tracer::edgesSnapshot() const
+{
+    std::vector<TraceEdge> out;
+    out.reserve(edges_.size());
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        out.push_back(edges_[(edgeHead_ + i) % edges_.size()]);
+    }
+    return out;
+}
+
 void
 Tracer::clear()
 {
     events_.clear();
     head_ = 0;
     dropped_ = 0;
+    edges_.clear();
+    edgeHead_ = 0;
+    edgesDropped_ = 0;
 }
 
 namespace {
@@ -147,7 +197,12 @@ Tracer::chromeTraceJson() const
         }
     }
 
-    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
+                      "\"dropped\":" +
+                      std::to_string(dropped_) +
+                      ",\"edges_dropped\":" + std::to_string(edgesDropped_) +
+                      ",\"edges\":" + std::to_string(edges_.size()) +
+                      "},\"traceEvents\":[";
     bool first = true;
     auto emit = [&out, &first](const std::string& obj) {
         if (!first) {
@@ -172,6 +227,13 @@ Tracer::chromeTraceJson() const
              std::to_string(tid) + ",\"args\":{\"name\":\"" +
              jsonEscape(key.second) + "\"}}");
     }
+    if (dropped_ > 0) {
+        // Surface truncation inside the viewer too, not only in
+        // otherData: analysis on a wrapped ring is unsound.
+        emit("{\"name\":\"trace.dropped\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(kHostPid) + ",\"args\":{\"count\":" +
+             std::to_string(dropped_) + "}}");
+    }
 
     for (const TraceEvent& ev : events) {
         int tid = tids[std::make_pair(ev.pid, ev.track)];
@@ -186,6 +248,9 @@ Tracer::chromeTraceJson() const
         obj += "\"bytes\":" + std::to_string(ev.bytes);
         if (ev.channelId >= 0) {
             obj += ",\"channel\":" + std::to_string(ev.channelId);
+        }
+        if (!ev.detail.empty()) {
+            obj += ",\"detail\":\"" + jsonEscape(ev.detail) + "\"";
         }
         obj += "}}";
         emit(obj);

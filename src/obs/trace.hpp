@@ -48,14 +48,46 @@ struct TraceEvent
     sim::Time end = 0;
     std::uint64_t bytes = 0; ///< payload carried, 0 when n/a
     int channelId = -1;      ///< owning channel, -1 when n/a
+    std::string detail;      ///< free-form annotation (e.g. the
+                             ///< bottleneck link a put serialised on)
+};
+
+/**
+ * Causal (happens-before) edge between two points of the trace. Spans
+ * alone only give nesting; edges connect the moment one track *caused*
+ * progress on another, which is exactly what critical-path extraction
+ * (obs/critpath.hpp) walks backwards over.
+ */
+enum class EdgeKind
+{
+    Signal,       ///< semaphore signal issue -> waiter resume
+    FifoHop,      ///< proxy FIFO push complete -> CPU pop complete
+    LinkDelivery, ///< wire serialisation start -> last-byte delivery
+    Launch,       ///< host kernel launch -> thread-block start
+};
+
+const char* toString(EdgeKind k);
+
+struct TraceEdge
+{
+    EdgeKind kind = EdgeKind::Signal;
+    int srcPid = 0;
+    std::string srcTrack;
+    sim::Time srcTime = 0;
+    int dstPid = 0;
+    std::string dstTrack;
+    sim::Time dstTime = 0;
+    std::uint64_t bytes = 0;
+    int channelId = -1;
 };
 
 /**
  * NPKit-style per-Machine event recorder: a fixed-capacity ring
- * buffer of typed spans. Recording is gated twice — compile out every
- * call site with -DMSCCLPP_NO_OBS, and at runtime nothing is stored
- * unless setEnabled(true) (the MSCCLPP_TRACE env gate) was called.
- * The disabled fast path is a single branch on a bool.
+ * buffer of typed spans plus a second ring of causal edges. Recording
+ * is gated twice — compile out every call site with -DMSCCLPP_NO_OBS,
+ * and at runtime nothing is stored unless setEnabled(true) (the
+ * MSCCLPP_TRACE env gate) was called. The disabled fast path is a
+ * single branch on a bool.
  *
  * The tracer never advances virtual time: instrumentation observes
  * the schedule, it does not perturb it.
@@ -79,7 +111,7 @@ class Tracer
     /** Record a completed span. No-op when disabled. */
     void span(Category cat, std::string name, int pid, std::string track,
               sim::Time begin, sim::Time end, std::uint64_t bytes = 0,
-              int channelId = -1);
+              int channelId = -1, std::string detail = {});
 
     /** Record a zero-duration marker. */
     void instant(Category cat, std::string name, int pid,
@@ -90,16 +122,31 @@ class Tracer
              channelId);
     }
 
+    /** Record a causal edge. No-op when disabled. */
+    void edge(EdgeKind kind, int srcPid, std::string srcTrack,
+              sim::Time srcTime, int dstPid, std::string dstTrack,
+              sim::Time dstTime, std::uint64_t bytes = 0,
+              int channelId = -1);
+
     /** Events currently held (<= capacity). */
     std::size_t size() const { return events_.size(); }
 
-    /** Events overwritten because the ring was full. */
+    /** Edges currently held (<= capacity). */
+    std::size_t edgeCount() const { return edges_.size(); }
+
+    /** Events overwritten because the event ring was full. */
     std::uint64_t dropped() const { return dropped_; }
+
+    /** Edges overwritten because the edge ring was full. */
+    std::uint64_t edgesDropped() const { return edgesDropped_; }
 
     std::size_t capacity() const { return capacity_; }
 
     /** Copy of the buffered events in record order. */
     std::vector<TraceEvent> snapshot() const;
+
+    /** Copy of the buffered edges in record order. */
+    std::vector<TraceEdge> edgesSnapshot() const;
 
     void clear();
 
@@ -107,7 +154,9 @@ class Tracer
      * Serialise to Chrome trace_events JSON (chrome://tracing and
      * Perfetto): one process per pid with a metadata name, one thread
      * per distinct track within it, spans as "X" complete events with
-     * microsecond timestamps.
+     * microsecond timestamps. The top-level `otherData` object carries
+     * the ring-buffer drop counters so a truncated trace is never
+     * silently mistaken for a complete one.
      */
     std::string chromeTraceJson() const;
 
@@ -123,6 +172,9 @@ class Tracer
     std::vector<TraceEvent> events_;
     std::size_t head_ = 0; ///< oldest element once the ring wrapped
     std::uint64_t dropped_ = 0;
+    std::vector<TraceEdge> edges_;
+    std::size_t edgeHead_ = 0;
+    std::uint64_t edgesDropped_ = 0;
 };
 
 } // namespace mscclpp::obs

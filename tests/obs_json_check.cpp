@@ -4,9 +4,14 @@
  * iff every file named on the command line parses as a single JSON
  * value with no trailing garbage, and every `--require=<substring>`
  * appears somewhere in the checked files (used to assert that
- * specific obs counters were emitted). Deliberately gtest-free so it
- * stays a tiny ctest COMMAND.
+ * specific obs counters were emitted). With --bench-schema each file
+ * must additionally be a valid mscclpp.bench_report artifact: schema
+ * and version fields, a non-empty benches object whose entries all
+ * carry the required numeric keys with p50_us <= p99_us. Deliberately
+ * gtest-free so it stays a tiny ctest COMMAND.
  */
+#include "tuner/json.hpp"
+
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -179,6 +184,76 @@ class Parser
     std::size_t pos_ = 0;
 };
 
+/**
+ * Validate one bench_report artifact beyond well-formedness: the
+ * schema/version stamp, and the per-bench invariants the comparator
+ * relies on (required numeric keys, monotone percentiles).
+ */
+bool
+checkBenchSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
+        return false;
+    }
+    const json::Value* schema = doc->get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != "mscclpp.bench_report") {
+        std::fprintf(stderr, "%s: schema != mscclpp.bench_report\n",
+                     file);
+        return false;
+    }
+    const json::Value* version = doc->get("version");
+    if (version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr, "%s: missing/unknown version\n", file);
+        return false;
+    }
+    const json::Value* env = doc->get("env");
+    if (env == nullptr || !env->isString() || env->string.empty()) {
+        std::fprintf(stderr, "%s: missing env\n", file);
+        return false;
+    }
+    const json::Value* benches = doc->get("benches");
+    if (benches == nullptr || !benches->isObject() ||
+        benches->object.empty()) {
+        std::fprintf(stderr, "%s: benches must be a non-empty object\n",
+                     file);
+        return false;
+    }
+    for (const auto& [key, bench] : benches->object) {
+        for (const char* field :
+             {"bytes", "samples", "p50_us", "p99_us", "measured_ns"}) {
+            const json::Value* v = bench.get(field);
+            if (v == nullptr || !v->isNumber()) {
+                std::fprintf(stderr, "%s: %s missing numeric %s\n", file,
+                             key.c_str(), field);
+                return false;
+            }
+        }
+        double p50 = bench.get("p50_us")->number;
+        double p99 = bench.get("p99_us")->number;
+        if (p50 < 0 || p99 < p50) {
+            std::fprintf(stderr,
+                         "%s: %s percentiles not monotone "
+                         "(p50=%g p99=%g)\n",
+                         file, key.c_str(), p50, p99);
+            return false;
+        }
+        const json::Value* attr = bench.get("attribution_ns");
+        if (attr == nullptr || !attr->isObject()) {
+            std::fprintf(stderr, "%s: %s missing attribution_ns\n", file,
+                         key.c_str());
+            return false;
+        }
+    }
+    std::printf("%s: bench schema ok (%zu benches)\n", file,
+                benches->object.size());
+    return true;
+}
+
 } // namespace
 
 int
@@ -186,17 +261,21 @@ main(int argc, char** argv)
 {
     std::vector<std::string> required;
     std::vector<const char*> files;
+    bool benchSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
             required.push_back(arg.substr(10));
+        } else if (arg == "--bench-schema") {
+            benchSchema = true;
         } else {
             files.push_back(argv[i]);
         }
     }
     if (files.empty()) {
         std::fprintf(stderr,
-                     "usage: %s [--require=<substring>]... <file.json>...\n",
+                     "usage: %s [--bench-schema] "
+                     "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
     }
@@ -225,6 +304,10 @@ main(int argc, char** argv)
             continue;
         }
         std::printf("%s: ok (%zu bytes)\n", file, text.size());
+        if (benchSchema && !checkBenchSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
         all += text;
     }
     for (const std::string& want : required) {

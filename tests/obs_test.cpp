@@ -11,6 +11,7 @@
 #include "dsl/executor.hpp"
 #include "fabric/env.hpp"
 #include "gpu/machine.hpp"
+#include "obs/critpath.hpp"
 #include "obs/obs.hpp"
 
 #include <gtest/gtest.h>
@@ -18,6 +19,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -281,6 +283,9 @@ TEST(Tracer, DisabledByDefaultRecordsNothing)
 
 TEST(Tracer, RecordsSpansInOrder)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::Tracer t;
     t.setEnabled(true);
     t.span(obs::Category::Channel, "put", 0, "tb0", 10, 20, 256, 3);
@@ -298,6 +303,9 @@ TEST(Tracer, RecordsSpansInOrder)
 
 TEST(Tracer, RingBufferOverwritesOldestAndCountsDrops)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::Tracer t(4);
     t.setEnabled(true);
     for (int i = 0; i < 6; ++i) {
@@ -316,6 +324,9 @@ TEST(Tracer, RingBufferOverwritesOldestAndCountsDrops)
 
 TEST(Tracer, ClearResetsBufferButKeepsEnabledState)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::Tracer t(2);
     t.setEnabled(true);
     t.span(obs::Category::Kernel, "a", 0, "t", 0, 1);
@@ -333,6 +344,9 @@ TEST(Tracer, ClearResetsBufferButKeepsEnabledState)
 
 TEST(ChromeTrace, WellFormedWithProcessAndThreadMetadata)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::Tracer t;
     t.setEnabled(true);
     t.span(obs::Category::Channel, "mem.put", 0, "tb0", sim::us(1),
@@ -378,6 +392,9 @@ TEST(ChromeTrace, WellFormedWithProcessAndThreadMetadata)
 
 TEST(ChromeTrace, TimestampsAreMicrosecondsAndMonotonePerTrack)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::Tracer t;
     t.setEnabled(true);
     t.span(obs::Category::Executor, "s0", 0, "tb0", sim::us(10),
@@ -401,6 +418,9 @@ TEST(ChromeTrace, TimestampsAreMicrosecondsAndMonotonePerTrack)
 
 TEST(ChromeTrace, EscapesQuotesInNames)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::Tracer t;
     t.setEnabled(true);
     t.span(obs::Category::Kernel, "say \"hi\"\n", 0, "tb0", 0, 1);
@@ -421,6 +441,9 @@ TEST(ChromeTrace, EscapesQuotesInNames)
 
 TEST(Metrics, CounterAccumulates)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     obs::MetricsRegistry reg;
     EXPECT_TRUE(reg.enabled());
     reg.counter("bytes").add(100);
@@ -653,6 +676,9 @@ TEST_F(ObsEnv, RejectsEmptyPath)
 
 TEST_F(ObsEnv, MachineHonoursTheGate)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     setenv("MSCCLPP_TRACE", "1", 1);
     gpu::Machine m(fab::makeA100_40G(), 1);
     EXPECT_TRUE(m.obs().tracer().enabled());
@@ -689,6 +715,9 @@ categoriesOf(const std::vector<obs::TraceEvent>& evs)
 
 TEST(TracedCollective, AllReducePortCoversEveryLayer)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     gpu::Machine m(fab::makeA100_40G(), 1);
     m.obs().tracer().setEnabled(true);
     {
@@ -732,6 +761,9 @@ TEST(TracedCollective, AllReducePortCoversEveryLayer)
 
 TEST(TracedCollective, BroadcastBytesReconcile)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     const std::size_t bytes = 256 << 10;
     gpu::Machine m(fab::makeA100_40G(), 1);
     m.obs().tracer().setEnabled(true);
@@ -773,6 +805,9 @@ TEST(TracedCollective, BroadcastBytesReconcile)
 
 TEST(TracedCollective, ExecutorEmitsPerStepSpans)
 {
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
     gpu::Machine m(fab::makeA100_40G(), 1);
     m.obs().tracer().setEnabled(true);
     dsl::Executor ex(m, 1 << 20);
@@ -813,4 +848,334 @@ TEST(TracedCollective, DisabledTracerLeavesTimingUntouched)
                               mscclpp::AllReduceAlgo::AllPairs2PHB);
     };
     EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Gauges and occupancy histograms.
+// ---------------------------------------------------------------------------
+
+TEST(Gauge, TracksLevelAndHighWater)
+{
+    obs::Gauge g;
+    EXPECT_TRUE(g.empty());
+    EXPECT_DOUBLE_EQ(g.max(), 0.0);
+    g.set(5.0);
+    g.add(3.0);
+    EXPECT_DOUBLE_EQ(g.value(), 8.0);
+    g.sub(6.0);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);
+    // The high-water mark survives the drop.
+    EXPECT_DOUBLE_EQ(g.max(), 8.0);
+    EXPECT_FALSE(g.empty());
+}
+
+TEST(Gauge, MergeSumsLevelsAndKeepsLargestHighWater)
+{
+    obs::Gauge a;
+    obs::Gauge b;
+    a.set(10.0);
+    a.set(4.0); // level 4, high water 10
+    b.set(3.0); // level 3, high water 3
+    a.merge(b);
+    // Levels add (both queues are simultaneously outstanding);
+    // high-water marks take the max, they never add.
+    EXPECT_DOUBLE_EQ(a.value(), 7.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+
+    obs::Gauge fresh;
+    fresh.merge(a);
+    EXPECT_DOUBLE_EQ(fresh.value(), 7.0);
+    EXPECT_DOUBLE_EQ(fresh.max(), 10.0);
+
+    obs::Gauge untouched;
+    a.merge(untouched); // merging an empty gauge changes nothing
+    EXPECT_DOUBLE_EQ(a.value(), 7.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
+TEST(Histogram, AddRangeSpreadsBusyTimeAcrossBuckets)
+{
+    obs::Histogram h(sim::us(10));
+    h.addRange(0, sim::us(5));            // half of bucket 0
+    h.addRange(sim::us(10), sim::us(20)); // all of bucket 1
+    h.addRange(sim::us(25), sim::us(35)); // straddles buckets 2 and 3
+    EXPECT_DOUBLE_EQ(h.occupancy(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.occupancy(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.occupancy(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.occupancy(3), 0.5);
+    EXPECT_DOUBLE_EQ(h.total(), static_cast<double>(sim::us(25)));
+    EXPECT_DOUBLE_EQ(h.peakOccupancy(), 1.0);
+}
+
+TEST(Histogram, MergeRebucketsFinerIntoCoarser)
+{
+    obs::Histogram fine(sim::us(10));
+    obs::Histogram coarse(sim::us(20));
+    fine.addRange(0, sim::us(10));             // fine bucket 0 full
+    coarse.addRange(sim::us(20), sim::us(40)); // coarse bucket 1 full
+    fine.merge(coarse);
+    // Widths only ever double, so the merge is exact: the fine
+    // histogram adopts the coarse width and refolds its buckets.
+    EXPECT_EQ(fine.bucketWidth(), sim::us(20));
+    EXPECT_DOUBLE_EQ(fine.total(), static_cast<double>(sim::us(30)));
+    EXPECT_DOUBLE_EQ(fine.occupancy(0), 0.5); // 10us busy of 20us
+    EXPECT_DOUBLE_EQ(fine.occupancy(1), 1.0);
+    EXPECT_DOUBLE_EQ(fine.peakOccupancy(), 1.0);
+}
+
+TEST(Histogram, CoarsensInsteadOfGrowingUnbounded)
+{
+    obs::Histogram h(sim::us(1));
+    // 600 fully-busy 1us buckets exceed the bucket cap (512); the
+    // histogram doubles its width and coalesces neighbours instead of
+    // growing without bound.
+    for (int i = 0; i < 600; ++i) {
+        h.addRange(sim::us(i), sim::us(i + 1));
+    }
+    EXPECT_EQ(h.bucketWidth(), sim::us(2));
+    EXPECT_EQ(h.buckets().size(), 300u);
+    // No busy time is lost to the rebucketing, and the merged
+    // buckets are still fully occupied.
+    EXPECT_DOUBLE_EQ(h.total(), static_cast<double>(sim::us(600)));
+    EXPECT_DOUBLE_EQ(h.occupancy(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.peakOccupancy(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path extraction on a hand-built trace.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Two ranks, one collective window [0, 1000ns]. The longest
+ * dependency chain is, backwards from the straggler (rank 1):
+ *
+ *   drain [900,1000] -> rank1 waits on rank0's signal [500,900]
+ *   -> rank0's put over gpu0.tx [200,500] -> pre-op compute [100,200]
+ *   -> rank0 kernel launch [0,100]
+ *
+ * Rank 1's own put over gpu1.tx [120,400] finishes early and is NOT
+ * on the critical path; the analyzer must attribute gpu0.tx, not
+ * gpu1.tx.
+ */
+obs::Tracer
+handBuiltTrace()
+{
+    obs::Tracer t;
+    t.setEnabled(true);
+    t.span(obs::Category::Collective, "allreduce test", obs::kHostPid,
+           "collectives", 0, sim::ns(1000), 1 << 20);
+    t.span(obs::Category::Kernel, "kernel.launch", 0, "launch", 0,
+           sim::ns(100));
+    t.span(obs::Category::Kernel, "kernel.launch", 1, "launch", 0,
+           sim::ns(100));
+    t.span(obs::Category::Kernel, "block", 0, "tb0", sim::ns(100),
+           sim::ns(500));
+    t.span(obs::Category::Kernel, "block", 1, "tb0", sim::ns(120),
+           sim::ns(900));
+    t.span(obs::Category::Channel, "mem.put", 0, "tb0", sim::ns(200),
+           sim::ns(500), 512 << 10, -1, "gpu0.tx");
+    t.span(obs::Category::Channel, "mem.put", 1, "tb0", sim::ns(120),
+           sim::ns(400), 512 << 10, -1, "gpu1.tx");
+    t.span(obs::Category::Channel, "mem.wait", 1, "tb0", sim::ns(400),
+           sim::ns(900));
+    t.edge(obs::EdgeKind::Launch, 0, "launch", sim::ns(100), 0, "tb0",
+           sim::ns(100));
+    t.edge(obs::EdgeKind::Launch, 1, "launch", sim::ns(100), 1, "tb0",
+           sim::ns(120));
+    t.edge(obs::EdgeKind::Signal, 0, "tb0", sim::ns(500), 1, "tb0",
+           sim::ns(900));
+    return t;
+}
+
+} // namespace
+
+TEST(CriticalPath, HandBuiltTraceFindsKnownLongestPath)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t = handBuiltTrace();
+    obs::CritPathAnalyzer an(t.snapshot(), t.edgesSnapshot());
+    ASSERT_EQ(an.collectives().size(), 1u);
+    std::optional<obs::CriticalPathReport> rep = an.analyzeLast();
+    ASSERT_TRUE(rep.has_value());
+
+    // The attributed segments tile the whole window exactly.
+    EXPECT_EQ(rep->total(), sim::ns(1000));
+    EXPECT_EQ(rep->byCategory.at(obs::PathCategory::SyncWait),
+              sim::ns(400));
+    EXPECT_EQ(rep->byCategory.at(obs::PathCategory::LinkSerialization),
+              sim::ns(300));
+    EXPECT_EQ(rep->byCategory.at(obs::PathCategory::KernelCompute),
+              sim::ns(100));
+    // Launch [0,100] plus drain [900,1000].
+    EXPECT_EQ(rep->byCategory.at(obs::PathCategory::LaunchOverhead),
+              sim::ns(200));
+    EXPECT_EQ(rep->dominant(), obs::PathCategory::SyncWait);
+
+    // The path runs through rank 0's link, not the straggler's own.
+    ASSERT_EQ(rep->byLink.count("gpu0.tx"), 1u);
+    EXPECT_EQ(rep->byLink.at("gpu0.tx"), sim::ns(300));
+    EXPECT_EQ(rep->byLink.count("gpu1.tx"), 0u);
+
+    // Straggler skew: rank 1's block ends 400ns after rank 0's.
+    EXPECT_EQ(rep->rankSkew.at(0), sim::ns(400));
+    EXPECT_EQ(rep->rankSkew.at(1), sim::ns(0));
+
+    // Segments are returned oldest-first and contiguous in time.
+    ASSERT_FALSE(rep->segments.empty());
+    EXPECT_EQ(rep->segments.front().begin, sim::ns(0));
+    EXPECT_EQ(rep->segments.back().end, sim::ns(1000));
+    for (std::size_t i = 1; i < rep->segments.size(); ++i) {
+        EXPECT_GE(rep->segments[i].begin, rep->segments[i - 1].begin);
+    }
+
+    // The JSON rendering of the report parses and carries the totals.
+    JsonValue doc = parseJsonOrDie(rep->toJson());
+    EXPECT_DOUBLE_EQ(doc.at("total_ns").number, 1000.0);
+    EXPECT_DOUBLE_EQ(doc.at("categories").at("sync_wait").number, 400.0);
+    EXPECT_DOUBLE_EQ(doc.at("links").at("gpu0.tx").number, 300.0);
+}
+
+TEST(CriticalPath, HostTailExtendsAttributionPastTheWindow)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t = handBuiltTrace();
+    obs::CritPathAnalyzer an(t.snapshot(), t.edgesSnapshot());
+    std::optional<obs::CriticalPathReport> rep =
+        an.analyzeLast(sim::ns(50));
+    ASSERT_TRUE(rep.has_value());
+    // The host-sync tail is appended after the window so the report
+    // reconciles with the host-measured latency, not just the span.
+    EXPECT_EQ(rep->total(), sim::ns(1050));
+    EXPECT_EQ(rep->byCategory.at(obs::PathCategory::LaunchOverhead),
+              sim::ns(250));
+    EXPECT_EQ(rep->segments.back().what, "(host sync)");
+    EXPECT_EQ(rep->segments.back().end, sim::ns(1050));
+}
+
+TEST(CriticalPath, AttributionSumsExactlyToMeasuredLatency)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    cfg.critpathEnabled = true;
+    gpu::Machine m(cfg, 1);
+    m.obs().setDumpOnDestroy(false);
+    CollectiveComm comm(m, {});
+    sim::Time elapsed = comm.allReduce(1 << 20, gpu::DataType::F16,
+                                       gpu::ReduceOp::Sum);
+    const obs::CriticalPathReport* rep = comm.lastCriticalPath();
+    ASSERT_NE(rep, nullptr);
+    // The category breakdown reconstructs the measured latency
+    // exactly: every picosecond of the collective is attributed.
+    sim::Time attributed = 0;
+    for (const auto& [cat, t] : rep->byCategory) {
+        (void)cat;
+        attributed += t;
+    }
+    EXPECT_EQ(attributed, elapsed);
+    EXPECT_EQ(rep->total(), elapsed);
+    // The per-collective summaries were recorded.
+    EXPECT_GT(
+        m.obs().metrics().summaries().count("critpath.sync_wait_ns") +
+            m.obs().metrics().summaries().count(
+                "critpath.link_serialization_ns"),
+        0u);
+}
+
+TEST(CriticalPath, DegradedLinkDominatesAttribution)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    // Slow one GPU's tx port to 5% of line rate: the critical path of
+    // a large HB AllReduce must now run through that link, and the
+    // report must say so.
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    cfg.critpathEnabled = true;
+    cfg.degradedLinks = "gpu3.tx:0.05";
+    gpu::Machine m(cfg, 1);
+    m.obs().setDumpOnDestroy(false);
+    CollectiveComm::Options opt;
+    opt.maxBytes = 4 << 20;
+    CollectiveComm comm(m, opt);
+    comm.allReduce(4 << 20, gpu::DataType::F16, gpu::ReduceOp::Sum,
+                   mscclpp::AllReduceAlgo::AllPairs2PHB);
+    const obs::CriticalPathReport* rep = comm.lastCriticalPath();
+    ASSERT_NE(rep, nullptr);
+    auto it = rep->byLink.find("gpu3.tx");
+    ASSERT_NE(it, rep->byLink.end())
+        << "slowed link never appeared on the critical path";
+    // The slow link serialization is the majority of the whole
+    // AllReduce, and dwarfs every healthy link.
+    EXPECT_GT(it->second, rep->total() / 2) << rep->summaryLine();
+    for (const auto& [link, t] : rep->byLink) {
+        if (link != "gpu3.tx") {
+            EXPECT_LT(t, it->second) << link;
+        }
+    }
+}
+
+TEST(CriticalPath, FaultInjectionSpecIsValidated)
+{
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    cfg.degradedLinks = "gpu3.tx"; // missing :factor
+    EXPECT_THROW(gpu::Machine(cfg, 1), std::invalid_argument);
+    cfg.degradedLinks = "gpu3.tx:0";
+    EXPECT_THROW(gpu::Machine(cfg, 1), std::invalid_argument);
+    cfg.degradedLinks = "gpu3.tx:0.5,nic0.tx:2.0";
+    EXPECT_NO_THROW(gpu::Machine(cfg, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Drop accounting surfaces in both exports.
+// ---------------------------------------------------------------------------
+
+TEST(TraceDropped, SurfacesInChromeExportMetadata)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t(2);
+    t.setEnabled(true);
+    for (int i = 0; i < 5; ++i) {
+        t.span(obs::Category::Kernel, "e", 0, "t",
+               static_cast<sim::Time>(i), static_cast<sim::Time>(i + 1));
+    }
+    JsonValue doc = parseJsonOrDie(t.chromeTraceJson());
+    EXPECT_DOUBLE_EQ(doc.at("otherData").at("dropped").number, 3.0);
+    bool metaSeen = false;
+    for (const JsonValue& e : doc.at("traceEvents").array) {
+        if (e.at("ph").str == "M" && e.at("name").str == "trace.dropped") {
+            metaSeen = true;
+        }
+    }
+    EXPECT_TRUE(metaSeen);
+}
+
+TEST(TraceDropped, SurfacesInMetricsJsonOnDump)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::ObsContext ctx;
+    ctx.tracer().setEnabled(true);
+    // Overflow the (large) default ring so dropped() goes nonzero.
+    const std::size_t over = ctx.tracer().capacity() + 3;
+    for (std::size_t i = 0; i < over; ++i) {
+        ctx.tracer().span(obs::Category::Kernel, "e", 0, "t", 0, 1);
+    }
+    ASSERT_EQ(ctx.tracer().dropped(), 3u);
+    ctx.setTraceFile("/dev/null");
+    ctx.setMetricsFile("/dev/null");
+    ctx.dump();
+    // dump() folds the drop counters into the metrics registry so
+    // metrics.json records the loss alongside the Chrome metadata.
+    EXPECT_EQ(ctx.metrics().counter("trace.dropped").value(), 3u);
 }

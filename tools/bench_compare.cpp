@@ -1,0 +1,166 @@
+/**
+ * bench_compare: regression gate over bench_report artifacts. Diffs
+ * the p50 latency of every bench key in a current BENCH_<env>.json
+ * against a committed baseline and exits 1 when any key slowed down
+ * by more than the threshold. The simulator is deterministic, so the
+ * gate can be tight without flaking.
+ *
+ * Usage: bench_compare [options] <current.json>
+ *   --baseline <file>  baseline report (default: $MSCCLPP_BENCH_BASELINE)
+ *   --threshold <pct>  max allowed slowdown, percent (default 10)
+ *   --require-all      fail if a baseline key is missing from current
+ *   --inject <pct>     inflate current latencies by <pct> before
+ *                      comparing (self-test hook for the ctest gate)
+ *
+ * Keys present in only one file are reported and skipped (new benches
+ * should not fail the gate) unless --require-all is given.
+ */
+#include "tuner/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace json = mscclpp::tuner::json;
+
+namespace {
+
+std::optional<json::Value>
+loadReport(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "bench_compare: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::optional<json::Value> v = json::parse(ss.str());
+    if (!v) {
+        std::fprintf(stderr, "bench_compare: %s is not valid JSON\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    const json::Value* schema = v->get("schema");
+    const json::Value* version = v->get("version");
+    if (schema == nullptr || schema->string != "mscclpp.bench_report" ||
+        version == nullptr || !version->isNumber()) {
+        std::fprintf(stderr,
+                     "bench_compare: %s is not a mscclpp.bench_report\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    if (version->number != 1) {
+        std::fprintf(stderr,
+                     "bench_compare: %s has schema version %g, "
+                     "expected 1\n",
+                     path.c_str(), version->number);
+        return std::nullopt;
+    }
+    return v;
+}
+
+double
+p50Of(const json::Value& bench)
+{
+    const json::Value* p50 = bench.get("p50_us");
+    return p50 != nullptr && p50->isNumber() ? p50->number : -1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string baselinePath;
+    std::string currentPath;
+    double thresholdPct = 10.0;
+    double injectPct = 0.0;
+    bool requireAll = false;
+    if (const char* env = std::getenv("MSCCLPP_BENCH_BASELINE")) {
+        baselinePath = env;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            thresholdPct = std::atof(argv[++i]);
+        } else if (arg == "--inject" && i + 1 < argc) {
+            injectPct = std::atof(argv[++i]);
+        } else if (arg == "--require-all") {
+            requireAll = true;
+        } else if (!arg.empty() && arg[0] != '-' && currentPath.empty()) {
+            currentPath = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--baseline <file>] [--threshold "
+                         "<pct>] [--require-all] [--inject <pct>] "
+                         "<current.json>\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (currentPath.empty() || baselinePath.empty()) {
+        std::fprintf(stderr,
+                     "bench_compare: need a current report and a "
+                     "baseline (--baseline or MSCCLPP_BENCH_BASELINE)\n");
+        return 2;
+    }
+
+    std::optional<json::Value> baseline = loadReport(baselinePath);
+    std::optional<json::Value> current = loadReport(currentPath);
+    if (!baseline || !current) {
+        return 2;
+    }
+    const json::Value* baseBenches = baseline->get("benches");
+    const json::Value* curBenches = current->get("benches");
+    if (baseBenches == nullptr || !baseBenches->isObject() ||
+        curBenches == nullptr || !curBenches->isObject()) {
+        std::fprintf(stderr, "bench_compare: missing benches section\n");
+        return 2;
+    }
+
+    int regressions = 0;
+    int compared = 0;
+    for (const auto& [key, baseBench] : baseBenches->object) {
+        const json::Value* curBench = curBenches->get(key);
+        if (curBench == nullptr) {
+            std::printf("%-40s missing from current%s\n", key.c_str(),
+                        requireAll ? " (FAIL)" : " (skipped)");
+            regressions += requireAll ? 1 : 0;
+            continue;
+        }
+        double base50 = p50Of(baseBench);
+        double cur = p50Of(*curBench) * (1.0 + injectPct / 100.0);
+        if (base50 <= 0 || cur < 0) {
+            std::fprintf(stderr, "%s: missing p50_us\n", key.c_str());
+            return 2;
+        }
+        ++compared;
+        double deltaPct = 100.0 * (cur / base50 - 1.0);
+        bool bad = deltaPct > thresholdPct;
+        std::printf("%-40s %10.2fus -> %10.2fus  %+7.2f%%%s\n",
+                    key.c_str(), base50, cur, deltaPct,
+                    bad ? "  REGRESSION" : "");
+        regressions += bad ? 1 : 0;
+    }
+    for (const auto& [key, bench] : curBenches->object) {
+        (void)bench;
+        if (baseBenches->get(key) == nullptr) {
+            std::printf("%-40s new (no baseline)\n", key.c_str());
+        }
+    }
+    std::printf("%d compared, %d regression(s), threshold %.1f%%\n",
+                compared, regressions, thresholdPct);
+    if (compared == 0) {
+        std::fprintf(stderr,
+                     "bench_compare: no overlapping bench keys\n");
+        return 2;
+    }
+    return regressions > 0 ? 1 : 0;
+}

@@ -1,0 +1,266 @@
+/**
+ * bench_report: machine-readable benchmark harness. Re-runs the
+ * fig08/fig10/fig11 scenarios with critical-path attribution enabled
+ * and writes one schema-versioned BENCH_<env>.json per environment,
+ * carrying p50/p99 latency and the per-category attribution breakdown
+ * for every bench key. bench_compare diffs these files against the
+ * committed baselines in bench/baselines/ to catch regressions.
+ *
+ * Usage: bench_report [--out <dir>] [--smoke]
+ *   --out    output directory (default bench_out; created, gitignored)
+ *   --smoke  small subset for CI (fewer sizes, fewer iterations)
+ *
+ * The simulator runs in virtual time, so the samples are
+ * deterministic: p50 == p99 on a healthy run, and any drift against
+ * the baseline is a real cost-model or algorithm change, not noise.
+ */
+#include "bench_util.hpp"
+#include "collective/api.hpp"
+#include "inference/llm.hpp"
+#include "obs/critpath.hpp"
+#include "tuner/json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+
+namespace {
+
+struct BenchResult
+{
+    std::string key;
+    std::size_t bytes = 0;
+    std::vector<double> samplesUs; // one per timed iteration
+    std::map<std::string, double> attributionNs;
+    double measuredNs = 0; // latency the attribution must sum to
+
+    double percentile(double q) const
+    {
+        std::vector<double> s = samplesUs;
+        std::sort(s.begin(), s.end());
+        if (s.empty()) {
+            return 0;
+        }
+        std::size_t idx = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(s.size())));
+        return s[std::min(idx == 0 ? 0 : idx - 1, s.size() - 1)];
+    }
+};
+
+struct Report
+{
+    std::string env;
+    std::vector<BenchResult> benches;
+};
+
+/** Fresh machine with critpath attribution on and teardown dump off
+ *  (bench_report writes its own artifacts). */
+std::unique_ptr<gpu::Machine>
+makeMachine(fab::EnvConfig env, int nodes)
+{
+    env.critpathEnabled = true;
+    auto machine =
+        std::make_unique<gpu::Machine>(env, nodes, gpu::DataMode::Timed);
+    machine->obs().setDumpOnDestroy(false);
+    return machine;
+}
+
+/** Capture the last collective's attribution into @p out. */
+void
+captureAttribution(const CollectiveComm& comm, BenchResult& out)
+{
+    const obs::CriticalPathReport* rep = comm.lastCriticalPath();
+    if (rep == nullptr) {
+        return;
+    }
+    for (const auto& [cat, t] : rep->byCategory) {
+        out.attributionNs[obs::toString(cat)] = sim::toNs(t);
+    }
+    out.measuredNs = sim::toNs(rep->total());
+}
+
+void
+runAllReduceSweep(Report& report, const std::string& fig,
+                  fab::EnvConfig env, int nodes,
+                  const std::vector<std::size_t>& sizes, int iters)
+{
+    auto machine = makeMachine(env, nodes);
+    CollectiveComm::Options opt;
+    opt.maxBytes = *std::max_element(sizes.begin(), sizes.end());
+    CollectiveComm comm(*machine, opt);
+    char shape[32];
+    std::snprintf(shape, sizeof(shape), "%dn%dg", nodes,
+                  nodes * env.gpusPerNode);
+    for (std::size_t bytes : sizes) {
+        BenchResult r;
+        r.key = fig + ".allreduce." + shape + "." +
+                bench::humanBytes(bytes);
+        r.bytes = bytes;
+        // One warmup (populates tuner/plan caches), then timed iters.
+        comm.allReduce(bytes, gpu::DataType::F16, gpu::ReduceOp::Sum);
+        for (int i = 0; i < iters; ++i) {
+            machine->obs().tracer().clear();
+            sim::Time t = comm.allReduce(bytes, gpu::DataType::F16,
+                                         gpu::ReduceOp::Sum);
+            r.samplesUs.push_back(sim::toUs(t));
+        }
+        captureAttribution(comm, r);
+        report.benches.push_back(std::move(r));
+    }
+}
+
+void
+runDecodeSweep(Report& report, fab::EnvConfig env,
+               const std::vector<std::pair<int, int>>& shapes, int iters)
+{
+    auto machine = makeMachine(env, 1);
+    inference::InferenceSim infer(*machine, inference::InferenceConfig{});
+    for (auto [bsz, seqlen] : shapes) {
+        BenchResult r;
+        r.key = "fig10.decode.b" + std::to_string(bsz) + ".s" +
+                std::to_string(seqlen);
+        infer.decodeStep(bsz, seqlen, inference::CommBackend::Mscclpp);
+        for (int i = 0; i < iters; ++i) {
+            machine->obs().tracer().clear();
+            auto step = infer.decodeStep(bsz, seqlen,
+                                         inference::CommBackend::Mscclpp);
+            r.bytes = step.allReduceBytes;
+            r.samplesUs.push_back(sim::toUs(step.total()));
+        }
+        // Attribution covers the decode step's last AllReduce — the
+        // communication the figure is about, not the GEMM time.
+        captureAttribution(infer.comm(), r);
+        report.benches.push_back(std::move(r));
+    }
+}
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+toJson(const Report& report)
+{
+    std::string out = "{\n  \"schema\": \"mscclpp.bench_report\",\n"
+                      "  \"version\": 1,\n  \"env\": \"" +
+                      tuner::json::escape(report.env) +
+                      "\",\n  \"benches\": {\n";
+    bool firstBench = true;
+    for (const BenchResult& r : report.benches) {
+        if (!firstBench) {
+            out += ",\n";
+        }
+        firstBench = false;
+        out += "    \"" + tuner::json::escape(r.key) + "\": {\n";
+        out += "      \"bytes\": " + std::to_string(r.bytes) + ",\n";
+        out += "      \"samples\": " + std::to_string(r.samplesUs.size()) +
+               ",\n";
+        out += "      \"p50_us\": " + num(r.percentile(0.50)) + ",\n";
+        out += "      \"p99_us\": " + num(r.percentile(0.99)) + ",\n";
+        out += "      \"measured_ns\": " + num(r.measuredNs) + ",\n";
+        out += "      \"attribution_ns\": {";
+        bool first = true;
+        for (const auto& [cat, ns] : r.attributionNs) {
+            if (!first) {
+                out += ", ";
+            }
+            first = false;
+            out += "\"" + cat + "\": " + num(ns);
+        }
+        out += "}\n    }";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+writeReport(const Report& report, const std::string& dir)
+{
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/BENCH_" + report.env + ".json";
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    f << toJson(report);
+    std::printf("wrote %s (%zu benches)\n", path.c_str(),
+                report.benches.size());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string outDir = "bench_out";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outDir = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outDir = arg.substr(6);
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--out <dir>] [--smoke]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const int iters = smoke ? 2 : 5;
+    std::vector<std::size_t> sizes = {std::size_t(4) << 10,
+                                      std::size_t(1) << 20};
+    if (!smoke) {
+        sizes.push_back(std::size_t(64) << 20);
+    }
+
+    // fig08: AllReduce, A100-40G, 1 and 2 nodes.
+    {
+        Report rep;
+        rep.env = "A100-40G";
+        runAllReduceSweep(rep, "fig08", fab::makeA100_40G(), 1, sizes,
+                          iters);
+        if (!smoke) {
+            runAllReduceSweep(rep, "fig08", fab::makeA100_40G(), 2, sizes,
+                              iters);
+        }
+        writeReport(rep, outDir);
+    }
+
+    // fig10: Llama2-70b decode steps, A100-80G, TP=8.
+    {
+        Report rep;
+        rep.env = "A100-80G";
+        std::vector<std::pair<int, int>> shapes = {{8, 512}};
+        if (!smoke) {
+            shapes.push_back({32, 1024});
+        }
+        runDecodeSweep(rep, fab::makeA100_80G(), shapes, iters);
+        writeReport(rep, outDir);
+    }
+
+    // fig11: AllReduce, H100 (SwitchChannel/NVLS path), single node.
+    {
+        Report rep;
+        rep.env = "H100";
+        runAllReduceSweep(rep, "fig11", fab::makeH100(), 1, sizes, iters);
+        writeReport(rep, outDir);
+    }
+    return 0;
+}
