@@ -30,12 +30,26 @@ main()
     const int promptLen = 512;
     const int genTokens = 128;
 
+    // Explicit step-profiler windows around each decode iteration:
+    // with MSCCLPP_TRACE=1 (or MSCCLPP_FLIGHT=1) every step lands on
+    // the Perfetto "steps" track with compute / exposed-comms / sync
+    // attribution, and the flight recorder watches for stragglers.
+    // Without tracing these calls are no-ops.
+    mscclpp::obs::StepWindow& win = machine.obs().window();
     for (CommBackend backend : {CommBackend::Nccl, CommBackend::Mscclpp}) {
         auto pre = server.prefill(batch, promptLen, backend);
         sim::Time decodeTotal = 0;
         for (int t = 0; t < genTokens; ++t) {
+            win.beginStep(std::string("serve[") + toString(backend) +
+                              "]",
+                          machine.scheduler().now());
             auto step = server.decodeStep(batch, promptLen + t, backend);
             decodeTotal += step.total();
+            win.endStep(machine.scheduler().now(), step.total(),
+                        step.compute);
+        }
+        if (const mscclpp::obs::StepAttribution* att = win.lastStep()) {
+            std::printf("  last %s\n", att->summaryLine().c_str());
         }
         double tokensPerSec =
             batch * genTokens / sim::toSec(decodeTotal);

@@ -42,6 +42,9 @@ SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
 {
     auto [start, arrival] =
         machine_->fabric().multimemReduce(myRank_, ranks_, bytes);
+    // Snapshot before suspending: another rank's reservation would
+    // overwrite the fabric's last-culprit slot during the delay.
+    std::string culprit = machine_->fabric().lastSwitchCulprit();
     // Functional result: element-wise reduce of every rank's replica.
     // Stage into a temporary first — dst may alias one of the
     // replicas (in-place AllReduce), and the switch reads all inputs
@@ -67,7 +70,7 @@ SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Channel, "switch.reduce", myRank_,
                           "tb" + std::to_string(ctx.blockIdx()), t0,
-                          sched.now(), bytes, -1, "nvswitch");
+                          sched.now(), bytes, -1, culprit);
     }
 }
 
@@ -77,6 +80,7 @@ SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
 {
     auto [start, arrival] =
         machine_->fabric().multimemBroadcast(myRank_, ranks_, bytes);
+    std::string culprit = machine_->fabric().lastSwitchCulprit();
     for (auto& mem : buffers_) {
         gpu::copyBytes(mem.buffer().view(dstOff, bytes), src, bytes);
     }
@@ -90,7 +94,7 @@ SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Channel, "switch.broadcast",
                           myRank_, "tb" + std::to_string(ctx.blockIdx()),
-                          t0, sched.now(), bytes, -1, "nvswitch");
+                          t0, sched.now(), bytes, -1, culprit);
     }
     if (obs.metrics().enabled()) {
         obs.metrics().counter("channel.put_bytes").add(bytes);

@@ -306,7 +306,27 @@ Executor::run(const ExecutionPlan& plan, gpu::DataType type,
     gpu::LaunchConfig cfg;
     cfg.blocks = program.numThreadBlocks();
     cfg.threadsPerBlock = 1024;
-    return gpu::runOnAllRanks(*machine_, cfg, fn);
+    obs::ObsContext& obs = machine_->obs();
+    obs::StepWindow& win = obs.window();
+    sim::Time t0 = machine_->scheduler().now();
+    const std::string label = "dsl:" + program.name();
+    // A DSL program is one serving step unless an outer window (the
+    // caller's own beginStep) already scopes it.
+    const bool opened = win.beginStepIfIdle(label, t0);
+    sim::Time elapsed = gpu::runOnAllRanks(*machine_, cfg, fn);
+    if (obs.tracer().enabled()) {
+        // Root span on the host collectives track: the whole-program
+        // window the step profiler (and critical-path analyzer)
+        // attributes across every kernel and proxy hop inside it —
+        // program-level analysis, not per-op (ROADMAP item).
+        obs.tracer().span(obs::Category::Collective, label,
+                          obs::kHostPid, "collectives", t0,
+                          machine_->scheduler().now());
+    }
+    if (opened) {
+        win.endStep(machine_->scheduler().now(), elapsed);
+    }
+    return elapsed;
 }
 
 } // namespace mscclpp::dsl

@@ -120,6 +120,14 @@ struct EnvConfig
     /// (MSCCLPP_CRITPATH=1). Implies tracing: the analyzer consumes
     /// the tracer's span + edge rings.
     bool critpathEnabled = false;
+    /// Continuous flight recorder over serving-step windows
+    /// (MSCCLPP_FLIGHT=1): ring of per-step attribution digests plus
+    /// an EWMA anomaly detector that dumps the offending window's
+    /// trace online (DESIGN.md Section 10). Implies tracing.
+    bool flightEnabled = false;
+    std::string flightFile = "flight.json"; ///< MSCCLPP_FLIGHT_FILE
+    /// Anomaly threshold in σ units (MSCCLPP_FLIGHT_SIGMA, > 0).
+    double flightSigma = 3.0;
 
     // ---- fault injection ---------------------------------------------------
     /// Comma-separated "linkName:factor" pairs scaling the named
@@ -165,8 +173,9 @@ void applyEnvOverrides(EnvConfig& cfg);
 
 /**
  * Apply only the observability variables — MSCCLPP_TRACE,
- * MSCCLPP_METRICS, MSCCLPP_TRACE_FILE, MSCCLPP_METRICS_FILE — to
- * @p cfg. Called by every Machine at construction (the runtime gate
+ * MSCCLPP_METRICS, MSCCLPP_TRACE_FILE, MSCCLPP_METRICS_FILE,
+ * MSCCLPP_CRITPATH, MSCCLPP_FLIGHT, MSCCLPP_FLIGHT_FILE,
+ * MSCCLPP_FLIGHT_SIGMA, MSCCLPP_DEGRADED_LINKS — to @p cfg. Called by every Machine at construction (the runtime gate
  * of the tracer), and by applyEnvOverrides. Defaults: tracing off,
  * metrics on, files "trace.json" / "metrics.json". Throws
  * Error(InvalidUsage) on malformed values (non-boolean flags, empty

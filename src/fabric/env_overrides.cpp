@@ -81,6 +81,17 @@ applyObsEnvOverrides(EnvConfig& cfg)
     readPath("MSCCLPP_TRACE_FILE", cfg.traceFile);
     readPath("MSCCLPP_METRICS_FILE", cfg.metricsFile);
     readBool("MSCCLPP_CRITPATH", cfg.critpathEnabled);
+    readBool("MSCCLPP_FLIGHT", cfg.flightEnabled);
+    readPath("MSCCLPP_FLIGHT_FILE", cfg.flightFile);
+    double sigma = 0;
+    if (readDouble("MSCCLPP_FLIGHT_SIGMA", sigma)) {
+        if (sigma <= 0.0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_FLIGHT_SIGMA must be a positive σ "
+                        "multiplier");
+        }
+        cfg.flightSigma = sigma;
+    }
     // Fault injection rides the obs overrides so every Machine picks
     // it up: the spec is validated by the Fabric constructor
     // (std::invalid_argument on malformed entries).

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace mscclpp::fabric {
 
@@ -83,6 +84,24 @@ Link::reserve(std::uint64_t bytes, double bwCapGBps, sim::Time earliest)
     pacer_ = name_;
     record(start, start + occupancy, bytes, occupancy);
     return {start, start + occupancy + params_.latency};
+}
+
+void
+Link::scaleBandwidth(double factor)
+{
+    if (factor <= 0.0) {
+        throw std::invalid_argument(
+            "link bandwidth factor must be > 0 (got " +
+            std::to_string(factor) + ")");
+    }
+    params_.bandwidthGBps *= factor;
+    if (obs_ != nullptr && obs_->tracer().enabled()) {
+        // Mark the fault in the trace so a flight-recorder dump shows
+        // when the link changed speed, not only that steps got slow.
+        obs_->tracer().instant(obs::Category::Link, "link.degraded",
+                               obs::kFabricPid, name_,
+                               sched_->now());
+    }
 }
 
 void

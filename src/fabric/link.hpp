@@ -67,6 +67,15 @@ class Link
     const std::string& name() const { return name_; }
 
     /**
+     * Scale this link's bandwidth by @p factor from now on (mid-run
+     * fault injection; MSCCLPP_DEGRADED_LINKS covers construction
+     * time). Transfers already reserved keep their windows — only new
+     * reservations see the degraded rate. Throws
+     * std::invalid_argument unless factor > 0.
+     */
+    void scaleBandwidth(double factor);
+
+    /**
      * Compute the occupancy window for @p bytes and advance the
      * reservation cursor. @return the pair (start, arrival) where
      * arrival is when the last byte is visible at the far end.

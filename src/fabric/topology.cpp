@@ -112,6 +112,21 @@ Fabric::paramsFor(const std::string& name, const LinkParams& base) const
     return base;
 }
 
+void
+Fabric::degradeLink(const std::string& name, double factor)
+{
+    for (auto* group : {&gpuTx_, &gpuRx_, &mesh_, &nicTx_, &nicRx_}) {
+        for (std::unique_ptr<Link>& l : *group) {
+            if (l != nullptr && l->name() == name) {
+                l->scaleBandwidth(factor);
+                return;
+            }
+        }
+    }
+    throw std::invalid_argument("degradeLink: no link named '" + name +
+                                "'");
+}
+
 int
 Fabric::meshIndex(int src, int dst) const
 {
@@ -184,12 +199,29 @@ Fabric::multimemReduce(int reader, const std::vector<int>& participants,
     }
     // The switch pulls `bytes` from every participant's memory and
     // pushes the reduced result to the reader: every participant's tx
-    // port and the reader's rx port carry `bytes`.
+    // port and the reader's rx port carry `bytes`. The occupying flow
+    // is paced by the switch's multimem engine, so queued victims on
+    // any of these ports blame the shared switch resource — and this
+    // reservation itself blames whatever the busiest blocking port
+    // was running (Path::lastCulprit semantics for the switch).
     sim::Time start = sched_->now();
+    const Link* blockedOn = nullptr;
+    auto consider = [&](Link& l) {
+        start = std::max(start, l.nextFree());
+        if (l.nextFree() > sched_->now() &&
+            (blockedOn == nullptr ||
+             l.nextFree() > blockedOn->nextFree())) {
+            blockedOn = &l;
+        }
+    };
     for (int r : participants) {
-        start = std::max(start, gpuTx(r).nextFree());
+        consider(gpuTx(r));
     }
-    start = std::max(start, gpuRx(reader).nextFree());
+    consider(gpuRx(reader));
+    lastSwitchCulprit_ =
+        blockedOn != nullptr && !blockedOn->pacer().empty()
+            ? blockedOn->pacer()
+            : kSwitchMultimem;
     sim::Time window =
         cfg_.intraPerMessage +
         sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
@@ -198,9 +230,9 @@ Fabric::multimemReduce(int reader, const std::vector<int>& participants,
         switchOccupancy_->addRange(start, start + window);
     }
     for (int r : participants) {
-        gpuTx(r).occupy(start + window, bytes, window);
+        gpuTx(r).occupy(start + window, bytes, window, kSwitchMultimem);
     }
-    gpuRx(reader).occupy(start + window, bytes, window);
+    gpuRx(reader).occupy(start + window, bytes, window, kSwitchMultimem);
     sim::Time arrival =
         start + window + cfg_.intraLatency + cfg_.multimemLatency;
     if (obs_ != nullptr && obs_->tracer().enabled()) {
@@ -218,10 +250,24 @@ Fabric::multimemBroadcast(int writer, const std::vector<int>& participants,
     if (!cfg_.hasMultimem) {
         throw std::logic_error("multimem not supported on " + cfg_.name);
     }
-    sim::Time start = std::max(sched_->now(), gpuTx(writer).nextFree());
+    sim::Time start = sched_->now();
+    const Link* blockedOn = nullptr;
+    auto consider = [&](Link& l) {
+        start = std::max(start, l.nextFree());
+        if (l.nextFree() > sched_->now() &&
+            (blockedOn == nullptr ||
+             l.nextFree() > blockedOn->nextFree())) {
+            blockedOn = &l;
+        }
+    };
+    consider(gpuTx(writer));
     for (int r : participants) {
-        start = std::max(start, gpuRx(r).nextFree());
+        consider(gpuRx(r));
     }
+    lastSwitchCulprit_ =
+        blockedOn != nullptr && !blockedOn->pacer().empty()
+            ? blockedOn->pacer()
+            : kSwitchMultimem;
     sim::Time window =
         cfg_.intraPerMessage +
         sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
@@ -229,9 +275,9 @@ Fabric::multimemBroadcast(int writer, const std::vector<int>& participants,
         switchWaitNs_->add(sim::toNs(start - sched_->now()));
         switchOccupancy_->addRange(start, start + window);
     }
-    gpuTx(writer).occupy(start + window, bytes, window);
+    gpuTx(writer).occupy(start + window, bytes, window, kSwitchMultimem);
     for (int r : participants) {
-        gpuRx(r).occupy(start + window, bytes, window);
+        gpuRx(r).occupy(start + window, bytes, window, kSwitchMultimem);
     }
     sim::Time arrival =
         start + window + cfg_.intraLatency + cfg_.multimemLatency;

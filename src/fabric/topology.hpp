@@ -12,6 +12,10 @@
 
 namespace mscclpp::fabric {
 
+/// Pacer/culprit name of the NVSwitch multimem engine: what queued
+/// victims blame when an NVLS reservation holds their port.
+inline constexpr const char* kSwitchMultimem = "nvswitch.multimem";
+
 /**
  * The interconnect of a cluster: per-node intra-GPU fabric (NVSwitch
  * ports or an xGMI mesh) plus one RDMA NIC per GPU attached to a
@@ -60,6 +64,27 @@ class Fabric
 
     /** Dedicated mesh link from @p src to @p dst (Mesh topology only). */
     Link& meshLink(int src, int dst);
+
+    /**
+     * Scale the named link's bandwidth by @p factor *now* —
+     * mid-run fault injection for straggler/flight-recorder
+     * experiments (MSCCLPP_DEGRADED_LINKS only applies at
+     * construction). Throws std::invalid_argument when no link has
+     * that name or factor <= 0.
+     */
+    void degradeLink(const std::string& name, double factor);
+
+    /**
+     * The resource the most recent multimem reservation waited on:
+     * the pacer of the busiest blocking port when the switch window
+     * queued, else the switch's own multimem engine
+     * ("nvswitch.multimem"). SwitchChannel spans carry it as their
+     * culprit detail, mirroring Path::lastCulprit for p2p hops.
+     */
+    const std::string& lastSwitchCulprit() const
+    {
+        return lastSwitchCulprit_;
+    }
 
     /**
      * Reserve the fabric for an in-switch multimem reduction: @p bytes
@@ -132,6 +157,7 @@ class Fabric
 
     // Parsed cfg_.degradedLinks: link name -> bandwidth factor.
     std::vector<std::pair<std::string, double>> degraded_;
+    std::string lastSwitchCulprit_;
     obs::Histogram* switchOccupancy_ = nullptr;
     obs::Summary* switchWaitNs_ = nullptr;
 };

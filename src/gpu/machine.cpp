@@ -69,15 +69,19 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     // communicator built on this machine sees the selected mode.
     fabric::applyObsEnvOverrides(cfg_);
     fabric::applyTunerEnvOverrides(cfg_);
-    if (cfg_.critpathEnabled) {
-        // The analyzer consumes the tracer's span + edge rings, so
-        // MSCCLPP_CRITPATH=1 implies tracing even without MSCCLPP_TRACE.
+    if (cfg_.critpathEnabled || cfg_.flightEnabled) {
+        // The analyzer and the step profiler consume the tracer's
+        // span + edge rings, so MSCCLPP_CRITPATH=1 / MSCCLPP_FLIGHT=1
+        // imply tracing even without MSCCLPP_TRACE.
         cfg_.traceEnabled = true;
     }
     obs_.tracer().setEnabled(cfg_.traceEnabled);
     obs_.metrics().setEnabled(cfg_.metricsEnabled);
     obs_.setTraceFile(cfg_.traceFile);
     obs_.setMetricsFile(cfg_.metricsFile);
+    obs_.flight().setEnabled(cfg_.flightEnabled);
+    obs_.flight().setSigmaK(cfg_.flightSigma);
+    obs_.setFlightFile(cfg_.flightFile);
     obs_.setDumpOnDestroy(cfg_.traceEnabled);
 
     fabric_ =

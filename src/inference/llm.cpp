@@ -140,6 +140,14 @@ InferenceSim::decodeStep(int batch, int seqlen, CommBackend backend)
     if (batch < 1 || seqlen < 0) {
         throw Error(ErrorCode::InvalidUsage, "bad batch configuration");
     }
+    // Step-profiler window over the whole decode step: an explicit
+    // outer window (a serving loop's own beginStep) wins; otherwise
+    // this opens one per step, so flight recording works out of the
+    // box on any decode loop.
+    obs::StepWindow& win = machine_->obs().window();
+    const bool opened = win.beginStepIfIdle(
+        std::string("decode[") + toString(backend) + "]",
+        machine_->scheduler().now());
     const TransformerConfig& m = config_.model;
     Breakdown b;
     // One new token per sequence; attention reads the whole context.
@@ -155,6 +163,12 @@ InferenceSim::decodeStep(int batch, int seqlen, CommBackend backend)
     b.allReduceCalls = 2 * m.layers; // attention out + MLP out
     b.allReduceBytes = arBytes;
     b.comm = ar * b.allReduceCalls;
+    if (opened) {
+        // Reconcile: the roofline compute never advanced virtual
+        // time, and one traced AllReduce stands in for all
+        // allReduceCalls issues — so buckets must sum to b.total().
+        win.endStep(machine_->scheduler().now(), b.total(), b.compute);
+    }
     return b;
 }
 
@@ -164,6 +178,10 @@ InferenceSim::prefill(int batch, int seqlen, CommBackend backend)
     if (batch < 1 || seqlen < 1) {
         throw Error(ErrorCode::InvalidUsage, "bad batch configuration");
     }
+    obs::StepWindow& win = machine_->obs().window();
+    const bool opened = win.beginStepIfIdle(
+        std::string("prefill[") + toString(backend) + "]",
+        machine_->scheduler().now());
     const TransformerConfig& m = config_.model;
     Breakdown b;
     std::uint64_t tokens = std::uint64_t(batch) * seqlen;
@@ -184,6 +202,9 @@ InferenceSim::prefill(int batch, int seqlen, CommBackend backend)
     b.allReduceCalls = 2 * m.layers * chunks;
     b.allReduceBytes = chunkBytes;
     b.comm = ar * 2 * m.layers;
+    if (opened) {
+        win.endStep(machine_->scheduler().now(), b.total(), b.compute);
+    }
     return b;
 }
 

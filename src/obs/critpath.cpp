@@ -212,7 +212,8 @@ CritPathAnalyzer::analyze(const TraceEvent& coll, sim::Time hostTail) const
         }
         if (ev.cat == Category::Collective ||
             ev.cat == Category::Executor ||
-            ev.cat == Category::Fifo || ev.cat == Category::Link) {
+            ev.cat == Category::Fifo || ev.cat == Category::Link ||
+            ev.cat == Category::Step) {
             continue;
         }
         perTrack[TrackKey{ev.pid, ev.track}].push_back(&ev);

@@ -1,0 +1,357 @@
+#include "obs/flight.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mscclpp::obs {
+
+namespace {
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    // Integral values (the common case: whole nanoseconds) print
+    // exactly, so the dump preserves the recorder's exact-merge
+    // invariant (aggregate == dropped + sum(ring)) digit for digit.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+bucketsJson(const std::map<StepCategory, sim::Time>& buckets)
+{
+    std::string out = "{";
+    bool first = true;
+    for (StepCategory c : kStepCategories) {
+        auto it = buckets.find(c);
+        sim::Time t = it == buckets.end() ? 0 : it->second;
+        out += first ? "" : ", ";
+        first = false;
+        out += std::string("\"") + toString(c) +
+               "\": " + jsonNum(sim::toNs(t));
+    }
+    out += "}";
+    return out;
+}
+
+/**
+ * Bounded dump of the offending window: its raw events plus the
+ * critical path of every collective inside it. Only built when the
+ * anomaly fires, so the healthy-path cost is zero.
+ */
+std::string
+dumpWindow(const std::vector<TraceEvent>& events,
+           const std::vector<TraceEdge>& edges)
+{
+    constexpr std::size_t kMaxDumpEvents = 4096;
+    std::string out = "{\"events\": [";
+    std::size_t emitted = 0;
+    for (const TraceEvent& ev : events) {
+        if (emitted == kMaxDumpEvents) {
+            break;
+        }
+        out += emitted == 0 ? "" : ", ";
+        ++emitted;
+        out += "{\"cat\": \"" + std::string(toString(ev.cat)) +
+               "\", \"name\": \"" + jsonEscape(ev.name) +
+               "\", \"pid\": " + std::to_string(ev.pid) +
+               ", \"track\": \"" + jsonEscape(ev.track) +
+               "\", \"begin_ns\": " + jsonNum(sim::toNs(ev.begin)) +
+               ", \"dur_ns\": " + jsonNum(sim::toNs(ev.end - ev.begin)) +
+               ", \"bytes\": " + std::to_string(ev.bytes);
+        if (!ev.detail.empty()) {
+            out += ", \"detail\": \"" + jsonEscape(ev.detail) + "\"";
+        }
+        out += "}";
+    }
+    out += "], \"events_truncated\": ";
+    out += events.size() > kMaxDumpEvents ? "true" : "false";
+    out += ", \"critical_paths\": [";
+    CritPathAnalyzer analyzer(events, edges);
+    bool first = true;
+    for (const TraceEvent& coll : analyzer.collectives()) {
+        std::optional<CriticalPathReport> rep = analyzer.analyze(coll);
+        if (!rep) {
+            continue;
+        }
+        out += first ? "" : ", ";
+        first = false;
+        out += rep->toJson();
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace
+
+std::string
+StepDigest::toJson() const
+{
+    std::string out =
+        "{\"index\": " + std::to_string(index) + ", \"label\": \"" +
+        jsonEscape(label) +
+        "\", \"begin_ns\": " + jsonNum(sim::toNs(begin)) +
+        ", \"window_ns\": " + jsonNum(sim::toNs(end - begin)) +
+        ", \"measured_ns\": " + jsonNum(sim::toNs(measured)) +
+        ", \"buckets\": " + bucketsJson(buckets) +
+        ", \"straggler_rank\": " + std::to_string(stragglerRank) +
+        ", \"culprit_link\": \"" + jsonEscape(culpritLink) +
+        "\", \"anomalous\": ";
+    out += anomalous ? "true" : "false";
+    out += ", \"sigmas\": " + jsonNum(sigmas) + "}";
+    return out;
+}
+
+void
+DigestAggregate::merge(const StepDigest& d)
+{
+    ++count;
+    measured += d.measured;
+    for (const auto& [cat, t] : d.buckets) {
+        buckets[cat] += t;
+    }
+}
+
+bool
+DigestAggregate::operator==(const DigestAggregate& o) const
+{
+    if (count != o.count || measured != o.measured) {
+        return false;
+    }
+    for (StepCategory c : kStepCategories) {
+        auto a = buckets.find(c);
+        auto b = o.buckets.find(c);
+        sim::Time ta = a == buckets.end() ? 0 : a->second;
+        sim::Time tb = b == o.buckets.end() ? 0 : b->second;
+        if (ta != tb) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+DigestAggregate::toJson() const
+{
+    return "{\"count\": " + std::to_string(count) +
+           ", \"measured_ns\": " + jsonNum(sim::toNs(measured)) +
+           ", \"buckets\": " + bucketsJson(buckets) + "}";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+void
+FlightRecorder::setCapacity(std::size_t capacity)
+{
+    capacity = std::max<std::size_t>(capacity, 1);
+    std::vector<StepDigest> kept = ring();
+    ring_.clear();
+    head_ = 0;
+    capacity_ = capacity;
+    // Re-push oldest first; overflow merges into dropped_ exactly as
+    // if the ring had always been this size.
+    for (StepDigest& d : kept) {
+        push(std::move(d));
+    }
+}
+
+double
+FlightRecorder::ewmaSigmaNs() const
+{
+    return std::sqrt(std::max(var_, 0.0));
+}
+
+std::vector<StepDigest>
+FlightRecorder::ring() const
+{
+    std::vector<StepDigest> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+void
+FlightRecorder::push(StepDigest d)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(d));
+        return;
+    }
+    dropped_.merge(ring_[head_]);
+    ring_[head_] = std::move(d);
+    head_ = (head_ + 1) % capacity_;
+}
+
+void
+FlightRecorder::onStep(const StepAttribution& att,
+                       const std::vector<TraceEvent>& events,
+                       const std::vector<TraceEdge>& edges)
+{
+    if (!enabled_) {
+        return;
+    }
+    StepDigest d;
+    d.index = nextIndex_++;
+    d.label = att.label;
+    d.begin = att.begin;
+    d.end = att.end;
+    d.measured = att.measured;
+    d.buckets = att.buckets;
+    d.stragglerRank = att.stragglerRank;
+    d.culpritLink = att.culpritLink;
+
+    const double xNs = sim::toNs(d.measured);
+    bool anomaly = false;
+    if (samples_ >= static_cast<std::uint64_t>(warmup_)) {
+        const double floorNs = 0.005 * mean_;
+        const double effSigma = std::max(ewmaSigmaNs(), floorNs);
+        if (effSigma > 0.0 && xNs > mean_ + k_ * effSigma) {
+            anomaly = true;
+            d.anomalous = true;
+            d.sigmas = (xNs - mean_) / effSigma;
+            ++anomalyTotal_;
+            if (anomalies_.size() < kMaxAnomalies) {
+                FlightAnomaly a;
+                a.digest = d;
+                a.baselineNs = mean_;
+                a.sigmaNs = effSigma;
+                a.attributionJson = att.toJson();
+                a.windowJson = dumpWindow(events, edges);
+                anomalies_.push_back(std::move(a));
+            }
+        }
+    }
+    if (!anomaly) {
+        // Standard EWMA mean/variance update; anomalous samples are
+        // excluded so a fault cannot become the new baseline.
+        if (samples_ == 0) {
+            mean_ = xNs;
+            var_ = 0.0;
+        } else {
+            const double diff = xNs - mean_;
+            const double incr = alpha_ * diff;
+            mean_ += incr;
+            var_ = (1.0 - alpha_) * (var_ + diff * incr);
+        }
+        ++samples_;
+    }
+    aggregate_.merge(d);
+    push(std::move(d));
+}
+
+void
+FlightRecorder::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    dropped_ = DigestAggregate{};
+    aggregate_ = DigestAggregate{};
+    mean_ = 0.0;
+    var_ = 0.0;
+    samples_ = 0;
+    nextIndex_ = 0;
+    anomalies_.clear();
+    anomalyTotal_ = 0;
+}
+
+std::string
+FlightRecorder::toJson() const
+{
+    std::string out = "{\"schema\": \"mscclpp.flight\", \"version\": 1";
+    out += ", \"sigma_k\": " + jsonNum(k_);
+    out += ", \"warmup\": " + std::to_string(warmup_);
+    out += ", \"capacity\": " + std::to_string(capacity_);
+    out += ", \"steps_total\": " + std::to_string(aggregate_.count);
+    out += ", \"anomalies_total\": " + std::to_string(anomalyTotal_);
+    out += ", \"baseline\": {\"ewma_mean_ns\": " + jsonNum(mean_) +
+           ", \"ewma_sigma_ns\": " + jsonNum(ewmaSigmaNs()) +
+           ", \"samples\": " + std::to_string(samples_) + "}";
+    out += ", \"ring\": [";
+    bool first = true;
+    for (const StepDigest& d : ring()) {
+        out += first ? "" : ", ";
+        first = false;
+        out += d.toJson();
+    }
+    out += "], \"dropped\": " + dropped_.toJson();
+    out += ", \"aggregate\": " + aggregate_.toJson();
+    out += ", \"anomalies\": [";
+    first = true;
+    for (const FlightAnomaly& a : anomalies_) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "{\"step\": " + a.digest.toJson() +
+               ", \"baseline_ns\": " + jsonNum(a.baselineNs) +
+               ", \"sigma_ns\": " + jsonNum(a.sigmaNs) +
+               ", \"attribution\": " + a.attributionJson +
+               ", \"window\": " + a.windowJson + "}";
+    }
+    out += "]}\n";
+    return out;
+}
+
+void
+FlightRecorder::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open flight file '" + path +
+                        "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing flight file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

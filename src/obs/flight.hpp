@@ -1,0 +1,164 @@
+#ifndef MSCCLPP_OBS_FLIGHT_HPP
+#define MSCCLPP_OBS_FLIGHT_HPP
+
+#include "obs/window.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * The per-step record the flight recorder retains after the full
+ * window trace is gone: the attribution buckets plus the straggler
+ * and culprit-link verdicts. Small enough to keep hundreds of.
+ */
+struct StepDigest
+{
+    std::uint64_t index = 0; ///< step sequence number (0-based)
+    std::string label;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    sim::Time measured = 0;
+    std::map<StepCategory, sim::Time> buckets;
+    int stragglerRank = -1;
+    std::string culpritLink;
+    bool anomalous = false;
+    double sigmas = 0.0; ///< deviation from baseline, in σ units
+
+    std::string toJson() const;
+};
+
+/**
+ * Exact sum of a set of digests. The ring is bounded, so evicted
+ * digests merge into one of these; the invariant
+ * `aggregate == dropped + Σ ring` holds to the picosecond — a wrapped
+ * flight file still accounts for every step of the run.
+ */
+struct DigestAggregate
+{
+    std::uint64_t count = 0;
+    sim::Time measured = 0;
+    std::map<StepCategory, sim::Time> buckets;
+
+    void merge(const StepDigest& d);
+    bool operator==(const DigestAggregate& o) const;
+    std::string toJson() const;
+};
+
+/** One triggered anomaly: the digest, the baseline it violated, and
+ *  the offending window's dumped trace + critical paths. */
+struct FlightAnomaly
+{
+    StepDigest digest;
+    double baselineNs = 0.0; ///< EWMA mean at trigger time
+    double sigmaNs = 0.0;    ///< effective σ the threshold used
+    std::string attributionJson; ///< full StepAttribution (with links)
+    std::string windowJson;      ///< window events + critical paths
+};
+
+/**
+ * Continuous in-memory flight recorder over step digests
+ * (MSCCLPP_FLIGHT=1): a bounded ring plus an EWMA mean/variance
+ * baseline of measured step latency. A step slower than
+ * mean + k·σ_eff (MSCCLPP_FLIGHT_SIGMA, default 3) is flagged online
+ * and the offending window's full trace and per-collective critical
+ * paths are dumped into the anomaly record — so a link degraded
+ * mid-run is caught within a handful of steps with the guilty link
+ * named, while healthy steps cost one digest append.
+ *
+ * σ_eff = max(σ_ewma, 0.5% of mean): the simulator is deterministic,
+ * so identical steps have σ = 0 and a pure σ threshold would flag
+ * noise-level drift (e.g. the growing KV context between decode
+ * steps); the floor keeps only real latency cliffs. Anomalous samples
+ * do not update the baseline (a fault must not become the new
+ * normal).
+ */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    double sigmaK() const { return k_; }
+    void setSigmaK(double k) { k_ = k; }
+
+    int warmup() const { return warmup_; }
+    void setWarmup(int steps) { warmup_ = steps; }
+
+    std::size_t capacity() const { return capacity_; }
+    /** Resize the ring (drops nothing when growing; shrinking merges
+     *  the oldest digests into the dropped aggregate). */
+    void setCapacity(std::size_t capacity);
+
+    /** Record one completed step (StepWindow::endStep calls this).
+     *  @p events / @p edges are the step's window snapshot, consulted
+     *  only when the step triggers the anomaly detector. */
+    void onStep(const StepAttribution& att,
+                const std::vector<TraceEvent>& events,
+                const std::vector<TraceEdge>& edges);
+
+    /** Total steps observed (ring + dropped). */
+    std::uint64_t steps() const { return aggregate_.count; }
+
+    /** Digests currently retained, oldest first. */
+    std::vector<StepDigest> ring() const;
+
+    const DigestAggregate& dropped() const { return dropped_; }
+    const DigestAggregate& aggregate() const { return aggregate_; }
+
+    std::uint64_t anomalyCount() const { return anomalyTotal_; }
+    const std::vector<FlightAnomaly>& anomalies() const
+    {
+        return anomalies_;
+    }
+    const FlightAnomaly* lastAnomaly() const
+    {
+        return anomalies_.empty() ? nullptr : &anomalies_.back();
+    }
+
+    double ewmaMeanNs() const { return mean_; }
+    double ewmaSigmaNs() const;
+    std::uint64_t baselineSamples() const { return samples_; }
+
+    void clear();
+
+    /** Full flight file: schema "mscclpp.flight" version 1. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+  private:
+    static constexpr std::size_t kDefaultCapacity = 256;
+    static constexpr std::size_t kMaxAnomalies = 16;
+
+    void push(StepDigest d);
+
+    bool enabled_ = false;
+    double k_ = 3.0;
+    int warmup_ = 8;
+    double alpha_ = 0.2; ///< EWMA smoothing factor
+
+    std::size_t capacity_;
+    std::vector<StepDigest> ring_;
+    std::size_t head_ = 0;
+    DigestAggregate dropped_;
+    DigestAggregate aggregate_;
+
+    double mean_ = 0.0; ///< EWMA of measured ns
+    double var_ = 0.0;  ///< EWMA variance of measured ns
+    std::uint64_t samples_ = 0;
+    std::uint64_t nextIndex_ = 0;
+
+    std::vector<FlightAnomaly> anomalies_;
+    std::uint64_t anomalyTotal_ = 0;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_FLIGHT_HPP

@@ -31,6 +31,15 @@ ObsContext::dump()
         }
         what += "metrics -> " + metricsFile_;
     }
+    if (flight_.enabled() && !flightFile_.empty()) {
+        flight_.writeJson(flightFile_);
+        if (!what.empty()) {
+            what += ", ";
+        }
+        what += std::to_string(flight_.steps()) + " steps (" +
+                std::to_string(flight_.anomalyCount()) +
+                " anomalies) -> " + flightFile_;
+    }
     return what;
 }
 

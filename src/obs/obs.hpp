@@ -1,8 +1,10 @@
 #ifndef MSCCLPP_OBS_OBS_HPP
 #define MSCCLPP_OBS_OBS_HPP
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 
 #include <string>
 
@@ -21,17 +23,28 @@ namespace mscclpp::obs {
 class ObsContext
 {
   public:
+    ObsContext() { window_.bind(&metrics_, &flight_); }
+
     Tracer& tracer() { return tracer_; }
     const Tracer& tracer() const { return tracer_; }
     MetricsRegistry& metrics() { return metrics_; }
     const MetricsRegistry& metrics() const { return metrics_; }
+    StepWindow& window() { return window_; }
+    const StepWindow& window() const { return window_; }
+    FlightRecorder& flight() { return flight_; }
+    const FlightRecorder& flight() const { return flight_; }
 
     const std::string& traceFile() const { return traceFile_; }
     const std::string& metricsFile() const { return metricsFile_; }
+    const std::string& flightFile() const { return flightFile_; }
     void setTraceFile(std::string path) { traceFile_ = std::move(path); }
     void setMetricsFile(std::string path)
     {
         metricsFile_ = std::move(path);
+    }
+    void setFlightFile(std::string path)
+    {
+        flightFile_ = std::move(path);
     }
 
     /** Dump trace + metrics files when enabled (Machine teardown). */
@@ -48,8 +61,11 @@ class ObsContext
   private:
     Tracer tracer_;
     MetricsRegistry metrics_;
+    StepWindow window_{tracer_};
+    FlightRecorder flight_;
     std::string traceFile_ = "trace.json";
     std::string metricsFile_ = "metrics.json";
+    std::string flightFile_ = "flight.json";
     bool dumpOnDestroy_ = false;
 };
 

@@ -28,6 +28,8 @@ toString(Category c)
         return "link";
       case Category::Kernel:
         return "kernel";
+      case Category::Step:
+        return "step";
     }
     return "?";
 }
@@ -110,6 +112,32 @@ Tracer::edgesSnapshot() const
     out.reserve(edges_.size());
     for (std::size_t i = 0; i < edges_.size(); ++i) {
         out.push_back(edges_[(edgeHead_ + i) % edges_.size()]);
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshotWindow(sim::Time from, sim::Time to) const
+{
+    std::vector<TraceEvent> out;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent& ev = events_[(head_ + i) % events_.size()];
+        if (ev.begin >= from && ev.end <= to) {
+            out.push_back(ev);
+        }
+    }
+    return out;
+}
+
+std::vector<TraceEdge>
+Tracer::edgesSnapshotWindow(sim::Time from, sim::Time to) const
+{
+    std::vector<TraceEdge> out;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        const TraceEdge& e = edges_[(edgeHead_ + i) % edges_.size()];
+        if (e.dstTime >= from && e.dstTime <= to) {
+            out.push_back(e);
+        }
     }
     return out;
 }

@@ -23,6 +23,8 @@ enum class Category
     Fifo,       ///< GPU->CPU request queue push/pop
     Link,       ///< per-hop wire serialisation windows
     Kernel,     ///< kernel launches and thread-block lifetimes
+    Step,       ///< serving-step windows (obs/window.hpp), one span
+                ///< per beginStep()/endStep() pair on a "steps" track
 };
 
 const char* toString(Category c);
@@ -147,6 +149,18 @@ class Tracer
 
     /** Copy of the buffered edges in record order. */
     std::vector<TraceEdge> edgesSnapshot() const;
+
+    /**
+     * Events lying fully inside [from, to], in record order — the
+     * step profiler's per-window view. Avoids copying the whole ring
+     * (and its strings) for every serving step.
+     */
+    std::vector<TraceEvent> snapshotWindow(sim::Time from,
+                                           sim::Time to) const;
+
+    /** Edges whose destination lies in [from, to], in record order. */
+    std::vector<TraceEdge> edgesSnapshotWindow(sim::Time from,
+                                               sim::Time to) const;
 
     void clear();
 

@@ -1,0 +1,420 @@
+#include "obs/window.hpp"
+
+#include "core/errors.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mscclpp::obs {
+
+const char*
+toString(StepCategory c)
+{
+    switch (c) {
+      case StepCategory::Compute:
+        return "compute";
+      case StepCategory::ExposedComms:
+        return "exposed_comms";
+      case StepCategory::SyncWait:
+        return "sync_wait";
+      case StepCategory::ProxyHop:
+        return "proxy_hop";
+      case StepCategory::Launch:
+        return "launch";
+      case StepCategory::OverlapSlack:
+        return "overlap_slack";
+    }
+    return "?";
+}
+
+sim::Time
+StepAttribution::total() const
+{
+    sim::Time t = 0;
+    for (const auto& [cat, v] : buckets) {
+        t += v;
+    }
+    return t;
+}
+
+std::string
+StepAttribution::summaryLine() const
+{
+    std::string out =
+        label + ": " + sim::formatTime(measured) + " =";
+    for (StepCategory c : kStepCategories) {
+        double pct = measured == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(bucket(c)) /
+                               static_cast<double>(measured);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s %.0f%%", toString(c), pct);
+        out += buf;
+    }
+    if (!culpritLink.empty()) {
+        out += " [" + culpritLink + "]";
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Map one per-collective critical-path bucket onto a step bucket. */
+StepCategory
+stepCategoryOf(PathCategory c)
+{
+    switch (c) {
+      case PathCategory::LinkSerialization:
+        return StepCategory::ExposedComms;
+      case PathCategory::SyncWait:
+        return StepCategory::SyncWait;
+      case PathCategory::ProxyHop:
+        return StepCategory::ProxyHop;
+      case PathCategory::KernelCompute:
+        return StepCategory::Compute;
+      case PathCategory::LaunchOverhead:
+        return StepCategory::Launch;
+    }
+    return StepCategory::Compute;
+}
+
+/**
+ * Apportion @p amount over the comm buckets proportionally to their
+ * current sizes, largest-remainder style so the integer shares sum to
+ * @p amount exactly. With no comm at all the whole amount is exposed
+ * communication (the caller declared latency the trace cannot see).
+ */
+void
+apportionResidual(std::map<StepCategory, sim::Time>& buckets,
+                  sim::Time amount)
+{
+    const StepCategory comm[] = {
+        StepCategory::ExposedComms, StepCategory::SyncWait,
+        StepCategory::ProxyHop, StepCategory::Launch};
+    unsigned __int128 weightSum = 0;
+    for (StepCategory c : comm) {
+        weightSum += buckets[c];
+    }
+    if (weightSum == 0) {
+        buckets[StepCategory::ExposedComms] += amount;
+        return;
+    }
+    sim::Time assigned = 0;
+    struct Rem
+    {
+        unsigned __int128 rem;
+        StepCategory cat;
+    };
+    Rem rems[4];
+    int n = 0;
+    for (StepCategory c : comm) {
+        unsigned __int128 num =
+            static_cast<unsigned __int128>(amount) * buckets[c];
+        sim::Time share = static_cast<sim::Time>(num / weightSum);
+        rems[n++] = Rem{num % weightSum, c};
+        buckets[c] += share;
+        assigned += share;
+    }
+    // Hand the rounding leftover (< 4 units) to the largest
+    // remainders; ties break on category order for determinism.
+    std::stable_sort(rems, rems + n, [](const Rem& a, const Rem& b) {
+        return a.rem > b.rem;
+    });
+    for (int i = 0; assigned < amount; ++i) {
+        buckets[rems[i % n].cat] += 1;
+        ++assigned;
+    }
+}
+
+/** Shrink buckets in a fixed priority order until @p deficit is
+ *  consumed (measured latency below the traced window: the declared
+ *  step was shorter than what the trace shows, so the most
+ *  double-counted buckets give way first). */
+void
+shrinkBuckets(std::map<StepCategory, sim::Time>& buckets,
+              sim::Time deficit)
+{
+    const StepCategory order[] = {
+        StepCategory::Compute,      StepCategory::OverlapSlack,
+        StepCategory::ExposedComms, StepCategory::SyncWait,
+        StepCategory::ProxyHop,     StepCategory::Launch};
+    for (StepCategory c : order) {
+        if (deficit == 0) {
+            return;
+        }
+        sim::Time cut = std::min(buckets[c], deficit);
+        buckets[c] -= cut;
+        deficit -= cut;
+    }
+}
+
+} // namespace
+
+std::string
+StepAttribution::toJson() const
+{
+    std::string out = "{\"label\": \"" + label +
+                      "\", \"begin_ns\": " + jsonNum(sim::toNs(begin)) +
+                      ", \"window_ns\": " +
+                      jsonNum(sim::toNs(end - begin)) +
+                      ", \"measured_ns\": " +
+                      jsonNum(sim::toNs(measured)) + ", \"buckets\": {";
+    bool first = true;
+    for (StepCategory c : kStepCategories) {
+        out += first ? "" : ", ";
+        first = false;
+        out += std::string("\"") + toString(c) +
+               "\": " + jsonNum(sim::toNs(bucket(c)));
+    }
+    out += "}, \"links\": {";
+    first = true;
+    for (const auto& [link, t] : byLink) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "\"" + link + "\": " + jsonNum(sim::toNs(t));
+    }
+    out += "}, \"straggler_rank\": " + std::to_string(stragglerRank) +
+           ", \"culprit_link\": \"" + culpritLink +
+           "\", \"collectives\": " + std::to_string(collectives) + "}";
+    return out;
+}
+
+StepAttribution
+attributeWindow(const std::vector<TraceEvent>& events,
+                const std::vector<TraceEdge>& edges, sim::Time w0,
+                sim::Time w1, std::string label, sim::Time measured,
+                sim::Time externalCompute)
+{
+    StepAttribution att;
+    att.label = std::move(label);
+    att.begin = w0;
+    att.end = w1;
+    for (StepCategory c : kStepCategories) {
+        att.buckets[c] = 0;
+    }
+
+    // Collective roots inside the window, serialised: each collective
+    // runs the machine to completion before the next is issued, so a
+    // root beginning before the previous root ended would be a nested
+    // re-entry — skip it, its time already belongs to the outer one.
+    std::vector<const TraceEvent*> colls;
+    for (const TraceEvent& ev : events) {
+        if (ev.cat == Category::Collective && ev.begin >= w0 &&
+            ev.end <= w1) {
+            colls.push_back(&ev);
+        }
+    }
+    std::stable_sort(colls.begin(), colls.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                         return a->begin < b->begin;
+                     });
+    {
+        sim::Time cursor = w0;
+        std::vector<const TraceEvent*> serial;
+        for (const TraceEvent* c : colls) {
+            if (c->begin >= cursor) {
+                serial.push_back(c);
+                cursor = c->end;
+            }
+        }
+        colls.swap(serial);
+    }
+    att.collectives = static_cast<int>(colls.size());
+
+    // Per-collective critical paths, mapped onto step buckets.
+    CritPathAnalyzer analyzer(events, edges);
+    for (const TraceEvent* c : colls) {
+        std::optional<CriticalPathReport> rep = analyzer.analyze(*c);
+        if (!rep) {
+            // Empty collective (no traced leaves): its whole window
+            // still elapsed — charge it as exposed communication.
+            att.buckets[StepCategory::ExposedComms] += c->end - c->begin;
+            continue;
+        }
+        for (const auto& [cat, t] : rep->byCategory) {
+            att.buckets[stepCategoryOf(cat)] += t;
+        }
+        for (const auto& [link, t] : rep->byLink) {
+            att.byLink[link] += t;
+        }
+        for (const auto& [rank, t] : rep->rankSkew) {
+            att.rankSkew[rank] += t;
+        }
+    }
+
+    // Gaps between collective windows are untraced step compute.
+    std::vector<std::pair<sim::Time, sim::Time>> gaps;
+    {
+        sim::Time cursor = w0;
+        for (const TraceEvent* c : colls) {
+            if (c->begin > cursor) {
+                gaps.emplace_back(cursor, c->begin);
+            }
+            cursor = c->end;
+        }
+        if (w1 > cursor) {
+            gaps.emplace_back(cursor, w1);
+        }
+    }
+    sim::Time gapTotal = 0;
+    for (const auto& [a, b] : gaps) {
+        gapTotal += b - a;
+    }
+
+    // Overlap slack: wire occupancy (Link spans) under those compute
+    // gaps — communication the step fully hid. Merge the link spans
+    // into disjoint intervals first so concurrent links don't double
+    // count, then intersect with the gaps.
+    sim::Time slack = 0;
+    {
+        std::vector<std::pair<sim::Time, sim::Time>> wire;
+        for (const TraceEvent& ev : events) {
+            if (ev.cat == Category::Link && ev.end > w0 &&
+                ev.begin < w1 && ev.end > ev.begin) {
+                wire.emplace_back(std::max(ev.begin, w0),
+                                  std::min(ev.end, w1));
+            }
+        }
+        std::sort(wire.begin(), wire.end());
+        std::vector<std::pair<sim::Time, sim::Time>> merged;
+        for (const auto& iv : wire) {
+            if (!merged.empty() && iv.first <= merged.back().second) {
+                merged.back().second =
+                    std::max(merged.back().second, iv.second);
+            } else {
+                merged.push_back(iv);
+            }
+        }
+        std::size_t gi = 0;
+        for (const auto& [a, b] : merged) {
+            while (gi < gaps.size() && gaps[gi].second <= a) {
+                ++gi;
+            }
+            for (std::size_t j = gi; j < gaps.size(); ++j) {
+                sim::Time lo = std::max(a, gaps[j].first);
+                sim::Time hi = std::min(b, gaps[j].second);
+                if (lo < hi) {
+                    slack += hi - lo;
+                }
+                if (gaps[j].first >= b) {
+                    break;
+                }
+            }
+        }
+    }
+    att.buckets[StepCategory::Compute] += gapTotal - slack;
+    att.buckets[StepCategory::OverlapSlack] += slack;
+
+    // Straggler: the rank whose last thread block finished latest.
+    sim::Time stragglerEnd = 0;
+    for (const TraceEvent& ev : events) {
+        if (ev.cat == Category::Kernel && ev.name == "block" &&
+            ev.begin >= w0 && ev.end <= w1 &&
+            (att.stragglerRank < 0 || ev.end > stragglerEnd)) {
+            att.stragglerRank = ev.pid;
+            stragglerEnd = ev.end;
+        }
+    }
+
+    // Reconcile with the declared step latency: buckets currently sum
+    // to (w1 - w0); add the analytic compute, then apportion the
+    // surplus (replicated collectives, host tails the caller timed
+    // outside the window) or shrink on deficit. Exact by construction.
+    att.buckets[StepCategory::Compute] += externalCompute;
+    sim::Time traced = (w1 - w0) + externalCompute;
+    att.measured = measured == 0 ? traced : measured;
+    if (att.measured > traced) {
+        apportionResidual(att.buckets, att.measured - traced);
+    } else if (att.measured < traced) {
+        shrinkBuckets(att.buckets, traced - att.measured);
+    }
+
+    // Culprit link: where the step's critical-path wire time went.
+    sim::Time best = 0;
+    for (const auto& [link, t] : att.byLink) {
+        if (t > best) {
+            best = t;
+            att.culpritLink = link;
+        }
+    }
+    return att;
+}
+
+void
+StepWindow::beginStep(std::string label, sim::Time now)
+{
+    if (!tracer_->enabled()) {
+        return;
+    }
+    if (active_) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "beginStep('" + label + "') while step '" + label_ +
+                        "' begun at " + sim::formatTime(begin_) +
+                        " is still open — missing endStep()");
+    }
+    active_ = true;
+    label_ = std::move(label);
+    begin_ = now;
+}
+
+bool
+StepWindow::beginStepIfIdle(std::string label, sim::Time now)
+{
+    if (!tracer_->enabled() || active_) {
+        return false;
+    }
+    beginStep(std::move(label), now);
+    return true;
+}
+
+StepAttribution
+StepWindow::endStep(sim::Time now, sim::Time measured,
+                    sim::Time externalCompute)
+{
+    if (!tracer_->enabled()) {
+        return {};
+    }
+    if (!active_) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "endStep() without an open step — beginStep() was "
+                    "never called or the step already ended");
+    }
+    active_ = false;
+    std::vector<TraceEvent> events = tracer_->snapshotWindow(begin_, now);
+    std::vector<TraceEdge> windowEdges =
+        tracer_->edgesSnapshotWindow(begin_, now);
+    StepAttribution att =
+        attributeWindow(events, windowEdges, begin_, now, label_,
+                        measured, externalCompute);
+    // The window itself becomes a span on a dedicated host track, so
+    // Perfetto groups each decode step visually.
+    tracer_->span(Category::Step, label_, kHostPid, "steps", begin_, now,
+                  0, -1, att.culpritLink);
+    ++completed_;
+    if (metrics_ != nullptr && metrics_->enabled()) {
+        metrics_->summary("step.measured_ns")
+            .add(sim::toNs(att.measured));
+        for (StepCategory c : kStepCategories) {
+            metrics_
+                ->summary(std::string("step.") + toString(c) + "_ns")
+                .add(sim::toNs(att.bucket(c)));
+        }
+    }
+    if (flight_ != nullptr) {
+        flight_->onStep(att, events, windowEdges);
+    }
+    last_ = std::move(att);
+    return last_;
+}
+
+} // namespace mscclpp::obs

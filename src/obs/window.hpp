@@ -1,0 +1,179 @@
+#ifndef MSCCLPP_OBS_WINDOW_HPP
+#define MSCCLPP_OBS_WINDOW_HPP
+
+#include "obs/critpath.hpp"
+#include "obs/trace.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+class FlightRecorder;
+class MetricsRegistry;
+
+/**
+ * Where one slice of a serving *step* went (DESIGN.md Section 10). A
+ * step window spans every collective, kernel and proxy hop issued
+ * between beginStep() and endStep(); unlike the per-collective
+ * PathCategory split it also knows about the compute the step
+ * interleaved between collectives, so it can separate communication
+ * that extended the step (ExposedComms) from communication that hid
+ * under compute (OverlapSlack).
+ */
+enum class StepCategory
+{
+    Compute,      ///< device compute: critical-path kernel time, gaps
+                  ///< between collectives, declared external compute
+    ExposedComms, ///< wire serialisation on the step's critical path
+    SyncWait,     ///< semaphore propagation + poll on the path
+    ProxyHop,     ///< FIFO hops, proxy dispatch, flush
+    Launch,       ///< kernel launch, block dispatch, host sync
+    OverlapSlack, ///< comm occupancy hidden under compute (not on the
+                  ///< critical path; shrinking it cannot speed the step)
+};
+
+const char* toString(StepCategory c);
+
+/** All categories in a fixed report order. */
+inline constexpr StepCategory kStepCategories[] = {
+    StepCategory::Compute,    StepCategory::ExposedComms,
+    StepCategory::SyncWait,   StepCategory::ProxyHop,
+    StepCategory::Launch,     StepCategory::OverlapSlack,
+};
+
+/**
+ * Attribution of one step window. Invariant: the six buckets sum
+ * *exactly* to `measured` — every picosecond of the reported step
+ * latency lands in exactly one bucket (see reconcile() for how
+ * latency outside the traced window is apportioned).
+ */
+struct StepAttribution
+{
+    std::string label;    ///< step label ("decode", "dsl:allreduce")
+    sim::Time begin = 0;  ///< traced window bounds (virtual time)
+    sim::Time end = 0;
+    sim::Time measured = 0; ///< reported step latency the buckets sum to
+
+    std::map<StepCategory, sim::Time> buckets;
+    std::map<std::string, sim::Time> byLink; ///< critical-path wire time
+    std::map<int, sim::Time> rankSkew;
+    int stragglerRank = -1;   ///< rank whose block finished last
+    std::string culpritLink;  ///< argmax of byLink ("" when no comm)
+    int collectives = 0;      ///< collective roots inside the window
+
+    sim::Time bucket(StepCategory c) const
+    {
+        auto it = buckets.find(c);
+        return it == buckets.end() ? 0 : it->second;
+    }
+
+    /** Sum of all buckets (== measured by construction). */
+    sim::Time total() const;
+
+    /** One-line human summary. */
+    std::string summaryLine() const;
+
+    /** JSON object (used in flight records and BENCH_*.json). */
+    std::string toJson() const;
+};
+
+/**
+ * Attribute the step window [w0, w1] over @p events / @p edges:
+ * per-collective critical paths (CritPathAnalyzer) are stitched with
+ * the inter-collective gaps (compute), comm occupancy under those
+ * gaps is reclassified as overlap slack, and the result is reconciled
+ * with @p measured so the buckets sum to it exactly.
+ *
+ * @param measured the step latency being explained; 0 means
+ *        (w1 - w0) + externalCompute. When the caller replicates one
+ *        traced collective N times (the inference model) or adds
+ *        host-side tails, measured exceeds the traced window; the
+ *        surplus is apportioned over the comm buckets
+ *        largest-remainder style, so integer exactness holds.
+ * @param externalCompute compute the caller accounts analytically
+ *        without advancing virtual time (roofline models); lands in
+ *        Compute.
+ */
+StepAttribution
+attributeWindow(const std::vector<TraceEvent>& events,
+                const std::vector<TraceEdge>& edges, sim::Time w0,
+                sim::Time w1, std::string label, sim::Time measured = 0,
+                sim::Time externalCompute = 0);
+
+/**
+ * The step-scoping half of the profiler: beginStep()/endStep() bracket
+ * one serving iteration (a decode step, one DSL program, one explicit
+ * user window). endStep() snapshots the tracer window, runs the
+ * attribution above, records a Category::Step span on the host "steps"
+ * track (Perfetto grouping) and feeds the digest to the flight
+ * recorder when one is attached.
+ *
+ * Library call sites (InferenceSim::decodeStep, dsl::Executor::run)
+ * use beginStepIfIdle() so an explicit outer window wins; beginStep()
+ * throws Error(InvalidUsage) when a step is already open, which is
+ * exactly the missed-endStep() diagnostic the tests rely on.
+ *
+ * All entry points are no-ops while the tracer is disabled, so the
+ * MSCCLPP_NO_OBS build and untraced runs pay one branch per step.
+ */
+class StepWindow
+{
+  public:
+    explicit StepWindow(Tracer& tracer) : tracer_(&tracer) {}
+
+    StepWindow(const StepWindow&) = delete;
+    StepWindow& operator=(const StepWindow&) = delete;
+
+    /** Wire the optional sinks (ObsContext construction). */
+    void bind(MetricsRegistry* metrics, FlightRecorder* flight)
+    {
+        metrics_ = metrics;
+        flight_ = flight;
+    }
+
+    bool active() const { return active_; }
+    std::uint64_t stepsCompleted() const { return completed_; }
+
+    /**
+     * Open a step window at virtual time @p now. Throws
+     * Error(InvalidUsage) naming the open step when one is already
+     * active — a missed endStep() upstream.
+     */
+    void beginStep(std::string label, sim::Time now);
+
+    /** Open a window only when none is active. @return true when this
+     *  call opened it (the caller then owns the endStep()). */
+    bool beginStepIfIdle(std::string label, sim::Time now);
+
+    /**
+     * Close the window at @p now and attribute it (see
+     * attributeWindow for @p measured / @p externalCompute). Throws
+     * Error(InvalidUsage) when no step is open.
+     */
+    StepAttribution endStep(sim::Time now, sim::Time measured = 0,
+                            sim::Time externalCompute = 0);
+
+    /** Attribution of the most recent completed step (nullptr before
+     *  the first endStep()). */
+    const StepAttribution* lastStep() const
+    {
+        return completed_ > 0 ? &last_ : nullptr;
+    }
+
+  private:
+    Tracer* tracer_;
+    MetricsRegistry* metrics_ = nullptr;
+    FlightRecorder* flight_ = nullptr;
+    bool active_ = false;
+    std::string label_;
+    sim::Time begin_ = 0;
+    std::uint64_t completed_ = 0;
+    StepAttribution last_;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_WINDOW_HPP

@@ -241,3 +241,58 @@ TEST(Topology, ConcurrentMultimemReducesShareTxBandwidth)
     (void)s0;
     (void)a1;
 }
+
+TEST(Topology, QueuedVictimsBlameTheMultimemEngine)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeH100();
+    fab::Fabric f(s, cfg, 1);
+    std::vector<int> parts{0, 1, 2, 3, 4, 5, 6, 7};
+    f.multimemReduce(0, parts, 50'000'000);
+    // On an idle fabric the reservation waited only on the switch's
+    // own multimem engine.
+    EXPECT_EQ(f.lastSwitchCulprit(), fab::kSwitchMultimem);
+    // A p2p transfer queued behind the reservation blames the
+    // contended switch resource, not the port it happened to share.
+    fab::Path p = f.p2pPath(0, 3);
+    auto [start, arrival] = p.reserve(1 << 20);
+    EXPECT_GT(start, 0u);
+    EXPECT_EQ(p.lastCulprit(), fab::kSwitchMultimem);
+    (void)arrival;
+}
+
+TEST(Topology, MultimemBlamesTheBusyPortPacer)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeH100();
+    fab::Fabric f(s, cfg, 1);
+    // A p2p flow paced by gpu0.tx occupies the port first; the
+    // multimem reservation that queues behind it must blame that
+    // flow's pacer, mirroring Path::lastCulprit attribution.
+    f.p2pPath(0, 3).reserve(50'000'000);
+    std::vector<int> parts{0, 1, 2, 3, 4, 5, 6, 7};
+    auto [start, arrival] = f.multimemReduce(0, parts, 1 << 20);
+    EXPECT_GT(start, 0u);
+    EXPECT_EQ(f.lastSwitchCulprit(), "gpu0.tx");
+    (void)arrival;
+}
+
+TEST(Topology, DegradeLinkAppliesMidRunAndValidates)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::Fabric f(s, cfg, 1);
+    fab::Path p = f.p2pPath(0, 1);
+    auto [s1, a1] = p.reserve(1 << 20);
+    // Halving gpu0.tx bandwidth mid-run doubles the serialisation
+    // window of the next transfer (latency and per-message overhead
+    // are unchanged); the already-reserved transfer keeps its window.
+    f.degradeLink("gpu0.tx", 0.5);
+    auto [s2, a2] = p.reserve(1 << 20);
+    EXPECT_EQ((a2 - s2) - (a1 - s1),
+              sim::transferTime(1 << 20, cfg.intraBwGBps));
+    EXPECT_THROW(f.degradeLink("no.such.link", 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW(f.degradeLink("gpu0.tx", 0.0), std::invalid_argument);
+    EXPECT_THROW(f.degradeLink("gpu0.tx", -1.0), std::invalid_argument);
+}

@@ -7,12 +7,16 @@
  * specific obs counters were emitted). With --bench-schema each file
  * must additionally be a valid mscclpp.bench_report artifact: schema
  * and version fields, a non-empty benches object whose entries all
- * carry the required numeric keys with p50_us <= p99_us. Deliberately
- * gtest-free so it stays a tiny ctest COMMAND.
+ * carry the required numeric keys with p50_us <= p99_us plus the v2
+ * by_link_ns breakdown. With --flight-schema each file must be a
+ * mscclpp.flight recorder dump whose ring/dropped/aggregate digests
+ * satisfy the exact-merge invariant. Deliberately gtest-free so it
+ * stays a tiny ctest COMMAND.
  */
 #include "tuner/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -207,7 +211,7 @@ checkBenchSchema(const char* file, const std::string& text)
     }
     const json::Value* version = doc->get("version");
     if (version == nullptr || !version->isNumber() ||
-        version->number != 1) {
+        version->number != 2) {
         std::fprintf(stderr, "%s: missing/unknown version\n", file);
         return false;
     }
@@ -248,9 +252,139 @@ checkBenchSchema(const char* file, const std::string& text)
                          key.c_str());
             return false;
         }
+        const json::Value* links = bench.get("by_link_ns");
+        if (links == nullptr || !links->isObject()) {
+            std::fprintf(stderr, "%s: %s missing by_link_ns (v2)\n",
+                         file, key.c_str());
+            return false;
+        }
     }
     std::printf("%s: bench schema ok (%zu benches)\n", file,
                 benches->object.size());
+    return true;
+}
+
+/**
+ * Validate one flight-recorder artifact (mscclpp.flight v1): the
+ * schema stamp, the EWMA baseline block, a digest ring whose entries
+ * all carry the attribution buckets, and the exact-merge invariant
+ * the recorder promises: aggregate == dropped + sum(ring), both in
+ * step count and measured nanoseconds.
+ */
+bool
+checkFlightSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
+        return false;
+    }
+    const json::Value* schema = doc->get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != "mscclpp.flight") {
+        std::fprintf(stderr, "%s: schema != mscclpp.flight\n", file);
+        return false;
+    }
+    const json::Value* version = doc->get("version");
+    if (version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr, "%s: missing/unknown flight version\n",
+                     file);
+        return false;
+    }
+    for (const char* field :
+         {"sigma_k", "warmup", "capacity", "steps_total",
+          "anomalies_total"}) {
+        const json::Value* v = doc->get(field);
+        if (v == nullptr || !v->isNumber()) {
+            std::fprintf(stderr, "%s: missing numeric %s\n", file,
+                         field);
+            return false;
+        }
+    }
+    const json::Value* baseline = doc->get("baseline");
+    if (baseline == nullptr || !baseline->isObject() ||
+        baseline->get("ewma_mean_ns") == nullptr ||
+        baseline->get("ewma_sigma_ns") == nullptr ||
+        baseline->get("samples") == nullptr) {
+        std::fprintf(stderr, "%s: missing baseline block\n", file);
+        return false;
+    }
+    const json::Value* ring = doc->get("ring");
+    const json::Value* dropped = doc->get("dropped");
+    const json::Value* aggregate = doc->get("aggregate");
+    const json::Value* anomalies = doc->get("anomalies");
+    if (ring == nullptr || !ring->isArray() || dropped == nullptr ||
+        !dropped->isObject() || aggregate == nullptr ||
+        !aggregate->isObject() || anomalies == nullptr ||
+        !anomalies->isArray()) {
+        std::fprintf(stderr,
+                     "%s: missing ring/dropped/aggregate/anomalies\n",
+                     file);
+        return false;
+    }
+    double ringCount = 0;
+    double ringMeasured = 0;
+    for (const json::Value& d : ring->array) {
+        for (const char* field :
+             {"index", "measured_ns", "straggler_rank"}) {
+            const json::Value* v = d.get(field);
+            if (v == nullptr || !v->isNumber()) {
+                std::fprintf(stderr,
+                             "%s: ring digest missing numeric %s\n",
+                             file, field);
+                return false;
+            }
+        }
+        const json::Value* buckets = d.get("buckets");
+        if (buckets == nullptr || !buckets->isObject()) {
+            std::fprintf(stderr, "%s: ring digest missing buckets\n",
+                         file);
+            return false;
+        }
+        ringCount += 1;
+        ringMeasured += d.get("measured_ns")->number;
+    }
+    const json::Value* aggCount = aggregate->get("count");
+    const json::Value* aggMeasured = aggregate->get("measured_ns");
+    const json::Value* dropCount = dropped->get("count");
+    const json::Value* dropMeasured = dropped->get("measured_ns");
+    if (aggCount == nullptr || aggMeasured == nullptr ||
+        dropCount == nullptr || dropMeasured == nullptr) {
+        std::fprintf(stderr, "%s: aggregate/dropped missing fields\n",
+                     file);
+        return false;
+    }
+    if (aggCount->number != dropCount->number + ringCount) {
+        std::fprintf(stderr,
+                     "%s: exact-merge violated: aggregate count %g != "
+                     "dropped %g + ring %g\n",
+                     file, aggCount->number, dropCount->number,
+                     ringCount);
+        return false;
+    }
+    double merged = dropMeasured->number + ringMeasured;
+    double denom = aggMeasured->number > 1.0 ? aggMeasured->number : 1.0;
+    if (std::abs(aggMeasured->number - merged) / denom > 1e-9) {
+        std::fprintf(stderr,
+                     "%s: exact-merge violated: aggregate measured %g "
+                     "!= dropped + ring %g\n",
+                     file, aggMeasured->number, merged);
+        return false;
+    }
+    for (const json::Value& a : anomalies->array) {
+        if (a.get("step") == nullptr || a.get("baseline_ns") == nullptr ||
+            a.get("attribution") == nullptr ||
+            a.get("window") == nullptr) {
+            std::fprintf(stderr, "%s: anomaly entry incomplete\n", file);
+            return false;
+        }
+    }
+    std::printf("%s: flight schema ok (%g steps, %zu in ring, "
+                "%zu anomalies)\n",
+                file, aggCount->number, ring->array.size(),
+                anomalies->array.size());
     return true;
 }
 
@@ -262,19 +396,22 @@ main(int argc, char** argv)
     std::vector<std::string> required;
     std::vector<const char*> files;
     bool benchSchema = false;
+    bool flightSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
             required.push_back(arg.substr(10));
         } else if (arg == "--bench-schema") {
             benchSchema = true;
+        } else if (arg == "--flight-schema") {
+            flightSchema = true;
         } else {
             files.push_back(argv[i]);
         }
     }
     if (files.empty()) {
         std::fprintf(stderr,
-                     "usage: %s [--bench-schema] "
+                     "usage: %s [--bench-schema] [--flight-schema] "
                      "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
@@ -305,6 +442,10 @@ main(int argc, char** argv)
         }
         std::printf("%s: ok (%zu bytes)\n", file, text.size());
         if (benchSchema && !checkBenchSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (flightSchema && !checkFlightSchema(file, text)) {
             rc = 1;
             continue;
         }

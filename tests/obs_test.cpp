@@ -10,7 +10,9 @@
 #include "dsl/algorithms.hpp"
 #include "dsl/executor.hpp"
 #include "fabric/env.hpp"
+#include "fabric/topology.hpp"
 #include "gpu/machine.hpp"
+#include "inference/llm.hpp"
 #include "obs/critpath.hpp"
 #include "obs/obs.hpp"
 
@@ -29,6 +31,7 @@ namespace gpu = mscclpp::gpu;
 namespace obs = mscclpp::obs;
 namespace sim = mscclpp::sim;
 namespace dsl = mscclpp::dsl;
+namespace inference = mscclpp::inference;
 using mscclpp::CollectiveComm;
 using mscclpp::Error;
 
@@ -633,6 +636,9 @@ class ObsEnv : public ::testing::Test
         unsetenv("MSCCLPP_METRICS");
         unsetenv("MSCCLPP_TRACE_FILE");
         unsetenv("MSCCLPP_METRICS_FILE");
+        unsetenv("MSCCLPP_FLIGHT");
+        unsetenv("MSCCLPP_FLIGHT_FILE");
+        unsetenv("MSCCLPP_FLIGHT_SIGMA");
     }
 };
 
@@ -672,6 +678,41 @@ TEST_F(ObsEnv, RejectsEmptyPath)
     setenv("MSCCLPP_TRACE_FILE", "", 1);
     fab::EnvConfig cfg = fab::makeA100_40G();
     EXPECT_THROW(fab::applyObsEnvOverrides(cfg), Error);
+}
+
+TEST_F(ObsEnv, ParsesFlightRecorderVars)
+{
+    setenv("MSCCLPP_FLIGHT", "1", 1);
+    setenv("MSCCLPP_FLIGHT_FILE", "/tmp/my_flight.json", 1);
+    setenv("MSCCLPP_FLIGHT_SIGMA", "2.5", 1);
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::applyObsEnvOverrides(cfg);
+    EXPECT_TRUE(cfg.flightEnabled);
+    EXPECT_EQ(cfg.flightFile, "/tmp/my_flight.json");
+    EXPECT_DOUBLE_EQ(cfg.flightSigma, 2.5);
+}
+
+TEST_F(ObsEnv, RejectsNonPositiveFlightSigma)
+{
+    setenv("MSCCLPP_FLIGHT_SIGMA", "0", 1);
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    EXPECT_THROW(fab::applyObsEnvOverrides(cfg), Error);
+    setenv("MSCCLPP_FLIGHT_SIGMA", "-1.5", 1);
+    EXPECT_THROW(fab::applyObsEnvOverrides(cfg), Error);
+}
+
+TEST_F(ObsEnv, FlightImpliesTracing)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    setenv("MSCCLPP_FLIGHT", "1", 1);
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    // The flight recorder needs window snapshots, so enabling it
+    // turns the tracer on even without MSCCLPP_TRACE=1.
+    EXPECT_TRUE(m.obs().tracer().enabled());
+    EXPECT_TRUE(m.obs().flight().enabled());
+    m.obs().setDumpOnDestroy(false);
 }
 
 TEST_F(ObsEnv, MachineHonoursTheGate)
@@ -1178,4 +1219,358 @@ TEST(TraceDropped, SurfacesInMetricsJsonOnDump)
     // dump() folds the drop counters into the metrics registry so
     // metrics.json records the loss alongside the Chrome metadata.
     EXPECT_EQ(ctx.metrics().counter("trace.dropped").value(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Step windows: whole-step attribution (DESIGN.md Section 10).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * One step window [0, 2000ns] holding a single collective [200,700]
+ * whose critical path is launch [200,250] + kernel [250,700], plus
+ * two overlapping wire spans [800,1000] and [900,1100] that sit
+ * entirely in the inter-collective gap — communication the step hid
+ * under compute. Expected split of the 2000ns window:
+ *
+ *   Compute      = 450 (kernel) + 1500 (gaps) - 300 (slack) = 1650
+ *   Launch       = 50
+ *   OverlapSlack = 300  (merged [800,1100], not 200+200)
+ */
+obs::Tracer
+handBuiltStepTrace()
+{
+    obs::Tracer t;
+    t.setEnabled(true);
+    t.span(obs::Category::Collective, "allreduce step", obs::kHostPid,
+           "collectives", sim::ns(200), sim::ns(700), 1 << 20);
+    t.span(obs::Category::Kernel, "kernel.launch", 0, "launch",
+           sim::ns(200), sim::ns(250));
+    t.span(obs::Category::Kernel, "block", 0, "tb0", sim::ns(250),
+           sim::ns(700));
+    t.edge(obs::EdgeKind::Launch, 0, "launch", sim::ns(250), 0, "tb0",
+           sim::ns(250));
+    t.span(obs::Category::Link, "gpu0.tx", obs::kFabricPid, "gpu0.tx",
+           sim::ns(800), sim::ns(1000), 64 << 10);
+    t.span(obs::Category::Link, "gpu1.tx", obs::kFabricPid, "gpu1.tx",
+           sim::ns(900), sim::ns(1100), 64 << 10);
+    return t;
+}
+
+} // namespace
+
+TEST(StepWindow, HandBuiltWindowSplitsComputeCommAndSlack)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t = handBuiltStepTrace();
+    obs::StepAttribution att = obs::attributeWindow(
+        t.snapshot(), t.edgesSnapshot(), 0, sim::ns(2000), "step");
+    EXPECT_EQ(att.collectives, 1);
+    EXPECT_EQ(att.stragglerRank, 0);
+    EXPECT_EQ(att.bucket(obs::StepCategory::Compute), sim::ns(1650));
+    EXPECT_EQ(att.bucket(obs::StepCategory::Launch), sim::ns(50));
+    EXPECT_EQ(att.bucket(obs::StepCategory::OverlapSlack), sim::ns(300));
+    EXPECT_EQ(att.bucket(obs::StepCategory::ExposedComms), sim::ns(0));
+    // No measured latency declared: the buckets tile the window.
+    EXPECT_EQ(att.measured, sim::ns(2000));
+    EXPECT_EQ(att.total(), att.measured);
+}
+
+TEST(StepWindow, SurplusLatencyLandsInCommBucketsExactly)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t = handBuiltStepTrace();
+    // The caller measured 2600ns for a 2000ns traced window (e.g. one
+    // traced collective standing in for several issues): the 600ns
+    // surplus is apportioned over the comm buckets — here Launch is
+    // the only nonzero comm weight, so it takes all of it.
+    obs::StepAttribution att = obs::attributeWindow(
+        t.snapshot(), t.edgesSnapshot(), 0, sim::ns(2000), "step",
+        sim::ns(2600));
+    EXPECT_EQ(att.bucket(obs::StepCategory::Launch), sim::ns(650));
+    EXPECT_EQ(att.bucket(obs::StepCategory::Compute), sim::ns(1650));
+    EXPECT_EQ(att.total(), sim::ns(2600));
+}
+
+TEST(StepWindow, ExternalComputeAndDeficitReconcileExactly)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t = handBuiltStepTrace();
+    // Declared analytic compute extends the traced window: 2000ns of
+    // trace + 500ns of roofline compute == the 2500ns measured step.
+    obs::StepAttribution ext = obs::attributeWindow(
+        t.snapshot(), t.edgesSnapshot(), 0, sim::ns(2000), "step",
+        sim::ns(2500), sim::ns(500));
+    EXPECT_EQ(ext.bucket(obs::StepCategory::Compute), sim::ns(2150));
+    EXPECT_EQ(ext.total(), sim::ns(2500));
+    // Measured below the traced window: compute gives way first.
+    obs::StepAttribution deficit = obs::attributeWindow(
+        t.snapshot(), t.edgesSnapshot(), 0, sim::ns(2000), "step",
+        sim::ns(300));
+    EXPECT_EQ(deficit.bucket(obs::StepCategory::Compute), sim::ns(0));
+    EXPECT_EQ(deficit.total(), sim::ns(300));
+}
+
+TEST(StepWindow, EndStepEmitsSpanOnStepsTrack)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t;
+    t.setEnabled(true);
+    obs::StepWindow win(t);
+    EXPECT_FALSE(win.active());
+    win.beginStep("step-a", 0);
+    EXPECT_TRUE(win.active());
+    t.span(obs::Category::Kernel, "block", 0, "tb0", sim::ns(10),
+           sim::ns(90));
+    obs::StepAttribution att = win.endStep(sim::ns(100));
+    EXPECT_FALSE(win.active());
+    EXPECT_EQ(win.stepsCompleted(), 1u);
+    ASSERT_NE(win.lastStep(), nullptr);
+    EXPECT_EQ(att.total(), sim::ns(100));
+
+    bool stepSpan = false;
+    for (const obs::TraceEvent& e : t.snapshot()) {
+        if (e.cat == obs::Category::Step) {
+            EXPECT_EQ(e.name, "step-a");
+            EXPECT_EQ(e.track, "steps");
+            EXPECT_EQ(e.pid, obs::kHostPid);
+            EXPECT_EQ(e.begin, 0u);
+            EXPECT_EQ(e.end, sim::ns(100));
+            stepSpan = true;
+        }
+    }
+    EXPECT_TRUE(stepSpan);
+    // The Chrome export names the dedicated track so Perfetto groups
+    // steps visually: a thread_name metadata record says "steps" and
+    // the window itself is a complete ("X") span.
+    JsonValue doc = parseJsonOrDie(t.chromeTraceJson());
+    bool namedTrack = false;
+    bool xSpan = false;
+    for (const JsonValue& e : doc.at("traceEvents").array) {
+        if (e.at("ph").str == "M" && e.at("name").str == "thread_name" &&
+            e.at("args").at("name").str == "steps") {
+            namedTrack = true;
+        }
+        if (e.at("ph").str == "X" && e.at("name").str == "step-a") {
+            xSpan = true;
+        }
+    }
+    EXPECT_TRUE(namedTrack);
+    EXPECT_TRUE(xSpan);
+}
+
+TEST(StepWindow, MissedEndStepIsDiagnosed)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::Tracer t;
+    t.setEnabled(true);
+    obs::StepWindow win(t);
+    win.beginStep("first", 0);
+    // A second beginStep is a missed endStep upstream: the error names
+    // the step that is still open so the caller can find it.
+    try {
+        win.beginStep("second", sim::ns(10));
+        FAIL() << "nested beginStep was not diagnosed";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("first"),
+                  std::string::npos);
+    }
+    // endStep with nothing open is the mirror-image misuse.
+    obs::StepWindow idle(t);
+    EXPECT_THROW(idle.endStep(sim::ns(10)), Error);
+    // Disabled tracer: the whole API is a silent no-op, so untraced
+    // production runs never pay or throw.
+    obs::Tracer off;
+    obs::StepWindow quiet(off);
+    EXPECT_NO_THROW(quiet.beginStep("x", 0));
+    EXPECT_NO_THROW(quiet.beginStep("y", 0));
+    EXPECT_NO_THROW(quiet.endStep(sim::ns(5)));
+    EXPECT_EQ(quiet.lastStep(), nullptr);
+}
+
+TEST(StepWindow, DecodeStepBucketsSumToMeasuredLatency)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    fab::EnvConfig cfg = fab::makeA100_80G();
+    cfg.critpathEnabled = true;
+    gpu::Machine m(cfg, 1);
+    m.obs().setDumpOnDestroy(false);
+    inference::InferenceSim server(m, inference::InferenceConfig{});
+    auto step = server.decodeStep(16, 512,
+                                  inference::CommBackend::Mscclpp);
+    const obs::StepAttribution* att = m.obs().window().lastStep();
+    ASSERT_NE(att, nullptr);
+    // The paper's fig10 property, as an exact integer identity: the
+    // six buckets reconstruct the measured decode-step latency.
+    EXPECT_EQ(att->measured, step.total());
+    EXPECT_EQ(att->total(), step.total());
+    // Decode is compute-dominated on this model; the traced AllReduce
+    // leaves real communication in the comm buckets.
+    EXPECT_GT(att->bucket(obs::StepCategory::Compute),
+              att->measured / 2);
+    EXPECT_GT(att->bucket(obs::StepCategory::ExposedComms), 0u);
+    EXPECT_EQ(att->collectives, 1);
+    EXPECT_FALSE(att->culpritLink.empty());
+}
+
+TEST(StepWindow, DslRunOpensItsOwnWindow)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    gpu::Machine m(fab::makeA100_40G(), 1);
+    m.obs().tracer().setEnabled(true);
+    m.obs().setDumpOnDestroy(false);
+    dsl::Executor ex(m, 1 << 20);
+    dsl::Program p = dsl::buildAllPairs2PAllReduceHB(8, 64 << 10);
+    sim::Time elapsed = ex.execute(p, gpu::DataType::F32,
+                                   gpu::ReduceOp::Sum);
+    const obs::StepAttribution* att = m.obs().window().lastStep();
+    ASSERT_NE(att, nullptr);
+    EXPECT_EQ(att->label.rfind("dsl:", 0), 0u) << att->label;
+    EXPECT_EQ(att->collectives, 1);
+    EXPECT_EQ(att->measured, elapsed);
+    EXPECT_EQ(att->total(), elapsed);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: bounded ring, exact merge, online anomaly trigger.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+obs::StepAttribution
+syntheticStep(sim::Time measured)
+{
+    obs::StepAttribution att;
+    att.label = "synthetic";
+    att.begin = 0;
+    att.end = measured;
+    att.measured = measured;
+    att.buckets[obs::StepCategory::Compute] = measured * 3 / 4;
+    att.buckets[obs::StepCategory::ExposedComms] =
+        measured - measured * 3 / 4;
+    return att;
+}
+
+} // namespace
+
+TEST(Flight, RingWraparoundKeepsExactAggregate)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::FlightRecorder fr(4);
+    fr.setEnabled(true);
+    fr.setWarmup(1000); // no anomalies in this test
+    for (int i = 0; i < 11; ++i) {
+        fr.onStep(syntheticStep(sim::us(100 + i)), {}, {});
+    }
+    EXPECT_EQ(fr.steps(), 11u);
+    std::vector<obs::StepDigest> ring = fr.ring();
+    ASSERT_EQ(ring.size(), 4u);
+    // Oldest-first, and the oldest seven were evicted into dropped.
+    EXPECT_EQ(ring.front().index, 7u);
+    EXPECT_EQ(ring.back().index, 10u);
+    EXPECT_EQ(fr.dropped().count, 7u);
+    // The exact-merge invariant: aggregate == dropped + sum(ring), to
+    // the picosecond, in count, measured time and every bucket.
+    obs::DigestAggregate merged = fr.dropped();
+    for (const obs::StepDigest& d : ring) {
+        merged.merge(d);
+    }
+    EXPECT_TRUE(merged == fr.aggregate());
+    // Shrinking the ring preserves the invariant (evicts into
+    // dropped); growing drops nothing.
+    fr.setCapacity(2);
+    EXPECT_EQ(fr.ring().size(), 2u);
+    merged = fr.dropped();
+    for (const obs::StepDigest& d : fr.ring()) {
+        merged.merge(d);
+    }
+    EXPECT_TRUE(merged == fr.aggregate());
+    EXPECT_EQ(fr.steps(), 11u);
+}
+
+TEST(Flight, AnomalyTriggersWithinFiveStepsAndNamesTheLink)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    fab::EnvConfig cfg = fab::makeA100_80G();
+    cfg.flightEnabled = true;
+    gpu::Machine m(cfg, 1);
+    m.obs().setDumpOnDestroy(false);
+    inference::InferenceSim server(m, inference::InferenceConfig{});
+    obs::FlightRecorder& fr = m.obs().flight();
+    const int faultAt = 12;
+    for (int t = 0; t < 20; ++t) {
+        if (t == faultAt) {
+            m.fabric().degradeLink("gpu3.tx", 0.2);
+        }
+        server.decodeStep(16, 512, inference::CommBackend::Mscclpp);
+    }
+    EXPECT_EQ(fr.steps(), 20u);
+    ASSERT_GT(fr.anomalyCount(), 0u) << "degradation never flagged";
+    const obs::FlightAnomaly& first = fr.anomalies().front();
+    // Online detection: flagged within five steps of the fault, with
+    // the degraded link named as the culprit.
+    EXPECT_GE(first.digest.index, static_cast<std::uint64_t>(faultAt));
+    EXPECT_LE(first.digest.index,
+              static_cast<std::uint64_t>(faultAt + 5));
+    EXPECT_EQ(first.digest.culpritLink, "gpu3.tx");
+    EXPECT_GT(first.digest.sigmas, fr.sigmaK());
+    // The trigger dumped the offending window: a full attribution and
+    // the window's events + per-collective critical paths.
+    EXPECT_NE(first.attributionJson.find("\"buckets\""),
+              std::string::npos);
+    EXPECT_NE(first.windowJson.find("\"critical_paths\""),
+              std::string::npos);
+    parseJsonOrDie(first.attributionJson);
+    parseJsonOrDie(first.windowJson);
+    // Healthy steps before the fault were not flagged.
+    for (const obs::StepDigest& d : fr.ring()) {
+        if (d.index < static_cast<std::uint64_t>(faultAt)) {
+            EXPECT_FALSE(d.anomalous) << d.index;
+        }
+    }
+    // The fault does not poison the baseline: the EWMA mean stays at
+    // the healthy level, so recovery would be recognised too.
+    const obs::StepDigest& healthy = fr.ring().front();
+    EXPECT_LT(fr.ewmaMeanNs(),
+              sim::toNs(healthy.measured) * 1.05);
+}
+
+TEST(Flight, JsonDumpParsesAndCarriesSchema)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::FlightRecorder fr(8);
+    fr.setEnabled(true);
+    fr.setWarmup(2);
+    for (int i = 0; i < 6; ++i) {
+        // A latency cliff at step 4 so the dump carries an anomaly.
+        fr.onStep(syntheticStep(sim::us(i == 4 ? 500 : 100)), {}, {});
+    }
+    JsonValue doc = parseJsonOrDie(fr.toJson());
+    EXPECT_EQ(doc.at("schema").str, "mscclpp.flight");
+    EXPECT_DOUBLE_EQ(doc.at("version").number, 1.0);
+    EXPECT_DOUBLE_EQ(doc.at("steps_total").number, 6.0);
+    EXPECT_DOUBLE_EQ(doc.at("anomalies_total").number, 1.0);
+    EXPECT_EQ(doc.at("ring").array.size(), 6u);
+    EXPECT_EQ(doc.at("anomalies").array.size(), 1u);
 }

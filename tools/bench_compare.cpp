@@ -2,8 +2,11 @@
  * bench_compare: regression gate over bench_report artifacts. Diffs
  * the p50 latency of every bench key in a current BENCH_<env>.json
  * against a committed baseline and exits 1 when any key slowed down
- * by more than the threshold. The simulator is deterministic, so the
- * gate can be tight without flaking.
+ * by more than the threshold. Also gates the per-link wire-time
+ * breakdown (by_link_ns, schema v2): a single link slowing down is a
+ * regression even when overlap keeps the end-to-end p50 flat. The
+ * simulator is deterministic, so the gate can be tight without
+ * flaking.
  *
  * Usage: bench_compare [options] <current.json>
  *   --baseline <file>  baseline report (default: $MSCCLPP_BENCH_BASELINE)
@@ -54,10 +57,10 @@ loadReport(const std::string& path)
                      path.c_str());
         return std::nullopt;
     }
-    if (version->number != 1) {
+    if (version->number != 2) {
         std::fprintf(stderr,
                      "bench_compare: %s has schema version %g, "
-                     "expected 1\n",
+                     "expected 2 (regenerate with bench_report)\n",
                      path.c_str(), version->number);
         return std::nullopt;
     }
@@ -69,6 +72,45 @@ p50Of(const json::Value& bench)
 {
     const json::Value* p50 = bench.get("p50_us");
     return p50 != nullptr && p50->isNumber() ? p50->number : -1.0;
+}
+
+/**
+ * Gate the per-link wire-time breakdown of one bench key: any link
+ * present in both reports whose critical-path wire time grew past the
+ * threshold is a regression even when the end-to-end p50 stayed flat
+ * (a slowdown hidden behind overlap). Links below @p floorNs in the
+ * baseline are skipped — relative growth on a near-zero denominator
+ * is meaningless. Returns the number of per-link regressions.
+ */
+int
+compareLinks(const std::string& key, const json::Value& baseBench,
+             const json::Value& curBench, double thresholdPct,
+             double injectPct, double floorNs)
+{
+    const json::Value* base = baseBench.get("by_link_ns");
+    const json::Value* cur = curBench.get("by_link_ns");
+    if (base == nullptr || !base->isObject() || cur == nullptr ||
+        !cur->isObject()) {
+        return 0;
+    }
+    int regressions = 0;
+    for (const auto& [link, baseNs] : base->object) {
+        const json::Value* curNs = cur->get(link);
+        if (curNs == nullptr || !curNs->isNumber() ||
+            !baseNs.isNumber() || baseNs.number < floorNs) {
+            continue;
+        }
+        double now = curNs->number * (1.0 + injectPct / 100.0);
+        double deltaPct = 100.0 * (now / baseNs.number - 1.0);
+        if (deltaPct > thresholdPct) {
+            std::printf("%-40s link %-12s %8.0fns -> %8.0fns  "
+                        "%+7.2f%%  LINK REGRESSION\n",
+                        key.c_str(), link.c_str(), baseNs.number, now,
+                        deltaPct);
+            ++regressions;
+        }
+    }
+    return regressions;
 }
 
 } // namespace
@@ -148,6 +190,9 @@ main(int argc, char** argv)
                     key.c_str(), base50, cur, deltaPct,
                     bad ? "  REGRESSION" : "");
         regressions += bad ? 1 : 0;
+        regressions += compareLinks(key, baseBench, *curBench,
+                                    thresholdPct, injectPct,
+                                    /*floorNs=*/100.0);
     }
     for (const auto& [key, bench] : curBenches->object) {
         (void)bench;

@@ -18,6 +18,7 @@
 #include "collective/api.hpp"
 #include "inference/llm.hpp"
 #include "obs/critpath.hpp"
+#include "obs/window.hpp"
 #include "tuner/json.hpp"
 
 #include <algorithm>
@@ -41,7 +42,12 @@ struct BenchResult
     std::size_t bytes = 0;
     std::vector<double> samplesUs; // one per timed iteration
     std::map<std::string, double> attributionNs;
+    std::map<std::string, double> byLinkNs; // wire time per named link
     double measuredNs = 0; // latency the attribution must sum to
+    // Step-window profile (fig10 decode benches only): the serving
+    // step's measured latency and its compute/exposed-comms/... split.
+    std::map<std::string, double> stepAttributionNs;
+    double stepMeasuredNs = 0;
 
     double percentile(double q) const
     {
@@ -84,6 +90,9 @@ captureAttribution(const CollectiveComm& comm, BenchResult& out)
     }
     for (const auto& [cat, t] : rep->byCategory) {
         out.attributionNs[obs::toString(cat)] = sim::toNs(t);
+    }
+    for (const auto& [link, t] : rep->byLink) {
+        out.byLinkNs[link] = sim::toNs(t);
     }
     out.measuredNs = sim::toNs(rep->total());
 }
@@ -139,6 +148,18 @@ runDecodeSweep(Report& report, fab::EnvConfig env,
         // Attribution covers the decode step's last AllReduce — the
         // communication the figure is about, not the GEMM time.
         captureAttribution(infer.comm(), r);
+        // The step profiler saw the whole decode step (decodeStep
+        // opens a window when none is active): record its
+        // compute/exposed-comms/... split alongside the AllReduce
+        // critical path. Buckets sum exactly to step_measured_ns.
+        if (const obs::StepAttribution* att =
+                machine->obs().window().lastStep()) {
+            for (obs::StepCategory cat : obs::kStepCategories) {
+                r.stepAttributionNs[obs::toString(cat)] =
+                    sim::toNs(att->bucket(cat));
+            }
+            r.stepMeasuredNs = sim::toNs(att->measured);
+        }
         report.benches.push_back(std::move(r));
     }
 }
@@ -155,7 +176,7 @@ std::string
 toJson(const Report& report)
 {
     std::string out = "{\n  \"schema\": \"mscclpp.bench_report\",\n"
-                      "  \"version\": 1,\n  \"env\": \"" +
+                      "  \"version\": 2,\n  \"env\": \"" +
                       tuner::json::escape(report.env) +
                       "\",\n  \"benches\": {\n";
     bool firstBench = true;
@@ -171,16 +192,28 @@ toJson(const Report& report)
         out += "      \"p50_us\": " + num(r.percentile(0.50)) + ",\n";
         out += "      \"p99_us\": " + num(r.percentile(0.99)) + ",\n";
         out += "      \"measured_ns\": " + num(r.measuredNs) + ",\n";
-        out += "      \"attribution_ns\": {";
-        bool first = true;
-        for (const auto& [cat, ns] : r.attributionNs) {
-            if (!first) {
-                out += ", ";
+        auto mapJson = [](const std::map<std::string, double>& m) {
+            std::string s = "{";
+            bool first = true;
+            for (const auto& [k, v] : m) {
+                if (!first) {
+                    s += ", ";
+                }
+                first = false;
+                s += "\"" + tuner::json::escape(k) + "\": " + num(v);
             }
-            first = false;
-            out += "\"" + cat + "\": " + num(ns);
+            return s + "}";
+        };
+        out += "      \"attribution_ns\": " + mapJson(r.attributionNs) +
+               ",\n";
+        out += "      \"by_link_ns\": " + mapJson(r.byLinkNs);
+        if (!r.stepAttributionNs.empty()) {
+            out += ",\n      \"step_measured_ns\": " +
+                   num(r.stepMeasuredNs) + ",\n";
+            out += "      \"step_attribution_ns\": " +
+                   mapJson(r.stepAttributionNs);
         }
-        out += "}\n    }";
+        out += "\n    }";
     }
     out += "\n  }\n}\n";
     return out;

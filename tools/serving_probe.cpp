@@ -1,0 +1,186 @@
+/**
+ * serving_probe: the fig10-style online-diagnosis experiment. Runs an
+ * N-step Llama2-70b decode loop (TP=8, A100-80G) with the step
+ * profiler + flight recorder on, optionally degrading a named fabric
+ * link mid-run, and reports whether the flight recorder flagged the
+ * fault — and which link it blamed — without any offline analysis.
+ *
+ * Usage: serving_probe [options]
+ *   --steps <n>             decode steps to run (default 120)
+ *   --degrade <name:f@s>    at step s, scale link <name> bandwidth by
+ *                           factor f (e.g. gpu3.tx:0.25@60)
+ *   --sigma <k>             anomaly threshold in sigmas (default 3)
+ *   --flight <file>         write the flight-recorder JSON dump here
+ *   --assert-detect         exit 1 unless the injected fault is
+ *                           flagged within 5 steps naming the link
+ *   --miss-endstep          deliberately drop an endStep() call and
+ *                           show the diagnostic (exits 1; WILL_FAIL
+ *                           ctest proves the misuse is caught)
+ *
+ * The simulator is deterministic, so detection latency and the blamed
+ * link are exact, repeatable assertions rather than statistics.
+ */
+#include "core/errors.hpp"
+#include "inference/llm.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+
+namespace {
+
+struct Fault
+{
+    std::string link;
+    double factor = 1.0;
+    int atStep = -1; // -1: no injection
+};
+
+/** Parse "name:factor@step", e.g. "gpu3.tx:0.25@60". */
+bool
+parseFault(const std::string& spec, Fault& out)
+{
+    std::size_t colon = spec.rfind(':');
+    std::size_t at = spec.rfind('@');
+    if (colon == std::string::npos || at == std::string::npos ||
+        at < colon) {
+        return false;
+    }
+    out.link = spec.substr(0, colon);
+    out.factor = std::atof(spec.substr(colon + 1, at - colon - 1).c_str());
+    out.atStep = std::atoi(spec.substr(at + 1).c_str());
+    return !out.link.empty() && out.factor > 0 && out.atStep >= 0;
+}
+
+/** Show that a forgotten endStep() is diagnosed, not silently
+ *  swallowed: the next beginStep names the still-open window. */
+int
+missEndStepDemo(gpu::Machine& machine)
+{
+    obs::StepWindow& win = machine.obs().window();
+    win.beginStep("step-0", machine.scheduler().now());
+    // ... a buggy serving loop forgets win.endStep(...) here ...
+    try {
+        win.beginStep("step-1", machine.scheduler().now());
+    } catch (const Error& e) {
+        std::fprintf(stderr, "diagnosed: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "missed endStep was NOT diagnosed (bug in the step "
+                 "profiler)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int steps = 120;
+    double sigma = 3.0;
+    std::string flightFile;
+    Fault fault;
+    bool assertDetect = false;
+    bool missEndStep = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--steps" && i + 1 < argc) {
+            steps = std::atoi(argv[++i]);
+        } else if (arg == "--sigma" && i + 1 < argc) {
+            sigma = std::atof(argv[++i]);
+        } else if (arg == "--flight" && i + 1 < argc) {
+            flightFile = argv[++i];
+        } else if (arg == "--degrade" && i + 1 < argc) {
+            if (!parseFault(argv[++i], fault)) {
+                std::fprintf(stderr,
+                             "serving_probe: bad --degrade spec "
+                             "'%s' (want name:factor@step)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--assert-detect") {
+            assertDetect = true;
+        } else if (arg == "--miss-endstep") {
+            missEndStep = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--steps <n>] "
+                         "[--degrade <name:f@s>] [--sigma <k>] "
+                         "[--flight <file>] [--assert-detect] "
+                         "[--miss-endstep]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    fab::EnvConfig env = fab::makeA100_80G();
+    env.flightEnabled = true;
+    env.flightSigma = sigma;
+    gpu::Machine machine(env, 1, gpu::DataMode::Timed);
+    machine.obs().setDumpOnDestroy(false);
+    if (missEndStep) {
+        return missEndStepDemo(machine);
+    }
+
+    inference::InferenceSim server(machine,
+                                   inference::InferenceConfig{});
+    const int batch = 16;
+    const int seqlen = 512; // fixed context: a flat healthy baseline
+    for (int t = 0; t < steps; ++t) {
+        if (t == fault.atStep) {
+            machine.fabric().degradeLink(fault.link, fault.factor);
+            std::printf("step %4d: degraded %s to %.2fx bandwidth\n", t,
+                        fault.link.c_str(), fault.factor);
+        }
+        server.decodeStep(batch, seqlen,
+                          inference::CommBackend::Mscclpp);
+    }
+
+    obs::FlightRecorder& flight = machine.obs().flight();
+    std::printf("ran %d decode steps: %zu digests, %zu anomalies, "
+                "baseline %.3fms\n",
+                steps, flight.steps(), flight.anomalyCount(),
+                flight.ewmaMeanNs() / 1e6);
+    if (!flightFile.empty()) {
+        flight.writeJson(flightFile);
+        std::printf("flight dump -> %s\n", flightFile.c_str());
+    }
+
+    // Online-detection report: the first anomaly at or after the
+    // injection step, and the link its window blamed.
+    if (fault.atStep >= 0) {
+        const obs::StepDigest* hit = nullptr;
+        for (const obs::FlightAnomaly& a : flight.anomalies()) {
+            if (static_cast<int>(a.digest.index) >= fault.atStep) {
+                hit = &a.digest;
+                break;
+            }
+        }
+        if (hit == nullptr) {
+            std::printf("fault NOT detected\n");
+            if (assertDetect) {
+                return 1;
+            }
+        } else {
+            int latency = static_cast<int>(hit->index) - fault.atStep;
+            std::printf("fault detected at step %zu (latency %d "
+                        "steps, %.1f sigma), culprit link: %s\n",
+                        hit->index, latency, hit->sigmas,
+                        hit->culpritLink.c_str());
+            if (assertDetect &&
+                (latency > 5 || hit->culpritLink != fault.link)) {
+                std::fprintf(stderr,
+                             "detection assertion failed (want "
+                             "latency <= 5 and culprit %s)\n",
+                             fault.link.c_str());
+                return 1;
+            }
+        }
+    }
+    return 0;
+}
