@@ -90,6 +90,13 @@ MemoryChannel::MemoryChannel(std::shared_ptr<Connection> conn,
             minBw = bw;
         }
     }
+    // Memory-channel signals are device-to-device: a stalled wait() is
+    // owed directly by the remote rank (no proxy in between).
+    inbound_->setExpectedSignaler(
+        "rank" + std::to_string(conn_->remoteRank()),
+        "signal from rank" + std::to_string(conn_->remoteRank()) +
+            " (memory channel, " + std::string(toString(protocol_)) +
+            ")");
 }
 
 double

@@ -61,6 +61,9 @@ class MemoryChannel
     const RegisteredMemory& localMem() const { return localMem_; }
     const RegisteredMemory& remoteMem() const { return remoteMem_; }
 
+    /** The semaphore our wait() blocks on (fault injection hooks). */
+    DeviceSemaphore* inboundSemaphore() { return inbound_; }
+
     /**
      * Copy @p bytes from localMem[srcOff] into remoteMem[dstOff]
      * using the calling block's threads. HB protocol; for LL use

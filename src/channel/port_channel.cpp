@@ -55,6 +55,33 @@ PortChannel::PortChannel(std::shared_ptr<Connection> conn,
             minBw = bw;
         }
     }
+
+    // Watchdog wiring: party names for the wait-for graph. Our wait()
+    // is owed by the *remote* side's proxy (its handleSignal posts the
+    // increment); channel meshes build both directions with the same
+    // options, so the remote proxy's name is computable here.
+    const int local = conn_->localRank();
+    const int remote = conn_->remoteRank();
+    localParty_ = "rank" + std::to_string(local);
+    proxyParty_ =
+        service_ != nullptr
+            ? service_->watchdogParty()
+            : "proxy:r" + std::to_string(local) + "->r" +
+                  std::to_string(remote);
+    std::string remoteProxyParty =
+        service_ != nullptr
+            ? "proxy:service@r" + std::to_string(remote)
+            : "proxy:r" + std::to_string(remote) + "->r" +
+                  std::to_string(local);
+    inbound_->setExpectedSignaler(
+        remoteProxyParty, "signal from rank" + std::to_string(remote) +
+                              " via port channel (proxy)");
+    fifo_.setWatchdogParties(localParty_, proxyParty_);
+    if (service_ == nullptr) {
+        // Not started yet: a hang chain reaching this proxy before
+        // startProxy() correctly reads as a dead proxy.
+        obs_->watchdog().setLiveness(proxyParty_, false);
+    }
 }
 
 PortChannel::~PortChannel() = default;
@@ -85,6 +112,7 @@ PortChannel::startProxy()
         return; // a shared service drives this channel
     }
     proxyRunning_ = true;
+    obs_->watchdog().setLiveness(proxyParty_, true);
     sim::detach(conn_->machine().scheduler(), proxyLoop());
 }
 
@@ -187,7 +215,17 @@ PortChannel::flush(gpu::BlockCtx& ctx)
     req.flushSeq = ++flushTickets_;
     std::uint64_t ticket = req.flushSeq;
     co_await submit(req, ctx);
+    obs::Watchdog& wd = obs_->watchdog();
+    std::uint64_t wdToken = 0;
+    if (wd.enabled()) {
+        wdToken = wd.registerWait(
+            obs::WaitKind::Flush, localParty_,
+            localParty_ + "/" + blockTrack(ctx) + " port.flush",
+            proxyParty_,
+            "flush ticket " + std::to_string(ticket) + " ack");
+    }
     co_await flushDone_.waitUntil(ticket, conn_->config().semaphorePoll);
+    wd.completeWait(wdToken);
     traceDeviceOp(ctx, "port.flush", t0);
 }
 
@@ -209,7 +247,22 @@ PortChannel::handlePut(const ProxyRequest& req)
         lastCompletion_ = std::max(lastCompletion_, arrival);
         sim::Time engineFree = arrival - conn_->path().latency();
         if (engineFree > sched.now()) {
+            obs::Watchdog& wd = obs_->watchdog();
+            std::uint64_t wdToken = 0;
+            if (wd.enabled()) {
+                const std::string& culprit =
+                    conn_->path().lastCulprit().empty()
+                        ? bottleneckLink_
+                        : conn_->path().lastCulprit();
+                wdToken = wd.registerWait(
+                    obs::WaitKind::Reservation, proxyParty_,
+                    proxyParty_ + " DMA chunk pacing",
+                    "link:" + culprit,
+                    std::to_string(len) + "B reservation behind " +
+                        culprit);
+            }
             co_await sim::Delay(sched, engineFree - sched.now());
+            wd.completeWait(wdToken);
         }
         (void)start;
         off += len;
@@ -311,6 +364,7 @@ PortChannel::proxyLoop()
         co_await processRequest(req);
     }
     proxyRunning_ = false;
+    obs_->watchdog().setLiveness(proxyParty_, false);
 }
 
 } // namespace mscclpp

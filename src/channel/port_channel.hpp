@@ -58,6 +58,9 @@ class PortChannel
     const RegisteredMemory& remoteMem() const { return remoteMem_; }
     Fifo& fifo() { return fifo_; }
 
+    /** The semaphore our wait() blocks on (fault injection hooks). */
+    DeviceSemaphore* inboundSemaphore() { return inbound_; }
+
     /** Launch the proxy task (idempotent). Host side. */
     void startProxy();
 
@@ -144,6 +147,8 @@ class PortChannel
     int traceChannelId_ = -1;
     std::string proxyTrack_;     ///< per-remote proxy timeline name
     std::string bottleneckLink_; ///< slowest hop of the path (tracing)
+    std::string proxyParty_;     ///< watchdog party for our proxy side
+    std::string localParty_;     ///< watchdog party for the local rank
 };
 
 } // namespace mscclpp

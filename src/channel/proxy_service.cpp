@@ -15,6 +15,14 @@ ProxyService::ProxyService(gpu::Machine& machine)
 int
 ProxyService::registerChannel(PortChannel* channel)
 {
+    if (channels_.empty()) {
+        int rank = channel->connection().localRank();
+        wdParty_ = "proxy:service@r" + std::to_string(rank);
+        fifo_.setWatchdogParties("rank" + std::to_string(rank), wdParty_);
+        if (!running_) {
+            machine_->obs().watchdog().setLiveness(wdParty_, false);
+        }
+    }
     channels_.push_back(channel);
     return static_cast<int>(channels_.size()) - 1;
 }
@@ -26,6 +34,7 @@ ProxyService::start()
         return;
     }
     running_ = true;
+    machine_->obs().watchdog().setLiveness(wdParty_, true);
     sim::detach(machine_->scheduler(), loop());
 }
 
@@ -62,6 +71,7 @@ ProxyService::loop()
         ++requestsServed_;
     }
     running_ = false;
+    machine_->obs().watchdog().setLiveness(wdParty_, false);
 }
 
 } // namespace mscclpp

@@ -29,6 +29,13 @@ class ProxyService
     /** Register @p channel; returns the id its requests must carry. */
     int registerChannel(PortChannel* channel);
 
+    /**
+     * Watchdog party name of this service's proxy thread
+     * ("proxy:service@r<rank>", fixed by the first registered
+     * channel's local rank — meshes build one service per rank).
+     */
+    const std::string& watchdogParty() const { return wdParty_; }
+
     /** Launch the service loop (idempotent). */
     void start();
 
@@ -46,6 +53,7 @@ class ProxyService
     bool running_ = false;
     bool stopRequested_ = false;
     std::uint64_t requestsServed_ = 0;
+    std::string wdParty_ = "proxy:service";
 };
 
 } // namespace mscclpp

@@ -62,11 +62,22 @@ SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
     }
     sim::Scheduler& sched = ctx.scheduler();
     sim::Time t0 = sched.now();
+    obs::ObsContext& obs = machine_->obs();
     if (arrival > sched.now()) {
+        std::uint64_t wdToken = 0;
+        if (obs.watchdog().enabled()) {
+            wdToken = obs.watchdog().registerWait(
+                obs::WaitKind::Reservation,
+                "rank" + std::to_string(myRank_),
+                "rank" + std::to_string(myRank_) + " switch.reduce",
+                "link:" + culprit,
+                std::to_string(bytes) + "B multimem reservation behind " +
+                    culprit);
+        }
         co_await sim::Delay(sched, arrival - sched.now());
+        obs.watchdog().completeWait(wdToken);
     }
     (void)start;
-    obs::ObsContext& obs = machine_->obs();
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Channel, "switch.reduce", myRank_,
                           "tb" + std::to_string(ctx.blockIdx()), t0,
@@ -86,11 +97,22 @@ SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
     }
     sim::Scheduler& sched = ctx.scheduler();
     sim::Time t0 = sched.now();
+    obs::ObsContext& obs = machine_->obs();
     if (arrival > sched.now()) {
+        std::uint64_t wdToken = 0;
+        if (obs.watchdog().enabled()) {
+            wdToken = obs.watchdog().registerWait(
+                obs::WaitKind::Reservation,
+                "rank" + std::to_string(myRank_),
+                "rank" + std::to_string(myRank_) + " switch.broadcast",
+                "link:" + culprit,
+                std::to_string(bytes) + "B multimem reservation behind " +
+                    culprit);
+        }
         co_await sim::Delay(sched, arrival - sched.now());
+        obs.watchdog().completeWait(wdToken);
     }
     (void)start;
-    obs::ObsContext& obs = machine_->obs();
     if (obs.tracer().enabled()) {
         obs.tracer().span(obs::Category::Channel, "switch.broadcast",
                           myRank_, "tb" + std::to_string(ctx.blockIdx()),

@@ -25,7 +25,11 @@ CollectiveComm::record(const std::string& name, std::size_t bytes,
 {
     obs::ObsContext& obs = machine_->obs();
     sim::Time t0 = machine_->scheduler().now();
+    // Waits registered while the body runs inherit the collective's
+    // name, so a hang report can say which collective stalled.
+    obs.watchdog().pushOp(name);
     sim::Time elapsed = body();
+    obs.watchdog().popOp();
     if (obs.metrics().enabled()) {
         obs.metrics().counter("collective.count").add(1);
         obs.metrics().counter("collective.bytes").add(bytes);

@@ -74,12 +74,37 @@ class Fifo
         }
     }
 
+    /**
+     * Name the two ends of this queue for the watchdog's wait-for
+     * graph: @p gpuParty pushes ("rank0"), @p proxyParty pops
+     * ("proxy:r0->r1"). A stuck push is owed by the proxy (it must
+     * drain the queue); a blocking pop is owed by the GPU — but pop
+     * waits are never hang *subjects*, since an idle proxy
+     * legitimately parks on an empty queue between requests.
+     */
+    void setWatchdogParties(std::string gpuParty, std::string proxyParty)
+    {
+        wdGpuParty_ = std::move(gpuParty);
+        wdProxyParty_ = std::move(proxyParty);
+    }
+
     /** GPU side: append a request, waiting while the queue is full. */
     sim::Task<> push(ProxyRequest req)
     {
         sim::Time t0 = sched_->now();
+        std::uint64_t wdToken = 0;
+        if (queue_.size() >= static_cast<std::size_t>(cfg_->fifoDepth) &&
+            obs_ != nullptr && obs_->watchdog().enabled()) {
+            wdToken = obs_->watchdog().registerWait(
+                obs::WaitKind::FifoPush, wdGpuParty_,
+                wdGpuParty_ + " push to " + track_, wdProxyParty_,
+                "free slot in " + track_ + " (proxy must drain it)");
+        }
         while (queue_.size() >= static_cast<std::size_t>(cfg_->fifoDepth)) {
             co_await notFull_.wait();
+        }
+        if (obs_ != nullptr) {
+            obs_->watchdog().completeWait(wdToken);
         }
         co_await sim::Delay(*sched_, cfg_->fifoPushCost);
         req.pushedAt = sched_->now();
@@ -107,8 +132,22 @@ class Fifo
     sim::Task<ProxyRequest> pop()
     {
         sim::Time t0 = sched_->now();
+        std::uint64_t wdToken = 0;
+        if (queue_.empty() && obs_ != nullptr &&
+            obs_->watchdog().enabled()) {
+            // reportable=false: an empty queue is the proxy's idle
+            // state, not a stall — but the wait stays in the graph so
+            // chains can route through a parked proxy to its GPU.
+            wdToken = obs_->watchdog().registerWait(
+                obs::WaitKind::FifoPop, wdProxyParty_,
+                wdProxyParty_ + " pop from " + track_, wdGpuParty_,
+                "next request in " + track_, /*reportable=*/false);
+        }
         while (queue_.empty()) {
             co_await notEmpty_.wait();
+        }
+        if (obs_ != nullptr) {
+            obs_->watchdog().completeWait(wdToken);
         }
         ProxyRequest req = queue_.front();
         sim::Time visible =
@@ -173,6 +212,8 @@ class Fifo
     obs::Summary* pushWaitNs_ = nullptr;
     obs::Summary* depthOnPush_ = nullptr;
     obs::Gauge* depthGauge_ = nullptr;
+    std::string wdGpuParty_ = "host";
+    std::string wdProxyParty_ = "proxy";
 };
 
 } // namespace mscclpp

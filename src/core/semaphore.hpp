@@ -34,6 +34,26 @@ class DeviceSemaphore
     std::uint64_t value() const { return sem_.value(); }
 
     /**
+     * Name the counterpart the watchdog blames when a wait() on this
+     * semaphore stalls: the coarse party that owes the increment
+     * ("rank3", "proxy:r3->r0") plus a human detail line. Channels set
+     * this at construction; unset, a stalled wait blames "unknown".
+     */
+    void setExpectedSignaler(std::string owedParty, std::string owedDetail)
+    {
+        wdOwedParty_ = std::move(owedParty);
+        wdOwedDetail_ = std::move(owedDetail);
+    }
+
+    /**
+     * Fault injection for hang tests (tools/hang_probe): silently
+     * swallow the next @p n remote increments, exactly like a lost
+     * signal on the wire.
+     */
+    void dropNextArrivals(int n) { dropRemaining_ += n; }
+    std::uint64_t arrivalsDropped() const { return dropped_; }
+
+    /**
      * Schedule a remote increment landing at absolute time @p when.
      * When tracing, @p srcPid / @p srcTrack name the signalling
      * timeline so the matching wait() can emit a happens-before edge
@@ -42,6 +62,17 @@ class DeviceSemaphore
     void arriveAt(sim::Time when, int srcPid = -1,
                   std::string srcTrack = {})
     {
+        if (dropRemaining_ > 0) {
+            --dropRemaining_;
+            ++dropped_;
+            obs::Tracer& tracer = machine_->obs().tracer();
+            if (tracer.enabled()) {
+                tracer.instant(obs::Category::Channel, "signal.dropped",
+                               obs::kHostPid, "faults",
+                               machine_->scheduler().now());
+            }
+            return;
+        }
         if (srcPid != -1 && machine_->obs().tracer().enabled() &&
             arrivals_.size() < kMaxArrivals) {
             arrivals_.push_back(Arrival{when,
@@ -65,8 +96,20 @@ class DeviceSemaphore
     sim::Task<> wait(int dstPid = -1, std::string dstTrack = {})
     {
         std::uint64_t expected = ++expected_;
+        obs::Watchdog& wd = machine_->obs().watchdog();
+        std::uint64_t wdToken = 0;
+        if (wd.enabled()) {
+            std::string waiter = "rank" + std::to_string(gpuRank_);
+            wdToken = wd.registerWait(
+                obs::WaitKind::SemWait, waiter,
+                dstTrack.empty() ? waiter : waiter + "/" + dstTrack,
+                wdOwedParty_.empty() ? std::string("unknown")
+                                     : wdOwedParty_,
+                wdOwedDetail_);
+        }
         co_await sem_.waitUntil(expected,
                                 machine_->config().semaphorePoll);
+        wd.completeWait(wdToken);
         obs::Tracer& tracer = machine_->obs().tracer();
         if (dstPid != -1 && tracer.enabled()) {
             sim::Time now = machine_->scheduler().now();
@@ -117,6 +160,10 @@ class DeviceSemaphore
     sim::SimSemaphore sem_;
     std::uint64_t expected_ = 0;
     std::vector<Arrival> arrivals_;
+    std::string wdOwedParty_;
+    std::string wdOwedDetail_;
+    int dropRemaining_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace mscclpp

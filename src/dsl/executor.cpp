@@ -313,7 +313,9 @@ Executor::run(const ExecutionPlan& plan, gpu::DataType type,
     // A DSL program is one serving step unless an outer window (the
     // caller's own beginStep) already scopes it.
     const bool opened = win.beginStepIfIdle(label, t0);
+    obs.watchdog().pushOp(label);
     sim::Time elapsed = gpu::runOnAllRanks(*machine_, cfg, fn);
+    obs.watchdog().popOp();
     if (obs.tracer().enabled()) {
         // Root span on the host collectives track: the whole-program
         // window the step profiler (and critical-path analyzer)

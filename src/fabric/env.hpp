@@ -128,6 +128,14 @@ struct EnvConfig
     std::string flightFile = "flight.json"; ///< MSCCLPP_FLIGHT_FILE
     /// Anomaly threshold in σ units (MSCCLPP_FLIGHT_SIGMA, > 0).
     double flightSigma = 3.0;
+    /// Stall watchdog (MSCCLPP_WATCHDOG): "off", "report" (emit hang
+    /// reports and keep going) or "abort" (fail fast with
+    /// Error(Timeout)). Implies tracing (DESIGN.md Section 11).
+    std::string watchdogMode = "off";
+    /// Virtual-time stall threshold before a wait is reported
+    /// (MSCCLPP_WATCHDOG_NS, > 0).
+    sim::Time watchdogNs = sim::msec(100);
+    std::string watchdogFile = "hang.json"; ///< MSCCLPP_WATCHDOG_FILE
 
     // ---- fault injection ---------------------------------------------------
     /// Comma-separated "linkName:factor" pairs scaling the named

@@ -92,6 +92,26 @@ applyObsEnvOverrides(EnvConfig& cfg)
         }
         cfg.flightSigma = sigma;
     }
+    const char* wd = std::getenv("MSCCLPP_WATCHDOG");
+    if (wd != nullptr && *wd != '\0') {
+        std::string s(wd);
+        if (s != "off" && s != "report" && s != "abort") {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_WATCHDOG='" + s +
+                            "' is not a mode (use off/report/abort)");
+        }
+        cfg.watchdogMode = s;
+    }
+    sim::Time wdNs = 0;
+    if (readTimeNs("MSCCLPP_WATCHDOG_NS", wdNs)) {
+        if (wdNs <= 0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_WATCHDOG_NS must be a positive "
+                        "virtual-time threshold in ns");
+        }
+        cfg.watchdogNs = wdNs;
+    }
+    readPath("MSCCLPP_WATCHDOG_FILE", cfg.watchdogFile);
     // Fault injection rides the obs overrides so every Machine picks
     // it up: the spec is validated by the Fabric constructor
     // (std::invalid_argument on malformed entries).

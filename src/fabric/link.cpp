@@ -82,6 +82,7 @@ Link::reserve(std::uint64_t bytes, double bwCapGBps, sim::Time earliest)
     bytesCarried_ += bytes;
     busyTime_ += occupancy;
     pacer_ = name_;
+    pacerRateGBps_ = bw;
     record(start, start + occupancy, bytes, occupancy);
     return {start, start + occupancy + params_.latency};
 }
@@ -106,12 +107,13 @@ Link::scaleBandwidth(double factor)
 
 void
 Link::occupy(sim::Time end, std::uint64_t bytes, sim::Time busy,
-             const std::string& pacer)
+             const std::string& pacer, double pacerRateGBps)
 {
     nextFree_ = std::max(nextFree_, end);
     bytesCarried_ += bytes;
     busyTime_ += busy;
     pacer_ = pacer.empty() ? name_ : pacer;
+    pacerRateGBps_ = pacer.empty() ? params_.bandwidthGBps : pacerRateGBps;
     record(end - busy, end, bytes, busy);
 }
 
@@ -183,9 +185,21 @@ Path::reserve(std::uint64_t bytes, double bwCapGBps) const
             blockedOn = l;
         }
     }
-    lastCulprit_ = blockedOn != nullptr && !blockedOn->pacer().empty()
-                       ? blockedOn->pacer()
-                       : pacerLink->name();
+    if (blockedOn != nullptr && !blockedOn->pacer().empty()) {
+        // Blame the occupant's pacer only when that pacer is actually
+        // slower than this hop's line rate (degraded link upstream) or
+        // is a shared engine (rate 0 sentinel). An occupant moving at
+        // full line rate means the queue is genuine contention on this
+        // hop — e.g. NIC incast — so the contended hop itself is the
+        // culprit.
+        double pr = blockedOn->pacerRateGBps();
+        lastCulprit_ = (pr <= 0.0 ||
+                        pr < blockedOn->params().bandwidthGBps)
+                           ? blockedOn->pacer()
+                           : blockedOn->name();
+    } else {
+        lastCulprit_ = pacerLink->name();
+    }
     sim::Time window = perMessage + sim::transferTime(bytes, bw);
     sim::Time start = now;
     sim::Time firstStart = 0;
@@ -194,7 +208,8 @@ Path::reserve(std::uint64_t bytes, double bwCapGBps) const
         if (i == 0) {
             firstStart = start;
         }
-        links_[i]->occupy(start + window, bytes, window, pacerLink->name());
+        links_[i]->occupy(start + window, bytes, window, pacerLink->name(),
+                          bw);
     }
     return {firstStart, start + window + latency()};
 }

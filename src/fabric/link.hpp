@@ -101,9 +101,13 @@ class Link
      * cursor to @p end and charges stats. @p pacer names the hop that
      * set the occupying flow's rate (empty: this link paced itself);
      * it is what a transfer queued behind this window should blame.
+     * @p pacerRateGBps is the rate the occupying flow actually moves
+     * at; 0 with a non-empty pacer marks a shared-engine pacer (e.g.
+     * the switch multimem engine) that is always the culprit.
      */
     void occupy(sim::Time end, std::uint64_t bytes, sim::Time busy,
-                const std::string& pacer = {});
+                const std::string& pacer = {},
+                double pacerRateGBps = 0.0);
 
     /**
      * Name of the link that paced the flow currently holding the
@@ -112,6 +116,15 @@ class Link
      * attribute their queue delay to the real culprit.
      */
     const std::string& pacer() const { return pacer_; }
+
+    /**
+     * Rate (GB/s) of the flow currently holding the cursor. When this
+     * matches the link's own line rate, the occupant is not slow —
+     * victims queued here are seeing genuine contention on this hop
+     * and should blame it, not the occupant's pacer. 0 means the
+     * occupant is paced by a shared engine (always blame the pacer).
+     */
+    double pacerRateGBps() const { return pacerRateGBps_; }
 
     /** Total bytes carried (stats). */
     std::uint64_t bytesCarried() const { return bytesCarried_; }
@@ -138,6 +151,7 @@ class Link
     std::uint64_t bytesCarried_ = 0;
     sim::Time busyTime_ = 0;
     std::string pacer_;
+    double pacerRateGBps_ = 0.0;
 };
 
 /**

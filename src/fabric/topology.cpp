@@ -39,6 +39,10 @@ Fabric::Fabric(sim::Scheduler& sched, const EnvConfig& cfg, int numNodes,
                 "' is not name:factor with factor > 0");
         }
         degraded_.emplace_back(entry.substr(0, colon), factor);
+        if (obs_ != nullptr) {
+            obs_->watchdog().noteDegradedLink(degraded_.back().first,
+                                              factor);
+        }
     }
     if (obs_ != nullptr && cfg_.hasMultimem) {
         switchOccupancy_ =
@@ -119,6 +123,11 @@ Fabric::degradeLink(const std::string& name, double factor)
         for (std::unique_ptr<Link>& l : *group) {
             if (l != nullptr && l->name() == name) {
                 l->scaleBandwidth(factor);
+                if (obs_ != nullptr) {
+                    // Hang reports cross-reference known-degraded
+                    // links when classifying straggler chains.
+                    obs_->watchdog().noteDegradedLink(name, factor);
+                }
                 return;
             }
         }
@@ -218,10 +227,18 @@ Fabric::multimemReduce(int reader, const std::vector<int>& participants,
         consider(gpuTx(r));
     }
     consider(gpuRx(reader));
-    lastSwitchCulprit_ =
-        blockedOn != nullptr && !blockedOn->pacer().empty()
-            ? blockedOn->pacer()
-            : kSwitchMultimem;
+    if (blockedOn != nullptr && !blockedOn->pacer().empty()) {
+        // Same rate-aware rule as Path::reserve: a full-line-rate
+        // occupant means the port itself is contended, so blame it;
+        // a slower (or shared-engine, rate 0) pacer is the real cause.
+        double pr = blockedOn->pacerRateGBps();
+        lastSwitchCulprit_ = (pr <= 0.0 ||
+                              pr < blockedOn->params().bandwidthGBps)
+                                 ? blockedOn->pacer()
+                                 : blockedOn->name();
+    } else {
+        lastSwitchCulprit_ = kSwitchMultimem;
+    }
     sim::Time window =
         cfg_.intraPerMessage +
         sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);
@@ -264,10 +281,18 @@ Fabric::multimemBroadcast(int writer, const std::vector<int>& participants,
     for (int r : participants) {
         consider(gpuRx(r));
     }
-    lastSwitchCulprit_ =
-        blockedOn != nullptr && !blockedOn->pacer().empty()
-            ? blockedOn->pacer()
-            : kSwitchMultimem;
+    if (blockedOn != nullptr && !blockedOn->pacer().empty()) {
+        // Same rate-aware rule as Path::reserve: a full-line-rate
+        // occupant means the port itself is contended, so blame it;
+        // a slower (or shared-engine, rate 0) pacer is the real cause.
+        double pr = blockedOn->pacerRateGBps();
+        lastSwitchCulprit_ = (pr <= 0.0 ||
+                              pr < blockedOn->params().bandwidthGBps)
+                                 ? blockedOn->pacer()
+                                 : blockedOn->name();
+    } else {
+        lastSwitchCulprit_ = kSwitchMultimem;
+    }
     sim::Time window =
         cfg_.intraPerMessage +
         sim::transferTime(bytes, cfg_.multimemBwGBps * bwFactor);

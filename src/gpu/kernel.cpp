@@ -28,6 +28,25 @@ blockWrapper(std::shared_ptr<detail::KernelState> state, BlockCtx* ctx,
 } // namespace
 
 sim::Task<>
+BlockCtx::gridBarrier()
+{
+    obs::Watchdog& wd = gpu_->machine().obs().watchdog();
+    std::uint64_t wdToken = 0;
+    if (wd.enabled()) {
+        std::string party = "rank" + std::to_string(gpu_->rank());
+        // Owed by our own rank: the chain-walker continues through the
+        // rank's other outstanding waits to whatever is holding the
+        // missing blocks (self edges are not cycles).
+        wdToken = wd.registerWait(
+            obs::WaitKind::Barrier, party,
+            party + "/tb" + std::to_string(blockIdx_) + " grid barrier",
+            party, "remaining thread blocks of this kernel");
+    }
+    co_await state_->gridBarrier.arriveAndWait();
+    wd.completeWait(wdToken);
+}
+
+sim::Task<>
 launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn)
 {
     if (cfg.blocks < 1 || cfg.threadsPerBlock < 1) {
@@ -72,7 +91,17 @@ launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn)
                     blockWrapper(state, state->blocks.back().get(),
                                  fnHolder, stagger));
     }
+    obs::Watchdog& wd = gpu.machine().obs().watchdog();
+    std::uint64_t wdToken = 0;
+    if (wd.enabled()) {
+        std::string party = "rank" + std::to_string(gpu.rank());
+        wdToken = wd.registerWait(
+            obs::WaitKind::Barrier, party, party + " kernel completion",
+            party,
+            std::to_string(cfg.blocks) + " thread blocks to finish");
+    }
     co_await state->wg.wait();
+    wd.completeWait(wdToken);
 }
 
 sim::Time

@@ -68,8 +68,9 @@ class BlockCtx
     const fabric::EnvConfig& config() const { return gpu_->config(); }
 
     /** Barrier across all blocks of this kernel (cooperative-groups
-     *  grid sync). */
-    sim::Task<> gridBarrier() { return state_->gridBarrier.arriveAndWait(); }
+     *  grid sync). Registers with the stall watchdog so a block stuck
+     *  here routes hang chains to the blocks that never arrived. */
+    sim::Task<> gridBarrier();
 
     /** Intra-block __syncthreads-equivalent cost. */
     sim::Delay blockBarrier() const

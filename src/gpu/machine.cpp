@@ -69,9 +69,12 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     // communicator built on this machine sees the selected mode.
     fabric::applyObsEnvOverrides(cfg_);
     fabric::applyTunerEnvOverrides(cfg_);
-    if (cfg_.critpathEnabled || cfg_.flightEnabled) {
-        // The analyzer and the step profiler consume the tracer's
-        // span + edge rings, so MSCCLPP_CRITPATH=1 / MSCCLPP_FLIGHT=1
+    const bool watchdogOn =
+        cfg_.watchdogMode != "off" && obs::Tracer::kCompiledIn;
+    if (cfg_.critpathEnabled || cfg_.flightEnabled || watchdogOn) {
+        // The analyzer, the step profiler and the watchdog's hang
+        // reports consume the tracer's span + edge rings, so
+        // MSCCLPP_CRITPATH=1 / MSCCLPP_FLIGHT=1 / MSCCLPP_WATCHDOG
         // imply tracing even without MSCCLPP_TRACE.
         cfg_.traceEnabled = true;
     }
@@ -83,6 +86,20 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     obs_.flight().setSigmaK(cfg_.flightSigma);
     obs_.setFlightFile(cfg_.flightFile);
     obs_.setDumpOnDestroy(cfg_.traceEnabled);
+
+    // The watchdog binds unconditionally (tests may flip the mode on a
+    // built machine), but only an enabled mode installs the scheduler
+    // idle hook — a clean run never executes a watchdog event.
+    obs_.watchdog().bind(&sched_, &obs_.tracer(), &obs_.flight(),
+                         &obs_.window());
+    obs_.watchdog().setThreshold(cfg_.watchdogNs);
+    obs_.setWatchdogFile(cfg_.watchdogFile);
+    if (watchdogOn) {
+        obs_.watchdog().setMode(cfg_.watchdogMode == "abort"
+                                    ? obs::WatchdogMode::Abort
+                                    : obs::WatchdogMode::Report);
+    }
+    sched_.setIdleHook([this] { obs_.watchdog().onIdle(); });
 
     fabric_ =
         std::make_unique<fabric::Fabric>(sched_, cfg_, numNodes_, &obs_);

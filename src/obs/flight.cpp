@@ -77,14 +77,28 @@ bucketsJson(const std::map<StepCategory, sim::Time>& buckets)
     return out;
 }
 
+} // namespace
+
+double
+LatencyBaseline::sigmaNs() const
+{
+    return std::sqrt(std::max(var, 0.0));
+}
+
+double
+LatencyBaseline::effectiveSigmaNs() const
+{
+    return std::max(sigmaNs(), 0.005 * mean);
+}
+
 /**
  * Bounded dump of the offending window: its raw events plus the
- * critical path of every collective inside it. Only built when the
- * anomaly fires, so the healthy-path cost is zero.
+ * critical path of every collective inside it. Only built when an
+ * anomaly or hang report fires, so the healthy-path cost is zero.
  */
 std::string
-dumpWindow(const std::vector<TraceEvent>& events,
-           const std::vector<TraceEdge>& edges)
+FlightRecorder::dumpWindowJson(const std::vector<TraceEvent>& events,
+                               const std::vector<TraceEdge>& edges)
 {
     constexpr std::size_t kMaxDumpEvents = 4096;
     std::string out = "{\"events\": [";
@@ -124,8 +138,6 @@ dumpWindow(const std::vector<TraceEvent>& events,
     out += "]}";
     return out;
 }
-
-} // namespace
 
 std::string
 StepDigest::toJson() const
@@ -201,10 +213,32 @@ FlightRecorder::setCapacity(std::size_t capacity)
     }
 }
 
+const LatencyBaseline*
+FlightRecorder::baselineFor(const std::string& label) const
+{
+    auto it = baselines_.find(label);
+    return it == baselines_.end() ? nullptr : &it->second;
+}
+
+double
+FlightRecorder::ewmaMeanNs() const
+{
+    const LatencyBaseline* b = baselineFor(lastLabel_);
+    return b ? b->mean : 0.0;
+}
+
 double
 FlightRecorder::ewmaSigmaNs() const
 {
-    return std::sqrt(std::max(var_, 0.0));
+    const LatencyBaseline* b = baselineFor(lastLabel_);
+    return b ? b->sigmaNs() : 0.0;
+}
+
+std::uint64_t
+FlightRecorder::baselineSamples() const
+{
+    const LatencyBaseline* b = baselineFor(lastLabel_);
+    return b ? b->samples : 0;
 }
 
 std::vector<StepDigest>
@@ -248,23 +282,27 @@ FlightRecorder::onStep(const StepAttribution& att,
     d.stragglerRank = att.stragglerRank;
     d.culpritLink = att.culpritLink;
 
+    // Each label keeps its own baseline: a prefill step is only ever
+    // compared against prefill history, a backend-B decode step
+    // against backend-B history.
+    LatencyBaseline& base = baselines_[d.label];
+    lastLabel_ = d.label;
     const double xNs = sim::toNs(d.measured);
     bool anomaly = false;
-    if (samples_ >= static_cast<std::uint64_t>(warmup_)) {
-        const double floorNs = 0.005 * mean_;
-        const double effSigma = std::max(ewmaSigmaNs(), floorNs);
-        if (effSigma > 0.0 && xNs > mean_ + k_ * effSigma) {
+    if (base.samples >= static_cast<std::uint64_t>(warmup_)) {
+        const double effSigma = base.effectiveSigmaNs();
+        if (effSigma > 0.0 && xNs > base.mean + k_ * effSigma) {
             anomaly = true;
             d.anomalous = true;
-            d.sigmas = (xNs - mean_) / effSigma;
+            d.sigmas = (xNs - base.mean) / effSigma;
             ++anomalyTotal_;
             if (anomalies_.size() < kMaxAnomalies) {
                 FlightAnomaly a;
                 a.digest = d;
-                a.baselineNs = mean_;
+                a.baselineNs = base.mean;
                 a.sigmaNs = effSigma;
                 a.attributionJson = att.toJson();
-                a.windowJson = dumpWindow(events, edges);
+                a.windowJson = dumpWindowJson(events, edges);
                 anomalies_.push_back(std::move(a));
             }
         }
@@ -272,16 +310,16 @@ FlightRecorder::onStep(const StepAttribution& att,
     if (!anomaly) {
         // Standard EWMA mean/variance update; anomalous samples are
         // excluded so a fault cannot become the new baseline.
-        if (samples_ == 0) {
-            mean_ = xNs;
-            var_ = 0.0;
+        if (base.samples == 0) {
+            base.mean = xNs;
+            base.var = 0.0;
         } else {
-            const double diff = xNs - mean_;
+            const double diff = xNs - base.mean;
             const double incr = alpha_ * diff;
-            mean_ += incr;
-            var_ = (1.0 - alpha_) * (var_ + diff * incr);
+            base.mean += incr;
+            base.var = (1.0 - alpha_) * (base.var + diff * incr);
         }
-        ++samples_;
+        ++base.samples;
     }
     aggregate_.merge(d);
     push(std::move(d));
@@ -294,9 +332,8 @@ FlightRecorder::clear()
     head_ = 0;
     dropped_ = DigestAggregate{};
     aggregate_ = DigestAggregate{};
-    mean_ = 0.0;
-    var_ = 0.0;
-    samples_ = 0;
+    baselines_.clear();
+    lastLabel_.clear();
     nextIndex_ = 0;
     anomalies_.clear();
     anomalyTotal_ = 0;
@@ -311,9 +348,22 @@ FlightRecorder::toJson() const
     out += ", \"capacity\": " + std::to_string(capacity_);
     out += ", \"steps_total\": " + std::to_string(aggregate_.count);
     out += ", \"anomalies_total\": " + std::to_string(anomalyTotal_);
-    out += ", \"baseline\": {\"ewma_mean_ns\": " + jsonNum(mean_) +
+    // "baseline" keeps the pre-split shape (the most recent label's
+    // view); "baselines" carries the full per-label split.
+    out += ", \"baseline\": {\"ewma_mean_ns\": " + jsonNum(ewmaMeanNs()) +
            ", \"ewma_sigma_ns\": " + jsonNum(ewmaSigmaNs()) +
-           ", \"samples\": " + std::to_string(samples_) + "}";
+           ", \"samples\": " + std::to_string(baselineSamples()) + "}";
+    out += ", \"baselines\": {";
+    bool firstBase = true;
+    for (const auto& [label, b] : baselines_) {
+        out += firstBase ? "" : ", ";
+        firstBase = false;
+        out += "\"" + jsonEscape(label) +
+               "\": {\"ewma_mean_ns\": " + jsonNum(b.mean) +
+               ", \"ewma_sigma_ns\": " + jsonNum(b.sigmaNs()) +
+               ", \"samples\": " + std::to_string(b.samples) + "}";
+    }
+    out += "}";
     out += ", \"ring\": [";
     bool first = true;
     for (const StepDigest& d : ring()) {

@@ -48,6 +48,24 @@ struct DigestAggregate
     std::string toJson() const;
 };
 
+/**
+ * EWMA mean/variance of measured step latency for one step label.
+ * Baselines are split per label (prefill vs decode vs backend) so an
+ * A/B backend switch — which legitimately changes the latency regime —
+ * is compared against its own history instead of being flagged as an
+ * anomaly of the other backend's baseline.
+ */
+struct LatencyBaseline
+{
+    double mean = 0.0; ///< EWMA of measured ns
+    double var = 0.0;  ///< EWMA variance of measured ns
+    std::uint64_t samples = 0;
+
+    double sigmaNs() const;
+    /** max(σ_ewma, 0.5% of mean): see FlightRecorder class comment. */
+    double effectiveSigmaNs() const;
+};
+
 /** One triggered anomaly: the digest, the baseline it violated, and
  *  the offending window's dumped trace + critical paths. */
 struct FlightAnomaly
@@ -121,9 +139,19 @@ class FlightRecorder
         return anomalies_.empty() ? nullptr : &anomalies_.back();
     }
 
-    double ewmaMeanNs() const { return mean_; }
+    /** Baseline for @p label, or nullptr before its first sample. */
+    const LatencyBaseline* baselineFor(const std::string& label) const;
+    /** All per-label baselines (label -> baseline). */
+    const std::map<std::string, LatencyBaseline>& baselines() const
+    {
+        return baselines_;
+    }
+
+    /** Convenience accessors over the most recently recorded label
+     *  (single-label runs see the classic global-baseline view). */
+    double ewmaMeanNs() const;
     double ewmaSigmaNs() const;
-    std::uint64_t baselineSamples() const { return samples_; }
+    std::uint64_t baselineSamples() const;
 
     void clear();
 
@@ -132,6 +160,14 @@ class FlightRecorder
 
     /** Write toJson() to @p path; throws Error on I/O failure. */
     void writeJson(const std::string& path) const;
+
+    /**
+     * Bounded JSON dump of a window snapshot: raw events plus the
+     * critical path of every collective inside it. Shared by the
+     * anomaly records here and by the watchdog's hang reports.
+     */
+    static std::string dumpWindowJson(const std::vector<TraceEvent>& events,
+                                      const std::vector<TraceEdge>& edges);
 
   private:
     static constexpr std::size_t kDefaultCapacity = 256;
@@ -150,9 +186,8 @@ class FlightRecorder
     DigestAggregate dropped_;
     DigestAggregate aggregate_;
 
-    double mean_ = 0.0; ///< EWMA of measured ns
-    double var_ = 0.0;  ///< EWMA variance of measured ns
-    std::uint64_t samples_ = 0;
+    std::map<std::string, LatencyBaseline> baselines_;
+    std::string lastLabel_;
     std::uint64_t nextIndex_ = 0;
 
     std::vector<FlightAnomaly> anomalies_;

@@ -40,6 +40,16 @@ ObsContext::dump()
                 std::to_string(flight_.anomalyCount()) +
                 " anomalies) -> " + flightFile_;
     }
+    // Hang reports are exceptional by definition: a clean run writes
+    // no hang file at all.
+    if (!watchdog_.reports().empty() && !watchdogFile_.empty()) {
+        watchdog_.writeJson(watchdogFile_);
+        if (!what.empty()) {
+            what += ", ";
+        }
+        what += std::to_string(watchdog_.reports().size()) +
+                " hang reports -> " + watchdogFile_;
+    }
     return what;
 }
 

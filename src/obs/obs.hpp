@@ -4,6 +4,7 @@
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "obs/window.hpp"
 
 #include <string>
@@ -33,10 +34,13 @@ class ObsContext
     const StepWindow& window() const { return window_; }
     FlightRecorder& flight() { return flight_; }
     const FlightRecorder& flight() const { return flight_; }
+    Watchdog& watchdog() { return watchdog_; }
+    const Watchdog& watchdog() const { return watchdog_; }
 
     const std::string& traceFile() const { return traceFile_; }
     const std::string& metricsFile() const { return metricsFile_; }
     const std::string& flightFile() const { return flightFile_; }
+    const std::string& watchdogFile() const { return watchdogFile_; }
     void setTraceFile(std::string path) { traceFile_ = std::move(path); }
     void setMetricsFile(std::string path)
     {
@@ -45,6 +49,10 @@ class ObsContext
     void setFlightFile(std::string path)
     {
         flightFile_ = std::move(path);
+    }
+    void setWatchdogFile(std::string path)
+    {
+        watchdogFile_ = std::move(path);
     }
 
     /** Dump trace + metrics files when enabled (Machine teardown). */
@@ -63,9 +71,11 @@ class ObsContext
     MetricsRegistry metrics_;
     StepWindow window_{tracer_};
     FlightRecorder flight_;
+    Watchdog watchdog_;
     std::string traceFile_ = "trace.json";
     std::string metricsFile_ = "metrics.json";
     std::string flightFile_ = "flight.json";
+    std::string watchdogFile_ = "hang.json";
     bool dumpOnDestroy_ = false;
 };
 

@@ -1,0 +1,504 @@
+#include "obs/watchdog.hpp"
+
+#include "core/errors.hpp"
+#include "obs/flight.hpp"
+#include "obs/window.hpp"
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mscclpp::obs {
+
+namespace {
+
+constexpr const char* kLinkPrefix = "link:";
+
+bool
+isLinkParty(const std::string& party)
+{
+    return party.rfind(kLinkPrefix, 0) == 0;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+std::string
+partiesJson(const std::vector<std::string>& parties)
+{
+    std::string out = "[";
+    bool first = true;
+    for (const std::string& p : parties) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "\"" + jsonEscape(p) + "\"";
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+const char*
+toString(WaitKind k)
+{
+    switch (k) {
+      case WaitKind::SemWait:
+        return "sem_wait";
+      case WaitKind::FifoPop:
+        return "fifo_pop";
+      case WaitKind::FifoPush:
+        return "fifo_push";
+      case WaitKind::Flush:
+        return "flush";
+      case WaitKind::Barrier:
+        return "barrier";
+      case WaitKind::Reservation:
+        return "reservation";
+    }
+    return "?";
+}
+
+const char*
+toString(WatchdogMode m)
+{
+    switch (m) {
+      case WatchdogMode::Off:
+        return "off";
+      case WatchdogMode::Report:
+        return "report";
+      case WatchdogMode::Abort:
+        return "abort";
+    }
+    return "?";
+}
+
+std::string
+HangReport::toJson() const
+{
+    std::string out = "{\"at_ns\": " + jsonNum(sim::toNs(at));
+    out += ", \"classification\": \"" + jsonEscape(classification) + "\"";
+    out += ", \"op\": \"" + jsonEscape(blocked.opLabel) + "\"";
+    out += ", \"step\": {\"label\": \"" + jsonEscape(stepLabel) +
+           "\", \"baselined\": ";
+    out += stepBaselined ? "true" : "false";
+    out += ", \"pre_stall_sigmas\": " + jsonNum(stepSigmas) + "}";
+    out += ", \"blocked\": {\"kind\": \"" +
+           std::string(toString(blocked.kind)) + "\", \"waiter\": \"" +
+           jsonEscape(blocked.waiter) + "\", \"waiter_detail\": \"" +
+           jsonEscape(blocked.waiterDetail) + "\", \"owed\": \"" +
+           jsonEscape(blocked.owed) + "\", \"owed_detail\": \"" +
+           jsonEscape(blocked.owedDetail) +
+           "\", \"since_ns\": " + jsonNum(sim::toNs(blocked.since)) +
+           ", \"wait_ns\": " + jsonNum(sim::toNs(at - blocked.since)) +
+           "}";
+    out += ", \"chain\": " + partiesJson(chain);
+    out += ", \"cycle\": " + partiesJson(cycle);
+    out += ", \"root_cause\": {\"party\": \"" + jsonEscape(rootCause) +
+           "\", \"reason\": \"" + jsonEscape(rootCauseReason) +
+           "\", \"detail\": \"" + jsonEscape(rootCauseDetail) + "\"}";
+    out += ", \"degraded_links\": {";
+    bool first = true;
+    for (const auto& [name, factor] : degradedLinks) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\": " + jsonNum(factor);
+    }
+    out += "}";
+    out += ", \"window\": ";
+    out += windowJson.empty() ? std::string("{}") : windowJson;
+    out += "}";
+    return out;
+}
+
+std::string
+HangReport::summaryLine() const
+{
+    std::string line = "[watchdog] " + classification + " at " +
+                       sim::formatTime(at) + ": " + blocked.waiter +
+                       " blocked " + sim::formatTime(at - blocked.since) +
+                       " in " +
+                       (blocked.opLabel.empty() ? std::string("<no op>")
+                                                : blocked.opLabel) +
+                       " on " + std::string(toString(blocked.kind)) +
+                       ", owed by " + blocked.owed;
+    line += "; root cause " + rootCause + " (" + rootCauseReason;
+    if (!rootCauseDetail.empty()) {
+        line += ": " + rootCauseDetail;
+    }
+    line += ")";
+    if (!cycle.empty()) {
+        line += "; cycle";
+        for (const std::string& p : cycle) {
+            line += " -> " + p;
+        }
+    }
+    return line;
+}
+
+std::uint64_t
+Watchdog::registerWait(WaitKind kind, std::string waiter,
+                       std::string waiterDetail, std::string owed,
+                       std::string owedDetail, bool reportable)
+{
+    if (!enabled()) {
+        return 0;
+    }
+    WaitPoint w;
+    w.id = nextId_++;
+    w.kind = kind;
+    w.waiter = std::move(waiter);
+    w.waiterDetail = std::move(waiterDetail);
+    w.owed = std::move(owed);
+    w.owedDetail = std::move(owedDetail);
+    w.opLabel = opStack_.empty() ? std::string() : opStack_.back();
+    w.since = sched_->now();
+    w.reportable = reportable;
+    std::uint64_t id = w.id;
+    waits_.emplace(id, std::move(w));
+    return id;
+}
+
+void
+Watchdog::completeWait(std::uint64_t token)
+{
+    if (token == 0) {
+        return;
+    }
+    waits_.erase(token);
+}
+
+void
+Watchdog::setLiveness(const std::string& party, bool alive)
+{
+    if (!enabled()) {
+        return;
+    }
+    liveness_[party] = alive;
+}
+
+void
+Watchdog::noteDegradedLink(const std::string& linkName, double factor)
+{
+    if (!enabled()) {
+        return;
+    }
+    degraded_[linkName] = factor;
+}
+
+void
+Watchdog::pushOp(std::string label)
+{
+    if (!enabled()) {
+        return;
+    }
+    opStack_.push_back(std::move(label));
+}
+
+void
+Watchdog::popOp()
+{
+    if (!enabled() || opStack_.empty()) {
+        return;
+    }
+    opStack_.pop_back();
+}
+
+WaitPoint*
+Watchdog::oldestUnreported()
+{
+    // Prefer non-barrier waits as the report anchor: the kernel
+    // completion barrier registers at launch, so it is almost always
+    // the oldest wait of a hung rank — but it is a downstream symptom
+    // of whatever primitive actually stalled. Anchoring the tick on
+    // the oldest *primitive* wait makes that wait the report subject
+    // (it has expired by exactly the threshold when the tick fires)
+    // and lets the barrier be swept into its chain.
+    WaitPoint* bestPrimitive = nullptr;
+    WaitPoint* bestAny = nullptr;
+    for (auto& [id, w] : waits_) {
+        if (!w.reportable || w.reported) {
+            continue;
+        }
+        if (bestAny == nullptr || w.since < bestAny->since) {
+            bestAny = &w;
+        }
+        if (w.kind != WaitKind::Barrier &&
+            (bestPrimitive == nullptr || w.since < bestPrimitive->since)) {
+            bestPrimitive = &w;
+        }
+    }
+    return bestPrimitive != nullptr ? bestPrimitive : bestAny;
+}
+
+WaitPoint*
+Watchdog::oldestWaitOf(const std::string& party,
+                       const std::map<std::uint64_t, bool>& visited)
+{
+    WaitPoint* best = nullptr;
+    for (auto& [id, w] : waits_) {
+        if (w.waiter != party || visited.count(id) != 0) {
+            continue;
+        }
+        if (best == nullptr || w.since < best->since) {
+            best = &w;
+        }
+    }
+    return best;
+}
+
+void
+Watchdog::onIdle()
+{
+    if (!enabled() || tickPending_ || reports_.size() >= kMaxReports) {
+        return;
+    }
+    WaitPoint* oldest = oldestUnreported();
+    if (oldest == nullptr) {
+        return;
+    }
+    // The queue drained with blocked coroutines outstanding: virtual
+    // time can only advance through this tick, so fire it exactly at
+    // the oldest wait's deadline (since + threshold).
+    sim::Time deadline = oldest->since + threshold_;
+    tickPending_ = true;
+    sched_->scheduleAt(deadline, [this] { tick(); });
+}
+
+void
+Watchdog::tick()
+{
+    tickPending_ = false;
+    const sim::Time now = sched_->now();
+
+    // All expired, unreported, reportable waits; real stalls first
+    // (barriers are usually downstream symptoms of the actual missing
+    // signal), then registration order.
+    std::vector<WaitPoint*> expired;
+    for (auto& [id, w] : waits_) {
+        if (w.reportable && !w.reported && now - w.since >= threshold_) {
+            expired.push_back(&w);
+        }
+    }
+    std::sort(expired.begin(), expired.end(),
+              [](const WaitPoint* a, const WaitPoint* b) {
+                  bool ab = a->kind == WaitKind::Barrier;
+                  bool bb = b->kind == WaitKind::Barrier;
+                  if (ab != bb) {
+                      return bb;
+                  }
+                  if (a->since != b->since) {
+                      return a->since < b->since;
+                  }
+                  return a->id < b->id;
+              });
+
+    std::vector<std::string> diagnosed;
+    for (WaitPoint* w : expired) {
+        if (w->reported) {
+            continue; // swept into an earlier report's chain
+        }
+        // A barrier whose party is already on a diagnosed chain is a
+        // consequence of that report, not a second hang.
+        if (w->kind == WaitKind::Barrier &&
+            std::find(diagnosed.begin(), diagnosed.end(), w->waiter) !=
+                diagnosed.end()) {
+            w->reported = true;
+            continue;
+        }
+        if (reports_.size() >= kMaxReports) {
+            break;
+        }
+        HangReport rep = buildReport(*w);
+        for (const std::string& p : rep.chain) {
+            diagnosed.push_back(p);
+        }
+        std::fprintf(stderr, "%s\n", rep.summaryLine().c_str());
+        if (tracer_ != nullptr && tracer_->enabled()) {
+            tracer_->span(Category::Step, "hang." + rep.classification,
+                          kHostPid, "watchdog", now, now, 0, -1,
+                          rep.rootCause + " (" + rep.rootCauseReason +
+                              ")");
+        }
+        reports_.push_back(std::move(rep));
+        if (mode_ == WatchdogMode::Abort) {
+            throw Error(ErrorCode::Timeout,
+                        reports_.back().summaryLine());
+        }
+    }
+}
+
+HangReport
+Watchdog::buildReport(WaitPoint& blocked)
+{
+    HangReport rep;
+    rep.at = sched_->now();
+    blocked.reported = true;
+    rep.blocked = blocked;
+    rep.classification = "straggler";
+    rep.chain.push_back(blocked.waiter);
+
+    std::map<std::uint64_t, bool> visited;
+    visited[blocked.id] = true;
+    std::string owed = blocked.owed;
+    std::string owedDetail = blocked.owedDetail;
+
+    for (std::size_t hop = 0; hop < kMaxHops; ++hop) {
+        auto pos = std::find(rep.chain.begin(), rep.chain.end(), owed);
+        if (pos != rep.chain.end() && owed != rep.chain.back()) {
+            // Back to a party already on the chain: a genuine cycle.
+            rep.classification = "deadlock";
+            rep.cycle.assign(pos, rep.chain.end());
+            rep.rootCause = owed;
+            rep.rootCauseReason = "cyclic_wait";
+            rep.rootCauseDetail = owedDetail;
+            break;
+        }
+        if (pos == rep.chain.end()) {
+            rep.chain.push_back(owed);
+        }
+        if (isLinkParty(owed)) {
+            std::string name = owed.substr(std::string(kLinkPrefix).size());
+            rep.rootCause = owed;
+            rep.rootCauseReason = degraded_.count(name) != 0
+                                      ? "degraded_link"
+                                      : "link_contention";
+            rep.rootCauseDetail = owedDetail;
+            break;
+        }
+        auto lv = liveness_.find(owed);
+        if (lv != liveness_.end() && !lv->second) {
+            rep.rootCause = owed;
+            rep.rootCauseReason = "dead_proxy";
+            rep.rootCauseDetail = owedDetail;
+            break;
+        }
+        WaitPoint* next = oldestWaitOf(owed, visited);
+        if (next == nullptr) {
+            // The owed party has nothing it is itself waiting for: it
+            // simply never produced the signal.
+            rep.rootCause = owed;
+            rep.rootCauseReason = "missing_signal";
+            rep.rootCauseDetail = owedDetail;
+            break;
+        }
+        visited[next->id] = true;
+        next->reported = true; // diagnosed as part of this chain
+        owed = next->owed;
+        owedDetail = next->owedDetail;
+    }
+    if (rep.rootCause.empty()) {
+        rep.rootCause = owed;
+        rep.rootCauseReason = "missing_signal";
+        rep.rootCauseDetail = owedDetail;
+    }
+
+    if (window_ != nullptr && window_->active()) {
+        rep.stepLabel = window_->activeLabel();
+        if (flight_ != nullptr) {
+            const LatencyBaseline* base =
+                flight_->baselineFor(rep.stepLabel);
+            if (base != nullptr &&
+                base->samples >=
+                    static_cast<std::uint64_t>(flight_->warmup())) {
+                double preNs =
+                    sim::toNs(blocked.since - window_->activeBegin());
+                double sigma = base->effectiveSigmaNs();
+                if (sigma > 0.0) {
+                    rep.stepSigmas = (preNs - base->mean) / sigma;
+                    rep.stepBaselined = true;
+                }
+            }
+        }
+    }
+    rep.degradedLinks = degraded_;
+
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        sim::Time from =
+            blocked.since > threshold_ ? blocked.since - threshold_ : 0;
+        rep.windowJson = FlightRecorder::dumpWindowJson(
+            tracer_->snapshotWindow(from, rep.at),
+            tracer_->edgesSnapshotWindow(from, rep.at));
+    }
+    return rep;
+}
+
+std::string
+Watchdog::toJson() const
+{
+    std::string out = "{\"schema\": \"mscclpp.hang\", \"version\": 1";
+    out += ", \"mode\": \"" + std::string(toString(mode_)) + "\"";
+    out += ", \"threshold_ns\": " + jsonNum(sim::toNs(threshold_));
+    out += ", \"outstanding_waits\": " + std::to_string(waits_.size());
+    out += ", \"reports\": [";
+    bool first = true;
+    for (const HangReport& r : reports_) {
+        out += first ? "" : ", ";
+        first = false;
+        out += r.toJson();
+    }
+    out += "]}\n";
+    return out;
+}
+
+void
+Watchdog::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open hang file '" + path + "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing hang file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

@@ -1,0 +1,209 @@
+#ifndef MSCCLPP_OBS_WATCHDOG_HPP
+#define MSCCLPP_OBS_WATCHDOG_HPP
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::sim {
+class Scheduler;
+}
+
+namespace mscclpp::obs {
+
+class FlightRecorder;
+class StepWindow;
+
+/** What kind of blocking point a registered wait is. */
+enum class WaitKind
+{
+    SemWait,     ///< DeviceSemaphore::wait (Port/Memory channel wait())
+    FifoPop,     ///< proxy blocking on an empty FIFO (idle is normal)
+    FifoPush,    ///< GPU thread blocking on a full FIFO
+    Flush,       ///< PortChannel::flush waiting for the proxy's ticket
+    Barrier,     ///< grid barrier / kernel-completion wait group
+    Reservation, ///< link/path reservation pacing a transfer
+};
+
+const char* toString(WaitKind k);
+
+enum class WatchdogMode
+{
+    Off,
+    Report, ///< emit hang reports, let the run keep going
+    Abort,  ///< throw Error(Timeout) out of Machine::run() (fail fast)
+};
+
+/**
+ * One outstanding blocking point. The one-sided put/signal/wait API
+ * means every wait has a well-defined counterpart, recorded here as
+ * the *owed party*: the coarse actor ("rank3", "proxy:r0->r1",
+ * "proxy:service@r2", "link:nic8.rx") that must act for the wait to
+ * complete, plus human detail strings for the report.
+ */
+struct WaitPoint
+{
+    std::uint64_t id = 0;
+    WaitKind kind = WaitKind::SemWait;
+    std::string waiter;       ///< coarse waiting party ("rank1")
+    std::string waiterDetail; ///< e.g. "rank1 memory-channel wait <- rank3"
+    std::string owed;         ///< coarse owed party ("rank3")
+    std::string owedDetail;   ///< e.g. "signal from rank3 (memory channel)"
+    std::string opLabel;      ///< enclosing collective / DSL program
+    sim::Time since = 0;
+    /** FifoPop waits are wait-for-graph edges but never hang subjects:
+     *  an idle proxy legitimately blocks on pop between requests. */
+    bool reportable = true;
+    bool reported = false;
+};
+
+/** One emitted hang diagnosis. */
+struct HangReport
+{
+    sim::Time at = 0;    ///< virtual time the report fired
+    WaitPoint blocked;   ///< the wait chosen as the subject
+    std::string classification; ///< "deadlock" | "straggler"
+    std::vector<std::string> cycle; ///< parties on the cycle (deadlock)
+    std::vector<std::string> chain; ///< waiter -> ... -> root party
+    std::string rootCause;          ///< terminal party of the chain
+    std::string rootCauseReason;    ///< cyclic_wait | dead_proxy |
+                                    ///< missing_signal | degraded_link |
+                                    ///< link_contention
+    std::string rootCauseDetail;
+    std::string stepLabel;   ///< open step window, if any
+    double stepSigmas = 0.0; ///< pre-stall elapsed vs per-label baseline
+    bool stepBaselined = false; ///< stepSigmas is meaningful
+    std::map<std::string, double> degradedLinks; ///< name -> factor
+    std::string windowJson; ///< flight-recorder trace snapshot
+
+    std::string toJson() const;
+    std::string summaryLine() const;
+};
+
+/**
+ * Stall watchdog over the simulator's blocking points (DESIGN.md
+ * Section 11). Every wait that can stall registers itself with its
+ * expected counterpart; because all simulated waits are
+ * suspension-based, a true hang is precisely "the event queue drained
+ * while registered waits are outstanding". The scheduler's idle hook
+ * (onIdle) therefore fires only for genuinely hung runs — a clean run
+ * never sees a watchdog event and its timeline is untouched.
+ *
+ * When the oldest outstanding reportable wait has exceeded the
+ * threshold of *virtual* time, the watchdog walks the wait-for graph
+ * from it: party -> owed party -> that party's own oldest wait -> ...
+ * A revisited party closes a cycle (deadlock); otherwise the walk
+ * terminates at a root cause — a party marked dead (dead proxy), a
+ * link node (degraded / contended), or a party with no outstanding
+ * waits that simply never signaled (missing signal).
+ *
+ * Compiled out with the rest of the obs stack under MSCCLPP_NO_OBS:
+ * enabled() constant-folds to false and every hook is one dead branch.
+ */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /** Wire the collaborators (Machine construction). */
+    void bind(sim::Scheduler* sched, Tracer* tracer,
+              FlightRecorder* flight, StepWindow* window)
+    {
+        sched_ = sched;
+        tracer_ = tracer;
+        flight_ = flight;
+        window_ = window;
+    }
+
+    bool enabled() const
+    {
+        return Tracer::kCompiledIn && mode_ != WatchdogMode::Off &&
+               sched_ != nullptr;
+    }
+
+    WatchdogMode mode() const { return mode_; }
+    void setMode(WatchdogMode m) { mode_ = m; }
+
+    sim::Time threshold() const { return threshold_; }
+    void setThreshold(sim::Time t) { threshold_ = t; }
+
+    /**
+     * Register an outstanding wait; @return a token for completeWait.
+     * Returns 0 (and records nothing) while disabled — hooks always
+     * pair registerWait/completeWait unconditionally and rely on this.
+     */
+    std::uint64_t registerWait(WaitKind kind, std::string waiter,
+                               std::string waiterDetail, std::string owed,
+                               std::string owedDetail,
+                               bool reportable = true);
+
+    /** The wait completed normally. completeWait(0) is a no-op. */
+    void completeWait(std::uint64_t token);
+
+    /**
+     * Liveness of a party other waits may be owed to (proxies). A
+     * party never marked alive, or marked dead on loop exit, turns a
+     * chain ending at it into a dead-proxy diagnosis.
+     */
+    void setLiveness(const std::string& party, bool alive);
+
+    /** Record a mid-run bandwidth fault (Fabric::degradeLink); hang
+     *  reports list active degradations as context. */
+    void noteDegradedLink(const std::string& linkName, double factor);
+
+    /** Enclosing-operation labels (collective name, DSL program);
+     *  registered waits inherit the innermost label. */
+    void pushOp(std::string label);
+    void popOp();
+
+    /** Scheduler idle hook: schedule a report tick when reportable
+     *  waits are outstanding (see class comment). */
+    void onIdle();
+
+    std::uint64_t outstandingWaits() const { return waits_.size(); }
+    const std::vector<HangReport>& reports() const { return reports_; }
+    void clearReports() { reports_.clear(); }
+
+    /** Full hang file: schema "mscclpp.hang" version 1. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+  private:
+    static constexpr std::size_t kMaxReports = 16;
+    static constexpr std::size_t kMaxHops = 64;
+
+    void tick();
+    HangReport buildReport(WaitPoint& blocked);
+    WaitPoint* oldestUnreported();
+    WaitPoint* oldestWaitOf(const std::string& party,
+                            const std::map<std::uint64_t, bool>& visited);
+
+    sim::Scheduler* sched_ = nullptr;
+    Tracer* tracer_ = nullptr;
+    FlightRecorder* flight_ = nullptr;
+    StepWindow* window_ = nullptr;
+
+    WatchdogMode mode_ = WatchdogMode::Off;
+    sim::Time threshold_ = sim::msec(100);
+
+    std::uint64_t nextId_ = 1;
+    std::map<std::uint64_t, WaitPoint> waits_; ///< keyed by id (reg order)
+    std::map<std::string, bool> liveness_;
+    std::map<std::string, double> degraded_;
+    std::vector<std::string> opStack_;
+    bool tickPending_ = false;
+
+    std::vector<HangReport> reports_;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_WATCHDOG_HPP

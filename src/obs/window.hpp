@@ -137,6 +137,11 @@ class StepWindow
     bool active() const { return active_; }
     std::uint64_t stepsCompleted() const { return completed_; }
 
+    /** Label / start of the open window (valid while active()); the
+     *  watchdog stamps hang reports with the step they interrupted. */
+    const std::string& activeLabel() const { return label_; }
+    sim::Time activeBegin() const { return begin_; }
+
     /**
      * Open a step window at virtual time @p now. Throws
      * Error(InvalidUsage) naming the open step when one is already

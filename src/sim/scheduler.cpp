@@ -40,10 +40,22 @@ Scheduler::step()
 void
 Scheduler::run()
 {
-    while (step()) {
+    for (;;) {
+        while (step()) {
+            if (firstError_) {
+                break;
+            }
+        }
         if (firstError_) {
             break;
         }
+        if (idleHook_) {
+            idleHook_();
+            if (!queue_.empty()) {
+                continue;
+            }
+        }
+        break;
     }
     if (firstError_) {
         std::exception_ptr e = std::exchange(firstError_, nullptr);

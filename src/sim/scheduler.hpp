@@ -65,6 +65,16 @@ class Scheduler
     bool idle() const { return queue_.empty(); }
 
     /**
+     * Hook invoked by run() whenever the event queue drains. The hook
+     * may schedule new events (e.g. a watchdog inspecting coroutines
+     * still suspended on semaphores); run() keeps going until the
+     * queue drains with the hook scheduling nothing. Because it only
+     * fires on a drained queue, a hook never perturbs the virtual-time
+     * ordering of a live simulation.
+     */
+    void setIdleHook(std::function<void()> hook) { idleHook_ = std::move(hook); }
+
+    /**
      * Record an exception raised inside a detached coroutine. The first
      * report wins; run() rethrows it.
      */
@@ -94,6 +104,7 @@ class Scheduler
     std::uint64_t nextSeq_ = 0;
     std::uint64_t eventsProcessed_ = 0;
     std::exception_ptr firstError_;
+    std::function<void()> idleHook_;
 };
 
 } // namespace mscclpp::sim

@@ -277,6 +277,47 @@ TEST(Topology, MultimemBlamesTheBusyPortPacer)
     (void)arrival;
 }
 
+TEST(Topology, NicIncastBlamesTheContendedPort)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::Fabric f(s, cfg, 2);
+    // Flow A (rank 0 -> rank 8) fills nic8.rx at the NIC line rate.
+    f.netPath(0, 8).reserve(50'000'000);
+    // Flow B (rank 1 -> rank 8) queues behind it on nic8.rx; an
+    // identical flow to an idle NIC is the control. The occupant
+    // moves at the victim hop's own line rate, so the wait is genuine
+    // incast on the destination NIC: blame the contended hop itself,
+    // not flow A's (equally fast) pacer.
+    auto [cs, control] = f.netPath(2, 9).reserve(1 << 20);
+    fab::Path p = f.netPath(1, 8);
+    auto [start, arrival] = p.reserve(1 << 20);
+    EXPECT_GT(arrival, control);
+    EXPECT_EQ(p.lastCulprit(), "nic8.rx");
+    (void)cs;
+    (void)start;
+}
+
+TEST(Topology, DegradedNicHopIsBlamedAcrossTheSwitch)
+{
+    sim::Scheduler s;
+    fab::EnvConfig cfg = fab::makeA100_40G();
+    fab::Fabric f(s, cfg, 2);
+    // Same incast shape, but flow A is paced by a degraded source
+    // NIC. Its occupancy of nic8.rx now runs below that port's line
+    // rate, so the victim's delay is attributed to the slow hop, not
+    // to the shared destination port.
+    f.degradeLink("nic0.tx", 0.5);
+    f.netPath(0, 8).reserve(50'000'000);
+    auto [cs, control] = f.netPath(2, 9).reserve(1 << 20);
+    fab::Path p = f.netPath(1, 8);
+    auto [start, arrival] = p.reserve(1 << 20);
+    EXPECT_GT(arrival, control);
+    EXPECT_EQ(p.lastCulprit(), "nic0.tx");
+    (void)cs;
+    (void)start;
+}
+
 TEST(Topology, DegradeLinkAppliesMidRunAndValidates)
 {
     sim::Scheduler s;

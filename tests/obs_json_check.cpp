@@ -10,8 +10,11 @@
  * carry the required numeric keys with p50_us <= p99_us plus the v2
  * by_link_ns breakdown. With --flight-schema each file must be a
  * mscclpp.flight recorder dump whose ring/dropped/aggregate digests
- * satisfy the exact-merge invariant. Deliberately gtest-free so it
- * stays a tiny ctest COMMAND.
+ * satisfy the exact-merge invariant. With --hang-schema each file
+ * must be a mscclpp.hang watchdog dump whose reports all carry a
+ * known classification, a non-empty wait-for chain and a structured
+ * root cause. Deliberately gtest-free so it stays a tiny ctest
+ * COMMAND.
  */
 #include "tuner/json.hpp"
 
@@ -388,6 +391,104 @@ checkFlightSchema(const char* file, const std::string& text)
     return true;
 }
 
+/**
+ * Validate one stall-watchdog artifact (mscclpp.hang v1): the schema
+ * stamp, the threshold, and per-report invariants — a recognised
+ * classification, a chain that starts at the blocked waiter and ends
+ * at the root-cause party, a structured root cause with a known
+ * reason, and a cycle that is non-empty iff the report is a deadlock.
+ */
+bool
+checkHangSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
+        return false;
+    }
+    const json::Value* schema = doc->get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != "mscclpp.hang") {
+        std::fprintf(stderr, "%s: schema != mscclpp.hang\n", file);
+        return false;
+    }
+    const json::Value* version = doc->get("version");
+    if (version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr, "%s: missing/unknown hang version\n", file);
+        return false;
+    }
+    const json::Value* threshold = doc->get("threshold_ns");
+    if (threshold == nullptr || !threshold->isNumber() ||
+        threshold->number <= 0) {
+        std::fprintf(stderr, "%s: missing/invalid threshold_ns\n", file);
+        return false;
+    }
+    const json::Value* reports = doc->get("reports");
+    if (reports == nullptr || !reports->isArray()) {
+        std::fprintf(stderr, "%s: missing reports array\n", file);
+        return false;
+    }
+    for (const json::Value& r : reports->array) {
+        const json::Value* cls = r.get("classification");
+        if (cls == nullptr || !cls->isString() ||
+            (cls->string != "deadlock" && cls->string != "straggler")) {
+            std::fprintf(stderr, "%s: report classification invalid\n",
+                         file);
+            return false;
+        }
+        const json::Value* blocked = r.get("blocked");
+        if (blocked == nullptr || blocked->get("waiter") == nullptr ||
+            blocked->get("owed") == nullptr ||
+            blocked->get("wait_ns") == nullptr ||
+            !blocked->get("wait_ns")->isNumber() ||
+            blocked->get("wait_ns")->number < threshold->number) {
+            std::fprintf(stderr,
+                         "%s: blocked wait incomplete or under "
+                         "threshold\n",
+                         file);
+            return false;
+        }
+        const json::Value* chain = r.get("chain");
+        if (chain == nullptr || !chain->isArray() ||
+            chain->array.empty() || !chain->array.front().isString() ||
+            chain->array.front().string !=
+                blocked->get("waiter")->string) {
+            std::fprintf(stderr,
+                         "%s: chain must start at the blocked waiter\n",
+                         file);
+            return false;
+        }
+        const json::Value* root = r.get("root_cause");
+        if (root == nullptr || root->get("party") == nullptr ||
+            root->get("reason") == nullptr ||
+            !root->get("reason")->isString()) {
+            std::fprintf(stderr, "%s: root_cause incomplete\n", file);
+            return false;
+        }
+        const std::string& reason = root->get("reason")->string;
+        if (reason != "cyclic_wait" && reason != "dead_proxy" &&
+            reason != "missing_signal" && reason != "degraded_link" &&
+            reason != "link_contention") {
+            std::fprintf(stderr, "%s: unknown root-cause reason '%s'\n",
+                         file, reason.c_str());
+            return false;
+        }
+        const json::Value* cyc = r.get("cycle");
+        if (cyc == nullptr || !cyc->isArray() ||
+            (cls->string == "deadlock") != !cyc->array.empty()) {
+            std::fprintf(stderr,
+                         "%s: cycle must be non-empty iff deadlock\n",
+                         file);
+            return false;
+        }
+    }
+    std::printf("%s: hang schema ok (%zu reports)\n", file,
+                reports->array.size());
+    return true;
+}
+
 } // namespace
 
 int
@@ -397,6 +498,7 @@ main(int argc, char** argv)
     std::vector<const char*> files;
     bool benchSchema = false;
     bool flightSchema = false;
+    bool hangSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
@@ -405,6 +507,8 @@ main(int argc, char** argv)
             benchSchema = true;
         } else if (arg == "--flight-schema") {
             flightSchema = true;
+        } else if (arg == "--hang-schema") {
+            hangSchema = true;
         } else {
             files.push_back(argv[i]);
         }
@@ -412,6 +516,7 @@ main(int argc, char** argv)
     if (files.empty()) {
         std::fprintf(stderr,
                      "usage: %s [--bench-schema] [--flight-schema] "
+                     "[--hang-schema] "
                      "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
@@ -446,6 +551,10 @@ main(int argc, char** argv)
             continue;
         }
         if (flightSchema && !checkFlightSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (hangSchema && !checkHangSchema(file, text)) {
             rc = 1;
             continue;
         }

@@ -1,0 +1,325 @@
+#include "channel/channel_mesh.hpp"
+#include "collective/api.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "core/errors.hpp"
+#include "gpu/kernel.hpp"
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace sim = mscclpp::sim;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace obs = mscclpp::obs;
+using namespace mscclpp;
+using MscclppError = mscclpp::Error;
+
+// Everything the watchdog does is compiled out under MSCCLPP_NO_OBS;
+// these tests exercise the runtime, so they skip in that build (the
+// no-obs CI leg also excludes them at the ctest level).
+#define SKIP_WITHOUT_OBS()                                                 \
+    if (!obs::Tracer::kCompiledIn) {                                       \
+        GTEST_SKIP() << "observability compiled out (MSCCLPP_NO_OBS)";     \
+    }
+
+namespace {
+
+/** Test harness: machine + communicators + per-rank data buffers,
+ *  with the watchdog armed before any channel is constructed (parties
+ *  and liveness register at channel construction time). */
+struct Harness
+{
+    Harness(fab::EnvConfig cfg, int nodes, std::size_t bytes,
+            obs::WatchdogMode mode, sim::Time threshold)
+        : machine(std::move(cfg), nodes, gpu::DataMode::Functional)
+    {
+        machine.obs().setDumpOnDestroy(false);
+        obs::Watchdog& wd = machine.obs().watchdog();
+        wd.setMode(mode);
+        wd.setThreshold(threshold);
+        auto boots = createInProcessBootstrap(machine.numGpus());
+        for (int r = 0; r < machine.numGpus(); ++r) {
+            comms.push_back(
+                std::make_unique<Communicator>(boots[r], machine));
+            bufs.push_back(machine.gpu(r).alloc(bytes));
+        }
+    }
+
+    std::vector<Communicator*> commPtrs()
+    {
+        std::vector<Communicator*> out;
+        for (auto& c : comms) {
+            out.push_back(c.get());
+        }
+        return out;
+    }
+
+    obs::Watchdog& wd() { return machine.obs().watchdog(); }
+
+    gpu::Machine machine;
+    std::vector<std::unique_ptr<Communicator>> comms;
+    std::vector<gpu::DeviceBuffer> bufs;
+};
+
+/** Launch a one-block kernel per rank running fn(ctx, rank). */
+void
+runOnAllRanks(gpu::Machine& m,
+              const std::function<sim::Task<>(gpu::BlockCtx&, int)>& fn)
+{
+    for (int r = 0; r < m.numGpus(); ++r) {
+        gpu::LaunchConfig cfg;
+        sim::detach(m.scheduler(),
+                    gpu::launchKernel(m.gpu(r), cfg,
+                                      [&fn, r](gpu::BlockCtx& ctx) {
+                                          return fn(ctx, r);
+                                      }));
+    }
+    m.run();
+}
+
+constexpr sim::Time kThreshold = sim::ns(1'000'000); // 1 ms virtual
+
+} // namespace
+
+TEST(Watchdog, LostSignalNamesTheOwingRankAndChannel)
+{
+    SKIP_WITHOUT_OBS();
+    Harness h(fab::makeA100_40G(), 1, 4096, obs::WatchdogMode::Report,
+              kThreshold);
+    const int n = h.machine.numGpus();
+    auto mesh = ChannelMesh::build(h.commPtrs(), h.bufs, h.bufs);
+
+    // Rank 3's ring signal to rank 4 is lost on the wire.
+    const int owing = 3;
+    const int victim = (owing + 1) % n;
+    mesh.mem(victim, owing).inboundSemaphore()->dropNextArrivals(1);
+
+    h.wd().pushOp("test.signal_ring");
+    runOnAllRanks(h.machine,
+                  [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                      co_await mesh.mem(r, (r + 1) % n)
+                          .putWithSignal(ctx, 0, 0, 256);
+                      co_await mesh.mem(r, (r - 1 + n) % n).wait(ctx);
+                  });
+    h.wd().popOp();
+
+    ASSERT_EQ(h.wd().reports().size(), 1u);
+    const obs::HangReport& rep = h.wd().reports().front();
+    EXPECT_EQ(rep.classification, "straggler");
+    EXPECT_EQ(rep.blocked.waiter, "rank4");
+    EXPECT_EQ(rep.blocked.owed, "rank3");
+    EXPECT_NE(rep.blocked.owedDetail.find("memory channel"),
+              std::string::npos);
+    EXPECT_EQ(rep.blocked.opLabel, "test.signal_ring");
+    EXPECT_EQ(rep.rootCause, "rank3");
+    EXPECT_EQ(rep.rootCauseReason, "missing_signal");
+    EXPECT_TRUE(rep.cycle.empty());
+    // The report fired exactly one threshold after the wait began.
+    EXPECT_EQ(rep.at - rep.blocked.since, kThreshold);
+}
+
+TEST(Watchdog, CyclicWaitIsClassifiedAsDeadlock)
+{
+    SKIP_WITHOUT_OBS();
+    Harness h(fab::makeA100_40G(), 1, 4096, obs::WatchdogMode::Report,
+              kThreshold);
+    auto mesh = ChannelMesh::build(h.commPtrs(), h.bufs, h.bufs);
+
+    // Ranks 0 and 1 wait *before* signaling each other.
+    h.wd().pushOp("test.cycle");
+    runOnAllRanks(h.machine,
+                  [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                      if (r > 1) {
+                          co_return;
+                      }
+                      co_await mesh.mem(r, 1 - r).wait(ctx);
+                      co_await mesh.mem(r, 1 - r).putWithSignal(ctx, 0, 0,
+                                                                256);
+                  });
+    h.wd().popOp();
+
+    ASSERT_EQ(h.wd().reports().size(), 1u);
+    const obs::HangReport& rep = h.wd().reports().front();
+    EXPECT_EQ(rep.classification, "deadlock");
+    EXPECT_EQ(rep.rootCauseReason, "cyclic_wait");
+    ASSERT_EQ(rep.cycle.size(), 2u);
+    EXPECT_NE(std::find(rep.cycle.begin(), rep.cycle.end(), "rank0"),
+              rep.cycle.end());
+    EXPECT_NE(std::find(rep.cycle.begin(), rep.cycle.end(), "rank1"),
+              rep.cycle.end());
+}
+
+TEST(Watchdog, DeadProxyIsBlamed)
+{
+    SKIP_WITHOUT_OBS();
+    Harness h(fab::makeA100_40G(), 1, 4096, obs::WatchdogMode::Report,
+              kThreshold);
+    const int n = h.machine.numGpus();
+    MeshOptions opt;
+    opt.transport = Transport::Port;
+    auto mesh = ChannelMesh::build(h.commPtrs(), h.bufs, h.bufs, opt);
+    // Stop every proxy before any traffic; this run drains the Stop
+    // requests so the loops exit and flip their liveness to dead.
+    mesh.shutdown();
+    h.machine.run();
+
+    runOnAllRanks(h.machine,
+                  [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                      co_await mesh.port(r, (r + 1) % n)
+                          .putWithSignal(ctx, 0, 0, 256);
+                      co_await mesh.port(r, (r - 1 + n) % n).wait(ctx);
+                  });
+
+    ASSERT_FALSE(h.wd().reports().empty());
+    const obs::HangReport& rep = h.wd().reports().front();
+    EXPECT_EQ(rep.rootCauseReason, "dead_proxy");
+    EXPECT_EQ(rep.rootCause.rfind("proxy:", 0), 0u);
+}
+
+TEST(Watchdog, AbortModeThrowsTimeoutOutOfRun)
+{
+    SKIP_WITHOUT_OBS();
+    Harness h(fab::makeA100_40G(), 1, 4096, obs::WatchdogMode::Abort,
+              kThreshold);
+    const int n = h.machine.numGpus();
+    auto mesh = ChannelMesh::build(h.commPtrs(), h.bufs, h.bufs);
+    mesh.mem(1, 0).inboundSemaphore()->dropNextArrivals(1);
+
+    try {
+        runOnAllRanks(h.machine,
+                      [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                          co_await mesh.mem(r, (r + 1) % n)
+                              .putWithSignal(ctx, 0, 0, 256);
+                          co_await mesh.mem(r, (r - 1 + n) % n).wait(ctx);
+                      });
+        FAIL() << "hung run did not abort";
+    } catch (const MscclppError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+        EXPECT_NE(std::string(e.what()).find("rank0"),
+                  std::string::npos);
+    }
+    // The report that triggered the abort is retained.
+    ASSERT_EQ(h.wd().reports().size(), 1u);
+    EXPECT_EQ(h.wd().reports().front().rootCause, "rank0");
+}
+
+TEST(Watchdog, CleanCollectiveRunEmitsNoReports)
+{
+    SKIP_WITHOUT_OBS();
+    // fig08-shape clean run: AllReduce across the small/medium sizes
+    // with a tight 1 ms threshold. A clean run must produce zero
+    // reports AND identical virtual timing to a watchdog-off run —
+    // the watchdog never schedules an event unless something hangs.
+    auto runShapes = [](bool watchdogOn) {
+        gpu::Machine m(fab::makeA100_40G(), 1,
+                       gpu::DataMode::Functional);
+        m.obs().setDumpOnDestroy(false);
+        if (watchdogOn) {
+            m.obs().watchdog().setMode(obs::WatchdogMode::Report);
+            m.obs().watchdog().setThreshold(kThreshold);
+        }
+        CollectiveComm::Options opt;
+        opt.maxBytes = 1 << 20;
+        CollectiveComm comm(m, opt);
+        std::vector<sim::Time> elapsed;
+        for (std::size_t bytes : {1u << 10, 32u << 10, 1u << 20}) {
+            elapsed.push_back(comm.allReduce(bytes, gpu::DataType::F16,
+                                             gpu::ReduceOp::Sum));
+        }
+        EXPECT_TRUE(m.obs().watchdog().reports().empty());
+        return elapsed;
+    };
+    EXPECT_EQ(runShapes(true), runShapes(false));
+}
+
+TEST(Watchdog, DisabledModeRegistersNothing)
+{
+    Harness h(fab::makeA100_40G(), 1, 4096, obs::WatchdogMode::Off,
+              kThreshold);
+    const int n = h.machine.numGpus();
+    auto mesh = ChannelMesh::build(h.commPtrs(), h.bufs, h.bufs);
+    mesh.mem(1, 0).inboundSemaphore()->dropNextArrivals(1);
+    // The hung run still terminates (the queue drains; the idle hook
+    // is a no-op) and nothing was recorded.
+    runOnAllRanks(h.machine,
+                  [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                      co_await mesh.mem(r, (r + 1) % n)
+                          .putWithSignal(ctx, 0, 0, 256);
+                      co_await mesh.mem(r, (r - 1 + n) % n).wait(ctx);
+                  });
+    EXPECT_EQ(h.wd().outstandingWaits(), 0u);
+    EXPECT_TRUE(h.wd().reports().empty());
+}
+
+TEST(Watchdog, HangReportJsonCarriesTheSchema)
+{
+    SKIP_WITHOUT_OBS();
+    Harness h(fab::makeA100_40G(), 1, 4096, obs::WatchdogMode::Report,
+              kThreshold);
+    const int n = h.machine.numGpus();
+    auto mesh = ChannelMesh::build(h.commPtrs(), h.bufs, h.bufs);
+    mesh.mem(3, 2).inboundSemaphore()->dropNextArrivals(1);
+    runOnAllRanks(h.machine,
+                  [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                      co_await mesh.mem(r, (r + 1) % n)
+                          .putWithSignal(ctx, 0, 0, 256);
+                      co_await mesh.mem(r, (r - 1 + n) % n).wait(ctx);
+                  });
+    std::string json = h.wd().toJson();
+    EXPECT_NE(json.find("\"schema\": \"mscclpp.hang\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"classification\": \"straggler\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"party\": \"rank2\""), std::string::npos);
+    EXPECT_NE(json.find("\"reason\": \"missing_signal\""),
+              std::string::npos);
+}
+
+TEST(FlightBaselines, AreSplitPerStepLabel)
+{
+    SKIP_WITHOUT_OBS();
+    // Satellite of the watchdog work: EWMA baselines are per step
+    // label, so two interleaved latency regimes (prefill vs decode)
+    // each converge on their own mean instead of polluting a shared
+    // one — and the legacy single-baseline accessors follow whichever
+    // label was recorded last.
+    obs::FlightRecorder flight;
+    flight.setEnabled(true);
+    flight.setWarmup(2);
+    auto feed = [&](const std::string& label, double ms) {
+        obs::StepAttribution att;
+        att.label = label;
+        att.begin = 0;
+        att.end = sim::msec(ms);
+        att.measured = sim::msec(ms);
+        flight.onStep(att, {}, {});
+    };
+    for (int i = 0; i < 10; ++i) {
+        feed("prefill", 8.0);
+        feed("decode", 1.0);
+    }
+    const obs::LatencyBaseline* prefill = flight.baselineFor("prefill");
+    const obs::LatencyBaseline* decode = flight.baselineFor("decode");
+    ASSERT_NE(prefill, nullptr);
+    ASSERT_NE(decode, nullptr);
+    EXPECT_NEAR(prefill->mean, 8e6, 1e3);
+    EXPECT_NEAR(decode->mean, 1e6, 1e3);
+    EXPECT_EQ(prefill->samples, 10u);
+    EXPECT_EQ(decode->samples, 10u);
+    // Legacy accessors mirror the most recent label.
+    EXPECT_NEAR(flight.ewmaMeanNs(), 1e6, 1e3);
+    EXPECT_EQ(flight.baselineSamples(), 10u);
+    // No anomalies: each regime matched its own baseline. With a
+    // shared baseline every step would have been 3 sigma away.
+    EXPECT_EQ(flight.anomalyCount(), 0u);
+    // An 8 ms step recorded under the decode label IS anomalous.
+    feed("decode", 8.0);
+    EXPECT_EQ(flight.anomalyCount(), 1u);
+    EXPECT_NE(flight.toJson().find("\"baselines\""), std::string::npos);
+}

@@ -1,0 +1,255 @@
+/**
+ * hang_probe: fault-injection harness for the stall watchdog. Runs a
+ * small put/signal/wait ring over real channels, injects one of three
+ * classic distributed-hang shapes, and asserts the watchdog's hang
+ * report blames the right party:
+ *
+ *   --drop-signal rankN   rank N's signal is lost on the wire; the
+ *                         downstream rank stalls and the report must
+ *                         name rank N as the owed signaler
+ *                         (classification: straggler/missing_signal).
+ *   --cycle               two ranks wait before signaling each other;
+ *                         the report must classify a deadlock and list
+ *                         the cycle.
+ *   --dead-proxy          port-channel mesh whose proxies are shut
+ *                         down before any traffic; receivers stall and
+ *                         the report must blame the dead proxy.
+ *   (default)             clean ring; must produce zero reports.
+ *
+ * Usage: hang_probe [options]
+ *   --drop-signal <rankN>   lose rank N's outgoing ring signal
+ *   --cycle                 two-rank cyclic wait
+ *   --dead-proxy            stop port proxies before the traffic
+ *   --threshold-ns <n>      watchdog threshold, virtual ns (default 1e6)
+ *   --no-watchdog           leave MSCCLPP_WATCHDOG off (WILL_FAIL leg)
+ *   --json <file>           write the hang-report JSON here
+ *   --assert-blame <party>  exit 1 unless a report's root cause
+ *                           contains <party>
+ *   --assert-deadlock       exit 1 unless a deadlock (with cycle) is
+ *                           reported
+ *   --assert-clean          exit 1 unless zero reports were emitted
+ *
+ * The simulator is deterministic: the blamed party and classification
+ * are exact assertions, not heuristics.
+ */
+#include "channel/channel_mesh.hpp"
+#include "core/bootstrap.hpp"
+#include "core/communicator.hpp"
+#include "core/errors.hpp"
+#include "gpu/kernel.hpp"
+#include "probe_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mscclpp;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+
+namespace {
+
+/** Launch a one-block kernel per rank running fn(ctx, rank). */
+void
+runOnAllRanks(gpu::Machine& m,
+              const std::function<sim::Task<>(gpu::BlockCtx&, int)>& fn)
+{
+    for (int r = 0; r < m.numGpus(); ++r) {
+        gpu::LaunchConfig cfg;
+        sim::detach(m.scheduler(),
+                    gpu::launchKernel(m.gpu(r), cfg,
+                                      [&fn, r](gpu::BlockCtx& ctx) {
+                                          return fn(ctx, r);
+                                      }));
+    }
+    m.run();
+}
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--drop-signal <rankN>] [--cycle] "
+                 "[--dead-proxy] [--threshold-ns <n>] [--no-watchdog] "
+                 "[--json <file>] [--assert-blame <party>] "
+                 "[--assert-deadlock] [--assert-clean]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int dropRank = -1;
+    bool cycle = false;
+    bool deadProxy = false;
+    bool noWatchdog = false;
+    bool assertDeadlock = false;
+    bool assertClean = false;
+    long long thresholdNs = 1'000'000; // 1 ms of virtual time
+    std::string assertBlame;
+    std::string jsonFile;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--drop-signal" && i + 1 < argc) {
+            dropRank = probe::parseRank(argv[++i]);
+            if (dropRank < 0) {
+                std::fprintf(stderr,
+                             "hang_probe: bad --drop-signal '%s' "
+                             "(want rankN)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--cycle") {
+            cycle = true;
+        } else if (arg == "--dead-proxy") {
+            deadProxy = true;
+        } else if (arg == "--threshold-ns" && i + 1 < argc) {
+            thresholdNs = std::atoll(argv[++i]);
+        } else if (arg == "--no-watchdog") {
+            noWatchdog = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonFile = argv[++i];
+        } else if (arg == "--assert-blame" && i + 1 < argc) {
+            assertBlame = argv[++i];
+        } else if (arg == "--assert-deadlock") {
+            assertDeadlock = true;
+        } else if (arg == "--assert-clean") {
+            assertClean = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    fab::EnvConfig env = fab::makeA100_40G();
+    if (!noWatchdog) {
+        env.watchdogMode = "report";
+        env.watchdogNs = sim::ns(thresholdNs);
+    }
+    gpu::Machine machine(env, 1, gpu::DataMode::Functional);
+    machine.obs().setDumpOnDestroy(false);
+    const int n = machine.numGpus();
+    if (dropRank >= n) {
+        std::fprintf(stderr, "hang_probe: rank%d out of range (%d GPUs)\n",
+                     dropRank, n);
+        return 2;
+    }
+
+    auto boots = createInProcessBootstrap(n);
+    std::vector<std::unique_ptr<Communicator>> comms;
+    std::vector<gpu::DeviceBuffer> bufs;
+    std::vector<Communicator*> commPtrs;
+    for (int r = 0; r < n; ++r) {
+        comms.push_back(std::make_unique<Communicator>(boots[r], machine));
+        bufs.push_back(machine.gpu(r).alloc(1 << 16));
+        commPtrs.push_back(comms.back().get());
+    }
+
+    obs::Watchdog& wd = machine.obs().watchdog();
+
+    if (cycle) {
+        auto mesh = ChannelMesh::build(commPtrs, bufs, bufs);
+        // Both ranks wait *before* signaling: a textbook cyclic wait.
+        wd.pushOp("hang_probe.cycle");
+        runOnAllRanks(machine,
+                      [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                          if (r > 1) {
+                              co_return;
+                          }
+                          co_await mesh.mem(r, 1 - r).wait(ctx);
+                          co_await mesh.mem(r, 1 - r).putWithSignal(
+                              ctx, 0, 0, 256);
+                      });
+        wd.popOp();
+    } else if (deadProxy) {
+        MeshOptions opt;
+        opt.transport = Transport::Port;
+        auto mesh = ChannelMesh::build(commPtrs, bufs, bufs, opt);
+        // Kill every proxy before any traffic: the Stop requests drain
+        // on this run() and the loops exit, flipping their liveness.
+        mesh.shutdown();
+        machine.run();
+        wd.pushOp("hang_probe.dead_proxy");
+        runOnAllRanks(machine,
+                      [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                          co_await mesh.port(r, (r + 1) % n)
+                              .putWithSignal(ctx, 0, 0, 256);
+                          co_await mesh.port(r, (r - 1 + n) % n).wait(ctx);
+                      });
+        wd.popOp();
+    } else {
+        auto mesh = ChannelMesh::build(commPtrs, bufs, bufs);
+        if (dropRank >= 0) {
+            // Lose rank N's ring signal on the wire: its downstream
+            // neighbour never sees the arrival.
+            int victim = (dropRank + 1) % n;
+            mesh.mem(victim, dropRank)
+                .inboundSemaphore()
+                ->dropNextArrivals(1);
+        }
+        wd.pushOp("hang_probe.ring");
+        runOnAllRanks(machine,
+                      [&](gpu::BlockCtx& ctx, int r) -> sim::Task<> {
+                          co_await mesh.mem(r, (r + 1) % n)
+                              .putWithSignal(ctx, 0, 0, 256);
+                          co_await mesh.mem(r, (r - 1 + n) % n).wait(ctx);
+                      });
+        wd.popOp();
+    }
+
+    const std::vector<obs::HangReport>& reports = wd.reports();
+    std::printf("hang_probe: %zu report(s), %llu wait(s) outstanding\n",
+                reports.size(),
+                static_cast<unsigned long long>(wd.outstandingWaits()));
+    for (const obs::HangReport& r : reports) {
+        std::printf("  %s\n", r.summaryLine().c_str());
+    }
+    if (!jsonFile.empty()) {
+        wd.writeJson(jsonFile);
+        std::printf("hang report -> %s\n", jsonFile.c_str());
+    }
+
+    if (assertClean && !reports.empty()) {
+        std::fprintf(stderr,
+                     "assertion failed: expected a clean run, got %zu "
+                     "report(s)\n",
+                     reports.size());
+        return 1;
+    }
+    if (!assertBlame.empty()) {
+        bool hit = false;
+        for (const obs::HangReport& r : reports) {
+            if (r.rootCause.find(assertBlame) != std::string::npos) {
+                hit = true;
+                break;
+            }
+        }
+        if (!hit) {
+            std::fprintf(stderr,
+                         "assertion failed: no report blames '%s'\n",
+                         assertBlame.c_str());
+            return 1;
+        }
+    }
+    if (assertDeadlock) {
+        bool hit = false;
+        for (const obs::HangReport& r : reports) {
+            if (r.classification == "deadlock" && !r.cycle.empty()) {
+                hit = true;
+                break;
+            }
+        }
+        if (!hit) {
+            std::fprintf(stderr,
+                         "assertion failed: no deadlock (with cycle) "
+                         "reported\n");
+            return 1;
+        }
+    }
+    return 0;
+}

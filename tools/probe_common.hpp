@@ -1,0 +1,56 @@
+/**
+ * Shared fault-injection plumbing for the probe tools (serving_probe,
+ * hang_probe): the "name:factor@step" degradation spec and small
+ * CLI-parsing helpers. Header-only — the probes are single-file
+ * executables and this keeps them that way.
+ */
+#ifndef MSCCLPP_TOOLS_PROBE_COMMON_HPP
+#define MSCCLPP_TOOLS_PROBE_COMMON_HPP
+
+#include <cstdlib>
+#include <string>
+
+namespace mscclpp::probe {
+
+/** A scheduled bandwidth fault: scale link by factor at a step. */
+struct Fault
+{
+    std::string link;
+    double factor = 1.0;
+    int atStep = -1; // -1: no injection
+};
+
+/** Parse "name:factor@step", e.g. "gpu3.tx:0.25@60". */
+inline bool
+parseFault(const std::string& spec, Fault& out)
+{
+    std::size_t colon = spec.rfind(':');
+    std::size_t at = spec.rfind('@');
+    if (colon == std::string::npos || at == std::string::npos ||
+        at < colon) {
+        return false;
+    }
+    out.link = spec.substr(0, colon);
+    out.factor = std::atof(spec.substr(colon + 1, at - colon - 1).c_str());
+    out.atStep = std::atoi(spec.substr(at + 1).c_str());
+    return !out.link.empty() && out.factor > 0 && out.atStep >= 0;
+}
+
+/** Parse "rankN" -> N; returns -1 on anything else. */
+inline int
+parseRank(const std::string& spec)
+{
+    if (spec.rfind("rank", 0) != 0 || spec.size() <= 4) {
+        return -1;
+    }
+    for (std::size_t i = 4; i < spec.size(); ++i) {
+        if (spec[i] < '0' || spec[i] > '9') {
+            return -1;
+        }
+    }
+    return std::atoi(spec.c_str() + 4);
+}
+
+} // namespace mscclpp::probe
+
+#endif // MSCCLPP_TOOLS_PROBE_COMMON_HPP

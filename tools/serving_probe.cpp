@@ -22,6 +22,7 @@
  */
 #include "core/errors.hpp"
 #include "inference/llm.hpp"
+#include "probe_common.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,31 +31,10 @@
 using namespace mscclpp;
 namespace fab = mscclpp::fabric;
 namespace gpu = mscclpp::gpu;
+using mscclpp::probe::Fault;
+using mscclpp::probe::parseFault;
 
 namespace {
-
-struct Fault
-{
-    std::string link;
-    double factor = 1.0;
-    int atStep = -1; // -1: no injection
-};
-
-/** Parse "name:factor@step", e.g. "gpu3.tx:0.25@60". */
-bool
-parseFault(const std::string& spec, Fault& out)
-{
-    std::size_t colon = spec.rfind(':');
-    std::size_t at = spec.rfind('@');
-    if (colon == std::string::npos || at == std::string::npos ||
-        at < colon) {
-        return false;
-    }
-    out.link = spec.substr(0, colon);
-    out.factor = std::atof(spec.substr(colon + 1, at - colon - 1).c_str());
-    out.atStep = std::atoi(spec.substr(at + 1).c_str());
-    return !out.link.empty() && out.factor > 0 && out.atStep >= 0;
-}
 
 /** Show that a forgotten endStep() is diagnosed, not silently
  *  swallowed: the next beginStep names the still-open window. */
