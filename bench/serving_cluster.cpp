@@ -1,0 +1,230 @@
+/**
+ * serving_cluster: cluster-scale SLO benchmark. Serves one open-loop
+ * request stream through N replicas under each AllReduce backend and
+ * reports request-level percentiles (TTFT / TPOT / e2e) plus SLO
+ * violation counts — the serving-system view of the paper's claim
+ * that faster collectives move production metrics, not just
+ * microbenchmark latency.
+ *
+ * Usage: serving_cluster [options]
+ *   --smoke            CI-sized run (fewer, shorter requests)
+ *   --json <file>      also write a mscclpp.serving_report v1 JSON
+ *   --replicas <n>     override replica count
+ *   --disagg <n>       prefill-only replicas (disaggregation)
+ *   --backend <b>      nccl | msccl | mscclpp | all (default all)
+ *
+ * MSCCLPP_SEED and the MSCCLPP_SERVING_* environment knobs apply; the
+ * run is bit-deterministic for a given configuration.
+ */
+#include "serving/cluster.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace mscclpp;
+using namespace mscclpp::serving;
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+const char*
+backendSlug(inference::CommBackend b)
+{
+    switch (b) {
+      case inference::CommBackend::Nccl:
+        return "nccl";
+      case inference::CommBackend::Msccl:
+        return "msccl";
+      default:
+        return "mscclpp";
+    }
+}
+
+struct Run
+{
+    inference::CommBackend backend;
+    ServingReport report;
+};
+
+std::string
+toJson(const ServingConfig& cfg, const std::vector<Run>& runs)
+{
+    std::string out = "{\n  \"schema\": \"mscclpp.serving_report\",\n"
+                      "  \"version\": 1,\n";
+    out += "  \"seed\": " + std::to_string(cfg.seed) + ",\n";
+    out += "  \"replicas\": " + std::to_string(cfg.replicas) + ",\n";
+    out += "  \"prefill_replicas\": " +
+           std::to_string(cfg.prefillReplicas) + ",\n";
+    out += "  \"arrivals\": \"" +
+           std::string(toString(cfg.workload.mode)) + "\",\n";
+    out += "  \"runs\": {\n";
+    bool first = true;
+    for (const Run& r : runs) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        const ServingReport& rep = r.report;
+        out += "    \"" + std::string(backendSlug(r.backend)) +
+               "\": {\n";
+        out += "      \"requests\": " + std::to_string(rep.requests) +
+               ",\n";
+        out += "      \"dropped\": " + std::to_string(rep.dropped) +
+               ",\n";
+        out += "      \"prefill_steps\": " +
+               std::to_string(rep.prefillSteps) + ",\n";
+        out += "      \"decode_steps\": " +
+               std::to_string(rep.decodeSteps) + ",\n";
+        out += "      \"preemptions\": " +
+               std::to_string(rep.preemptions) + ",\n";
+        out += "      \"migrations\": " +
+               std::to_string(rep.migrations) + ",\n";
+        out += "      \"ttft_p50_us\": " + num(sim::toUs(rep.ttftP50)) +
+               ",\n";
+        out += "      \"ttft_p90_us\": " + num(sim::toUs(rep.ttftP90)) +
+               ",\n";
+        out += "      \"ttft_p99_us\": " + num(sim::toUs(rep.ttftP99)) +
+               ",\n";
+        out += "      \"tpot_p50_us\": " + num(sim::toUs(rep.tpotP50)) +
+               ",\n";
+        out += "      \"tpot_p90_us\": " + num(sim::toUs(rep.tpotP90)) +
+               ",\n";
+        out += "      \"tpot_p99_us\": " + num(sim::toUs(rep.tpotP99)) +
+               ",\n";
+        out += "      \"e2e_p50_us\": " + num(sim::toUs(rep.e2eP50)) +
+               ",\n";
+        out += "      \"e2e_p99_us\": " + num(sim::toUs(rep.e2eP99)) +
+               ",\n";
+        out += "      \"slo_ttft_violations\": " +
+               std::to_string(rep.sloTtftViolations) + ",\n";
+        out += "      \"slo_tpot_violations\": " +
+               std::to_string(rep.sloTpotViolations) + ",\n";
+        out += "      \"throughput_tps\": " + num(rep.throughputTps) +
+               ",\n";
+        out += "      \"makespan_ms\": " + num(sim::toMs(rep.makespan)) +
+               "\n    }";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string jsonPath;
+    std::string backendArg = "all";
+    int replicas = -1;
+    int disagg = -1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg == "--replicas" && i + 1 < argc) {
+            replicas = std::atoi(argv[++i]);
+        } else if (arg == "--disagg" && i + 1 < argc) {
+            disagg = std::atoi(argv[++i]);
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backendArg = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--json <file>] "
+                         "[--replicas <n>] [--disagg <n>] "
+                         "[--backend nccl|msccl|mscclpp|all]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    ServingConfig cfg = ServingConfig::fromEnv();
+    if (cfg.workload.requests == 128 && smoke) {
+        cfg.workload.requests = 24;
+        cfg.workload.ratePerSec = 6.0;
+        cfg.workload.mix = {{1.0, 128, 512, 16, 48}};
+    } else if (cfg.workload.requests == 128) {
+        cfg.workload.requests = 96;
+        cfg.workload.ratePerSec = 6.0;
+    }
+    if (replicas > 0) {
+        cfg.replicas = replicas;
+    }
+    if (disagg >= 0) {
+        cfg.prefillReplicas = disagg;
+    }
+    if (cfg.replicas == 1 && replicas < 0) {
+        cfg.replicas = 2; // cluster bench: two replicas by default
+    }
+    cfg.validate();
+
+    std::vector<inference::CommBackend> backends;
+    if (backendArg == "all") {
+        backends = {inference::CommBackend::Nccl,
+                    inference::CommBackend::Msccl,
+                    inference::CommBackend::Mscclpp};
+    } else if (backendArg == "nccl") {
+        backends = {inference::CommBackend::Nccl};
+    } else if (backendArg == "msccl") {
+        backends = {inference::CommBackend::Msccl};
+    } else if (backendArg == "mscclpp") {
+        backends = {inference::CommBackend::Mscclpp};
+    } else {
+        std::fprintf(stderr, "serving_cluster: unknown backend '%s'\n",
+                     backendArg.c_str());
+        return 2;
+    }
+
+    std::printf("serving_cluster: %d replica(s) (%d prefill-only), %d "
+                "requests, %s arrivals @ %.1f req/s, seed %llu\n\n",
+                cfg.replicas, cfg.prefillReplicas,
+                cfg.workload.requests, toString(cfg.workload.mode),
+                cfg.workload.ratePerSec,
+                static_cast<unsigned long long>(cfg.seed));
+
+    std::vector<Run> runs;
+    for (inference::CommBackend backend : backends) {
+        ServingConfig c = cfg;
+        c.backend = backend;
+        ServingCluster cluster(c);
+        runs.push_back({backend, cluster.run()});
+        std::printf("--- %s ---\n%s\n\n", toString(backend),
+                    runs.back().report.summary().c_str());
+    }
+
+    if (runs.size() > 1) {
+        const ServingReport& first = runs.front().report;
+        const ServingReport& last = runs.back().report;
+        if (last.tpotP50 > 0) {
+            std::printf("TPOT p50 %s vs %s: %+.1f%%\n",
+                        toString(runs.front().backend),
+                        toString(runs.back().backend),
+                        100.0 * (double(first.tpotP50) /
+                                     double(last.tpotP50) -
+                                 1.0));
+        }
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream f(jsonPath);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        f << toJson(cfg, runs);
+        std::printf("report -> %s\n", jsonPath.c_str());
+    }
+    return 0;
+}

@@ -62,6 +62,7 @@ makeA100_40G()
     c.ibAtomicLatency = us(1.7);
 
     c.hbmBwGBps = 1555.0;
+    c.hbmCapacityGB = 40.0;
     c.fp16Tflops = 312.0;
     c.perThreadCopyGBps = 0.45;
     c.threadCopyPeakEff = 227.0 / 300.0;  // Section 2.2.2 anchor
@@ -77,6 +78,7 @@ makeA100_80G()
     c.name = "A100-80G";
     c.gpuName = "NVIDIA A100 (80G)";
     c.hbmBwGBps = 2039.0;
+    c.hbmCapacityGB = 80.0;
     return c;
 }
 
@@ -103,6 +105,7 @@ makeH100()
     c.ibAtomicLatency = us(1.5);
 
     c.hbmBwGBps = 3350.0;
+    c.hbmCapacityGB = 80.0;
     c.fp16Tflops = 990.0;
     c.perThreadCopyGBps = 0.6;
     c.threadCopyPeakEff = 0.65;     // thread copy scales worse on NVLink4
@@ -135,6 +138,7 @@ makeMI300x()
     c.ibAtomicLatency = us(1.6);
 
     c.hbmBwGBps = 5300.0;
+    c.hbmCapacityGB = 192.0;
     c.fp16Tflops = 1307.0;
     c.perThreadCopyGBps = 0.35;
     c.threadCopyPeakEff = 0.88;     // single xGMI link is easy to saturate

@@ -53,6 +53,7 @@ struct EnvConfig
 
     // ---- GPU device ------------------------------------------------------
     double hbmBwGBps = 0.0;         ///< device memory bandwidth
+    double hbmCapacityGB = 0.0;     ///< device memory size (KV budget)
     double fp16Tflops = 0.0;        ///< dense fp16 peak
     sim::Time kernelLaunch = 0;     ///< stream kernel launch latency
     sim::Time graphLaunch = 0;      ///< CUDA-graph replay launch latency

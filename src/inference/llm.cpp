@@ -24,6 +24,14 @@ TransformerConfig::totalParams() const
            2ull * vocab * hidden; // embedding + lm head
 }
 
+std::uint64_t
+TransformerConfig::kvBytesPerToken(int tp) const
+{
+    const std::uint64_t hKv =
+        static_cast<std::uint64_t>(hidden) * kvHeads / heads;
+    return 2ull * layers * hKv * bytesPerParam / tp;
+}
+
 TransformerConfig
 makeLlama2_70b()
 {
@@ -140,6 +148,25 @@ InferenceSim::decodeStep(int batch, int seqlen, CommBackend backend)
     if (batch < 1 || seqlen < 0) {
         throw Error(ErrorCode::InvalidUsage, "bad batch configuration");
     }
+    return decodeStepMixed(std::vector<int>(batch, seqlen), backend);
+}
+
+InferenceSim::Breakdown
+InferenceSim::decodeStepMixed(const std::vector<int>& contextLens,
+                              CommBackend backend)
+{
+    const int batch = static_cast<int>(contextLens.size());
+    if (batch < 1) {
+        throw Error(ErrorCode::InvalidUsage, "bad batch configuration");
+    }
+    std::uint64_t kvRead = 0;
+    for (int len : contextLens) {
+        if (len < 0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "bad batch configuration");
+        }
+        kvRead += static_cast<std::uint64_t>(len);
+    }
     // Step-profiler window over the whole decode step: an explicit
     // outer window (a serving loop's own beginStep) wins; otherwise
     // this opens one per step, so flight recording works out of the
@@ -150,9 +177,9 @@ InferenceSim::decodeStep(int batch, int seqlen, CommBackend backend)
         machine_->scheduler().now());
     const TransformerConfig& m = config_.model;
     Breakdown b;
-    // One new token per sequence; attention reads the whole context.
+    // One new token per sequence; attention reads each sequence's own
+    // context.
     std::uint64_t tokens = batch;
-    std::uint64_t kvRead = std::uint64_t(batch) * seqlen;
     sim::Time perLayer = layerComputeTime(tokens, kvRead);
 
     std::size_t arBytes = std::size_t(batch) * m.hidden * 2; // fp16

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace mscclpp::inference {
 
@@ -30,6 +31,10 @@ struct TransformerConfig
 
     /** Total parameters incl. embeddings (~70e9 for the default). */
     std::uint64_t totalParams() const;
+
+    /** KV-cache bytes one context token costs per GPU under @p tp -way
+     *  tensor parallelism (K + V, every layer, GQA heads). */
+    std::uint64_t kvBytesPerToken(int tp) const;
 };
 
 TransformerConfig makeLlama2_70b();
@@ -88,6 +93,14 @@ class InferenceSim
      * token against a context of @p seqlen tokens.
      */
     Breakdown decodeStep(int batch, int seqlen, CommBackend backend);
+
+    /**
+     * One decode step over a continuous batch: sequence i produces
+     * one token against its own context of @p contextLens[i] tokens.
+     * decodeStep(b, s) == decodeStepMixed({s, s, ... b times}, s).
+     */
+    Breakdown decodeStepMixed(const std::vector<int>& contextLens,
+                              CommBackend backend);
 
     /** Prefill of @p batch sequences of @p seqlen prompt tokens. */
     Breakdown prefill(int batch, int seqlen, CommBackend backend);

@@ -241,6 +241,17 @@ FlightRecorder::baselineSamples() const
     return b ? b->samples : 0;
 }
 
+const FlightAnomaly*
+FlightRecorder::firstAnomalyAtOrAfter(std::uint64_t stepIndex) const
+{
+    for (const FlightAnomaly& a : anomalies_) {
+        if (a.digest.index >= stepIndex) {
+            return &a;
+        }
+    }
+    return nullptr;
+}
+
 std::vector<StepDigest>
 FlightRecorder::ring() const
 {

@@ -139,6 +139,14 @@ class FlightRecorder
         return anomalies_.empty() ? nullptr : &anomalies_.back();
     }
 
+    /**
+     * Earliest anomaly whose step index is >= @p stepIndex, or
+     * nullptr — the online-detection question every fault-injection
+     * harness asks ("was the fault at step S flagged, and how late?").
+     */
+    const FlightAnomaly* firstAnomalyAtOrAfter(
+        std::uint64_t stepIndex) const;
+
     /** Baseline for @p label, or nullptr before its first sample. */
     const LatencyBaseline* baselineFor(const std::string& label) const;
     /** All per-label baselines (label -> baseline). */

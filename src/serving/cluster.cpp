@@ -1,0 +1,150 @@
+#include "serving/cluster.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+
+namespace mscclpp::serving {
+
+ServingCluster::ServingCluster(ServingConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.validate();
+    workload_ = generateWorkload(cfg_.workload, cfg_.seed);
+    stats_.resize(workload_.size());
+    for (const Request& r : workload_) {
+        RequestStats& s = stats_.at(r.id);
+        s.id = r.id;
+        s.arrival = r.arrival;
+        s.promptLen = r.promptLen;
+        s.outputLen = r.outputLen;
+    }
+    for (int i = 0; i < cfg_.replicas; ++i) {
+        ReplicaRole role = ReplicaRole::Unified;
+        if (cfg_.prefillReplicas > 0) {
+            role = i < cfg_.prefillReplicas ? ReplicaRole::Prefill
+                                            : ReplicaRole::Decode;
+        }
+        replicas_.push_back(
+            std::make_unique<Replica>(cfg_, i, role));
+    }
+    faultFired_.assign(cfg_.faults.size(), false);
+}
+
+int
+ServingCluster::pickLeastLoaded(bool prefillCapable) const
+{
+    int best = -1;
+    int bestLoad = 0;
+    for (int i = 0; i < numReplicas(); ++i) {
+        const Replica& r = *replicas_[i];
+        if (prefillCapable && r.role() == ReplicaRole::Decode) {
+            continue;
+        }
+        if (!prefillCapable && r.role() == ReplicaRole::Prefill) {
+            continue;
+        }
+        if (best < 0 || r.load() < bestLoad) {
+            best = i;
+            bestLoad = r.load();
+        }
+    }
+    return best;
+}
+
+void
+ServingCluster::dispatchArrival(const Request& r)
+{
+    SeqState s;
+    s.reqId = r.id;
+    s.promptLen = r.promptLen;
+    s.outputLen = r.outputLen;
+    s.contextLen = r.promptLen;
+    s.readyAt = r.arrival;
+    replicas_.at(pickLeastLoaded(true))->enqueuePrefill(s);
+}
+
+void
+ServingCluster::routeOutcome(int from, Replica::StepOutcome out)
+{
+    const int tp = cfg_.inference.tensorParallel;
+    for (SeqState& s : out.handoffPrefills) {
+        // Each GPU streams its KV shard over its own NIC in parallel,
+        // so the transfer is paced by the per-GPU shard.
+        const std::uint64_t shard =
+            cfg_.inference.model.kvBytesPerToken(tp) *
+            static_cast<std::uint64_t>(s.contextLen);
+        const sim::Time xfer =
+            sim::transferTime(shard, cfg_.env.nicBwGBps) +
+            cfg_.env.nicLatency;
+        s.readyAt += xfer;
+        replicas_.at(pickLeastLoaded(false))->enqueueDecode(s);
+        migrations_++;
+        replicas_[from]
+            ->machine()
+            .obs()
+            .metrics()
+            .counter("serving.kv_migrations")
+            .add();
+    }
+    for (SeqState& s : out.handoffPreempted) {
+        // Recompute-style preemption discards KV: nothing to migrate.
+        replicas_.at(pickLeastLoaded(true))->enqueuePrefill(s);
+    }
+}
+
+void
+ServingCluster::injectFaultsBefore(int replicaIdx)
+{
+    for (std::size_t j = 0; j < cfg_.faults.size(); ++j) {
+        const FaultSpec& f = cfg_.faults[j];
+        if (faultFired_[j] || f.replica != replicaIdx ||
+            replicas_[replicaIdx]->stepsDone() < f.atStep) {
+            continue;
+        }
+        replicas_[replicaIdx]->machine().fabric().degradeLink(f.link,
+                                                              f.factor);
+        faultFired_[j] = true;
+    }
+}
+
+ServingReport
+ServingCluster::run()
+{
+    std::size_t nextArrival = 0;
+    for (;;) {
+        sim::Time tAct = sim::kTimeMax;
+        int idx = -1;
+        for (int i = 0; i < numReplicas(); ++i) {
+            const sim::Time t = replicas_[i]->nextActionTime();
+            if (t < tAct) {
+                tAct = t;
+                idx = i;
+            }
+        }
+        // Open loop: the next arrival lands regardless of cluster
+        // state; it only goes first when it precedes all step work.
+        if (nextArrival < workload_.size() &&
+            workload_[nextArrival].arrival <= tAct) {
+            dispatchArrival(workload_[nextArrival++]);
+            continue;
+        }
+        if (idx < 0) {
+            break; // no arrivals left, every replica drained
+        }
+        injectFaultsBefore(idx);
+        routeOutcome(idx, replicas_[idx]->step(stats_));
+    }
+
+    ServingReport rep =
+        summarize(stats_, cfg_.sloTtft, cfg_.sloTpot);
+    rep.preemptions = 0; // authoritative: includes dropped requests
+    for (const auto& r : replicas_) {
+        rep.prefillSteps += r->prefillSteps();
+        rep.decodeSteps += r->decodeSteps();
+        rep.preemptions += r->preemptions();
+    }
+    rep.migrations = migrations_;
+    return rep;
+}
+
+} // namespace mscclpp::serving

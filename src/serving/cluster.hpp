@@ -1,0 +1,66 @@
+#ifndef MSCCLPP_SERVING_CLUSTER_HPP
+#define MSCCLPP_SERVING_CLUSTER_HPP
+
+#include "serving/config.hpp"
+#include "serving/replica.hpp"
+#include "serving/stats.hpp"
+#include "serving/workload.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace mscclpp::serving {
+
+/**
+ * The cluster-scale serving simulator (DESIGN.md Section 12): N
+ * replicas, each a full simulated node, driven by one open-loop
+ * request stream. Arrivals are independent of completions (requests
+ * keep landing while the cluster is saturated — queueing shows up in
+ * TTFT, exactly the regime SLO percentiles are about); dispatch is
+ * least-loaded; per-replica continuous batching recomposes the batch
+ * every step. With cfg.prefillReplicas > 0 the first N replicas run
+ * prompts only and migrate KV over the NIC to decode replicas.
+ *
+ * All randomness derives from cfg.seed, and replicas advance their
+ * own virtual timelines deterministically — two runs of the same
+ * config produce bit-identical reports.
+ */
+class ServingCluster
+{
+  public:
+    explicit ServingCluster(ServingConfig cfg);
+
+    const ServingConfig& config() const { return cfg_; }
+    int numReplicas() const { return static_cast<int>(replicas_.size()); }
+    Replica& replica(int i) { return *replicas_.at(i); }
+
+    /** The generated (or trace-parsed) request stream, arrival order. */
+    const std::vector<Request>& workload() const { return workload_; }
+
+    /** Per-request lifecycle records (valid after run()). */
+    const std::vector<RequestStats>& requests() const { return stats_; }
+
+    /**
+     * Serve the whole workload to completion and aggregate the
+     * report. Faults in cfg.faults fire when their replica reaches
+     * the given step count (Fabric::degradeLink mid-run).
+     */
+    ServingReport run();
+
+  private:
+    void dispatchArrival(const Request& r);
+    void routeOutcome(int from, Replica::StepOutcome out);
+    void injectFaultsBefore(int replicaIdx);
+    int pickLeastLoaded(bool prefillCapable) const;
+
+    ServingConfig cfg_;
+    std::vector<Request> workload_;
+    std::vector<std::unique_ptr<Replica>> replicas_;
+    std::vector<RequestStats> stats_;
+    std::vector<bool> faultFired_;
+    std::uint64_t migrations_ = 0;
+};
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_CLUSTER_HPP

@@ -1,0 +1,169 @@
+#include "serving/config.hpp"
+
+#include "core/errors.hpp"
+
+#include <cstdlib>
+
+namespace mscclpp::serving {
+
+namespace {
+
+bool
+readU64(const char* name, std::uint64_t& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return false;
+    }
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(name) + "='" + v +
+                        "' is not an unsigned integer");
+    }
+    out = parsed;
+    return true;
+}
+
+bool
+readInt(const char* name, int& out, int lo)
+{
+    std::uint64_t v = 0;
+    if (!readU64(name, v)) {
+        return false;
+    }
+    if (v < static_cast<std::uint64_t>(lo) || v > 1'000'000'000ull) {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(name) + " out of range");
+    }
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+readDouble(const char* name, double& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return false;
+    }
+    out = std::atof(v);
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+ServingConfig::effectiveKvTokens() const
+{
+    if (kvTokens > 0) {
+        return kvTokens;
+    }
+    const inference::TransformerConfig& m = inference.model;
+    const int tp = inference.tensorParallel;
+    const double weightShard =
+        static_cast<double>(m.totalParams()) * m.bytesPerParam / tp;
+    const double hbm = env.hbmCapacityGB * 1e9;
+    const double forKv = (hbm - weightShard) * kvMemFraction;
+    const double perToken =
+        static_cast<double>(m.kvBytesPerToken(tp));
+    if (hbm <= 0.0 || forKv <= perToken) {
+        // Environments without a declared HBM size get a generous
+        // default so capacity never silently becomes the bottleneck.
+        return 1u << 20;
+    }
+    return static_cast<std::uint64_t>(forKv / perToken);
+}
+
+ServingConfig
+ServingConfig::fromEnv()
+{
+    ServingConfig cfg;
+    readU64("MSCCLPP_SEED", cfg.seed);
+    readInt("MSCCLPP_SERVING_REPLICAS", cfg.replicas, 1);
+    readInt("MSCCLPP_SERVING_DISAGG", cfg.prefillReplicas, 0);
+    readInt("MSCCLPP_SERVING_MAX_BATCH", cfg.maxBatch, 1);
+    readInt("MSCCLPP_SERVING_REQUESTS", cfg.workload.requests, 1);
+    readU64("MSCCLPP_SERVING_KV_TOKENS", cfg.kvTokens);
+    double rate = 0.0;
+    if (readDouble("MSCCLPP_SERVING_RATE", rate)) {
+        if (rate <= 0.0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_SERVING_RATE must be positive req/s");
+        }
+        cfg.workload.ratePerSec = rate;
+    }
+    const char* mode = std::getenv("MSCCLPP_SERVING_ARRIVALS");
+    if (mode != nullptr && *mode != '\0') {
+        std::string s(mode);
+        if (s == "poisson") {
+            cfg.workload.mode = ArrivalMode::Poisson;
+        } else if (s == "bursty") {
+            cfg.workload.mode = ArrivalMode::Bursty;
+        } else if (s == "trace") {
+            cfg.workload.mode = ArrivalMode::Trace;
+        } else {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_SERVING_ARRIVALS='" + s +
+                            "' is not a mode "
+                            "(use poisson/bursty/trace)");
+        }
+    }
+    const char* trace = std::getenv("MSCCLPP_SERVING_TRACE");
+    if (trace != nullptr && *trace != '\0') {
+        cfg.workload.trace = trace;
+    }
+    double ms = 0.0;
+    if (readDouble("MSCCLPP_SERVING_SLO_TTFT_MS", ms)) {
+        if (ms <= 0.0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_SERVING_SLO_TTFT_MS must be positive");
+        }
+        cfg.sloTtft = sim::msec(ms);
+    }
+    if (readDouble("MSCCLPP_SERVING_SLO_TPOT_MS", ms)) {
+        if (ms <= 0.0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_SERVING_SLO_TPOT_MS must be positive");
+        }
+        cfg.sloTpot = sim::msec(ms);
+    }
+    cfg.validate();
+    return cfg;
+}
+
+void
+ServingConfig::validate() const
+{
+    if (replicas < 1) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "serving needs at least one replica");
+    }
+    if (prefillReplicas < 0 || prefillReplicas >= replicas) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "prefill replicas must leave at least one decode "
+                    "replica (0 disables disaggregation)");
+    }
+    if (maxBatch < 1 || maxPrefillSeqs < 1) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "batch limits must be at least 1");
+    }
+    if (kvMemFraction <= 0.0 || kvMemFraction > 1.0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "kvMemFraction must be in (0, 1]");
+    }
+    if (sloTtft == 0 || sloTpot == 0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SLO thresholds must be positive");
+    }
+    for (const FaultSpec& f : faults) {
+        if (f.replica < 0 || f.replica >= replicas || f.link.empty() ||
+            f.factor <= 0.0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "bad fault spec (replica/link/factor)");
+        }
+    }
+}
+
+} // namespace mscclpp::serving

@@ -1,0 +1,79 @@
+#ifndef MSCCLPP_SERVING_CONFIG_HPP
+#define MSCCLPP_SERVING_CONFIG_HPP
+
+#include "fabric/env.hpp"
+#include "inference/llm.hpp"
+#include "serving/workload.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mscclpp::serving {
+
+/** A scheduled mid-run bandwidth fault on one replica's fabric
+ *  (Fabric::degradeLink at that replica's Nth serving step). */
+struct FaultSpec
+{
+    int replica = 0;
+    std::string link;
+    double factor = 1.0;
+    std::uint64_t atStep = 0;
+};
+
+/**
+ * Cluster-scale serving configuration: N single-node tensor-parallel
+ * replicas (one simulated Machine each), an open-loop request stream,
+ * continuous batching, a KV capacity model and SLO thresholds.
+ * Defaults model Llama2-70b TP=8 replicas on A100-80G nodes.
+ *
+ * Every knob has an MSCCLPP_SERVING_* environment override (see
+ * fromEnv and the README table); all randomness flows from `seed`
+ * (MSCCLPP_SEED), so runs are bit-identical given equal configs.
+ */
+struct ServingConfig
+{
+    fabric::EnvConfig env = fabric::makeA100_80G();
+    inference::InferenceConfig inference;
+    inference::CommBackend backend = inference::CommBackend::Mscclpp;
+    WorkloadConfig workload;
+
+    std::uint64_t seed = 42; ///< MSCCLPP_SEED
+
+    int replicas = 1;         ///< MSCCLPP_SERVING_REPLICAS
+    /// First N replicas only prefill; the rest only decode, with KV
+    /// migrated over the NIC. 0 = unified continuous batching.
+    int prefillReplicas = 0;  ///< MSCCLPP_SERVING_DISAGG
+    int maxBatch = 16;        ///< MSCCLPP_SERVING_MAX_BATCH
+    int maxPrefillSeqs = 4;   ///< prefills admitted per prefill step
+
+    /// Per-replica KV capacity in tokens; 0 derives it from the
+    /// environment's HBM size minus the weight shard
+    /// (MSCCLPP_SERVING_KV_TOKENS).
+    std::uint64_t kvTokens = 0;
+    /// Fraction of post-weights HBM given to KV when deriving.
+    double kvMemFraction = 0.9;
+
+    sim::Time sloTtft = sim::msec(2000); ///< MSCCLPP_SERVING_SLO_TTFT_MS
+    sim::Time sloTpot = sim::msec(200);  ///< MSCCLPP_SERVING_SLO_TPOT_MS
+
+    std::vector<FaultSpec> faults; ///< mid-run degradations to inject
+
+    /** Effective per-replica KV capacity in tokens. */
+    std::uint64_t effectiveKvTokens() const;
+
+    /**
+     * Defaults with MSCCLPP_SEED and MSCCLPP_SERVING_* overrides
+     * applied. Throws Error(InvalidUsage) on malformed values, like
+     * the obs/tuner env gates.
+     */
+    static ServingConfig fromEnv();
+
+    /** Validate invariants (counts, roles, SLOs); throws
+     *  Error(InvalidUsage) naming the bad knob. */
+    void validate() const;
+};
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_CONFIG_HPP

@@ -1,0 +1,63 @@
+#ifndef MSCCLPP_SERVING_KVCACHE_HPP
+#define MSCCLPP_SERVING_KVCACHE_HPP
+
+#include <cstdint>
+
+namespace mscclpp::serving {
+
+/**
+ * Per-replica KV-cache capacity model at token granularity (a
+ * simplified vLLM block allocator: blocks of one token). Admission
+ * reserves a sequence's current context; every decoded token grows
+ * the reservation by one. When a grow fails the replica preempts a
+ * victim sequence (recompute-style eviction, tracked here as a
+ * release) — so tail latency degrades under memory pressure instead
+ * of the simulator wedging.
+ */
+class KvCache
+{
+  public:
+    explicit KvCache(std::uint64_t capacityTokens)
+        : capacity_(capacityTokens)
+    {
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t free() const { return capacity_ - used_; }
+    std::uint64_t peakUsed() const { return peak_; }
+
+    bool canReserve(std::uint64_t tokens) const
+    {
+        return tokens <= free();
+    }
+
+    /** Reserve @p tokens; @return false (state unchanged) on
+     *  insufficient capacity. */
+    bool reserve(std::uint64_t tokens)
+    {
+        if (!canReserve(tokens)) {
+            return false;
+        }
+        used_ += tokens;
+        if (used_ > peak_) {
+            peak_ = used_;
+        }
+        return true;
+    }
+
+    /** Release @p tokens (sequence retired or preempted). */
+    void release(std::uint64_t tokens)
+    {
+        used_ = tokens > used_ ? 0 : used_ - tokens;
+    }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::uint64_t peak_ = 0;
+};
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_KVCACHE_HPP

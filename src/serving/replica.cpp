@@ -1,0 +1,364 @@
+#include "serving/replica.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mscclpp::serving {
+
+const char*
+toString(ReplicaRole r)
+{
+    switch (r) {
+      case ReplicaRole::Unified:
+        return "unified";
+      case ReplicaRole::Prefill:
+        return "prefill";
+      case ReplicaRole::Decode:
+        return "decode";
+    }
+    return "?";
+}
+
+Replica::Replica(const ServingConfig& cfg, int id, ReplicaRole role)
+    : cfg_(&cfg), id_(id), role_(role), kv_(cfg.effectiveKvTokens())
+{
+    machine_ = std::make_unique<gpu::Machine>(cfg.env, /*numNodes=*/1,
+                                              gpu::DataMode::Timed);
+    // N replicas must not clobber one artifact file when tracing is
+    // on: prefix every dump path with the replica id.
+    obs::ObsContext& obs = machine_->obs();
+    std::string tag = "r";
+    tag += std::to_string(id);
+    tag += '.';
+    obs.setTraceFile(tag + obs.traceFile());
+    obs.setMetricsFile(tag + obs.metricsFile());
+    obs.setFlightFile(tag + obs.flightFile());
+    obs.setWatchdogFile(tag + obs.watchdogFile());
+    sim_ = std::make_unique<inference::InferenceSim>(*machine_,
+                                                     cfg.inference);
+}
+
+int
+Replica::load() const
+{
+    return static_cast<int>(pendingPrefill_.size() +
+                            pendingDecode_.size() + running_.size());
+}
+
+void
+Replica::enqueuePrefill(SeqState seq)
+{
+    seq.reserved = 0;
+    pendingPrefill_.push_back(seq);
+}
+
+void
+Replica::enqueueDecode(SeqState seq)
+{
+    seq.reserved = 0;
+    pendingDecode_.push_back(seq);
+}
+
+sim::Time
+Replica::nextActionTime() const
+{
+    if (!running_.empty()) {
+        return clock_;
+    }
+    sim::Time t = sim::kTimeMax;
+    for (const SeqState& s : pendingPrefill_) {
+        t = std::min(t, s.readyAt);
+    }
+    for (const SeqState& s : pendingDecode_) {
+        t = std::min(t, s.readyAt);
+    }
+    // Work that queued while the replica was busy starts at the clock.
+    return t == sim::kTimeMax ? t : std::max(t, clock_);
+}
+
+void
+Replica::retire(const SeqState& seq, sim::Time when,
+                std::vector<RequestStats>& stats)
+{
+    kv_.release(seq.reserved);
+    RequestStats& r = stats.at(seq.reqId);
+    r.completed = when;
+    r.replica = id_;
+}
+
+namespace {
+
+/** A request that can never complete even on an otherwise-empty
+ *  replica: its final context would exceed the KV capacity. */
+bool
+canNeverFit(const SeqState& s, const KvCache& kv)
+{
+    const std::uint64_t finalCtx =
+        static_cast<std::uint64_t>(s.contextLen) +
+        static_cast<std::uint64_t>(std::max(0, s.outputLen - s.generated));
+    return finalCtx > kv.capacity();
+}
+
+} // namespace
+
+bool
+Replica::tryPrefill(sim::Time start, std::vector<RequestStats>& stats,
+                    StepOutcome& out)
+{
+    // Admission: visible pending prompts, prefill-first (the vLLM
+    // default policy), bounded by the per-step prefill cap, the batch
+    // cap and KV capacity. Admission reserves the current context
+    // only; decode growth claims one token per step and preempts on
+    // pressure (recompute-style eviction, vLLM semantics).
+    std::vector<SeqState> batch;
+    std::deque<SeqState> keep;
+    while (!pendingPrefill_.empty()) {
+        SeqState s = pendingPrefill_.front();
+        pendingPrefill_.pop_front();
+        const bool visible = s.readyAt <= start;
+        const bool haveRoom =
+            static_cast<int>(batch.size()) < cfg_->maxPrefillSeqs &&
+            static_cast<int>(batch.size() + running_.size()) <
+                cfg_->maxBatch;
+        if (!visible || !haveRoom) {
+            keep.push_back(s);
+            continue;
+        }
+        if (canNeverFit(s, kv_)) {
+            stats.at(s.reqId).dropped = true;
+            stats.at(s.reqId).replica = id_;
+            continue;
+        }
+        if (!kv_.reserve(static_cast<std::uint64_t>(s.contextLen))) {
+            keep.push_back(s); // retry once running work retires
+            continue;
+        }
+        s.reserved = static_cast<std::uint64_t>(s.contextLen);
+        batch.push_back(s);
+    }
+    pendingPrefill_ = std::move(keep);
+    if (batch.empty()) {
+        return false;
+    }
+
+    int maxLen = 0;
+    for (const SeqState& s : batch) {
+        maxLen = std::max(maxLen, s.contextLen);
+    }
+    const int k = static_cast<int>(batch.size());
+
+    machine_->scheduler().advanceTo(start);
+    obs::StepWindow& win = machine_->obs().window();
+    const bool opened = win.beginStepIfIdle(
+        "serve.prefill.b" + std::to_string(k), start);
+    // Padded prefill: short prompts ride along to the longest one.
+    inference::InferenceSim::Breakdown b =
+        sim_->prefill(k, maxLen, cfg_->backend);
+    const sim::Time end = start + b.total();
+    if (opened) {
+        win.endStep(machine_->scheduler().now(), b.total(), b.compute);
+    }
+
+    obs::MetricsRegistry& m = machine_->obs().metrics();
+    m.counter("serving.prefill_steps").add();
+    m.summary("serving.prefill_batch").add(k);
+    m.gauge("serving.kv_used_tokens")
+        .set(static_cast<double>(kv_.used()));
+
+    for (SeqState& s : batch) {
+        RequestStats& r = stats.at(s.reqId);
+        if (r.firstToken == 0) {
+            r.firstToken = end; // preserved across re-prefills
+        }
+        if (s.generated == 0) {
+            s.generated = 1; // prefill emits the first token
+        }
+        if (s.generated >= s.outputLen) {
+            retire(s, end, stats);
+            continue;
+        }
+        s.readyAt = end;
+        if (role_ == ReplicaRole::Prefill) {
+            kv_.release(s.reserved);
+            s.reserved = 0;
+            out.handoffPrefills.push_back(s);
+        } else {
+            running_.push_back(s);
+        }
+    }
+    prefillSteps_++;
+    clock_ = end;
+    return true;
+}
+
+void
+Replica::admitDecodes(sim::Time start, std::vector<RequestStats>& stats)
+{
+    std::deque<SeqState> keep;
+    while (!pendingDecode_.empty()) {
+        SeqState s = pendingDecode_.front();
+        pendingDecode_.pop_front();
+        const bool visible = s.readyAt <= start;
+        const bool haveRoom =
+            static_cast<int>(running_.size()) < cfg_->maxBatch;
+        if (!visible || !haveRoom) {
+            keep.push_back(s);
+            continue;
+        }
+        if (canNeverFit(s, kv_)) {
+            stats.at(s.reqId).dropped = true;
+            stats.at(s.reqId).replica = id_;
+            continue;
+        }
+        if (!kv_.reserve(static_cast<std::uint64_t>(s.contextLen))) {
+            keep.push_back(s);
+            continue;
+        }
+        s.reserved = static_cast<std::uint64_t>(s.contextLen);
+        running_.push_back(s);
+    }
+    pendingDecode_ = std::move(keep);
+}
+
+void
+Replica::preempt(SeqState victim, sim::Time when, StepOutcome& out,
+                 std::vector<RequestStats>& stats)
+{
+    kv_.release(victim.reserved);
+    victim.reserved = 0;
+    // Recompute-style: the whole context (prompt + tokens generated so
+    // far) re-prefills; progress and firstToken are preserved.
+    victim.contextLen = victim.promptLen + victim.generated;
+    victim.readyAt = when;
+    preemptions_++;
+    stats.at(victim.reqId).preemptions++;
+    machine_->obs().metrics().counter("serving.preemptions").add();
+    if (role_ == ReplicaRole::Decode) {
+        out.handoffPreempted.push_back(victim);
+    } else {
+        pendingPrefill_.push_back(victim);
+    }
+}
+
+void
+Replica::runDecode(sim::Time start, std::vector<RequestStats>& stats,
+                   StepOutcome& out)
+{
+    // Grow every running sequence's reservation by the token it is
+    // about to produce; on pressure evict the most-recently-admitted
+    // sequence (lowest priority under FCFS) and retry.
+    std::size_t i = 0;
+    while (i < running_.size()) {
+        if (kv_.reserve(1)) {
+            running_[i].reserved++;
+            ++i;
+            continue;
+        }
+        if (running_.size() > 1) {
+            SeqState victim = running_.back();
+            running_.pop_back();
+            preempt(std::move(victim), start, out, stats);
+            // i may now point past the end (the grower was evicted).
+        } else {
+            // A lone sequence that cannot grow will never finish.
+            SeqState s = running_.back();
+            running_.pop_back();
+            kv_.release(s.reserved);
+            stats.at(s.reqId).dropped = true;
+            stats.at(s.reqId).replica = id_;
+        }
+    }
+    if (running_.empty()) {
+        return;
+    }
+
+    std::vector<int> ctx;
+    ctx.reserve(running_.size());
+    for (const SeqState& s : running_) {
+        ctx.push_back(s.contextLen);
+    }
+    const int k = static_cast<int>(ctx.size());
+
+    machine_->scheduler().advanceTo(start);
+    obs::StepWindow& win = machine_->obs().window();
+    const bool opened = win.beginStepIfIdle(
+        "serve.decode.b" + std::to_string(k), start);
+    inference::InferenceSim::Breakdown b =
+        sim_->decodeStepMixed(ctx, cfg_->backend);
+    const sim::Time end = start + b.total();
+    if (opened) {
+        win.endStep(machine_->scheduler().now(), b.total(), b.compute);
+    }
+
+    obs::MetricsRegistry& m = machine_->obs().metrics();
+    m.counter("serving.decode_steps").add();
+    m.counter("serving.tokens_generated").add(k);
+    m.summary("serving.decode_batch").add(k);
+    m.gauge("serving.kv_used_tokens")
+        .set(static_cast<double>(kv_.used()));
+
+    std::vector<SeqState> still;
+    still.reserve(running_.size());
+    for (SeqState& s : running_) {
+        s.generated++;
+        s.contextLen++;
+        s.readyAt = end;
+        if (s.generated >= s.outputLen) {
+            retire(s, end, stats);
+        } else {
+            still.push_back(s);
+        }
+    }
+    running_ = std::move(still);
+    decodeSteps_++;
+    clock_ = end;
+}
+
+Replica::StepOutcome
+Replica::step(std::vector<RequestStats>& stats)
+{
+    StepOutcome out;
+    const sim::Time start = nextActionTime();
+    if (start == sim::kTimeMax) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "step() on an idle replica");
+    }
+    clock_ = start;
+    if (role_ != ReplicaRole::Prefill) {
+        admitDecodes(start, stats);
+    }
+    if (role_ != ReplicaRole::Decode) {
+        if (tryPrefill(start, stats, out)) {
+            return out;
+        }
+    }
+    if (!running_.empty()) {
+        runDecode(start, stats, out);
+        return out;
+    }
+    // Nothing ran and nothing is running: every visible sequence is
+    // blocked on KV capacity with no retirement to wait for. Route the
+    // deepest queued decode back to prefill (it will be re-admitted or
+    // dropped there) so the cluster loop always makes progress.
+    if (!pendingDecode_.empty()) {
+        SeqState s = pendingDecode_.back();
+        pendingDecode_.pop_back();
+        preemptions_++;
+        stats.at(s.reqId).preemptions++;
+        s.contextLen = s.promptLen + s.generated;
+        s.readyAt = start;
+        out.handoffPreempted.push_back(s);
+        return out;
+    }
+    if (!pendingPrefill_.empty()) {
+        SeqState s = pendingPrefill_.front();
+        pendingPrefill_.pop_front();
+        stats.at(s.reqId).dropped = true;
+        stats.at(s.reqId).replica = id_;
+    }
+    return out;
+}
+
+} // namespace mscclpp::serving

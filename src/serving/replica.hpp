@@ -1,0 +1,138 @@
+#ifndef MSCCLPP_SERVING_REPLICA_HPP
+#define MSCCLPP_SERVING_REPLICA_HPP
+
+#include "gpu/machine.hpp"
+#include "inference/llm.hpp"
+#include "serving/config.hpp"
+#include "serving/kvcache.hpp"
+#include "serving/stats.hpp"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace mscclpp::serving {
+
+/** Role a replica plays in the cluster (prefill/decode split is only
+ *  meaningful under disaggregation). */
+enum class ReplicaRole
+{
+    Unified, ///< continuous batching: prefill and decode interleave
+    Prefill, ///< runs prompts only, hands KV to a decode replica
+    Decode,  ///< runs decode only on migrated sequences
+};
+
+const char* toString(ReplicaRole r);
+
+/** Scheduling state of one in-flight sequence on a replica. */
+struct SeqState
+{
+    int reqId = -1;
+    int promptLen = 0;
+    int outputLen = 0;
+    /// Tokens of context behind the next step (prompt + generated so
+    /// far; a preempted sequence re-prefills this many tokens).
+    int contextLen = 0;
+    int generated = 0; ///< output tokens produced so far
+    sim::Time readyAt = 0; ///< earliest time this seq can be scheduled
+    std::uint64_t reserved = 0; ///< KV tokens currently held
+};
+
+/**
+ * One serving replica: a single simulated node (its own Machine and
+ * virtual timeline), a tensor-parallel InferenceSim on it, a KV-cache
+ * capacity model and the continuous-batching step engine. Every step
+ * re-anchors the machine's scheduler to the replica clock, opens a
+ * step-profiler window named `serve.<kind>.b<batch>` and issues the
+ * real simulated AllReduce — so mid-run fabric faults on this replica
+ * surface as request-latency regressions *and* flight-recorder
+ * anomalies naming the culprit link.
+ */
+class Replica
+{
+  public:
+    /** Result of one step that the cluster must route. */
+    struct StepOutcome
+    {
+        /// Prefill-role output: sequences whose KV must migrate to a
+        /// decode replica (already released from this replica's KV).
+        std::vector<SeqState> handoffPrefills;
+        /// Decode-role output: preempted sequences that must go back
+        /// to a prefill replica.
+        std::vector<SeqState> handoffPreempted;
+    };
+
+    Replica(const ServingConfig& cfg, int id, ReplicaRole role);
+
+    int id() const { return id_; }
+    ReplicaRole role() const { return role_; }
+    gpu::Machine& machine() { return *machine_; }
+    const KvCache& kv() const { return kv_; }
+    sim::Time clock() const { return clock_; }
+
+    std::uint64_t stepsDone() const
+    {
+        return prefillSteps_ + decodeSteps_;
+    }
+    std::uint64_t prefillSteps() const { return prefillSteps_; }
+    std::uint64_t decodeSteps() const { return decodeSteps_; }
+    std::uint64_t preemptions() const { return preemptions_; }
+
+    /** Queued + running sequences (the cluster's load-balance key). */
+    int load() const;
+
+    /** Add a request awaiting prefill (arrival or preemption). */
+    void enqueuePrefill(SeqState seq);
+
+    /** Add a prefilled sequence migrated in for decoding; @p seq
+     *  .readyAt must already include the KV transfer time. */
+    void enqueueDecode(SeqState seq);
+
+    /**
+     * Earliest virtual time this replica can do work, or
+     * sim::kTimeMax when it has none. Work pending behind the
+     * replica's own clock is clamped to the clock.
+     */
+    sim::Time nextActionTime() const;
+
+    /**
+     * Run one serving step at nextActionTime(): batch recomposition
+     * (admit prefills first, else decode the running batch), the
+     * simulated compute + collectives, retirement and KV accounting.
+     * Completions/preemptions/drops are written into @p stats (indexed
+     * by request id). Requires nextActionTime() != kTimeMax.
+     */
+    StepOutcome step(std::vector<RequestStats>& stats);
+
+  private:
+    bool tryPrefill(sim::Time start, std::vector<RequestStats>& stats,
+                    StepOutcome& out);
+    void runDecode(sim::Time start, std::vector<RequestStats>& stats,
+                   StepOutcome& out);
+    void admitDecodes(sim::Time start,
+                      std::vector<RequestStats>& stats);
+    void preempt(SeqState victim, sim::Time when, StepOutcome& out,
+                 std::vector<RequestStats>& stats);
+    void retire(const SeqState& seq, sim::Time when,
+                std::vector<RequestStats>& stats);
+
+    const ServingConfig* cfg_;
+    int id_;
+    ReplicaRole role_;
+    std::unique_ptr<gpu::Machine> machine_;
+    std::unique_ptr<inference::InferenceSim> sim_;
+    KvCache kv_;
+    sim::Time clock_ = 0;
+
+    std::deque<SeqState> pendingPrefill_;
+    std::deque<SeqState> pendingDecode_;
+    std::vector<SeqState> running_;
+
+    std::uint64_t prefillSteps_ = 0;
+    std::uint64_t decodeSteps_ = 0;
+    std::uint64_t preemptions_ = 0;
+};
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_REPLICA_HPP

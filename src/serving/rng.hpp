@@ -1,0 +1,72 @@
+#ifndef MSCCLPP_SERVING_RNG_HPP
+#define MSCCLPP_SERVING_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace mscclpp::serving {
+
+/**
+ * Deterministic random stream for all serving randomness (arrivals,
+ * prompt/output lengths). SplitMix64 plus hand-rolled samplers: unlike
+ * std::mt19937 + <random> distributions, every draw is specified down
+ * to the bit, so two runs with the same MSCCLPP_SEED are identical on
+ * any platform / standard library — the property the determinism
+ * ctest asserts.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t nextU64()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform01()
+    {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi)
+    {
+        if (hi <= lo) {
+            return lo;
+        }
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int>(nextU64() % span);
+    }
+
+    /** Exponential variate with the given mean (inter-arrival gaps). */
+    double exponential(double mean)
+    {
+        // 1 - uniform01() is in (0, 1]: log() never sees zero.
+        return -mean * std::log(1.0 - uniform01());
+    }
+
+    /**
+     * Independent substream: requests draw lengths from a fork keyed
+     * by their id, so reordering arrival draws never perturbs length
+     * draws (and vice versa).
+     */
+    Rng fork(std::uint64_t key) const
+    {
+        Rng r(state_ ^ (0x6a09e667f3bcc909ull + key * 0x9e3779b97f4a7c15ull));
+        r.nextU64(); // decorrelate the first draw from the key
+        return r;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_RNG_HPP

@@ -1,0 +1,102 @@
+#include "serving/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mscclpp::serving {
+
+sim::Time
+percentile(std::vector<sim::Time> samples, double q)
+{
+    if (samples.empty()) {
+        return 0;
+    }
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1) {
+        rank = 1;
+    }
+    if (rank > n) {
+        rank = n;
+    }
+    return samples[rank - 1];
+}
+
+ServingReport
+summarize(const std::vector<RequestStats>& done, sim::Time sloTtft,
+          sim::Time sloTpot)
+{
+    ServingReport rep;
+    rep.sloTtft = sloTtft;
+    rep.sloTpot = sloTpot;
+
+    std::vector<sim::Time> ttft, tpot, e2e;
+    std::uint64_t tokens = 0;
+    for (const RequestStats& r : done) {
+        if (r.dropped) {
+            rep.dropped++;
+            continue;
+        }
+        rep.requests++;
+        ttft.push_back(r.ttft());
+        tpot.push_back(r.tpot());
+        e2e.push_back(r.e2e());
+        tokens += static_cast<std::uint64_t>(r.outputLen);
+        rep.preemptions += static_cast<std::uint64_t>(r.preemptions);
+        if (r.ttft() > sloTtft) {
+            rep.sloTtftViolations++;
+        }
+        if (r.outputLen > 1 && r.tpot() > sloTpot) {
+            rep.sloTpotViolations++;
+        }
+        if (r.completed > rep.makespan) {
+            rep.makespan = r.completed;
+        }
+    }
+    rep.ttftP50 = percentile(ttft, 0.50);
+    rep.ttftP90 = percentile(ttft, 0.90);
+    rep.ttftP99 = percentile(ttft, 0.99);
+    rep.tpotP50 = percentile(tpot, 0.50);
+    rep.tpotP90 = percentile(tpot, 0.90);
+    rep.tpotP99 = percentile(tpot, 0.99);
+    rep.e2eP50 = percentile(e2e, 0.50);
+    rep.e2eP99 = percentile(e2e, 0.99);
+    if (rep.makespan > 0) {
+        rep.throughputTps =
+            static_cast<double>(tokens) / sim::toSec(rep.makespan);
+    }
+    return rep;
+}
+
+std::string
+ServingReport::summary() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "requests %llu (dropped %llu)  steps %llu prefill / %llu "
+        "decode  preemptions %llu  migrations %llu\n"
+        "TTFT p50/p90/p99  %8.1f / %8.1f / %8.1f us   (SLO %.0f ms: "
+        "%llu violations)\n"
+        "TPOT p50/p90/p99  %8.1f / %8.1f / %8.1f us   (SLO %.0f ms: "
+        "%llu violations)\n"
+        "e2e  p50/p99      %8.1f / %8.1f us   throughput %.1f tok/s",
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(prefillSteps),
+        static_cast<unsigned long long>(decodeSteps),
+        static_cast<unsigned long long>(preemptions),
+        static_cast<unsigned long long>(migrations), sim::toUs(ttftP50),
+        sim::toUs(ttftP90), sim::toUs(ttftP99), sim::toMs(sloTtft),
+        static_cast<unsigned long long>(sloTtftViolations),
+        sim::toUs(tpotP50), sim::toUs(tpotP90), sim::toUs(tpotP99),
+        sim::toMs(sloTpot),
+        static_cast<unsigned long long>(sloTpotViolations),
+        sim::toUs(e2eP50), sim::toUs(e2eP99), throughputTps);
+    return buf;
+}
+
+} // namespace mscclpp::serving

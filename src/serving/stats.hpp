@@ -1,0 +1,84 @@
+#ifndef MSCCLPP_SERVING_STATS_HPP
+#define MSCCLPP_SERVING_STATS_HPP
+
+#include "serving/workload.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mscclpp::serving {
+
+/** Lifecycle record of one served request. */
+struct RequestStats
+{
+    int id = -1;
+    sim::Time arrival = 0;
+    int promptLen = 0;
+    int outputLen = 0;
+    sim::Time firstToken = 0; ///< completion time of the prefill step
+    sim::Time completed = 0;  ///< completion time of the last token
+    int replica = -1;         ///< replica that decoded it
+    int preemptions = 0;      ///< KV evictions suffered (recompute)
+    bool dropped = false;     ///< could never fit in KV capacity
+
+    /** Time-to-first-token. */
+    sim::Time ttft() const { return firstToken - arrival; }
+
+    /** Mean time-per-output-token over the decode phase. */
+    sim::Time tpot() const
+    {
+        return outputLen > 1 ? (completed - firstToken) / (outputLen - 1)
+                             : 0;
+    }
+
+    /** End-to-end latency. */
+    sim::Time e2e() const { return completed - arrival; }
+};
+
+/**
+ * Aggregate serving metrics of one cluster run: request-latency
+ * percentiles (TTFT / TPOT / e2e), SLO-violation counts against the
+ * configured thresholds, and scheduler-level counters. Percentiles
+ * use the bench_report convention (ceil-rank on the sorted sample),
+ * so a ServingReport computed from the same requests twice is
+ * bit-identical — the property the determinism test asserts.
+ */
+struct ServingReport
+{
+    std::uint64_t requests = 0; ///< completed (excludes dropped)
+    std::uint64_t dropped = 0;
+    std::uint64_t prefillSteps = 0;
+    std::uint64_t decodeSteps = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t migrations = 0; ///< prefill->decode KV transfers
+    sim::Time makespan = 0;       ///< last completion time
+
+    sim::Time sloTtft = 0; ///< thresholds the violation counts used
+    sim::Time sloTpot = 0;
+
+    sim::Time ttftP50 = 0, ttftP90 = 0, ttftP99 = 0;
+    sim::Time tpotP50 = 0, tpotP90 = 0, tpotP99 = 0;
+    sim::Time e2eP50 = 0, e2eP99 = 0;
+    std::uint64_t sloTtftViolations = 0;
+    std::uint64_t sloTpotViolations = 0;
+
+    /** Completed output tokens per simulated second. */
+    double throughputTps = 0.0;
+
+    /** Multi-line human summary for examples and bench logs. */
+    std::string summary() const;
+};
+
+/** Percentile @p q (0..1) of @p samples, ceil-rank convention
+ *  (matches tools/bench_report.cpp). @return 0 on empty input. */
+sim::Time percentile(std::vector<sim::Time> samples, double q);
+
+/** Aggregate @p done into a report under the given SLO thresholds. */
+ServingReport summarize(const std::vector<RequestStats>& done,
+                        sim::Time sloTtft, sim::Time sloTpot);
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_STATS_HPP

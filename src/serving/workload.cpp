@@ -1,0 +1,172 @@
+#include "serving/workload.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace mscclpp::serving {
+
+const char*
+toString(ArrivalMode m)
+{
+    switch (m) {
+      case ArrivalMode::Poisson:
+        return "poisson";
+      case ArrivalMode::Bursty:
+        return "bursty";
+      case ArrivalMode::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Instantaneous arrival rate of the bursty process at time @p t. */
+double
+burstyRateAt(const WorkloadConfig& cfg, double tSec)
+{
+    const double phase =
+        tSec - cfg.burstPeriodSec *
+                   std::floor(tSec / cfg.burstPeriodSec);
+    const bool on = phase < cfg.burstDuty * cfg.burstPeriodSec;
+    // Scale so the long-run mean stays ratePerSec: the on-phase
+    // carries burstFactor x its share, the off-phase the remainder.
+    const double onRate = cfg.ratePerSec * cfg.burstFactor;
+    const double offShare =
+        1.0 - cfg.burstFactor * cfg.burstDuty; // may be <= 0
+    const double offRate =
+        offShare > 0.0
+            ? cfg.ratePerSec * offShare / (1.0 - cfg.burstDuty)
+            : 0.0;
+    return on ? onRate : offRate;
+}
+
+/** Sample lengths for request @p id from the mixture. */
+void
+sampleLengths(const WorkloadConfig& cfg, std::uint64_t seed, Request& r)
+{
+    Rng rng = Rng(seed).fork(0x4c454e ^ static_cast<std::uint64_t>(r.id));
+    double totalWeight = 0.0;
+    for (const LengthClass& c : cfg.mix) {
+        totalWeight += c.weight;
+    }
+    double pick = rng.uniform01() * totalWeight;
+    const LengthClass* cls = &cfg.mix.back();
+    for (const LengthClass& c : cfg.mix) {
+        if (pick < c.weight) {
+            cls = &c;
+            break;
+        }
+        pick -= c.weight;
+    }
+    r.promptLen = rng.uniformInt(cls->promptLo, cls->promptHi);
+    r.outputLen = rng.uniformInt(cls->outputLo, cls->outputHi);
+}
+
+} // namespace
+
+std::vector<Request>
+parseTrace(const std::string& spec)
+{
+    std::vector<Request> out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(';', pos);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        const std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty()) {
+            continue;
+        }
+        std::size_t c1 = entry.find(':');
+        std::size_t c2 =
+            c1 == std::string::npos ? std::string::npos
+                                    : entry.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "trace entry '" + entry +
+                            "' is not at_us:prompt:output");
+        }
+        Request r;
+        r.id = static_cast<int>(out.size());
+        r.arrival = sim::us(std::atof(entry.substr(0, c1).c_str()));
+        r.promptLen =
+            std::atoi(entry.substr(c1 + 1, c2 - c1 - 1).c_str());
+        r.outputLen = std::atoi(entry.substr(c2 + 1).c_str());
+        if (r.promptLen < 1 || r.outputLen < 1) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "trace entry '" + entry +
+                            "' needs positive prompt/output lengths");
+        }
+        out.push_back(r);
+    }
+    if (out.empty()) {
+        throw Error(ErrorCode::InvalidUsage, "empty trace spec");
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival < b.arrival;
+                     });
+    return out;
+}
+
+std::vector<Request>
+generateWorkload(const WorkloadConfig& cfg, std::uint64_t seed)
+{
+    if (cfg.mode == ArrivalMode::Trace) {
+        return parseTrace(cfg.trace);
+    }
+    if (cfg.requests < 1) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "workload needs at least one request");
+    }
+    if (cfg.ratePerSec <= 0.0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "arrival rate must be positive");
+    }
+    if (cfg.mix.empty()) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "length mixture must be non-empty");
+    }
+    if (cfg.mode == ArrivalMode::Bursty &&
+        (cfg.burstFactor < 1.0 || cfg.burstPeriodSec <= 0.0 ||
+         cfg.burstDuty <= 0.0 || cfg.burstDuty >= 1.0)) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "bursty arrivals need burstFactor >= 1, a positive "
+                    "period and duty in (0, 1)");
+    }
+
+    Rng arrivals = Rng(seed).fork(0x415252); // "ARR"
+    std::vector<Request> out;
+    out.reserve(cfg.requests);
+    double tSec = 0.0;
+    for (int i = 0; i < cfg.requests; ++i) {
+        if (cfg.mode == ArrivalMode::Poisson) {
+            tSec += arrivals.exponential(1.0 / cfg.ratePerSec);
+        } else {
+            // Non-homogeneous Poisson via thinning against the peak
+            // rate: exact for the piecewise-constant on/off profile.
+            const double peak = cfg.ratePerSec * cfg.burstFactor;
+            for (;;) {
+                tSec += arrivals.exponential(1.0 / peak);
+                if (arrivals.uniform01() * peak <=
+                    burstyRateAt(cfg, tSec)) {
+                    break;
+                }
+            }
+        }
+        Request r;
+        r.id = i;
+        r.arrival = sim::us(tSec * 1e6);
+        sampleLengths(cfg, seed, r);
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace mscclpp::serving

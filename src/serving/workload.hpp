@@ -1,0 +1,87 @@
+#ifndef MSCCLPP_SERVING_WORKLOAD_HPP
+#define MSCCLPP_SERVING_WORKLOAD_HPP
+
+#include "serving/rng.hpp"
+#include "sim/time.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mscclpp::serving {
+
+/** How requests arrive at the cluster (all open-loop: arrivals do
+ *  not wait for completions, so queueing delay is observable). */
+enum class ArrivalMode
+{
+    Poisson, ///< memoryless stream at ratePerSec
+    Bursty,  ///< on/off modulated Poisson (rate x burstFactor when on)
+    Trace,   ///< explicit "at_us:prompt:output" triples
+};
+
+const char* toString(ArrivalMode m);
+
+/** One class of the prompt/output length mixture. */
+struct LengthClass
+{
+    double weight = 1.0;
+    int promptLo = 64;
+    int promptHi = 256;
+    int outputLo = 32;
+    int outputHi = 128;
+};
+
+/** One inference request of the open-loop stream. */
+struct Request
+{
+    int id = -1;
+    sim::Time arrival = 0;
+    int promptLen = 0;
+    int outputLen = 0;
+};
+
+/**
+ * The request stream: arrival process plus length mixture. All
+ * randomness flows from the single seed the cluster passes in.
+ */
+struct WorkloadConfig
+{
+    ArrivalMode mode = ArrivalMode::Poisson;
+    int requests = 128;
+    double ratePerSec = 40.0; ///< mean arrival rate (both modes)
+
+    // Bursty mode: the on-phase multiplies the base rate by
+    // burstFactor for burstDuty of every burstPeriodSec cycle; the
+    // off-phase idles. The long-run mean rate stays ratePerSec.
+    double burstFactor = 4.0;
+    double burstPeriodSec = 0.5;
+    double burstDuty = 0.25;
+
+    /// Mixed prompt/output lengths; defaults model chat (short),
+    /// document QA (medium) and long-context summarisation (heavy).
+    std::vector<LengthClass> mix = {
+        {0.70, 64, 256, 32, 96},
+        {0.25, 512, 1536, 64, 192},
+        {0.05, 2048, 3584, 128, 384},
+    };
+
+    /// Trace mode: semicolon-separated "at_us:prompt:output" triples,
+    /// e.g. "0:512:64;1500:128:32". Overrides requests/rate/mix.
+    std::string trace;
+};
+
+/**
+ * Generate the full request stream. Deterministic: the same
+ * (config, seed) always yields the same stream. Throws
+ * Error(InvalidUsage) on an empty/malformed config (bad trace spec,
+ * non-positive rate, empty mixture).
+ */
+std::vector<Request> generateWorkload(const WorkloadConfig& cfg,
+                                      std::uint64_t seed);
+
+/** Parse a trace spec (see WorkloadConfig::trace); throws
+ *  Error(InvalidUsage) on malformed input. */
+std::vector<Request> parseTrace(const std::string& spec);
+
+} // namespace mscclpp::serving
+
+#endif // MSCCLPP_SERVING_WORKLOAD_HPP

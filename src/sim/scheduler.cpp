@@ -77,6 +77,14 @@ Scheduler::runUntil(Time deadline)
 }
 
 void
+Scheduler::advanceTo(Time when)
+{
+    if (queue_.empty() && when > now_) {
+        now_ = when;
+    }
+}
+
+void
 Scheduler::reportError(std::exception_ptr e)
 {
     if (!firstError_) {

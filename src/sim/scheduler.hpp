@@ -58,6 +58,16 @@ class Scheduler
     /** Execute a single event. @return false if the queue is empty. */
     bool step();
 
+    /**
+     * Jump virtual time forward to @p when while the queue is idle —
+     * an external clock (the serving cluster's request timeline)
+     * re-anchoring the simulation between collectives, so traced
+     * spans land at their true serving time. A @p when in the past
+     * or a non-empty queue is a no-op (events already in flight own
+     * the clock).
+     */
+    void advanceTo(Time when);
+
     /** Number of events executed so far (for tests / stats). */
     std::uint64_t eventsProcessed() const { return eventsProcessed_; }
 

@@ -118,3 +118,75 @@ TEST(InferenceSim, MscclBackendSitsBetween)
     EXPECT_LT(ours, msccl);
     EXPECT_LT(msccl, nccl);
 }
+
+TEST(InferenceSim, MixedDecodeMatchesUniformDecode)
+{
+    gpu::Machine m(fab::makeA100_80G(), 1, gpu::DataMode::Timed);
+    InferenceSim sim = makeSim(m);
+    auto uniform = sim.decodeStep(4, 512, CommBackend::Mscclpp);
+    auto mixed = sim.decodeStepMixed({512, 512, 512, 512},
+                                     CommBackend::Mscclpp);
+    EXPECT_EQ(uniform.compute, mixed.compute);
+    EXPECT_EQ(uniform.comm, mixed.comm);
+    EXPECT_EQ(uniform.allReduceBytes, mixed.allReduceBytes);
+
+    // A continuous batch only pays for the KV it actually reads: the
+    // same total context split unevenly costs the same, less context
+    // costs less.
+    auto skew = sim.decodeStepMixed({1024, 512, 256, 256},
+                                    CommBackend::Mscclpp);
+    EXPECT_EQ(skew.compute, mixed.compute);
+    auto small = sim.decodeStepMixed({64, 64, 64, 64},
+                                     CommBackend::Mscclpp);
+    EXPECT_LT(small.compute, mixed.compute);
+
+    EXPECT_THROW(sim.decodeStepMixed({}, CommBackend::Mscclpp),
+                 mscclpp::Error);
+    EXPECT_THROW(sim.decodeStepMixed({64, -1}, CommBackend::Mscclpp),
+                 mscclpp::Error);
+}
+
+TEST(InferenceSim, KvBytesPerTokenMatchesShape)
+{
+    TransformerConfig m = makeLlama2_70b();
+    // 2 (K+V) * 80 layers * 1024 kv-hidden * 2 bytes / 8 GPUs.
+    EXPECT_EQ(m.kvBytesPerToken(8), 40960u);
+    EXPECT_EQ(m.kvBytesPerToken(1), 8u * 40960u);
+}
+
+// Step-window reconciliation (the contract bench_report and the
+// serving simulator rely on): for every backend and every entry
+// point, the step profiler's buckets must sum exactly to the measured
+// latency it reports — the analytic roofline compute included.
+TEST(InferenceSim, BreakdownReconcilesWithStepWindow)
+{
+    if (!mscclpp::obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "observability compiled out (MSCCLPP_NO_OBS)";
+    }
+    fab::EnvConfig env = fab::makeA100_80G();
+    env.traceEnabled = true;
+    const CommBackend backends[] = {
+        CommBackend::Mscclpp, CommBackend::Nccl, CommBackend::Msccl};
+    for (CommBackend backend : backends) {
+        gpu::Machine m(env, 1, gpu::DataMode::Timed);
+        m.obs().setDumpOnDestroy(false);
+        InferenceSim sim = makeSim(m);
+        mscclpp::obs::StepWindow& win = m.obs().window();
+
+        auto check = [&](const InferenceSim::Breakdown& b,
+                         const char* what) {
+            const mscclpp::obs::StepAttribution* a = win.lastStep();
+            ASSERT_NE(a, nullptr) << what;
+            EXPECT_EQ(a->measured, b.total()) << what;
+            EXPECT_EQ(a->total(), a->measured)
+                << what << " buckets must sum to measured";
+            EXPECT_GE(a->bucket(mscclpp::obs::StepCategory::Compute),
+                      b.compute)
+                << what;
+        };
+        check(sim.decodeStep(8, 256, backend), "decodeStep");
+        check(sim.decodeStepMixed({64, 128, 512}, backend),
+              "decodeStepMixed");
+        check(sim.prefill(2, 384, backend), "prefill");
+    }
+}

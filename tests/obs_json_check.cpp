@@ -214,7 +214,7 @@ checkBenchSchema(const char* file, const std::string& text)
     }
     const json::Value* version = doc->get("version");
     if (version == nullptr || !version->isNumber() ||
-        version->number != 2) {
+        version->number != 3) {
         std::fprintf(stderr, "%s: missing/unknown version\n", file);
         return false;
     }
@@ -261,9 +261,122 @@ checkBenchSchema(const char* file, const std::string& text)
                          file, key.c_str());
             return false;
         }
+        // v3: serving.* keys carry a request-percentile block.
+        const json::Value* serving = bench.get("serving");
+        if (serving != nullptr) {
+            if (!serving->isObject()) {
+                std::fprintf(stderr, "%s: %s serving must be an object\n",
+                             file, key.c_str());
+                return false;
+            }
+            for (const char* field :
+                 {"requests", "ttft_p50_us", "ttft_p99_us",
+                  "tpot_p50_us", "tpot_p99_us", "throughput_tps"}) {
+                const json::Value* v = serving->get(field);
+                if (v == nullptr || !v->isNumber()) {
+                    std::fprintf(stderr,
+                                 "%s: %s serving missing numeric %s\n",
+                                 file, key.c_str(), field);
+                    return false;
+                }
+            }
+            if (serving->get("ttft_p99_us")->number <
+                    serving->get("ttft_p50_us")->number ||
+                serving->get("tpot_p99_us")->number <
+                    serving->get("tpot_p50_us")->number) {
+                std::fprintf(stderr,
+                             "%s: %s serving percentiles not monotone\n",
+                             file, key.c_str());
+                return false;
+            }
+        }
     }
     std::printf("%s: bench schema ok (%zu benches)\n", file,
                 benches->object.size());
+    return true;
+}
+
+/**
+ * Validate one serving_cluster artifact (mscclpp.serving_report v1):
+ * schema stamp, a non-empty per-backend runs object, required numeric
+ * fields and monotone TTFT/TPOT percentiles per run.
+ */
+bool
+checkServingSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
+        return false;
+    }
+    const json::Value* schema = doc->get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != "mscclpp.serving_report") {
+        std::fprintf(stderr, "%s: schema != mscclpp.serving_report\n",
+                     file);
+        return false;
+    }
+    const json::Value* version = doc->get("version");
+    if (version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr, "%s: missing/unknown serving version\n",
+                     file);
+        return false;
+    }
+    for (const char* field : {"seed", "replicas", "prefill_replicas"}) {
+        const json::Value* v = doc->get(field);
+        if (v == nullptr || !v->isNumber()) {
+            std::fprintf(stderr, "%s: missing numeric %s\n", file,
+                         field);
+            return false;
+        }
+    }
+    const json::Value* arrivals = doc->get("arrivals");
+    if (arrivals == nullptr || !arrivals->isString() ||
+        arrivals->string.empty()) {
+        std::fprintf(stderr, "%s: missing arrivals mode\n", file);
+        return false;
+    }
+    const json::Value* runs = doc->get("runs");
+    if (runs == nullptr || !runs->isObject() || runs->object.empty()) {
+        std::fprintf(stderr, "%s: runs must be a non-empty object\n",
+                     file);
+        return false;
+    }
+    for (const auto& [backend, run] : runs->object) {
+        for (const char* field :
+             {"requests", "dropped", "prefill_steps", "decode_steps",
+              "preemptions", "migrations", "ttft_p50_us", "ttft_p90_us",
+              "ttft_p99_us", "tpot_p50_us", "tpot_p90_us", "tpot_p99_us",
+              "e2e_p50_us", "e2e_p99_us", "slo_ttft_violations",
+              "slo_tpot_violations", "throughput_tps", "makespan_ms"}) {
+            const json::Value* v = run.get(field);
+            if (v == nullptr || !v->isNumber()) {
+                std::fprintf(stderr, "%s: run %s missing numeric %s\n",
+                             file, backend.c_str(), field);
+                return false;
+            }
+        }
+        if (run.get("requests")->number <= 0) {
+            std::fprintf(stderr, "%s: run %s served no requests\n",
+                         file, backend.c_str());
+            return false;
+        }
+        if (run.get("ttft_p99_us")->number <
+                run.get("ttft_p50_us")->number ||
+            run.get("tpot_p99_us")->number <
+                run.get("tpot_p50_us")->number ||
+            run.get("e2e_p99_us")->number <
+                run.get("e2e_p50_us")->number) {
+            std::fprintf(stderr,
+                         "%s: run %s percentiles not monotone\n", file,
+                         backend.c_str());
+            return false;
+        }
+    }
+    std::printf("%s: serving schema ok (%zu runs)\n", file,
+                runs->object.size());
     return true;
 }
 
@@ -499,6 +612,7 @@ main(int argc, char** argv)
     bool benchSchema = false;
     bool flightSchema = false;
     bool hangSchema = false;
+    bool servingSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
@@ -509,6 +623,8 @@ main(int argc, char** argv)
             flightSchema = true;
         } else if (arg == "--hang-schema") {
             hangSchema = true;
+        } else if (arg == "--serving-schema") {
+            servingSchema = true;
         } else {
             files.push_back(argv[i]);
         }
@@ -516,7 +632,7 @@ main(int argc, char** argv)
     if (files.empty()) {
         std::fprintf(stderr,
                      "usage: %s [--bench-schema] [--flight-schema] "
-                     "[--hang-schema] "
+                     "[--hang-schema] [--serving-schema] "
                      "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
@@ -555,6 +671,10 @@ main(int argc, char** argv)
             continue;
         }
         if (hangSchema && !checkHangSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (servingSchema && !checkServingSchema(file, text)) {
             rc = 1;
             continue;
         }

@@ -1,0 +1,304 @@
+// Tests of the cluster-scale serving simulator (src/serving/): the
+// deterministic workload generator, the KV capacity model, continuous
+// batching, prefill/decode disaggregation, and the acceptance
+// experiment — a mid-run degraded link must show up as a p99 TTFT/TPOT
+// regression that the step profiler attributes to the guilty link.
+#include "core/errors.hpp"
+#include "serving/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace mscclpp;
+using namespace mscclpp::serving;
+
+namespace {
+
+/** A model small enough that a whole cluster run takes milliseconds
+ *  of wall time but still issues real simulated AllReduces. */
+inference::InferenceConfig
+tinyModel()
+{
+    inference::InferenceConfig inf;
+    inf.model.name = "tiny";
+    inf.model.layers = 4;
+    inf.model.hidden = 256;
+    inf.model.heads = 8;
+    inf.model.kvHeads = 8;
+    inf.model.ffn = 512;
+    inf.model.vocab = 512;
+    inf.perLayerOverhead = sim::us(5);
+    return inf;
+}
+
+ServingConfig
+tinyConfig()
+{
+    ServingConfig cfg;
+    cfg.inference = tinyModel();
+    cfg.workload.requests = 16;
+    cfg.workload.ratePerSec = 2000.0;
+    cfg.workload.mix = {{1.0, 32, 64, 8, 16}};
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServingWorkload, PoissonDeterministicPerSeed)
+{
+    WorkloadConfig cfg;
+    cfg.requests = 64;
+    auto a = generateWorkload(cfg, 7);
+    auto b = generateWorkload(cfg, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].promptLen, b[i].promptLen);
+        EXPECT_EQ(a[i].outputLen, b[i].outputLen);
+    }
+    auto c = generateWorkload(cfg, 8);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        differs = differs || a[i].arrival != c[i].arrival;
+    }
+    EXPECT_TRUE(differs) << "seed must matter";
+}
+
+TEST(ServingWorkload, ArrivalsSortedAndLengthsInRange)
+{
+    WorkloadConfig cfg;
+    cfg.requests = 200;
+    cfg.mode = ArrivalMode::Bursty;
+    auto reqs = generateWorkload(cfg, 3);
+    sim::Time prev = 0;
+    for (const Request& r : reqs) {
+        EXPECT_GE(r.arrival, prev);
+        prev = r.arrival;
+        EXPECT_GE(r.promptLen, 64);
+        EXPECT_LE(r.promptLen, 3584);
+        EXPECT_GE(r.outputLen, 32);
+        EXPECT_LE(r.outputLen, 384);
+    }
+}
+
+TEST(ServingWorkload, TraceModeParsesAndRejects)
+{
+    auto reqs = parseTrace("0:512:64;1500:128:32");
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].arrival, sim::us(0));
+    EXPECT_EQ(reqs[0].promptLen, 512);
+    EXPECT_EQ(reqs[1].arrival, sim::us(1500));
+    EXPECT_EQ(reqs[1].outputLen, 32);
+
+    EXPECT_THROW(parseTrace(""), Error);
+    EXPECT_THROW(parseTrace("12:64"), Error);
+    EXPECT_THROW(parseTrace("0:0:5"), Error);
+}
+
+TEST(ServingKvCache, ReserveReleasePeak)
+{
+    KvCache kv(100);
+    EXPECT_TRUE(kv.reserve(60));
+    EXPECT_FALSE(kv.reserve(41));
+    EXPECT_TRUE(kv.reserve(40));
+    EXPECT_EQ(kv.free(), 0u);
+    kv.release(30);
+    EXPECT_EQ(kv.used(), 70u);
+    EXPECT_EQ(kv.peakUsed(), 100u);
+}
+
+TEST(ServingConfigTest, DerivedKvTokensPositive)
+{
+    ServingConfig cfg; // Llama2-70b TP=8 on A100-80G
+    const std::uint64_t tokens = cfg.effectiveKvTokens();
+    // ~80 GB/GPU node, ~17.5 GB weight shard, ~160 KB/token/GPU KV.
+    EXPECT_GT(tokens, 100'000u);
+    EXPECT_LT(tokens, 10'000'000u);
+    cfg.kvTokens = 1234;
+    EXPECT_EQ(cfg.effectiveKvTokens(), 1234u);
+}
+
+TEST(ServingConfigTest, FromEnvParsesAndValidates)
+{
+    setenv("MSCCLPP_SEED", "99", 1);
+    setenv("MSCCLPP_SERVING_REPLICAS", "3", 1);
+    setenv("MSCCLPP_SERVING_ARRIVALS", "bursty", 1);
+    ServingConfig cfg = ServingConfig::fromEnv();
+    EXPECT_EQ(cfg.seed, 99u);
+    EXPECT_EQ(cfg.replicas, 3);
+    EXPECT_EQ(cfg.workload.mode, ArrivalMode::Bursty);
+
+    setenv("MSCCLPP_SERVING_ARRIVALS", "sometimes", 1);
+    EXPECT_THROW(ServingConfig::fromEnv(), Error);
+    unsetenv("MSCCLPP_SERVING_ARRIVALS");
+    setenv("MSCCLPP_SEED", "soon", 1);
+    EXPECT_THROW(ServingConfig::fromEnv(), Error);
+    unsetenv("MSCCLPP_SEED");
+    unsetenv("MSCCLPP_SERVING_REPLICAS");
+
+    ServingConfig bad;
+    bad.prefillReplicas = bad.replicas; // no decode replica left
+    EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(ServingCluster, ServesEveryRequestOpenLoop)
+{
+    ServingCluster cluster(tinyConfig());
+    ServingReport rep = cluster.run();
+    EXPECT_EQ(rep.requests, 16u);
+    EXPECT_EQ(rep.dropped, 0u);
+    EXPECT_GT(rep.decodeSteps, 0u);
+    EXPECT_GT(rep.prefillSteps, 0u);
+    EXPECT_GT(rep.throughputTps, 0.0);
+    EXPECT_GE(rep.ttftP99, rep.ttftP50);
+    for (const RequestStats& r : cluster.requests()) {
+        EXPECT_GT(r.firstToken, r.arrival);
+        EXPECT_GE(r.completed, r.firstToken);
+        EXPECT_GE(r.replica, 0);
+    }
+}
+
+TEST(ServingCluster, BitIdenticalAcrossRuns)
+{
+    // The determinism contract behind MSCCLPP_SEED: same config, same
+    // seed => the same per-request lifecycle to the picosecond.
+    ServingConfig cfg = tinyConfig();
+    cfg.replicas = 2;
+    cfg.seed = 1234;
+    ServingCluster a(cfg), b(cfg);
+    ServingReport ra = a.run();
+    ServingReport rb = b.run();
+    EXPECT_EQ(ra.ttftP99, rb.ttftP99);
+    EXPECT_EQ(ra.tpotP99, rb.tpotP99);
+    EXPECT_EQ(ra.e2eP99, rb.e2eP99);
+    EXPECT_EQ(ra.makespan, rb.makespan);
+    ASSERT_EQ(a.requests().size(), b.requests().size());
+    for (std::size_t i = 0; i < a.requests().size(); ++i) {
+        EXPECT_EQ(a.requests()[i].firstToken,
+                  b.requests()[i].firstToken);
+        EXPECT_EQ(a.requests()[i].completed, b.requests()[i].completed);
+        EXPECT_EQ(a.requests()[i].replica, b.requests()[i].replica);
+    }
+}
+
+TEST(ServingCluster, KvPressurePreemptsAndRecovers)
+{
+    ServingConfig cfg = tinyConfig();
+    cfg.workload.mode = ArrivalMode::Trace;
+    cfg.workload.trace = "0:64:40;0:64:40";
+    cfg.kvTokens = 150; // both admit at 128, collide while growing
+    ServingCluster cluster(cfg);
+    ServingReport rep = cluster.run();
+    EXPECT_EQ(rep.requests, 2u);
+    EXPECT_EQ(rep.dropped, 0u);
+    EXPECT_GT(rep.preemptions, 0u);
+}
+
+TEST(ServingCluster, OversizedRequestDroppedNotWedged)
+{
+    ServingConfig cfg = tinyConfig();
+    cfg.workload.mode = ArrivalMode::Trace;
+    cfg.workload.trace = "0:64:16;0:512:64"; // second can never fit
+    cfg.kvTokens = 120;
+    ServingCluster cluster(cfg);
+    ServingReport rep = cluster.run();
+    EXPECT_EQ(rep.requests, 1u);
+    EXPECT_EQ(rep.dropped, 1u);
+    EXPECT_TRUE(cluster.requests()[1].dropped);
+}
+
+TEST(ServingCluster, DisaggregationMigratesKv)
+{
+    ServingConfig cfg = tinyConfig();
+    cfg.replicas = 2;
+    cfg.prefillReplicas = 1;
+    ServingCluster cluster(cfg);
+    ServingReport rep = cluster.run();
+    EXPECT_EQ(rep.requests, 16u);
+    EXPECT_EQ(rep.dropped, 0u);
+    EXPECT_EQ(rep.migrations, 16u); // every request crosses the NIC
+    // Prefill replica never decodes; decode replica never prefills.
+    EXPECT_EQ(cluster.replica(0).decodeSteps(), 0u);
+    EXPECT_EQ(cluster.replica(1).prefillSteps(), 0u);
+    // The NIC hop is on every TTFT path: first tokens still count
+    // from the prefill, so TTFT matches unified runs, but decode
+    // starts only after the transfer.
+    for (const RequestStats& r : cluster.requests()) {
+        EXPECT_EQ(r.replica, 1);
+    }
+}
+
+// The PR's acceptance experiment: a clean cluster run vs the same
+// run with one replica's fabric link degraded mid-run. The degraded
+// run must show a strictly worse p99 TTFT and TPOT, and the step
+// profiler's flight recorder must attribute the regression to the
+// degraded link within a few steps of the injection.
+TEST(ServingFaults, DegradedLinkRegressesTailsAndIsAttributed)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "observability compiled out (MSCCLPP_NO_OBS)";
+    }
+    ServingConfig cfg = tinyConfig();
+    cfg.maxPrefillSeqs = 8;
+    cfg.maxBatch = 8;
+    cfg.workload.mode = ArrivalMode::Trace;
+    // Two waves of 8: wave 1 saturates the batch and establishes the
+    // flight baseline; wave 2 prefills long after the fault, so TTFT
+    // regresses too (the fault lands mid-decode of wave 1).
+    std::string trace;
+    for (int i = 0; i < 8; ++i) {
+        trace += "0:256:48;";
+    }
+    for (int i = 0; i < 8; ++i) {
+        trace += "20000:256:48;";
+    }
+    cfg.workload.trace = trace;
+    cfg.env.flightEnabled = true;
+
+    // Keep the flight data in memory; no artifact files from a test.
+    auto quiet = [](ServingCluster& c) {
+        for (int i = 0; i < c.numReplicas(); ++i) {
+            c.replica(i).machine().obs().setDumpOnDestroy(false);
+        }
+    };
+
+    ServingCluster clean1(cfg), clean2(cfg);
+    quiet(clean1);
+    quiet(clean2);
+    ServingReport rc1 = clean1.run();
+    ServingReport rc2 = clean2.run();
+    EXPECT_EQ(rc1.ttftP99, rc2.ttftP99) << "clean runs must be"
+                                           " deterministic";
+    EXPECT_EQ(rc1.tpotP99, rc2.tpotP99);
+
+    // 1 prefill step + 12 decode steps (> flight warmup of 8), then
+    // the link degrades to 20% bandwidth.
+    const std::uint64_t injectStep = 13;
+    ServingConfig degradedCfg = cfg;
+    degradedCfg.faults.push_back({0, "gpu3.tx", 0.2, injectStep});
+    ServingCluster degraded(degradedCfg);
+    quiet(degraded);
+    ServingReport rd = degraded.run();
+
+    EXPECT_EQ(rd.requests, rc1.requests);
+    EXPECT_GT(rd.tpotP99, rc1.tpotP99)
+        << "decode AllReduces cross the degraded link every step";
+    EXPECT_GT(rd.ttftP99, rc1.ttftP99)
+        << "wave-2 prefills run after the fault";
+
+    // Online attribution: the flight recorder on the faulty replica
+    // must flag a step at/after the injection naming the link.
+    obs::FlightRecorder& flight =
+        degraded.replica(0).machine().obs().flight();
+    const obs::FlightAnomaly* hit =
+        flight.firstAnomalyAtOrAfter(injectStep);
+    ASSERT_NE(hit, nullptr) << "fault was not flagged online";
+    EXPECT_LE(hit->digest.index, injectStep + 5)
+        << "detection latency too high";
+    EXPECT_EQ(hit->digest.culpritLink, "gpu3.tx");
+
+    // SLO accounting stays consistent under the fault.
+    EXPECT_GE(rd.sloTpotViolations + rd.sloTtftViolations,
+              rc1.sloTpotViolations + rc1.sloTtftViolations);
+}

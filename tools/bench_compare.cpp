@@ -3,10 +3,11 @@
  * the p50 latency of every bench key in a current BENCH_<env>.json
  * against a committed baseline and exits 1 when any key slowed down
  * by more than the threshold. Also gates the per-link wire-time
- * breakdown (by_link_ns, schema v2): a single link slowing down is a
- * regression even when overlap keeps the end-to-end p50 flat. The
- * simulator is deterministic, so the gate can be tight without
- * flaking.
+ * breakdown (by_link_ns) and, for serving.* keys, the request-level
+ * TTFT/TPOT tail percentiles (nested "serving" object, schema v3): a
+ * single link or a tail SLO metric slowing down is a regression even
+ * when overlap keeps the end-to-end p50 flat. The simulator is
+ * deterministic, so the gate can be tight without flaking.
  *
  * Usage: bench_compare [options] <current.json>
  *   --baseline <file>  baseline report (default: $MSCCLPP_BENCH_BASELINE)
@@ -57,10 +58,10 @@ loadReport(const std::string& path)
                      path.c_str());
         return std::nullopt;
     }
-    if (version->number != 2) {
+    if (version->number != 3) {
         std::fprintf(stderr,
                      "bench_compare: %s has schema version %g, "
-                     "expected 2 (regenerate with bench_report)\n",
+                     "expected 3 (regenerate with bench_report)\n",
                      path.c_str(), version->number);
         return std::nullopt;
     }
@@ -107,6 +108,43 @@ compareLinks(const std::string& key, const json::Value& baseBench,
                         "%+7.2f%%  LINK REGRESSION\n",
                         key.c_str(), link.c_str(), baseNs.number, now,
                         deltaPct);
+            ++regressions;
+        }
+    }
+    return regressions;
+}
+
+/**
+ * Gate the serving-percentile block of one bench key: TTFT and TPOT
+ * p99 growing past the threshold is a user-visible SLO regression even
+ * when the mean request time (the key's p50_us) stayed flat. Returns
+ * the number of metric regressions.
+ */
+int
+compareServing(const std::string& key, const json::Value& baseBench,
+               const json::Value& curBench, double thresholdPct,
+               double injectPct)
+{
+    const json::Value* base = baseBench.get("serving");
+    const json::Value* cur = curBench.get("serving");
+    if (base == nullptr || !base->isObject() || cur == nullptr ||
+        !cur->isObject()) {
+        return 0;
+    }
+    int regressions = 0;
+    for (const char* metric : {"ttft_p99_us", "tpot_p99_us"}) {
+        const json::Value* b = base->get(metric);
+        const json::Value* c = cur->get(metric);
+        if (b == nullptr || !b->isNumber() || b->number <= 0 ||
+            c == nullptr || !c->isNumber()) {
+            continue;
+        }
+        double now = c->number * (1.0 + injectPct / 100.0);
+        double deltaPct = 100.0 * (now / b->number - 1.0);
+        if (deltaPct > thresholdPct) {
+            std::printf("%-40s %-12s %10.2fus -> %10.2fus  %+7.2f%%  "
+                        "SLO REGRESSION\n",
+                        key.c_str(), metric, b->number, now, deltaPct);
             ++regressions;
         }
     }
@@ -193,6 +231,8 @@ main(int argc, char** argv)
         regressions += compareLinks(key, baseBench, *curBench,
                                     thresholdPct, injectPct,
                                     /*floorNs=*/100.0);
+        regressions += compareServing(key, baseBench, *curBench,
+                                      thresholdPct, injectPct);
     }
     for (const auto& [key, bench] : curBenches->object) {
         (void)bench;

@@ -3,8 +3,11 @@
  * fig08/fig10/fig11 scenarios with critical-path attribution enabled
  * and writes one schema-versioned BENCH_<env>.json per environment,
  * carrying p50/p99 latency and the per-category attribution breakdown
- * for every bench key. bench_compare diffs these files against the
- * committed baselines in bench/baselines/ to catch regressions.
+ * for every bench key. The A100-80G report additionally carries the
+ * cluster-serving scenario (schema v3): request-level TTFT/TPOT/e2e
+ * percentiles under open-loop load, in a nested "serving" object per
+ * key. bench_compare diffs these files against the committed baselines
+ * in bench/baselines/ to catch regressions.
  *
  * Usage: bench_report [--out <dir>] [--smoke]
  *   --out    output directory (default bench_out; created, gitignored)
@@ -19,6 +22,7 @@
 #include "inference/llm.hpp"
 #include "obs/critpath.hpp"
 #include "obs/window.hpp"
+#include "serving/cluster.hpp"
 #include "tuner/json.hpp"
 
 #include <algorithm>
@@ -48,6 +52,8 @@ struct BenchResult
     // step's measured latency and its compute/exposed-comms/... split.
     std::map<std::string, double> stepAttributionNs;
     double stepMeasuredNs = 0;
+    // Request-level serving percentiles (serving.* keys only, v3).
+    std::map<std::string, double> servingFields;
 
     double percentile(double q) const
     {
@@ -164,6 +170,76 @@ runDecodeSweep(Report& report, fab::EnvConfig env,
     }
 }
 
+const char*
+backendSlug(inference::CommBackend b)
+{
+    switch (b) {
+      case inference::CommBackend::Nccl:
+        return "nccl";
+      case inference::CommBackend::Msccl:
+        return "msccl";
+      default:
+        return "mscclpp";
+    }
+}
+
+void
+runServingCluster(Report& report)
+{
+    // Cluster-scale serving scenario (DESIGN.md Section 12): two
+    // Llama2-70b TP=8 replicas behind a Poisson stream, per AllReduce
+    // backend. The configuration is deliberately identical in --smoke
+    // and full runs — virtual time makes it deterministic and cheap —
+    // so the committed baseline gates CI's smoke pass on the same key.
+    for (inference::CommBackend backend :
+         {inference::CommBackend::Nccl,
+          inference::CommBackend::Mscclpp}) {
+        serving::ServingConfig cfg;
+        cfg.env.critpathEnabled = true;
+        cfg.backend = backend;
+        cfg.replicas = 2;
+        cfg.workload.requests = 16;
+        cfg.workload.ratePerSec = 8.0;
+        serving::ServingCluster cluster(cfg);
+        for (int i = 0; i < cluster.numReplicas(); ++i) {
+            cluster.replica(i).machine().obs().setDumpOnDestroy(false);
+        }
+        serving::ServingReport rep = cluster.run();
+
+        BenchResult r;
+        r.key = std::string("serving.cluster.2r.") +
+                backendSlug(backend);
+        for (const serving::RequestStats& s : cluster.requests()) {
+            if (!s.dropped) {
+                r.samplesUs.push_back(sim::toUs(s.e2e()));
+            }
+        }
+        if (const obs::StepAttribution* att =
+                cluster.replica(0).machine().obs().window().lastStep()) {
+            for (obs::StepCategory cat : obs::kStepCategories) {
+                r.stepAttributionNs[obs::toString(cat)] =
+                    sim::toNs(att->bucket(cat));
+            }
+            r.stepMeasuredNs = sim::toNs(att->measured);
+        }
+        r.servingFields = {
+            {"requests", double(rep.requests)},
+            {"dropped", double(rep.dropped)},
+            {"preemptions", double(rep.preemptions)},
+            {"migrations", double(rep.migrations)},
+            {"ttft_p50_us", sim::toUs(rep.ttftP50)},
+            {"ttft_p99_us", sim::toUs(rep.ttftP99)},
+            {"tpot_p50_us", sim::toUs(rep.tpotP50)},
+            {"tpot_p99_us", sim::toUs(rep.tpotP99)},
+            {"e2e_p99_us", sim::toUs(rep.e2eP99)},
+            {"slo_ttft_violations", double(rep.sloTtftViolations)},
+            {"slo_tpot_violations", double(rep.sloTpotViolations)},
+            {"throughput_tps", rep.throughputTps},
+        };
+        report.benches.push_back(std::move(r));
+    }
+}
+
 std::string
 num(double v)
 {
@@ -176,7 +252,7 @@ std::string
 toJson(const Report& report)
 {
     std::string out = "{\n  \"schema\": \"mscclpp.bench_report\",\n"
-                      "  \"version\": 2,\n  \"env\": \"" +
+                      "  \"version\": 3,\n  \"env\": \"" +
                       tuner::json::escape(report.env) +
                       "\",\n  \"benches\": {\n";
     bool firstBench = true;
@@ -212,6 +288,9 @@ toJson(const Report& report)
                    num(r.stepMeasuredNs) + ",\n";
             out += "      \"step_attribution_ns\": " +
                    mapJson(r.stepAttributionNs);
+        }
+        if (!r.servingFields.empty()) {
+            out += ",\n      \"serving\": " + mapJson(r.servingFields);
         }
         out += "\n    }";
     }
@@ -276,7 +355,8 @@ main(int argc, char** argv)
         writeReport(rep, outDir);
     }
 
-    // fig10: Llama2-70b decode steps, A100-80G, TP=8.
+    // fig10: Llama2-70b decode steps, A100-80G, TP=8 — plus the
+    // cluster-serving scenario (same size in smoke and full runs).
     {
         Report rep;
         rep.env = "A100-80G";
@@ -285,6 +365,7 @@ main(int argc, char** argv)
             shapes.push_back({32, 1024});
         }
         runDecodeSweep(rep, fab::makeA100_80G(), shapes, iters);
+        runServingCluster(rep);
         writeReport(rep, outDir);
     }
 

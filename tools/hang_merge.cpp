@@ -1,0 +1,308 @@
+/**
+ * hang_merge: cluster-level hang triage. Merges the per-rank
+ * mscclpp.hang artifacts the stall watchdog dumps (one per process in
+ * a real deployment, one per replica here) into a single
+ * mscclpp.hang_merge report: total reports, counts by classification
+ * and by root-cause party, plus — when given a bench_report pair —
+ * corroboration of link-blaming root causes against the per-link
+ * wire-time growth bench_compare gates on. A "link:gpu3.tx" root
+ * cause that also shows >threshold by_link_ns growth between baseline
+ * and current is flagged corroborated: two independent observers
+ * (watchdog wait-for graph, critical-path attribution) agree on the
+ * culprit.
+ *
+ * Usage: hang_merge [options] <hang.json>...
+ *   --out <file>           write the merged JSON (default: stdout only)
+ *   --require-party <sub>  exit 1 unless some root-cause party
+ *                          contains <sub> (CI assertion hook)
+ *   --bench <current.json> current bench_report (v3) for corroboration
+ *   --baseline <base.json> baseline bench_report (v3)
+ *   --threshold <pct>      per-link growth threshold (default 10)
+ */
+#include "tuner/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace json = mscclpp::tuner::json;
+
+namespace {
+
+constexpr const char* kLinkPrefix = "link:";
+
+std::optional<json::Value>
+loadJson(const std::string& path, const char* expectSchema,
+         double expectVersion)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "hang_merge: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::optional<json::Value> v = json::parse(ss.str());
+    if (!v) {
+        std::fprintf(stderr, "hang_merge: %s is not valid JSON\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    const json::Value* schema = v->get("schema");
+    const json::Value* version = v->get("version");
+    if (schema == nullptr || schema->string != expectSchema ||
+        version == nullptr || !version->isNumber() ||
+        version->number != expectVersion) {
+        std::fprintf(stderr, "hang_merge: %s is not a %s v%g\n",
+                     path.c_str(), expectSchema, expectVersion);
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+struct Corroboration
+{
+    std::string party;
+    std::string benchKey;
+    double baseNs = 0;
+    double curNs = 0;
+    double deltaPct = 0;
+};
+
+/**
+ * For a link-blaming root cause, find bench keys whose by_link_ns for
+ * that link grew past the threshold between baseline and current.
+ * Links below 100ns of baseline wire time are skipped, mirroring the
+ * bench_compare floor.
+ */
+std::vector<Corroboration>
+corroborate(const std::string& party, const json::Value& baseBenches,
+            const json::Value& curBenches, double thresholdPct)
+{
+    std::vector<Corroboration> out;
+    const std::string link = party.substr(std::strlen(kLinkPrefix));
+    for (const auto& [key, baseBench] : baseBenches.object) {
+        const json::Value* curBench = curBenches.get(key);
+        if (curBench == nullptr) {
+            continue;
+        }
+        const json::Value* base = baseBench.get("by_link_ns");
+        const json::Value* cur = curBench->get("by_link_ns");
+        if (base == nullptr || !base->isObject() || cur == nullptr ||
+            !cur->isObject()) {
+            continue;
+        }
+        const json::Value* b = base->get(link);
+        const json::Value* c = cur->get(link);
+        if (b == nullptr || !b->isNumber() || b->number < 100.0 ||
+            c == nullptr || !c->isNumber()) {
+            continue;
+        }
+        double deltaPct = 100.0 * (c->number / b->number - 1.0);
+        if (deltaPct > thresholdPct) {
+            out.push_back({party, key, b->number, c->number, deltaPct});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string outPath;
+    std::string requireParty;
+    std::string benchPath;
+    std::string baselinePath;
+    double thresholdPct = 10.0;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--require-party" && i + 1 < argc) {
+            requireParty = argv[++i];
+        } else if (arg == "--bench" && i + 1 < argc) {
+            benchPath = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            thresholdPct = std::atof(argv[++i]);
+        } else if (!arg.empty() && arg[0] != '-') {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out <file>] [--require-party "
+                         "<sub>] [--bench <cur.json> --baseline "
+                         "<base.json>] [--threshold <pct>] "
+                         "<hang.json>...\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "hang_merge: no hang artifacts given\n");
+        return 2;
+    }
+    if (benchPath.empty() != baselinePath.empty()) {
+        std::fprintf(stderr,
+                     "hang_merge: --bench and --baseline go together\n");
+        return 2;
+    }
+
+    std::size_t reportsTotal = 0;
+    std::map<std::string, std::size_t> byClassification;
+    std::map<std::string, std::size_t> byParty;
+    std::map<std::string, std::size_t> byReason;
+    for (const std::string& path : files) {
+        std::optional<json::Value> doc =
+            loadJson(path, "mscclpp.hang", 1);
+        if (!doc) {
+            return 2;
+        }
+        const json::Value* reports = doc->get("reports");
+        if (reports == nullptr || !reports->isArray()) {
+            std::fprintf(stderr, "hang_merge: %s has no reports array\n",
+                         path.c_str());
+            return 2;
+        }
+        for (const json::Value& r : reports->array) {
+            const json::Value* cls = r.get("classification");
+            const json::Value* root = r.get("root_cause");
+            if (cls == nullptr || !cls->isString() || root == nullptr ||
+                root->get("party") == nullptr ||
+                root->get("reason") == nullptr) {
+                std::fprintf(stderr,
+                             "hang_merge: %s has a malformed report\n",
+                             path.c_str());
+                return 2;
+            }
+            ++reportsTotal;
+            byClassification[cls->string]++;
+            byParty[root->get("party")->string]++;
+            byReason[root->get("reason")->string]++;
+        }
+    }
+
+    std::vector<Corroboration> corroborated;
+    if (!benchPath.empty()) {
+        std::optional<json::Value> cur =
+            loadJson(benchPath, "mscclpp.bench_report", 3);
+        std::optional<json::Value> base =
+            loadJson(baselinePath, "mscclpp.bench_report", 3);
+        if (!cur || !base) {
+            return 2;
+        }
+        const json::Value* curBenches = cur->get("benches");
+        const json::Value* baseBenches = base->get("benches");
+        if (curBenches == nullptr || !curBenches->isObject() ||
+            baseBenches == nullptr || !baseBenches->isObject()) {
+            std::fprintf(stderr,
+                         "hang_merge: bench reports missing benches\n");
+            return 2;
+        }
+        for (const auto& [party, count] : byParty) {
+            (void)count;
+            if (party.rfind(kLinkPrefix, 0) != 0) {
+                continue;
+            }
+            std::vector<Corroboration> hits = corroborate(
+                party, *baseBenches, *curBenches, thresholdPct);
+            corroborated.insert(corroborated.end(), hits.begin(),
+                                hits.end());
+        }
+    }
+
+    auto countsJson = [](const std::map<std::string, std::size_t>& m) {
+        std::string s = "{";
+        bool first = true;
+        for (const auto& [k, v] : m) {
+            if (!first) {
+                s += ", ";
+            }
+            first = false;
+            s += "\"" + json::escape(k) + "\": " + std::to_string(v);
+        }
+        return s + "}";
+    };
+    std::string out = "{\n  \"schema\": \"mscclpp.hang_merge\",\n"
+                      "  \"version\": 1,\n";
+    out += "  \"files\": " + std::to_string(files.size()) + ",\n";
+    out += "  \"reports_total\": " + std::to_string(reportsTotal) + ",\n";
+    out += "  \"by_classification\": " + countsJson(byClassification) +
+           ",\n";
+    out += "  \"by_root_cause_party\": " + countsJson(byParty) + ",\n";
+    out += "  \"by_root_cause_reason\": " + countsJson(byReason) + ",\n";
+    out += "  \"corroborated\": [";
+    bool first = true;
+    for (const Corroboration& c : corroborated) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"party\": \"" + json::escape(c.party) +
+               "\", \"bench\": \"" + json::escape(c.benchKey) +
+               "\", \"base_ns\": " + num(c.baseNs) +
+               ", \"cur_ns\": " + num(c.curNs) +
+               ", \"delta_pct\": " + num(c.deltaPct) + "}";
+    }
+    out += corroborated.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    std::printf("hang_merge: %zu file(s), %zu report(s)\n", files.size(),
+                reportsTotal);
+    for (const auto& [party, count] : byParty) {
+        std::printf("  root cause %-24s x%zu\n", party.c_str(), count);
+    }
+    for (const Corroboration& c : corroborated) {
+        std::printf("  corroborated: %s grew %+.1f%% in %s\n",
+                    c.party.c_str(), c.deltaPct, c.benchKey.c_str());
+    }
+
+    if (!outPath.empty()) {
+        std::ofstream f(outPath);
+        if (!f) {
+            std::fprintf(stderr, "hang_merge: cannot write %s\n",
+                         outPath.c_str());
+            return 2;
+        }
+        f << out;
+        std::printf("merged -> %s\n", outPath.c_str());
+    } else {
+        std::fputs(out.c_str(), stdout);
+    }
+
+    if (!requireParty.empty()) {
+        bool found = false;
+        for (const auto& [party, count] : byParty) {
+            (void)count;
+            if (party.find(requireParty) != std::string::npos) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "hang_merge: no root-cause party contains "
+                         "'%s'\n",
+                         requireParty.c_str());
+            return 1;
+        }
+        std::printf("required party '%s': present\n",
+                    requireParty.c_str());
+    }
+    return 0;
+}

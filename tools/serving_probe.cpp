@@ -134,13 +134,9 @@ main(int argc, char** argv)
     // Online-detection report: the first anomaly at or after the
     // injection step, and the link its window blamed.
     if (fault.atStep >= 0) {
-        const obs::StepDigest* hit = nullptr;
-        for (const obs::FlightAnomaly& a : flight.anomalies()) {
-            if (static_cast<int>(a.digest.index) >= fault.atStep) {
-                hit = &a.digest;
-                break;
-            }
-        }
+        const obs::FlightAnomaly* a = flight.firstAnomalyAtOrAfter(
+            static_cast<std::uint64_t>(fault.atStep));
+        const obs::StepDigest* hit = a == nullptr ? nullptr : &a->digest;
         if (hit == nullptr) {
             std::printf("fault NOT detected\n");
             if (assertDetect) {
