@@ -12,9 +12,15 @@
  *   --replicas <n>     override replica count
  *   --disagg <n>       prefill-only replicas (disaggregation)
  *   --backend <b>      nccl | msccl | mscclpp | all (default all)
+ *   --fault <spec>     degrade a link mid-run; spec is
+ *                      <replica>:<link>:<factor>@<step>, repeatable
+ *                      (e.g. 0:gpu3.tx:0.15@12)
  *
- * MSCCLPP_SEED and the MSCCLPP_SERVING_* environment knobs apply; the
- * run is bit-deterministic for a given configuration.
+ * MSCCLPP_SEED, the MSCCLPP_SERVING_* and the MSCCLPP_REQTRACE*
+ * environment knobs apply; the run is bit-deterministic for a given
+ * configuration. With MSCCLPP_REQTRACE=1 each backend run writes its
+ * per-request tail-exemplar dump (backend-prefixed when several
+ * backends run), which tools/trace_query can interrogate.
  */
 #include "serving/cluster.hpp"
 
@@ -55,6 +61,30 @@ struct Run
     inference::CommBackend backend;
     ServingReport report;
 };
+
+/** Parse a --fault spec "<replica>:<link>:<factor>@<step>". */
+bool
+parseFault(const std::string& spec, FaultSpec& out)
+{
+    const std::size_t c1 = spec.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+    const std::size_t at =
+        c2 == std::string::npos ? c2 : spec.find('@', c2 + 1);
+    if (at == std::string::npos) {
+        return false;
+    }
+    try {
+        out.replica = std::stoi(spec.substr(0, c1));
+        out.link = spec.substr(c1 + 1, c2 - c1 - 1);
+        out.factor = std::stod(spec.substr(c2 + 1, at - c2 - 1));
+        out.atStep =
+            static_cast<std::uint64_t>(std::stoull(spec.substr(at + 1)));
+    } catch (...) {
+        return false;
+    }
+    return !out.link.empty() && out.factor > 0.0;
+}
 
 std::string
 toJson(const ServingConfig& cfg, const std::vector<Run>& runs)
@@ -128,6 +158,7 @@ main(int argc, char** argv)
     std::string backendArg = "all";
     int replicas = -1;
     int disagg = -1;
+    std::vector<FaultSpec> faults;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -140,11 +171,22 @@ main(int argc, char** argv)
             disagg = std::atoi(argv[++i]);
         } else if (arg == "--backend" && i + 1 < argc) {
             backendArg = argv[++i];
+        } else if (arg == "--fault" && i + 1 < argc) {
+            FaultSpec f;
+            if (!parseFault(argv[++i], f)) {
+                std::fprintf(stderr,
+                             "serving_cluster: bad --fault spec '%s' "
+                             "(want <replica>:<link>:<factor>@<step>)\n",
+                             argv[i]);
+                return 2;
+            }
+            faults.push_back(std::move(f));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json <file>] "
                          "[--replicas <n>] [--disagg <n>] "
-                         "[--backend nccl|msccl|mscclpp|all]\n",
+                         "[--backend nccl|msccl|mscclpp|all] "
+                         "[--fault <r>:<link>:<factor>@<step>]\n",
                          argv[0]);
             return 2;
         }
@@ -168,6 +210,7 @@ main(int argc, char** argv)
     if (cfg.replicas == 1 && replicas < 0) {
         cfg.replicas = 2; // cluster bench: two replicas by default
     }
+    cfg.faults = std::move(faults);
     cfg.validate();
 
     std::vector<inference::CommBackend> backends;
@@ -198,10 +241,19 @@ main(int argc, char** argv)
     for (inference::CommBackend backend : backends) {
         ServingConfig c = cfg;
         c.backend = backend;
+        if (c.reqtrace && backends.size() > 1) {
+            // One dump per backend, like the per-replica obs files.
+            c.reqtraceFile =
+                std::string(backendSlug(backend)) + "." + c.reqtraceFile;
+        }
         ServingCluster cluster(c);
         runs.push_back({backend, cluster.run()});
         std::printf("--- %s ---\n%s\n\n", toString(backend),
                     runs.back().report.summary().c_str());
+        if (cluster.reqtrace().enabled()) {
+            std::printf("reqtrace -> %s (top-%d per SLO class)\n\n",
+                        c.reqtraceFile.c_str(), c.reqtraceTopK);
+        }
     }
 
     if (runs.size() > 1) {

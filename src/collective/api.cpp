@@ -38,9 +38,13 @@ CollectiveComm::record(const std::string& name, std::size_t bytes,
             .add(sim::toNs(elapsed));
     }
     if (obs.tracer().enabled()) {
+        // The serving layer parks the ids of the requests it is
+        // stepping in the tracer; stamping them here ties each
+        // collective to the requests that rode it (request-scoped
+        // tracing, DESIGN.md Section 13).
         obs.tracer().span(obs::Category::Collective, name, obs::kHostPid,
                           "collectives", t0, machine_->scheduler().now(),
-                          bytes);
+                          bytes, -1, obs.tracer().requestContext());
     }
     if (machine_->config().critpathEnabled) {
         sim::Time window = machine_->scheduler().now() - t0;

@@ -142,6 +142,22 @@ InferenceSim::layerComputeTime(std::uint64_t tokens,
     return static_cast<sim::Time>(sec * 1e12) + config_.perLayerOverhead;
 }
 
+void
+InferenceSim::annotateRequestContext()
+{
+    // When a serving layer parked request ids in the tracer, pin them
+    // to the inference step too (a zero-width marker on the "steps"
+    // track): the trace then carries the request context at every
+    // layer between the serving span above and the collectives below.
+    obs::Tracer& tr = machine_->obs().tracer();
+    if (!tr.enabled() || tr.requestContext().empty()) {
+        return;
+    }
+    const sim::Time now = machine_->scheduler().now();
+    tr.span(obs::Category::Step, "req.ctx", obs::kHostPid, "steps", now,
+            now, 0, -1, tr.requestContext());
+}
+
 InferenceSim::Breakdown
 InferenceSim::decodeStep(int batch, int seqlen, CommBackend backend)
 {
@@ -175,6 +191,7 @@ InferenceSim::decodeStepMixed(const std::vector<int>& contextLens,
     const bool opened = win.beginStepIfIdle(
         std::string("decode[") + toString(backend) + "]",
         machine_->scheduler().now());
+    annotateRequestContext();
     const TransformerConfig& m = config_.model;
     Breakdown b;
     // One new token per sequence; attention reads each sequence's own
@@ -209,6 +226,7 @@ InferenceSim::prefill(int batch, int seqlen, CommBackend backend)
     const bool opened = win.beginStepIfIdle(
         std::string("prefill[") + toString(backend) + "]",
         machine_->scheduler().now());
+    annotateRequestContext();
     const TransformerConfig& m = config_.model;
     Breakdown b;
     std::uint64_t tokens = std::uint64_t(batch) * seqlen;

@@ -114,6 +114,7 @@ class InferenceSim
   private:
     sim::Time layerComputeTime(std::uint64_t tokens,
                                std::uint64_t kvTokensRead) const;
+    void annotateRequestContext();
 
     gpu::Machine* machine_;
     InferenceConfig config_;

@@ -213,7 +213,7 @@ CritPathAnalyzer::analyze(const TraceEvent& coll, sim::Time hostTail) const
         if (ev.cat == Category::Collective ||
             ev.cat == Category::Executor ||
             ev.cat == Category::Fifo || ev.cat == Category::Link ||
-            ev.cat == Category::Step) {
+            ev.cat == Category::Step || ev.cat == Category::Request) {
             continue;
         }
         perTrack[TrackKey{ev.pid, ev.track}].push_back(&ev);
@@ -249,6 +249,8 @@ CritPathAnalyzer::analyze(const TraceEvent& coll, sim::Time hostTail) const
             break;
           case EdgeKind::LinkDelivery:
             break; // informational; span details carry link names
+          case EdgeKind::Dispatch:
+            break; // request->step annotation, never on a comm path
         }
     }
     auto sortEdges = [](auto& index) {

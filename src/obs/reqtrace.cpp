@@ -1,0 +1,611 @@
+#include "obs/reqtrace.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace mscclpp::obs {
+
+const char*
+toString(ReqPhase p)
+{
+    switch (p) {
+      case ReqPhase::Queued:
+        return "queued";
+      case ReqPhase::Prefill:
+        return "prefill";
+      case ReqPhase::Recompute:
+        return "recompute";
+      case ReqPhase::Decode:
+        return "decode";
+      case ReqPhase::Migration:
+        return "kv_migration";
+      case ReqPhase::PreemptWait:
+        return "preempt_wait";
+    }
+    return "?";
+}
+
+const char*
+toString(ReqCategory c)
+{
+    switch (c) {
+      case ReqCategory::QueueWait:
+        return "queue_wait";
+      case ReqCategory::PrefillCompute:
+        return "prefill_compute";
+      case ReqCategory::DecodeCompute:
+        return "decode_compute";
+      case ReqCategory::ExposedComms:
+        return "exposed_comms";
+      case ReqCategory::SyncWait:
+        return "sync_wait";
+      case ReqCategory::PreemptionLost:
+        return "preemption_lost";
+      case ReqCategory::KvMigration:
+        return "kv_migration";
+    }
+    return "?";
+}
+
+sim::Time
+RequestTrace::ttftBucket(ReqCategory c) const
+{
+    auto it = ttftBuckets.find(c);
+    return it == ttftBuckets.end() ? 0 : it->second;
+}
+
+sim::Time
+RequestTrace::e2eBucket(ReqCategory c) const
+{
+    auto it = e2eBuckets.find(c);
+    return it == e2eBuckets.end() ? 0 : it->second;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Picosecond-exact nanosecond rendering (x/1000 with three decimals),
+ *  so the dump's bucket sums reconcile as tightly as the in-memory
+ *  picosecond values do. */
+std::string
+fmtNs(sim::Time t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(t / 1000),
+                  static_cast<unsigned long long>(t % 1000));
+    return buf;
+}
+
+/** The bucket a span's whole duration falls into when it carries no
+ *  usable step attribution. */
+ReqCategory
+primaryCategory(const RequestSpan& sp)
+{
+    switch (sp.phase) {
+      case ReqPhase::Queued:
+        return ReqCategory::QueueWait;
+      case ReqPhase::Prefill:
+        return ReqCategory::PrefillCompute;
+      case ReqPhase::Recompute:
+        return ReqCategory::PreemptionLost;
+      case ReqPhase::Decode:
+        return ReqCategory::DecodeCompute;
+      case ReqPhase::Migration:
+        return ReqCategory::KvMigration;
+      case ReqPhase::PreemptWait:
+        return ReqCategory::PreemptionLost;
+    }
+    return ReqCategory::QueueWait;
+}
+
+/** True when the span's step attribution can be reused verbatim: the
+ *  step's reconciled latency is exactly the span duration (always the
+ *  case for the serving step engine, which sets end = begin +
+ *  measured). */
+bool
+attributionUsable(const RequestSpan& sp)
+{
+    return !sp.stepBuckets.empty() &&
+           sp.stepMeasured == sp.end - sp.begin &&
+           (sp.phase == ReqPhase::Prefill || sp.phase == ReqPhase::Decode);
+}
+
+sim::Time
+stepBucketOf(const RequestSpan& sp, StepCategory c)
+{
+    auto it = sp.stepBuckets.find(c);
+    return it == sp.stepBuckets.end() ? 0 : it->second;
+}
+
+/** Critical-path communication cost the span put on the request. */
+sim::Time
+commCostOf(const RequestSpan& sp)
+{
+    if (!attributionUsable(sp)) {
+        return 0;
+    }
+    return stepBucketOf(sp, StepCategory::ExposedComms) +
+           stepBucketOf(sp, StepCategory::SyncWait) +
+           stepBucketOf(sp, StepCategory::ProxyHop) +
+           stepBucketOf(sp, StepCategory::Launch);
+}
+
+/**
+ * Add the span's [begin, min(end, clip)) slice to @p buckets. A full
+ * span splits along its step attribution (which sums exactly to the
+ * span duration); a clipped or unattributed slice lands whole in the
+ * phase's primary bucket. Either way the contribution equals the
+ * slice duration, so summing over a contiguous span list reconciles
+ * exactly with the wall interval it covers.
+ */
+void
+addSpan(const RequestSpan& sp, sim::Time clip,
+        std::map<ReqCategory, sim::Time>& buckets)
+{
+    if (sp.begin >= clip) {
+        return;
+    }
+    const sim::Time end = std::min(sp.end, clip);
+    const sim::Time dur = end - sp.begin;
+    if (dur == 0) {
+        return;
+    }
+    if (end != sp.end || !attributionUsable(sp)) {
+        buckets[primaryCategory(sp)] += dur;
+        return;
+    }
+    const ReqCategory computeCat = sp.phase == ReqPhase::Prefill
+                                       ? ReqCategory::PrefillCompute
+                                       : ReqCategory::DecodeCompute;
+    buckets[computeCat] += stepBucketOf(sp, StepCategory::Compute) +
+                           stepBucketOf(sp, StepCategory::OverlapSlack);
+    buckets[ReqCategory::ExposedComms] +=
+        stepBucketOf(sp, StepCategory::ExposedComms) +
+        stepBucketOf(sp, StepCategory::ProxyHop) +
+        stepBucketOf(sp, StepCategory::Launch);
+    buckets[ReqCategory::SyncWait] +=
+        stepBucketOf(sp, StepCategory::SyncWait);
+}
+
+} // namespace
+
+std::string
+RequestTrace::toJson() const
+{
+    std::string out = "{\"id\": " + std::to_string(id) +
+                      ", \"replica\": " + std::to_string(replica) +
+                      ", \"arrival_ns\": " + fmtNs(arrival) +
+                      ", \"first_token_ns\": " + fmtNs(firstToken) +
+                      ", \"completed_ns\": " + fmtNs(completed) +
+                      ", \"ttft_ns\": " + fmtNs(ttft()) +
+                      ", \"e2e_ns\": " + fmtNs(e2e()) +
+                      ", \"preemptions\": " + std::to_string(preemptions) +
+                      ", \"decode_steps\": " + std::to_string(decodeSteps);
+    for (const char* which : {"ttft_buckets_ns", "e2e_buckets_ns"}) {
+        const auto& b = which[0] == 't' ? ttftBuckets : e2eBuckets;
+        out += std::string(", \"") + which + "\": {";
+        bool first = true;
+        for (ReqCategory c : kReqCategories) {
+            out += first ? "" : ", ";
+            first = false;
+            auto it = b.find(c);
+            out += std::string("\"") + toString(c) +
+                   "\": " + fmtNs(it == b.end() ? 0 : it->second);
+        }
+        out += "}";
+    }
+    out += ", \"blame\": {\"replica\": " + std::to_string(blame.replica) +
+           ", \"step\": \"" + jsonEscape(blame.step) +
+           "\", \"at_ns\": " + fmtNs(blame.at) + ", \"collective\": \"" +
+           jsonEscape(blame.collective) + "\", \"link\": \"" +
+           jsonEscape(blame.link) + "\", \"category\": \"" +
+           toString(blame.category) +
+           "\", \"cost_ns\": " + fmtNs(blame.cost) + "}";
+    out += ", \"spans\": [";
+    bool first = true;
+    for (const RequestSpan& sp : spans) {
+        out += first ? "" : ", ";
+        first = false;
+        out += std::string("{\"phase\": \"") + toString(sp.phase) +
+               "\", \"begin_ns\": " + fmtNs(sp.begin) +
+               ", \"end_ns\": " + fmtNs(sp.end) +
+               ", \"replica\": " + std::to_string(sp.replica) +
+               ", \"label\": \"" + jsonEscape(sp.label) +
+               "\", \"collective\": \"" + jsonEscape(sp.collective) +
+               "\", \"link\": \"" + jsonEscape(sp.link) +
+               "\", \"bytes\": " + std::to_string(sp.bytes) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+RequestTrace&
+RequestTracer::open(int id)
+{
+    RequestTrace& t = open_[id];
+    t.id = id;
+    return t;
+}
+
+void
+RequestTracer::onArrival(int id, sim::Time at)
+{
+    if (!enabled()) {
+        return;
+    }
+    RequestTrace& t = open(id);
+    t.arrival = at;
+    ++observed_;
+}
+
+void
+RequestTracer::onPhase(int id, ReqPhase phase, sim::Time begin,
+                       sim::Time end, int replica, std::string label,
+                       const StepAttribution* att)
+{
+    if (!enabled()) {
+        return;
+    }
+    RequestTrace& t = open(id);
+    RequestSpan sp;
+    sp.phase = phase;
+    sp.begin = begin;
+    sp.end = end;
+    sp.replica = replica;
+    sp.label = std::move(label);
+    if (att != nullptr) {
+        sp.collective = att->dominantCollective;
+        sp.link = att->culpritLink;
+        sp.stragglerRank = att->stragglerRank;
+        sp.stepMeasured = att->measured;
+        sp.stepBuckets = att->buckets;
+    }
+    if (phase == ReqPhase::Decode) {
+        t.decodeSteps++;
+    }
+    t.spans.push_back(std::move(sp));
+}
+
+void
+RequestTracer::onMigration(int id, sim::Time begin, sim::Time end,
+                           int from, int to, std::uint64_t bytes)
+{
+    if (!enabled()) {
+        return;
+    }
+    RequestTrace& t = open(id);
+    RequestSpan sp;
+    sp.phase = ReqPhase::Migration;
+    sp.begin = begin;
+    sp.end = end;
+    sp.replica = to;
+    sp.label = "kv r" + std::to_string(from) + "->r" + std::to_string(to);
+    sp.bytes = bytes;
+    t.spans.push_back(std::move(sp));
+    ++migrations_;
+}
+
+void
+RequestTracer::onPreempted(int id, sim::Time at, int replica)
+{
+    if (!enabled()) {
+        return;
+    }
+    (void)replica;
+    RequestTrace& t = open(id);
+    t.preemptions++;
+    t.preemptedAt.push_back(at);
+    ++preemptionEvents_;
+}
+
+void
+RequestTracer::onDone(int id, sim::Time firstToken, sim::Time completed,
+                      int replica)
+{
+    if (!enabled()) {
+        return;
+    }
+    RequestTrace& t = open(id);
+    t.firstToken = firstToken;
+    t.completed = completed;
+    t.replica = replica;
+    t.done = true;
+    finalize(t);
+    ++completed_;
+    retain(std::move(t));
+    open_.erase(id);
+}
+
+void
+RequestTracer::onDropped(int id, sim::Time at, int replica)
+{
+    if (!enabled()) {
+        return;
+    }
+    RequestTrace& t = open(id);
+    t.completed = at;
+    t.replica = replica;
+    t.dropped = true;
+    ++dropped_;
+    open_.erase(id);
+}
+
+void
+RequestTracer::noteFault(int replica, std::string link, sim::Time at)
+{
+    if (!enabled()) {
+        return;
+    }
+    faults_.push_back(FaultStamp{replica, std::move(link), at});
+}
+
+/**
+ * Turn the recorded phase spans into a contiguous tree over
+ * [arrival, completed] and fold it into the exact bucket splits.
+ *
+ * Every gap between recorded spans is synthesised as a wait: plain
+ * queueing normally, preemption recovery once an eviction marker has
+ * passed (cleared when the recompute prefill lands). Each span then
+ * contributes exactly its duration to the buckets — phase spans split
+ * along their step attribution, waits land whole — so the e2e buckets
+ * sum to completed - arrival and the TTFT buckets (the same walk
+ * clipped at firstToken) to firstToken - arrival, to the picosecond.
+ */
+void
+RequestTracer::finalize(RequestTrace& t)
+{
+    std::stable_sort(t.spans.begin(), t.spans.end(),
+                     [](const RequestSpan& a, const RequestSpan& b) {
+                         return a.begin < b.begin;
+                     });
+    std::vector<sim::Time> marks = t.preemptedAt;
+    std::sort(marks.begin(), marks.end());
+
+    std::vector<RequestSpan> tree;
+    tree.reserve(t.spans.size() * 2);
+    sim::Time cursor = t.arrival;
+    bool recovering = false;
+    std::size_t mi = 0;
+    auto wait = [&](sim::Time upTo) {
+        // Consume eviction markers inside the gap: queueing before the
+        // marker, preemption recovery after it.
+        while (mi < marks.size() && marks[mi] <= upTo) {
+            if (marks[mi] > cursor && !recovering) {
+                RequestSpan w;
+                w.phase = ReqPhase::Queued;
+                w.begin = cursor;
+                w.end = marks[mi];
+                tree.push_back(w);
+                cursor = marks[mi];
+            }
+            recovering = true;
+            ++mi;
+        }
+        if (upTo > cursor) {
+            RequestSpan w;
+            w.phase = recovering ? ReqPhase::PreemptWait
+                                 : ReqPhase::Queued;
+            w.begin = cursor;
+            w.end = upTo;
+            tree.push_back(w);
+            cursor = upTo;
+        }
+    };
+    for (RequestSpan& sp : t.spans) {
+        wait(sp.begin);
+        if (sp.phase == ReqPhase::Prefill && recovering) {
+            sp.phase = ReqPhase::Recompute;
+        }
+        if (sp.phase == ReqPhase::Prefill ||
+            sp.phase == ReqPhase::Recompute) {
+            recovering = false;
+        }
+        cursor = std::max(cursor, sp.end);
+        tree.push_back(std::move(sp));
+    }
+    wait(t.completed);
+    t.spans = std::move(tree);
+
+    t.ttftBuckets.clear();
+    t.e2eBuckets.clear();
+    for (ReqCategory c : kReqCategories) {
+        t.ttftBuckets[c] = 0;
+        t.e2eBuckets[c] = 0;
+    }
+    for (const RequestSpan& sp : t.spans) {
+        addSpan(sp, t.completed, t.e2eBuckets);
+        addSpan(sp, t.firstToken, t.ttftBuckets);
+    }
+
+    // Blame: aggregate critical-path communication cost per culprit
+    // link over the whole request — a degraded link that taxes every
+    // decode step a little outweighs one expensive prefill — then
+    // report the costliest link's worst span as the chain's anchor.
+    // With no traced comm anywhere, fall back to the longest span.
+    struct LinkAgg
+    {
+        sim::Time cost = 0;
+        sim::Time sync = 0;
+        const RequestSpan* top = nullptr;
+        sim::Time topCost = 0;
+    };
+    std::map<std::string, LinkAgg> byLink;
+    for (const RequestSpan& sp : t.spans) {
+        const sim::Time cost = commCostOf(sp);
+        if (cost == 0) {
+            continue;
+        }
+        LinkAgg& agg = byLink[sp.link];
+        agg.cost += cost;
+        agg.sync += stepBucketOf(sp, StepCategory::SyncWait);
+        if (agg.top == nullptr || cost > agg.topCost) {
+            agg.top = &sp;
+            agg.topCost = cost;
+        }
+    }
+    const LinkAgg* worstAgg = nullptr;
+    for (const auto& [link, agg] : byLink) {
+        if (worstAgg == nullptr || agg.cost > worstAgg->cost) {
+            worstAgg = &agg;
+        }
+    }
+    if (worstAgg != nullptr) {
+        const RequestSpan& sp = *worstAgg->top;
+        t.blame.replica = sp.replica;
+        t.blame.step = sp.label;
+        t.blame.at = sp.begin;
+        t.blame.collective = sp.collective;
+        t.blame.link = sp.link;
+        t.blame.category = worstAgg->sync * 2 > worstAgg->cost
+                               ? ReqCategory::SyncWait
+                               : ReqCategory::ExposedComms;
+        t.blame.cost = worstAgg->cost;
+    } else {
+        const RequestSpan* longest = nullptr;
+        for (const RequestSpan& sp : t.spans) {
+            if (longest == nullptr ||
+                sp.end - sp.begin > longest->end - longest->begin) {
+                longest = &sp;
+            }
+        }
+        if (longest != nullptr) {
+            t.blame.replica = longest->replica;
+            t.blame.step = longest->label;
+            t.blame.at = longest->begin;
+            t.blame.collective = longest->collective;
+            t.blame.link = longest->link;
+            t.blame.category = primaryCategory(*longest);
+            t.blame.cost = longest->end - longest->begin;
+        }
+    }
+}
+
+void
+RequestTracer::retain(RequestTrace&& t)
+{
+    auto insert = [this](std::vector<RequestTrace>& v,
+                         const RequestTrace& tr, sim::Time key,
+                         auto keyOf) {
+        auto pos = std::find_if(v.begin(), v.end(),
+                                [&](const RequestTrace& o) {
+                                    return keyOf(o) < key;
+                                });
+        v.insert(pos, tr);
+        if (static_cast<int>(v.size()) > topK_) {
+            v.pop_back();
+        }
+    };
+    insert(worstTtft_, t, t.ttft(),
+           [](const RequestTrace& o) { return o.ttft(); });
+    insert(worstE2e_, t, t.e2e(),
+           [](const RequestTrace& o) { return o.e2e(); });
+}
+
+const std::vector<RequestTrace>&
+RequestTracer::exemplars(const std::string& cls) const
+{
+    if (cls == "ttft") {
+        return worstTtft_;
+    }
+    if (cls == "e2e") {
+        return worstE2e_;
+    }
+    throw Error(ErrorCode::InvalidUsage,
+                "unknown SLO class '" + cls + "' (use ttft or e2e)");
+}
+
+const RequestTrace*
+RequestTracer::find(int id) const
+{
+    for (const std::vector<RequestTrace>* v : {&worstE2e_, &worstTtft_}) {
+        for (const RequestTrace& t : *v) {
+            if (t.id == id) {
+                return &t;
+            }
+        }
+    }
+    return nullptr;
+}
+
+std::string
+RequestTracer::toJson() const
+{
+    std::string out = "{\n  \"schema\": \"mscclpp.reqtrace\",\n"
+                      "  \"version\": 1,\n";
+    out += "  \"topk\": " + std::to_string(topK_) + ",\n";
+    out += "  \"requests_observed\": " + std::to_string(observed_) + ",\n";
+    out +=
+        "  \"requests_completed\": " + std::to_string(completed_) + ",\n";
+    out += "  \"requests_dropped\": " + std::to_string(dropped_) + ",\n";
+    out += "  \"preemption_events\": " +
+           std::to_string(preemptionEvents_) + ",\n";
+    out += "  \"kv_migrations\": " + std::to_string(migrations_) + ",\n";
+    out += "  \"faults\": [";
+    bool first = true;
+    for (const FaultStamp& f : faults_) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "{\"replica\": " + std::to_string(f.replica) +
+               ", \"link\": \"" + jsonEscape(f.link) +
+               "\", \"at_ns\": " + fmtNs(f.at) + "}";
+    }
+    out += "],\n  \"classes\": {\n";
+    const char* clsNames[] = {"ttft", "e2e"};
+    const std::vector<RequestTrace>* clsVecs[] = {&worstTtft_,
+                                                  &worstE2e_};
+    for (int i = 0; i < 2; ++i) {
+        out += std::string("    \"") + clsNames[i] + "\": [";
+        first = true;
+        for (const RequestTrace& t : *clsVecs[i]) {
+            out += first ? "\n      " : ",\n      ";
+            first = false;
+            out += t.toJson();
+        }
+        out += first ? "]" : "\n    ]";
+        out += i == 0 ? ",\n" : "\n";
+    }
+    out += "  }\n}\n";
+    return out;
+}
+
+void
+RequestTracer::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open reqtrace file '" + path +
+                        "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing reqtrace file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

@@ -1,0 +1,254 @@
+#ifndef MSCCLPP_OBS_REQTRACE_HPP
+#define MSCCLPP_OBS_REQTRACE_HPP
+
+#include "obs/window.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * Phase of a request's span tree (DESIGN.md Section 13). Queued and
+ * PreemptWait spans are synthesised when a trace is finalised: the
+ * serving layer records only the phases where the request actually
+ * ran, and every untraced gap between them is, by construction, time
+ * the request spent waiting.
+ */
+enum class ReqPhase
+{
+    Queued,      ///< waiting for admission (synthesised gap)
+    Prefill,     ///< running in a prefill batch
+    Recompute,   ///< re-prefilling evicted context after preemption
+    Decode,      ///< running in a decode batch (one span per step)
+    Migration,   ///< KV shard in flight to a decode replica
+    PreemptWait, ///< evicted, waiting to re-prefill (synthesised gap)
+};
+
+const char* toString(ReqPhase p);
+
+/**
+ * Where one request's latency went. The seven buckets reconcile
+ * *exactly* to the measured latency (TTFT or e2e): every picosecond
+ * between arrival and completion lands in exactly one bucket, the
+ * same invariant StepAttribution maintains per step.
+ */
+enum class ReqCategory
+{
+    QueueWait,      ///< admission queueing (arrival and post-migration)
+    PrefillCompute, ///< prefill-step compute (incl. hidden comm slack)
+    DecodeCompute,  ///< decode-step compute (incl. hidden comm slack)
+    ExposedComms,   ///< critical-path wire + proxy + launch time of the
+                    ///< request's steps
+    SyncWait,       ///< semaphore propagation + poll on those paths
+    PreemptionLost, ///< eviction wait + the recompute prefill itself
+    KvMigration,    ///< NIC transfer of the KV shard (disaggregation)
+};
+
+const char* toString(ReqCategory c);
+
+/** All categories in a fixed report order. */
+inline constexpr ReqCategory kReqCategories[] = {
+    ReqCategory::QueueWait,    ReqCategory::PrefillCompute,
+    ReqCategory::DecodeCompute, ReqCategory::ExposedComms,
+    ReqCategory::SyncWait,     ReqCategory::PreemptionLost,
+    ReqCategory::KvMigration,
+};
+
+/**
+ * One node of a request's span tree. Phase spans recorded by the
+ * serving layer carry the owning step's attribution digest (buckets,
+ * dominant collective, culprit link), which is what lets a request's
+ * latency split reuse the StepWindow/critpath machinery instead of
+ * re-deriving it.
+ */
+struct RequestSpan
+{
+    ReqPhase phase = ReqPhase::Queued;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    int replica = -1;        ///< -1 for synthesised waits / migration
+    std::string label;       ///< step label ("serve.decode.b4")
+    std::uint64_t bytes = 0; ///< migrated KV shard bytes
+
+    // Step-window digest (empty when the step was untraced).
+    std::string collective; ///< dominant collective inside the step
+    std::string link;       ///< the step's culprit link
+    int stragglerRank = -1;
+    sim::Time stepMeasured = 0;
+    std::map<StepCategory, sim::Time> stepBuckets;
+};
+
+/**
+ * The most expensive cause of a request's latency: replica -> step ->
+ * collective -> link, the chain trace_query prints. Communication
+ * cost is aggregated per culprit link across all of the request's
+ * steps before picking the winner, so a degraded link that taxes
+ * every decode step outweighs one expensive prefill; the anchor span
+ * (step/at/collective) is the costliest step on the blamed link.
+ */
+struct ReqBlame
+{
+    int replica = -1;
+    std::string step;       ///< step label of the anchor span
+    sim::Time at = 0;       ///< begin of the anchor span
+    std::string collective; ///< dominant collective of that step
+    std::string link;       ///< the blamed link ("" when no comm)
+    ReqCategory category = ReqCategory::QueueWait;
+    sim::Time cost = 0; ///< the link's summed cost to the request
+};
+
+/** Finalised per-request trace: a contiguous span tree covering
+ *  [arrival, completed] plus the exact latency attribution. */
+struct RequestTrace
+{
+    int id = -1;
+    sim::Time arrival = 0;
+    sim::Time firstToken = 0;
+    sim::Time completed = 0;
+    int replica = -1; ///< replica that completed (or dropped) it
+    int preemptions = 0;
+    int decodeSteps = 0;
+    bool dropped = false;
+    bool done = false;
+
+    /// Contiguous, non-overlapping spans from arrival to completion
+    /// (waits synthesised); valid once the request is done.
+    std::vector<RequestSpan> spans;
+    std::vector<sim::Time> preemptedAt; ///< eviction markers
+
+    std::map<ReqCategory, sim::Time> ttftBuckets;
+    std::map<ReqCategory, sim::Time> e2eBuckets;
+    ReqBlame blame;
+
+    sim::Time ttft() const { return firstToken - arrival; }
+    sim::Time e2e() const { return completed - arrival; }
+
+    sim::Time ttftBucket(ReqCategory c) const;
+    sim::Time e2eBucket(ReqCategory c) const;
+
+    /** JSON object for the mscclpp.reqtrace dump. */
+    std::string toJson() const;
+};
+
+/**
+ * Cluster-level request tracer: the serving layer reports every
+ * request's lifecycle (arrival, batched phases with their step
+ * attributions, preemptions, KV migrations, completion) and the
+ * tracer folds each finished request into an exact seven-bucket
+ * latency split, keeping the full span tree of only the k worst
+ * requests per SLO class online (flight-recorder discipline: bounded
+ * memory no matter how long the run).
+ *
+ * Lives beside — not inside — the per-Machine ObsContext because one
+ * request's tree spans replicas (prefill here, decode there, the KV
+ * migration in between). Compiled out with -DMSCCLPP_NO_OBS the same
+ * way the Tracer is: enabled() is constant false and every hook is a
+ * dead branch.
+ *
+ * Like the Tracer, it never advances virtual time.
+ */
+class RequestTracer
+{
+  public:
+#ifdef MSCCLPP_NO_OBS
+    static constexpr bool kCompiledIn = false;
+#else
+    static constexpr bool kCompiledIn = true;
+#endif
+
+    bool enabled() const { return kCompiledIn && enabled_; }
+    void setEnabled(bool on) { enabled_ = kCompiledIn && on; }
+
+    int topK() const { return topK_; }
+    void setTopK(int k) { topK_ = k < 1 ? 1 : k; }
+
+    const std::string& file() const { return file_; }
+    void setFile(std::string path) { file_ = std::move(path); }
+
+    /** A request entered the cluster. */
+    void onArrival(int id, sim::Time at);
+
+    /**
+     * The request ran in one batched step [begin, end) on @p replica.
+     * @p att is the step window's attribution (nullptr when the
+     * machine's tracer is off); when its measured latency equals the
+     * span duration — always true for the serving step engine — the
+     * request's split reuses it verbatim, keeping exactness.
+     */
+    void onPhase(int id, ReqPhase phase, sim::Time begin, sim::Time end,
+                 int replica, std::string label,
+                 const StepAttribution* att);
+
+    /** KV shard of @p id in flight from @p from to @p to. */
+    void onMigration(int id, sim::Time begin, sim::Time end, int from,
+                     int to, std::uint64_t bytes);
+
+    /** The request was evicted (recompute-style) at @p at. */
+    void onPreempted(int id, sim::Time at, int replica);
+
+    /** The request completed; finalises and retains the trace. */
+    void onDone(int id, sim::Time firstToken, sim::Time completed,
+                int replica);
+
+    /** The request could never fit and was dropped. */
+    void onDropped(int id, sim::Time at, int replica);
+
+    /** Stamp a mid-run fault so the dump can separate pre/post-fault
+     *  exemplars (the acceptance test's pivot). */
+    void noteFault(int replica, std::string link, sim::Time at);
+
+    std::uint64_t observed() const { return observed_; }
+    std::uint64_t completedCount() const { return completed_; }
+    std::uint64_t droppedCount() const { return dropped_; }
+    std::uint64_t preemptionEvents() const { return preemptionEvents_; }
+    std::uint64_t migrations() const { return migrations_; }
+
+    /** Worst-first exemplars of @p cls ("ttft" or "e2e"). */
+    const std::vector<RequestTrace>& exemplars(
+        const std::string& cls) const;
+
+    /** Retained trace of request @p id, nullptr when it was evicted
+     *  from both top-k classes. */
+    const RequestTrace* find(int id) const;
+
+    /** Serialise the mscclpp.reqtrace v1 dump. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+  private:
+    struct FaultStamp
+    {
+        int replica = 0;
+        std::string link;
+        sim::Time at = 0;
+    };
+
+    RequestTrace& open(int id);
+    void finalize(RequestTrace& t);
+    void retain(RequestTrace&& t);
+
+    bool enabled_ = false;
+    int topK_ = 4;
+    std::string file_;
+
+    std::map<int, RequestTrace> open_;
+    std::vector<RequestTrace> worstTtft_; ///< sorted worst-first
+    std::vector<RequestTrace> worstE2e_;  ///< sorted worst-first
+    std::vector<FaultStamp> faults_;
+
+    std::uint64_t observed_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t preemptionEvents_ = 0;
+    std::uint64_t migrations_ = 0;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_REQTRACE_HPP

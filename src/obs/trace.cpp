@@ -30,6 +30,8 @@ toString(Category c)
         return "kernel";
       case Category::Step:
         return "step";
+      case Category::Request:
+        return "request";
     }
     return "?";
 }
@@ -46,6 +48,8 @@ toString(EdgeKind k)
         return "link_delivery";
       case EdgeKind::Launch:
         return "launch";
+      case EdgeKind::Dispatch:
+        return "dispatch";
     }
     return "?";
 }
@@ -198,6 +202,9 @@ processLabel(int pid)
     if (pid == kFabricPid) {
         return "fabric";
     }
+    if (pid == kRequestPid) {
+        return "requests";
+    }
     return "device" + std::to_string(pid);
 }
 
@@ -214,14 +221,25 @@ fmtUs(sim::Time t)
 std::string
 Tracer::chromeTraceJson() const
 {
-    // Stable (pid, track) -> tid assignment in first-seen order.
+    // Deterministic (pid, track) -> tid assignment: tracks sort
+    // lexicographically within their process, so the same workload
+    // yields byte-identical metadata regardless of which track
+    // happened to record first (stable diffs across runs, stable
+    // committed fixtures).
     std::map<std::pair<int, std::string>, int> tids;
-    std::map<int, int> nextTid;
     std::vector<TraceEvent> events = snapshot();
     for (const TraceEvent& ev : events) {
-        auto key = std::make_pair(ev.pid, ev.track);
-        if (tids.find(key) == tids.end()) {
-            tids[key] = nextTid[ev.pid]++;
+        tids.emplace(std::make_pair(ev.pid, ev.track), 0);
+    }
+    {
+        int pid = 0;
+        int next = 0;
+        for (auto& [key, tid] : tids) {
+            if (key.first != pid) {
+                pid = key.first;
+                next = 0;
+            }
+            tid = next++;
         }
     }
 
@@ -249,6 +267,13 @@ Tracer::chromeTraceJson() const
                  std::to_string(key.first) +
                  ",\"args\":{\"name\":\"" +
                  jsonEscape(processLabel(key.first)) + "\"}}");
+            // Devices first, pseudo-processes (host, fabric, requests)
+            // after, in a fixed order the viewer honours.
+            emit("{\"name\":\"process_sort_index\",\"ph\":\"M\","
+                 "\"pid\":" +
+                 std::to_string(key.first) +
+                 ",\"args\":{\"sort_index\":" +
+                 std::to_string(key.first) + "}}");
         }
         emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
              std::to_string(key.first) + ",\"tid\":" +

@@ -25,14 +25,17 @@ enum class Category
     Kernel,     ///< kernel launches and thread-block lifetimes
     Step,       ///< serving-step windows (obs/window.hpp), one span
                 ///< per beginStep()/endStep() pair on a "steps" track
+    Request,    ///< per-request lifecycle spans mirrored from the
+                ///< serving layer onto the kRequestPid pseudo-process
 };
 
 const char* toString(Category c);
 
 /// Pseudo-process ids for tracks that belong to no simulated device.
 /// Device ranks are small; these stay clear of any realistic cluster.
-inline constexpr int kHostPid = 10000;   ///< host-side API calls
-inline constexpr int kFabricPid = 10001; ///< links and switches
+inline constexpr int kHostPid = 10000;    ///< host-side API calls
+inline constexpr int kFabricPid = 10001;  ///< links and switches
+inline constexpr int kRequestPid = 10002; ///< request span trees
 
 /**
  * One completed span recorded against the deterministic virtual
@@ -66,6 +69,8 @@ enum class EdgeKind
     FifoHop,      ///< proxy FIFO push complete -> CPU pop complete
     LinkDelivery, ///< wire serialisation start -> last-byte delivery
     Launch,       ///< host kernel launch -> thread-block start
+    Dispatch,     ///< request span -> the serving step that ran it
+                  ///< (informational; never on a collective's path)
 };
 
 const char* toString(EdgeKind k);
@@ -130,6 +135,22 @@ class Tracer
               sim::Time dstTime, std::uint64_t bytes = 0,
               int channelId = -1);
 
+    /**
+     * Request context the serving layer is currently stepping (e.g.
+     * "req=3,7"). While set, collective root spans carry it in their
+     * detail, which is what ties a request id to the collectives it
+     * rode — the downward half of request-scoped tracing. Cleared by
+     * setting the empty string.
+     */
+    void setRequestContext(std::string ctx)
+    {
+        if (enabled()) {
+            requestContext_ = std::move(ctx);
+        }
+    }
+
+    const std::string& requestContext() const { return requestContext_; }
+
     /** Events currently held (<= capacity). */
     std::size_t size() const { return events_.size(); }
 
@@ -189,6 +210,7 @@ class Tracer
     std::vector<TraceEdge> edges_;
     std::size_t edgeHead_ = 0;
     std::uint64_t edgesDropped_ = 0;
+    std::string requestContext_;
 };
 
 } // namespace mscclpp::obs

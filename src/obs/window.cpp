@@ -185,6 +185,7 @@ StepAttribution::toJson() const
     }
     out += "}, \"straggler_rank\": " + std::to_string(stragglerRank) +
            ", \"culprit_link\": \"" + culpritLink +
+           "\", \"dominant_collective\": \"" + dominantCollective +
            "\", \"collectives\": " + std::to_string(collectives) + "}";
     return out;
 }
@@ -230,6 +231,18 @@ attributeWindow(const std::vector<TraceEvent>& events,
         colls.swap(serial);
     }
     att.collectives = static_cast<int>(colls.size());
+    {
+        const TraceEvent* longest = nullptr;
+        for (const TraceEvent* c : colls) {
+            if (longest == nullptr ||
+                c->end - c->begin > longest->end - longest->begin) {
+                longest = c;
+            }
+        }
+        if (longest != nullptr) {
+            att.dominantCollective = longest->name;
+        }
+    }
 
     // Per-collective critical paths, mapped onto step buckets.
     CritPathAnalyzer analyzer(events, edges);

@@ -63,6 +63,10 @@ struct StepAttribution
     int stragglerRank = -1;   ///< rank whose block finished last
     std::string culpritLink;  ///< argmax of byLink ("" when no comm)
     int collectives = 0;      ///< collective roots inside the window
+    /// Name of the longest collective root in the window ("" when
+    /// none) — the hop between a step and the collective a request's
+    /// blame chain should name.
+    std::string dominantCollective;
 
     sim::Time bucket(StepCategory c) const
     {

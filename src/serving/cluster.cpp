@@ -9,6 +9,16 @@ namespace mscclpp::serving {
 ServingCluster::ServingCluster(ServingConfig cfg) : cfg_(std::move(cfg))
 {
     cfg_.validate();
+    if (cfg_.reqtrace && obs::Tracer::kCompiledIn) {
+        reqtrace_.setEnabled(true);
+        reqtrace_.setTopK(cfg_.reqtraceTopK);
+        reqtrace_.setFile(cfg_.reqtraceFile);
+        // Per-request attribution reuses each replica's step-window
+        // digests, so request tracing implies the per-machine tracer
+        // (an explicit MSCCLPP_TRACE=0 still wins in the Machine's
+        // env-override pass).
+        cfg_.env.traceEnabled = true;
+    }
     workload_ = generateWorkload(cfg_.workload, cfg_.seed);
     stats_.resize(workload_.size());
     for (const Request& r : workload_) {
@@ -26,6 +36,7 @@ ServingCluster::ServingCluster(ServingConfig cfg) : cfg_(std::move(cfg))
         }
         replicas_.push_back(
             std::make_unique<Replica>(cfg_, i, role));
+        replicas_.back()->bindRequestTracer(&reqtrace_);
     }
     faultFired_.assign(cfg_.faults.size(), false);
 }
@@ -60,6 +71,7 @@ ServingCluster::dispatchArrival(const Request& r)
     s.outputLen = r.outputLen;
     s.contextLen = r.promptLen;
     s.readyAt = r.arrival;
+    reqtrace_.onArrival(r.id, r.arrival);
     replicas_.at(pickLeastLoaded(true))->enqueuePrefill(s);
 }
 
@@ -76,8 +88,11 @@ ServingCluster::routeOutcome(int from, Replica::StepOutcome out)
         const sim::Time xfer =
             sim::transferTime(shard, cfg_.env.nicBwGBps) +
             cfg_.env.nicLatency;
+        const int dest = pickLeastLoaded(false);
+        reqtrace_.onMigration(s.reqId, s.readyAt, s.readyAt + xfer,
+                              from, dest, shard);
         s.readyAt += xfer;
-        replicas_.at(pickLeastLoaded(false))->enqueueDecode(s);
+        replicas_.at(dest)->enqueueDecode(s);
         migrations_++;
         replicas_[from]
             ->machine()
@@ -103,6 +118,8 @@ ServingCluster::injectFaultsBefore(int replicaIdx)
         }
         replicas_[replicaIdx]->machine().fabric().degradeLink(f.link,
                                                               f.factor);
+        reqtrace_.noteFault(f.replica, f.link,
+                            replicas_[replicaIdx]->clock());
         faultFired_[j] = true;
     }
 }
@@ -144,6 +161,9 @@ ServingCluster::run()
         rep.preemptions += r->preemptions();
     }
     rep.migrations = migrations_;
+    if (reqtrace_.enabled() && !reqtrace_.file().empty()) {
+        reqtrace_.writeJson(reqtrace_.file());
+    }
     return rep;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MSCCLPP_SERVING_CLUSTER_HPP
 #define MSCCLPP_SERVING_CLUSTER_HPP
 
+#include "obs/reqtrace.hpp"
 #include "serving/config.hpp"
 #include "serving/replica.hpp"
 #include "serving/stats.hpp"
@@ -41,6 +42,16 @@ class ServingCluster
     const std::vector<RequestStats>& requests() const { return stats_; }
 
     /**
+     * The cluster-level request tracer (cfg.reqtrace /
+     * MSCCLPP_REQTRACE). Request trees span replicas — prefill here,
+     * decode there, the KV migration in between — so it lives on the
+     * cluster, not inside any one Machine's ObsContext. Disabled (and
+     * every hook a dead branch) unless configured and compiled in.
+     */
+    obs::RequestTracer& reqtrace() { return reqtrace_; }
+    const obs::RequestTracer& reqtrace() const { return reqtrace_; }
+
+    /**
      * Serve the whole workload to completion and aggregate the
      * report. Faults in cfg.faults fire when their replica reaches
      * the given step count (Fabric::degradeLink mid-run).
@@ -54,6 +65,7 @@ class ServingCluster
     int pickLeastLoaded(bool prefillCapable) const;
 
     ServingConfig cfg_;
+    obs::RequestTracer reqtrace_;
     std::vector<Request> workload_;
     std::vector<std::unique_ptr<Replica>> replicas_;
     std::vector<RequestStats> stats_;

@@ -52,6 +52,44 @@ readDouble(const char* name, double& out)
     return true;
 }
 
+/** Strict boolean gate, matching the obs env overrides: 0/1/true/false
+ *  only, so a typo fails loudly instead of silently disabling. */
+bool
+readBool(const char* name, bool& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return false;
+    }
+    std::string s(v);
+    if (s == "1" || s == "true") {
+        out = true;
+    } else if (s == "0" || s == "false") {
+        out = false;
+    } else {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(name) + "='" + s +
+                        "' is not a boolean (use 0/1/true/false)");
+    }
+    return true;
+}
+
+/** Non-empty path override (an empty value is a mistake, not "off"). */
+bool
+readPath(const char* name, std::string& out)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr) {
+        return false;
+    }
+    if (*v == '\0') {
+        throw Error(ErrorCode::InvalidUsage,
+                    std::string(name) + " is set but empty");
+    }
+    out = v;
+    return true;
+}
+
 } // namespace
 
 std::uint64_t
@@ -129,6 +167,9 @@ ServingConfig::fromEnv()
         }
         cfg.sloTpot = sim::msec(ms);
     }
+    readBool("MSCCLPP_REQTRACE", cfg.reqtrace);
+    readPath("MSCCLPP_REQTRACE_FILE", cfg.reqtraceFile);
+    readInt("MSCCLPP_REQTRACE_TOPK", cfg.reqtraceTopK, 1);
     cfg.validate();
     return cfg;
 }
@@ -156,6 +197,10 @@ ServingConfig::validate() const
     if (sloTtft == 0 || sloTpot == 0) {
         throw Error(ErrorCode::InvalidUsage,
                     "SLO thresholds must be positive");
+    }
+    if (reqtraceTopK < 1) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "reqtrace top-k must be at least 1");
     }
     for (const FaultSpec& f : faults) {
         if (f.replica < 0 || f.replica >= replicas || f.link.empty() ||

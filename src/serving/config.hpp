@@ -57,6 +57,14 @@ struct ServingConfig
     sim::Time sloTtft = sim::msec(2000); ///< MSCCLPP_SERVING_SLO_TTFT_MS
     sim::Time sloTpot = sim::msec(200);  ///< MSCCLPP_SERVING_SLO_TPOT_MS
 
+    /// Request-scoped tracing (obs/reqtrace.hpp): per-request span
+    /// trees with exact latency attribution, top-k tail exemplars per
+    /// SLO class. Enabling it turns on the per-replica step profiler
+    /// (the attribution source). Ignored under -DMSCCLPP_NO_OBS.
+    bool reqtrace = false;                      ///< MSCCLPP_REQTRACE
+    std::string reqtraceFile = "reqtrace.json"; ///< MSCCLPP_REQTRACE_FILE
+    int reqtraceTopK = 4;                       ///< MSCCLPP_REQTRACE_TOPK
+
     std::vector<FaultSpec> faults; ///< mid-run degradations to inject
 
     /** Effective per-replica KV capacity in tokens. */

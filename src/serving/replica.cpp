@@ -86,6 +86,57 @@ Replica::retire(const SeqState& seq, sim::Time when,
     RequestStats& r = stats.at(seq.reqId);
     r.completed = when;
     r.replica = id_;
+    if (tracingRequests()) {
+        reqtrace_->onDone(seq.reqId, r.firstToken, when, id_);
+        machine_->obs().tracer().instant(
+            obs::Category::Request, "done", obs::kRequestPid,
+            "req" + std::to_string(seq.reqId), when);
+    }
+}
+
+void
+Replica::drop(const SeqState& seq, sim::Time when,
+              std::vector<RequestStats>& stats)
+{
+    stats.at(seq.reqId).dropped = true;
+    stats.at(seq.reqId).replica = id_;
+    if (tracingRequests()) {
+        reqtrace_->onDropped(seq.reqId, when, id_);
+    }
+}
+
+void
+Replica::parkRequestContext(const std::vector<SeqState>& seqs)
+{
+    obs::Tracer& tr = machine_->obs().tracer();
+    if (!tr.enabled() || !tracingRequests()) {
+        return;
+    }
+    std::string ctx = "req=";
+    bool first = true;
+    for (const SeqState& s : seqs) {
+        ctx += first ? "" : ",";
+        first = false;
+        ctx += std::to_string(s.reqId);
+    }
+    tr.setRequestContext(std::move(ctx));
+}
+
+void
+Replica::mirrorRequestSpan(int reqId, const char* phase, sim::Time begin,
+                           sim::Time end, const std::string& label)
+{
+    obs::Tracer& tr = machine_->obs().tracer();
+    if (!tr.enabled()) {
+        return;
+    }
+    const std::string track = "req" + std::to_string(reqId);
+    tr.span(obs::Category::Request, phase, obs::kRequestPid, track,
+            begin, end, 0, -1, label);
+    // Causal hop into the step span that ran this slice of the
+    // request (same begin on the host "steps" track).
+    tr.edge(obs::EdgeKind::Dispatch, obs::kRequestPid, track, begin,
+            obs::kHostPid, "steps", begin);
 }
 
 namespace {
@@ -127,8 +178,7 @@ Replica::tryPrefill(sim::Time start, std::vector<RequestStats>& stats,
             continue;
         }
         if (canNeverFit(s, kv_)) {
-            stats.at(s.reqId).dropped = true;
-            stats.at(s.reqId).replica = id_;
+            drop(s, start, stats);
             continue;
         }
         if (!kv_.reserve(static_cast<std::uint64_t>(s.contextLen))) {
@@ -148,17 +198,21 @@ Replica::tryPrefill(sim::Time start, std::vector<RequestStats>& stats,
         maxLen = std::max(maxLen, s.contextLen);
     }
     const int k = static_cast<int>(batch.size());
+    const std::string label = "serve.prefill.b" + std::to_string(k);
 
     machine_->scheduler().advanceTo(start);
     obs::StepWindow& win = machine_->obs().window();
-    const bool opened = win.beginStepIfIdle(
-        "serve.prefill.b" + std::to_string(k), start);
+    const bool opened = win.beginStepIfIdle(label, start);
+    parkRequestContext(batch);
     // Padded prefill: short prompts ride along to the longest one.
     inference::InferenceSim::Breakdown b =
         sim_->prefill(k, maxLen, cfg_->backend);
+    machine_->obs().tracer().setRequestContext({});
     const sim::Time end = start + b.total();
+    const obs::StepAttribution* att = nullptr;
     if (opened) {
         win.endStep(machine_->scheduler().now(), b.total(), b.compute);
+        att = win.lastStep();
     }
 
     obs::MetricsRegistry& m = machine_->obs().metrics();
@@ -166,6 +220,21 @@ Replica::tryPrefill(sim::Time start, std::vector<RequestStats>& stats,
     m.summary("serving.prefill_batch").add(k);
     m.gauge("serving.kv_used_tokens")
         .set(static_cast<double>(kv_.used()));
+
+    if (tracingRequests()) {
+        for (const SeqState& s : batch) {
+            // A sequence with generated tokens is re-prefilling
+            // context it lost to an eviction.
+            const bool recompute = s.generated > 0;
+            reqtrace_->onPhase(s.reqId,
+                               recompute ? obs::ReqPhase::Recompute
+                                         : obs::ReqPhase::Prefill,
+                               start, end, id_, label, att);
+            mirrorRequestSpan(s.reqId,
+                              recompute ? "recompute" : "prefill",
+                              start, end, label);
+        }
+    }
 
     for (SeqState& s : batch) {
         RequestStats& r = stats.at(s.reqId);
@@ -208,8 +277,7 @@ Replica::admitDecodes(sim::Time start, std::vector<RequestStats>& stats)
             continue;
         }
         if (canNeverFit(s, kv_)) {
-            stats.at(s.reqId).dropped = true;
-            stats.at(s.reqId).replica = id_;
+            drop(s, start, stats);
             continue;
         }
         if (!kv_.reserve(static_cast<std::uint64_t>(s.contextLen))) {
@@ -235,6 +303,12 @@ Replica::preempt(SeqState victim, sim::Time when, StepOutcome& out,
     preemptions_++;
     stats.at(victim.reqId).preemptions++;
     machine_->obs().metrics().counter("serving.preemptions").add();
+    if (tracingRequests()) {
+        reqtrace_->onPreempted(victim.reqId, when, id_);
+        machine_->obs().tracer().instant(
+            obs::Category::Request, "preempted", obs::kRequestPid,
+            "req" + std::to_string(victim.reqId), when);
+    }
     if (role_ == ReplicaRole::Decode) {
         out.handoffPreempted.push_back(victim);
     } else {
@@ -266,8 +340,7 @@ Replica::runDecode(sim::Time start, std::vector<RequestStats>& stats,
             SeqState s = running_.back();
             running_.pop_back();
             kv_.release(s.reserved);
-            stats.at(s.reqId).dropped = true;
-            stats.at(s.reqId).replica = id_;
+            drop(s, start, stats);
         }
     }
     if (running_.empty()) {
@@ -280,16 +353,20 @@ Replica::runDecode(sim::Time start, std::vector<RequestStats>& stats,
         ctx.push_back(s.contextLen);
     }
     const int k = static_cast<int>(ctx.size());
+    const std::string label = "serve.decode.b" + std::to_string(k);
 
     machine_->scheduler().advanceTo(start);
     obs::StepWindow& win = machine_->obs().window();
-    const bool opened = win.beginStepIfIdle(
-        "serve.decode.b" + std::to_string(k), start);
+    const bool opened = win.beginStepIfIdle(label, start);
+    parkRequestContext(running_);
     inference::InferenceSim::Breakdown b =
         sim_->decodeStepMixed(ctx, cfg_->backend);
+    machine_->obs().tracer().setRequestContext({});
     const sim::Time end = start + b.total();
+    const obs::StepAttribution* att = nullptr;
     if (opened) {
         win.endStep(machine_->scheduler().now(), b.total(), b.compute);
+        att = win.lastStep();
     }
 
     obs::MetricsRegistry& m = machine_->obs().metrics();
@@ -298,6 +375,14 @@ Replica::runDecode(sim::Time start, std::vector<RequestStats>& stats,
     m.summary("serving.decode_batch").add(k);
     m.gauge("serving.kv_used_tokens")
         .set(static_cast<double>(kv_.used()));
+
+    if (tracingRequests()) {
+        for (const SeqState& s : running_) {
+            reqtrace_->onPhase(s.reqId, obs::ReqPhase::Decode, start,
+                               end, id_, label, att);
+            mirrorRequestSpan(s.reqId, "decode", start, end, label);
+        }
+    }
 
     std::vector<SeqState> still;
     still.reserve(running_.size());
@@ -347,6 +432,9 @@ Replica::step(std::vector<RequestStats>& stats)
         pendingDecode_.pop_back();
         preemptions_++;
         stats.at(s.reqId).preemptions++;
+        if (tracingRequests()) {
+            reqtrace_->onPreempted(s.reqId, start, id_);
+        }
         s.contextLen = s.promptLen + s.generated;
         s.readyAt = start;
         out.handoffPreempted.push_back(s);
@@ -355,8 +443,7 @@ Replica::step(std::vector<RequestStats>& stats)
     if (!pendingPrefill_.empty()) {
         SeqState s = pendingPrefill_.front();
         pendingPrefill_.pop_front();
-        stats.at(s.reqId).dropped = true;
-        stats.at(s.reqId).replica = id_;
+        drop(s, start, stats);
     }
     return out;
 }

@@ -3,6 +3,7 @@
 
 #include "gpu/machine.hpp"
 #include "inference/llm.hpp"
+#include "obs/reqtrace.hpp"
 #include "serving/config.hpp"
 #include "serving/kvcache.hpp"
 #include "serving/stats.hpp"
@@ -64,6 +65,16 @@ class Replica
 
     Replica(const ServingConfig& cfg, int id, ReplicaRole role);
 
+    /**
+     * Attach the cluster's request tracer. Every subsequent step
+     * reports per-request phase spans (with the step window's
+     * attribution), preemptions, completions and drops to it, mirrors
+     * the spans onto the machine trace's "requests" pseudo-process and
+     * parks the batched request ids in the tracer so collective root
+     * spans carry them.
+     */
+    void bindRequestTracer(obs::RequestTracer* rt) { reqtrace_ = rt; }
+
     int id() const { return id_; }
     ReplicaRole role() const { return role_; }
     gpu::Machine& machine() { return *machine_; }
@@ -115,10 +126,20 @@ class Replica
                  std::vector<RequestStats>& stats);
     void retire(const SeqState& seq, sim::Time when,
                 std::vector<RequestStats>& stats);
+    void drop(const SeqState& seq, sim::Time when,
+              std::vector<RequestStats>& stats);
+    bool tracingRequests() const
+    {
+        return reqtrace_ != nullptr && reqtrace_->enabled();
+    }
+    void parkRequestContext(const std::vector<SeqState>& seqs);
+    void mirrorRequestSpan(int reqId, const char* phase, sim::Time begin,
+                           sim::Time end, const std::string& label);
 
     const ServingConfig* cfg_;
     int id_;
     ReplicaRole role_;
+    obs::RequestTracer* reqtrace_ = nullptr;
     std::unique_ptr<gpu::Machine> machine_;
     std::unique_ptr<inference::InferenceSim> sim_;
     KvCache kv_;

@@ -13,8 +13,11 @@
  * satisfy the exact-merge invariant. With --hang-schema each file
  * must be a mscclpp.hang watchdog dump whose reports all carry a
  * known classification, a non-empty wait-for chain and a structured
- * root cause. Deliberately gtest-free so it stays a tiny ctest
- * COMMAND.
+ * root cause. With --reqtrace-schema each file must be a
+ * mscclpp.reqtrace v1 tail-exemplar dump whose per-request latency
+ * buckets reconcile exactly with the measured TTFT and e2e and whose
+ * exemplar lists are bounded by topk and sorted worst-first.
+ * Deliberately gtest-free so it stays a tiny ctest COMMAND.
  */
 #include "tuner/json.hpp"
 
@@ -214,7 +217,7 @@ checkBenchSchema(const char* file, const std::string& text)
     }
     const json::Value* version = doc->get("version");
     if (version == nullptr || !version->isNumber() ||
-        version->number != 3) {
+        version->number != 4) {
         std::fprintf(stderr, "%s: missing/unknown version\n", file);
         return false;
     }
@@ -266,6 +269,16 @@ checkBenchSchema(const char* file, const std::string& text)
         if (serving != nullptr) {
             if (!serving->isObject()) {
                 std::fprintf(stderr, "%s: %s serving must be an object\n",
+                             file, key.c_str());
+                return false;
+            }
+            // v4: reqtrace_overhead_pct, when present, must be numeric
+            // (the MSCCL++ serving key carries it).
+            const json::Value* ov = serving->get("reqtrace_overhead_pct");
+            if (ov != nullptr && !ov->isNumber()) {
+                std::fprintf(stderr,
+                             "%s: %s reqtrace_overhead_pct must be "
+                             "numeric\n",
                              file, key.c_str());
                 return false;
             }
@@ -602,6 +615,177 @@ checkHangSchema(const char* file, const std::string& text)
     return true;
 }
 
+/**
+ * Validate one request-tracing artifact (mscclpp.reqtrace v1): the
+ * schema stamp, the counters, and the per-exemplar invariants the
+ * attribution machinery promises — every retained request carries all
+ * seven latency buckets for both SLO classes, the buckets sum exactly
+ * (sub-0.01ns; the dump is picosecond-exact) to the measured TTFT and
+ * e2e, the span list is non-empty, the blame chain is structured, and
+ * each class list is bounded by topk and sorted worst-first.
+ */
+bool
+checkReqtraceSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
+        return false;
+    }
+    const json::Value* schema = doc->get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != "mscclpp.reqtrace") {
+        std::fprintf(stderr, "%s: schema != mscclpp.reqtrace\n", file);
+        return false;
+    }
+    const json::Value* version = doc->get("version");
+    if (version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr, "%s: missing/unknown reqtrace version\n",
+                     file);
+        return false;
+    }
+    for (const char* field :
+         {"topk", "requests_observed", "requests_completed",
+          "requests_dropped", "preemption_events", "kv_migrations"}) {
+        const json::Value* v = doc->get(field);
+        if (v == nullptr || !v->isNumber()) {
+            std::fprintf(stderr, "%s: missing numeric %s\n", file,
+                         field);
+            return false;
+        }
+    }
+    const double topk = doc->get("topk")->number;
+    const json::Value* faults = doc->get("faults");
+    if (faults == nullptr || !faults->isArray()) {
+        std::fprintf(stderr, "%s: missing faults array\n", file);
+        return false;
+    }
+    for (const json::Value& f : faults->array) {
+        if (f.get("replica") == nullptr || f.get("link") == nullptr ||
+            f.get("at_ns") == nullptr) {
+            std::fprintf(stderr, "%s: fault entry incomplete\n", file);
+            return false;
+        }
+    }
+    const json::Value* classes = doc->get("classes");
+    if (classes == nullptr || !classes->isObject()) {
+        std::fprintf(stderr, "%s: missing classes object\n", file);
+        return false;
+    }
+    static const char* kCats[] = {
+        "queue_wait",   "prefill_compute", "decode_compute",
+        "exposed_comms", "sync_wait",      "preemption_lost",
+        "kv_migration"};
+    std::size_t exemplars = 0;
+    for (const char* cls : {"ttft", "e2e"}) {
+        const json::Value* list = classes->get(cls);
+        if (list == nullptr || !list->isArray()) {
+            std::fprintf(stderr, "%s: missing '%s' class\n", file, cls);
+            return false;
+        }
+        if (double(list->array.size()) > topk) {
+            std::fprintf(stderr, "%s: '%s' holds %zu > topk %g\n", file,
+                         cls, list->array.size(), topk);
+            return false;
+        }
+        double prevKey = -1;
+        for (const json::Value& req : list->array) {
+            ++exemplars;
+            for (const char* field :
+                 {"id", "replica", "arrival_ns", "first_token_ns",
+                  "completed_ns", "ttft_ns", "e2e_ns", "preemptions",
+                  "decode_steps"}) {
+                const json::Value* v = req.get(field);
+                if (v == nullptr || !v->isNumber()) {
+                    std::fprintf(stderr,
+                                 "%s: %s exemplar missing numeric %s\n",
+                                 file, cls, field);
+                    return false;
+                }
+            }
+            const double key = req.get(cls[0] == 't' ? "ttft_ns"
+                                                     : "e2e_ns")
+                                   ->number;
+            if (prevKey >= 0 && key > prevKey) {
+                std::fprintf(stderr,
+                             "%s: '%s' exemplars not sorted worst "
+                             "first\n",
+                             file, cls);
+                return false;
+            }
+            prevKey = key;
+            // The reconciliation invariant: both bucket splits sum to
+            // their measured latency, to the picosecond.
+            for (const char* which : {"ttft_buckets_ns",
+                                      "e2e_buckets_ns"}) {
+                const json::Value* b = req.get(which);
+                if (b == nullptr || !b->isObject()) {
+                    std::fprintf(stderr, "%s: exemplar missing %s\n",
+                                 file, which);
+                    return false;
+                }
+                double sum = 0;
+                for (const char* cat : kCats) {
+                    const json::Value* v = b->get(cat);
+                    if (v == nullptr || !v->isNumber() ||
+                        v->number < 0) {
+                        std::fprintf(stderr,
+                                     "%s: %s missing bucket %s\n", file,
+                                     which, cat);
+                        return false;
+                    }
+                    sum += v->number;
+                }
+                const double want =
+                    req.get(which[0] == 't' ? "ttft_ns" : "e2e_ns")
+                        ->number;
+                if (std::abs(sum - want) > 0.01) {
+                    std::fprintf(stderr,
+                                 "%s: req %g %s sums to %.3fns, "
+                                 "measured %.3fns\n",
+                                 file, req.get("id")->number, which,
+                                 sum, want);
+                    return false;
+                }
+            }
+            const json::Value* blame = req.get("blame");
+            if (blame == nullptr || !blame->isObject() ||
+                blame->get("replica") == nullptr ||
+                blame->get("step") == nullptr ||
+                blame->get("category") == nullptr ||
+                blame->get("cost_ns") == nullptr ||
+                !blame->get("cost_ns")->isNumber()) {
+                std::fprintf(stderr, "%s: exemplar blame incomplete\n",
+                             file);
+                return false;
+            }
+            const json::Value* spans = req.get("spans");
+            if (spans == nullptr || !spans->isArray() ||
+                spans->array.empty()) {
+                std::fprintf(stderr,
+                             "%s: exemplar spans missing/empty\n",
+                             file);
+                return false;
+            }
+            for (const json::Value& sp : spans->array) {
+                if (sp.get("phase") == nullptr ||
+                    sp.get("begin_ns") == nullptr ||
+                    sp.get("end_ns") == nullptr ||
+                    sp.get("replica") == nullptr) {
+                    std::fprintf(stderr,
+                                 "%s: span entry incomplete\n", file);
+                    return false;
+                }
+            }
+        }
+    }
+    std::printf("%s: reqtrace schema ok (%zu exemplars, %zu faults)\n",
+                file, exemplars, faults->array.size());
+    return true;
+}
+
 } // namespace
 
 int
@@ -613,6 +797,7 @@ main(int argc, char** argv)
     bool flightSchema = false;
     bool hangSchema = false;
     bool servingSchema = false;
+    bool reqtraceSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
@@ -625,6 +810,8 @@ main(int argc, char** argv)
             hangSchema = true;
         } else if (arg == "--serving-schema") {
             servingSchema = true;
+        } else if (arg == "--reqtrace-schema") {
+            reqtraceSchema = true;
         } else {
             files.push_back(argv[i]);
         }
@@ -633,6 +820,7 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: %s [--bench-schema] [--flight-schema] "
                      "[--hang-schema] [--serving-schema] "
+                     "[--reqtrace-schema] "
                      "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
@@ -675,6 +863,10 @@ main(int argc, char** argv)
             continue;
         }
         if (servingSchema && !checkServingSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (reqtraceSchema && !checkReqtraceSchema(file, text)) {
             rc = 1;
             continue;
         }

@@ -419,6 +419,86 @@ TEST(ChromeTrace, TimestampsAreMicrosecondsAndMonotonePerTrack)
     EXPECT_LE(ts[0], ts[1]);
 }
 
+TEST(ChromeTrace, TidAssignmentIsOrderIndependentAndSorted)
+{
+    if (!obs::Tracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    // Track ids must depend on the set of (pid, track) names, not on
+    // first-seen order, so diffs between runs (or replicas) line up
+    // in the viewer. Record the same spans in opposite orders and
+    // require identical thread-name assignments, sorted within a pid,
+    // plus a process_sort_index per pid pinning the process order.
+    struct S
+    {
+        const char* name;
+        int pid;
+        const char* track;
+    };
+    std::vector<S> spans = {
+        {"a", 0, "tb1"},
+        {"b", 0, "tb0"},
+        {"c", obs::kRequestPid, "req7"},
+        {"d", obs::kFabricPid, "gpu0.tx"},
+    };
+    auto tidMapOf = [](obs::Tracer& t) {
+        std::map<std::pair<double, std::string>, double> tids;
+        std::map<double, double> sortIndex;
+        JsonValue doc = parseJsonOrDie(t.chromeTraceJson());
+        for (const JsonValue& e : doc.at("traceEvents").array) {
+            if (e.at("ph").str != "M") {
+                continue;
+            }
+            if (e.at("name").str == "thread_name") {
+                tids[{e.at("pid").number,
+                      e.at("args").at("name").str}] =
+                    e.at("tid").number;
+            } else if (e.at("name").str == "process_sort_index") {
+                sortIndex[e.at("pid").number] =
+                    e.at("args").at("sort_index").number;
+            }
+        }
+        EXPECT_EQ(sortIndex.size(), 3u);
+        for (const auto& [pid, idx] : sortIndex) {
+            EXPECT_EQ(pid, idx);
+        }
+        return tids;
+    };
+    obs::Tracer fwd, rev;
+    fwd.setEnabled(true);
+    rev.setEnabled(true);
+    for (const S& s : spans) {
+        fwd.span(obs::Category::Channel, s.name, s.pid, s.track,
+                 sim::us(1), sim::us(2));
+    }
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+        rev.span(obs::Category::Channel, it->name, it->pid, it->track,
+                 sim::us(1), sim::us(2));
+    }
+    auto fwdTids = tidMapOf(fwd);
+    auto revTids = tidMapOf(rev);
+    EXPECT_EQ(fwdTids, revTids);
+    // Within pid 0 the tids follow sorted track order regardless of
+    // the order the tracks first appeared.
+    const std::pair<double, std::string> tb0Key{0.0, "tb0"};
+    const std::pair<double, std::string> tb1Key{0.0, "tb1"};
+    ASSERT_TRUE(fwdTids.count(tb0Key));
+    ASSERT_TRUE(fwdTids.count(tb1Key));
+    EXPECT_LT(fwdTids[tb0Key], fwdTids[tb1Key]);
+    // The requests pseudo-process carries its label.
+    bool sawRequestsProcess = false;
+    JsonValue doc = parseJsonOrDie(fwd.chromeTraceJson());
+    for (const JsonValue& e : doc.at("traceEvents").array) {
+        if (e.at("ph").str == "M" &&
+            e.at("name").str == "process_name" &&
+            e.at("pid").number == double(obs::kRequestPid)) {
+            EXPECT_EQ(e.at("args").at("name").str, "requests");
+            sawRequestsProcess = true;
+        }
+    }
+    EXPECT_TRUE(sawRequestsProcess);
+}
+
 TEST(ChromeTrace, EscapesQuotesInNames)
 {
     if (!obs::Tracer::kCompiledIn) {

@@ -1,0 +1,297 @@
+// Tests of end-to-end request tracing (src/obs/reqtrace.*): the
+// cluster-level RequestTracer must fold every finished request into a
+// seven-bucket latency split that reconciles *exactly* — to the
+// picosecond — with the measured TTFT and e2e, including requests
+// that were preempted and recomputed and requests whose KV crossed
+// the NIC in a disaggregated cluster. Also covers top-k retention,
+// dump schema/determinism, and the zero-perturbation invariant the
+// bench_report overhead metric gates.
+#include "core/errors.hpp"
+#include "obs/reqtrace.hpp"
+#include "serving/cluster.hpp"
+#include "tuner/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+using namespace mscclpp;
+using namespace mscclpp::serving;
+
+namespace {
+
+inference::InferenceConfig
+tinyModel()
+{
+    inference::InferenceConfig inf;
+    inf.model.name = "tiny";
+    inf.model.layers = 4;
+    inf.model.hidden = 256;
+    inf.model.heads = 8;
+    inf.model.kvHeads = 8;
+    inf.model.ffn = 512;
+    inf.model.vocab = 512;
+    inf.perLayerOverhead = sim::us(5);
+    return inf;
+}
+
+ServingConfig
+tracedConfig(int topK = 64)
+{
+    ServingConfig cfg;
+    cfg.inference = tinyModel();
+    cfg.workload.requests = 16;
+    cfg.workload.ratePerSec = 2000.0;
+    cfg.workload.mix = {{1.0, 32, 64, 8, 16}};
+    cfg.reqtrace = true;
+    cfg.reqtraceFile.clear(); // in-memory only, no artifact
+    cfg.reqtraceTopK = topK;
+    return cfg;
+}
+
+/** Both bucket splits of @p t must sum exactly to the latency they
+ *  attribute — the tentpole invariant. */
+void
+expectExactReconciliation(const obs::RequestTrace& t)
+{
+    sim::Time ttftSum = 0;
+    sim::Time e2eSum = 0;
+    for (obs::ReqCategory c : obs::kReqCategories) {
+        ttftSum += t.ttftBucket(c);
+        e2eSum += t.e2eBucket(c);
+    }
+    EXPECT_EQ(ttftSum, t.ttft()) << "request " << t.id;
+    EXPECT_EQ(e2eSum, t.e2e()) << "request " << t.id;
+}
+
+} // namespace
+
+TEST(ReqTrace, BucketsReconcileExactlyForEveryExemplar)
+{
+    if (!obs::RequestTracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    ServingConfig cfg = tracedConfig();
+    cfg.replicas = 2;
+    ServingCluster cluster(cfg);
+    cluster.run();
+    const obs::RequestTracer& rt = cluster.reqtrace();
+    EXPECT_TRUE(rt.enabled());
+    EXPECT_EQ(rt.observed(), 16u);
+    EXPECT_EQ(rt.completedCount(), 16u);
+    for (const char* cls : {"ttft", "e2e"}) {
+        const auto& worst = rt.exemplars(cls);
+        ASSERT_EQ(worst.size(), 16u) << "topK 64 must retain all";
+        for (const obs::RequestTrace& t : worst) {
+            expectExactReconciliation(t);
+            ASSERT_FALSE(t.spans.empty());
+            // The finalised tree is contiguous over [arrival,
+            // completed]: it starts at arrival and no span leaves a
+            // gap behind it.
+            EXPECT_EQ(t.spans.front().begin, t.arrival);
+            sim::Time cursor = t.arrival;
+            for (const obs::RequestSpan& sp : t.spans) {
+                EXPECT_LE(sp.begin, cursor);
+                cursor = std::max(cursor, sp.end);
+            }
+            EXPECT_EQ(cursor, t.completed);
+            EXPECT_GT(t.blame.cost, 0u);
+            EXPECT_GE(t.blame.replica, 0);
+        }
+    }
+    // The machine tracer is implied by reqtrace, so step attributions
+    // flowed in: some exemplar must carry exposed communication.
+    sim::Time commTotal = 0;
+    for (const obs::RequestTrace& t : rt.exemplars("e2e")) {
+        commTotal += t.e2eBucket(obs::ReqCategory::ExposedComms) +
+                     t.e2eBucket(obs::ReqCategory::SyncWait);
+    }
+    EXPECT_GT(commTotal, 0u);
+}
+
+TEST(ReqTrace, PreemptedRequestChargedPreemptionLost)
+{
+    if (!obs::RequestTracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    ServingConfig cfg = tracedConfig(8);
+    cfg.workload.mode = ArrivalMode::Trace;
+    cfg.workload.trace = "0:64:40;0:64:40";
+    cfg.kvTokens = 150; // both admit at 128, collide while growing
+    ServingCluster cluster(cfg);
+    cluster.run();
+    const obs::RequestTracer& rt = cluster.reqtrace();
+    EXPECT_GT(rt.preemptionEvents(), 0u);
+    bool sawPreempted = false;
+    for (const obs::RequestTrace& t : rt.exemplars("e2e")) {
+        expectExactReconciliation(t);
+        if (t.preemptions == 0) {
+            continue;
+        }
+        sawPreempted = true;
+        // The eviction cost the request real time, and the recompute
+        // prefill shows up as its own phase in the span tree.
+        EXPECT_GT(t.e2eBucket(obs::ReqCategory::PreemptionLost), 0u);
+        bool sawRecompute = false;
+        for (const obs::RequestSpan& sp : t.spans) {
+            sawRecompute = sawRecompute ||
+                           sp.phase == obs::ReqPhase::Recompute;
+        }
+        EXPECT_TRUE(sawRecompute) << "request " << t.id;
+    }
+    EXPECT_TRUE(sawPreempted);
+}
+
+TEST(ReqTrace, DisaggregatedRequestChargedKvMigration)
+{
+    if (!obs::RequestTracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    ServingConfig cfg = tracedConfig();
+    cfg.replicas = 2;
+    cfg.prefillReplicas = 1;
+    ServingCluster cluster(cfg);
+    cluster.run();
+    const obs::RequestTracer& rt = cluster.reqtrace();
+    EXPECT_EQ(rt.migrations(), 16u);
+    const auto& worst = rt.exemplars("e2e");
+    ASSERT_EQ(worst.size(), 16u);
+    for (const obs::RequestTrace& t : worst) {
+        expectExactReconciliation(t);
+        // Every request's KV crossed the NIC: the transfer is in the
+        // tree and charged to the kv_migration bucket.
+        EXPECT_GT(t.e2eBucket(obs::ReqCategory::KvMigration), 0u)
+            << "request " << t.id;
+        bool sawMigration = false;
+        for (const obs::RequestSpan& sp : t.spans) {
+            if (sp.phase == obs::ReqPhase::Migration) {
+                sawMigration = true;
+                EXPECT_GT(sp.bytes, 0u);
+            }
+        }
+        EXPECT_TRUE(sawMigration) << "request " << t.id;
+    }
+}
+
+TEST(ReqTrace, TopKBoundsRetentionWorstFirst)
+{
+    if (!obs::RequestTracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    ServingConfig cfg = tracedConfig(2);
+    ServingCluster cluster(cfg);
+    cluster.run();
+    const obs::RequestTracer& rt = cluster.reqtrace();
+    EXPECT_EQ(rt.completedCount(), 16u);
+    for (const char* cls : {"ttft", "e2e"}) {
+        const auto& worst = rt.exemplars(cls);
+        ASSERT_EQ(worst.size(), 2u);
+    }
+    // Worst-first, and the retained worst matches the ground truth
+    // the cluster's own per-request stats recorded.
+    const auto& e2e = rt.exemplars("e2e");
+    EXPECT_GE(e2e[0].e2e(), e2e[1].e2e());
+    sim::Time trueWorst = 0;
+    for (const RequestStats& s : cluster.requests()) {
+        trueWorst = std::max(trueWorst, s.e2e());
+    }
+    EXPECT_EQ(e2e[0].e2e(), trueWorst);
+    EXPECT_THROW(rt.exemplars("p50"), Error);
+}
+
+TEST(ReqTrace, DroppedRequestsCountedNotRetained)
+{
+    if (!obs::RequestTracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    ServingConfig cfg = tracedConfig();
+    cfg.workload.mode = ArrivalMode::Trace;
+    cfg.workload.trace = "0:64:16;0:512:64"; // second can never fit
+    cfg.kvTokens = 120;
+    ServingCluster cluster(cfg);
+    cluster.run();
+    const obs::RequestTracer& rt = cluster.reqtrace();
+    EXPECT_EQ(rt.droppedCount(), 1u);
+    EXPECT_EQ(rt.completedCount(), 1u);
+    EXPECT_EQ(rt.find(1), nullptr);
+    ASSERT_NE(rt.find(0), nullptr);
+    expectExactReconciliation(*rt.find(0));
+}
+
+TEST(ReqTrace, DumpParsesCarriesSchemaAndIsDeterministic)
+{
+    if (!obs::RequestTracer::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    ServingConfig cfg = tracedConfig(4);
+    cfg.replicas = 2;
+    ServingCluster a(cfg), b(cfg);
+    a.run();
+    b.run();
+    const std::string dump = a.reqtrace().toJson();
+    EXPECT_EQ(dump, b.reqtrace().toJson())
+        << "same seed must serialise bit-identically";
+    std::optional<tuner::json::Value> doc = tuner::json::parse(dump);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_NE(doc->get("schema"), nullptr);
+    EXPECT_EQ(doc->get("schema")->string, "mscclpp.reqtrace");
+    ASSERT_NE(doc->get("version"), nullptr);
+    EXPECT_EQ(doc->get("version")->number, 1.0);
+    const tuner::json::Value* classes = doc->get("classes");
+    ASSERT_NE(classes, nullptr);
+    for (const char* cls : {"ttft", "e2e"}) {
+        const tuner::json::Value* list = classes->get(cls);
+        ASSERT_NE(list, nullptr);
+        ASSERT_TRUE(list->isArray());
+        EXPECT_EQ(list->array.size(), 4u);
+    }
+    ASSERT_NE(doc->get("faults"), nullptr);
+    EXPECT_TRUE(doc->get("faults")->isArray());
+}
+
+// The invariant behind bench_report's serving.reqtrace_overhead_pct
+// gate: request tracing observes virtual time, it never advances it.
+// Runs in the NO_OBS leg too (tracing is then a no-op, trivially 0).
+TEST(ReqTrace, TracingNeverPerturbsVirtualTime)
+{
+    ServingConfig clean;
+    clean.inference = tinyModel();
+    clean.workload.requests = 16;
+    clean.workload.ratePerSec = 2000.0;
+    clean.workload.mix = {{1.0, 32, 64, 8, 16}};
+    ServingConfig traced = clean;
+    traced.reqtrace = true;
+    traced.reqtraceFile.clear();
+    ServingCluster off(clean), on(traced);
+    ServingReport repOff = off.run();
+    ServingReport repOn = on.run();
+    EXPECT_EQ(repOff.makespan, repOn.makespan);
+    EXPECT_EQ(repOff.ttftP99, repOn.ttftP99);
+    EXPECT_EQ(repOff.tpotP99, repOn.tpotP99);
+    ASSERT_EQ(off.requests().size(), on.requests().size());
+    for (std::size_t i = 0; i < off.requests().size(); ++i) {
+        EXPECT_EQ(off.requests()[i].firstToken,
+                  on.requests()[i].firstToken);
+        EXPECT_EQ(off.requests()[i].completed,
+                  on.requests()[i].completed);
+    }
+}
+
+TEST(ReqTrace, DisabledTracerRecordsNothing)
+{
+    // Works in both CI legs: reqtrace off (or compiled out) means
+    // every hook is a dead branch.
+    ServingConfig cfg;
+    cfg.inference = tinyModel();
+    cfg.workload.requests = 4;
+    cfg.workload.ratePerSec = 2000.0;
+    cfg.workload.mix = {{1.0, 32, 64, 8, 16}};
+    ServingCluster cluster(cfg);
+    cluster.run();
+    const obs::RequestTracer& rt = cluster.reqtrace();
+    EXPECT_FALSE(rt.enabled());
+    EXPECT_EQ(rt.observed(), 0u);
+    EXPECT_TRUE(rt.exemplars("ttft").empty());
+    EXPECT_TRUE(rt.exemplars("e2e").empty());
+}

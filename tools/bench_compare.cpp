@@ -4,9 +4,11 @@
  * against a committed baseline and exits 1 when any key slowed down
  * by more than the threshold. Also gates the per-link wire-time
  * breakdown (by_link_ns) and, for serving.* keys, the request-level
- * TTFT/TPOT tail percentiles (nested "serving" object, schema v3): a
+ * TTFT/TPOT tail percentiles (nested "serving" object, schema v4): a
  * single link or a tail SLO metric slowing down is a regression even
- * when overlap keeps the end-to-end p50 flat. The simulator is
+ * when overlap keeps the end-to-end p50 flat. The serving block's
+ * reqtrace_overhead_pct is gated absolutely (+0.5 points): request
+ * tracing must stay a pure observer of virtual time. The simulator is
  * deterministic, so the gate can be tight without flaking.
  *
  * Usage: bench_compare [options] <current.json>
@@ -58,10 +60,10 @@ loadReport(const std::string& path)
                      path.c_str());
         return std::nullopt;
     }
-    if (version->number != 3) {
+    if (version->number != 4) {
         std::fprintf(stderr,
                      "bench_compare: %s has schema version %g, "
-                     "expected 3 (regenerate with bench_report)\n",
+                     "expected 4 (regenerate with bench_report)\n",
                      path.c_str(), version->number);
         return std::nullopt;
     }
@@ -145,6 +147,21 @@ compareServing(const std::string& key, const json::Value& baseBench,
             std::printf("%-40s %-12s %10.2fus -> %10.2fus  %+7.2f%%  "
                         "SLO REGRESSION\n",
                         key.c_str(), metric, b->number, now, deltaPct);
+            ++regressions;
+        }
+    }
+    // Request-tracing overhead is gated absolutely, not relatively:
+    // the baseline is 0 (instrumentation never advances virtual time),
+    // so any drift past half a point is an observer-effect bug.
+    const json::Value* baseOv = base->get("reqtrace_overhead_pct");
+    const json::Value* curOv = cur->get("reqtrace_overhead_pct");
+    if (baseOv != nullptr && baseOv->isNumber() && curOv != nullptr &&
+        curOv->isNumber()) {
+        const double delta = curOv->number - baseOv->number;
+        if (delta > 0.5) {
+            std::printf("%-40s reqtrace overhead %5.2f%% -> %5.2f%%  "
+                        "OBSERVER-EFFECT REGRESSION\n",
+                        key.c_str(), baseOv->number, curOv->number);
             ++regressions;
         }
     }

@@ -4,9 +4,12 @@
  * and writes one schema-versioned BENCH_<env>.json per environment,
  * carrying p50/p99 latency and the per-category attribution breakdown
  * for every bench key. The A100-80G report additionally carries the
- * cluster-serving scenario (schema v3): request-level TTFT/TPOT/e2e
+ * cluster-serving scenario (schema v4): request-level TTFT/TPOT/e2e
  * percentiles under open-loop load, in a nested "serving" object per
- * key. bench_compare diffs these files against the committed baselines
+ * key, plus — for the MSCCL++ backend — reqtrace_overhead_pct, the
+ * virtual-time perturbation of re-running the same workload with
+ * request tracing on (the zero-perturbation invariant says exactly 0).
+ * bench_compare diffs these files against the committed baselines
  * in bench/baselines/ to catch regressions.
  *
  * Usage: bench_report [--out <dir>] [--smoke]
@@ -206,6 +209,30 @@ runServingCluster(Report& report)
         }
         serving::ServingReport rep = cluster.run();
 
+        // Request-tracing overhead (MSCCL++ backend): the identical
+        // workload re-run with reqtrace on. Instrumentation must never
+        // advance virtual time, so any nonzero makespan delta is an
+        // observer-effect bug — bench_compare gates this at ~0.
+        double reqtraceOverheadPct = 0.0;
+        if (backend == inference::CommBackend::Mscclpp &&
+            obs::Tracer::kCompiledIn && rep.makespan > 0) {
+            serving::ServingConfig traced = cfg;
+            traced.reqtrace = true;
+            traced.reqtraceFile.clear(); // measure, don't dump
+            serving::ServingCluster tracedCluster(traced);
+            for (int i = 0; i < tracedCluster.numReplicas(); ++i) {
+                tracedCluster.replica(i)
+                    .machine()
+                    .obs()
+                    .setDumpOnDestroy(false);
+            }
+            serving::ServingReport tracedRep = tracedCluster.run();
+            reqtraceOverheadPct =
+                100.0 * (double(tracedRep.makespan) /
+                             double(rep.makespan) -
+                         1.0);
+        }
+
         BenchResult r;
         r.key = std::string("serving.cluster.2r.") +
                 backendSlug(backend);
@@ -236,6 +263,10 @@ runServingCluster(Report& report)
             {"slo_tpot_violations", double(rep.sloTpotViolations)},
             {"throughput_tps", rep.throughputTps},
         };
+        if (backend == inference::CommBackend::Mscclpp) {
+            r.servingFields["reqtrace_overhead_pct"] =
+                reqtraceOverheadPct;
+        }
         report.benches.push_back(std::move(r));
     }
 }
@@ -252,7 +283,7 @@ std::string
 toJson(const Report& report)
 {
     std::string out = "{\n  \"schema\": \"mscclpp.bench_report\",\n"
-                      "  \"version\": 3,\n  \"env\": \"" +
+                      "  \"version\": 4,\n  \"env\": \"" +
                       tuner::json::escape(report.env) +
                       "\",\n  \"benches\": {\n";
     bool firstBench = true;

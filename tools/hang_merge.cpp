@@ -15,8 +15,8 @@
  *   --out <file>           write the merged JSON (default: stdout only)
  *   --require-party <sub>  exit 1 unless some root-cause party
  *                          contains <sub> (CI assertion hook)
- *   --bench <current.json> current bench_report (v3) for corroboration
- *   --baseline <base.json> baseline bench_report (v3)
+ *   --bench <current.json> current bench_report (v4) for corroboration
+ *   --baseline <base.json> baseline bench_report (v4)
  *   --threshold <pct>      per-link growth threshold (default 10)
  */
 #include "tuner/json.hpp"
@@ -203,9 +203,9 @@ main(int argc, char** argv)
     std::vector<Corroboration> corroborated;
     if (!benchPath.empty()) {
         std::optional<json::Value> cur =
-            loadJson(benchPath, "mscclpp.bench_report", 3);
+            loadJson(benchPath, "mscclpp.bench_report", 4);
         std::optional<json::Value> base =
-            loadJson(baselinePath, "mscclpp.bench_report", 3);
+            loadJson(baselinePath, "mscclpp.bench_report", 4);
         if (!cur || !base) {
             return 2;
         }

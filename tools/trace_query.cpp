@@ -1,0 +1,318 @@
+/**
+ * trace_query: interrogate a mscclpp.reqtrace dump (the per-request
+ * tail-exemplar file the serving cluster writes under
+ * MSCCLPP_REQTRACE=1). For a request id it prints the full span tree,
+ * the TTFT/e2e latency-attribution buckets, and the blame chain —
+ * request -> replica -> step -> collective -> link — that names the
+ * component which put the most critical-path communication time on
+ * the request. The assertion flags make it a CI primitive: degrade a
+ * link mid-run, then assert the worst exemplar blames that link and
+ * started after the fault fired.
+ *
+ * Usage: trace_query --reqtrace <file> [options] [<request-id>]
+ *   --class ttft|e2e       SLO class to query (default e2e)
+ *   --list                 list the retained exemplars, worst first
+ *   --worst                query the worst exemplar of the class
+ *   --assert-link <sub>    exit 1 unless the blame link contains <sub>
+ *   --assert-post-fault    exit 1 unless the blamed span begins at or
+ *                          after the first recorded fault
+ */
+#include "tuner/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace json = mscclpp::tuner::json;
+
+namespace {
+
+std::optional<json::Value>
+loadReqtrace(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "trace_query: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::optional<json::Value> v = json::parse(ss.str());
+    if (!v) {
+        std::fprintf(stderr, "trace_query: %s is not valid JSON\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    const json::Value* schema = v->get("schema");
+    const json::Value* version = v->get("version");
+    if (schema == nullptr || schema->string != "mscclpp.reqtrace" ||
+        version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr,
+                     "trace_query: %s is not a mscclpp.reqtrace v1\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    return v;
+}
+
+double
+numOf(const json::Value& obj, const char* key)
+{
+    const json::Value* v = obj.get(key);
+    return v != nullptr && v->isNumber() ? v->number : 0.0;
+}
+
+std::string
+strOf(const json::Value& obj, const char* key)
+{
+    const json::Value* v = obj.get(key);
+    return v != nullptr && v->isString() ? v->string : std::string();
+}
+
+void
+printBuckets(const json::Value& req, const char* key, double totalNs)
+{
+    const json::Value* b = req.get(key);
+    if (b == nullptr || !b->isObject()) {
+        return;
+    }
+    std::printf("  %s (total %.3f ns):\n", key, totalNs);
+    for (const auto& [cat, v] : b->object) {
+        if (!v.isNumber() || v.number == 0.0) {
+            continue;
+        }
+        const double pct = totalNs > 0 ? 100.0 * v.number / totalNs : 0;
+        std::printf("    %-16s %14.3f ns  %5.1f%%\n", cat.c_str(),
+                    v.number, pct);
+    }
+}
+
+void
+printRequest(const json::Value& req)
+{
+    std::printf("request %d  replica %d  preemptions %d  decode steps "
+                "%d\n",
+                int(numOf(req, "id")), int(numOf(req, "replica")),
+                int(numOf(req, "preemptions")),
+                int(numOf(req, "decode_steps")));
+    std::printf("  arrival %.3f ns  first token %.3f ns  completed "
+                "%.3f ns\n",
+                numOf(req, "arrival_ns"), numOf(req, "first_token_ns"),
+                numOf(req, "completed_ns"));
+    std::printf("  ttft %.3f ns  e2e %.3f ns\n", numOf(req, "ttft_ns"),
+                numOf(req, "e2e_ns"));
+
+    const json::Value* spans = req.get("spans");
+    if (spans != nullptr && spans->isArray()) {
+        std::printf("  spans:\n");
+        for (const json::Value& sp : spans->array) {
+            const double b = numOf(sp, "begin_ns");
+            const double e = numOf(sp, "end_ns");
+            std::string extra;
+            const std::string label = strOf(sp, "label");
+            const std::string coll = strOf(sp, "collective");
+            const std::string link = strOf(sp, "link");
+            if (!label.empty()) {
+                extra += "  " + label;
+            }
+            if (!coll.empty()) {
+                extra += "  coll=" + coll;
+            }
+            if (!link.empty()) {
+                extra += "  link=" + link;
+            }
+            std::printf("    %-13s r%-2d [%14.3f, %14.3f) %12.3f "
+                        "ns%s\n",
+                        strOf(sp, "phase").c_str(),
+                        int(numOf(sp, "replica")), b, e, e - b,
+                        extra.c_str());
+        }
+    }
+    printBuckets(req, "ttft_buckets_ns", numOf(req, "ttft_ns"));
+    printBuckets(req, "e2e_buckets_ns", numOf(req, "e2e_ns"));
+}
+
+/** The human-readable causal chain from request to culprit link. */
+void
+printBlame(const json::Value& req, const json::Value& blame)
+{
+    std::string chain =
+        "req " + std::to_string(int(numOf(req, "id"))) + " -> replica " +
+        std::to_string(int(numOf(blame, "replica")));
+    const std::string step = strOf(blame, "step");
+    const std::string coll = strOf(blame, "collective");
+    const std::string link = strOf(blame, "link");
+    if (!step.empty()) {
+        chain += " -> step '" + step + "'";
+    }
+    if (!coll.empty()) {
+        chain += " -> collective '" + coll + "'";
+    }
+    if (!link.empty()) {
+        chain += " -> link " + link;
+    }
+    std::printf("  blame: %s\n", chain.c_str());
+    std::printf("         %s, %.3f ns at t=%.3f ns\n",
+                strOf(blame, "category").c_str(), numOf(blame, "cost_ns"),
+                numOf(blame, "at_ns"));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    std::string cls = "e2e";
+    std::string assertLink;
+    bool list = false;
+    bool worst = false;
+    bool assertPostFault = false;
+    int reqId = -1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--reqtrace" && i + 1 < argc) {
+            path = argv[++i];
+        } else if (arg == "--class" && i + 1 < argc) {
+            cls = argv[++i];
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--worst") {
+            worst = true;
+        } else if (arg == "--assert-link" && i + 1 < argc) {
+            assertLink = argv[++i];
+        } else if (arg == "--assert-post-fault") {
+            assertPostFault = true;
+        } else if (!arg.empty() && arg[0] != '-') {
+            reqId = std::atoi(arg.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s --reqtrace <file> [--class "
+                         "ttft|e2e] [--list] [--worst] [--assert-link "
+                         "<sub>] [--assert-post-fault] [<request-id>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty() || (cls != "ttft" && cls != "e2e")) {
+        std::fprintf(stderr,
+                     "trace_query: --reqtrace is required and --class "
+                     "must be ttft or e2e\n");
+        return 2;
+    }
+    if (!list && !worst && reqId < 0) {
+        std::fprintf(stderr,
+                     "trace_query: give a request id, --worst, or "
+                     "--list\n");
+        return 2;
+    }
+
+    std::optional<json::Value> doc = loadReqtrace(path);
+    if (!doc) {
+        return 2;
+    }
+    const json::Value* classes = doc->get("classes");
+    const json::Value* exemplars =
+        classes != nullptr ? classes->get(cls) : nullptr;
+    if (exemplars == nullptr || !exemplars->isArray()) {
+        std::fprintf(stderr, "trace_query: %s has no '%s' exemplars\n",
+                     path.c_str(), cls.c_str());
+        return 2;
+    }
+
+    if (list) {
+        std::printf("%s: %zu '%s' exemplar(s), worst first\n",
+                    path.c_str(), exemplars->array.size(), cls.c_str());
+        for (const json::Value& req : exemplars->array) {
+            std::printf("  req %-4d ttft %14.3f ns  e2e %14.3f ns  "
+                        "preemptions %d\n",
+                        int(numOf(req, "id")), numOf(req, "ttft_ns"),
+                        numOf(req, "e2e_ns"),
+                        int(numOf(req, "preemptions")));
+        }
+        if (!worst && reqId < 0) {
+            return 0;
+        }
+    }
+
+    const json::Value* target = nullptr;
+    if (worst) {
+        if (exemplars->array.empty()) {
+            std::fprintf(stderr,
+                         "trace_query: no '%s' exemplars retained\n",
+                         cls.c_str());
+            return 2;
+        }
+        target = &exemplars->array.front(); // retained worst-first
+    } else {
+        for (const json::Value& req : exemplars->array) {
+            if (int(numOf(req, "id")) == reqId) {
+                target = &req;
+                break;
+            }
+        }
+        if (target == nullptr) {
+            std::fprintf(stderr,
+                         "trace_query: request %d is not among the "
+                         "retained '%s' exemplars (see --list)\n",
+                         reqId, cls.c_str());
+            return 2;
+        }
+    }
+
+    printRequest(*target);
+    const json::Value* blame = target->get("blame");
+    if (blame == nullptr || !blame->isObject()) {
+        std::fprintf(stderr, "trace_query: exemplar has no blame\n");
+        return 2;
+    }
+    printBlame(*target, *blame);
+
+    int rc = 0;
+    if (!assertLink.empty()) {
+        const std::string link = strOf(*blame, "link");
+        if (link.find(assertLink) == std::string::npos) {
+            std::fprintf(stderr,
+                         "trace_query: blame link '%s' does not "
+                         "contain '%s'\n",
+                         link.c_str(), assertLink.c_str());
+            rc = 1;
+        } else {
+            std::printf("  assert-link '%s': ok\n", assertLink.c_str());
+        }
+    }
+    if (assertPostFault) {
+        const json::Value* faults = doc->get("faults");
+        if (faults == nullptr || !faults->isArray() ||
+            faults->array.empty()) {
+            std::fprintf(stderr,
+                         "trace_query: --assert-post-fault but the "
+                         "dump records no faults\n");
+            rc = 1;
+        } else {
+            double firstFault = numOf(faults->array.front(), "at_ns");
+            for (const json::Value& f : faults->array) {
+                firstFault = std::min(firstFault, numOf(f, "at_ns"));
+            }
+            const double at = numOf(*blame, "at_ns");
+            if (at < firstFault) {
+                std::fprintf(stderr,
+                             "trace_query: blamed span at %.3f ns "
+                             "precedes the first fault at %.3f ns\n",
+                             at, firstFault);
+                rc = 1;
+            } else {
+                std::printf("  assert-post-fault: ok (blame %.3f ns >= "
+                            "fault %.3f ns)\n",
+                            at, firstFault);
+            }
+        }
+    }
+    return rc;
+}
