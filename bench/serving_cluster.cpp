@@ -13,14 +13,18 @@
  *   --disagg <n>       prefill-only replicas (disaggregation)
  *   --backend <b>      nccl | msccl | mscclpp | all (default all)
  *   --fault <spec>     degrade a link mid-run; spec is
- *                      <replica>:<link>:<factor>@<step>, repeatable
- *                      (e.g. 0:gpu3.tx:0.15@12)
+ *                      <replica>:<link>:<factor>@<step> with an
+ *                      optional ~<recoverStep> suffix that heals the
+ *                      link at that step, repeatable
+ *                      (e.g. 0:gpu3.tx:0.15@12~40)
  *
- * MSCCLPP_SEED, the MSCCLPP_SERVING_* and the MSCCLPP_REQTRACE*
- * environment knobs apply; the run is bit-deterministic for a given
- * configuration. With MSCCLPP_REQTRACE=1 each backend run writes its
- * per-request tail-exemplar dump (backend-prefixed when several
- * backends run), which tools/trace_query can interrogate.
+ * MSCCLPP_SEED, the MSCCLPP_SERVING_*, MSCCLPP_REQTRACE* and
+ * MSCCLPP_SLOMON* environment knobs apply; the run is
+ * bit-deterministic for a given configuration. With MSCCLPP_REQTRACE=1
+ * each backend run writes its per-request tail-exemplar dump
+ * (backend-prefixed when several backends run), which
+ * tools/trace_query can interrogate; with MSCCLPP_SLOMON=1 each run
+ * writes its mscclpp.alerts dump for tools/slo_query.
  */
 #include "serving/cluster.hpp"
 
@@ -62,7 +66,8 @@ struct Run
     ServingReport report;
 };
 
-/** Parse a --fault spec "<replica>:<link>:<factor>@<step>". */
+/** Parse a --fault spec "<replica>:<link>:<factor>@<step>" with an
+ *  optional "~<recoverStep>" suffix (heal the link at that step). */
 bool
 parseFault(const std::string& spec, FaultSpec& out)
 {
@@ -74,16 +79,22 @@ parseFault(const std::string& spec, FaultSpec& out)
     if (at == std::string::npos) {
         return false;
     }
+    const std::size_t tilde = spec.find('~', at + 1);
     try {
         out.replica = std::stoi(spec.substr(0, c1));
         out.link = spec.substr(c1 + 1, c2 - c1 - 1);
         out.factor = std::stod(spec.substr(c2 + 1, at - c2 - 1));
-        out.atStep =
-            static_cast<std::uint64_t>(std::stoull(spec.substr(at + 1)));
+        out.atStep = static_cast<std::uint64_t>(
+            std::stoull(spec.substr(at + 1, tilde - at - 1)));
+        if (tilde != std::string::npos) {
+            out.recoverAtStep = static_cast<std::uint64_t>(
+                std::stoull(spec.substr(tilde + 1)));
+        }
     } catch (...) {
         return false;
     }
-    return !out.link.empty() && out.factor > 0.0;
+    return !out.link.empty() && out.factor > 0.0 &&
+           (out.recoverAtStep == 0 || out.recoverAtStep > out.atStep);
 }
 
 std::string
@@ -139,6 +150,10 @@ toJson(const ServingConfig& cfg, const std::vector<Run>& runs)
                std::to_string(rep.sloTtftViolations) + ",\n";
         out += "      \"slo_tpot_violations\": " +
                std::to_string(rep.sloTpotViolations) + ",\n";
+        out += "      \"alerts_fired\": " +
+               std::to_string(rep.alertsFired) + ",\n";
+        out += "      \"alerts_active\": " +
+               std::to_string(rep.alertsActive) + ",\n";
         out += "      \"throughput_tps\": " + num(rep.throughputTps) +
                ",\n";
         out += "      \"makespan_ms\": " + num(sim::toMs(rep.makespan)) +
@@ -176,7 +191,8 @@ main(int argc, char** argv)
             if (!parseFault(argv[++i], f)) {
                 std::fprintf(stderr,
                              "serving_cluster: bad --fault spec '%s' "
-                             "(want <replica>:<link>:<factor>@<step>)\n",
+                             "(want <replica>:<link>:<factor>@<step>"
+                             "[~<recoverStep>])\n",
                              argv[i]);
                 return 2;
             }
@@ -186,7 +202,8 @@ main(int argc, char** argv)
                          "usage: %s [--smoke] [--json <file>] "
                          "[--replicas <n>] [--disagg <n>] "
                          "[--backend nccl|msccl|mscclpp|all] "
-                         "[--fault <r>:<link>:<factor>@<step>]\n",
+                         "[--fault <r>:<link>:<factor>@<step>"
+                         "[~<recover>]]\n",
                          argv[0]);
             return 2;
         }
@@ -246,6 +263,10 @@ main(int argc, char** argv)
             c.reqtraceFile =
                 std::string(backendSlug(backend)) + "." + c.reqtraceFile;
         }
+        if (c.slomon && backends.size() > 1) {
+            c.slomonFile =
+                std::string(backendSlug(backend)) + "." + c.slomonFile;
+        }
         ServingCluster cluster(c);
         runs.push_back({backend, cluster.run()});
         std::printf("--- %s ---\n%s\n\n", toString(backend),
@@ -253,6 +274,13 @@ main(int argc, char** argv)
         if (cluster.reqtrace().enabled()) {
             std::printf("reqtrace -> %s (top-%d per SLO class)\n\n",
                         c.reqtraceFile.c_str(), c.reqtraceTopK);
+        }
+        if (cluster.slomon().enabled()) {
+            std::printf("alerts -> %s (%llu fired, %zu active)\n\n",
+                        c.slomonFile.c_str(),
+                        static_cast<unsigned long long>(
+                            runs.back().report.alertsFired),
+                        cluster.slomon().activeAlerts());
         }
     }
 

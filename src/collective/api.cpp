@@ -37,6 +37,14 @@ CollectiveComm::record(const std::string& name, std::size_t bytes,
             .summary("collective.latency_ns")
             .add(sim::toNs(elapsed));
     }
+    if (obs.timeseries().enabled()) {
+        // Per-interval launch and byte rates, the continuous view of
+        // the counters above.
+        sim::Time at = machine_->scheduler().now();
+        obs.timeseries().accumulate("collective.count", at, 1.0);
+        obs.timeseries().accumulate("collective.bytes", at,
+                                    static_cast<double>(bytes));
+    }
     if (obs.tracer().enabled()) {
         // The serving layer parks the ids of the requests it is
         // stepping in the tracer; stamping them here ties each

@@ -117,6 +117,11 @@ class Fifo
                 depthOnPush_->add(static_cast<double>(queue_.size()));
                 depthGauge_->set(static_cast<double>(queue_.size()));
             }
+            if (obs_->timeseries().enabled()) {
+                obs_->timeseries().record(
+                    "fifo.depth." + track_, sched_->now(),
+                    static_cast<double>(queue_.size()));
+            }
             if (obs_->tracer().enabled()) {
                 obs_->tracer().span(obs::Category::Fifo, "fifo.push", pid_,
                                     track_, t0, sched_->now(), req.bytes,
@@ -161,6 +166,11 @@ class Fifo
         if (obs_ != nullptr) {
             if (obs_->metrics().enabled()) {
                 depthGauge_->set(static_cast<double>(queue_.size()));
+            }
+            if (obs_->timeseries().enabled()) {
+                obs_->timeseries().record(
+                    "fifo.depth." + track_, sched_->now(),
+                    static_cast<double>(queue_.size()));
             }
             if (obs_->tracer().enabled()) {
                 obs_->tracer().span(obs::Category::Fifo, "fifo.pop",

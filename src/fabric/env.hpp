@@ -129,6 +129,17 @@ struct EnvConfig
     std::string flightFile = "flight.json"; ///< MSCCLPP_FLIGHT_FILE
     /// Anomaly threshold in σ units (MSCCLPP_FLIGHT_SIGMA, > 0).
     double flightSigma = 3.0;
+    /// Continuous telemetry rollups (MSCCLPP_TIMESERIES=1): bucket
+    /// counters, gauges and link utilization into fixed virtual-time
+    /// intervals, dumped as mscclpp.timeseries v1 plus Chrome "C"
+    /// counter tracks in the trace (DESIGN.md Section 14).
+    bool timeseriesEnabled = false;
+    /// Initial rollup interval in virtual time; 0 keeps the built-in
+    /// default (MSCCLPP_TIMESERIES_INTERVAL_NS). The ring coarsens
+    /// 2x whenever the bounded interval span would overflow.
+    sim::Time timeseriesInterval = 0;
+    std::string timeseriesFile =
+        "timeseries.json"; ///< MSCCLPP_TIMESERIES_FILE
     /// Stall watchdog (MSCCLPP_WATCHDOG): "off", "report" (emit hang
     /// reports and keep going) or "abort" (fail fast with
     /// Error(Timeout)). Implies tracing (DESIGN.md Section 11).
@@ -184,7 +195,9 @@ void applyEnvOverrides(EnvConfig& cfg);
  * Apply only the observability variables — MSCCLPP_TRACE,
  * MSCCLPP_METRICS, MSCCLPP_TRACE_FILE, MSCCLPP_METRICS_FILE,
  * MSCCLPP_CRITPATH, MSCCLPP_FLIGHT, MSCCLPP_FLIGHT_FILE,
- * MSCCLPP_FLIGHT_SIGMA, MSCCLPP_DEGRADED_LINKS — to @p cfg. Called by every Machine at construction (the runtime gate
+ * MSCCLPP_FLIGHT_SIGMA, MSCCLPP_TIMESERIES,
+ * MSCCLPP_TIMESERIES_INTERVAL_NS, MSCCLPP_TIMESERIES_FILE,
+ * MSCCLPP_DEGRADED_LINKS — to @p cfg. Called by every Machine at construction (the runtime gate
  * of the tracer), and by applyEnvOverrides. Defaults: tracing off,
  * metrics on, files "trace.json" / "metrics.json". Throws
  * Error(InvalidUsage) on malformed values (non-boolean flags, empty

@@ -92,6 +92,17 @@ applyObsEnvOverrides(EnvConfig& cfg)
         }
         cfg.flightSigma = sigma;
     }
+    readBool("MSCCLPP_TIMESERIES", cfg.timeseriesEnabled);
+    sim::Time tsNs = 0;
+    if (readTimeNs("MSCCLPP_TIMESERIES_INTERVAL_NS", tsNs)) {
+        if (tsNs <= 0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_TIMESERIES_INTERVAL_NS must be a "
+                        "positive virtual-time interval in ns");
+        }
+        cfg.timeseriesInterval = tsNs;
+    }
+    readPath("MSCCLPP_TIMESERIES_FILE", cfg.timeseriesFile);
     const char* wd = std::getenv("MSCCLPP_WATCHDOG");
     if (wd != nullptr && *wd != '\0') {
         std::string s(wd);

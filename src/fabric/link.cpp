@@ -52,6 +52,15 @@ Link::record(sim::Time start, sim::Time end, std::uint64_t bytes,
         serializationNs_->add(sim::toNs(busy));
         occupancyHist_->addRange(end - busy, end);
     }
+    if (obs_->timeseries().enabled()) {
+        // Per-link rollups: busy fraction per interval (utilization %)
+        // and byte deltas, the continuous view of the occupancy
+        // histogram above.
+        obs_->timeseries().chargeRange("link.util." + name_, end - busy,
+                                       end);
+        obs_->timeseries().accumulate("link.bytes." + name_, end,
+                                      static_cast<double>(bytes));
+    }
     if (obs_->tracer().enabled()) {
         obs_->tracer().span(obs::Category::Link, "xfer", obs::kFabricPid,
                             name_, start, end, bytes);

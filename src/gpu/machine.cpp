@@ -85,7 +85,14 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
     obs_.flight().setEnabled(cfg_.flightEnabled);
     obs_.flight().setSigmaK(cfg_.flightSigma);
     obs_.setFlightFile(cfg_.flightFile);
-    obs_.setDumpOnDestroy(cfg_.traceEnabled);
+    obs_.timeseries().setEnabled(cfg_.timeseriesEnabled);
+    if (cfg_.timeseriesInterval > 0) {
+        obs_.timeseries().setIntervalWidth(cfg_.timeseriesInterval);
+    }
+    obs_.setTimeseriesFile(cfg_.timeseriesFile);
+    // Timeseries-only runs still dump (the trace file then carries
+    // just the counter tracks).
+    obs_.setDumpOnDestroy(cfg_.traceEnabled || cfg_.timeseriesEnabled);
 
     // The watchdog binds unconditionally (tests may flip the mode on a
     // built machine), but only an enabled mode installs the scheduler

@@ -16,7 +16,12 @@ ObsContext::dump()
     }
     std::string what;
     if (!traceFile_.empty()) {
-        tracer_.writeChromeTrace(traceFile_);
+        // Counter tracks from the timeseries ride the trace dump so
+        // utilization/occupancy timelines render beside the spans.
+        tracer_.writeChromeTrace(traceFile_,
+                                 timeseries_.enabled()
+                                     ? timeseries_.chromeCounterEvents()
+                                     : std::vector<std::string>{});
         what += std::to_string(tracer_.size()) + " events -> " +
                 traceFile_;
         if (tracer_.dropped() > 0) {
@@ -39,6 +44,14 @@ ObsContext::dump()
         what += std::to_string(flight_.steps()) + " steps (" +
                 std::to_string(flight_.anomalyCount()) +
                 " anomalies) -> " + flightFile_;
+    }
+    if (timeseries_.enabled() && !timeseriesFile_.empty()) {
+        timeseries_.writeJson(timeseriesFile_);
+        if (!what.empty()) {
+            what += ", ";
+        }
+        what += std::to_string(timeseries_.samples()) +
+                " samples -> " + timeseriesFile_;
     }
     // Hang reports are exceptional by definition: a clean run writes
     // no hang file at all.

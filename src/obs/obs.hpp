@@ -3,6 +3,7 @@
 
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "obs/window.hpp"
@@ -36,11 +37,14 @@ class ObsContext
     const FlightRecorder& flight() const { return flight_; }
     Watchdog& watchdog() { return watchdog_; }
     const Watchdog& watchdog() const { return watchdog_; }
+    TimeSeries& timeseries() { return timeseries_; }
+    const TimeSeries& timeseries() const { return timeseries_; }
 
     const std::string& traceFile() const { return traceFile_; }
     const std::string& metricsFile() const { return metricsFile_; }
     const std::string& flightFile() const { return flightFile_; }
     const std::string& watchdogFile() const { return watchdogFile_; }
+    const std::string& timeseriesFile() const { return timeseriesFile_; }
     void setTraceFile(std::string path) { traceFile_ = std::move(path); }
     void setMetricsFile(std::string path)
     {
@@ -53,6 +57,10 @@ class ObsContext
     void setWatchdogFile(std::string path)
     {
         watchdogFile_ = std::move(path);
+    }
+    void setTimeseriesFile(std::string path)
+    {
+        timeseriesFile_ = std::move(path);
     }
 
     /** Dump trace + metrics files when enabled (Machine teardown). */
@@ -72,10 +80,12 @@ class ObsContext
     StepWindow window_{tracer_};
     FlightRecorder flight_;
     Watchdog watchdog_;
+    TimeSeries timeseries_;
     std::string traceFile_ = "trace.json";
     std::string metricsFile_ = "metrics.json";
     std::string flightFile_ = "flight.json";
     std::string watchdogFile_ = "hang.json";
+    std::string timeseriesFile_ = "timeseries.json";
     bool dumpOnDestroy_ = false;
 };
 

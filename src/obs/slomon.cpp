@@ -1,0 +1,303 @@
+#include "obs/slomon.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace mscclpp::obs {
+
+namespace {
+
+std::string
+sloNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+sloUs(sim::Time t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", sim::toUs(t));
+    return buf;
+}
+
+} // namespace
+
+std::string
+SloAlert::toJson() const
+{
+    std::string out = "{\"id\": " + std::to_string(id) +
+                      ", \"dimension\": \"" + dimension + "\"";
+    out += ", \"fired_at_us\": " + sloUs(firedAt);
+    out += ", \"cleared_at_us\": " + sloUs(clearedAt);
+    out += std::string(", \"active\": ") + (active() ? "true" : "false");
+    out += ", \"fire_interval\": " + std::to_string(fireInterval);
+    out += ", \"burn_fast\": " + sloNum(burnFast);
+    out += ", \"burn_slow\": " + sloNum(burnSlow);
+    out += ", \"replica\": " + std::to_string(blamedReplica);
+    out += ", \"link\": \"" + blamedLink + "\"}";
+    return out;
+}
+
+void
+SloMonitor::setIntervalWidth(sim::Time w)
+{
+    width_ = std::max<sim::Time>(w, 1);
+}
+
+void
+SloMonitor::setWindows(int fast, int slow)
+{
+    if (fast < 1 || slow < fast) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SLO monitor windows need 1 <= fast <= slow "
+                    "intervals");
+    }
+    fast_ = fast;
+    slow_ = slow;
+}
+
+void
+SloMonitor::setBudget(double b)
+{
+    if (b <= 0.0 || b > 1.0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SLO error budget must be a fraction in (0, 1]");
+    }
+    budget_ = b;
+}
+
+void
+SloMonitor::setBurnThreshold(double t)
+{
+    if (t <= 0.0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SLO burn-rate threshold must be positive");
+    }
+    threshold_ = t;
+}
+
+SloMonitor::Window
+SloMonitor::windowStats(std::uint64_t from, std::uint64_t to,
+                        bool ttft) const
+{
+    Window w;
+    for (auto it = intervals_.lower_bound(from);
+         it != intervals_.end() && it->first <= to; ++it) {
+        const Interval& iv = it->second;
+        w.total += ttft ? iv.ttftTotal : iv.tpotTotal;
+        w.viol += ttft ? iv.ttftViol : iv.tpotViol;
+        const auto& by =
+            ttft ? iv.ttftViolByReplica : iv.tpotViolByReplica;
+        for (const auto& [rep, n] : by) {
+            w.violByReplica[rep] += n;
+        }
+    }
+    return w;
+}
+
+void
+SloMonitor::evaluate(bool ttft, std::uint64_t curIdx, sim::Time at)
+{
+    const std::uint64_t fastFrom =
+        curIdx >= static_cast<std::uint64_t>(fast_ - 1)
+            ? curIdx - (fast_ - 1)
+            : 0;
+    const std::uint64_t slowFrom =
+        curIdx >= static_cast<std::uint64_t>(slow_ - 1)
+            ? curIdx - (slow_ - 1)
+            : 0;
+    Window fast = windowStats(fastFrom, curIdx, ttft);
+    const double burnFast = fast.fraction() / budget_;
+
+    int& active = ttft ? activeTtft_ : activeTpot_;
+    if (active >= 0) {
+        // The fast window recovering is the clear condition: the slow
+        // window deliberately lags (it is what made the fire decision
+        // robust), so waiting for it too would hold alerts long after
+        // the fault healed.
+        if (burnFast < threshold_) {
+            alerts_[active].clearedAt = at;
+            active = -1;
+        }
+        return;
+    }
+
+    Window slow = windowStats(slowFrom, curIdx, ttft);
+    const double burnSlow = slow.fraction() / budget_;
+    if (burnFast < threshold_ || burnSlow < threshold_ ||
+        fast.total == 0) {
+        return;
+    }
+
+    SloAlert a;
+    a.id = static_cast<int>(alerts_.size());
+    a.dimension = ttft ? "ttft" : "tpot";
+    a.firedAt = at;
+    a.fireInterval = curIdx;
+    a.burnFast = burnFast;
+    a.burnSlow = burnSlow;
+    // Blame the replica whose requests violated most inside the fast
+    // window (ties break to the lowest id — deterministic).
+    std::uint64_t best = 0;
+    for (const auto& [rep, n] : fast.violByReplica) {
+        if (n > best) {
+            best = n;
+            a.blamedReplica = rep;
+        }
+    }
+    if (a.blamedReplica >= 0 && blamer_) {
+        a.blamedLink = blamer_(
+            a.blamedReplica,
+            static_cast<sim::Time>(fastFrom) * width_, at);
+    }
+    active = static_cast<int>(alerts_.size());
+    alerts_.push_back(std::move(a));
+}
+
+void
+SloMonitor::prune(std::uint64_t curIdx)
+{
+    // Bounded memory: everything older than the slow window can never
+    // influence another evaluation. Keep a generous multiple so the
+    // dump still shows recent history around an alert.
+    const std::uint64_t keep = static_cast<std::uint64_t>(slow_) * 4;
+    if (curIdx <= keep) {
+        return;
+    }
+    intervals_.erase(intervals_.begin(),
+                     intervals_.lower_bound(curIdx - keep));
+}
+
+void
+SloMonitor::onRequestDone(int replica, sim::Time firstTokenAt,
+                          sim::Time completedAt, sim::Time ttft,
+                          sim::Time tpot)
+{
+    if (!enabled()) {
+        return;
+    }
+    const std::uint64_t ttftIdx =
+        static_cast<std::uint64_t>(firstTokenAt) / width_;
+    const std::uint64_t tpotIdx =
+        static_cast<std::uint64_t>(completedAt) / width_;
+    observed_++;
+    Interval& tiv = intervals_[ttftIdx];
+    tiv.ttftTotal++;
+    if (sloTtft_ > 0 && ttft > sloTtft_) {
+        tiv.ttftViol++;
+        tiv.ttftViolByReplica[replica]++;
+        ttftViol_++;
+    }
+    Interval& piv = intervals_[tpotIdx];
+    piv.tpotTotal++;
+    if (sloTpot_ > 0 && tpot > sloTpot_) {
+        piv.tpotViol++;
+        piv.tpotViolByReplica[replica]++;
+        tpotViol_++;
+    }
+    // Completions retire in (roughly) virtual-time order, but the
+    // first-token timestamps they carry do not: a long decode delivers
+    // its TTFT sample long after shorter neighbours delivered later
+    // ones. Samples always land in their own bucket above, but fire /
+    // clear decisions only happen at each dimension's frontier — the
+    // newest interval it has ever evaluated — so a straggling sample
+    // from the past can re-trigger the frontier evaluation with the
+    // updated data yet never rewinds an alert's timeline.
+    if (ttftIdx >= ttftFrontier_) {
+        ttftFrontier_ = ttftIdx;
+        ttftFrontierAt_ = std::max(ttftFrontierAt_, firstTokenAt);
+    }
+    evaluate(/*ttft=*/true, ttftFrontier_, ttftFrontierAt_);
+    if (tpotIdx >= tpotFrontier_) {
+        tpotFrontier_ = tpotIdx;
+        tpotFrontierAt_ = std::max(tpotFrontierAt_, completedAt);
+    }
+    evaluate(/*ttft=*/false, tpotFrontier_, tpotFrontierAt_);
+    // Prune against the completion bucket: first-token buckets can
+    // only lag it, and the lag is bounded by the decode phase.
+    prune(tpotIdx);
+}
+
+void
+SloMonitor::noteFault(int replica, std::string link, double factor,
+                      sim::Time at)
+{
+    if (!enabled()) {
+        return;
+    }
+    faults_.push_back({replica, std::move(link), factor, at});
+}
+
+std::size_t
+SloMonitor::activeAlerts() const
+{
+    std::size_t n = 0;
+    for (const SloAlert& a : alerts_) {
+        n += a.active() ? 1 : 0;
+    }
+    return n;
+}
+
+std::string
+SloMonitor::toJson() const
+{
+    std::string out = "{\n  \"schema\": \"mscclpp.alerts\",\n"
+                      "  \"version\": 1,\n";
+    out += "  \"interval_ns\": " + sloNum(sim::toNs(width_)) + ",\n";
+    out += "  \"fast_intervals\": " + std::to_string(fast_) + ",\n";
+    out += "  \"slow_intervals\": " + std::to_string(slow_) + ",\n";
+    out += "  \"budget\": " + sloNum(budget_) + ",\n";
+    out += "  \"burn_threshold\": " + sloNum(threshold_) + ",\n";
+    out += "  \"slo_ttft_us\": " + sloUs(sloTtft_) + ",\n";
+    out += "  \"slo_tpot_us\": " + sloUs(sloTpot_) + ",\n";
+    out += "  \"requests\": " + std::to_string(observed_) + ",\n";
+    out += "  \"ttft_violations\": " + std::to_string(ttftViol_) + ",\n";
+    out += "  \"tpot_violations\": " + std::to_string(tpotViol_) + ",\n";
+    out += "  \"fired\": " + std::to_string(alerts_.size()) + ",\n";
+    out += "  \"active\": " + std::to_string(activeAlerts()) + ",\n";
+    out += "  \"faults\": [";
+    bool first = true;
+    for (const FaultStamp& f : faults_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"replica\": " + std::to_string(f.replica) +
+               ", \"link\": \"" + f.link +
+               "\", \"factor\": " + sloNum(f.factor) +
+               ", \"at_us\": " + sloUs(f.at) + "}";
+    }
+    out += first ? "],\n" : "\n  ],\n";
+    out += "  \"alerts\": [";
+    first = true;
+    for (const SloAlert& a : alerts_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + a.toJson();
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void
+SloMonitor::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open alerts file '" + path +
+                        "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing alerts file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

@@ -1,0 +1,212 @@
+#ifndef MSCCLPP_OBS_SLOMON_HPP
+#define MSCCLPP_OBS_SLOMON_HPP
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * One structured alert record (`mscclpp.alerts` v1): the virtual
+ * timestamps it fired and cleared at, the burn rates of both windows
+ * at fire time, and the blamed dimension — the replica whose requests
+ * violated most inside the fast window, and the fabric link the
+ * correlation callback pinned the regression on.
+ */
+struct SloAlert
+{
+    int id = 0;
+    std::string dimension;   ///< "ttft" or "tpot"
+    sim::Time firedAt = 0;
+    sim::Time clearedAt = 0; ///< 0 while still active
+    std::uint64_t fireInterval = 0;
+    double burnFast = 0.0;   ///< fast-window burn rate at fire
+    double burnSlow = 0.0;   ///< slow-window burn rate at fire
+    int blamedReplica = -1;
+    std::string blamedLink;  ///< "" when no link could be blamed
+
+    bool active() const { return clearedAt == 0; }
+    std::string toJson() const;
+};
+
+/**
+ * Multi-window SLO burn-rate monitor (Prometheus's multiwindow
+ * multi-burn-rate alerting recipe, applied to the simulator's virtual
+ * clock): request completions bucket into fixed virtual-time
+ * intervals, each interval tracks the fraction of completions that
+ * violated the TTFT / TPOT SLO, and an alert fires when the burn rate
+ * — violation fraction divided by the error budget — exceeds the
+ * threshold over *both* a fast window (quick detection) and a slow
+ * window (immune to one bad interval). The alert clears as soon as
+ * the fast window's burn rate drops back below the threshold, which
+ * is what makes recovery visible within a bounded number of
+ * intervals.
+ *
+ * Evaluation happens inside onRequestDone — pure bookkeeping on
+ * events the serving layer already produces — so like every obs
+ * surface it never advances virtual time. Cluster-level by the same
+ * argument as the RequestTracer: one request's latency spans
+ * replicas, so no single Machine's ObsContext can own the signal.
+ * Compiled out under -DMSCCLPP_NO_OBS the same way (enabled() is
+ * constant false, every hook a dead branch).
+ *
+ * Blame is delegated: on fire the monitor picks the replica with the
+ * most violations in the fast window and asks the registered
+ * LinkBlamer — the serving cluster, which can see every replica's
+ * flight-recorder digests and critical-path link buckets — which
+ * link to name for that replica over the alert window.
+ */
+class SloMonitor
+{
+  public:
+#ifdef MSCCLPP_NO_OBS
+    static constexpr bool kCompiledIn = false;
+#else
+    static constexpr bool kCompiledIn = true;
+#endif
+
+    /** Returns the culprit link for @p replica over [begin, end]. */
+    using LinkBlamer = std::function<std::string(
+        int replica, sim::Time begin, sim::Time end)>;
+
+    bool enabled() const { return kCompiledIn && enabled_; }
+    void setEnabled(bool on) { enabled_ = kCompiledIn && on; }
+
+    const std::string& file() const { return file_; }
+    void setFile(std::string path) { file_ = std::move(path); }
+
+    sim::Time intervalWidth() const { return width_; }
+    void setIntervalWidth(sim::Time w);
+
+    sim::Time sloTtft() const { return sloTtft_; }
+    sim::Time sloTpot() const { return sloTpot_; }
+    void setSlo(sim::Time ttft, sim::Time tpot)
+    {
+        sloTtft_ = ttft;
+        sloTpot_ = tpot;
+    }
+
+    int fastIntervals() const { return fast_; }
+    int slowIntervals() const { return slow_; }
+    void setWindows(int fast, int slow);
+
+    double budget() const { return budget_; }
+    void setBudget(double b);
+
+    double burnThreshold() const { return threshold_; }
+    void setBurnThreshold(double t);
+
+    void setLinkBlamer(LinkBlamer b) { blamer_ = std::move(b); }
+
+    /**
+     * One request finished on @p replica with the given latencies.
+     * Each dimension observes the request at its own natural
+     * timestamp — TTFT at @p firstTokenAt (when the slow first token
+     * actually happened), TPOT at @p completedAt — so a request that
+     * prefilled through a fault but decoded long after it still burns
+     * the fault-era intervals, not the era it happened to retire in.
+     */
+    void onRequestDone(int replica, sim::Time firstTokenAt,
+                       sim::Time completedAt, sim::Time ttft,
+                       sim::Time tpot);
+
+    /** Stamp a mid-run fault / recovery so the alerts dump carries
+     *  the injected timeline next to the fired one. */
+    void noteFault(int replica, std::string link, double factor,
+                   sim::Time at);
+
+    std::uint64_t observed() const { return observed_; }
+    std::uint64_t ttftViolations() const { return ttftViol_; }
+    std::uint64_t tpotViolations() const { return tpotViol_; }
+
+    /** Every alert ever fired, in fire order (cleared ones keep
+     *  their clear timestamp). */
+    const std::vector<SloAlert>& alerts() const { return alerts_; }
+
+    /** Alerts still active (fired, not yet cleared). */
+    std::size_t activeAlerts() const;
+
+    /** Serialise the `mscclpp.alerts` v1 dump. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+  private:
+    /// Per-interval observation tally. Totals are per dimension
+    /// because the two dimensions bucket the same request at
+    /// different timestamps (first token vs completion).
+    struct Interval
+    {
+        std::uint64_t ttftTotal = 0;
+        std::uint64_t tpotTotal = 0;
+        std::uint64_t ttftViol = 0;
+        std::uint64_t tpotViol = 0;
+        std::map<int, std::uint64_t> ttftViolByReplica;
+        std::map<int, std::uint64_t> tpotViolByReplica;
+    };
+
+    struct Window
+    {
+        std::uint64_t total = 0;
+        std::uint64_t viol = 0;
+        std::map<int, std::uint64_t> violByReplica;
+
+        double fraction() const
+        {
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(viol) /
+                             static_cast<double>(total);
+        }
+    };
+
+    struct FaultStamp
+    {
+        int replica = 0;
+        std::string link;
+        double factor = 1.0;
+        sim::Time at = 0;
+    };
+
+    Window windowStats(std::uint64_t from, std::uint64_t to,
+                       bool ttft) const;
+    void evaluate(bool ttft, std::uint64_t curIdx, sim::Time at);
+    void prune(std::uint64_t curIdx);
+
+    bool enabled_ = false;
+    std::string file_ = "alerts.json";
+    sim::Time width_ = sim::msec(100);
+    sim::Time sloTtft_ = 0;
+    sim::Time sloTpot_ = 0;
+    int fast_ = 4;
+    int slow_ = 16;
+    double budget_ = 0.1;
+    double threshold_ = 1.0;
+    LinkBlamer blamer_;
+
+    std::map<std::uint64_t, Interval> intervals_;
+    std::vector<SloAlert> alerts_;
+    int activeTtft_ = -1; ///< index into alerts_, -1 when none
+    int activeTpot_ = -1;
+    /// Newest interval each dimension has evaluated (see
+    /// onRequestDone: decisions happen only at the frontier).
+    std::uint64_t ttftFrontier_ = 0;
+    std::uint64_t tpotFrontier_ = 0;
+    sim::Time ttftFrontierAt_ = 0;
+    sim::Time tpotFrontierAt_ = 0;
+    std::vector<FaultStamp> faults_;
+
+    std::uint64_t observed_ = 0;
+    std::uint64_t ttftViol_ = 0;
+    std::uint64_t tpotViol_ = 0;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_SLOMON_HPP

@@ -1,0 +1,264 @@
+#include "obs/timeseries.hpp"
+
+#include "core/errors.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace mscclpp::obs {
+
+const char*
+toString(SeriesKind k)
+{
+    switch (k) {
+      case SeriesKind::CounterDelta:
+        return "counter_delta";
+      case SeriesKind::Gauge:
+        return "gauge";
+      case SeriesKind::Utilization:
+        return "utilization";
+    }
+    return "?";
+}
+
+TimeSeries::TimeSeries(sim::Time intervalWidth)
+    : width_(std::max<sim::Time>(intervalWidth, 1))
+{
+}
+
+void
+TimeSeries::setIntervalWidth(sim::Time width)
+{
+    width_ = std::max<sim::Time>(width, 1);
+}
+
+TimeSeries::Series&
+TimeSeries::open(const std::string& name, SeriesKind kind)
+{
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+        it = series_.emplace(name, Series{kind, {}}).first;
+    }
+    return it->second;
+}
+
+void
+TimeSeries::noteInterval(std::uint64_t idx)
+{
+    if (!anyIdx_) {
+        minIdx_ = maxIdx_ = idx;
+        anyIdx_ = true;
+    } else {
+        minIdx_ = std::min(minIdx_, idx);
+        maxIdx_ = std::max(maxIdx_, idx);
+    }
+    // Bound the *span*, not the point count: a sparse series must not
+    // defeat the cap, because the Chrome counter track and any
+    // cross-series correlation walk the full [min, max] range.
+    while (maxIdx_ - minIdx_ + 1 > kMaxIntervals) {
+        coarsen();
+    }
+}
+
+void
+TimeSeries::coarsen()
+{
+    width_ *= 2;
+    ++coarsenings_;
+    for (auto& [name, s] : series_) {
+        (void)name;
+        std::map<std::uint64_t, double> coarse;
+        if (s.kind == SeriesKind::Gauge) {
+            // Ascending iteration makes the later interval's sample
+            // overwrite the earlier one: "last level seen" survives
+            // coarsening the same way it wins within an interval.
+            for (const auto& [idx, v] : s.points) {
+                coarse[idx / 2] = v;
+            }
+        } else {
+            for (const auto& [idx, v] : s.points) {
+                coarse[idx / 2] += v;
+            }
+        }
+        s.points = std::move(coarse);
+    }
+    minIdx_ /= 2;
+    maxIdx_ /= 2;
+}
+
+void
+TimeSeries::record(const std::string& name, sim::Time at, double value)
+{
+    if (!enabled()) {
+        return;
+    }
+    std::uint64_t idx = static_cast<std::uint64_t>(at) / width_;
+    open(name, SeriesKind::Gauge).points[idx] = value;
+    ++samples_;
+    noteInterval(idx);
+}
+
+void
+TimeSeries::accumulate(const std::string& name, sim::Time at,
+                       double delta)
+{
+    if (!enabled()) {
+        return;
+    }
+    std::uint64_t idx = static_cast<std::uint64_t>(at) / width_;
+    open(name, SeriesKind::CounterDelta).points[idx] += delta;
+    ++samples_;
+    noteInterval(idx);
+}
+
+void
+TimeSeries::chargeRange(const std::string& name, sim::Time begin,
+                        sim::Time end, double weight)
+{
+    if (!enabled() || end <= begin) {
+        return;
+    }
+    Series& s = open(name, SeriesKind::Utilization);
+    std::uint64_t first = static_cast<std::uint64_t>(begin) / width_;
+    std::uint64_t last = static_cast<std::uint64_t>(end - 1) / width_;
+    for (std::uint64_t i = first; i <= last; ++i) {
+        sim::Time lo = std::max<sim::Time>(begin, i * width_);
+        sim::Time hi = std::min<sim::Time>(end, (i + 1) * width_);
+        s.points[i] += static_cast<double>(hi - lo) * weight;
+    }
+    ++samples_;
+    noteInterval(first);
+    noteInterval(last);
+}
+
+const std::map<std::uint64_t, double>*
+TimeSeries::points(const std::string& name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second.points;
+}
+
+SeriesKind
+TimeSeries::kindOf(const std::string& name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? SeriesKind::CounterDelta
+                               : it->second.kind;
+}
+
+double
+TimeSeries::exportValue(const Series& s, double raw) const
+{
+    if (s.kind == SeriesKind::Utilization) {
+        return 100.0 * raw / static_cast<double>(width_);
+    }
+    return raw;
+}
+
+double
+TimeSeries::mean(const std::string& name) const
+{
+    auto it = series_.find(name);
+    if (it == series_.end() || it->second.points.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const auto& [idx, v] : it->second.points) {
+        (void)idx;
+        sum += exportValue(it->second, v);
+    }
+    return sum / static_cast<double>(it->second.points.size());
+}
+
+void
+TimeSeries::clear()
+{
+    series_.clear();
+    anyIdx_ = false;
+    minIdx_ = maxIdx_ = 0;
+    samples_ = 0;
+    coarsenings_ = 0;
+}
+
+namespace {
+
+std::string
+tsNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+TimeSeries::toJson() const
+{
+    std::string out = "{\n  \"schema\": \"mscclpp.timeseries\",\n"
+                      "  \"version\": 1,\n";
+    out += "  \"interval_ns\": " + tsNum(sim::toNs(width_)) + ",\n";
+    out += "  \"coarsenings\": " + std::to_string(coarsenings_) + ",\n";
+    out += "  \"samples\": " + std::to_string(samples_) + ",\n";
+    out += "  \"series\": {";
+    bool first = true;
+    for (const auto& [name, s] : series_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"kind\": \"" +
+               toString(s.kind) + "\", \"points\": {";
+        bool pFirst = true;
+        for (const auto& [idx, v] : s.points) {
+            out += pFirst ? "" : ", ";
+            pFirst = false;
+            out += "\"" + std::to_string(idx) +
+                   "\": " + tsNum(exportValue(s, v));
+        }
+        out += "}}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+TimeSeries::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open timeseries file '" + path +
+                        "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing timeseries file '" + path + "'");
+    }
+}
+
+std::vector<std::string>
+TimeSeries::chromeCounterEvents() const
+{
+    // One "C" event per (series, interval) at the interval's start
+    // timestamp. Chrome holds a counter's value until the next event,
+    // so sparse series render as a step function — accurate for
+    // gauges, and good enough for rates to eyeball beside the spans.
+    std::vector<std::string> out;
+    for (const auto& [name, s] : series_) {
+        for (const auto& [idx, v] : s.points) {
+            double us = sim::toUs(static_cast<sim::Time>(idx) * width_);
+            char ts[40];
+            std::snprintf(ts, sizeof(ts), "%.6f", us);
+            out.push_back("{\"name\":\"" + name +
+                          "\",\"ph\":\"C\",\"pid\":" +
+                          std::to_string(kHostPid) +
+                          ",\"ts\":" + ts + ",\"args\":{\"value\":" +
+                          tsNum(exportValue(s, v)) + "}}");
+        }
+    }
+    return out;
+}
+
+} // namespace mscclpp::obs

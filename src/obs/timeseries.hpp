@@ -1,0 +1,157 @@
+#ifndef MSCCLPP_OBS_TIMESERIES_HPP
+#define MSCCLPP_OBS_TIMESERIES_HPP
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * What one time series measures, which decides how two adjacent
+ * intervals combine when the ring coarsens:
+ *
+ *  - CounterDelta: events per interval (collective launches, bytes
+ *    moved). Adjacent intervals *add* — a rate over 2w is the sum of
+ *    the two rates over w.
+ *  - Gauge: a level sampled during the interval (KV occupancy, queue
+ *    depth, FIFO depth). Adjacent intervals keep the *later* sample —
+ *    a level has no meaningful sum.
+ *  - Utilization: busy picoseconds charged into the interval (link
+ *    occupancy). Adjacent intervals add, and the export divides by
+ *    the interval width so the value stays a busy percentage.
+ */
+enum class SeriesKind
+{
+    CounterDelta,
+    Gauge,
+    Utilization,
+};
+
+const char* toString(SeriesKind k);
+
+/**
+ * Continuous telemetry rollups against the deterministic virtual
+ * clock (MSCCLPP_TIMESERIES=1): every sample lands in the fixed-width
+ * interval `time / width`, so sampling is pure bucketing of events
+ * the simulation already produces — no timers, no polling tasks, and
+ * therefore *zero* virtual-time perturbation by construction (the
+ * same invariant the Tracer keeps).
+ *
+ * The interval span is bounded: when the distance between the oldest
+ * and newest interval would exceed the cap, the width doubles and
+ * adjacent interval pairs merge per their SeriesKind — exactly the
+ * Histogram::coarsen discipline, so an arbitrarily long run dumps a
+ * bounded, monotonically-coarser timeline instead of dropping its
+ * head. Widths only ever double from a common default, which keeps
+ * every series in one dump aligned on the same grid.
+ *
+ * Exported two ways: the versioned `mscclpp.timeseries` v1 JSON
+ * (machine-readable rollups) and Chrome "C" counter events injected
+ * into the trace dump, so utilization and occupancy timelines render
+ * directly beneath the span tree in Perfetto.
+ */
+class TimeSeries
+{
+  public:
+#ifdef MSCCLPP_NO_OBS
+    static constexpr bool kCompiledIn = false;
+#else
+    static constexpr bool kCompiledIn = true;
+#endif
+
+    explicit TimeSeries(sim::Time intervalWidth = kDefaultWidth);
+
+    /** True when samples are being recorded (cheap; test on hot
+     *  paths). */
+    bool enabled() const { return kCompiledIn && enabled_; }
+    void setEnabled(bool on) { enabled_ = kCompiledIn && on; }
+
+    sim::Time intervalWidth() const { return width_; }
+    /** Set the *initial* interval width; coarsening may double it
+     *  later. Resets nothing — call before the run starts. */
+    void setIntervalWidth(sim::Time width);
+
+    /** Sample a level: the last record() in an interval wins. */
+    void record(const std::string& name, sim::Time at, double value);
+
+    /** Count events: deltas within an interval add. */
+    void accumulate(const std::string& name, sim::Time at,
+                    double delta);
+
+    /** Charge a busy window [begin, end), spread across the intervals
+     *  it overlaps, weighted (1.0 = one fully-busy resource). */
+    void chargeRange(const std::string& name, sim::Time begin,
+                     sim::Time end, double weight = 1.0);
+
+    /** Number of distinct series recorded. */
+    std::size_t seriesCount() const { return series_.size(); }
+
+    /** Samples accepted across all series (pre-coarsening). */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Times the interval width doubled to stay under the cap. */
+    int coarsenings() const { return coarsenings_; }
+
+    /** interval index -> value for @p name; empty when unknown. */
+    const std::map<std::uint64_t, double>* points(
+        const std::string& name) const;
+
+    /** Kind of @p name; CounterDelta when unknown. */
+    SeriesKind kindOf(const std::string& name) const;
+
+    /** Mean value of @p name over its recorded intervals (utilization
+     *  series are first normalised to busy percent, matching the
+     *  exported values). */
+    double mean(const std::string& name) const;
+
+    void clear();
+
+    /** Serialise the `mscclpp.timeseries` v1 dump. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+    /**
+     * Pre-serialised Chrome "C" (counter) events, one per series per
+     * non-empty interval, for injection into the trace export. Each
+     * entry is a complete JSON object; utilization series are scaled
+     * to percent so the viewer's y-axis reads 0-100.
+     */
+    std::vector<std::string> chromeCounterEvents() const;
+
+  private:
+    static constexpr sim::Time kDefaultWidth = 50'000'000; ///< 50 us
+    static constexpr std::size_t kMaxIntervals = 512;
+
+    struct Series
+    {
+        SeriesKind kind = SeriesKind::CounterDelta;
+        std::map<std::uint64_t, double> points;
+    };
+
+    Series& open(const std::string& name, SeriesKind kind);
+    void noteInterval(std::uint64_t idx);
+    void coarsen();
+
+    /** The exported value of one stored point (utilization series
+     *  normalise to percent of the interval width). */
+    double exportValue(const Series& s, double raw) const;
+
+    bool enabled_ = false;
+    sim::Time width_;
+    std::map<std::string, Series> series_;
+    std::uint64_t minIdx_ = 0;
+    std::uint64_t maxIdx_ = 0;
+    bool anyIdx_ = false;
+    std::uint64_t samples_ = 0;
+    int coarsenings_ = 0;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_TIMESERIES_HPP

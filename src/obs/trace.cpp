@@ -219,7 +219,7 @@ fmtUs(sim::Time t)
 } // namespace
 
 std::string
-Tracer::chromeTraceJson() const
+Tracer::chromeTraceJson(const std::vector<std::string>& extraEvents) const
 {
     // Deterministic (pid, track) -> tid assignment: tracks sort
     // lexicographically within their process, so the same workload
@@ -308,19 +308,23 @@ Tracer::chromeTraceJson() const
         obj += "}}";
         emit(obj);
     }
+    for (const std::string& ev : extraEvents) {
+        emit(ev);
+    }
     out += "\n]}\n";
     return out;
 }
 
 void
-Tracer::writeChromeTrace(const std::string& path) const
+Tracer::writeChromeTrace(const std::string& path,
+                         const std::vector<std::string>& extraEvents) const
 {
     std::ofstream f(path, std::ios::trunc);
     if (!f) {
         throw Error(ErrorCode::SystemError,
                     "cannot open trace file '" + path + "' for writing");
     }
-    f << chromeTraceJson();
+    f << chromeTraceJson(extraEvents);
     if (!f.good()) {
         throw Error(ErrorCode::SystemError,
                     "failed writing trace file '" + path + "'");

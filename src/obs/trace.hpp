@@ -192,12 +192,19 @@ class Tracer
      * microsecond timestamps. The top-level `otherData` object carries
      * the ring-buffer drop counters so a truncated trace is never
      * silently mistaken for a complete one.
+     *
+     * @p extraEvents are pre-serialised trace-event objects appended
+     * verbatim after the span events — the TimeSeries counter ("C")
+     * tracks ride here so rollup timelines render beside the spans.
      */
-    std::string chromeTraceJson() const;
+    std::string chromeTraceJson(
+        const std::vector<std::string>& extraEvents = {}) const;
 
     /** Write chromeTraceJson() to @p path; throws Error on I/O
      *  failure. */
-    void writeChromeTrace(const std::string& path) const;
+    void writeChromeTrace(const std::string& path,
+                          const std::vector<std::string>& extraEvents =
+                              {}) const;
 
   private:
     static constexpr std::size_t kDefaultCapacity = 1u << 20;

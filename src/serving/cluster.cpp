@@ -19,6 +19,24 @@ ServingCluster::ServingCluster(ServingConfig cfg) : cfg_(std::move(cfg))
         // env-override pass).
         cfg_.env.traceEnabled = true;
     }
+    if (cfg_.slomon && obs::SloMonitor::kCompiledIn) {
+        slomon_.setEnabled(true);
+        slomon_.setFile(cfg_.slomonFile);
+        slomon_.setIntervalWidth(cfg_.slomonInterval);
+        slomon_.setSlo(cfg_.sloTtft, cfg_.sloTpot);
+        slomon_.setWindows(cfg_.slomonFast, cfg_.slomonSlow);
+        slomon_.setBudget(cfg_.slomonBudget);
+        slomon_.setBurnThreshold(cfg_.slomonBurn);
+        // Link blame correlates against each replica's step digests,
+        // so alerting implies the per-replica flight recorder (which
+        // itself implies the tracer — digests come from step windows).
+        cfg_.env.flightEnabled = true;
+        cfg_.env.traceEnabled = true;
+        slomon_.setLinkBlamer(
+            [this](int replica, sim::Time begin, sim::Time end) {
+                return blameLink(replica, begin, end);
+            });
+    }
     workload_ = generateWorkload(cfg_.workload, cfg_.seed);
     stats_.resize(workload_.size());
     for (const Request& r : workload_) {
@@ -37,8 +55,10 @@ ServingCluster::ServingCluster(ServingConfig cfg) : cfg_(std::move(cfg))
         replicas_.push_back(
             std::make_unique<Replica>(cfg_, i, role));
         replicas_.back()->bindRequestTracer(&reqtrace_);
+        replicas_.back()->bindSloMonitor(&slomon_);
     }
     faultFired_.assign(cfg_.faults.size(), false);
+    faultRecovered_.assign(cfg_.faults.size(), false);
 }
 
 int
@@ -107,20 +127,88 @@ ServingCluster::routeOutcome(int from, Replica::StepOutcome out)
     }
 }
 
+/**
+ * Blame a link for an SLO burn window: scan the replica's flight ring
+ * for step digests whose measured span overlaps [begin, end] and vote
+ * for each step's critical-path culprit link, weighted by the step's
+ * exposed-communication time. Digests the online anomaly detector
+ * flagged vote alone when any exist in the window — a healthy step's
+ * culprit is routine exposure, an anomalous one is a verdict about
+ * the regression the alert is firing on. A window with no culprit at
+ * all returns "" and the alert stays replica-scoped.
+ */
+std::string
+ServingCluster::blameLink(int replica, sim::Time begin,
+                          sim::Time end) const
+{
+    if (replica < 0 || replica >= numReplicas()) {
+        return "";
+    }
+    const obs::FlightRecorder& fr =
+        replicas_[replica]->machine().obs().flight();
+    if (!fr.enabled()) {
+        return "";
+    }
+    std::map<std::string, double> votes;
+    std::map<std::string, double> anomalyVotes;
+    for (const obs::StepDigest& d : fr.ring()) {
+        // d.end closes the *traced window* (a step's instrumented
+        // slice); the step itself spans begin..begin+measured.
+        const sim::Time stepEnd = d.begin + d.measured;
+        if (d.culpritLink.empty() || stepEnd < begin ||
+            d.begin > end) {
+            continue;
+        }
+        double w = 0.0;
+        auto it = d.buckets.find(obs::StepCategory::ExposedComms);
+        if (it != d.buckets.end()) {
+            w = static_cast<double>(it->second);
+        }
+        if (w <= 0.0) {
+            w = 1.0; // a verdict with no exposure still gets a voice
+        }
+        votes[d.culpritLink] += w;
+        if (d.anomalous) {
+            anomalyVotes[d.culpritLink] +=
+                w + static_cast<double>(d.measured);
+        }
+    }
+    const auto& pool = anomalyVotes.empty() ? votes : anomalyVotes;
+    std::string best;
+    double bestW = 0.0;
+    for (const auto& [link, w] : pool) {
+        if (w > bestW) {
+            best = link;
+            bestW = w;
+        }
+    }
+    return best;
+}
+
 void
 ServingCluster::injectFaultsBefore(int replicaIdx)
 {
     for (std::size_t j = 0; j < cfg_.faults.size(); ++j) {
         const FaultSpec& f = cfg_.faults[j];
-        if (faultFired_[j] || f.replica != replicaIdx ||
-            replicas_[replicaIdx]->stepsDone() < f.atStep) {
+        if (f.replica != replicaIdx) {
             continue;
         }
-        replicas_[replicaIdx]->machine().fabric().degradeLink(f.link,
-                                                              f.factor);
-        reqtrace_.noteFault(f.replica, f.link,
-                            replicas_[replicaIdx]->clock());
-        faultFired_[j] = true;
+        Replica& r = *replicas_[replicaIdx];
+        if (!faultFired_[j] && r.stepsDone() >= f.atStep) {
+            r.machine().fabric().degradeLink(f.link, f.factor);
+            reqtrace_.noteFault(f.replica, f.link, r.clock());
+            slomon_.noteFault(f.replica, f.link, f.factor, r.clock());
+            faultFired_[j] = true;
+        }
+        if (faultFired_[j] && !faultRecovered_[j] &&
+            f.recoverAtStep != 0 && r.stepsDone() >= f.recoverAtStep) {
+            // degradeLink multiplies the line rate by the factor, so
+            // the reciprocal restores the link exactly.
+            r.machine().fabric().degradeLink(f.link, 1.0 / f.factor);
+            slomon_.noteFault(f.replica, f.link, 1.0 / f.factor,
+                              r.clock());
+            faultRecovered_[j] = true;
+        }
     }
 }
 
@@ -163,6 +251,13 @@ ServingCluster::run()
     rep.migrations = migrations_;
     if (reqtrace_.enabled() && !reqtrace_.file().empty()) {
         reqtrace_.writeJson(reqtrace_.file());
+    }
+    if (slomon_.enabled()) {
+        rep.alertsFired = slomon_.alerts().size();
+        rep.alertsActive = slomon_.activeAlerts();
+        if (!slomon_.file().empty()) {
+            slomon_.writeJson(slomon_.file());
+        }
     }
     return rep;
 }

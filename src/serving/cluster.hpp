@@ -2,6 +2,7 @@
 #define MSCCLPP_SERVING_CLUSTER_HPP
 
 #include "obs/reqtrace.hpp"
+#include "obs/slomon.hpp"
 #include "serving/config.hpp"
 #include "serving/replica.hpp"
 #include "serving/stats.hpp"
@@ -52,6 +53,16 @@ class ServingCluster
     const obs::RequestTracer& reqtrace() const { return reqtrace_; }
 
     /**
+     * The cluster-level SLO burn-rate monitor (cfg.slomon /
+     * MSCCLPP_SLOMON). Lives beside the request tracer for the same
+     * reason: violation fractions aggregate completions across every
+     * replica. Its link blame is correlated from the blamed replica's
+     * flight-recorder digests over the alert window.
+     */
+    obs::SloMonitor& slomon() { return slomon_; }
+    const obs::SloMonitor& slomon() const { return slomon_; }
+
+    /**
      * Serve the whole workload to completion and aggregate the
      * report. Faults in cfg.faults fire when their replica reaches
      * the given step count (Fabric::degradeLink mid-run).
@@ -63,13 +74,17 @@ class ServingCluster
     void routeOutcome(int from, Replica::StepOutcome out);
     void injectFaultsBefore(int replicaIdx);
     int pickLeastLoaded(bool prefillCapable) const;
+    std::string blameLink(int replica, sim::Time begin,
+                          sim::Time end) const;
 
     ServingConfig cfg_;
     obs::RequestTracer reqtrace_;
+    obs::SloMonitor slomon_;
     std::vector<Request> workload_;
     std::vector<std::unique_ptr<Replica>> replicas_;
     std::vector<RequestStats> stats_;
     std::vector<bool> faultFired_;
+    std::vector<bool> faultRecovered_;
     std::uint64_t migrations_ = 0;
 };
 

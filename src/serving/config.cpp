@@ -170,6 +170,30 @@ ServingConfig::fromEnv()
     readBool("MSCCLPP_REQTRACE", cfg.reqtrace);
     readPath("MSCCLPP_REQTRACE_FILE", cfg.reqtraceFile);
     readInt("MSCCLPP_REQTRACE_TOPK", cfg.reqtraceTopK, 1);
+    readBool("MSCCLPP_SLOMON", cfg.slomon);
+    readPath("MSCCLPP_SLOMON_FILE", cfg.slomonFile);
+    double ns = 0.0;
+    if (readDouble("MSCCLPP_SLOMON_INTERVAL_NS", ns)) {
+        if (ns <= 0.0) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_SLOMON_INTERVAL_NS must be a positive "
+                        "virtual-time interval in ns");
+        }
+        cfg.slomonInterval = sim::ns(ns);
+    }
+    readInt("MSCCLPP_SLOMON_FAST", cfg.slomonFast, 1);
+    readInt("MSCCLPP_SLOMON_SLOW", cfg.slomonSlow, 1);
+    if (readDouble("MSCCLPP_SLOMON_BUDGET", cfg.slomonBudget) &&
+        (cfg.slomonBudget <= 0.0 || cfg.slomonBudget > 1.0)) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "MSCCLPP_SLOMON_BUDGET must be a fraction in "
+                    "(0, 1]");
+    }
+    if (readDouble("MSCCLPP_SLOMON_BURN", cfg.slomonBurn) &&
+        cfg.slomonBurn <= 0.0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "MSCCLPP_SLOMON_BURN must be positive");
+    }
     cfg.validate();
     return cfg;
 }
@@ -202,11 +226,26 @@ ServingConfig::validate() const
         throw Error(ErrorCode::InvalidUsage,
                     "reqtrace top-k must be at least 1");
     }
+    if (slomonFast < 1 || slomonSlow < slomonFast) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SLO monitor windows need 1 <= fast <= slow");
+    }
+    if (slomonInterval <= 0 || slomonBudget <= 0.0 ||
+        slomonBudget > 1.0 || slomonBurn <= 0.0) {
+        throw Error(ErrorCode::InvalidUsage,
+                    "SLO monitor interval/budget/burn must be positive "
+                    "(budget at most 1)");
+    }
     for (const FaultSpec& f : faults) {
         if (f.replica < 0 || f.replica >= replicas || f.link.empty() ||
             f.factor <= 0.0) {
             throw Error(ErrorCode::InvalidUsage,
                         "bad fault spec (replica/link/factor)");
+        }
+        if (f.recoverAtStep != 0 && f.recoverAtStep <= f.atStep) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "fault recovery step must come after the "
+                        "fault step");
         }
     }
 }

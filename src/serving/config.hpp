@@ -12,13 +12,17 @@
 namespace mscclpp::serving {
 
 /** A scheduled mid-run bandwidth fault on one replica's fabric
- *  (Fabric::degradeLink at that replica's Nth serving step). */
+ *  (Fabric::degradeLink at that replica's Nth serving step),
+ *  optionally healed later by scaling the link back up. */
 struct FaultSpec
 {
     int replica = 0;
     std::string link;
     double factor = 1.0;
     std::uint64_t atStep = 0;
+    /// Step at which the degradation is undone (degradeLink by
+    /// 1/factor); 0 means the fault lasts for the whole run.
+    std::uint64_t recoverAtStep = 0;
 };
 
 /**
@@ -64,6 +68,20 @@ struct ServingConfig
     bool reqtrace = false;                      ///< MSCCLPP_REQTRACE
     std::string reqtraceFile = "reqtrace.json"; ///< MSCCLPP_REQTRACE_FILE
     int reqtraceTopK = 4;                       ///< MSCCLPP_REQTRACE_TOPK
+
+    /// SLO burn-rate monitor (obs/slomon.hpp): multi-window alerting
+    /// over per-interval TTFT/TPOT violation fractions, with the
+    /// blamed replica/link correlated from flight-recorder digests.
+    /// Enabling it turns on the per-replica flight recorder (the
+    /// blame source). Ignored under -DMSCCLPP_NO_OBS.
+    bool slomon = false;                     ///< MSCCLPP_SLOMON
+    std::string slomonFile = "alerts.json";  ///< MSCCLPP_SLOMON_FILE
+    /// Rollup interval of the violation-fraction series.
+    sim::Time slomonInterval = sim::msec(100); ///< MSCCLPP_SLOMON_INTERVAL_NS
+    int slomonFast = 4;       ///< fast window, intervals (MSCCLPP_SLOMON_FAST)
+    int slomonSlow = 16;      ///< slow window, intervals (MSCCLPP_SLOMON_SLOW)
+    double slomonBudget = 0.1; ///< error budget (MSCCLPP_SLOMON_BUDGET)
+    double slomonBurn = 1.0;   ///< burn threshold (MSCCLPP_SLOMON_BURN)
 
     std::vector<FaultSpec> faults; ///< mid-run degradations to inject
 

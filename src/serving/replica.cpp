@@ -36,6 +36,7 @@ Replica::Replica(const ServingConfig& cfg, int id, ReplicaRole role)
     obs.setMetricsFile(tag + obs.metricsFile());
     obs.setFlightFile(tag + obs.flightFile());
     obs.setWatchdogFile(tag + obs.watchdogFile());
+    obs.setTimeseriesFile(tag + obs.timeseriesFile());
     sim_ = std::make_unique<inference::InferenceSim>(*machine_,
                                                      cfg.inference);
 }
@@ -86,6 +87,10 @@ Replica::retire(const SeqState& seq, sim::Time when,
     RequestStats& r = stats.at(seq.reqId);
     r.completed = when;
     r.replica = id_;
+    if (slomon_ != nullptr && slomon_->enabled()) {
+        slomon_->onRequestDone(id_, r.firstToken, when, r.ttft(),
+                               r.outputLen > 1 ? r.tpot() : 0);
+    }
     if (tracingRequests()) {
         reqtrace_->onDone(seq.reqId, r.firstToken, when, id_);
         machine_->obs().tracer().instant(
@@ -137,6 +142,23 @@ Replica::mirrorRequestSpan(int reqId, const char* phase, sim::Time begin,
     // request (same begin on the host "steps" track).
     tr.edge(obs::EdgeKind::Dispatch, obs::kRequestPid, track, begin,
             obs::kHostPid, "steps", begin);
+}
+
+void
+Replica::sampleStepTimeseries(sim::Time at, int batch)
+{
+    // Gauge samples at step boundaries; the rollup keeps the last
+    // value per interval, so a busy replica still costs O(intervals).
+    obs::TimeSeries& ts = machine_->obs().timeseries();
+    if (!ts.enabled()) {
+        return;
+    }
+    ts.record("replica.kv_used_tokens", at,
+              static_cast<double>(kv_.used()));
+    ts.record("replica.batch", at, static_cast<double>(batch));
+    ts.record("replica.queue_depth", at,
+              static_cast<double>(pendingPrefill_.size() +
+                                  pendingDecode_.size()));
 }
 
 namespace {
@@ -220,6 +242,7 @@ Replica::tryPrefill(sim::Time start, std::vector<RequestStats>& stats,
     m.summary("serving.prefill_batch").add(k);
     m.gauge("serving.kv_used_tokens")
         .set(static_cast<double>(kv_.used()));
+    sampleStepTimeseries(end, k);
 
     if (tracingRequests()) {
         for (const SeqState& s : batch) {
@@ -375,6 +398,7 @@ Replica::runDecode(sim::Time start, std::vector<RequestStats>& stats,
     m.summary("serving.decode_batch").add(k);
     m.gauge("serving.kv_used_tokens")
         .set(static_cast<double>(kv_.used()));
+    sampleStepTimeseries(end, k);
 
     if (tracingRequests()) {
         for (const SeqState& s : running_) {

@@ -4,6 +4,7 @@
 #include "gpu/machine.hpp"
 #include "inference/llm.hpp"
 #include "obs/reqtrace.hpp"
+#include "obs/slomon.hpp"
 #include "serving/config.hpp"
 #include "serving/kvcache.hpp"
 #include "serving/stats.hpp"
@@ -75,6 +76,13 @@ class Replica
      */
     void bindRequestTracer(obs::RequestTracer* rt) { reqtrace_ = rt; }
 
+    /**
+     * Attach the cluster's SLO burn-rate monitor. Each retirement
+     * reports its TTFT/TPOT at the completion timestamp so the monitor
+     * can bucket violation fractions by virtual-time interval.
+     */
+    void bindSloMonitor(obs::SloMonitor* sm) { slomon_ = sm; }
+
     int id() const { return id_; }
     ReplicaRole role() const { return role_; }
     gpu::Machine& machine() { return *machine_; }
@@ -135,11 +143,13 @@ class Replica
     void parkRequestContext(const std::vector<SeqState>& seqs);
     void mirrorRequestSpan(int reqId, const char* phase, sim::Time begin,
                            sim::Time end, const std::string& label);
+    void sampleStepTimeseries(sim::Time at, int batch);
 
     const ServingConfig* cfg_;
     int id_;
     ReplicaRole role_;
     obs::RequestTracer* reqtrace_ = nullptr;
+    obs::SloMonitor* slomon_ = nullptr;
     std::unique_ptr<gpu::Machine> machine_;
     std::unique_ptr<inference::InferenceSim> sim_;
     KvCache kv_;

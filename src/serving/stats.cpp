@@ -83,7 +83,8 @@ ServingReport::summary() const
         "%llu violations)\n"
         "TPOT p50/p90/p99  %8.1f / %8.1f / %8.1f us   (SLO %.0f ms: "
         "%llu violations)\n"
-        "e2e  p50/p99      %8.1f / %8.1f us   throughput %.1f tok/s",
+        "e2e  p50/p99      %8.1f / %8.1f us   throughput %.1f tok/s"
+        "%s",
         static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(dropped),
         static_cast<unsigned long long>(prefillSteps),
@@ -95,7 +96,12 @@ ServingReport::summary() const
         sim::toUs(tpotP50), sim::toUs(tpotP90), sim::toUs(tpotP99),
         sim::toMs(sloTpot),
         static_cast<unsigned long long>(sloTpotViolations),
-        sim::toUs(e2eP50), sim::toUs(e2eP99), throughputTps);
+        sim::toUs(e2eP50), sim::toUs(e2eP99), throughputTps,
+        alertsFired > 0
+            ? ("\nSLO alerts fired " + std::to_string(alertsFired) +
+               " (active " + std::to_string(alertsActive) + ")")
+                  .c_str()
+            : "");
     return buf;
 }
 

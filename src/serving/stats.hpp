@@ -64,6 +64,11 @@ struct ServingReport
     std::uint64_t sloTtftViolations = 0;
     std::uint64_t sloTpotViolations = 0;
 
+    /// SLO burn-rate alerts (obs/slomon.hpp) fired during the run and
+    /// still active at its end; 0/0 unless cfg.slomon was on.
+    std::uint64_t alertsFired = 0;
+    std::uint64_t alertsActive = 0;
+
     /** Completed output tokens per simulated second. */
     double throughputTps = 0.0;
 

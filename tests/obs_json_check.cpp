@@ -17,14 +17,22 @@
  * mscclpp.reqtrace v1 tail-exemplar dump whose per-request latency
  * buckets reconcile exactly with the measured TTFT and e2e and whose
  * exemplar lists are bounded by topk and sorted worst-first.
+ * With --timeseries-schema each file must be a mscclpp.timeseries v1
+ * rollup whose series all carry a known kind and a bounded point span.
+ * With --alerts-schema each file must be a mscclpp.alerts v1 dump
+ * whose alert records are internally consistent (known dimension,
+ * fire/clear ordering, counters matching the alert list).
  * Deliberately gtest-free so it stays a tiny ctest COMMAND.
  */
 #include "tuner/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -195,6 +203,74 @@ class Parser
 };
 
 /**
+ * Shared prologue of every schema validator (five formats and
+ * counting): the strict tuner parse, the schema stamp, the exact
+ * version — reported expected-vs-found on mismatch — and any required
+ * numeric top-level fields. Returning the parsed document keeps each
+ * format's validator down to its own invariants (~20 lines for a
+ * simple schema).
+ */
+std::optional<mscclpp::tuner::json::Value>
+openSchema(const char* file, const std::string& text, const char* want,
+           double version,
+           std::initializer_list<const char*> numericFields)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = json::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
+        return std::nullopt;
+    }
+    const json::Value* schema = doc->get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != want) {
+        std::fprintf(stderr, "%s: schema '%s' != expected '%s'\n", file,
+                     schema != nullptr && schema->isString()
+                         ? schema->string.c_str()
+                         : "<missing>",
+                     want);
+        return std::nullopt;
+    }
+    const json::Value* ver = doc->get("version");
+    if (ver == nullptr || !ver->isNumber() || ver->number != version) {
+        if (ver != nullptr && ver->isNumber()) {
+            std::fprintf(stderr, "%s: version %g != expected %g\n", file,
+                         ver->number, version);
+        } else {
+            std::fprintf(stderr, "%s: missing version (expected %g)\n",
+                         file, version);
+        }
+        return std::nullopt;
+    }
+    for (const char* field : numericFields) {
+        const json::Value* v = doc->get(field);
+        if (v == nullptr || !v->isNumber()) {
+            std::fprintf(stderr, "%s: missing numeric %s\n", file,
+                         field);
+            return std::nullopt;
+        }
+    }
+    return doc;
+}
+
+/** Require numeric @p fields on a nested @p obj (context in errors). */
+bool
+requireNumbers(const char* file, const char* ctx,
+               const mscclpp::tuner::json::Value& obj,
+               std::initializer_list<const char*> fields)
+{
+    for (const char* field : fields) {
+        const mscclpp::tuner::json::Value* v = obj.get(field);
+        if (v == nullptr || !v->isNumber()) {
+            std::fprintf(stderr, "%s: %s missing numeric %s\n", file,
+                         ctx, field);
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
  * Validate one bench_report artifact beyond well-formedness: the
  * schema/version stamp, and the per-bench invariants the comparator
  * relies on (required numeric keys, monotone percentiles).
@@ -203,22 +279,9 @@ bool
 checkBenchSchema(const char* file, const std::string& text)
 {
     namespace json = mscclpp::tuner::json;
-    std::optional<json::Value> doc = json::parse(text);
+    std::optional<json::Value> doc =
+        openSchema(file, text, "mscclpp.bench_report", 4, {});
     if (!doc) {
-        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
-        return false;
-    }
-    const json::Value* schema = doc->get("schema");
-    if (schema == nullptr || !schema->isString() ||
-        schema->string != "mscclpp.bench_report") {
-        std::fprintf(stderr, "%s: schema != mscclpp.bench_report\n",
-                     file);
-        return false;
-    }
-    const json::Value* version = doc->get("version");
-    if (version == nullptr || !version->isNumber() ||
-        version->number != 4) {
-        std::fprintf(stderr, "%s: missing/unknown version\n", file);
         return false;
     }
     const json::Value* env = doc->get("env");
@@ -318,32 +381,11 @@ bool
 checkServingSchema(const char* file, const std::string& text)
 {
     namespace json = mscclpp::tuner::json;
-    std::optional<json::Value> doc = json::parse(text);
+    std::optional<json::Value> doc =
+        openSchema(file, text, "mscclpp.serving_report", 1,
+                   {"seed", "replicas", "prefill_replicas"});
     if (!doc) {
-        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
         return false;
-    }
-    const json::Value* schema = doc->get("schema");
-    if (schema == nullptr || !schema->isString() ||
-        schema->string != "mscclpp.serving_report") {
-        std::fprintf(stderr, "%s: schema != mscclpp.serving_report\n",
-                     file);
-        return false;
-    }
-    const json::Value* version = doc->get("version");
-    if (version == nullptr || !version->isNumber() ||
-        version->number != 1) {
-        std::fprintf(stderr, "%s: missing/unknown serving version\n",
-                     file);
-        return false;
-    }
-    for (const char* field : {"seed", "replicas", "prefill_replicas"}) {
-        const json::Value* v = doc->get(field);
-        if (v == nullptr || !v->isNumber()) {
-            std::fprintf(stderr, "%s: missing numeric %s\n", file,
-                         field);
-            return false;
-        }
     }
     const json::Value* arrivals = doc->get("arrivals");
     if (arrivals == nullptr || !arrivals->isString() ||
@@ -358,18 +400,16 @@ checkServingSchema(const char* file, const std::string& text)
         return false;
     }
     for (const auto& [backend, run] : runs->object) {
-        for (const char* field :
-             {"requests", "dropped", "prefill_steps", "decode_steps",
-              "preemptions", "migrations", "ttft_p50_us", "ttft_p90_us",
-              "ttft_p99_us", "tpot_p50_us", "tpot_p90_us", "tpot_p99_us",
-              "e2e_p50_us", "e2e_p99_us", "slo_ttft_violations",
-              "slo_tpot_violations", "throughput_tps", "makespan_ms"}) {
-            const json::Value* v = run.get(field);
-            if (v == nullptr || !v->isNumber()) {
-                std::fprintf(stderr, "%s: run %s missing numeric %s\n",
-                             file, backend.c_str(), field);
-                return false;
-            }
+        if (!requireNumbers(
+                file, backend.c_str(), run,
+                {"requests", "dropped", "prefill_steps", "decode_steps",
+                 "preemptions", "migrations", "ttft_p50_us",
+                 "ttft_p90_us", "ttft_p99_us", "tpot_p50_us",
+                 "tpot_p90_us", "tpot_p99_us", "e2e_p50_us",
+                 "e2e_p99_us", "slo_ttft_violations",
+                 "slo_tpot_violations", "alerts_fired", "alerts_active",
+                 "throughput_tps", "makespan_ms"})) {
+            return false;
         }
         if (run.get("requests")->number <= 0) {
             std::fprintf(stderr, "%s: run %s served no requests\n",
@@ -404,33 +444,12 @@ bool
 checkFlightSchema(const char* file, const std::string& text)
 {
     namespace json = mscclpp::tuner::json;
-    std::optional<json::Value> doc = json::parse(text);
+    std::optional<json::Value> doc =
+        openSchema(file, text, "mscclpp.flight", 1,
+                   {"sigma_k", "warmup", "capacity", "steps_total",
+                    "anomalies_total"});
     if (!doc) {
-        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
         return false;
-    }
-    const json::Value* schema = doc->get("schema");
-    if (schema == nullptr || !schema->isString() ||
-        schema->string != "mscclpp.flight") {
-        std::fprintf(stderr, "%s: schema != mscclpp.flight\n", file);
-        return false;
-    }
-    const json::Value* version = doc->get("version");
-    if (version == nullptr || !version->isNumber() ||
-        version->number != 1) {
-        std::fprintf(stderr, "%s: missing/unknown flight version\n",
-                     file);
-        return false;
-    }
-    for (const char* field :
-         {"sigma_k", "warmup", "capacity", "steps_total",
-          "anomalies_total"}) {
-        const json::Value* v = doc->get(field);
-        if (v == nullptr || !v->isNumber()) {
-            std::fprintf(stderr, "%s: missing numeric %s\n", file,
-                         field);
-            return false;
-        }
     }
     const json::Value* baseline = doc->get("baseline");
     if (baseline == nullptr || !baseline->isObject() ||
@@ -528,26 +547,13 @@ bool
 checkHangSchema(const char* file, const std::string& text)
 {
     namespace json = mscclpp::tuner::json;
-    std::optional<json::Value> doc = json::parse(text);
+    std::optional<json::Value> doc =
+        openSchema(file, text, "mscclpp.hang", 1, {"threshold_ns"});
     if (!doc) {
-        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
-        return false;
-    }
-    const json::Value* schema = doc->get("schema");
-    if (schema == nullptr || !schema->isString() ||
-        schema->string != "mscclpp.hang") {
-        std::fprintf(stderr, "%s: schema != mscclpp.hang\n", file);
-        return false;
-    }
-    const json::Value* version = doc->get("version");
-    if (version == nullptr || !version->isNumber() ||
-        version->number != 1) {
-        std::fprintf(stderr, "%s: missing/unknown hang version\n", file);
         return false;
     }
     const json::Value* threshold = doc->get("threshold_ns");
-    if (threshold == nullptr || !threshold->isNumber() ||
-        threshold->number <= 0) {
+    if (threshold->number <= 0) {
         std::fprintf(stderr, "%s: missing/invalid threshold_ns\n", file);
         return false;
     }
@@ -628,33 +634,12 @@ bool
 checkReqtraceSchema(const char* file, const std::string& text)
 {
     namespace json = mscclpp::tuner::json;
-    std::optional<json::Value> doc = json::parse(text);
+    std::optional<json::Value> doc = openSchema(
+        file, text, "mscclpp.reqtrace", 1,
+        {"topk", "requests_observed", "requests_completed",
+         "requests_dropped", "preemption_events", "kv_migrations"});
     if (!doc) {
-        std::fprintf(stderr, "%s: tuner parser rejected it\n", file);
         return false;
-    }
-    const json::Value* schema = doc->get("schema");
-    if (schema == nullptr || !schema->isString() ||
-        schema->string != "mscclpp.reqtrace") {
-        std::fprintf(stderr, "%s: schema != mscclpp.reqtrace\n", file);
-        return false;
-    }
-    const json::Value* version = doc->get("version");
-    if (version == nullptr || !version->isNumber() ||
-        version->number != 1) {
-        std::fprintf(stderr, "%s: missing/unknown reqtrace version\n",
-                     file);
-        return false;
-    }
-    for (const char* field :
-         {"topk", "requests_observed", "requests_completed",
-          "requests_dropped", "preemption_events", "kv_migrations"}) {
-        const json::Value* v = doc->get(field);
-        if (v == nullptr || !v->isNumber()) {
-            std::fprintf(stderr, "%s: missing numeric %s\n", file,
-                         field);
-            return false;
-        }
     }
     const double topk = doc->get("topk")->number;
     const json::Value* faults = doc->get("faults");
@@ -786,6 +771,130 @@ checkReqtraceSchema(const char* file, const std::string& text)
     return true;
 }
 
+/**
+ * Validate one continuous-telemetry rollup (mscclpp.timeseries v1):
+ * every series carries a known kind and numeric points, and the point
+ * span respects the bound the ring promises (512 intervals — the
+ * overflow path coarsens rather than grow).
+ */
+bool
+checkTimeseriesSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc =
+        openSchema(file, text, "mscclpp.timeseries", 1,
+                   {"interval_ns", "coarsenings", "samples"});
+    if (!doc) {
+        return false;
+    }
+    const json::Value* series = doc->get("series");
+    if (doc->get("interval_ns")->number <= 0 || series == nullptr ||
+        !series->isObject()) {
+        std::fprintf(stderr, "%s: bad interval_ns or series\n", file);
+        return false;
+    }
+    std::size_t points = 0;
+    for (const auto& [name, s] : series->object) {
+        const json::Value* kind = s.get("kind");
+        const json::Value* pts = s.get("points");
+        if (kind == nullptr || !kind->isString() ||
+            (kind->string != "counter_delta" && kind->string != "gauge" &&
+             kind->string != "utilization") ||
+            pts == nullptr || !pts->isObject()) {
+            std::fprintf(stderr, "%s: series %s bad kind/points\n", file,
+                         name.c_str());
+            return false;
+        }
+        double lo = -1, hi = -1;
+        for (const auto& [idx, v] : pts->object) {
+            const double i = std::atof(idx.c_str());
+            lo = lo < 0 ? i : std::min(lo, i);
+            hi = std::max(hi, i);
+            if (!v.isNumber()) {
+                std::fprintf(stderr, "%s: series %s point %s not "
+                             "numeric\n", file, name.c_str(),
+                             idx.c_str());
+                return false;
+            }
+            ++points;
+        }
+        if (hi - lo + 1 > 512) {
+            std::fprintf(stderr,
+                         "%s: series %s spans %g intervals > 512\n",
+                         file, name.c_str(), hi - lo + 1);
+            return false;
+        }
+    }
+    std::printf("%s: timeseries schema ok (%zu series, %zu points)\n",
+                file, series->object.size(), points);
+    return true;
+}
+
+/**
+ * Validate one SLO-alert dump (mscclpp.alerts v1): the monitor config
+ * block, counters that match the alert list, and per-alert
+ * consistency — a known dimension, cleared-after-fired ordering, and
+ * the active flag mirroring a zero clear timestamp.
+ */
+bool
+checkAlertsSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = openSchema(
+        file, text, "mscclpp.alerts", 1,
+        {"interval_ns", "fast_intervals", "slow_intervals", "budget",
+         "burn_threshold", "slo_ttft_us", "slo_tpot_us", "requests",
+         "ttft_violations", "tpot_violations", "fired", "active"});
+    if (!doc) {
+        return false;
+    }
+    const json::Value* alerts = doc->get("alerts");
+    const json::Value* faults = doc->get("faults");
+    if (alerts == nullptr || !alerts->isArray() || faults == nullptr ||
+        !faults->isArray() ||
+        doc->get("fast_intervals")->number >
+            doc->get("slow_intervals")->number ||
+        doc->get("interval_ns")->number <= 0) {
+        std::fprintf(stderr, "%s: bad alerts/faults/window config\n",
+                     file);
+        return false;
+    }
+    double active = 0;
+    for (const json::Value& a : alerts->array) {
+        const json::Value* dim = a.get("dimension");
+        if (!requireNumbers(file, "alert", a,
+                            {"id", "fired_at_us", "cleared_at_us",
+                             "fire_interval", "burn_fast", "burn_slow",
+                             "replica"}) ||
+            dim == nullptr || !dim->isString() ||
+            (dim->string != "ttft" && dim->string != "tpot") ||
+            a.get("link") == nullptr || !a.get("link")->isString()) {
+            std::fprintf(stderr, "%s: alert record incomplete\n", file);
+            return false;
+        }
+        const double cleared = a.get("cleared_at_us")->number;
+        const json::Value* act = a.get("active");
+        if (act == nullptr || act->kind != json::Value::Kind::Bool ||
+            act->boolean != (cleared == 0) ||
+            (cleared != 0 && cleared < a.get("fired_at_us")->number)) {
+            std::fprintf(stderr,
+                         "%s: alert %g fire/clear inconsistent\n", file,
+                         a.get("id")->number);
+            return false;
+        }
+        active += act->boolean ? 1 : 0;
+    }
+    if (doc->get("fired")->number != double(alerts->array.size()) ||
+        doc->get("active")->number != active) {
+        std::fprintf(stderr, "%s: fired/active counters mismatch\n",
+                     file);
+        return false;
+    }
+    std::printf("%s: alerts schema ok (%zu alerts, %zu faults)\n", file,
+                alerts->array.size(), faults->array.size());
+    return true;
+}
+
 } // namespace
 
 int
@@ -798,6 +907,8 @@ main(int argc, char** argv)
     bool hangSchema = false;
     bool servingSchema = false;
     bool reqtraceSchema = false;
+    bool timeseriesSchema = false;
+    bool alertsSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
@@ -812,6 +923,10 @@ main(int argc, char** argv)
             servingSchema = true;
         } else if (arg == "--reqtrace-schema") {
             reqtraceSchema = true;
+        } else if (arg == "--timeseries-schema") {
+            timeseriesSchema = true;
+        } else if (arg == "--alerts-schema") {
+            alertsSchema = true;
         } else {
             files.push_back(argv[i]);
         }
@@ -820,7 +935,8 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: %s [--bench-schema] [--flight-schema] "
                      "[--hang-schema] [--serving-schema] "
-                     "[--reqtrace-schema] "
+                     "[--reqtrace-schema] [--timeseries-schema] "
+                     "[--alerts-schema] "
                      "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
@@ -867,6 +983,14 @@ main(int argc, char** argv)
             continue;
         }
         if (reqtraceSchema && !checkReqtraceSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (timeseriesSchema && !checkTimeseriesSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (alertsSchema && !checkAlertsSchema(file, text)) {
             rc = 1;
             continue;
         }

@@ -633,6 +633,37 @@ TEST(Metrics, SummaryMergeWithEmptySides)
     EXPECT_DOUBLE_EQ(fresh.max(), 7.0);
 }
 
+TEST(Metrics, SummaryMergeEmptyIntoEmpty)
+{
+    // Merging two empty summaries must stay a well-defined empty
+    // summary — no NaNs from 0/0 means, no stale min/max sentinels —
+    // and must still accept samples afterwards.
+    obs::Summary a;
+    obs::Summary b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.percentile(50), 0.0);
+    a.add(3.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Metrics, SummarySingleSamplePercentileAtEveryP)
+{
+    // With exactly one sample every percentile degenerates to that
+    // sample — there is nothing to interpolate toward.
+    obs::Summary s;
+    s.add(42.0);
+    for (double p : {0.0, 1.0, 37.5, 50.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(s.percentile(p), 42.0) << "p=" << p;
+    }
+}
+
 TEST(Metrics, RegistryMergeFromAggregatesByName)
 {
     obs::MetricsRegistry a;
@@ -1058,6 +1089,29 @@ TEST(Histogram, CoarsensInsteadOfGrowingUnbounded)
     // No busy time is lost to the rebucketing, and the merged
     // buckets are still fully occupied.
     EXPECT_DOUBLE_EQ(h.total(), static_cast<double>(sim::us(600)));
+    EXPECT_DOUBLE_EQ(h.occupancy(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.peakOccupancy(), 1.0);
+}
+
+TEST(Histogram, CoarsenWidthCountInvariant)
+{
+    // The coarsening invariant across *repeated* doublings: the width
+    // is always the initial width times a power of two, the populated
+    // bucket count never exceeds the cap (512), and the charged total
+    // survives every rebucketing exactly. 1040 busy 1us buckets force
+    // two doublings (1 -> 2 -> 4 us).
+    obs::Histogram h(sim::us(1));
+    for (int i = 0; i < 1040; ++i) {
+        h.addRange(sim::us(i), sim::us(i + 1));
+    }
+    EXPECT_EQ(h.bucketWidth(), sim::us(4));
+    const double ratio = static_cast<double>(h.bucketWidth()) /
+                         static_cast<double>(sim::us(1));
+    EXPECT_DOUBLE_EQ(ratio, 4.0); // power of two, not e.g. 3x
+    EXPECT_LE(h.buckets().size(), 512u);
+    EXPECT_DOUBLE_EQ(h.total(), static_cast<double>(sim::us(1040)));
+    // A uniformly-busy timeline stays uniformly busy after folding:
+    // every surviving bucket holds exactly width_ of busy time.
     EXPECT_DOUBLE_EQ(h.occupancy(0), 1.0);
     EXPECT_DOUBLE_EQ(h.peakOccupancy(), 1.0);
 }

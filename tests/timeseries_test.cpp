@@ -1,0 +1,322 @@
+/**
+ * Continuous-telemetry unit tests: TimeSeries bucketing and
+ * kind-aware coarsening, the SloMonitor multi-window burn-rate
+ * fire/clear state machine (including frontier monotonicity against
+ * out-of-order first-token timestamps), and the zero-perturbation
+ * invariant — enabling the whole telemetry stack must not move a
+ * single virtual timestamp of the serving run it observes.
+ */
+#include "core/errors.hpp"
+#include "obs/slomon.hpp"
+#include "obs/timeseries.hpp"
+#include "serving/cluster.hpp"
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mscclpp {
+namespace {
+
+TEST(TimeSeries, DisabledRecordsNothing)
+{
+    obs::TimeSeries ts;
+    ts.record("g", sim::us(10), 1.0);
+    ts.accumulate("c", sim::us(10), 1.0);
+    ts.chargeRange("u", 0, sim::us(10));
+    EXPECT_EQ(ts.seriesCount(), 0u);
+    EXPECT_EQ(ts.samples(), 0u);
+}
+
+TEST(TimeSeries, GaugeLastSampleInIntervalWins)
+{
+    if (!obs::TimeSeries::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::TimeSeries ts(sim::us(10));
+    ts.setEnabled(true);
+    ts.record("kv", sim::us(1), 100.0);
+    ts.record("kv", sim::us(9), 250.0); // same interval, later: wins
+    ts.record("kv", sim::us(11), 50.0); // next interval
+    EXPECT_EQ(ts.kindOf("kv"), obs::SeriesKind::Gauge);
+    const auto* pts = ts.points("kv");
+    ASSERT_NE(pts, nullptr);
+    ASSERT_EQ(pts->size(), 2u);
+    EXPECT_DOUBLE_EQ(pts->at(0), 250.0);
+    EXPECT_DOUBLE_EQ(pts->at(1), 50.0);
+}
+
+TEST(TimeSeries, CounterDeltasAddWithinAnInterval)
+{
+    if (!obs::TimeSeries::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::TimeSeries ts(sim::us(10));
+    ts.setEnabled(true);
+    ts.accumulate("ops", sim::us(2), 1.0);
+    ts.accumulate("ops", sim::us(7), 3.0);
+    ts.accumulate("ops", sim::us(12), 1.0);
+    EXPECT_EQ(ts.kindOf("ops"), obs::SeriesKind::CounterDelta);
+    const auto* pts = ts.points("ops");
+    ASSERT_NE(pts, nullptr);
+    EXPECT_DOUBLE_EQ(pts->at(0), 4.0);
+    EXPECT_DOUBLE_EQ(pts->at(1), 1.0);
+}
+
+TEST(TimeSeries, ChargeRangeSpreadsBusyTimeAcrossIntervals)
+{
+    if (!obs::TimeSeries::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::TimeSeries ts(sim::us(10));
+    ts.setEnabled(true);
+    // [5us, 25us): half of interval 0, all of 1, half of 2.
+    ts.chargeRange("link", sim::us(5), sim::us(25));
+    EXPECT_EQ(ts.kindOf("link"), obs::SeriesKind::Utilization);
+    const auto* pts = ts.points("link");
+    ASSERT_NE(pts, nullptr);
+    EXPECT_DOUBLE_EQ(pts->at(0), static_cast<double>(sim::us(5)));
+    EXPECT_DOUBLE_EQ(pts->at(1), static_cast<double>(sim::us(10)));
+    EXPECT_DOUBLE_EQ(pts->at(2), static_cast<double>(sim::us(5)));
+    // mean() normalises utilization to busy percent (the exported
+    // unit): 20us busy over the 3 recorded intervals (30us) = 66.7%.
+    EXPECT_NEAR(ts.mean("link"), 200.0 / 3.0, 1e-9);
+}
+
+TEST(TimeSeries, CoarseningKeepsKindSemanticsAndSpanBound)
+{
+    if (!obs::TimeSeries::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::TimeSeries ts(sim::us(1));
+    ts.setEnabled(true);
+    // 600 intervals exceed the 512-interval span cap: the width must
+    // double once, merging interval pairs per their kind.
+    for (int i = 0; i < 600; ++i) {
+        ts.accumulate("events", sim::us(i), 1.0);
+        ts.record("level", sim::us(i), static_cast<double>(i));
+    }
+    EXPECT_EQ(ts.coarsenings(), 1);
+    EXPECT_EQ(ts.intervalWidth(), sim::us(2));
+    const auto* ev = ts.points("events");
+    const auto* lv = ts.points("level");
+    ASSERT_NE(ev, nullptr);
+    ASSERT_NE(lv, nullptr);
+    // Counter deltas add across the merged pair...
+    EXPECT_DOUBLE_EQ(ev->at(0), 2.0);
+    // ...while a gauge keeps the later of the two samples.
+    EXPECT_DOUBLE_EQ(lv->at(0), 1.0);
+    // Span bound holds and no counter mass was lost.
+    EXPECT_LE(ev->rbegin()->first - ev->begin()->first + 1, 512u);
+    double sum = 0.0;
+    for (const auto& [idx, v] : *ev) {
+        (void)idx;
+        sum += v;
+    }
+    EXPECT_DOUBLE_EQ(sum, 600.0);
+}
+
+TEST(TimeSeries, JsonAndChromeCounterExport)
+{
+    if (!obs::TimeSeries::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::TimeSeries ts(sim::us(10));
+    ts.setEnabled(true);
+    ts.chargeRange("link.util.gpu0.tx", 0, sim::us(5));
+    ts.record("replica.batch", sim::us(3), 4.0);
+    const std::string json = ts.toJson();
+    EXPECT_NE(json.find("\"schema\": \"mscclpp.timeseries\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+    // Utilization exports as percent of the interval: 5us busy of a
+    // 10us interval = 50%.
+    EXPECT_NE(json.find("50"), std::string::npos);
+    const std::vector<std::string> events = ts.chromeCounterEvents();
+    ASSERT_EQ(events.size(), 2u);
+    for (const std::string& e : events) {
+        EXPECT_NE(e.find("\"ph\":\"C\""), std::string::npos) << e;
+        EXPECT_NE(e.find("\"args\""), std::string::npos) << e;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor: multi-window burn-rate fire/clear.
+// ---------------------------------------------------------------------------
+
+obs::SloMonitor
+makeMonitor()
+{
+    obs::SloMonitor m;
+    m.setEnabled(true);
+    m.setFile(""); // unit tests never dump
+    m.setIntervalWidth(sim::msec(10));
+    m.setSlo(/*ttft=*/sim::msec(50), /*tpot=*/0);
+    m.setWindows(/*fast=*/2, /*slow=*/4);
+    m.setBudget(0.5);
+    m.setBurnThreshold(1.0);
+    return m;
+}
+
+/** One request whose TTFT lands at @p at with the given latency. */
+void
+observe(obs::SloMonitor& m, int replica, sim::Time at, sim::Time ttft)
+{
+    m.onRequestDone(replica, at, at + sim::msec(1), ttft, 0);
+}
+
+TEST(SloMonitor, CleanTrafficNeverFires)
+{
+    if (!obs::SloMonitor::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::SloMonitor m = makeMonitor();
+    for (int i = 0; i < 20; ++i) {
+        observe(m, 0, sim::msec(10) * i + sim::msec(1), sim::msec(20));
+    }
+    EXPECT_EQ(m.observed(), 20u);
+    EXPECT_EQ(m.ttftViolations(), 0u);
+    EXPECT_TRUE(m.alerts().empty());
+}
+
+TEST(SloMonitor, IsolatedViolationStaysBelowThreshold)
+{
+    if (!obs::SloMonitor::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::SloMonitor m = makeMonitor();
+    // One violation drowned by healthy neighbours already in the fast
+    // window: fraction 1/4 -> burn 0.5 < 1.0, so no alert. (Order
+    // matters — evaluation is per sample, so the healthy traffic must
+    // be in the window before the violation arrives.)
+    for (int i = 0; i < 3; ++i) {
+        observe(m, 0, sim::msec(1) * (i + 1), sim::msec(20));
+    }
+    observe(m, 0, sim::msec(11), sim::msec(80));
+    EXPECT_EQ(m.ttftViolations(), 1u);
+    EXPECT_TRUE(m.alerts().empty());
+}
+
+TEST(SloMonitor, FiresOnSustainedBurnAndClearsOnRecovery)
+{
+    if (!obs::SloMonitor::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::SloMonitor m = makeMonitor();
+    m.setLinkBlamer([](int replica, sim::Time, sim::Time) {
+        return replica == 1 ? "gpu3.tx" : "";
+    });
+    // Replica 1 violates hard across two intervals (3 violations to
+    // every healthy replica-0 request); the sustained 0.75 fraction
+    // keeps the burn rate >= 1.0 at every per-sample evaluation, so
+    // exactly one alert fires and stays active until recovery —
+    // blaming replica 1 and its link.
+    for (int i = 0; i < 2; ++i) {
+        const sim::Time base = sim::msec(10) * i;
+        observe(m, 0, base + sim::msec(1), sim::msec(20));
+        for (int v = 0; v < 3; ++v) {
+            observe(m, 1, base + sim::msec(2) * (v + 1), sim::msec(90));
+        }
+    }
+    ASSERT_EQ(m.alerts().size(), 1u);
+    const obs::SloAlert& a = m.alerts()[0];
+    EXPECT_EQ(a.dimension, "ttft");
+    EXPECT_TRUE(a.active());
+    EXPECT_EQ(m.activeAlerts(), 1u);
+    EXPECT_GE(a.burnFast, 1.0);
+    EXPECT_GE(a.burnSlow, 1.0);
+    EXPECT_EQ(a.blamedReplica, 1);
+    EXPECT_EQ(a.blamedLink, "gpu3.tx");
+    // Recovery: two all-healthy intervals push the fast window below
+    // the threshold and the alert clears at a recovering sample's
+    // timestamp.
+    for (int i = 2; i < 4; ++i) {
+        const sim::Time base = sim::msec(10) * i;
+        observe(m, 0, base + sim::msec(1), sim::msec(20));
+        for (int v = 0; v < 3; ++v) {
+            observe(m, 1, base + sim::msec(2) * (v + 1), sim::msec(20));
+        }
+    }
+    EXPECT_FALSE(m.alerts()[0].active());
+    EXPECT_EQ(m.activeAlerts(), 0u);
+    EXPECT_GT(m.alerts()[0].clearedAt, m.alerts()[0].firedAt);
+    // No re-fire happened.
+    EXPECT_EQ(m.alerts().size(), 1u);
+}
+
+TEST(SloMonitor, StragglerSampleNeverRewindsTheTimeline)
+{
+    if (!obs::SloMonitor::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    obs::SloMonitor m = makeMonitor();
+    // Fire and clear an alert (as above, single replica).
+    for (int i = 0; i < 2; ++i) {
+        observe(m, 0, sim::msec(10) * i + sim::msec(1), sim::msec(90));
+    }
+    for (int i = 2; i < 4; ++i) {
+        observe(m, 0, sim::msec(10) * i + sim::msec(1), sim::msec(20));
+    }
+    ASSERT_EQ(m.alerts().size(), 1u);
+    const sim::Time cleared = m.alerts()[0].clearedAt;
+    ASSERT_GT(cleared, 0);
+    // A long-decode straggler retires now but carries a first-token
+    // timestamp from the (already-evaluated) fault era. Its sample
+    // lands in the old bucket, but fire/clear decisions only happen
+    // at the frontier — the timeline must not rewind or re-fire.
+    m.onRequestDone(0, /*firstTokenAt=*/sim::msec(5),
+                    /*completedAt=*/sim::msec(45), sim::msec(90), 0);
+    EXPECT_EQ(m.alerts().size(), 1u);
+    EXPECT_EQ(m.alerts()[0].clearedAt, cleared);
+    EXPECT_EQ(m.activeAlerts(), 0u);
+}
+
+TEST(SloMonitor, RejectsDegenerateConfig)
+{
+    obs::SloMonitor m;
+    EXPECT_THROW(m.setWindows(0, 4), Error);
+    EXPECT_THROW(m.setWindows(4, 2), Error);
+    EXPECT_THROW(m.setBudget(0.0), Error);
+    EXPECT_THROW(m.setBudget(1.5), Error);
+    EXPECT_THROW(m.setBurnThreshold(0.0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Zero virtual-time perturbation: the telemetry stack is a pure
+// observer of the serving run.
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesIntegration, TelemetryNeverPerturbsVirtualTime)
+{
+    if (!obs::SloMonitor::kCompiledIn) {
+        GTEST_SKIP() << "built with MSCCLPP_NO_OBS";
+    }
+    serving::ServingConfig plain;
+    plain.replicas = 2;
+    plain.workload.requests = 8;
+    plain.workload.ratePerSec = 8.0;
+    serving::ServingCluster base(plain);
+    for (int i = 0; i < base.numReplicas(); ++i) {
+        base.replica(i).machine().obs().setDumpOnDestroy(false);
+    }
+    serving::ServingReport baseRep = base.run();
+
+    serving::ServingConfig observed = plain;
+    observed.slomon = true;
+    observed.slomonFile.clear();
+    observed.env.timeseriesEnabled = true;
+    serving::ServingCluster telemetry(observed);
+    for (int i = 0; i < telemetry.numReplicas(); ++i) {
+        telemetry.replica(i).machine().obs().setDumpOnDestroy(false);
+    }
+    serving::ServingReport obsRep = telemetry.run();
+
+    EXPECT_EQ(baseRep.makespan, obsRep.makespan);
+    EXPECT_EQ(baseRep.ttftP99, obsRep.ttftP99);
+    EXPECT_EQ(baseRep.e2eP99, obsRep.e2eP99);
+    EXPECT_EQ(baseRep.requests, obsRep.requests);
+}
+
+} // namespace
+} // namespace mscclpp

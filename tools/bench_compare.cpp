@@ -8,7 +8,9 @@
  * single link or a tail SLO metric slowing down is a regression even
  * when overlap keeps the end-to-end p50 flat. The serving block's
  * reqtrace_overhead_pct is gated absolutely (+0.5 points): request
- * tracing must stay a pure observer of virtual time. The simulator is
+ * tracing must stay a pure observer of virtual time. alerts_count —
+ * the SLO burn-rate monitor's fired-alert tally — is gated absolutely
+ * too: the bench scenario is healthy, so the baseline count is 0. The simulator is
  * deterministic, so the gate can be tight without flaking.
  *
  * Usage: bench_compare [options] <current.json>
@@ -51,19 +53,30 @@ loadReport(const std::string& path)
                      path.c_str());
         return std::nullopt;
     }
+    // Mismatch diagnostics name the exact JSON key path and print
+    // expected vs found, so a stale artifact is a one-glance fix.
     const json::Value* schema = v->get("schema");
-    const json::Value* version = v->get("version");
-    if (schema == nullptr || schema->string != "mscclpp.bench_report" ||
-        version == nullptr || !version->isNumber()) {
+    if (schema == nullptr || schema->string != "mscclpp.bench_report") {
         std::fprintf(stderr,
-                     "bench_compare: %s is not a mscclpp.bench_report\n",
+                     "bench_compare: %s: $.schema is \"%s\", expected "
+                     "\"mscclpp.bench_report\"\n",
+                     path.c_str(),
+                     schema != nullptr ? schema->string.c_str()
+                                       : "(missing)");
+        return std::nullopt;
+    }
+    const json::Value* version = v->get("version");
+    if (version == nullptr || !version->isNumber()) {
+        std::fprintf(stderr,
+                     "bench_compare: %s: $.version is missing or not "
+                     "a number, expected 4\n",
                      path.c_str());
         return std::nullopt;
     }
     if (version->number != 4) {
         std::fprintf(stderr,
-                     "bench_compare: %s has schema version %g, "
-                     "expected 4 (regenerate with bench_report)\n",
+                     "bench_compare: %s: $.version is %g, expected 4 "
+                     "(regenerate with bench_report)\n",
                      path.c_str(), version->number);
         return std::nullopt;
     }
@@ -165,6 +178,19 @@ compareServing(const std::string& key, const json::Value& baseBench,
             ++regressions;
         }
     }
+    // The SLO burn-rate monitor's fired-alert count is gated
+    // absolutely: the bench scenario is healthy by construction, so
+    // the baseline is 0 and any fired alert means a latency cluster
+    // bad enough to burn the error budget — a regression even if no
+    // individual percentile tripped its relative threshold.
+    const json::Value* baseAl = base->get("alerts_count");
+    const json::Value* curAl = cur->get("alerts_count");
+    if (baseAl != nullptr && baseAl->isNumber() && curAl != nullptr &&
+        curAl->isNumber() && curAl->number > baseAl->number) {
+        std::printf("%-40s SLO alerts %g -> %g  ALERT REGRESSION\n",
+                    key.c_str(), baseAl->number, curAl->number);
+        ++regressions;
+    }
     return regressions;
 }
 
@@ -216,9 +242,18 @@ main(int argc, char** argv)
     }
     const json::Value* baseBenches = baseline->get("benches");
     const json::Value* curBenches = current->get("benches");
-    if (baseBenches == nullptr || !baseBenches->isObject() ||
-        curBenches == nullptr || !curBenches->isObject()) {
-        std::fprintf(stderr, "bench_compare: missing benches section\n");
+    if (baseBenches == nullptr || !baseBenches->isObject()) {
+        std::fprintf(stderr,
+                     "bench_compare: %s: $.benches is missing or not "
+                     "an object\n",
+                     baselinePath.c_str());
+        return 2;
+    }
+    if (curBenches == nullptr || !curBenches->isObject()) {
+        std::fprintf(stderr,
+                     "bench_compare: %s: $.benches is missing or not "
+                     "an object\n",
+                     currentPath.c_str());
         return 2;
     }
 
@@ -235,7 +270,10 @@ main(int argc, char** argv)
         double base50 = p50Of(baseBench);
         double cur = p50Of(*curBench) * (1.0 + injectPct / 100.0);
         if (base50 <= 0 || cur < 0) {
-            std::fprintf(stderr, "%s: missing p50_us\n", key.c_str());
+            std::fprintf(stderr,
+                         "bench_compare: $.benches[\"%s\"].p50_us is "
+                         "missing or not a positive number\n",
+                         key.c_str());
             return 2;
         }
         ++compared;

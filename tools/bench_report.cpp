@@ -9,6 +9,9 @@
  * key, plus — for the MSCCL++ backend — reqtrace_overhead_pct, the
  * virtual-time perturbation of re-running the same workload with
  * request tracing on (the zero-perturbation invariant says exactly 0).
+ * The serving block also carries alerts_count from the SLO burn-rate
+ * monitor, deterministically 0 on a healthy run: any fired alert on
+ * the clean bench scenario is itself a regression bench_compare gates.
  * bench_compare diffs these files against the committed baselines
  * in bench/baselines/ to catch regressions.
  *
@@ -203,6 +206,10 @@ runServingCluster(Report& report)
         cfg.replicas = 2;
         cfg.workload.requests = 16;
         cfg.workload.ratePerSec = 8.0;
+        // SLO burn-rate monitor on, dump off: the bench only wants the
+        // fired-alert count, which must be 0 on this healthy scenario.
+        cfg.slomon = true;
+        cfg.slomonFile.clear();
         serving::ServingCluster cluster(cfg);
         for (int i = 0; i < cluster.numReplicas(); ++i) {
             cluster.replica(i).machine().obs().setDumpOnDestroy(false);
@@ -261,6 +268,7 @@ runServingCluster(Report& report)
             {"e2e_p99_us", sim::toUs(rep.e2eP99)},
             {"slo_ttft_violations", double(rep.sloTtftViolations)},
             {"slo_tpot_violations", double(rep.sloTpotViolations)},
+            {"alerts_count", double(rep.alertsFired)},
             {"throughput_tps", rep.throughputTps},
         };
         if (backend == inference::CommBackend::Mscclpp) {

@@ -1,0 +1,284 @@
+/**
+ * slo_query: interrogate the continuous-telemetry artifacts — a
+ * mscclpp.alerts dump (the SLO burn-rate monitor's output under
+ * MSCCLPP_SLOMON=1) and, optionally, a mscclpp.timeseries rollup
+ * (MSCCLPP_TIMESERIES=1). It prints the alert timeline next to the
+ * injected-fault timeline so fire/clear latency is visible at a
+ * glance, and renders any requested series as a terminal sparkline.
+ * The assertion flags make it a CI primitive: degrade a link mid-run,
+ * then assert an alert fired blaming that link and that everything
+ * cleared; on a clean run assert no alert fired at all.
+ *
+ * Usage: slo_query --alerts <file> [options]
+ *   --timeseries <file>        also load a timeseries rollup
+ *   --series <name>            print that series' per-interval values
+ *                              (repeatable; with --timeseries)
+ *   --list                     list every alert, fire order
+ *   --assert-alert-link <sub>  exit 1 unless some alert's blamed link
+ *                              contains <sub>
+ *   --assert-cleared           exit 1 if any alert is still active
+ *   --assert-clean             exit 1 unless zero alerts fired
+ */
+#include "tuner/json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace json = mscclpp::tuner::json;
+
+namespace {
+
+std::optional<json::Value>
+loadSchema(const std::string& path, const char* schema)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "slo_query: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::optional<json::Value> v = json::parse(ss.str());
+    if (!v) {
+        std::fprintf(stderr, "slo_query: %s is not valid JSON\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    const json::Value* s = v->get("schema");
+    const json::Value* version = v->get("version");
+    if (s == nullptr || s->string != schema || version == nullptr ||
+        !version->isNumber() || version->number != 1) {
+        std::fprintf(stderr, "slo_query: %s is not a %s v1\n",
+                     path.c_str(), schema);
+        return std::nullopt;
+    }
+    return v;
+}
+
+double
+numberOr(const json::Value& obj, const char* key, double fallback)
+{
+    const json::Value* v = obj.get(key);
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+void
+printTimeline(const json::Value& doc)
+{
+    const double intervalUs = numberOr(doc, "interval_ns", 0) / 1e3;
+    std::printf("SLO monitor: interval %.1f ms, windows %g/%g, budget "
+                "%g, burn threshold %g\n",
+                intervalUs / 1e3, numberOr(doc, "fast_intervals", 0),
+                numberOr(doc, "slow_intervals", 0),
+                numberOr(doc, "budget", 0),
+                numberOr(doc, "burn_threshold", 0));
+    std::printf("requests %g, violations ttft %g / tpot %g\n\n",
+                numberOr(doc, "requests", 0),
+                numberOr(doc, "ttft_violations", 0),
+                numberOr(doc, "tpot_violations", 0));
+    const json::Value* faults = doc.get("faults");
+    if (faults != nullptr && faults->isArray() &&
+        !faults->array.empty()) {
+        std::printf("fault timeline:\n");
+        for (const json::Value& f : faults->array) {
+            const json::Value* link = f.get("link");
+            const double factor = numberOr(f, "factor", 1);
+            std::printf("  %10.1f ms  replica %g  %-12s x%g%s\n",
+                        numberOr(f, "at_us", 0) / 1e3,
+                        numberOr(f, "replica", -1),
+                        link != nullptr ? link->string.c_str() : "?",
+                        factor, factor > 1 ? "  (recovery)" : "");
+        }
+        std::printf("\n");
+    }
+}
+
+void
+printAlert(const json::Value& a)
+{
+    const json::Value* dim = a.get("dimension");
+    const json::Value* link = a.get("link");
+    const double cleared = numberOr(a, "cleared_at_us", 0);
+    std::printf("  alert %g [%s]  fired %10.1f ms", numberOr(a, "id", -1),
+                dim != nullptr ? dim->string.c_str() : "?",
+                numberOr(a, "fired_at_us", 0) / 1e3);
+    if (cleared > 0) {
+        std::printf("  cleared %10.1f ms", cleared / 1e3);
+    } else {
+        std::printf("  STILL ACTIVE        ");
+    }
+    std::printf("  burn %g/%g  replica %g  link %s\n",
+                numberOr(a, "burn_fast", 0), numberOr(a, "burn_slow", 0),
+                numberOr(a, "replica", -1),
+                link != nullptr && !link->string.empty()
+                    ? link->string.c_str()
+                    : "-");
+}
+
+void
+printSeries(const json::Value& doc, const std::string& name)
+{
+    const json::Value* series = doc.get("series");
+    const json::Value* s =
+        series != nullptr ? series->get(name) : nullptr;
+    if (s == nullptr) {
+        std::printf("series %s: not present\n", name.c_str());
+        return;
+    }
+    const json::Value* kind = s->get("kind");
+    const json::Value* pts = s->get("points");
+    const double widthMs = numberOr(doc, "interval_ns", 0) / 1e6;
+    std::printf("series %s (%s, interval %.3f ms):\n", name.c_str(),
+                kind != nullptr ? kind->string.c_str() : "?", widthMs);
+    if (pts == nullptr || !pts->isObject()) {
+        return;
+    }
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (const auto& [idx, v] : pts->object) {
+        (void)idx;
+        lo = first ? v.number : std::min(lo, v.number);
+        hi = first ? v.number : std::max(hi, v.number);
+        first = false;
+    }
+    // One sparkline row: ramp per point, scaled into [lo, hi].
+    static const char* kRamp[] = {" ", ".", ":", "-", "=", "+",
+                                  "*", "#", "%", "@"};
+    std::string line;
+    for (const auto& [idx, v] : pts->object) {
+        (void)idx;
+        const double t =
+            hi > lo ? (v.number - lo) / (hi - lo) : 0.0;
+        line += kRamp[static_cast<int>(t * 9.0 + 0.5)];
+    }
+    std::printf("  [%s]\n  min %g  max %g  points %zu\n", line.c_str(),
+                lo, hi, pts->object.size());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string alertsPath;
+    std::string timeseriesPath;
+    std::vector<std::string> seriesNames;
+    std::string assertLink;
+    bool list = false;
+    bool assertCleared = false;
+    bool assertClean = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--alerts" && i + 1 < argc) {
+            alertsPath = argv[++i];
+        } else if (arg == "--timeseries" && i + 1 < argc) {
+            timeseriesPath = argv[++i];
+        } else if (arg == "--series" && i + 1 < argc) {
+            seriesNames.push_back(argv[++i]);
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--assert-alert-link" && i + 1 < argc) {
+            assertLink = argv[++i];
+        } else if (arg == "--assert-cleared") {
+            assertCleared = true;
+        } else if (arg == "--assert-clean") {
+            assertClean = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s --alerts <file> [--timeseries <file>] "
+                "[--series <name>]... [--list] "
+                "[--assert-alert-link <sub>] [--assert-cleared] "
+                "[--assert-clean]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (alertsPath.empty()) {
+        std::fprintf(stderr, "slo_query: --alerts <file> is required\n");
+        return 2;
+    }
+    std::optional<json::Value> doc =
+        loadSchema(alertsPath, "mscclpp.alerts");
+    if (!doc) {
+        return 1;
+    }
+    printTimeline(*doc);
+
+    const json::Value* alerts = doc->get("alerts");
+    const std::size_t fired =
+        alerts != nullptr && alerts->isArray() ? alerts->array.size()
+                                               : 0;
+    if (list || fired > 0) {
+        std::printf("alerts fired: %zu\n", fired);
+        for (std::size_t i = 0; i < fired; ++i) {
+            printAlert(alerts->array[i]);
+        }
+        std::printf("\n");
+    }
+
+    if (!timeseriesPath.empty()) {
+        std::optional<json::Value> ts =
+            loadSchema(timeseriesPath, "mscclpp.timeseries");
+        if (!ts) {
+            return 1;
+        }
+        for (const std::string& name : seriesNames) {
+            printSeries(*ts, name);
+        }
+    }
+
+    int rc = 0;
+    if (assertClean && fired > 0) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: expected a clean run, %zu alerts "
+                     "fired\n",
+                     fired);
+        rc = 1;
+    }
+    if (!assertLink.empty()) {
+        bool found = false;
+        for (std::size_t i = 0; i < fired; ++i) {
+            const json::Value* link = alerts->array[i].get("link");
+            if (link != nullptr &&
+                link->string.find(assertLink) != std::string::npos) {
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            std::printf("assert-alert-link '%s': matched\n",
+                        assertLink.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "ASSERT FAILED: no alert blames a link "
+                         "containing '%s'\n",
+                         assertLink.c_str());
+            rc = 1;
+        }
+    }
+    if (assertCleared) {
+        std::size_t active = 0;
+        for (std::size_t i = 0; i < fired; ++i) {
+            const json::Value* c =
+                alerts->array[i].get("cleared_at_us");
+            active += (c == nullptr || c->number == 0) ? 1 : 0;
+        }
+        if (active > 0) {
+            std::fprintf(stderr,
+                         "ASSERT FAILED: %zu alert(s) still active\n",
+                         active);
+            rc = 1;
+        } else {
+            std::printf("assert-cleared: every alert cleared\n");
+        }
+    }
+    return rc;
+}
