@@ -60,7 +60,8 @@ sim::Delay
 MscclComm::instr(gpu::BlockCtx& ctx) const
 {
     return sim::Delay(ctx.scheduler(),
-                      machine_->config().mscclInstrOverhead);
+                      machine_->config().mscclInstrOverhead,
+                      "baseline.msccl");
 }
 
 sim::Task<>
@@ -69,10 +70,12 @@ MscclComm::slowBarrier(gpu::BlockCtx& ctx,
 {
     const fabric::EnvConfig& cfg = machine_->config();
     co_await sim::Delay(ctx.scheduler(),
-                        cfg.threadFence + cfg.atomicAddLatency);
+                        cfg.threadFence + cfg.atomicAddLatency,
+                        "baseline.msccl");
     co_await bar->arriveAndWait();
     co_await sim::Delay(ctx.scheduler(),
-                        cfg.atomicAddLatency + cfg.semaphorePoll);
+                        cfg.atomicAddLatency + cfg.semaphorePoll,
+                        "baseline.msccl");
 }
 
 NcclProto

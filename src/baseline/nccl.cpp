@@ -390,7 +390,8 @@ NcclComm::nvlsAllReduce(std::size_t bytes, gpu::DataType type,
         }
         sim::Scheduler& sched = ctx.scheduler();
         if (reduceDone > sched.now()) {
-            co_await sim::Delay(sched, reduceDone - sched.now());
+            co_await sim::Delay(sched, reduceDone - sched.now(),
+                                "baseline.nccl");
         }
         auto [s2, bcastDone] = machine_->fabric().multimemBroadcast(
             rank, ranks, shard, env.ncclNvlsEff);
@@ -402,7 +403,8 @@ NcclComm::nvlsAllReduce(std::size_t bytes, gpu::DataType type,
             }
         }
         if (bcastDone > sched.now()) {
-            co_await sim::Delay(sched, bcastDone - sched.now());
+            co_await sim::Delay(sched, bcastDone - sched.now(),
+                                "baseline.nccl");
         }
         co_await barrier->arriveAndWait();
         (void)s1;

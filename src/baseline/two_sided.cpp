@@ -69,13 +69,15 @@ TwoSidedChannel::send(gpu::BlockCtx& ctx, gpu::DeviceBuffer src,
     while (off < bytes) {
         std::size_t w = std::min(windowBytes_, bytes - off);
         // Static thread-group cost of the primitive call.
-        co_await sim::Delay(sched, cfg.ncclPrimOverhead);
+        co_await sim::Delay(sched, cfg.ncclPrimOverhead,
+                            "baseline.nccl");
         // Self-synchronous: block until a staging slot is free.
         co_await slotCredits_.waitUntil(++creditsTaken_,
                                         cfg.semaphorePoll);
         if (!sameNode_) {
             // The network proxy forwards this window.
-            co_await sim::Delay(sched, cfg.ncclProxyStep);
+            co_await sim::Delay(sched, cfg.ncclProxyStep,
+                                "baseline.nccl");
         }
         // Wire occupancy for the window (LL doubles traffic: every
         // 4B of data carries a 4B flag).
@@ -93,7 +95,8 @@ TwoSidedChannel::send(gpu::BlockCtx& ctx, gpu::DeviceBuffer src,
         }
         inflight_.push_back(std::move(win));
         // Notify the receiver when the window lands.
-        sched.scheduleAt(arrival, [this] { dataReady_.add(1); });
+        sched.scheduleAt(arrival, [this] { dataReady_.add(1); },
+                         "baseline.nccl");
         off += w;
     }
 }
@@ -109,7 +112,8 @@ TwoSidedChannel::recv(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
     std::size_t off = 0;
     while (off < bytes) {
         std::size_t w = std::min(windowBytes_, bytes - off);
-        co_await sim::Delay(sched, cfg.ncclPrimOverhead);
+        co_await sim::Delay(sched, cfg.ncclPrimOverhead,
+                            "baseline.nccl");
         co_await dataReady_.waitUntil(++windowsSeen_, cfg.semaphorePoll);
         if (inflight_.empty()) {
             throw Error(ErrorCode::InternalError,
@@ -133,8 +137,10 @@ TwoSidedChannel::recv(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
                 gpu::copyBytes(dst.view(off, w), view, w);
             }
         }
-        co_await sim::Delay(sched, reduceInto ? dev.reduceTime(w, 1)
-                                              : dev.copyTime(w));
+        co_await sim::Delay(sched,
+                            reduceInto ? dev.reduceTime(w, 1)
+                                       : dev.copyTime(w),
+                            "baseline.nccl");
         // Recycle the slot: the credit is a tiny flag write, bounded
         // by wire latency rather than the bulk queue.
         sim::Time back = sched.now() +
@@ -142,7 +148,8 @@ TwoSidedChannel::recv(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
                              .p2pPath(dstRank_, srcRank_)
                              .latency();
         sched.scheduleAt(back + cfg.atomicAddLatency,
-                         [this] { slotCredits_.add(1); });
+                         [this] { slotCredits_.add(1); },
+                         "baseline.nccl");
         off += w;
     }
     (void)ctx;

@@ -39,7 +39,8 @@ DeviceSyncer::barrier(gpu::BlockCtx& ctx, int rank)
     const fabric::EnvConfig& cfg = machine_->config();
     fabric::Fabric& fab = machine_->fabric();
 
-    co_await sim::Delay(ctx.scheduler(), cfg.threadFence);
+    co_await sim::Delay(ctx.scheduler(), cfg.threadFence,
+                        "channel.sync");
     for (std::size_t i = 0; i < ranks_.size(); ++i) {
         if (static_cast<int>(i) == me) {
             continue;
@@ -50,7 +51,8 @@ DeviceSyncer::barrier(gpu::BlockCtx& ctx, int rank)
                             fab.p2pPath(rank, ranks_[i]).latency();
         sim::SimSemaphore* peer = sems_[i].get();
         machine_->scheduler().scheduleAt(
-            arrival + cfg.atomicAddLatency, [peer] { peer->add(1); });
+            arrival + cfg.atomicAddLatency, [peer] { peer->add(1); },
+            "channel.sync");
     }
     std::uint64_t round = ++rounds_[me];
     co_await sems_[me]->waitUntil(round * (ranks_.size() - 1),

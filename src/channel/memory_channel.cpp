@@ -152,7 +152,8 @@ MemoryChannel::put(gpu::BlockCtx& ctx, std::uint64_t dstOff,
         tally.charge(conn_->path().lastCulprit(),
                      senderDone > issued ? senderDone - issued : 0);
         if (senderDone > sched.now()) {
-            co_await sim::Delay(sched, senderDone - sched.now());
+            co_await sim::Delay(sched, senderDone - sched.now(),
+                                "channel.memory");
         }
         (void)start;
         off += len;
@@ -167,7 +168,8 @@ sim::Task<>
 MemoryChannel::signal(gpu::BlockCtx& ctx)
 {
     sim::Time t0 = ctx.scheduler().now();
-    co_await sim::Delay(ctx.scheduler(), conn_->config().threadFence);
+    co_await sim::Delay(ctx.scheduler(), conn_->config().threadFence,
+                        "channel.memory");
     sim::Time arrival = conn_->reserveAtomic();
     outbound_->arriveAt(arrival, conn_->localRank(), blockTrack(ctx));
     if (obs_->metrics().enabled()) {
@@ -228,7 +230,8 @@ MemoryChannel::putPackets(gpu::BlockCtx& ctx, std::uint64_t dstOff,
         tally.charge(conn_->path().lastCulprit(),
                      senderDone > issued ? senderDone - issued : 0);
         if (senderDone > sched.now()) {
-            co_await sim::Delay(sched, senderDone - sched.now());
+            co_await sim::Delay(sched, senderDone - sched.now(),
+                                "channel.memory");
         }
         (void)start;
         off += len;
@@ -272,7 +275,8 @@ MemoryChannel::writeElementBytes(gpu::BlockCtx& ctx, std::uint64_t off,
     sim::Time senderDone = arrival - conn_->path().latency();
     sim::Scheduler& sched = ctx.scheduler();
     if (senderDone > sched.now()) {
-        co_await sim::Delay(sched, senderDone - sched.now());
+        co_await sim::Delay(sched, senderDone - sched.now(),
+                                "channel.memory");
     }
     (void)start;
 }

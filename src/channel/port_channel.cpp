@@ -261,7 +261,8 @@ PortChannel::handlePut(const ProxyRequest& req)
                     std::to_string(len) + "B reservation behind " +
                         culprit);
             }
-            co_await sim::Delay(sched, engineFree - sched.now());
+            co_await sim::Delay(sched, engineFree - sched.now(),
+                                "channel.port");
             wd.completeWait(wdToken);
         }
         (void)start;
@@ -306,12 +307,12 @@ PortChannel::processRequest(const ProxyRequest& req)
     const char* opName = nullptr;
     switch (req.kind) {
       case ProxyRequest::Kind::Put:
-        co_await sim::Delay(sched, putStart);
+        co_await sim::Delay(sched, putStart, "channel.port");
         co_await handlePut(req);
         opName = "proxy.put";
         break;
       case ProxyRequest::Kind::Signal:
-        co_await sim::Delay(sched, signalStart);
+        co_await sim::Delay(sched, signalStart, "channel.port");
         handleSignal();
         opName = "proxy.signal";
         break;
@@ -320,7 +321,8 @@ PortChannel::processRequest(const ProxyRequest& req)
         // done (ibv_poll_cq).
         sim::Time done = lastCompletion_ + cfg.ibPollOverhead;
         if (done > sched.now()) {
-            co_await sim::Delay(sched, done - sched.now());
+            co_await sim::Delay(sched, done - sched.now(),
+                                "channel.port");
         }
         flushDone_.add(1);
         opName = "proxy.flush";
@@ -360,7 +362,7 @@ PortChannel::proxyLoop()
         if (req.kind == ProxyRequest::Kind::Stop) {
             break;
         }
-        co_await sim::Delay(sched, dispatch);
+        co_await sim::Delay(sched, dispatch, "channel.port");
         co_await processRequest(req);
     }
     proxyRunning_ = false;

@@ -59,7 +59,8 @@ ProxyService::loop()
         if (req.kind == ProxyRequest::Kind::Stop) {
             break;
         }
-        co_await sim::Delay(machine_->scheduler(), cfg.proxyDispatch);
+        co_await sim::Delay(machine_->scheduler(), cfg.proxyDispatch,
+                            "proxy");
         if (req.channelId < 0 ||
             req.channelId >= static_cast<int>(channels_.size())) {
             throw Error(ErrorCode::InternalError,

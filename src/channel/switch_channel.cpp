@@ -74,7 +74,8 @@ SwitchChannel::reduce(gpu::BlockCtx& ctx, gpu::DeviceBuffer dst,
                 std::to_string(bytes) + "B multimem reservation behind " +
                     culprit);
         }
-        co_await sim::Delay(sched, arrival - sched.now());
+        co_await sim::Delay(sched, arrival - sched.now(),
+                            "channel.switch");
         obs.watchdog().completeWait(wdToken);
     }
     (void)start;
@@ -109,7 +110,8 @@ SwitchChannel::broadcast(gpu::BlockCtx& ctx, std::uint64_t dstOff,
                 std::to_string(bytes) + "B multimem reservation behind " +
                     culprit);
         }
-        co_await sim::Delay(sched, arrival - sched.now());
+        co_await sim::Delay(sched, arrival - sched.now(),
+                            "channel.switch");
         obs.watchdog().completeWait(wdToken);
     }
     (void)start;

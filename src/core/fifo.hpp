@@ -106,7 +106,8 @@ class Fifo
         if (obs_ != nullptr) {
             obs_->watchdog().completeWait(wdToken);
         }
-        co_await sim::Delay(*sched_, cfg_->fifoPushCost);
+        co_await sim::Delay(*sched_, cfg_->fifoPushCost,
+                            "proxy.fifo");
         req.pushedAt = sched_->now();
         ++head_;
         queue_.push_back(req);
@@ -158,7 +159,8 @@ class Fifo
         sim::Time visible =
             req.pushedAt + (pollFree_ ? 0 : cfg_->fifoPollLatency);
         if (visible > sched_->now()) {
-            co_await sim::Delay(*sched_, visible - sched_->now());
+            co_await sim::Delay(*sched_, visible - sched_->now(),
+                                "proxy.fifo");
         }
         queue_.pop_front();
         ++tail_;

@@ -79,7 +79,8 @@ class DeviceSemaphore
                                         machine_->scheduler().now(),
                                         srcPid, std::move(srcTrack)});
         }
-        machine_->scheduler().scheduleAt(when, [this] { sem_.add(1); });
+        machine_->scheduler().scheduleAt(when, [this] { sem_.add(1); },
+                                         "core.semaphore");
     }
 
     /** Immediate local increment (host-side or test use). */

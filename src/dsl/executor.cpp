@@ -176,7 +176,7 @@ Executor::run(const ExecutionPlan& plan, gpu::DataType type,
                         gpu::BlockCtx& ctx, int rank,
                         const Instr& in) -> sim::Task<> {
         sim::Time t0 = ctx.scheduler().now();
-        co_await sim::Delay(ctx.scheduler(), decode);
+        co_await sim::Delay(ctx.scheduler(), decode, "dsl.executor");
         switch (in.op) {
           case OpCode::Put:
           case OpCode::PutWithSignal: {

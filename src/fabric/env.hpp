@@ -140,6 +140,16 @@ struct EnvConfig
     sim::Time timeseriesInterval = 0;
     std::string timeseriesFile =
         "timeseries.json"; ///< MSCCLPP_TIMESERIES_FILE
+    /// Host-time self-profiler for the discrete-event core
+    /// (MSCCLPP_SIMPROF=1): sample steady_clock around event dispatch
+    /// and attribute wall time to per-subsystem origin labels, dumped
+    /// as mscclpp.simprof v1 on teardown (DESIGN.md Section 15).
+    /// Never perturbs virtual time.
+    bool simprofEnabled = false;
+    std::string simprofFile = "simprof.json"; ///< MSCCLPP_SIMPROF_FILE
+    /// Keep only the K hottest origins in the dump, the rest folded
+    /// into "(other)" (MSCCLPP_SIMPROF_TOPK, >= 0; 0 keeps all).
+    int simprofTopk = 0;
     /// Stall watchdog (MSCCLPP_WATCHDOG): "off", "report" (emit hang
     /// reports and keep going) or "abort" (fail fast with
     /// Error(Timeout)). Implies tracing (DESIGN.md Section 11).
@@ -197,6 +207,7 @@ void applyEnvOverrides(EnvConfig& cfg);
  * MSCCLPP_CRITPATH, MSCCLPP_FLIGHT, MSCCLPP_FLIGHT_FILE,
  * MSCCLPP_FLIGHT_SIGMA, MSCCLPP_TIMESERIES,
  * MSCCLPP_TIMESERIES_INTERVAL_NS, MSCCLPP_TIMESERIES_FILE,
+ * MSCCLPP_SIMPROF, MSCCLPP_SIMPROF_FILE, MSCCLPP_SIMPROF_TOPK,
  * MSCCLPP_DEGRADED_LINKS — to @p cfg. Called by every Machine at construction (the runtime gate
  * of the tracer), and by applyEnvOverrides. Defaults: tracing off,
  * metrics on, files "trace.json" / "metrics.json". Throws

@@ -103,6 +103,18 @@ applyObsEnvOverrides(EnvConfig& cfg)
         cfg.timeseriesInterval = tsNs;
     }
     readPath("MSCCLPP_TIMESERIES_FILE", cfg.timeseriesFile);
+    readBool("MSCCLPP_SIMPROF", cfg.simprofEnabled);
+    readPath("MSCCLPP_SIMPROF_FILE", cfg.simprofFile);
+    double topk = 0;
+    if (readDouble("MSCCLPP_SIMPROF_TOPK", topk)) {
+        if (topk < 0 || topk != static_cast<double>(
+                                    static_cast<int>(topk))) {
+            throw Error(ErrorCode::InvalidUsage,
+                        "MSCCLPP_SIMPROF_TOPK must be a non-negative "
+                        "integer (0 keeps all origins)");
+        }
+        cfg.simprofTopk = static_cast<int>(topk);
+    }
     const char* wd = std::getenv("MSCCLPP_WATCHDOG");
     if (wd != nullptr && *wd != '\0') {
         std::string s(wd);

@@ -130,7 +130,8 @@ sim::Task<>
 Link::transfer(std::uint64_t bytes, double bwCapGBps)
 {
     auto [start, arrival] = reserve(bytes, bwCapGBps);
-    co_await sim::Delay(*sched_, arrival - sched_->now());
+    co_await sim::Delay(*sched_, arrival - sched_->now(),
+                        "fabric.link");
 }
 
 sim::Time
@@ -228,7 +229,8 @@ Path::transfer(std::uint64_t bytes, double bwCapGBps) const
 {
     auto [start, arrival] = reserve(bytes, bwCapGBps);
     sim::Scheduler& sched = scheduler();
-    co_await sim::Delay(sched, arrival - sched.now());
+    co_await sim::Delay(sched, arrival - sched.now(),
+                        "fabric.link");
 }
 
 sim::Scheduler&

@@ -11,7 +11,8 @@ blockWrapper(std::shared_ptr<detail::KernelState> state, BlockCtx* ctx,
              std::shared_ptr<BlockFn> fn, sim::Time startDelay)
 {
     if (startDelay > 0) {
-        co_await sim::Delay(ctx->scheduler(), startDelay);
+        co_await sim::Delay(ctx->scheduler(), startDelay,
+                            "gpu.kernel");
     }
     sim::Time t0 = ctx->scheduler().now();
     co_await (*fn)(*ctx);
@@ -57,7 +58,8 @@ launchKernel(Gpu& gpu, LaunchConfig cfg, BlockFn fn)
 
     sim::Time launchStart = sched.now();
     co_await sim::Delay(sched,
-                        cfg.graph ? env.graphLaunch : env.kernelLaunch);
+                        cfg.graph ? env.graphLaunch : env.kernelLaunch,
+                        "gpu.kernel");
     obs::ObsContext& obs = gpu.machine().obs();
     if (obs.metrics().enabled()) {
         obs.metrics().counter("kernel.launches").add(1);

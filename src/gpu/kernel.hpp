@@ -75,13 +75,14 @@ class BlockCtx
     /** Intra-block __syncthreads-equivalent cost. */
     sim::Delay blockBarrier() const
     {
-        return sim::Delay(scheduler(), config().blockBarrier);
+        return sim::Delay(scheduler(), config().blockBarrier,
+                          "gpu.kernel");
     }
 
     /** Charge @p t of device time to this block. */
     sim::Delay busy(sim::Time t) const
     {
-        return sim::Delay(scheduler(), t);
+        return sim::Delay(scheduler(), t, "gpu.kernel");
     }
 
     /**

@@ -90,9 +90,20 @@ Machine::Machine(fabric::EnvConfig cfg, int numNodes, DataMode mode)
         obs_.timeseries().setIntervalWidth(cfg_.timeseriesInterval);
     }
     obs_.setTimeseriesFile(cfg_.timeseriesFile);
+    // The simulator self-profiler hooks the scheduler's dispatch
+    // loop; it reads the host clock only, so attaching it can never
+    // change a simulated result (the zero-perturbation test holds it
+    // to that).
+    obs_.simprof().setEnabled(cfg_.simprofEnabled);
+    if (obs_.simprof().enabled()) {
+        obs_.simprof().setTopK(cfg_.simprofTopk);
+        obs_.simprof().attach(sched_);
+    }
+    obs_.setSimprofFile(cfg_.simprofFile);
     // Timeseries-only runs still dump (the trace file then carries
     // just the counter tracks).
-    obs_.setDumpOnDestroy(cfg_.traceEnabled || cfg_.timeseriesEnabled);
+    obs_.setDumpOnDestroy(cfg_.traceEnabled || cfg_.timeseriesEnabled ||
+                          obs_.simprof().enabled());
 
     // The watchdog binds unconditionally (tests may flip the mode on a
     // built machine), but only an enabled mode installs the scheduler

@@ -53,6 +53,14 @@ ObsContext::dump()
         what += std::to_string(timeseries_.samples()) +
                 " samples -> " + timeseriesFile_;
     }
+    if (simprof_.enabled() && !simprofFile_.empty()) {
+        simprof_.writeJson(simprofFile_);
+        if (!what.empty()) {
+            what += ", ";
+        }
+        what += std::to_string(simprof_.eventsProfiled()) +
+                " profiled events -> " + simprofFile_;
+    }
     // Hang reports are exceptional by definition: a clean run writes
     // no hang file at all.
     if (!watchdog_.reports().empty() && !watchdogFile_.empty()) {

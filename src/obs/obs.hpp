@@ -3,6 +3,7 @@
 
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/simprof.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
@@ -39,12 +40,15 @@ class ObsContext
     const Watchdog& watchdog() const { return watchdog_; }
     TimeSeries& timeseries() { return timeseries_; }
     const TimeSeries& timeseries() const { return timeseries_; }
+    SimProf& simprof() { return simprof_; }
+    const SimProf& simprof() const { return simprof_; }
 
     const std::string& traceFile() const { return traceFile_; }
     const std::string& metricsFile() const { return metricsFile_; }
     const std::string& flightFile() const { return flightFile_; }
     const std::string& watchdogFile() const { return watchdogFile_; }
     const std::string& timeseriesFile() const { return timeseriesFile_; }
+    const std::string& simprofFile() const { return simprofFile_; }
     void setTraceFile(std::string path) { traceFile_ = std::move(path); }
     void setMetricsFile(std::string path)
     {
@@ -61,6 +65,10 @@ class ObsContext
     void setTimeseriesFile(std::string path)
     {
         timeseriesFile_ = std::move(path);
+    }
+    void setSimprofFile(std::string path)
+    {
+        simprofFile_ = std::move(path);
     }
 
     /** Dump trace + metrics files when enabled (Machine teardown). */
@@ -81,11 +89,13 @@ class ObsContext
     FlightRecorder flight_;
     Watchdog watchdog_;
     TimeSeries timeseries_;
+    SimProf simprof_;
     std::string traceFile_ = "trace.json";
     std::string metricsFile_ = "metrics.json";
     std::string flightFile_ = "flight.json";
     std::string watchdogFile_ = "hang.json";
     std::string timeseriesFile_ = "timeseries.json";
+    std::string simprofFile_ = "simprof.json";
     bool dumpOnDestroy_ = false;
 };
 

@@ -1,0 +1,406 @@
+#include "obs/simprof.hpp"
+
+#include "core/errors.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mscclpp::obs {
+
+SimProf::~SimProf()
+{
+    detach();
+}
+
+std::uint64_t
+SimProf::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+SimProf::charge(std::vector<std::pair<const char*, Bucket>>& table,
+                const char* label, std::uint64_t ns,
+                std::uint64_t events)
+{
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].first == label) {
+            table[i].second.ns += ns;
+            table[i].second.events += events;
+            if (i != 0) {
+                std::swap(table[i], table[i - 1]);
+            }
+            return;
+        }
+    }
+    table.emplace_back(label, Bucket{ns, events});
+}
+
+void
+SimProf::attach(sim::Scheduler& sched)
+{
+    if (!enabled() || sched_ != nullptr) {
+        return;
+    }
+    sched_ = &sched;
+    sched_->setDispatchProfiler(this);
+    sched_->enableOriginCounts(true);
+    copiesAtAttach_ = sim::Scheduler::closureCopies();
+    framesCreatedAtAttach_ = sim::frameStats().created;
+    sampled_ = false;
+}
+
+void
+SimProf::detach()
+{
+    if (sched_ != nullptr) {
+        if (sched_->dispatchProfiler() == this) {
+            sched_->setDispatchProfiler(nullptr);
+        }
+        sched_ = nullptr;
+    }
+}
+
+void
+SimProf::runBegin()
+{
+    ++runs_;
+    inRun_ = true;
+    lastNs_ = nowNs();
+    sampled_ = true;
+}
+
+void
+SimProf::eventPopped()
+{
+    const std::uint64_t t = nowNs();
+    if (inRun_ && sampled_) {
+        // Gap since the last sample: loop bookkeeping + heap pop.
+        dispatchNs_ += t - lastNs_;
+        chargedNs_ += t - lastNs_;
+    }
+    lastNs_ = t;
+    sampled_ = true;
+}
+
+void
+SimProf::eventDone(const char* origin)
+{
+    if (!sampled_) {
+        return;
+    }
+    const std::uint64_t t = nowNs();
+    charge(origins_, origin, t - lastNs_, 1);
+    chargedNs_ += t - lastNs_;
+    lastNs_ = t;
+}
+
+void
+SimProf::idleHookBegin()
+{
+    const std::uint64_t t = nowNs();
+    if (sampled_) {
+        dispatchNs_ += t - lastNs_;
+        chargedNs_ += t - lastNs_;
+    }
+    lastNs_ = t;
+    sampled_ = true;
+}
+
+void
+SimProf::idleHookEnd()
+{
+    const std::uint64_t t = nowNs();
+    if (sampled_) {
+        idleHookNs_ += t - lastNs_;
+        chargedNs_ += t - lastNs_;
+        ++idleHookCalls_;
+    }
+    lastNs_ = t;
+}
+
+void
+SimProf::runEnd()
+{
+    const std::uint64_t t = nowNs();
+    if (inRun_ && sampled_) {
+        dispatchNs_ += t - lastNs_;
+        chargedNs_ += t - lastNs_;
+    }
+    lastNs_ = t;
+    inRun_ = false;
+}
+
+SimProf::Section::Section(SimProf& prof, const char* label)
+    : label_(label)
+{
+    if (!prof.enabled()) {
+        return;
+    }
+    prof_ = &prof;
+    t0_ = nowNs();
+    charged0_ = prof.chargedNs_;
+}
+
+SimProf::Section::~Section()
+{
+    if (prof_ == nullptr) {
+        return;
+    }
+    const std::uint64_t elapsed = nowNs() - t0_;
+    // Whatever the dispatch buckets captured inside this scope is
+    // already charged; only the remainder belongs to the section.
+    const std::uint64_t inner = prof_->chargedNs_ - charged0_;
+    const std::uint64_t extra = elapsed > inner ? elapsed - inner : 0;
+    charge(prof_->sections_, label_, extra, 1);
+    prof_->chargedNs_ += extra;
+}
+
+std::uint64_t
+SimProf::unattributedNs() const
+{
+    for (const auto& [label, b] : origins_) {
+        if (label == nullptr) {
+            return b.ns;
+        }
+    }
+    return 0;
+}
+
+double
+SimProf::attributedPct() const
+{
+    if (chargedNs_ == 0) {
+        return 100.0;
+    }
+    return 100.0 *
+           static_cast<double>(attributedNs()) /
+           static_cast<double>(chargedNs_);
+}
+
+std::uint64_t
+SimProf::eventsProfiled() const
+{
+    std::uint64_t n = 0;
+    for (const auto& [label, b] : origins_) {
+        n += b.events;
+    }
+    return n;
+}
+
+std::uint64_t
+SimProf::closureCopiesSinceAttach() const
+{
+    return sim::Scheduler::closureCopies() - copiesAtAttach_;
+}
+
+std::map<std::string, std::uint64_t>
+SimProf::hostNsByLabel() const
+{
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& [label, b] : origins_) {
+        merged[label != nullptr ? label
+                                : sim::Scheduler::kUnattributed] += b.ns;
+    }
+    for (const auto& [label, b] : sections_) {
+        merged[label] += b.ns;
+    }
+    if (dispatchNs_ > 0) {
+        merged[kDispatchLabel] += dispatchNs_;
+    }
+    if (idleHookNs_ > 0) {
+        merged[kIdleHookLabel] += idleHookNs_;
+    }
+    return merged;
+}
+
+namespace {
+
+/** Labels are our own dotted literals, but a malformed one must not
+ *  corrupt the dump. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+struct Row
+{
+    std::string label;
+    std::string kind;
+    std::uint64_t ns = 0;
+    std::uint64_t events = 0;
+};
+
+void
+appendRow(std::ostringstream& out, const Row& r, std::uint64_t totalNs,
+          bool& first)
+{
+    if (!first) {
+        out << ",";
+    }
+    first = false;
+    const double pct =
+        totalNs > 0
+            ? 100.0 * static_cast<double>(r.ns) / static_cast<double>(totalNs)
+            : 0.0;
+    char pctBuf[32];
+    std::snprintf(pctBuf, sizeof(pctBuf), "%.3f", pct);
+    out << "\n  {\"origin\": \"" << jsonEscape(r.label)
+        << "\", \"kind\": \""
+        << r.kind << "\", \"events\": " << r.events
+        << ", \"host_ns\": " << r.ns << ", \"pct\": " << pctBuf << "}";
+}
+
+} // namespace
+
+std::string
+SimProf::toJson() const
+{
+    // Merge by label text: the same literal may have distinct
+    // addresses across translation units.
+    std::map<std::string, Bucket> eventRows;
+    for (const auto& [label, b] : origins_) {
+        Bucket& r = eventRows[label != nullptr
+                                  ? label
+                                  : sim::Scheduler::kUnattributed];
+        r.ns += b.ns;
+        r.events += b.events;
+    }
+    std::map<std::string, Bucket> sectionRows;
+    for (const auto& [label, b] : sections_) {
+        Bucket& r = sectionRows[label];
+        r.ns += b.ns;
+        r.events += b.events;
+    }
+
+    std::vector<Row> rows;
+    for (const auto& [label, b] : eventRows) {
+        rows.push_back(Row{label, "event", b.ns, b.events});
+    }
+    for (const auto& [label, b] : sectionRows) {
+        rows.push_back(Row{label, "section", b.ns, b.events});
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) {
+                         return a.ns != b.ns ? a.ns > b.ns
+                                             : a.label < b.label;
+                     });
+
+    // Top-K folding: keep the K hottest rows, fold the rest into one
+    // "(other)" aggregate so the totals stay exact. The unattributed
+    // row always survives — the coverage gate reads it.
+    if (topk_ > 0 && rows.size() > static_cast<std::size_t>(topk_)) {
+        std::vector<Row> kept;
+        Row other{"(other)", "other", 0, 0};
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (i < static_cast<std::size_t>(topk_) ||
+                rows[i].label == sim::Scheduler::kUnattributed) {
+                kept.push_back(rows[i]);
+            } else {
+                other.ns += rows[i].ns;
+                other.events += rows[i].events;
+            }
+        }
+        if (other.events > 0 || other.ns > 0) {
+            kept.push_back(other);
+        }
+        rows = std::move(kept);
+    }
+
+    const std::uint64_t wall = chargedNs_;
+    const std::uint64_t unattr = unattributedNs();
+    char pctBuf[32];
+    std::snprintf(pctBuf, sizeof(pctBuf), "%.3f", attributedPct());
+    const double wallSec = static_cast<double>(wall) / 1e9;
+    char epsBuf[32];
+    std::snprintf(epsBuf, sizeof(epsBuf), "%.1f",
+                  wallSec > 0
+                      ? static_cast<double>(eventsProfiled()) / wallSec
+                      : 0.0);
+
+    const sim::FrameStats& frames = sim::frameStats();
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "\"schema\": \"mscclpp.simprof\",\n";
+    out << "\"version\": 1,\n";
+    out << "\"wall_measured_ns\": " << wall << ",\n";
+    out << "\"attributed_ns\": " << (wall - unattr) << ",\n";
+    out << "\"unattributed_ns\": " << unattr << ",\n";
+    out << "\"attributed_pct\": " << pctBuf << ",\n";
+    out << "\"runs\": " << runs_ << ",\n";
+    out << "\"events_profiled\": " << eventsProfiled() << ",\n";
+    out << "\"events_per_sec\": " << epsBuf << ",\n";
+    out << "\"dispatch_closure_copies\": " << closureCopiesSinceAttach()
+        << ",\n";
+    out << "\"scheduler\": {\"dispatch_ns\": " << dispatchNs_
+        << ", \"idle_hook_ns\": " << idleHookNs_
+        << ", \"idle_hook_calls\": " << idleHookCalls_ << "},\n";
+    out << "\"frames\": {\"created\": "
+        << (frames.created - framesCreatedAtAttach_)
+        << ", \"live\": " << frames.live << ", \"peak\": " << frames.peak
+        << "},\n";
+    out << "\"events_total\": "
+        << (sched_ != nullptr ? sched_->eventsProcessed() : 0) << ",\n";
+    out << "\"max_queue_depth\": "
+        << (sched_ != nullptr ? sched_->maxQueueDepth() : 0) << ",\n";
+    out << "\"events_by_origin\": {";
+    if (sched_ != nullptr) {
+        bool firstCount = true;
+        for (const auto& [label, count] :
+             sched_->originCountsByName()) {
+            if (!firstCount) {
+                out << ", ";
+            }
+            firstCount = false;
+            out << "\"" << jsonEscape(label) << "\": " << count;
+        }
+    }
+    out << "},\n";
+    out << "\"origins\": [";
+    bool first = true;
+    for (const Row& r : rows) {
+        appendRow(out, r, wall, first);
+    }
+    out << (first ? "]" : "\n]") << "\n}\n";
+    return out.str();
+}
+
+void
+SimProf::writeJson(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        throw Error(ErrorCode::SystemError,
+                    "cannot open simprof file '" + path +
+                        "' for writing");
+    }
+    f << toJson();
+    if (!f.good()) {
+        throw Error(ErrorCode::SystemError,
+                    "failed writing simprof file '" + path + "'");
+    }
+}
+
+} // namespace mscclpp::obs

@@ -1,0 +1,173 @@
+#ifndef MSCCLPP_OBS_SIMPROF_HPP
+#define MSCCLPP_OBS_SIMPROF_HPP
+
+#include "sim/scheduler.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mscclpp::obs {
+
+/**
+ * Host-time self-profiler for the discrete-event core
+ * (MSCCLPP_SIMPROF=1): where does the *simulator* spend wall-clock
+ * time while it advances virtual time? Every other obs layer profiles
+ * the simulated machine; this one profiles the machine doing the
+ * simulating — the NPKit discipline turned on our own runtime, and
+ * the attribution table any event-queue/coroutine restructure will be
+ * judged against (ROADMAP: "Simulator raw speed").
+ *
+ * It implements sim::DispatchProfiler: the scheduler announces the
+ * edges of its dispatch loop and SimProf samples steady_clock once
+ * per callback, attributing each inter-sample gap to a bucket —
+ * scheduler pop/dispatch overhead, the dispatched closure's *origin
+ * label* (stamped at the schedule()/resumeAfter() call site, e.g.
+ * "channel.port", "proxy", "gpu.kernel"), or the idle hook. Because
+ * every gap lands in exactly one bucket, the buckets sum to the
+ * measured wall time by construction; `unattributed` is the share
+ * whose events carried no origin label, and the attribution
+ * percentage measures labelling coverage, not sampling loss.
+ *
+ * Host code *between* runs (the serving cluster recomposing batches)
+ * is covered by Section scopes, which charge their elapsed time minus
+ * whatever the buckets already captured inside — a Section may safely
+ * wrap code that re-enters Scheduler::run() without double counting.
+ *
+ * SimProf only ever reads the host clock and host-side counters: it
+ * cannot perturb virtual time, event ordering, or any simulated
+ * result (the zero-perturbation test proves dumps are bit-identical
+ * with the profiler on or off). Exported as `mscclpp.simprof` v1;
+ * queried with tools/simprof_query.
+ */
+class SimProf : public sim::DispatchProfiler
+{
+  public:
+#ifdef MSCCLPP_NO_OBS
+    static constexpr bool kCompiledIn = false;
+#else
+    static constexpr bool kCompiledIn = true;
+#endif
+
+    /** Labels of the scheduler's own overhead buckets. */
+    static constexpr const char* kDispatchLabel = "sim.dispatch";
+    static constexpr const char* kIdleHookLabel = "sim.idle_hook";
+
+    SimProf() = default;
+    ~SimProf() override;
+    SimProf(const SimProf&) = delete;
+    SimProf& operator=(const SimProf&) = delete;
+
+    bool enabled() const { return kCompiledIn && enabled_; }
+    void setEnabled(bool on) { enabled_ = kCompiledIn && on; }
+
+    /** Keep only the K hottest origins in the dump (rest aggregated
+     *  into "(other)" with exact totals); 0 keeps all. */
+    void setTopK(int k) { topk_ = k < 0 ? 0 : k; }
+    int topK() const { return topk_; }
+
+    /**
+     * Install on @p sched and start measuring. Also turns on the
+     * scheduler's deterministic per-origin event counts so the dump
+     * can pair host-ns with event counts per origin. No-op unless
+     * enabled.
+     */
+    void attach(sim::Scheduler& sched);
+    void detach();
+    bool attached() const { return sched_ != nullptr; }
+
+    // -- sim::DispatchProfiler --------------------------------------------
+    void runBegin() override;
+    void eventPopped() override;
+    void eventDone(const char* origin) override;
+    void idleHookBegin() override;
+    void idleHookEnd() override;
+    void runEnd() override;
+
+    /**
+     * Charge host code in the enclosing scope to @p label, minus any
+     * time the event/scheduler buckets already captured inside the
+     * scope (so wrapping a Scheduler::run() call never double
+     * counts). Cheap no-op when the profiler is disabled.
+     */
+    class Section
+    {
+      public:
+        Section(SimProf& prof, const char* label);
+        ~Section();
+        Section(const Section&) = delete;
+        Section& operator=(const Section&) = delete;
+
+      private:
+        SimProf* prof_ = nullptr;
+        const char* label_;
+        std::uint64_t t0_ = 0;
+        std::uint64_t charged0_ = 0;
+    };
+
+    // -- introspection (tests, CLI) ---------------------------------------
+    /** Total host ns charged into any bucket (== the sum of every
+     *  origin/section/scheduler bucket, by construction). */
+    std::uint64_t wallMeasuredNs() const { return chargedNs_; }
+    std::uint64_t unattributedNs() const;
+    std::uint64_t attributedNs() const
+    {
+        return chargedNs_ - unattributedNs();
+    }
+    /** 100 when nothing was measured yet. */
+    double attributedPct() const;
+    std::uint64_t dispatchNs() const { return dispatchNs_; }
+    std::uint64_t idleHookNs() const { return idleHookNs_; }
+    std::uint64_t runs() const { return runs_; }
+    /** Events whose closure bodies this profiler timed. */
+    std::uint64_t eventsProfiled() const;
+    /** Event-closure copies since attach() (stays 0: dispatch is
+     *  move-only — see Scheduler::closureCopies). */
+    std::uint64_t closureCopiesSinceAttach() const;
+
+    /** host ns per label, event origins and sections merged by text
+     *  (nullptr exported as Scheduler::kUnattributed). */
+    std::map<std::string, std::uint64_t> hostNsByLabel() const;
+
+    /** Serialise the `mscclpp.simprof` v1 dump. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws Error on I/O failure. */
+    void writeJson(const std::string& path) const;
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t ns = 0;
+        std::uint64_t events = 0;
+    };
+
+    static std::uint64_t nowNs();
+    /** Charge @p ns to the pointer-keyed bucket list @p table (MRU
+     *  front slot; the label population is a few dozen). */
+    static void charge(
+        std::vector<std::pair<const char*, Bucket>>& table,
+        const char* label, std::uint64_t ns, std::uint64_t events);
+
+    bool enabled_ = false;
+    int topk_ = 0;
+    sim::Scheduler* sched_ = nullptr;
+    bool inRun_ = false;
+    bool sampled_ = false; ///< lastNs_ holds a valid sample
+    std::uint64_t lastNs_ = 0;
+    std::uint64_t chargedNs_ = 0;
+    std::uint64_t dispatchNs_ = 0;
+    std::uint64_t idleHookNs_ = 0;
+    std::uint64_t idleHookCalls_ = 0;
+    std::uint64_t runs_ = 0;
+    std::uint64_t copiesAtAttach_ = 0;
+    std::uint64_t framesCreatedAtAttach_ = 0;
+    std::vector<std::pair<const char*, Bucket>> origins_;
+    std::vector<std::pair<const char*, Bucket>> sections_;
+};
+
+} // namespace mscclpp::obs
+
+#endif // MSCCLPP_OBS_SIMPROF_HPP

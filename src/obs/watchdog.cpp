@@ -307,7 +307,8 @@ Watchdog::onIdle()
     // the oldest wait's deadline (since + threshold).
     sim::Time deadline = oldest->since + threshold_;
     tickPending_ = true;
-    sched_->scheduleAt(deadline, [this] { tick(); });
+    sched_->scheduleAt(deadline, [this] { tick(); },
+                       "obs.watchdog");
 }
 
 void

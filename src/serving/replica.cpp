@@ -37,6 +37,7 @@ Replica::Replica(const ServingConfig& cfg, int id, ReplicaRole role)
     obs.setFlightFile(tag + obs.flightFile());
     obs.setWatchdogFile(tag + obs.watchdogFile());
     obs.setTimeseriesFile(tag + obs.timeseriesFile());
+    obs.setSimprofFile(tag + obs.simprofFile());
     sim_ = std::make_unique<inference::InferenceSim>(*machine_,
                                                      cfg.inference);
 }
@@ -428,6 +429,11 @@ Replica::runDecode(sim::Time start, std::vector<RequestStats>& stats,
 Replica::StepOutcome
 Replica::step(std::vector<RequestStats>& stats)
 {
+    // Host-side serving work (batch recomposition, admission, KV
+    // bookkeeping) between scheduler runs, charged minus whatever the
+    // dispatch buckets capture inside the prefill/decode run() calls.
+    obs::SimProf::Section sec(machine_->obs().simprof(),
+                              "serving.replica_step");
     StepOutcome out;
     const sim::Time start = nextActionTime();
     if (start == sim::kTimeMax) {

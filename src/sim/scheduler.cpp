@@ -1,45 +1,116 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <utility>
 
 namespace mscclpp::sim {
 
-void
-Scheduler::schedule(Time delay, std::function<void()> fn)
+std::uint64_t Scheduler::Event::copies_ = 0;
+
+FrameStats&
+frameStats()
 {
-    scheduleAt(now_ + delay, std::move(fn));
+    static FrameStats stats;
+    return stats;
+}
+
+std::uint64_t
+Scheduler::closureCopies()
+{
+    return Event::copies_;
 }
 
 void
-Scheduler::scheduleAt(Time when, std::function<void()> fn)
+Scheduler::push(Event ev)
+{
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+    if (heap_.size() > maxQueueDepth_) {
+        maxQueueDepth_ = heap_.size();
+    }
+}
+
+void
+Scheduler::schedule(Time delay, std::function<void()> fn,
+                    const char* origin)
+{
+    scheduleAt(now_ + delay, std::move(fn), origin);
+}
+
+void
+Scheduler::scheduleAt(Time when, std::function<void()> fn,
+                      const char* origin)
 {
     if (when < now_) {
         when = now_;
     }
-    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    if (origin == nullptr) {
+        origin = currentOrigin_;
+    }
+    push(Event{when, nextSeq_++, origin, std::move(fn)});
+}
+
+void
+Scheduler::countOrigin(const char* origin)
+{
+    for (std::size_t i = 0; i < originCounts_.size(); ++i) {
+        if (originCounts_[i].first == origin) {
+            ++originCounts_[i].second;
+            if (i != 0) {
+                std::swap(originCounts_[i], originCounts_[i - 1]);
+            }
+            return;
+        }
+    }
+    originCounts_.emplace_back(origin, 1);
+}
+
+std::map<std::string, std::uint64_t>
+Scheduler::originCountsByName() const
+{
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& [origin, count] : originCounts_) {
+        merged[origin != nullptr ? origin : kUnattributed] += count;
+    }
+    return merged;
 }
 
 bool
 Scheduler::step()
 {
-    if (queue_.empty()) {
+    if (heap_.empty()) {
         return false;
     }
-    // priority_queue::top() is const; the closure must be moved out
-    // before pop() to avoid a copy of a potentially heavy capture.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // Move-only extraction: pop_heap rotates the minimum to the back,
+    // the closure moves out (Event::copies_ proves no copy happened).
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.when;
     ++eventsProcessed_;
+    if (countOrigins_) {
+        countOrigin(ev.origin);
+    }
+    if (prof_ != nullptr) {
+        prof_->eventPopped();
+    }
+    const char* saved = std::exchange(currentOrigin_, ev.origin);
     ev.fn();
+    currentOrigin_ = saved;
+    if (prof_ != nullptr) {
+        prof_->eventDone(ev.origin);
+    }
     return true;
 }
 
 void
 Scheduler::run()
 {
+    if (prof_ != nullptr) {
+        prof_->runBegin();
+    }
     for (;;) {
         while (step()) {
             if (firstError_) {
@@ -50,12 +121,21 @@ Scheduler::run()
             break;
         }
         if (idleHook_) {
+            if (prof_ != nullptr) {
+                prof_->idleHookBegin();
+            }
             idleHook_();
-            if (!queue_.empty()) {
+            if (prof_ != nullptr) {
+                prof_->idleHookEnd();
+            }
+            if (!heap_.empty()) {
                 continue;
             }
         }
         break;
+    }
+    if (prof_ != nullptr) {
+        prof_->runEnd();
     }
     if (firstError_) {
         std::exception_ptr e = std::exchange(firstError_, nullptr);
@@ -66,20 +146,29 @@ Scheduler::run()
 bool
 Scheduler::runUntil(Time deadline)
 {
-    while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (prof_ != nullptr) {
+        prof_->runBegin();
+    }
+    while (!heap_.empty() && heap_.front().when <= deadline) {
         step();
         if (firstError_) {
+            if (prof_ != nullptr) {
+                prof_->runEnd();
+            }
             std::exception_ptr e = std::exchange(firstError_, nullptr);
             std::rethrow_exception(e);
         }
     }
-    return queue_.empty();
+    if (prof_ != nullptr) {
+        prof_->runEnd();
+    }
+    return heap_.empty();
 }
 
 void
 Scheduler::advanceTo(Time when)
 {
-    if (queue_.empty() && when > now_) {
+    if (heap_.empty() && when > now_) {
         now_ = when;
     }
 }
@@ -93,15 +182,16 @@ Scheduler::reportError(std::exception_ptr e)
 }
 
 void
-Scheduler::resumeNow(std::coroutine_handle<> h)
+Scheduler::resumeNow(std::coroutine_handle<> h, const char* origin)
 {
-    schedule(0, [h] { h.resume(); });
+    schedule(0, [h] { h.resume(); }, origin);
 }
 
 void
-Scheduler::resumeAfter(Time delay, std::coroutine_handle<> h)
+Scheduler::resumeAfter(Time delay, std::coroutine_handle<> h,
+                       const char* origin)
 {
-    schedule(delay, [h] { h.resume(); });
+    schedule(delay, [h] { h.resume(); }, origin);
 }
 
 } // namespace mscclpp::sim

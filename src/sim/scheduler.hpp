@@ -7,10 +7,78 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace mscclpp::sim {
+
+/**
+ * Process-wide coroutine-frame census (created / live / peak). Every
+ * Task promise and every Detached root counts itself in, so a
+ * profiler can report how many frames a workload keeps suspended at
+ * once — the number the pooled-frame-allocator work will be judged
+ * against. Purely host-side bookkeeping; never consulted by the
+ * simulation itself.
+ */
+struct FrameStats
+{
+    std::uint64_t created = 0;
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+};
+
+FrameStats& frameStats();
+
+namespace detail {
+
+inline void
+frameCreated()
+{
+    FrameStats& f = frameStats();
+    ++f.created;
+    if (++f.live > f.peak) {
+        f.peak = f.live;
+    }
+}
+
+inline void
+frameDestroyed()
+{
+    --frameStats().live;
+}
+
+} // namespace detail
+
+/**
+ * Host-time profiler hook for the Scheduler (implemented by
+ * obs::SimProf). The scheduler never reads the host clock itself: it
+ * only announces where it is in the dispatch loop, and an attached
+ * profiler samples steady_clock inside each callback. With no
+ * profiler attached the cost is one null-pointer test per event, and
+ * nothing here can touch virtual time either way.
+ */
+class DispatchProfiler
+{
+  public:
+    virtual ~DispatchProfiler() = default;
+
+    /** run()/runUntil() entered; starts a measurement window. */
+    virtual void runBegin() = 0;
+    /** An event was popped off the heap (heap maintenance done,
+     *  closure not yet invoked). */
+    virtual void eventPopped() = 0;
+    /** The popped event's closure returned; @p origin is the label
+     *  stamped when the event was scheduled (nullptr = unlabelled). */
+    virtual void eventDone(const char* origin) = 0;
+    /** The idle hook is about to run on a drained queue. */
+    virtual void idleHookBegin() = 0;
+    /** The idle hook returned. */
+    virtual void idleHookEnd() = 0;
+    /** run()/runUntil() returning; closes the measurement window. */
+    virtual void runEnd() = 0;
+};
 
 /**
  * Discrete-event scheduler driving all simulated activity.
@@ -20,12 +88,24 @@ namespace mscclpp::sim {
  * tasks (see task.hpp) suspend on awaitables that re-arm themselves via
  * schedule().
  *
+ * Every event carries an *origin label* — a string literal stamped at
+ * the schedule()/resumeAfter() call site (e.g. "channel.port") or
+ * inherited from the event being dispatched when the call site passes
+ * none, so causal chains (a semaphore signal resuming a waiter) keep
+ * the subsystem that started them. Labels cost one pointer per event;
+ * the deterministic per-origin counters behind enableOriginCounts()
+ * and the host-time attribution in obs::SimProf are both keyed on
+ * them.
+ *
  * The scheduler is single-threaded by design: all "parallelism" in the
  * simulated machine is expressed as interleaved events in virtual time.
  */
 class Scheduler
 {
   public:
+    /** Exported name for events scheduled with no origin label. */
+    static constexpr const char* kUnattributed = "unattributed";
+
     Scheduler() = default;
     Scheduler(const Scheduler&) = delete;
     Scheduler& operator=(const Scheduler&) = delete;
@@ -34,10 +114,12 @@ class Scheduler
     Time now() const { return now_; }
 
     /** Schedule @p fn to run @p delay after the current time. */
-    void schedule(Time delay, std::function<void()> fn);
+    void schedule(Time delay, std::function<void()> fn,
+                  const char* origin = nullptr);
 
     /** Schedule @p fn at absolute time @p when (clamped to now()). */
-    void scheduleAt(Time when, std::function<void()> fn);
+    void scheduleAt(Time when, std::function<void()> fn,
+                    const char* origin = nullptr);
 
     /**
      * Run until the event queue drains.
@@ -72,7 +154,79 @@ class Scheduler
     std::uint64_t eventsProcessed() const { return eventsProcessed_; }
 
     /** True if no event is pending. */
-    bool idle() const { return queue_.empty(); }
+    bool idle() const { return heap_.empty(); }
+
+    /** Events currently pending. */
+    std::size_t queueDepth() const { return heap_.size(); }
+
+    /** High-water mark of the pending-event count. */
+    std::size_t maxQueueDepth() const { return maxQueueDepth_; }
+
+    /**
+     * Process-wide count of Event copy-constructions. The dispatch
+     * path is move-only (pop_heap rotates the head to the back, the
+     * closure moves out), so this stays flat over any number of
+     * events — the counter exists to prove it, in tests and in the
+     * simprof dump (a copied std::function clones its capture on the
+     * hot path, which is exactly the allocation bug this guards
+     * against).
+     */
+    static std::uint64_t closureCopies();
+
+    /**
+     * Origin label of the event currently being dispatched (nullptr
+     * outside dispatch or for unlabelled events). Events scheduled
+     * without an explicit origin inherit this.
+     */
+    const char* currentOrigin() const { return currentOrigin_; }
+
+    /**
+     * Count dispatched events per origin label (off by default: the
+     * count costs a short pointer scan per event). Deterministic —
+     * purely a function of the event stream, never of host timing —
+     * so bench_compare gates the counts bit-identically.
+     */
+    void enableOriginCounts(bool on) { countOrigins_ = on; }
+    bool originCountsEnabled() const { return countOrigins_; }
+
+    /**
+     * Dispatched events per origin label, merged by label text (the
+     * same literal may have distinct addresses across translation
+     * units), nullptr reported as kUnattributed. Sorted by name —
+     * deterministic output for the bench gate.
+     */
+    std::map<std::string, std::uint64_t> originCountsByName() const;
+
+    /**
+     * Stamp an origin label on everything scheduled from host code in
+     * the enclosing scope (detach roots, test drivers). Event
+     * dispatch saves/restores the current origin itself, so scopes
+     * are only needed *outside* the dispatch loop.
+     */
+    class OriginScope
+    {
+      public:
+        OriginScope(Scheduler& sched, const char* origin)
+            : sched_(&sched),
+              saved_(std::exchange(sched.currentOrigin_, origin))
+        {
+        }
+        ~OriginScope() { sched_->currentOrigin_ = saved_; }
+        OriginScope(const OriginScope&) = delete;
+        OriginScope& operator=(const OriginScope&) = delete;
+
+      private:
+        Scheduler* sched_;
+        const char* saved_;
+    };
+
+    /**
+     * Attach (or detach, with nullptr) the host-time profiler. The
+     * profiler only ever reads the host clock — it cannot perturb
+     * virtual time (see DispatchProfiler).
+     */
+    void setDispatchProfiler(DispatchProfiler* prof) { prof_ = prof; }
+    DispatchProfiler* dispatchProfiler() const { return prof_; }
 
     /**
      * Hook invoked by run() whenever the event queue drains. The hook
@@ -91,30 +245,86 @@ class Scheduler
     void reportError(std::exception_ptr e);
 
     /** Resume @p h at the current virtual time (helper for awaitables). */
-    void resumeNow(std::coroutine_handle<> h);
+    void resumeNow(std::coroutine_handle<> h,
+                   const char* origin = nullptr);
 
     /** Resume @p h after @p delay. */
-    void resumeAfter(Time delay, std::coroutine_handle<> h);
+    void resumeAfter(Time delay, std::coroutine_handle<> h,
+                     const char* origin = nullptr);
 
   private:
     struct Event
     {
         Time when;
         std::uint64_t seq;
+        const char* origin;
         std::function<void()> fn;
+
+        Event(Time w, std::uint64_t s, const char* o,
+              std::function<void()> f)
+            : when(w), seq(s), origin(o), fn(std::move(f))
+        {
+        }
+        Event(Event&&) noexcept = default;
+        Event& operator=(Event&&) noexcept = default;
+        // Copying clones the closure's capture — never on the
+        // dispatch path. Counted so tests (and the simprof dump) can
+        // prove the heap maintenance stayed move-only.
+        Event(const Event& o)
+            : when(o.when), seq(o.seq), origin(o.origin), fn(o.fn)
+        {
+            ++copies_;
+        }
+        Event& operator=(const Event& o)
+        {
+            when = o.when;
+            seq = o.seq;
+            origin = o.origin;
+            fn = o.fn;
+            ++copies_;
+            return *this;
+        }
 
         bool operator>(const Event& o) const
         {
             return when != o.when ? when > o.when : seq > o.seq;
         }
+
+        static std::uint64_t copies_;
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    /** std::push_heap/pop_heap comparator: a min-heap on (when, seq)
+     *  needs "later-than" as its strict ordering. */
+    struct EventAfter
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            return a > b;
+        }
+    };
+
+    void push(Event ev);
+    void countOrigin(const char* origin);
+
+    // Explicit heap instead of std::priority_queue: top() is const
+    // there, which forces either a copy of the closure on every pop
+    // or a const_cast. pop_heap moves the minimum to the back, where
+    // it can be moved out legitimately.
+    std::vector<Event> heap_;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t eventsProcessed_ = 0;
+    std::size_t maxQueueDepth_ = 0;
     std::exception_ptr firstError_;
     std::function<void()> idleHook_;
+    const char* currentOrigin_ = nullptr;
+    DispatchProfiler* prof_ = nullptr;
+    bool countOrigins_ = false;
+    // Pointer-keyed (labels are string literals); merged by text in
+    // originCountsByName(). Linear scan with an MRU front slot: the
+    // label population is a few dozen and runs of same-origin events
+    // are common.
+    std::vector<std::pair<const char*, std::uint64_t>> originCounts_;
 };
 
 } // namespace mscclpp::sim

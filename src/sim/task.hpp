@@ -18,10 +18,18 @@ namespace detail {
 
 /**
  * State shared by all Task promises: the continuation to resume when
- * the coroutine finishes, and any escaped exception.
+ * the coroutine finishes, and any escaped exception. Construction and
+ * destruction register with the process-wide frame census (see
+ * sim::frameStats) so a profiler can report live/peak coroutine
+ * frames without hooking operator new.
  */
 struct PromiseBase
 {
+    PromiseBase() { frameCreated(); }
+    ~PromiseBase() { frameDestroyed(); }
+    PromiseBase(const PromiseBase&) = delete;
+    PromiseBase& operator=(const PromiseBase&) = delete;
+
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
 
@@ -230,6 +238,9 @@ struct Detached
 {
     struct promise_type
     {
+        promise_type() { detail::frameCreated(); }
+        ~promise_type() { detail::frameDestroyed(); }
+
         Detached get_return_object() const noexcept { return {}; }
         std::suspend_never initial_suspend() const noexcept { return {}; }
         std::suspend_never final_suspend() const noexcept { return {}; }
@@ -282,17 +293,25 @@ detach(Scheduler& sched, Task<> task, JoinCounter* join = nullptr)
     detail::detachImpl(sched, std::move(task), join);
 }
 
-/** Awaitable that suspends the current task for a fixed delay. */
+/**
+ * Awaitable that suspends the current task for a fixed delay. The
+ * optional @p origin labels the wake-up event for host-time
+ * attribution (see Scheduler); omitted, the event inherits the origin
+ * of whatever event is currently dispatching.
+ */
 class Delay
 {
   public:
-    Delay(Scheduler& sched, Time delay) : sched_(&sched), delay_(delay) {}
+    Delay(Scheduler& sched, Time delay, const char* origin = nullptr)
+        : sched_(&sched), delay_(delay), origin_(origin)
+    {
+    }
 
     bool await_ready() const noexcept { return delay_ == 0; }
 
     void await_suspend(std::coroutine_handle<> h) const
     {
-        sched_->resumeAfter(delay_, h);
+        sched_->resumeAfter(delay_, h, origin_);
     }
 
     void await_resume() const noexcept {}
@@ -300,6 +319,7 @@ class Delay
   private:
     Scheduler* sched_;
     Time delay_;
+    const char* origin_;
 };
 
 } // namespace mscclpp::sim

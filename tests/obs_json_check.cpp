@@ -22,6 +22,11 @@
  * With --alerts-schema each file must be a mscclpp.alerts v1 dump
  * whose alert records are internally consistent (known dimension,
  * fire/clear ordering, counters matching the alert list).
+ * With --simprof-schema each file must be a mscclpp.simprof v1
+ * self-profile whose buckets reconcile exactly: every origin row
+ * carries a known kind, the rows plus the scheduler's own buckets sum
+ * to the measured wall time, and the attribution percentage is
+ * consistent with the unattributed share.
  * Deliberately gtest-free so it stays a tiny ctest COMMAND.
  */
 #include "tuner/json.hpp"
@@ -365,6 +370,24 @@ checkBenchSchema(const char* file, const std::string& text)
                              file, key.c_str());
                 return false;
             }
+        }
+    }
+    // Optional simulator self-bench block (A100-40G report): the
+    // deterministic counters bench_compare gates bit-identically.
+    const json::Value* sim = doc->get("sim");
+    if (sim != nullptr) {
+        if (!sim->isObject() ||
+            !requireNumbers(file, "sim", *sim,
+                            {"events_total", "max_queue_depth",
+                             "dispatch_closure_copies",
+                             "events_per_sec"})) {
+            return false;
+        }
+        const json::Value* org = sim->get("events_by_origin");
+        if (org == nullptr || !org->isObject()) {
+            std::fprintf(stderr, "%s: sim missing events_by_origin\n",
+                         file);
+            return false;
         }
     }
     std::printf("%s: bench schema ok (%zu benches)\n", file,
@@ -895,6 +918,139 @@ checkAlertsSchema(const char* file, const std::string& text)
     return true;
 }
 
+/**
+ * Validate one simulator self-profile (mscclpp.simprof v1): the schema
+ * stamp, the counters, and the gap-accounting invariants SimProf
+ * promises — every nanosecond of measured wall time lands in exactly
+ * one bucket, so the origin/section rows plus the scheduler's own
+ * dispatch and idle-hook buckets sum exactly to wall_measured_ns, and
+ * attributed + unattributed == wall with the percentage consistent.
+ */
+bool
+checkSimprofSchema(const char* file, const std::string& text)
+{
+    namespace json = mscclpp::tuner::json;
+    std::optional<json::Value> doc = openSchema(
+        file, text, "mscclpp.simprof", 1,
+        {"wall_measured_ns", "attributed_ns", "unattributed_ns",
+         "attributed_pct", "runs", "events_profiled", "events_per_sec",
+         "dispatch_closure_copies", "events_total", "max_queue_depth"});
+    if (!doc) {
+        return false;
+    }
+    const double wall = doc->get("wall_measured_ns")->number;
+    const double attr = doc->get("attributed_ns")->number;
+    const double unattr = doc->get("unattributed_ns")->number;
+    if (attr + unattr != wall) {
+        std::fprintf(stderr,
+                     "%s: attributed %g + unattributed %g != wall %g\n",
+                     file, attr, unattr, wall);
+        return false;
+    }
+    const double pct = doc->get("attributed_pct")->number;
+    if (pct < 0 || pct > 100) {
+        std::fprintf(stderr, "%s: attributed_pct %g out of [0,100]\n",
+                     file, pct);
+        return false;
+    }
+    const json::Value* sched = doc->get("scheduler");
+    if (sched == nullptr || !sched->isObject() ||
+        !requireNumbers(file, "scheduler", *sched,
+                        {"dispatch_ns", "idle_hook_ns",
+                         "idle_hook_calls"})) {
+        return false;
+    }
+    const json::Value* frames = doc->get("frames");
+    if (frames == nullptr || !frames->isObject() ||
+        !requireNumbers(file, "frames", *frames,
+                        {"created", "live", "peak"})) {
+        return false;
+    }
+    if (frames->get("live")->number > frames->get("peak")->number) {
+        std::fprintf(stderr, "%s: frames live %g > peak %g\n", file,
+                     frames->get("live")->number,
+                     frames->get("peak")->number);
+        return false;
+    }
+    const json::Value* byOrigin = doc->get("events_by_origin");
+    if (byOrigin == nullptr || !byOrigin->isObject()) {
+        std::fprintf(stderr, "%s: missing events_by_origin\n", file);
+        return false;
+    }
+    double originEvents = 0;
+    for (const auto& [origin, count] : byOrigin->object) {
+        if (!count.isNumber() || count.number < 0) {
+            std::fprintf(stderr,
+                         "%s: events_by_origin[%s] not a count\n", file,
+                         origin.c_str());
+            return false;
+        }
+        originEvents += count.number;
+    }
+    if (originEvents > doc->get("events_total")->number) {
+        std::fprintf(stderr,
+                     "%s: per-origin counts %g exceed events_total %g\n",
+                     file, originEvents,
+                     doc->get("events_total")->number);
+        return false;
+    }
+    const json::Value* origins = doc->get("origins");
+    if (origins == nullptr || !origins->isArray()) {
+        std::fprintf(stderr, "%s: missing origins array\n", file);
+        return false;
+    }
+    double rowNs = 0;
+    double unattrRowNs = 0;
+    for (const json::Value& row : origins->array) {
+        const json::Value* label = row.get("origin");
+        const json::Value* kind = row.get("kind");
+        if (label == nullptr || !label->isString() ||
+            label->string.empty() || kind == nullptr ||
+            !kind->isString() ||
+            (kind->string != "event" && kind->string != "section" &&
+             kind->string != "other")) {
+            std::fprintf(stderr, "%s: origin row bad label/kind\n",
+                         file);
+            return false;
+        }
+        if (!requireNumbers(file, label->string.c_str(), row,
+                            {"events", "host_ns", "pct"})) {
+            return false;
+        }
+        if (row.get("host_ns")->number < 0 ||
+            row.get("pct")->number < 0 ||
+            row.get("pct")->number > 100) {
+            std::fprintf(stderr, "%s: origin %s negative/overfull\n",
+                         file, label->string.c_str());
+            return false;
+        }
+        rowNs += row.get("host_ns")->number;
+        if (label->string == "unattributed") {
+            unattrRowNs += row.get("host_ns")->number;
+        }
+    }
+    // The gap-accounting identity: rows + scheduler buckets == wall,
+    // exactly (all integers in the dump).
+    const double accounted = rowNs + sched->get("dispatch_ns")->number +
+                             sched->get("idle_hook_ns")->number;
+    if (accounted != wall) {
+        std::fprintf(stderr,
+                     "%s: buckets sum to %gns, wall is %gns\n", file,
+                     accounted, wall);
+        return false;
+    }
+    if (unattrRowNs != unattr) {
+        std::fprintf(stderr,
+                     "%s: unattributed row %gns != unattributed_ns %g\n",
+                     file, unattrRowNs, unattr);
+        return false;
+    }
+    std::printf("%s: simprof schema ok (%zu origins, %.3f%% "
+                "attributed)\n",
+                file, origins->array.size(), pct);
+    return true;
+}
+
 } // namespace
 
 int
@@ -909,6 +1065,7 @@ main(int argc, char** argv)
     bool reqtraceSchema = false;
     bool timeseriesSchema = false;
     bool alertsSchema = false;
+    bool simprofSchema = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--require=", 0) == 0) {
@@ -927,6 +1084,8 @@ main(int argc, char** argv)
             timeseriesSchema = true;
         } else if (arg == "--alerts-schema") {
             alertsSchema = true;
+        } else if (arg == "--simprof-schema") {
+            simprofSchema = true;
         } else {
             files.push_back(argv[i]);
         }
@@ -936,7 +1095,7 @@ main(int argc, char** argv)
                      "usage: %s [--bench-schema] [--flight-schema] "
                      "[--hang-schema] [--serving-schema] "
                      "[--reqtrace-schema] [--timeseries-schema] "
-                     "[--alerts-schema] "
+                     "[--alerts-schema] [--simprof-schema] "
                      "[--require=<substring>]... <file.json>...\n",
                      argv[0]);
         return 2;
@@ -991,6 +1150,10 @@ main(int argc, char** argv)
             continue;
         }
         if (alertsSchema && !checkAlertsSchema(file, text)) {
+            rc = 1;
+            continue;
+        }
+        if (simprofSchema && !checkSimprofSchema(file, text)) {
             rc = 1;
             continue;
         }

@@ -305,3 +305,185 @@ TEST(Sync, WaitGroupReleasesWhenAllDone)
     s.run();
     EXPECT_EQ(when, sim::ns(70));
 }
+
+// ---- scheduler edge cases (PR 10) ------------------------------------------
+
+TEST(Scheduler, AdvanceToIsNoOpWithPendingEvents)
+{
+    sim::Scheduler s;
+    s.schedule(sim::ns(100), [] {});
+    s.advanceTo(sim::ns(500)); // events in flight own the clock
+    EXPECT_EQ(s.now(), 0);
+    s.run();
+    EXPECT_EQ(s.now(), sim::ns(100));
+}
+
+TEST(Scheduler, AdvanceToPastIsNoOp)
+{
+    sim::Scheduler s;
+    s.schedule(sim::ns(100), [] {});
+    s.run();
+    s.advanceTo(sim::ns(50));
+    EXPECT_EQ(s.now(), sim::ns(100));
+    s.advanceTo(sim::ns(200));
+    EXPECT_EQ(s.now(), sim::ns(200));
+}
+
+TEST(Scheduler, RunUntilIncludesExactDeadline)
+{
+    sim::Scheduler s;
+    int fired = 0;
+    s.schedule(sim::ns(100), [&] { ++fired; });
+    s.schedule(sim::ns(101), [&] { ++fired; });
+    // An event AT the deadline is inside the window (when <= deadline).
+    EXPECT_FALSE(s.runUntil(sim::ns(100)));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.now(), sim::ns(100));
+    EXPECT_TRUE(s.runUntil(sim::ns(101)));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, ThousandWayTieRunsInFifoOrder)
+{
+    sim::Scheduler s;
+    std::vector<int> order;
+    order.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+        s.schedule(sim::us(1), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    ASSERT_EQ(order.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(order[i], i) << "FIFO tie-break broke at " << i;
+    }
+}
+
+TEST(Scheduler, IdleHookMayScheduleFromInsideTheHook)
+{
+    sim::Scheduler s;
+    int hookRuns = 0;
+    int rescheduled = 0;
+    s.setIdleHook([&] {
+        if (++hookRuns == 1) {
+            s.schedule(sim::ns(10), [&] { ++rescheduled; });
+        }
+    });
+    s.schedule(sim::ns(5), [] {});
+    s.run();
+    // First drain fires the hook, the hook's event runs, the second
+    // drain fires the hook again (which stays quiet), then run returns.
+    EXPECT_EQ(hookRuns, 2);
+    EXPECT_EQ(rescheduled, 1);
+    EXPECT_EQ(s.now(), sim::ns(15));
+}
+
+TEST(Scheduler, EventsProcessedMonotonicAcrossRunAndStep)
+{
+    sim::Scheduler s;
+    for (int i = 0; i < 3; ++i) {
+        s.schedule(sim::ns(10 * (i + 1)), [] {});
+    }
+    EXPECT_EQ(s.eventsProcessed(), 0u);
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(s.eventsProcessed(), 1u);
+    s.run();
+    EXPECT_EQ(s.eventsProcessed(), 3u);
+    EXPECT_FALSE(s.step()); // empty queue: no-op, counter unchanged
+    EXPECT_EQ(s.eventsProcessed(), 3u);
+    s.schedule(0, [] {});
+    s.run();
+    EXPECT_EQ(s.eventsProcessed(), 4u);
+}
+
+// ---- self-profiling counters (PR 10) ---------------------------------------
+
+TEST(Scheduler, DispatchIsMoveOnly)
+{
+    const std::uint64_t before = sim::Scheduler::closureCopies();
+    sim::Scheduler s;
+    // Interleaved timestamps force real heap churn (sift-up and
+    // sift-down on every push/pop), and a capture big enough that a
+    // copied closure would have to allocate.
+    std::vector<std::uint64_t> payload(64, 7);
+    int ran = 0;
+    for (int i = 0; i < 500; ++i) {
+        s.schedule(sim::ns((i * 37) % 100), [&ran, payload] {
+            ran += static_cast<int>(payload[0] != 0);
+        });
+    }
+    s.run();
+    EXPECT_EQ(ran, 500);
+    EXPECT_EQ(sim::Scheduler::closureCopies(), before)
+        << "event dispatch copied a closure";
+}
+
+TEST(Scheduler, MaxQueueDepthTracksHighWaterMark)
+{
+    sim::Scheduler s;
+    EXPECT_EQ(s.maxQueueDepth(), 0u);
+    for (int i = 0; i < 7; ++i) {
+        s.schedule(sim::ns(i), [] {});
+    }
+    EXPECT_EQ(s.queueDepth(), 7u);
+    s.run();
+    EXPECT_EQ(s.queueDepth(), 0u);
+    EXPECT_EQ(s.maxQueueDepth(), 7u); // survives the drain
+}
+
+TEST(Scheduler, OriginCountsPerLabel)
+{
+    sim::Scheduler s;
+    s.enableOriginCounts(true);
+    s.schedule(sim::ns(1), [] {}, "test.a");
+    s.schedule(sim::ns(2), [] {}, "test.a");
+    s.schedule(sim::ns(3), [] {}, "test.b");
+    s.schedule(sim::ns(4), [] {});
+    s.run();
+    auto counts = s.originCountsByName();
+    EXPECT_EQ(counts["test.a"], 2u);
+    EXPECT_EQ(counts["test.b"], 1u);
+    EXPECT_EQ(counts[sim::Scheduler::kUnattributed], 1u);
+}
+
+TEST(Scheduler, NestedSchedulesInheritDispatchOrigin)
+{
+    sim::Scheduler s;
+    s.enableOriginCounts(true);
+    // The closure dispatched under "test.chain" schedules a follow-up
+    // with no label: the causal chain keeps the originating subsystem.
+    s.schedule(sim::ns(1), [&] { s.schedule(sim::ns(1), [] {}); },
+               "test.chain");
+    s.run();
+    auto counts = s.originCountsByName();
+    EXPECT_EQ(counts["test.chain"], 2u);
+    EXPECT_EQ(counts.count(sim::Scheduler::kUnattributed), 0u);
+}
+
+TEST(Scheduler, OriginScopeStampsHostSideSchedules)
+{
+    sim::Scheduler s;
+    s.enableOriginCounts(true);
+    EXPECT_EQ(s.currentOrigin(), nullptr);
+    {
+        sim::Scheduler::OriginScope scope(s, "test.scope");
+        EXPECT_STREQ(s.currentOrigin(), "test.scope");
+        s.schedule(sim::ns(1), [] {});
+    }
+    EXPECT_EQ(s.currentOrigin(), nullptr);
+    s.run();
+    EXPECT_EQ(s.originCountsByName()["test.scope"], 1u);
+}
+
+TEST(Task, FrameCensusTracksCoroutineFrames)
+{
+    sim::Scheduler s;
+    const sim::FrameStats before = sim::frameStats();
+    int done = 0;
+    sim::detach(s, delayTask(s, sim::ns(10), &done));
+    EXPECT_GT(sim::frameStats().live, before.live); // suspended frame
+    s.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(sim::frameStats().live, before.live); // all freed
+    EXPECT_GE(sim::frameStats().created, before.created + 2);
+    EXPECT_GE(sim::frameStats().peak, sim::frameStats().live);
+}

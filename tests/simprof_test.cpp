@@ -1,0 +1,217 @@
+/**
+ * obs::SimProf: the simulator's host-time self-profiler. The tests
+ * pin the two contracts the tentpole rests on: gap accounting (every
+ * measured nanosecond lands in exactly one bucket, so the buckets sum
+ * to the wall time by construction) and zero perturbation (attaching
+ * the profiler cannot change any simulated result — it only reads the
+ * host clock). Under MSCCLPP_NO_OBS the profiler compiles to a no-op;
+ * the behavioural tests skip themselves and the no-op test runs.
+ */
+#include "obs/simprof.hpp"
+
+#include "collective/api.hpp"
+#include "fabric/env.hpp"
+#include "gpu/machine.hpp"
+#include "sim/scheduler.hpp"
+#include "tuner/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace sim = mscclpp::sim;
+namespace obs = mscclpp::obs;
+namespace fab = mscclpp::fabric;
+namespace gpu = mscclpp::gpu;
+namespace json = mscclpp::tuner::json;
+using mscclpp::CollectiveComm;
+
+namespace {
+
+/** One fixed AllReduce workload; returns its summed virtual time and
+ *  reports the machine's event count — the pair the zero-perturbation
+ *  test compares bit-identically with the profiler on and off. */
+sim::Time
+runWorkload(bool profiled, std::uint64_t* events)
+{
+    gpu::Machine machine(fab::makeA100_40G(), 1, gpu::DataMode::Timed);
+    machine.obs().setDumpOnDestroy(false);
+    obs::SimProf prof;
+    if (profiled) {
+        prof.setEnabled(true);
+        prof.attach(machine.scheduler());
+    }
+    CollectiveComm::Options opt;
+    opt.maxBytes = std::size_t(1) << 20;
+    CollectiveComm comm(machine, opt);
+    sim::Time total = 0;
+    for (int i = 0; i < 2; ++i) {
+        total += comm.allReduce(std::size_t(1) << 20,
+                                gpu::DataType::F16, gpu::ReduceOp::Sum);
+    }
+    *events = machine.scheduler().eventsProcessed();
+    return total;
+}
+
+} // namespace
+
+TEST(SimProf, CompiledOutIsInertNoOp)
+{
+    if (obs::SimProf::kCompiledIn) {
+        GTEST_SKIP() << "obs compiled in; no-op contract not testable";
+    }
+    sim::Scheduler s;
+    obs::SimProf prof;
+    prof.setEnabled(true); // must stay off: compiled out
+    EXPECT_FALSE(prof.enabled());
+    prof.attach(s);
+    EXPECT_FALSE(prof.attached());
+    {
+        obs::SimProf::Section sec(prof, "test.section");
+    }
+    s.schedule(sim::ns(1), [] {}, "test.a");
+    s.run();
+    EXPECT_EQ(prof.wallMeasuredNs(), 0u);
+    EXPECT_EQ(prof.eventsProfiled(), 0u);
+}
+
+TEST(SimProf, ZeroPerturbation)
+{
+    // Identical workload, profiler off vs on: every simulated result
+    // must match bit-identically. Runs in BOTH CI legs — under NO_OBS
+    // it proves the disabled profiler is inert too.
+    std::uint64_t eventsOff = 0;
+    std::uint64_t eventsOn = 0;
+    const sim::Time off = runWorkload(false, &eventsOff);
+    const sim::Time on = runWorkload(true, &eventsOn);
+    EXPECT_EQ(off, on);
+    EXPECT_EQ(eventsOff, eventsOn);
+    EXPECT_GT(eventsOff, 0u);
+}
+
+TEST(SimProf, BucketsSumToWallMeasured)
+{
+    if (!obs::SimProf::kCompiledIn) {
+        GTEST_SKIP() << "obs compiled out";
+    }
+    sim::Scheduler s;
+    obs::SimProf prof;
+    prof.setEnabled(true);
+    prof.attach(s);
+    ASSERT_TRUE(prof.attached());
+    for (int i = 0; i < 100; ++i) {
+        s.schedule(sim::ns(i), [] {}, i % 2 ? "test.a" : "test.b");
+    }
+    s.schedule(sim::ns(200), [] {}); // unlabelled -> unattributed
+    {
+        // Wrapping the run in a Section must not double count: the
+        // section is charged elapsed-minus-inner, so the global
+        // identity below still holds exactly.
+        obs::SimProf::Section sec(prof, "test.section");
+        s.run();
+    }
+    EXPECT_EQ(prof.eventsProfiled(), 101u);
+    EXPECT_EQ(prof.runs(), 1u);
+    EXPECT_EQ(prof.closureCopiesSinceAttach(), 0u);
+    auto byLabel = prof.hostNsByLabel();
+    EXPECT_EQ(byLabel.count("test.a"), 1u);
+    EXPECT_EQ(byLabel.count("test.b"), 1u);
+    EXPECT_EQ(byLabel.count("test.section"), 1u);
+    EXPECT_EQ(byLabel.count(sim::Scheduler::kUnattributed), 1u);
+    std::uint64_t sum = 0;
+    for (const auto& [label, ns] : byLabel) {
+        sum += ns;
+    }
+    // The gap-accounting identity: every bucket is an inter-sample
+    // gap, so the buckets reconstruct the wall time exactly.
+    EXPECT_EQ(sum, prof.wallMeasuredNs());
+    EXPECT_EQ(prof.attributedNs() + prof.unattributedNs(),
+              prof.wallMeasuredNs());
+    EXPECT_GE(prof.attributedPct(), 0.0);
+    EXPECT_LE(prof.attributedPct(), 100.0);
+}
+
+TEST(SimProf, DetachStopsMeasuring)
+{
+    if (!obs::SimProf::kCompiledIn) {
+        GTEST_SKIP() << "obs compiled out";
+    }
+    sim::Scheduler s;
+    obs::SimProf prof;
+    prof.setEnabled(true);
+    prof.attach(s);
+    s.schedule(sim::ns(1), [] {}, "test.a");
+    s.run();
+    const std::uint64_t profiled = prof.eventsProfiled();
+    EXPECT_EQ(profiled, 1u);
+    prof.detach();
+    EXPECT_FALSE(prof.attached());
+    s.schedule(sim::ns(1), [] {}, "test.a");
+    s.run();
+    EXPECT_EQ(prof.eventsProfiled(), profiled);
+}
+
+TEST(SimProf, TopKFoldingKeepsExactTotals)
+{
+    if (!obs::SimProf::kCompiledIn) {
+        GTEST_SKIP() << "obs compiled out";
+    }
+    sim::Scheduler s;
+    obs::SimProf prof;
+    prof.setEnabled(true);
+    prof.setTopK(2);
+    prof.attach(s);
+    static const char* kLabels[] = {"t.a", "t.b", "t.c", "t.d", "t.e"};
+    for (int i = 0; i < 50; ++i) {
+        s.schedule(sim::ns(i), [] {}, kLabels[i % 5]);
+    }
+    s.run();
+    std::optional<json::Value> doc = json::parse(prof.toJson());
+    ASSERT_TRUE(doc.has_value());
+    const json::Value* origins = doc->get("origins");
+    ASSERT_NE(origins, nullptr);
+    ASSERT_TRUE(origins->isArray());
+    // 5 labels folded to the 2 hottest plus one "(other)" aggregate.
+    ASSERT_EQ(origins->array.size(), 3u);
+    EXPECT_EQ(origins->array.back().get("origin")->string, "(other)");
+    double rowEvents = 0;
+    double rowNs = 0;
+    for (const json::Value& row : origins->array) {
+        rowEvents += row.get("events")->number;
+        rowNs += row.get("host_ns")->number;
+    }
+    EXPECT_EQ(rowEvents, 50.0); // folding never loses events
+    const json::Value* sched = doc->get("scheduler");
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(rowNs + sched->get("dispatch_ns")->number +
+                  sched->get("idle_hook_ns")->number,
+              doc->get("wall_measured_ns")->number);
+    EXPECT_EQ(doc->get("dispatch_closure_copies")->number, 0.0);
+}
+
+TEST(SimProf, JsonDumpCarriesSchemaAndCounters)
+{
+    if (!obs::SimProf::kCompiledIn) {
+        GTEST_SKIP() << "obs compiled out";
+    }
+    sim::Scheduler s;
+    obs::SimProf prof;
+    prof.setEnabled(true);
+    prof.attach(s);
+    s.schedule(sim::ns(1), [] {}, "test.a");
+    s.run();
+    std::optional<json::Value> doc = json::parse(prof.toJson());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get("schema")->string, "mscclpp.simprof");
+    EXPECT_EQ(doc->get("version")->number, 1.0);
+    EXPECT_EQ(doc->get("events_total")->number, 1.0);
+    EXPECT_EQ(doc->get("events_profiled")->number, 1.0);
+    const json::Value* byOrigin = doc->get("events_by_origin");
+    ASSERT_NE(byOrigin, nullptr);
+    ASSERT_TRUE(byOrigin->isObject());
+    EXPECT_EQ(byOrigin->get("test.a")->number, 1.0);
+    const json::Value* frames = doc->get("frames");
+    ASSERT_NE(frames, nullptr);
+    EXPECT_TRUE(frames->get("peak")->isNumber());
+}

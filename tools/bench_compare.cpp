@@ -13,12 +13,23 @@
  * too: the bench scenario is healthy, so the baseline count is 0. The simulator is
  * deterministic, so the gate can be tight without flaking.
  *
+ * The top-level "sim" block (simulator self-bench) splits into two
+ * regimes: event counters (events_total, max_queue_depth,
+ * dispatch_closure_copies, events_by_origin.*) are pure functions of
+ * the deterministic event stream and are gated bit-identically, while
+ * wall-clock keys (events_per_sec, host_ns_by_origin.*) measure the
+ * host machine and only fail on a 20x throughput collapse. Additive
+ * sim.* data — a baseline predating the block, or origins/keys present
+ * only in the candidate — is reported informationally, never failed.
+ *
  * Usage: bench_compare [options] <current.json>
  *   --baseline <file>  baseline report (default: $MSCCLPP_BENCH_BASELINE)
  *   --threshold <pct>  max allowed slowdown, percent (default 10)
  *   --require-all      fail if a baseline key is missing from current
  *   --inject <pct>     inflate current latencies by <pct> before
  *                      comparing (self-test hook for the ctest gate)
+ *   --inject-sim <n>   add <n> to the current sim.events_total before
+ *                      comparing (self-test hook for the sim gate)
  *
  * Keys present in only one file are reported and skipped (new benches
  * should not fail the gate) unless --require-all is given.
@@ -194,6 +205,122 @@ compareServing(const std::string& key, const json::Value& baseBench,
     return regressions;
 }
 
+/**
+ * Gate the simulator self-bench block ($.sim). Deterministic event
+ * counters must match the baseline bit-identically — any drift means
+ * the simulated event stream itself changed, which is either an
+ * intended algorithm change (regenerate baselines) or a real bug.
+ * events_per_sec is host wall time, so it only fails on a 20x
+ * collapse; host_ns_by_origin is never gated. A baseline without a
+ * sim block, and origins present only in the candidate, are
+ * informational (additive sim.* data must not force a lockstep
+ * baseline regen). Returns the number of regressions; bumps
+ * @p compared when the block was actually gated.
+ */
+int
+compareSim(const json::Value& baseline, const json::Value& current,
+           double simInjectDelta, int& compared)
+{
+    const json::Value* base = baseline.get("sim");
+    const json::Value* cur = current.get("sim");
+    if (base == nullptr || !base->isObject()) {
+        if (cur != nullptr) {
+            std::printf("%-40s new (no baseline)\n", "sim self-bench");
+        }
+        return 0;
+    }
+    if (cur == nullptr || !cur->isObject()) {
+        std::printf("%-40s missing from current  SIM BLOCK MISSING\n",
+                    "sim self-bench");
+        return 1;
+    }
+    ++compared;
+    int regressions = 0;
+    for (const char* key :
+         {"events_total", "max_queue_depth",
+          "dispatch_closure_copies"}) {
+        const json::Value* b = base->get(key);
+        if (b == nullptr || !b->isNumber()) {
+            continue;
+        }
+        const json::Value* c = cur->get(key);
+        if (c == nullptr || !c->isNumber()) {
+            std::printf("$.sim.%s expected %.0f, missing from current  "
+                        "SIM COUNTER MISMATCH\n",
+                        key, b->number);
+            ++regressions;
+            continue;
+        }
+        double now = c->number;
+        if (std::string(key) == "events_total") {
+            now += simInjectDelta;
+        }
+        if (now != b->number) {
+            std::printf("$.sim.%s expected %.0f, found %.0f  "
+                        "SIM COUNTER MISMATCH\n",
+                        key, b->number, now);
+            ++regressions;
+        }
+    }
+    const json::Value* baseOrg = base->get("events_by_origin");
+    const json::Value* curOrg = cur->get("events_by_origin");
+    if (baseOrg != nullptr && baseOrg->isObject()) {
+        for (const auto& [origin, b] : baseOrg->object) {
+            if (!b.isNumber()) {
+                continue;
+            }
+            const json::Value* c =
+                curOrg != nullptr && curOrg->isObject()
+                    ? curOrg->get(origin)
+                    : nullptr;
+            if (c == nullptr || !c->isNumber()) {
+                std::printf("$.sim.events_by_origin[\"%s\"] expected "
+                            "%.0f, missing from current  "
+                            "SIM COUNTER MISMATCH\n",
+                            origin.c_str(), b.number);
+                ++regressions;
+            } else if (c->number != b.number) {
+                std::printf("$.sim.events_by_origin[\"%s\"] expected "
+                            "%.0f, found %.0f  SIM COUNTER MISMATCH\n",
+                            origin.c_str(), b.number, c->number);
+                ++regressions;
+            }
+        }
+        if (curOrg != nullptr && curOrg->isObject()) {
+            for (const auto& [origin, c] : curOrg->object) {
+                (void)c;
+                if (baseOrg->get(origin) == nullptr) {
+                    std::printf("$.sim.events_by_origin[\"%s\"] new "
+                                "(no baseline)\n",
+                                origin.c_str());
+                }
+            }
+        }
+    }
+    // Host throughput: informational unless it collapsed. A 20x floor
+    // tolerates any sane CI-runner spread while still catching an
+    // accidentally quadratic scheduler.
+    const json::Value* bEps = base->get("events_per_sec");
+    const json::Value* cEps = cur->get("events_per_sec");
+    if (bEps != nullptr && bEps->isNumber() && bEps->number > 0 &&
+        cEps != nullptr && cEps->isNumber()) {
+        const double ratio = cEps->number / bEps->number;
+        const bool bad = ratio < 1.0 / 20.0;
+        std::printf("%-40s %10.3gev/s -> %10.3gev/s  x%.3g%s\n",
+                    "sim.events_per_sec", bEps->number, cEps->number,
+                    ratio,
+                    bad ? "  SIM THROUGHPUT REGRESSION" : "");
+        regressions += bad ? 1 : 0;
+    }
+    if (base->get("host_ns_by_origin") != nullptr &&
+        cur->get("host_ns_by_origin") == nullptr) {
+        std::printf("%-40s missing from current (obs compiled out?) -- "
+                    "informational\n",
+                    "sim.host_ns_by_origin");
+    }
+    return regressions;
+}
+
 } // namespace
 
 int
@@ -203,6 +330,7 @@ main(int argc, char** argv)
     std::string currentPath;
     double thresholdPct = 10.0;
     double injectPct = 0.0;
+    double simInjectDelta = 0.0;
     bool requireAll = false;
     if (const char* env = std::getenv("MSCCLPP_BENCH_BASELINE")) {
         baselinePath = env;
@@ -215,6 +343,8 @@ main(int argc, char** argv)
             thresholdPct = std::atof(argv[++i]);
         } else if (arg == "--inject" && i + 1 < argc) {
             injectPct = std::atof(argv[++i]);
+        } else if (arg == "--inject-sim" && i + 1 < argc) {
+            simInjectDelta = std::atof(argv[++i]);
         } else if (arg == "--require-all") {
             requireAll = true;
         } else if (!arg.empty() && arg[0] != '-' && currentPath.empty()) {
@@ -223,7 +353,7 @@ main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: %s [--baseline <file>] [--threshold "
                          "<pct>] [--require-all] [--inject <pct>] "
-                         "<current.json>\n",
+                         "[--inject-sim <n>] <current.json>\n",
                          argv[0]);
             return 2;
         }
@@ -295,6 +425,8 @@ main(int argc, char** argv)
             std::printf("%-40s new (no baseline)\n", key.c_str());
         }
     }
+    regressions += compareSim(*baseline, *current, simInjectDelta,
+                              compared);
     std::printf("%d compared, %d regression(s), threshold %.1f%%\n",
                 compared, regressions, thresholdPct);
     if (compared == 0) {

@@ -27,11 +27,13 @@
 #include "collective/api.hpp"
 #include "inference/llm.hpp"
 #include "obs/critpath.hpp"
+#include "obs/simprof.hpp"
 #include "obs/window.hpp"
 #include "serving/cluster.hpp"
 #include "tuner/json.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -74,10 +76,31 @@ struct BenchResult
     }
 };
 
+/**
+ * Simulator self-bench (ROADMAP "Simulator raw speed"): one fixed
+ * AllReduce workload, counted two ways. The event counters
+ * (events_total, events_by_origin, max_queue_depth, closure copies)
+ * are pure functions of the deterministic event stream — identical on
+ * every machine and in both CI legs — so bench_compare gates them
+ * bit-identically. The wall-clock keys (events_per_sec,
+ * host_ns_by_origin) measure this host and are only ratio-floored.
+ */
+struct SimSelfBench
+{
+    bool present = false;
+    std::uint64_t eventsTotal = 0;
+    std::uint64_t maxQueueDepth = 0;
+    std::uint64_t closureCopies = 0;
+    double eventsPerSec = 0;
+    std::map<std::string, std::uint64_t> eventsByOrigin;
+    std::map<std::string, std::uint64_t> hostNsByOrigin;
+};
+
 struct Report
 {
     std::string env;
     std::vector<BenchResult> benches;
+    SimSelfBench sim;
 };
 
 /** Fresh machine with critpath attribution on and teardown dump off
@@ -174,6 +197,53 @@ runDecodeSweep(Report& report, fab::EnvConfig env,
         }
         report.benches.push_back(std::move(r));
     }
+}
+
+SimSelfBench
+runSimSelfBench()
+{
+    // Plain config: no critpath (its tracing is irrelevant here), no
+    // watchdog — nothing that could schedule obs-side events, so the
+    // event stream is identical whether or not obs is compiled in.
+    fab::EnvConfig env = fab::makeA100_40G();
+    auto machine =
+        std::make_unique<gpu::Machine>(env, 1, gpu::DataMode::Timed);
+    machine->obs().setDumpOnDestroy(false);
+    sim::Scheduler& sched = machine->scheduler();
+    sched.enableOriginCounts(true);
+    // Host-ns attribution rides along on compiled-in builds; it only
+    // reads the host clock, so the deterministic counters are
+    // unaffected (the zero-perturbation invariant).
+    obs::SimProf prof;
+    prof.setEnabled(true);
+    prof.attach(sched);
+
+    const std::uint64_t events0 = sched.eventsProcessed();
+    const std::uint64_t copies0 = sim::Scheduler::closureCopies();
+    CollectiveComm::Options opt;
+    opt.maxBytes = std::size_t(1) << 20;
+    CollectiveComm comm(*machine, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 4; ++i) {
+        comm.allReduce(std::size_t(1) << 20, gpu::DataType::F16,
+                       gpu::ReduceOp::Sum);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SimSelfBench out;
+    out.present = true;
+    out.eventsTotal = sched.eventsProcessed() - events0;
+    out.maxQueueDepth = sched.maxQueueDepth();
+    out.closureCopies = sim::Scheduler::closureCopies() - copies0;
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.eventsPerSec =
+        sec > 0 ? static_cast<double>(out.eventsTotal) / sec : 0;
+    out.eventsByOrigin = sched.originCountsByName();
+    if (obs::SimProf::kCompiledIn) {
+        out.hostNsByOrigin = prof.hostNsByLabel();
+    }
+    return out;
 }
 
 const char*
@@ -292,8 +362,42 @@ toJson(const Report& report)
 {
     std::string out = "{\n  \"schema\": \"mscclpp.bench_report\",\n"
                       "  \"version\": 4,\n  \"env\": \"" +
-                      tuner::json::escape(report.env) +
-                      "\",\n  \"benches\": {\n";
+                      tuner::json::escape(report.env) + "\",\n";
+    if (report.sim.present) {
+        auto u64MapJson =
+            [](const std::map<std::string, std::uint64_t>& m) {
+                std::string s = "{";
+                bool first = true;
+                for (const auto& [k, v] : m) {
+                    if (!first) {
+                        s += ", ";
+                    }
+                    first = false;
+                    s += "\"" + tuner::json::escape(k) +
+                         "\": " + std::to_string(v);
+                }
+                return s + "}";
+            };
+        out += "  \"sim\": {\n";
+        out += "    \"events_total\": " +
+               std::to_string(report.sim.eventsTotal) + ",\n";
+        out += "    \"max_queue_depth\": " +
+               std::to_string(report.sim.maxQueueDepth) + ",\n";
+        out += "    \"dispatch_closure_copies\": " +
+               std::to_string(report.sim.closureCopies) + ",\n";
+        out += "    \"events_per_sec\": " + num(report.sim.eventsPerSec) +
+               ",\n";
+        out += "    \"events_by_origin\": " +
+               u64MapJson(report.sim.eventsByOrigin);
+        // Wall-time attribution exists only when obs is compiled in;
+        // bench_compare treats its absence as informational.
+        if (!report.sim.hostNsByOrigin.empty()) {
+            out += ",\n    \"host_ns_by_origin\": " +
+                   u64MapJson(report.sim.hostNsByOrigin);
+        }
+        out += "\n  },\n";
+    }
+    out += "  \"benches\": {\n";
     bool firstBench = true;
     for (const BenchResult& r : report.benches) {
         if (!firstBench) {
@@ -381,7 +485,9 @@ main(int argc, char** argv)
         sizes.push_back(std::size_t(64) << 20);
     }
 
-    // fig08: AllReduce, A100-40G, 1 and 2 nodes.
+    // fig08: AllReduce, A100-40G, 1 and 2 nodes — plus the simulator
+    // self-bench (same workload in smoke and full runs, so CI's smoke
+    // pass gates the deterministic counters against the baseline).
     {
         Report rep;
         rep.env = "A100-40G";
@@ -391,6 +497,7 @@ main(int argc, char** argv)
             runAllReduceSweep(rep, "fig08", fab::makeA100_40G(), 2, sizes,
                               iters);
         }
+        rep.sim = runSimSelfBench();
         writeReport(rep, outDir);
     }
 

@@ -1,0 +1,228 @@
+/**
+ * simprof_query: interrogate a mscclpp.simprof dump (the simulator's
+ * host-time self-profile, MSCCLPP_SIMPROF=1). Prints the run summary
+ * and the per-origin wall-time table — where the *simulator* spends
+ * host time while it advances virtual time — sorted hottest first.
+ * The assertion flags make it a CI primitive: after a serving run,
+ * assert that at least PCT% of measured wall time landed on named
+ * origin/section labels (labelling-coverage gate) and that a specific
+ * subsystem label shows up at all.
+ *
+ * Usage: simprof_query <simprof.json> [options]
+ *   --topk <n>                print only the n hottest rows
+ *   --assert-attributed <pct> exit 1 unless attributed_pct >= pct
+ *                             (also accepts --assert-attributed=PCT)
+ *   --assert-origin <label>   exit 1 unless some origin row's label
+ *                             contains <label> with events > 0
+ *                             (also accepts --assert-origin=LABEL)
+ */
+#include "tuner/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace json = mscclpp::tuner::json;
+
+namespace {
+
+std::optional<json::Value>
+loadSimprof(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "simprof_query: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::optional<json::Value> v = json::parse(ss.str());
+    if (!v) {
+        std::fprintf(stderr, "simprof_query: %s is not valid JSON\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    const json::Value* schema = v->get("schema");
+    const json::Value* version = v->get("version");
+    if (schema == nullptr || schema->string != "mscclpp.simprof" ||
+        version == nullptr || !version->isNumber() ||
+        version->number != 1) {
+        std::fprintf(stderr,
+                     "simprof_query: %s is not a mscclpp.simprof v1\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    return v;
+}
+
+double
+numberOr(const json::Value& obj, const char* key, double fallback)
+{
+    const json::Value* v = obj.get(key);
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+const char*
+stringOr(const json::Value& obj, const char* key, const char* fallback)
+{
+    const json::Value* v = obj.get(key);
+    return v != nullptr && !v->string.empty() ? v->string.c_str()
+                                              : fallback;
+}
+
+void
+printSummary(const json::Value& doc)
+{
+    const double wallMs = numberOr(doc, "wall_measured_ns", 0) / 1e6;
+    std::printf("simprof: %.2f ms measured host time, %g runs, %g "
+                "profiled events (%.3g ev/s)\n",
+                wallMs, numberOr(doc, "runs", 0),
+                numberOr(doc, "events_profiled", 0),
+                numberOr(doc, "events_per_sec", 0));
+    std::printf("attributed %.3f%% (%.2f ms named, %.2f ms "
+                "unattributed)\n",
+                numberOr(doc, "attributed_pct", 0),
+                numberOr(doc, "attributed_ns", 0) / 1e6,
+                numberOr(doc, "unattributed_ns", 0) / 1e6);
+    const json::Value* sched = doc.get("scheduler");
+    if (sched != nullptr && sched->isObject()) {
+        std::printf("scheduler: dispatch %.2f ms, idle hook %.2f ms "
+                    "(%g calls), closure copies %g\n",
+                    numberOr(*sched, "dispatch_ns", 0) / 1e6,
+                    numberOr(*sched, "idle_hook_ns", 0) / 1e6,
+                    numberOr(*sched, "idle_hook_calls", 0),
+                    numberOr(doc, "dispatch_closure_copies", 0));
+    }
+    const json::Value* frames = doc.get("frames");
+    if (frames != nullptr && frames->isObject()) {
+        std::printf("coroutine frames: %g created, %g live, %g peak\n",
+                    numberOr(*frames, "created", 0),
+                    numberOr(*frames, "live", 0),
+                    numberOr(*frames, "peak", 0));
+    }
+    std::printf("events_total %g, max_queue_depth %g\n\n",
+                numberOr(doc, "events_total", 0),
+                numberOr(doc, "max_queue_depth", 0));
+}
+
+void
+printTable(const json::Value& origins, int topk)
+{
+    std::printf("%-28s %-8s %12s %14s %8s\n", "origin", "kind",
+                "events", "host_ns", "pct");
+    int shown = 0;
+    for (const json::Value& row : origins.array) {
+        if (topk > 0 && shown >= topk) {
+            std::printf("  ... %zu more row(s) (--topk)\n",
+                        origins.array.size() -
+                            static_cast<std::size_t>(shown));
+            break;
+        }
+        ++shown;
+        const double pct = numberOr(row, "pct", 0);
+        // A crude bar makes the hot origin visible without a plot.
+        std::string bar(
+            static_cast<std::size_t>(pct / 5.0 + 0.5), '#');
+        std::printf("%-28s %-8s %12.0f %14.0f %7.3f%% %s\n",
+                    stringOr(row, "origin", "?"),
+                    stringOr(row, "kind", "?"),
+                    numberOr(row, "events", 0),
+                    numberOr(row, "host_ns", 0), pct, bar.c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    int topk = 0;
+    double assertPct = -1.0;
+    std::vector<std::string> assertOrigins;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--topk" && i + 1 < argc) {
+            topk = std::atoi(argv[++i]);
+        } else if (arg == "--assert-attributed" && i + 1 < argc) {
+            assertPct = std::atof(argv[++i]);
+        } else if (arg.rfind("--assert-attributed=", 0) == 0) {
+            assertPct = std::atof(arg.c_str() + 20);
+        } else if (arg == "--assert-origin" && i + 1 < argc) {
+            assertOrigins.push_back(argv[++i]);
+        } else if (arg.rfind("--assert-origin=", 0) == 0) {
+            assertOrigins.push_back(arg.substr(16));
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s <simprof.json> [--topk <n>] "
+                         "[--assert-attributed <pct>] "
+                         "[--assert-origin <label>]...\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "simprof_query: need a mscclpp.simprof file\n");
+        return 2;
+    }
+    std::optional<json::Value> doc = loadSimprof(path);
+    if (!doc) {
+        return 2;
+    }
+    printSummary(*doc);
+    const json::Value* origins = doc->get("origins");
+    if (origins == nullptr || !origins->isArray()) {
+        std::fprintf(stderr,
+                     "simprof_query: %s: $.origins is missing or not "
+                     "an array\n",
+                     path.c_str());
+        return 2;
+    }
+    printTable(*origins, topk);
+
+    int rc = 0;
+    if (assertPct >= 0) {
+        const double pct = numberOr(*doc, "attributed_pct", 0);
+        if (pct < assertPct) {
+            std::fprintf(stderr,
+                         "ASSERT FAILED: attributed %.3f%% < required "
+                         "%.3f%%\n",
+                         pct, assertPct);
+            rc = 1;
+        } else {
+            std::printf("assert-attributed %.1f: ok (%.3f%%)\n",
+                        assertPct, pct);
+        }
+    }
+    for (const std::string& want : assertOrigins) {
+        bool found = false;
+        for (const json::Value& row : origins->array) {
+            const json::Value* label = row.get("origin");
+            if (label != nullptr &&
+                label->string.find(want) != std::string::npos &&
+                numberOr(row, "events", 0) > 0) {
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            std::printf("assert-origin '%s': matched\n", want.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "ASSERT FAILED: no origin row contains '%s' "
+                         "with events > 0\n",
+                         want.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
